@@ -1,0 +1,5 @@
+//! Harness binary for experiment `a11_transfer` (see DESIGN.md §4).
+fn main() {
+    let ctx = trout_bench::Context::from_env();
+    trout_bench::experiments::a11_transfer(&ctx).print();
+}

@@ -1,0 +1,5 @@
+//! Harness binary for experiment `a3_smote` (see DESIGN.md §4).
+fn main() {
+    let ctx = trout_bench::Context::from_env();
+    trout_bench::experiments::a3_smote(&ctx).print();
+}

@@ -1,0 +1,5 @@
+//! Harness binary for experiment `fig2_density` (see DESIGN.md §4).
+fn main() {
+    let ctx = trout_bench::Context::from_env();
+    trout_bench::experiments::fig2_density(&ctx).print();
+}

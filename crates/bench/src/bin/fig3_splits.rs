@@ -1,0 +1,5 @@
+//! Harness binary for experiment `fig3_splits` (see DESIGN.md §4).
+fn main() {
+    let ctx = trout_bench::Context::from_env();
+    trout_bench::experiments::fig3_splits(&ctx).print();
+}

@@ -1,0 +1,5 @@
+//! Harness binary for experiment `fig4_5_scatter` (see DESIGN.md §4).
+fn main() {
+    let ctx = trout_bench::Context::from_env();
+    trout_bench::experiments::fig4_5_scatter(&ctx).print();
+}

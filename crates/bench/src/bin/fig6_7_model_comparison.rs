@@ -1,0 +1,5 @@
+//! Harness binary for experiment `fig6_7_model_comparison` (see DESIGN.md §4).
+fn main() {
+    let ctx = trout_bench::Context::from_env();
+    trout_bench::experiments::fig6_7_model_comparison(&ctx).print();
+}

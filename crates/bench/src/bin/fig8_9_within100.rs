@@ -1,0 +1,5 @@
+//! Harness binary for experiment `fig8_9_within100` (see DESIGN.md §4).
+fn main() {
+    let ctx = trout_bench::Context::from_env();
+    trout_bench::experiments::fig8_9_within100(&ctx).print();
+}

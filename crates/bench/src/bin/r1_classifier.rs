@@ -1,0 +1,5 @@
+//! Harness binary for experiment `r1_classifier` (see DESIGN.md §4).
+fn main() {
+    let ctx = trout_bench::Context::from_env();
+    trout_bench::experiments::r1_classifier(&ctx).print();
+}

@@ -1,0 +1,5 @@
+//! Harness binary for experiment `r2_regression` (see DESIGN.md §4).
+fn main() {
+    let ctx = trout_bench::Context::from_env();
+    trout_bench::experiments::r2_regression(&ctx).print();
+}

@@ -1,0 +1,5 @@
+//! Harness binary for experiment `table1_stats` (see DESIGN.md §4).
+fn main() {
+    let ctx = trout_bench::Context::from_env();
+    trout_bench::experiments::table1_stats(&ctx).print();
+}

@@ -1,0 +1,5 @@
+//! Harness binary for experiment `table2_features` (see DESIGN.md §4).
+fn main() {
+    let ctx = trout_bench::Context::from_env();
+    trout_bench::experiments::table2_features(&ctx).print();
+}

@@ -1,0 +1,73 @@
+//! Shared experiment context: one simulated trace + featurized dataset,
+//! reused by every harness so the suite pays the simulation cost once.
+
+use std::cell::OnceCell;
+use std::time::Instant;
+
+use trout_core::eval::{self, BaselineModel, ComparisonEntry, FoldReport};
+use trout_core::{featurize, RuntimePredictor, TroutConfig};
+use trout_features::Dataset;
+use trout_slurmsim::{SimulationBuilder, Trace};
+
+/// The standing experiment context.
+pub struct Context {
+    /// Trace size.
+    pub jobs: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// The simulated accounting trace.
+    pub trace: Trace,
+    /// The featurized dataset (runtime RF wired in).
+    pub ds: Dataset,
+    /// The runtime predictor used for the `Pred Runtime` features.
+    pub runtime_model: RuntimePredictor,
+    /// The TROUT configuration experiments start from.
+    pub cfg: TroutConfig,
+    folds: OnceCell<Vec<FoldReport>>,
+    comparison: OnceCell<Vec<ComparisonEntry>>,
+}
+
+impl Context {
+    /// Builds a context at an explicit scale.
+    pub fn new(jobs: usize, seed: u64) -> Context {
+        let t0 = Instant::now();
+        let trace = SimulationBuilder::anvil_like().jobs(jobs).seed(seed).run();
+        eprintln!(
+            "[context] simulated {jobs} jobs in {:.1}s (quick-start {:.1}%)",
+            t0.elapsed().as_secs_f64(),
+            100.0 * trace.quick_start_fraction(10.0)
+        );
+        let t1 = Instant::now();
+        let (ds, runtime_model) = featurize(&trace, 0.6, seed);
+        eprintln!("[context] featurized in {:.1}s", t1.elapsed().as_secs_f64());
+        Context {
+            jobs,
+            seed,
+            trace,
+            ds,
+            runtime_model,
+            cfg: TroutConfig::default(),
+            folds: OnceCell::new(),
+            comparison: OnceCell::new(),
+        }
+    }
+
+    /// The 5-fold hierarchical evaluation (computed once, shared by F4/F5
+    /// and R2).
+    pub fn fold_reports(&self) -> &[FoldReport] {
+        self.folds.get_or_init(|| eval::evaluate_folds(&self.cfg, &self.ds, 5))
+    }
+
+    /// The four-model comparison (computed once, shared by F6/F7 and F8/F9).
+    pub fn comparison(&self) -> &[ComparisonEntry] {
+        self.comparison
+            .get_or_init(|| eval::compare_models(&self.cfg, &self.ds, 5, &BaselineModel::ALL))
+    }
+
+    /// Builds from `TROUT_JOBS` / `TROUT_SEED` (defaults 20 000 / 42).
+    pub fn from_env() -> Context {
+        let jobs = std::env::var("TROUT_JOBS").ok().and_then(|v| v.parse().ok()).unwrap_or(20_000);
+        let seed = std::env::var("TROUT_SEED").ok().and_then(|v| v.parse().ok()).unwrap_or(42);
+        Context::new(jobs, seed)
+    }
+}

@@ -1,0 +1,103 @@
+//! The TROUT benchmark harness.
+//!
+//! One module per table/figure of the paper (see `DESIGN.md` §4 for the
+//! experiment index). Every harness binary in `src/bin/` is a thin wrapper
+//! over an [`experiments`] function so `reproduce_all` can run the full suite
+//! in-process and emit a single report.
+//!
+//! Scale is controlled by environment variables so the same binaries serve
+//! smoke runs and full reproductions:
+//!
+//! * `TROUT_JOBS` — trace size (default 20 000),
+//! * `TROUT_SEED` — master seed (default 42).
+
+pub mod context;
+pub mod experiments;
+
+pub use context::Context;
+
+/// A rendered experiment report: identifier, title, and the rows/series the
+/// corresponding paper artifact shows.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Experiment id from DESIGN.md (e.g. "F6/F7").
+    pub id: &'static str,
+    /// Human title.
+    pub title: &'static str,
+    /// What the paper claims (the shape target).
+    pub paper: &'static str,
+    /// Output lines.
+    pub lines: Vec<String>,
+}
+
+impl Report {
+    /// Prints the report to stdout in the harness's uniform format.
+    pub fn print(&self) {
+        println!("\n=== [{}] {} ===", self.id, self.title);
+        println!("paper: {}", self.paper);
+        for l in &self.lines {
+            println!("{l}");
+        }
+    }
+
+    /// Renders as markdown for EXPERIMENTS.md.
+    pub fn to_markdown(&self) -> String {
+        let mut s = format!("### {} — {}\n\n*Paper:* {}\n\n```text\n", self.id, self.title, self.paper);
+        for l in &self.lines {
+            s.push_str(l);
+            s.push('\n');
+        }
+        s.push_str("```\n");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_markdown_embeds_all_lines() {
+        let r = Report {
+            id: "T9",
+            title: "Test table",
+            paper: "a claim",
+            lines: vec!["row one".into(), "row two".into()],
+        };
+        let md = r.to_markdown();
+        assert!(md.contains("### T9 — Test table"));
+        assert!(md.contains("*Paper:* a claim"));
+        assert!(md.contains("row one\nrow two"));
+        assert!(md.starts_with("### "));
+        assert!(md.trim_end().ends_with("```"));
+    }
+
+    #[test]
+    fn cheap_experiments_run_on_a_tiny_context() {
+        // Exercise the non-training harnesses end to end at toy scale.
+        let ctx = Context::new(2_500, 14);
+        for report in [
+            experiments::table1_stats(&ctx),
+            experiments::table2_features(&ctx),
+            experiments::fig2_density(&ctx),
+            experiments::fig3_splits(&ctx),
+            experiments::a6_itree(&ctx),
+        ] {
+            assert!(!report.lines.is_empty(), "{} produced no output", report.id);
+            assert!(!report.paper.is_empty());
+        }
+    }
+
+    #[test]
+    fn context_caches_are_consistent() {
+        let ctx = Context::new(2_500, 14);
+        assert_eq!(ctx.ds.len(), ctx.trace.records.len());
+        assert_eq!(ctx.jobs, 2_500);
+        // Runtime model predictions cover every record and respect limits.
+        let preds = ctx.runtime_model.predict_all(&ctx.trace);
+        assert_eq!(preds.len(), 2_500);
+        for (p, r) in preds.iter().zip(&ctx.trace.records) {
+            assert!(*p >= 0.0 && *p <= r.timelimit_min as f64);
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! The Table-II feature-engineering pipeline.
+//!
+//! For every job, the paper computes 33 features *at the job's eligibility
+//! instant* (§III): the job's own request, the state of its partition's queue
+//! (split into all pending jobs and the higher-priority subset "ahead" of
+//! it), the partition's running jobs, the submitting user's last 24 hours,
+//! the partition's static capacity, and three features derived from a
+//! runtime-prediction model. Pending/running membership at an instant is an
+//! interval-overlap question, which the paper answers with interval trees —
+//! as does [`snapshot::SnapshotIndex`] here (ablation A6 measures the same
+//! computation with a naive scan).
+//!
+//! A natural-log transform is applied to all features ("to manage the highly
+//! skewed nature of the data and reduce the input scale"); min-max, z-score
+//! and Box–Cox scalers are implemented for the A4 scaling ablation the paper
+//! describes ("tested but found not to provide noticeable benefits").
+
+pub mod names;
+mod pipeline;
+pub mod scaling;
+pub mod snapshot;
+
+pub use pipeline::{Dataset, FeaturePipeline};
+pub use scaling::Scaling;
+pub use snapshot::SnapshotIndex;

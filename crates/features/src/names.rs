@@ -1,0 +1,181 @@
+//! Feature indices, names and descriptions — Table II of the paper.
+
+/// Number of features in the final model (the paper's regressor has "33
+/// input features").
+pub const N_FEATURES: usize = 33;
+
+/// Column indices into the feature matrix, in Table II order.
+pub mod idx {
+    /// SLURM priority at eligibility.
+    pub const PRIORITY: usize = 0;
+    /// Requested time limit (minutes).
+    pub const TIMELIMIT_RAW: usize = 1;
+    /// Requested CPUs.
+    pub const REQ_CPUS: usize = 2;
+    /// Requested memory (GB).
+    pub const REQ_MEM: usize = 3;
+    /// Requested nodes.
+    pub const REQ_NODES: usize = 4;
+    /// Higher-priority pending jobs in the partition.
+    pub const PAR_JOBS_AHEAD: usize = 5;
+    /// Their summed CPUs.
+    pub const PAR_CPUS_AHEAD: usize = 6;
+    /// Their summed memory (GB).
+    pub const PAR_MEM_AHEAD: usize = 7;
+    /// Their summed nodes.
+    pub const PAR_NODES_AHEAD: usize = 8;
+    /// Their summed wallclock (minutes).
+    pub const PAR_TIMELIMIT_AHEAD: usize = 9;
+    /// All pending jobs in the partition.
+    pub const PAR_JOBS_QUEUE: usize = 10;
+    /// Their summed CPUs.
+    pub const PAR_CPUS_QUEUE: usize = 11;
+    /// Their summed memory (GB).
+    pub const PAR_MEM_QUEUE: usize = 12;
+    /// Their summed nodes.
+    pub const PAR_NODES_QUEUE: usize = 13;
+    /// Their summed wallclock (minutes).
+    pub const PAR_TIMELIMIT_QUEUE: usize = 14;
+    /// Running jobs in the partition.
+    pub const PAR_JOBS_RUNNING: usize = 15;
+    /// Their summed CPUs.
+    pub const PAR_CPUS_RUNNING: usize = 16;
+    /// Their summed memory (GB).
+    pub const PAR_MEM_RUNNING: usize = 17;
+    /// Their summed nodes.
+    pub const PAR_NODES_RUNNING: usize = 18;
+    /// Their summed walltime (minutes).
+    pub const PAR_TIMELIMIT_RUNNING: usize = 19;
+    /// Jobs submitted by the user in the past day.
+    pub const USER_JOBS_PAST_DAY: usize = 20;
+    /// CPUs requested by the user in the past day.
+    pub const USER_CPUS_PAST_DAY: usize = 21;
+    /// Memory (GB) requested by the user in the past day.
+    pub const USER_MEM_PAST_DAY: usize = 22;
+    /// Nodes requested by the user in the past day.
+    pub const USER_NODES_PAST_DAY: usize = 23;
+    /// Wallclock (minutes) requested by the user in the past day.
+    pub const USER_TIMELIMIT_PAST_DAY: usize = 24;
+    /// Total nodes in the partition.
+    pub const PAR_TOTAL_NODES: usize = 25;
+    /// Total CPU cores in the partition.
+    pub const PAR_TOTAL_CPU: usize = 26;
+    /// CPU cores per node.
+    pub const PAR_CPU_PER_NODE: usize = 27;
+    /// Memory (GB) per node.
+    pub const PAR_MEM_PER_NODE: usize = 28;
+    /// Total GPUs in the partition.
+    pub const PAR_TOTAL_GPU: usize = 29;
+    /// Predicted runtime of this job (random forest).
+    pub const PRED_RUNTIME: usize = 30;
+    /// Summed predicted runtime of pending jobs in the partition.
+    pub const PAR_QUEUE_PRED_TIMELIMIT: usize = 31;
+    /// Summed predicted runtime of running jobs in the partition.
+    pub const PAR_RUNNING_PRED_TIMELIMIT: usize = 32;
+}
+
+/// Feature names in column order (Table II's "Feature" column).
+pub const FEATURE_NAMES: [&str; N_FEATURES] = [
+    "Priority",
+    "Timelimit Raw",
+    "Req CPUs",
+    "Req Mem",
+    "Req Nodes",
+    "Par Jobs Ahead",
+    "Par CPUs Ahead",
+    "Par Mem Ahead",
+    "Par Nodes Ahead",
+    "Par Timelimit Ahead",
+    "Par Jobs Queue",
+    "Par CPUs Queue",
+    "Par Mem Queue",
+    "Par Nodes Queue",
+    "Par Timelimit Queue",
+    "Par Jobs Running",
+    "Par CPUs Running",
+    "Par Mem Running",
+    "Par Nodes Running",
+    "Par Timelimit Running",
+    "User Jobs Past Day",
+    "User CPUs Past Day",
+    "User Mem Past Day",
+    "User Nodes Past Day",
+    "User Timelimit Past Day",
+    "Par Total Nodes",
+    "Par Total CPU",
+    "Par CPU per Node",
+    "Par Mem per Node",
+    "Par Total GPU",
+    "Pred Runtime",
+    "Par Queue Pred Timelimit",
+    "Par Running Pred Timelimit",
+];
+
+/// One-line descriptions (Table II's "Description" column).
+pub const FEATURE_DESCRIPTIONS: [&str; N_FEATURES] = [
+    "SLURM Priority",
+    "Requested time limit (m)",
+    "Requested CPUs",
+    "Requested memory (GB)",
+    "Requested number of nodes",
+    "Number of jobs in partition at time of eligibility with higher priority",
+    "Sum of CPUs requested for jobs in partition at time of eligibility with higher priority",
+    "Sum of requested memory (GB) for jobs in partition at time of eligibility with higher priority",
+    "Total nodes requested of all jobs in partition at time of eligibility with higher priority",
+    "Sum of requested wallclock for jobs in partition at time of eligibility with higher priority",
+    "Jobs in partition at time of eligibility",
+    "Sum of CPUs requested for jobs in partition at time of eligibility",
+    "Sum of requested memory (GB) for jobs in partition at time of eligibility",
+    "Total nodes requested of all jobs in partition at time of eligibility",
+    "Sum of requested wallclock for jobs in partition at time of eligibility",
+    "Number of jobs currently running in partition at time of eligibility",
+    "Sum of requested CPUs being used by running in partition at time of eligibility",
+    "Sum of requested memory (GB) of jobs currently running in partition at time of eligibility",
+    "Number of nodes being used by jobs currently running in partition at time of eligibility",
+    "Sum of requested walltime for jobs currently running in partition at time of eligibility",
+    "Number of submitted jobs by user within past day",
+    "Number of CPUs requested by user within past day",
+    "Sum of memory (GB) requested by user within past day",
+    "Total nodes requested by user within past day",
+    "Sum of requested wallclock by user within past day",
+    "Total nodes belonging to the partition",
+    "Total CPU cores belonging to the partition",
+    "Number of CPU cores per node in partition",
+    "Size of storage (GB) per node in partition",
+    "Total GPU units belonging to partition",
+    "Predicted runtime of job from random forest",
+    "Predicted runtime of all jobs currently pending in partition",
+    "Predicted runtime of all jobs currently running in partition",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exactly_33_features() {
+        assert_eq!(FEATURE_NAMES.len(), N_FEATURES);
+        assert_eq!(FEATURE_DESCRIPTIONS.len(), N_FEATURES);
+        assert_eq!(idx::PAR_RUNNING_PRED_TIMELIMIT, N_FEATURES - 1);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names = FEATURE_NAMES.to_vec();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), N_FEATURES);
+    }
+
+    #[test]
+    fn index_constants_are_dense() {
+        // Spot-check the block boundaries.
+        assert_eq!(idx::PRIORITY, 0);
+        assert_eq!(idx::PAR_JOBS_AHEAD, 5);
+        assert_eq!(idx::PAR_JOBS_QUEUE, 10);
+        assert_eq!(idx::PAR_JOBS_RUNNING, 15);
+        assert_eq!(idx::USER_JOBS_PAST_DAY, 20);
+        assert_eq!(idx::PAR_TOTAL_NODES, 25);
+        assert_eq!(idx::PRED_RUNTIME, 30);
+    }
+}

@@ -1,0 +1,209 @@
+//! Feature scaling transforms for the A4 ablation.
+//!
+//! The paper's final pipeline applies `ln(1 + x)` to every feature; min-max
+//! and Box–Cox scaling "were tested but found not to provide noticeable
+//! benefits" (§III). All four (plus z-score and identity) are implemented so
+//! the ablation can measure rather than assert that claim.
+
+use serde::{Deserialize, Serialize};
+use trout_linalg::Matrix;
+
+/// Scaling method applied column-wise to the raw feature matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Scaling {
+    /// No transform.
+    None,
+    /// `ln(1 + x)` — the paper's choice; stateless and monotone.
+    Ln1p,
+    /// Min-max to `[0, 1]`, fitted per column.
+    MinMax,
+    /// Z-score standardization, fitted per column.
+    ZScore,
+    /// One-parameter Box–Cox on `1 + x`: `((1+x)^lambda - 1) / lambda`
+    /// (`lambda = 0` degenerates to `Ln1p`).
+    BoxCox {
+        /// Power parameter.
+        lambda: f32,
+    },
+}
+
+/// A fitted scaler (stateless for `None`/`Ln1p`/`BoxCox`).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FittedScaler {
+    method: Scaling,
+    /// Per-column `(offset, scale)` for the stateful methods.
+    stats: Vec<(f32, f32)>,
+}
+
+impl Scaling {
+    /// Fits the scaler on a raw feature matrix.
+    pub fn fit(self, x: &Matrix) -> FittedScaler {
+        let stats = match self {
+            Scaling::MinMax => {
+                let mut stats = vec![(f32::INFINITY, f32::NEG_INFINITY); x.cols()];
+                for r in 0..x.rows() {
+                    for (j, &v) in x.row(r).iter().enumerate() {
+                        stats[j].0 = stats[j].0.min(v);
+                        stats[j].1 = stats[j].1.max(v);
+                    }
+                }
+                stats
+                    .into_iter()
+                    .map(|(lo, hi)| {
+                        let range = hi - lo;
+                        (lo, if range > 1e-12 { range } else { 1.0 })
+                    })
+                    .collect()
+            }
+            Scaling::ZScore => {
+                let n = x.rows().max(1) as f32;
+                let mut stats = vec![(0.0f32, 0.0f32); x.cols()];
+                for r in 0..x.rows() {
+                    for (j, &v) in x.row(r).iter().enumerate() {
+                        stats[j].0 += v;
+                    }
+                }
+                for s in &mut stats {
+                    s.0 /= n;
+                }
+                for r in 0..x.rows() {
+                    for (j, &v) in x.row(r).iter().enumerate() {
+                        let c = v - stats[j].0;
+                        stats[j].1 += c * c;
+                    }
+                }
+                stats
+                    .into_iter()
+                    .map(|(m, ss)| {
+                        let sd = (ss / n).sqrt();
+                        (m, if sd > 1e-12 { sd } else { 1.0 })
+                    })
+                    .collect()
+            }
+            _ => Vec::new(),
+        };
+        FittedScaler { method: self, stats }
+    }
+}
+
+impl FittedScaler {
+    /// The method this scaler was fitted with.
+    pub fn method(&self) -> Scaling {
+        self.method
+    }
+
+    /// Transforms one value of column `j`.
+    #[inline]
+    pub fn apply(&self, j: usize, v: f32) -> f32 {
+        match self.method {
+            Scaling::None => v,
+            Scaling::Ln1p => (1.0 + v.max(0.0)).ln(),
+            Scaling::MinMax => {
+                let (lo, range) = self.stats[j];
+                (v - lo) / range
+            }
+            Scaling::ZScore => {
+                let (mean, sd) = self.stats[j];
+                (v - mean) / sd
+            }
+            Scaling::BoxCox { lambda } => {
+                let base = (1.0 + v.max(0.0)).max(1e-12);
+                if lambda.abs() < 1e-6 {
+                    base.ln()
+                } else {
+                    (base.powf(lambda) - 1.0) / lambda
+                }
+            }
+        }
+    }
+
+    /// Transforms a whole matrix (out of place).
+    pub fn transform(&self, x: &Matrix) -> Matrix {
+        let mut out = x.clone();
+        for r in 0..out.rows() {
+            let row = out.row_mut(r);
+            for (j, v) in row.iter_mut().enumerate() {
+                *v = self.apply(j, *v);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Matrix {
+        Matrix::from_vec(4, 2, vec![0.0, 10.0, 1.0, 20.0, 3.0, 40.0, 7.0, 30.0])
+    }
+
+    #[test]
+    fn ln1p_is_monotone_and_compresses() {
+        let s = Scaling::Ln1p.fit(&sample());
+        assert_eq!(s.apply(0, 0.0), 0.0);
+        assert!(s.apply(0, 10.0) > s.apply(0, 5.0));
+        // Compression: big values shrink far more than small ones.
+        assert!(s.apply(0, 1e6) < 15.0);
+    }
+
+    #[test]
+    fn minmax_maps_to_unit_interval() {
+        let x = sample();
+        let s = Scaling::MinMax.fit(&x);
+        let t = s.transform(&x);
+        for v in t.as_slice() {
+            assert!((0.0..=1.0).contains(v), "{v}");
+        }
+        assert_eq!(t.get(0, 0), 0.0); // column min
+        assert_eq!(t.get(3, 0), 1.0); // column max
+    }
+
+    #[test]
+    fn zscore_centers_columns() {
+        let x = sample();
+        let s = Scaling::ZScore.fit(&x);
+        let t = s.transform(&x);
+        for j in 0..2 {
+            let mean: f32 = (0..4).map(|r| t.get(r, j)).sum::<f32>() / 4.0;
+            assert!(mean.abs() < 1e-5, "col {j} mean {mean}");
+        }
+    }
+
+    #[test]
+    fn boxcox_lambda_zero_equals_ln1p() {
+        let s0 = Scaling::BoxCox { lambda: 0.0 }.fit(&sample());
+        let sl = Scaling::Ln1p.fit(&sample());
+        for v in [0.0f32, 1.0, 10.0, 500.0] {
+            assert!((s0.apply(0, v) - sl.apply(0, v)).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn boxcox_monotone_for_positive_lambda() {
+        let s = Scaling::BoxCox { lambda: 0.3 }.fit(&sample());
+        let mut prev = f32::NEG_INFINITY;
+        for v in [0.0f32, 0.5, 2.0, 9.0, 100.0] {
+            let t = s.apply(0, v);
+            assert!(t > prev);
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn constant_column_is_safe() {
+        let x = Matrix::from_vec(3, 1, vec![5.0; 3]);
+        for method in [Scaling::MinMax, Scaling::ZScore] {
+            let s = method.fit(&x);
+            let t = s.transform(&x);
+            assert!(t.as_slice().iter().all(|v| v.is_finite()), "{method:?}");
+        }
+    }
+
+    #[test]
+    fn identity_passthrough() {
+        let x = sample();
+        let s = Scaling::None.fit(&x);
+        assert_eq!(s.transform(&x).as_slice(), x.as_slice());
+    }
+}

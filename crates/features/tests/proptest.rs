@@ -1,0 +1,76 @@
+//! Property tests for the feature pipeline.
+
+use proptest::prelude::*;
+use trout_features::scaling::Scaling;
+use trout_features::{FeaturePipeline, SnapshotIndex};
+use trout_linalg::Matrix;
+use trout_slurmsim::SimulationBuilder;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The interval-tree snapshot must equal the naive full scan on traces
+    /// from arbitrary seeds — the load-bearing correctness property of the
+    /// whole feature pipeline.
+    #[test]
+    fn snapshots_match_naive_oracle(seed in 0u64..300) {
+        let trace = SimulationBuilder::anvil_like().jobs(500).seed(seed).run();
+        let preds: Vec<f64> = trace.records.iter().map(|r| r.timelimit_min as f64).collect();
+        let idx = SnapshotIndex::build(&trace, preds);
+        for i in (0..trace.records.len()).step_by(23) {
+            prop_assert_eq!(idx.snapshot(i), idx.snapshot_naive(i), "record {}", i);
+        }
+    }
+
+    #[test]
+    fn datasets_are_deterministic_and_finite(seed in 0u64..300) {
+        let trace = SimulationBuilder::anvil_like().jobs(400).seed(seed).run();
+        let a = FeaturePipeline::standard().build(&trace);
+        let b = FeaturePipeline::standard().build(&trace);
+        prop_assert_eq!(a.x.as_slice(), b.x.as_slice());
+        prop_assert!(a.x.as_slice().iter().all(|v| v.is_finite()));
+        prop_assert!(a.y_queue_min.iter().all(|v| v.is_finite() && *v >= 0.0));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn scalers_are_monotone_per_column(
+        col in prop::collection::vec(0.0f32..1e6, 3..40),
+        lambda in 0.05f32..1.0,
+    ) {
+        let n = col.len();
+        let x = Matrix::from_vec(n, 1, col.clone());
+        for scaling in [
+            Scaling::Ln1p,
+            Scaling::MinMax,
+            Scaling::ZScore,
+            Scaling::BoxCox { lambda },
+            Scaling::None,
+        ] {
+            let s = scaling.fit(&x);
+            let mut pairs: Vec<(f32, f32)> = col.iter().map(|&v| (v, s.apply(0, v))).collect();
+            pairs.sort_by(|a, b| a.0.total_cmp(&b.0));
+            for w in pairs.windows(2) {
+                prop_assert!(
+                    w[1].1 >= w[0].1 - 1e-6,
+                    "{:?} not monotone: {:?} -> {:?}", scaling, w[0], w[1]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scaled_values_are_always_finite(
+        col in prop::collection::vec(0.0f32..1e9, 2..20),
+    ) {
+        let x = Matrix::from_vec(col.len(), 1, col.clone());
+        for scaling in [Scaling::Ln1p, Scaling::MinMax, Scaling::ZScore] {
+            let s = scaling.fit(&x);
+            let t = s.transform(&x);
+            prop_assert!(t.as_slice().iter().all(|v| v.is_finite()), "{:?}", scaling);
+        }
+    }
+}

@@ -1,0 +1,208 @@
+use rayon::prelude::*;
+
+use crate::{Interval, IntervalTree};
+
+/// The paper's chunked interval-tree build: entries are sorted by start time,
+/// split into fixed-size chunks with a configurable overlap between adjacent
+/// chunks ("groupings of 100,000 jobs with an overlap of 10,000 jobs", §III),
+/// one tree is built per chunk — in parallel — and query results are merged
+/// back together with de-duplication of the entries shared by two chunks.
+///
+/// Chunking bounds per-tree build cost and lets the trees be constructed in
+/// parallel with rayon; the hull test below prunes whole chunks per query, so
+/// point-in-time snapshot queries over a long trace touch only a few chunks.
+#[derive(Debug, Clone)]
+pub struct ChunkedIntervalIndex<K, V> {
+    chunks: Vec<Chunk<K, V>>,
+    len: usize,
+}
+
+#[derive(Debug, Clone)]
+struct Chunk<K, V> {
+    /// Convex hull of every interval in the chunk; queries outside it skip
+    /// the chunk entirely.
+    hull: Interval<K>,
+    /// Entries with id below this were already owned by the previous chunk
+    /// (they sit in the shared overlap region) and are suppressed here, which
+    /// makes de-duplication O(1) per hit: ids are assigned in sorted order, so
+    /// a chunk's entries form a contiguous id range that intersects only the
+    /// adjacent chunks' ranges, and if a shared entry matches a query then the
+    /// previous chunk's hull matched too and already reported it.
+    id_floor: u64,
+    tree: IntervalTree<K, (u64, V)>,
+}
+
+impl<K: Copy + Ord + Send + Sync, V: Clone + Send + Sync> ChunkedIntervalIndex<K, V> {
+    /// Builds the index. `chunk_size` must be positive; `overlap` entries are
+    /// shared between adjacent chunks and de-duplicated at query time (ids are
+    /// assigned internally in sorted order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_size == 0` or `overlap >= chunk_size`.
+    pub fn build(mut entries: Vec<(Interval<K>, V)>, chunk_size: usize, overlap: usize) -> Self {
+        assert!(chunk_size > 0, "chunk_size must be positive");
+        assert!(overlap < chunk_size, "overlap must be smaller than chunk_size");
+        entries.sort_by_key(|e| e.0);
+        let len = entries.len();
+        let tagged: Vec<(Interval<K>, (u64, V))> = entries
+            .into_iter()
+            .enumerate()
+            .map(|(id, (iv, v))| (iv, (id as u64, v)))
+            .collect();
+
+        // Chunk start positions advance by (chunk_size - overlap) so each
+        // chunk re-includes the trailing `overlap` entries of its predecessor.
+        let stride = chunk_size - overlap;
+        let mut spans = Vec::new();
+        let mut lo = 0usize;
+        let mut prev_hi = 0usize;
+        while lo < tagged.len() {
+            let hi = (lo + chunk_size).min(tagged.len());
+            spans.push((lo, hi, prev_hi));
+            if hi == tagged.len() {
+                break;
+            }
+            prev_hi = hi;
+            lo += stride;
+        }
+
+        let chunks: Vec<Chunk<K, V>> = spans
+            .into_par_iter()
+            .map(|(lo, hi, id_floor)| {
+                let slice = &tagged[lo..hi];
+                let mut hull = slice[0].0;
+                for (iv, _) in slice {
+                    hull = hull.hull(iv);
+                }
+                Chunk { hull, id_floor: id_floor as u64, tree: IntervalTree::new(slice.to_vec()) }
+            })
+            .collect();
+
+        ChunkedIntervalIndex { chunks, len }
+    }
+
+    /// Total number of distinct entries indexed.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if no entries are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of chunk trees (entries shared by overlap are stored twice).
+    pub fn chunk_count(&self) -> usize {
+        self.chunks.len()
+    }
+
+    /// Calls `visit` exactly once per distinct entry overlapping `query`,
+    /// merging per-chunk results and skipping duplicates from the overlap.
+    pub fn for_each_overlap<F: FnMut(&Interval<K>, &V)>(&self, query: Interval<K>, mut visit: F) {
+        if query.is_empty() {
+            return;
+        }
+        for chunk in &self.chunks {
+            if !chunk.hull.overlaps(&query) {
+                continue;
+            }
+            chunk.tree.for_each_overlap(query, |iv, (id, v)| {
+                if *id >= chunk.id_floor {
+                    visit(iv, v);
+                }
+            });
+        }
+    }
+
+    /// Counts distinct entries overlapping `query`.
+    pub fn count_overlaps(&self, query: Interval<K>) -> usize {
+        let mut n = 0;
+        self.for_each_overlap(query, |_, _| n += 1);
+        n
+    }
+
+    /// Returns distinct entries containing `point`.
+    pub fn stab(&self, point: K) -> Vec<(Interval<K>, V)> {
+        let mut out = Vec::new();
+        for chunk in &self.chunks {
+            if !chunk.hull.contains(point) {
+                continue;
+            }
+            for (iv, (id, v)) in chunk.tree.stab(point) {
+                if *id >= chunk.id_floor {
+                    out.push((*iv, v.clone()));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NaiveIndex;
+
+    fn entries() -> Vec<(Interval<i64>, usize)> {
+        (0..200)
+            .map(|i| (Interval::new(i as i64 * 3, i as i64 * 3 + 17), i))
+            .collect()
+    }
+
+    #[test]
+    fn matches_naive_across_chunk_boundaries() {
+        let es = entries();
+        let idx = ChunkedIntervalIndex::build(es.clone(), 50, 10);
+        let naive = NaiveIndex::new(es);
+        assert!(idx.chunk_count() > 1);
+        for qs in (-10..620).step_by(7) {
+            let q = Interval::new(qs, qs + 5);
+            assert_eq!(idx.count_overlaps(q), naive.count_overlaps(q), "query {q:?}");
+        }
+    }
+
+    #[test]
+    fn wide_queries_spanning_many_chunks_deduplicate() {
+        let es = entries();
+        let idx = ChunkedIntervalIndex::build(es.clone(), 32, 8);
+        let naive = NaiveIndex::new(es);
+        let q = Interval::new(-100i64, 1_000);
+        assert_eq!(idx.count_overlaps(q), naive.count_overlaps(q));
+        assert_eq!(idx.count_overlaps(q), 200);
+    }
+
+    #[test]
+    fn stab_deduplicates_overlap_region() {
+        let es = entries();
+        let idx = ChunkedIntervalIndex::build(es.clone(), 50, 25);
+        let naive = NaiveIndex::new(es);
+        for p in (0..600).step_by(11) {
+            let mut got: Vec<usize> = idx.stab(p).into_iter().map(|(_, v)| v).collect();
+            let mut want: Vec<usize> = naive.stab(p).map(|(_, v)| *v).collect();
+            got.sort_unstable();
+            want.sort_unstable();
+            assert_eq!(got, want, "stab {p}");
+        }
+    }
+
+    #[test]
+    fn single_chunk_when_small() {
+        let idx = ChunkedIntervalIndex::build(entries(), 100_000, 10_000);
+        assert_eq!(idx.chunk_count(), 1);
+        assert_eq!(idx.len(), 200);
+    }
+
+    #[test]
+    fn empty_input() {
+        let idx: ChunkedIntervalIndex<i64, ()> = ChunkedIntervalIndex::build(vec![], 10, 2);
+        assert!(idx.is_empty());
+        assert_eq!(idx.count_overlaps(Interval::new(0, 100)), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "overlap must be smaller")]
+    fn rejects_overlap_ge_chunk() {
+        let _ = ChunkedIntervalIndex::build(entries(), 10, 10);
+    }
+}

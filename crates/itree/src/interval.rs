@@ -1,0 +1,121 @@
+/// A half-open interval `[start, end)` over an ordered key type.
+///
+/// Half-open semantics match how the simulator records job lifetimes: a job
+/// that starts exactly when another ends does not overlap it. Empty intervals
+/// (`start >= end`) are permitted and overlap nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Interval<K> {
+    /// Inclusive lower bound.
+    pub start: K,
+    /// Exclusive upper bound.
+    pub end: K,
+}
+
+impl<K: Copy + Ord> Interval<K> {
+    /// Creates a new interval. `start > end` is allowed and yields an empty
+    /// interval; no normalization is performed.
+    #[inline]
+    pub fn new(start: K, end: K) -> Self {
+        Interval { start, end }
+    }
+
+    /// Returns `true` if the interval contains no points.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.start >= self.end
+    }
+
+    /// Returns `true` if `point` lies in `[start, end)`.
+    #[inline]
+    pub fn contains(&self, point: K) -> bool {
+        self.start <= point && point < self.end
+    }
+
+    /// Returns `true` if the two half-open intervals share at least one point.
+    #[inline]
+    pub fn overlaps(&self, other: &Interval<K>) -> bool {
+        self.start < other.end && other.start < self.end && !self.is_empty() && !other.is_empty()
+    }
+
+    /// Returns the intersection of the two intervals, or `None` if disjoint.
+    #[inline]
+    pub fn intersection(&self, other: &Interval<K>) -> Option<Interval<K>> {
+        if self.overlaps(other) {
+            Some(Interval::new(self.start.max(other.start), self.end.min(other.end)))
+        } else {
+            None
+        }
+    }
+
+    /// Returns the smallest interval covering both inputs (the convex hull).
+    #[inline]
+    pub fn hull(&self, other: &Interval<K>) -> Interval<K> {
+        Interval::new(self.start.min(other.start), self.end.max(other.end))
+    }
+
+    /// A degenerate interval covering exactly one point, `[p, p+1)` cannot be
+    /// expressed generically, so stabbing queries use [`Interval::contains`]
+    /// instead; this helper builds the zero-width `[p, p)` marker used by the
+    /// chunked index to locate chunks.
+    #[inline]
+    pub fn point(p: K) -> Self {
+        Interval { start: p, end: p }
+    }
+}
+
+impl Interval<i64> {
+    /// Length of an integer-keyed interval (0 for empty intervals).
+    #[inline]
+    pub fn len(&self) -> i64 {
+        (self.end - self.start).max(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contains_is_half_open() {
+        let iv = Interval::new(2, 5);
+        assert!(!iv.contains(1));
+        assert!(iv.contains(2));
+        assert!(iv.contains(4));
+        assert!(!iv.contains(5));
+    }
+
+    #[test]
+    fn overlap_is_half_open() {
+        let a = Interval::new(0, 5);
+        assert!(a.overlaps(&Interval::new(4, 10)));
+        assert!(!a.overlaps(&Interval::new(5, 10)));
+        assert!(!Interval::new(5, 10).overlaps(&a));
+        assert!(a.overlaps(&Interval::new(-3, 1)));
+    }
+
+    #[test]
+    fn empty_intervals_never_overlap() {
+        let empty = Interval::new(3, 3);
+        assert!(empty.is_empty());
+        assert!(!empty.overlaps(&Interval::new(0, 10)));
+        assert!(!Interval::new(0, 10).overlaps(&empty));
+        let inverted = Interval::new(7, 2);
+        assert!(inverted.is_empty());
+        assert!(!inverted.overlaps(&Interval::new(0, 10)));
+    }
+
+    #[test]
+    fn intersection_and_hull() {
+        let a = Interval::new(0, 10);
+        let b = Interval::new(5, 15);
+        assert_eq!(a.intersection(&b), Some(Interval::new(5, 10)));
+        assert_eq!(a.hull(&b), Interval::new(0, 15));
+        assert_eq!(a.intersection(&Interval::new(10, 20)), None);
+    }
+
+    #[test]
+    fn integer_len() {
+        assert_eq!(Interval::new(3i64, 9).len(), 6);
+        assert_eq!(Interval::new(9i64, 3).len(), 0);
+    }
+}

@@ -1,0 +1,89 @@
+use crate::Interval;
+
+/// A linear-scan interval index: every query walks all entries.
+///
+/// This is the correctness oracle for [`crate::IntervalTree`] in the property
+/// tests and the baseline in the A6 "interval trees vs naive overlap
+/// computation" ablation the paper motivates in §V.
+#[derive(Debug, Clone, Default)]
+pub struct NaiveIndex<K, V> {
+    entries: Vec<(Interval<K>, V)>,
+}
+
+impl<K: Copy + Ord, V> NaiveIndex<K, V> {
+    /// Creates an index over the given entries.
+    pub fn new(entries: Vec<(Interval<K>, V)>) -> Self {
+        NaiveIndex { entries }
+    }
+
+    /// Number of stored entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if no entries are stored.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Appends an entry (the naive index, unlike the tree, is growable).
+    pub fn push(&mut self, interval: Interval<K>, value: V) {
+        self.entries.push((interval, value));
+    }
+
+    /// Calls `visit` for every entry overlapping `query` — O(n).
+    pub fn for_each_overlap<F: FnMut(&Interval<K>, &V)>(&self, query: Interval<K>, mut visit: F) {
+        for (iv, v) in &self.entries {
+            if iv.overlaps(&query) {
+                visit(iv, v);
+            }
+        }
+    }
+
+    /// Counts entries overlapping `query` — O(n).
+    pub fn count_overlaps(&self, query: Interval<K>) -> usize {
+        let mut n = 0;
+        self.for_each_overlap(query, |_, _| n += 1);
+        n
+    }
+
+    /// Returns entries containing `point` — O(n).
+    pub fn stab(&self, point: K) -> impl Iterator<Item = &(Interval<K>, V)> {
+        self.entries.iter().filter(move |(iv, _)| iv.contains(point))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_semantics_of_tree_on_small_case() {
+        let entries = vec![
+            (Interval::new(0i64, 10), 'a'),
+            (Interval::new(5, 15), 'b'),
+            (Interval::new(20, 30), 'c'),
+        ];
+        let naive = NaiveIndex::new(entries.clone());
+        let tree = crate::IntervalTree::new(entries);
+        for q in [
+            Interval::new(-5i64, 0),
+            Interval::new(0, 1),
+            Interval::new(9, 21),
+            Interval::new(30, 40),
+        ] {
+            assert_eq!(naive.count_overlaps(q), tree.count_overlaps(q), "query {q:?}");
+        }
+    }
+
+    #[test]
+    fn push_grows_index() {
+        let mut idx = NaiveIndex::default();
+        assert!(idx.is_empty());
+        idx.push(Interval::new(0i64, 2), ());
+        idx.push(Interval::new(1, 3), ());
+        assert_eq!(idx.len(), 2);
+        assert_eq!(idx.count_overlaps(Interval::new(1, 2)), 2);
+        assert_eq!(idx.stab(0).count(), 1);
+    }
+}

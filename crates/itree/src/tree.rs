@@ -1,0 +1,273 @@
+use crate::Interval;
+
+/// A static, array-backed augmented interval tree.
+///
+/// Entries are sorted by `(start, end)` and an implicit balanced binary tree is
+/// laid over the sorted array; each tree node (the midpoint of its slice)
+/// stores the maximum `end` in its subtree. Overlap queries descend the tree
+/// pruning any subtree whose maximum end does not reach the query start and
+/// any right subtree whose minimum start is past the query end, giving
+/// `O(log n + k)` for `k` hits.
+///
+/// The tree is immutable after construction — the feature pipeline builds it
+/// once per replay pass — which keeps the layout a pair of flat, cache-friendly
+/// vectors (see the Rust Performance Book's guidance on boxed slices and flat
+/// storage for hot data).
+#[derive(Debug, Clone)]
+pub struct IntervalTree<K, V> {
+    entries: Box<[(Interval<K>, V)]>,
+    /// `max_end[i]` = maximum `end` over the subtree rooted at sorted index `i`.
+    max_end: Box<[K]>,
+}
+
+impl<K: Copy + Ord, V> IntervalTree<K, V> {
+    /// Builds a tree from `(interval, payload)` pairs. Empty intervals are
+    /// kept (so payload counts stay faithful) but never reported by queries.
+    pub fn new(mut entries: Vec<(Interval<K>, V)>) -> Self {
+        entries.sort_by_key(|e| e.0);
+        let entries: Box<[(Interval<K>, V)]> = entries.into_boxed_slice();
+        let mut max_end: Vec<K> = entries.iter().map(|(iv, _)| iv.end).collect();
+        if !entries.is_empty() {
+            Self::build_max_end(&entries, &mut max_end, 0, entries.len());
+        }
+        IntervalTree { entries, max_end: max_end.into_boxed_slice() }
+    }
+
+    /// Computes subtree maxima over the slice `[lo, hi)` rooted at its midpoint.
+    fn build_max_end(entries: &[(Interval<K>, V)], max_end: &mut [K], lo: usize, hi: usize) -> K {
+        debug_assert!(lo < hi);
+        let mid = lo + (hi - lo) / 2;
+        let mut m = entries[mid].0.end;
+        if lo < mid {
+            m = m.max(Self::build_max_end(entries, max_end, lo, mid));
+        }
+        if mid + 1 < hi {
+            m = m.max(Self::build_max_end(entries, max_end, mid + 1, hi));
+        }
+        max_end[mid] = m;
+        m
+    }
+
+    /// Number of stored entries (including empty intervals).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if the tree stores no entries.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over all entries in `(start, end)` order.
+    pub fn iter(&self) -> impl Iterator<Item = &(Interval<K>, V)> {
+        self.entries.iter()
+    }
+
+    /// Calls `visit` for every stored interval overlapping `query`.
+    pub fn for_each_overlap<F: FnMut(&Interval<K>, &V)>(&self, query: Interval<K>, mut visit: F) {
+        if query.is_empty() || self.entries.is_empty() {
+            return;
+        }
+        self.visit_range(0, self.entries.len(), &query, &mut visit);
+    }
+
+    fn visit_range<F: FnMut(&Interval<K>, &V)>(
+        &self,
+        lo: usize,
+        hi: usize,
+        query: &Interval<K>,
+        visit: &mut F,
+    ) {
+        if lo >= hi || self.max_end[lo + (hi - lo) / 2] <= query.start {
+            // Subtree max end cannot reach the query: nothing here overlaps.
+            return;
+        }
+        let mid = lo + (hi - lo) / 2;
+        self.visit_range(lo, mid, query, visit);
+        let (iv, v) = &self.entries[mid];
+        if iv.start >= query.end {
+            // Sorted by start: the midpoint and everything right of it starts
+            // at or after the query end, so only the left subtree can match.
+            return;
+        }
+        if iv.overlaps(query) {
+            visit(iv, v);
+        }
+        self.visit_range(mid + 1, hi, query, visit);
+    }
+
+    /// Returns an iterator over entries overlapping `query` (collects hits
+    /// eagerly; use [`IntervalTree::for_each_overlap`] on hot paths).
+    pub fn overlaps(&self, query: Interval<K>) -> impl Iterator<Item = &(Interval<K>, V)> {
+        let mut hits = Vec::new();
+        if !query.is_empty() && !self.entries.is_empty() {
+            self.collect_range(0, self.entries.len(), &query, &mut hits);
+        }
+        hits.into_iter()
+    }
+
+    fn collect_range<'a>(
+        &'a self,
+        lo: usize,
+        hi: usize,
+        query: &Interval<K>,
+        out: &mut Vec<&'a (Interval<K>, V)>,
+    ) {
+        if lo >= hi || self.max_end[lo + (hi - lo) / 2] <= query.start {
+            return;
+        }
+        let mid = lo + (hi - lo) / 2;
+        self.collect_range(lo, mid, query, out);
+        let entry = &self.entries[mid];
+        if entry.0.start >= query.end {
+            return;
+        }
+        if entry.0.overlaps(query) {
+            out.push(entry);
+        }
+        self.collect_range(mid + 1, hi, query, out);
+    }
+
+    /// Returns entries whose interval contains `point`.
+    pub fn stab(&self, point: K) -> impl Iterator<Item = &(Interval<K>, V)> {
+        let mut hits = Vec::new();
+        if !self.entries.is_empty() {
+            self.stab_range(0, self.entries.len(), point, &mut hits);
+        }
+        hits.into_iter()
+    }
+
+    fn stab_range<'a>(
+        &'a self,
+        lo: usize,
+        hi: usize,
+        point: K,
+        out: &mut Vec<&'a (Interval<K>, V)>,
+    ) {
+        if lo >= hi || self.max_end[lo + (hi - lo) / 2] <= point {
+            return;
+        }
+        let mid = lo + (hi - lo) / 2;
+        self.stab_range(lo, mid, point, out);
+        let entry = &self.entries[mid];
+        if entry.0.start > point {
+            return;
+        }
+        if entry.0.contains(point) {
+            out.push(entry);
+        }
+        self.stab_range(mid + 1, hi, point, out);
+    }
+
+    /// Counts entries overlapping `query` without materializing them.
+    pub fn count_overlaps(&self, query: Interval<K>) -> usize {
+        let mut n = 0usize;
+        self.for_each_overlap(query, |_, _| n += 1);
+        n
+    }
+
+    /// Folds an accumulator over the payloads of all entries overlapping
+    /// `query`. This is the workhorse of the feature pipeline: e.g. summing
+    /// requested CPUs over every job pending at an eligibility instant.
+    pub fn fold_overlap<A, F: FnMut(A, &Interval<K>, &V) -> A>(
+        &self,
+        query: Interval<K>,
+        init: A,
+        mut f: F,
+    ) -> A {
+        let mut acc = Some(init);
+        self.for_each_overlap(query, |iv, v| {
+            let a = acc.take().expect("fold accumulator present");
+            acc = Some(f(a, iv, v));
+        });
+        acc.expect("fold accumulator present")
+    }
+}
+
+impl<K: Copy + Ord, V> FromIterator<(Interval<K>, V)> for IntervalTree<K, V> {
+    fn from_iter<I: IntoIterator<Item = (Interval<K>, V)>>(iter: I) -> Self {
+        IntervalTree::new(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::type_complexity)]
+mod tests {
+    use super::*;
+
+    fn sample() -> IntervalTree<i64, usize> {
+        IntervalTree::new(vec![
+            (Interval::new(0, 10), 0),
+            (Interval::new(5, 15), 1),
+            (Interval::new(20, 30), 2),
+            (Interval::new(25, 26), 3),
+            (Interval::new(-5, 100), 4),
+            (Interval::new(7, 7), 5), // empty: stored but never reported
+        ])
+    }
+
+    fn ids(hits: Vec<&(Interval<i64>, usize)>) -> Vec<usize> {
+        let mut v: Vec<usize> = hits.into_iter().map(|(_, id)| *id).collect();
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn stab_finds_all_containing() {
+        let t = sample();
+        assert_eq!(ids(t.stab(7).collect()), vec![0, 1, 4]);
+        assert_eq!(ids(t.stab(25).collect()), vec![2, 3, 4]);
+        assert_eq!(ids(t.stab(-10).collect()), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn overlap_query() {
+        let t = sample();
+        assert_eq!(ids(t.overlaps(Interval::new(12, 22)).collect()), vec![1, 2, 4]);
+        assert_eq!(t.count_overlaps(Interval::new(12, 22)), 3);
+        assert_eq!(t.count_overlaps(Interval::new(200, 300)), 0);
+    }
+
+    #[test]
+    fn empty_query_matches_nothing() {
+        let t = sample();
+        assert_eq!(t.count_overlaps(Interval::new(5, 5)), 0);
+        assert_eq!(t.count_overlaps(Interval::new(9, 3)), 0);
+    }
+
+    #[test]
+    fn empty_tree() {
+        let t: IntervalTree<i64, ()> = IntervalTree::new(vec![]);
+        assert!(t.is_empty());
+        assert_eq!(t.count_overlaps(Interval::new(0, 10)), 0);
+        assert_eq!(t.stab(0).count(), 0);
+    }
+
+    #[test]
+    fn fold_sums_payloads() {
+        let t = sample();
+        let total: usize = t.fold_overlap(Interval::new(0, 50), 0, |acc, _, v| acc + v);
+        // ids 0,1,2,3,4 overlap; 5 is empty.
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn single_entry() {
+        let t = IntervalTree::new(vec![(Interval::new(3i64, 4), 9usize)]);
+        assert_eq!(t.count_overlaps(Interval::new(0, 10)), 1);
+        assert_eq!(t.count_overlaps(Interval::new(4, 10)), 0);
+        assert_eq!(ids(t.stab(3).collect()), vec![9]);
+    }
+
+    #[test]
+    fn duplicates_are_all_reported() {
+        let t = IntervalTree::new(vec![
+            (Interval::new(0i64, 5), 1usize),
+            (Interval::new(0, 5), 2),
+            (Interval::new(0, 5), 3),
+        ]);
+        assert_eq!(t.count_overlaps(Interval::new(1, 2)), 3);
+    }
+}

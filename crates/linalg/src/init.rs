@@ -1,0 +1,55 @@
+//! Weight initialization schemes.
+
+use crate::{Matrix, SplitMix64};
+
+/// Xavier/Glorot uniform initialization: `U(-a, a)` with
+/// `a = sqrt(6 / (fan_in + fan_out))`. Appropriate for symmetric activations
+/// (tanh, and a reasonable default for ELU, which the paper uses).
+pub fn xavier_uniform(fan_in: usize, fan_out: usize, rng: &mut SplitMix64) -> Matrix {
+    let a = (6.0 / (fan_in + fan_out) as f64).sqrt() as f32;
+    Matrix::from_fn(fan_in, fan_out, |_, _| rng.uniform(-a, a))
+}
+
+/// He/Kaiming normal initialization: `N(0, sqrt(2 / fan_in))`, the standard
+/// choice for ReLU-family activations.
+pub fn he_normal(fan_in: usize, fan_out: usize, rng: &mut SplitMix64) -> Matrix {
+    let std = (2.0 / fan_in.max(1) as f64).sqrt();
+    Matrix::from_fn(fan_in, fan_out, |_, _| (rng.normal() * std) as f32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xavier_bounds() {
+        let mut rng = SplitMix64::new(1);
+        let w = xavier_uniform(64, 32, &mut rng);
+        let a = (6.0f64 / 96.0).sqrt() as f32;
+        assert!(w.as_slice().iter().all(|v| v.abs() <= a));
+        // Not degenerate.
+        assert!(w.as_slice().iter().any(|&v| v != 0.0));
+    }
+
+    #[test]
+    fn he_variance_close_to_target() {
+        let mut rng = SplitMix64::new(2);
+        let fan_in = 128;
+        let w = he_normal(fan_in, 256, &mut rng);
+        let var = trout_linalg_test_variance(w.as_slice());
+        let target = 2.0 / fan_in as f32;
+        assert!((var - target).abs() < target * 0.15, "var {var} target {target}");
+    }
+
+    fn trout_linalg_test_variance(a: &[f32]) -> f32 {
+        let m: f32 = a.iter().sum::<f32>() / a.len() as f32;
+        a.iter().map(|&x| (x - m) * (x - m)).sum::<f32>() / a.len() as f32
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut r1 = SplitMix64::new(9);
+        let mut r2 = SplitMix64::new(9);
+        assert_eq!(xavier_uniform(8, 8, &mut r1), xavier_uniform(8, 8, &mut r2));
+    }
+}

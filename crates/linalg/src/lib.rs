@@ -1,0 +1,23 @@
+//! Dense linear-algebra kernels backing TROUT's from-scratch ML stack.
+//!
+//! The paper trains two small feed-forward networks (a quick-start classifier
+//! and a queue-time regressor) with PyTorch; this crate supplies the minimal
+//! substrate needed to do the same in pure Rust:
+//!
+//! * [`Matrix`] — a row-major `f32` matrix with (rayon-)parallel matrix
+//!   multiplication and the transpose-fused products backpropagation needs.
+//! * [`ops`] — slice-level vector kernels (dot, axpy, hadamard, …).
+//! * [`SplitMix64`] — a tiny, fully deterministic RNG so every experiment in
+//!   the benchmark harness is reproducible bit-for-bit from a seed.
+//! * [`init`] — Xavier/He weight initialization.
+//!
+//! Layouts are deliberately flat (`Vec<f32>` + index arithmetic) per the Rust
+//! Performance Book's guidance for hot numeric data.
+
+pub mod init;
+mod matrix;
+pub mod ops;
+mod rng;
+
+pub use matrix::Matrix;
+pub use rng::SplitMix64;

@@ -1,0 +1,364 @@
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Row-major dense `f32` matrix.
+///
+/// Storage is a single flat `Vec<f32>` (row `r` occupies
+/// `data[r*cols .. (r+1)*cols]`). All products below iterate in row-major
+/// order with an `ikj` loop nest so the inner loop streams contiguously, and
+/// parallelize over output rows with rayon once the work is large enough to
+/// amortize the fork/join.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+/// Below this many multiply-adds the parallel paths fall back to serial —
+/// forking rayon tasks for tiny layers costs more than the math.
+const PAR_THRESHOLD: usize = 64 * 1024;
+
+impl Matrix {
+    /// A `rows x cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Builds from a flat row-major buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), rows * cols, "buffer length mismatch");
+        Matrix { rows, cols, data }
+    }
+
+    /// Builds element-wise from a function of `(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Immutable view of the flat row-major buffer.
+    #[inline]
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the flat row-major buffer.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Element mutator.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Row `r` as a contiguous slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Row `r` as a mutable contiguous slice.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Iterates over rows as slices.
+    pub fn rows_iter(&self) -> impl Iterator<Item = &[f32]> {
+        self.data.chunks_exact(self.cols.max(1))
+    }
+
+    /// The transpose (materialized).
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[c * self.rows + r] = self.data[r * self.cols + c];
+            }
+        }
+        out
+    }
+
+    /// `self * other` — parallel over output rows for large products.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inner-dimension mismatch.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.rows, "matmul dimension mismatch");
+        let (m, k, n) = (self.rows, self.cols, other.cols);
+        let mut out = Matrix::zeros(m, n);
+        let body = |(r, out_row): (usize, &mut [f32])| {
+            let a_row = &self.data[r * k..(r + 1) * k];
+            for (kk, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = &other.data[kk * n..(kk + 1) * n];
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        };
+        if m * k * n >= PAR_THRESHOLD && n > 0 {
+            out.data.par_chunks_exact_mut(n).enumerate().for_each(body);
+        } else if n > 0 {
+            out.data.chunks_exact_mut(n).enumerate().for_each(body);
+        }
+        out
+    }
+
+    /// `self * otherᵀ` without materializing the transpose. For backprop:
+    /// `dX = dY * Wᵀ` with `W` stored `[in, out]`.
+    pub fn matmul_bt(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.cols, "matmul_bt dimension mismatch");
+        let (m, k, n) = (self.rows, self.cols, other.rows);
+        let mut out = Matrix::zeros(m, n);
+        let body = |(r, out_row): (usize, &mut [f32])| {
+            let a_row = &self.data[r * k..(r + 1) * k];
+            for (c, o) in out_row.iter_mut().enumerate() {
+                let b_row = &other.data[c * k..(c + 1) * k];
+                *o = crate::ops::dot(a_row, b_row);
+            }
+        };
+        if m * k * n >= PAR_THRESHOLD && n > 0 {
+            out.data.par_chunks_exact_mut(n).enumerate().for_each(body);
+        } else if n > 0 {
+            out.data.chunks_exact_mut(n).enumerate().for_each(body);
+        }
+        out
+    }
+
+    /// `selfᵀ * other` without materializing the transpose. For backprop:
+    /// `dW = Xᵀ * dY`.
+    pub fn matmul_at(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.rows, other.rows, "matmul_at dimension mismatch");
+        let (k, m, n) = (self.rows, self.cols, other.cols);
+        let mut out = Matrix::zeros(m, n);
+        // Serial accumulation over the shared dimension keeps this cache
+        // friendly; parallelizing would need per-thread accumulators. The
+        // matrices here are [batch x features] — m and n are small (layer
+        // widths), so the serial loop is fine.
+        for kk in 0..k {
+            let a_row = &self.data[kk * m..(kk + 1) * m];
+            let b_row = &other.data[kk * n..(kk + 1) * n];
+            for (c, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let out_row = &mut out.data[c * n..(c + 1) * n];
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `self + other` element-wise, in place.
+    pub fn add_assign(&mut self, other: &Matrix) {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// Adds `row` (a 1 x cols vector) to every row — bias broadcast.
+    pub fn add_row_broadcast(&mut self, row: &[f32]) {
+        assert_eq!(row.len(), self.cols, "broadcast width mismatch");
+        for r in self.data.chunks_exact_mut(self.cols) {
+            for (a, b) in r.iter_mut().zip(row) {
+                *a += b;
+            }
+        }
+    }
+
+    /// Multiplies every element by `s`.
+    pub fn scale(&mut self, s: f32) {
+        for a in &mut self.data {
+            *a *= s;
+        }
+    }
+
+    /// Sums each column into a `cols`-length vector (used for bias gradients).
+    pub fn col_sums(&self) -> Vec<f32> {
+        let mut out = vec![0.0f32; self.cols];
+        for r in self.data.chunks_exact(self.cols.max(1)) {
+            for (o, &v) in out.iter_mut().zip(r) {
+                *o += v;
+            }
+        }
+        out
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f32 {
+        self.data.iter().map(|v| v * v).sum::<f32>().sqrt()
+    }
+
+    /// Extracts the sub-matrix made of the given rows, in order.
+    pub fn select_rows(&self, indices: &[usize]) -> Matrix {
+        let mut out = Matrix::zeros(indices.len(), self.cols);
+        for (i, &r) in indices.iter().enumerate() {
+            out.row_mut(i).copy_from_slice(self.row(r));
+        }
+        out
+    }
+
+    /// Extracts the sub-matrix made of the given columns, in order.
+    pub fn select_cols(&self, indices: &[usize]) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, indices.len());
+        for r in 0..self.rows {
+            let src = self.row(r);
+            for (j, &c) in indices.iter().enumerate() {
+                out.set(r, j, src[c]);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(rows: usize, cols: usize, v: &[f32]) -> Matrix {
+        Matrix::from_vec(rows, cols, v.to_vec())
+    }
+
+    #[test]
+    fn matmul_small() {
+        let a = m(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = m(3, 2, &[7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = a.matmul(&b);
+        assert_eq!(c.as_slice(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = m(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        let i = Matrix::from_fn(2, 2, |r, c| if r == c { 1.0 } else { 0.0 });
+        assert_eq!(a.matmul(&i), a);
+        assert_eq!(i.matmul(&a), a);
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let a = m(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(a.transpose().transpose(), a);
+        assert_eq!(a.transpose().get(2, 1), 6.0);
+    }
+
+    #[test]
+    fn matmul_bt_matches_explicit_transpose() {
+        let a = m(2, 3, &[1.0, -2.0, 3.0, 0.5, 5.0, -6.0]);
+        let b = m(4, 3, &[1.0, 0.0, 2.0, -1.0, 3.0, 1.0, 0.0, 0.0, 1.0, 2.0, 2.0, 2.0]);
+        assert_eq!(a.matmul_bt(&b), a.matmul(&b.transpose()));
+    }
+
+    #[test]
+    fn matmul_at_matches_explicit_transpose() {
+        let a = m(4, 2, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]);
+        let b = m(4, 3, &[1.0, 0.0, 2.0, -1.0, 3.0, 1.0, 0.0, 0.0, 1.0, 2.0, 2.0, 2.0]);
+        assert_eq!(a.matmul_at(&b), a.transpose().matmul(&b));
+    }
+
+    #[test]
+    fn parallel_path_matches_serial() {
+        // Large enough to cross PAR_THRESHOLD.
+        let n = 80;
+        let a = Matrix::from_fn(n, n, |r, c| ((r * 31 + c * 7) % 13) as f32 - 6.0);
+        let b = Matrix::from_fn(n, n, |r, c| ((r * 17 + c * 5) % 11) as f32 - 5.0);
+        let fast = a.matmul(&b);
+        // Reference: naive triple loop.
+        let mut want = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                let mut s = 0.0;
+                for k in 0..n {
+                    s += a.get(i, k) * b.get(k, j);
+                }
+                want.set(i, j, s);
+            }
+        }
+        for (x, y) in fast.as_slice().iter().zip(want.as_slice()) {
+            assert!((x - y).abs() <= 1e-3, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn broadcast_and_col_sums() {
+        let mut a = m(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        a.add_row_broadcast(&[10.0, 20.0, 30.0]);
+        assert_eq!(a.as_slice(), &[11.0, 22.0, 33.0, 14.0, 25.0, 36.0]);
+        assert_eq!(a.col_sums(), vec![25.0, 47.0, 69.0]);
+    }
+
+    #[test]
+    fn select_rows_orders_output() {
+        let a = m(3, 2, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let s = a.select_rows(&[2, 0]);
+        assert_eq!(s.as_slice(), &[5.0, 6.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn select_cols_orders_output() {
+        let a = m(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let s = a.select_cols(&[2, 0]);
+        assert_eq!(s.as_slice(), &[3.0, 1.0, 6.0, 4.0]);
+        let empty = a.select_cols(&[]);
+        assert_eq!((empty.rows(), empty.cols()), (2, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn matmul_rejects_bad_dims() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn zero_sized_edges() {
+        let a = Matrix::zeros(0, 3);
+        let b = Matrix::zeros(3, 0);
+        let c = a.matmul(&b);
+        assert_eq!((c.rows(), c.cols()), (0, 0));
+        let d = Matrix::zeros(2, 0).matmul(&Matrix::zeros(0, 4));
+        assert_eq!((d.rows(), d.cols()), (2, 4));
+        assert!(d.as_slice().iter().all(|&v| v == 0.0));
+    }
+}

@@ -1,0 +1,174 @@
+//! Slice-level vector kernels.
+//!
+//! These are the scalar building blocks used by the matrix products, the
+//! optimizers and the metric computations. They are written as simple
+//! iterator chains the compiler auto-vectorizes; the 4-way unrolled [`dot`]
+//! is the one hand-tuned kernel because it dominates `matmul_bt`.
+
+/// Dot product, 4-way unrolled to expose independent accumulator chains.
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = [0.0f32; 4];
+    let chunks = a.len() / 4;
+    for i in 0..chunks {
+        let j = i * 4;
+        acc[0] += a[j] * b[j];
+        acc[1] += a[j + 1] * b[j + 1];
+        acc[2] += a[j + 2] * b[j + 2];
+        acc[3] += a[j + 3] * b[j + 3];
+    }
+    let mut s = acc[0] + acc[1] + acc[2] + acc[3];
+    for i in chunks * 4..a.len() {
+        s += a[i] * b[i];
+    }
+    s
+}
+
+/// `y += alpha * x`.
+#[inline]
+pub fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
+    debug_assert_eq!(x.len(), y.len());
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// Element-wise product `out[i] = a[i] * b[i]`.
+#[inline]
+pub fn hadamard(a: &[f32], b: &[f32], out: &mut [f32]) {
+    debug_assert!(a.len() == b.len() && b.len() == out.len());
+    for ((o, &x), &y) in out.iter_mut().zip(a).zip(b) {
+        *o = x * y;
+    }
+}
+
+/// Sum of elements.
+#[inline]
+pub fn sum(a: &[f32]) -> f32 {
+    a.iter().sum()
+}
+
+/// Arithmetic mean (0 for an empty slice).
+#[inline]
+pub fn mean(a: &[f32]) -> f32 {
+    if a.is_empty() {
+        0.0
+    } else {
+        sum(a) / a.len() as f32
+    }
+}
+
+/// Population variance (0 for an empty slice).
+pub fn variance(a: &[f32]) -> f32 {
+    if a.is_empty() {
+        return 0.0;
+    }
+    let m = mean(a);
+    a.iter().map(|&x| (x - m) * (x - m)).sum::<f32>() / a.len() as f32
+}
+
+/// Euclidean norm.
+#[inline]
+pub fn norm2(a: &[f32]) -> f32 {
+    dot(a, a).sqrt()
+}
+
+/// Squared Euclidean distance between two points.
+#[inline]
+pub fn dist2(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut s = 0.0;
+    for (&x, &y) in a.iter().zip(b) {
+        let d = x - y;
+        s += d * d;
+    }
+    s
+}
+
+/// Index and value of the maximum element; `None` on empty input. NaNs lose
+/// all comparisons and are never selected unless every element is NaN, in
+/// which case the first index is returned.
+pub fn argmax(a: &[f32]) -> Option<(usize, f32)> {
+    if a.is_empty() {
+        return None;
+    }
+    let mut best = (0usize, a[0]);
+    for (i, &v) in a.iter().enumerate().skip(1) {
+        if v > best.1 || best.1.is_nan() {
+            best = (i, v);
+        }
+    }
+    Some(best)
+}
+
+/// Numerically stable logistic sigmoid.
+#[inline]
+pub fn sigmoid(x: f32) -> f32 {
+    if x >= 0.0 {
+        let e = (-x).exp();
+        1.0 / (1.0 + e)
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_matches_naive_on_all_remainders() {
+        for n in 0..10 {
+            let a: Vec<f32> = (0..n).map(|i| i as f32 + 0.5).collect();
+            let b: Vec<f32> = (0..n).map(|i| (i as f32) * 2.0 - 3.0).collect();
+            let want: f32 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+            assert!((dot(&a, &b) - want).abs() < 1e-5, "n={n}");
+        }
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let x = [1.0, 2.0, 3.0];
+        let mut y = [10.0, 10.0, 10.0];
+        axpy(0.5, &x, &mut y);
+        assert_eq!(y, [10.5, 11.0, 11.5]);
+    }
+
+    #[test]
+    fn stats() {
+        let a = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&a) - 5.0).abs() < 1e-6);
+        assert!((variance(&a) - 4.0).abs() < 1e-6);
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[]), 0.0);
+    }
+
+    #[test]
+    fn argmax_picks_first_of_ties() {
+        assert_eq!(argmax(&[1.0, 3.0, 3.0, 2.0]), Some((1, 3.0)));
+        assert_eq!(argmax(&[]), None);
+    }
+
+    #[test]
+    fn argmax_skips_nan() {
+        let (i, _) = argmax(&[f32::NAN, 2.0, 1.0]).unwrap();
+        assert_eq!(i, 1);
+    }
+
+    #[test]
+    fn sigmoid_stable_at_extremes() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-6);
+        assert!(sigmoid(100.0) > 0.999_999);
+        assert!(sigmoid(-100.0) < 1e-6);
+        assert!(sigmoid(-1000.0).is_finite());
+        assert!(sigmoid(1000.0).is_finite());
+    }
+
+    #[test]
+    fn distances() {
+        assert_eq!(dist2(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
+        assert_eq!(norm2(&[3.0, 4.0]), 5.0);
+    }
+}

@@ -1,0 +1,88 @@
+//! Property tests for the linear-algebra kernels.
+
+use proptest::prelude::*;
+use trout_linalg::{ops, Matrix, SplitMix64};
+
+fn arb_matrix(max_dim: usize) -> impl Strategy<Value = Matrix> {
+    (1..max_dim, 1..max_dim).prop_flat_map(|(r, c)| {
+        prop::collection::vec(-100.0f32..100.0, r * c)
+            .prop_map(move |data| Matrix::from_vec(r, c, data))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn matmul_is_associative_with_identity(a in arb_matrix(8)) {
+        let id = Matrix::from_fn(a.cols(), a.cols(), |r, c| f32::from(r == c));
+        let prod = a.matmul(&id);
+        prop_assert_eq!(prod.as_slice(), a.as_slice());
+    }
+
+    #[test]
+    fn transpose_is_involutive(a in arb_matrix(10)) {
+        let round_trip = a.transpose().transpose();
+        prop_assert_eq!(round_trip.as_slice(), a.as_slice());
+    }
+
+    #[test]
+    fn fused_transpose_products_match_explicit(
+        a in arb_matrix(7),
+        seed in 0u64..1_000,
+    ) {
+        let mut rng = SplitMix64::new(seed);
+        // Shapes: a is (m x k); b must be (n x k) for matmul_bt.
+        let n = 1 + (seed % 6) as usize;
+        let b = Matrix::from_fn(n, a.cols(), |_, _| rng.uniform(-10.0, 10.0));
+        let fused = a.matmul_bt(&b);
+        let explicit = a.matmul(&b.transpose());
+        for (x, y) in fused.as_slice().iter().zip(explicit.as_slice()) {
+            prop_assert!((x - y).abs() <= 1e-3 * (1.0 + y.abs()));
+        }
+    }
+
+    #[test]
+    fn dot_is_commutative_and_bilinear(
+        v in prop::collection::vec(-50.0f32..50.0, 1..64),
+        alpha in -4.0f32..4.0,
+    ) {
+        let w: Vec<f32> = v.iter().rev().cloned().collect();
+        let ab = ops::dot(&v, &w);
+        let ba = ops::dot(&w, &v);
+        prop_assert!((ab - ba).abs() < 1e-3 * (1.0 + ab.abs()));
+
+        let scaled: Vec<f32> = v.iter().map(|x| x * alpha).collect();
+        let lhs = ops::dot(&scaled, &w);
+        prop_assert!((lhs - alpha * ab).abs() < 2e-2 * (1.0 + (alpha * ab).abs()),
+            "{} vs {}", lhs, alpha * ab);
+    }
+
+    #[test]
+    fn col_sums_match_manual(a in arb_matrix(9)) {
+        let sums = a.col_sums();
+        for (j, &s) in sums.iter().enumerate() {
+            let manual: f32 = (0..a.rows()).map(|r| a.get(r, j)).sum();
+            prop_assert!((s - manual).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn rng_next_below_is_in_range(seed in 0u64..10_000, bound in 1u64..1_000_000) {
+        let mut rng = SplitMix64::new(seed);
+        for _ in 0..32 {
+            prop_assert!(rng.next_below(bound) < bound);
+        }
+    }
+
+    #[test]
+    fn sample_indices_are_distinct(seed in 0u64..10_000, n in 1usize..200) {
+        let mut rng = SplitMix64::new(seed);
+        let k = (seed as usize % n) + 1;
+        prop_assume!(k <= n);
+        let mut s = rng.sample_indices(n, k);
+        s.sort_unstable();
+        s.dedup();
+        prop_assert_eq!(s.len(), k);
+    }
+}

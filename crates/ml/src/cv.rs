@@ -1,0 +1,182 @@
+//! Cross-validation splitters.
+//!
+//! The paper uses *time-series cross-validation* — five expanding-window
+//! folds with a test size of one sixth of the dataset (§III, Fig. 3) — after
+//! discovering that a shuffled split leaks information through user
+//! campaigns (back-to-back near-identical jobs land in both train and test,
+//! "which doubled the performance of the model"). Both splitters live here
+//! so ablation A2 can reproduce that comparison.
+
+use trout_linalg::SplitMix64;
+
+/// One fold: indices are row positions into the (time-ordered) dataset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fold {
+    /// Training row indices.
+    pub train: Vec<usize>,
+    /// Test row indices.
+    pub test: Vec<usize>,
+}
+
+/// Expanding-window time-series splitter (sklearn's `TimeSeriesSplit`
+/// semantics): fold `i` trains on everything before its test window and
+/// tests on the next `test_size` rows; the final fold's test window ends at
+/// the last row.
+#[derive(Debug, Clone)]
+pub struct TimeSeriesSplit {
+    /// Number of folds.
+    pub n_splits: usize,
+    /// Test rows per fold; `None` means `n / (n_splits + 1)`.
+    pub test_size: Option<usize>,
+}
+
+impl TimeSeriesSplit {
+    /// The paper's configuration: 5 splits, test size one sixth of the data.
+    pub fn paper(n: usize) -> TimeSeriesSplit {
+        TimeSeriesSplit { n_splits: 5, test_size: Some(n / 6) }
+    }
+
+    /// Generates the folds for a dataset of `n` rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration leaves fold 1 with an empty train set.
+    pub fn split(&self, n: usize) -> Vec<Fold> {
+        assert!(self.n_splits >= 1, "need at least one split");
+        let test_size = self.test_size.unwrap_or(n / (self.n_splits + 1)).max(1);
+        assert!(
+            n > self.n_splits * test_size,
+            "dataset of {n} rows too small for {} folds of {test_size}",
+            self.n_splits
+        );
+        let mut folds = Vec::with_capacity(self.n_splits);
+        for i in 0..self.n_splits {
+            // Fold test windows tile the tail of the dataset; the last fold
+            // ends exactly at n.
+            let test_end = n - (self.n_splits - 1 - i) * test_size;
+            let test_start = test_end - test_size;
+            folds.push(Fold {
+                train: (0..test_start).collect(),
+                test: (test_start..test_end).collect(),
+            });
+        }
+        folds
+    }
+}
+
+/// The deliberately leaky splitter: shuffles all rows, then k-fold-partitions
+/// them. On campaign-heavy HPC traces this puts near-duplicate jobs on both
+/// sides of the split and inflates apparent accuracy (ablation A2).
+#[derive(Debug, Clone)]
+pub struct ShuffledKFold {
+    /// Number of folds.
+    pub n_splits: usize,
+    /// Shuffle seed.
+    pub seed: u64,
+}
+
+impl ShuffledKFold {
+    /// Generates the folds for a dataset of `n` rows.
+    pub fn split(&self, n: usize) -> Vec<Fold> {
+        assert!(self.n_splits >= 2, "k-fold needs k >= 2");
+        assert!(n >= self.n_splits, "not enough rows");
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut rng = SplitMix64::new(self.seed);
+        rng.shuffle(&mut order);
+        let mut folds = Vec::with_capacity(self.n_splits);
+        let base = n / self.n_splits;
+        let rem = n % self.n_splits;
+        let mut at = 0usize;
+        for i in 0..self.n_splits {
+            let size = base + usize::from(i < rem);
+            let test: Vec<usize> = order[at..at + size].to_vec();
+            let train: Vec<usize> =
+                order[..at].iter().chain(order[at + size..].iter()).copied().collect();
+            folds.push(Fold { train, test });
+            at += size;
+        }
+        folds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_split_shape() {
+        let folds = TimeSeriesSplit::paper(600).split(600);
+        assert_eq!(folds.len(), 5);
+        for f in &folds {
+            assert_eq!(f.test.len(), 100);
+        }
+        // Final fold tests on the last 100 rows.
+        assert_eq!(*folds[4].test.last().unwrap(), 599);
+        // Expanding train windows.
+        assert_eq!(folds[0].train.len(), 100);
+        assert_eq!(folds[4].train.len(), 500);
+    }
+
+    #[test]
+    fn no_future_leakage() {
+        for f in TimeSeriesSplit::paper(307).split(307) {
+            let max_train = *f.train.iter().max().unwrap();
+            let min_test = *f.test.iter().min().unwrap();
+            assert!(max_train < min_test, "train must entirely precede test");
+        }
+    }
+
+    #[test]
+    fn folds_cover_tail_without_overlap() {
+        let folds = TimeSeriesSplit::paper(600).split(600);
+        let mut seen = vec![false; 600];
+        for f in &folds {
+            for &i in &f.test {
+                assert!(!seen[i], "test windows overlap at {i}");
+                seen[i] = true;
+            }
+        }
+        assert_eq!(seen.iter().filter(|&&s| s).count(), 500);
+    }
+
+    #[test]
+    fn default_test_size() {
+        let folds = TimeSeriesSplit { n_splits: 3, test_size: None }.split(40);
+        assert_eq!(folds.len(), 3);
+        assert!(folds.iter().all(|f| f.test.len() == 10));
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn rejects_undersized_dataset() {
+        let _ = TimeSeriesSplit::paper(5).split(5);
+    }
+
+    #[test]
+    fn shuffled_kfold_partitions_everything() {
+        let folds = ShuffledKFold { n_splits: 4, seed: 3 }.split(103);
+        let mut count = vec![0usize; 103];
+        for f in &folds {
+            assert_eq!(f.train.len() + f.test.len(), 103);
+            for &i in &f.test {
+                count[i] += 1;
+            }
+        }
+        assert!(count.iter().all(|&c| c == 1), "each row in exactly one test fold");
+    }
+
+    #[test]
+    fn shuffled_kfold_mixes_time() {
+        // With shuffling, some early rows land in the last fold's test set.
+        let folds = ShuffledKFold { n_splits: 2, seed: 1 }.split(100);
+        let early_in_test = folds[1].test.iter().any(|&i| i < 50);
+        assert!(early_in_test);
+    }
+
+    #[test]
+    fn shuffled_kfold_deterministic() {
+        let a = ShuffledKFold { n_splits: 3, seed: 9 }.split(50);
+        let b = ShuffledKFold { n_splits: 3, seed: 9 }.split(50);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,128 @@
+//! Small dataset utilities shared by the models.
+
+use serde::{Deserialize, Serialize};
+use trout_linalg::Matrix;
+
+/// Per-feature z-score standardizer (fit on train, apply to test). Used
+/// internally by distance-based algorithms (kNN, SMOTE) where raw feature
+/// scales would dominate the metric.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Standardizer {
+    mean: Vec<f32>,
+    std: Vec<f32>,
+}
+
+impl Standardizer {
+    /// Fits means and standard deviations column-wise. Constant columns get
+    /// `std = 1` so they map to zero rather than NaN.
+    pub fn fit(x: &Matrix) -> Standardizer {
+        let (n, d) = (x.rows(), x.cols());
+        assert!(n > 0, "cannot fit on empty data");
+        let mut mean = vec![0.0f32; d];
+        for r in 0..n {
+            for (m, &v) in mean.iter_mut().zip(x.row(r)) {
+                *m += v;
+            }
+        }
+        for m in &mut mean {
+            *m /= n as f32;
+        }
+        let mut std = vec![0.0f32; d];
+        for r in 0..n {
+            for (j, &v) in x.row(r).iter().enumerate() {
+                let c = v - mean[j];
+                std[j] += c * c;
+            }
+        }
+        for s in &mut std {
+            *s = (*s / n as f32).sqrt();
+            if *s < 1e-12 {
+                *s = 1.0;
+            }
+        }
+        Standardizer { mean, std }
+    }
+
+    /// Transforms a matrix (out-of-place).
+    pub fn transform(&self, x: &Matrix) -> Matrix {
+        assert_eq!(x.cols(), self.mean.len(), "width mismatch");
+        let mut out = x.clone();
+        for r in 0..out.rows() {
+            let row = out.row_mut(r);
+            for (j, v) in row.iter_mut().enumerate() {
+                *v = (*v - self.mean[j]) / self.std[j];
+            }
+        }
+        out
+    }
+
+    /// Transforms one row in place.
+    pub fn transform_row(&self, row: &mut [f32]) {
+        assert_eq!(row.len(), self.mean.len(), "width mismatch");
+        for (j, v) in row.iter_mut().enumerate() {
+            *v = (*v - self.mean[j]) / self.std[j];
+        }
+    }
+}
+
+/// Splits `(x, y)` at row `at`: `(train, test)` with no shuffling — the basic
+/// temporal holdout ("the most recent 20 % of jobs … used as validation and
+/// test data", §III).
+pub fn split_at(x: &Matrix, y: &[f32], at: usize) -> ((Matrix, Vec<f32>), (Matrix, Vec<f32>)) {
+    assert_eq!(x.rows(), y.len(), "x/y mismatch");
+    assert!(at <= x.rows(), "split point out of range");
+    let head: Vec<usize> = (0..at).collect();
+    let tail: Vec<usize> = (at..x.rows()).collect();
+    (
+        (x.select_rows(&head), y[..at].to_vec()),
+        (x.select_rows(&tail), y[at..].to_vec()),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standardizer_zero_mean_unit_var() {
+        let x = Matrix::from_vec(4, 2, vec![1.0, 100.0, 2.0, 200.0, 3.0, 300.0, 4.0, 400.0]);
+        let s = Standardizer::fit(&x);
+        let t = s.transform(&x);
+        for j in 0..2 {
+            let col: Vec<f32> = (0..4).map(|r| t.get(r, j)).collect();
+            let mean: f32 = col.iter().sum::<f32>() / 4.0;
+            let var: f32 = col.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 4.0;
+            assert!(mean.abs() < 1e-6);
+            assert!((var - 1.0).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn constant_column_maps_to_zero() {
+        let x = Matrix::from_vec(3, 1, vec![5.0, 5.0, 5.0]);
+        let s = Standardizer::fit(&x);
+        let t = s.transform(&x);
+        assert!(t.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn transform_row_matches_matrix_transform() {
+        let x = Matrix::from_vec(3, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let s = Standardizer::fit(&x);
+        let t = s.transform(&x);
+        let mut row = [3.0f32, 4.0];
+        s.transform_row(&mut row);
+        assert_eq!(&row[..], t.row(1));
+    }
+
+    #[test]
+    fn split_at_partitions_in_order() {
+        let x = Matrix::from_vec(5, 1, vec![0.0, 1.0, 2.0, 3.0, 4.0]);
+        let y = [0.0f32, 1.0, 2.0, 3.0, 4.0];
+        let ((xtr, ytr), (xte, yte)) = split_at(&x, &y, 3);
+        assert_eq!(xtr.rows(), 3);
+        assert_eq!(ytr, vec![0.0, 1.0, 2.0]);
+        assert_eq!(xte.rows(), 2);
+        assert_eq!(yte, vec![3.0, 4.0]);
+    }
+}

@@ -1,0 +1,286 @@
+//! Random-search hyper-parameter optimization — the Optuna stand-in.
+//!
+//! The paper tunes learning rate, epoch count, layer count/sizes, dropout and
+//! activation with Optuna (§III). Optuna's default TPE sampler needs dozens
+//! of trials before it beats random search; at the trial budgets practical in
+//! this reproduction, seeded random search over the same space is the honest
+//! equivalent, optionally with successive-halving pruning (evaluate cheap,
+//! keep the top fraction, re-evaluate at full budget).
+
+use trout_linalg::SplitMix64;
+
+pub use crate::hpo_tpe::{tpe_search, TpeConfig};
+
+/// One tunable dimension.
+#[derive(Debug, Clone)]
+pub enum Param {
+    /// Uniform float in `[lo, hi]`.
+    Float {
+        /// Parameter name.
+        name: &'static str,
+        /// Lower bound.
+        lo: f64,
+        /// Upper bound.
+        hi: f64,
+    },
+    /// Log-uniform float in `[lo, hi]` (e.g. learning rates).
+    LogFloat {
+        /// Parameter name.
+        name: &'static str,
+        /// Lower bound (> 0).
+        lo: f64,
+        /// Upper bound.
+        hi: f64,
+    },
+    /// Uniform integer in `[lo, hi]`.
+    Int {
+        /// Parameter name.
+        name: &'static str,
+        /// Lower bound.
+        lo: i64,
+        /// Upper bound (inclusive).
+        hi: i64,
+    },
+    /// One of a fixed set of choices (index is reported).
+    Choice {
+        /// Parameter name.
+        name: &'static str,
+        /// Number of options.
+        n: usize,
+    },
+}
+
+impl Param {
+    /// The dimension's name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Param::Float { name, .. }
+            | Param::LogFloat { name, .. }
+            | Param::Int { name, .. }
+            | Param::Choice { name, .. } => name,
+        }
+    }
+
+    pub(crate) fn sample_public(&self, rng: &mut SplitMix64) -> f64 {
+        self.sample(rng)
+    }
+
+    fn sample(&self, rng: &mut SplitMix64) -> f64 {
+        match *self {
+            Param::Float { lo, hi, .. } => lo + (hi - lo) * rng.next_f64(),
+            Param::LogFloat { lo, hi, .. } => {
+                assert!(lo > 0.0, "log-uniform lower bound must be positive");
+                (lo.ln() + (hi.ln() - lo.ln()) * rng.next_f64()).exp()
+            }
+            Param::Int { lo, hi, .. } => (lo + rng.next_below((hi - lo + 1) as u64) as i64) as f64,
+            Param::Choice { n, .. } => rng.next_below(n as u64) as f64,
+        }
+    }
+}
+
+/// A sampled configuration: values in the order of the search space, plus
+/// name lookup.
+#[derive(Debug, Clone)]
+pub struct TrialParams {
+    names: Vec<&'static str>,
+    /// Sampled values (ints and choices are stored as `f64`).
+    pub values: Vec<f64>,
+}
+
+impl TrialParams {
+    /// Assembles a trial from parallel name/value vectors (used by the TPE
+    /// sampler; `random_search` builds its own).
+    pub(crate) fn new(names: Vec<&'static str>, values: Vec<f64>) -> TrialParams {
+        TrialParams { names, values }
+    }
+
+    /// Value of a parameter by name.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unknown names.
+    pub fn get(&self, name: &str) -> f64 {
+        let idx = self
+            .names
+            .iter()
+            .position(|&n| n == name)
+            .unwrap_or_else(|| panic!("unknown parameter {name}"));
+        self.values[idx]
+    }
+
+    /// `get` coerced to usize (for layer sizes, epochs, choices).
+    pub fn get_usize(&self, name: &str) -> usize {
+        self.get(name).round().max(0.0) as usize
+    }
+}
+
+/// Outcome of a search: best parameters and score (lower is better), plus
+/// the full history.
+#[derive(Debug, Clone)]
+pub struct SearchResult {
+    /// The winning configuration.
+    pub best: TrialParams,
+    /// Its (full-budget) score.
+    pub best_score: f64,
+    /// Every `(params, score)` evaluated at full budget.
+    pub history: Vec<(TrialParams, f64)>,
+}
+
+/// Random search: samples `n_trials` configurations and minimizes
+/// `objective(params)`.
+pub fn random_search<F>(
+    space: &[Param],
+    n_trials: usize,
+    seed: u64,
+    mut objective: F,
+) -> SearchResult
+where
+    F: FnMut(&TrialParams) -> f64,
+{
+    assert!(!space.is_empty(), "empty search space");
+    assert!(n_trials >= 1, "need at least one trial");
+    let names: Vec<&'static str> = space.iter().map(|p| p.name()).collect();
+    let mut rng = SplitMix64::new(seed ^ 0x6F70_7475_6E61);
+    let mut history = Vec::with_capacity(n_trials);
+    for _ in 0..n_trials {
+        let params = TrialParams {
+            names: names.clone(),
+            values: space.iter().map(|p| p.sample(&mut rng)).collect(),
+        };
+        let score = objective(&params);
+        history.push((params, score));
+    }
+    let (best, best_score) = history
+        .iter()
+        .min_by(|a, b| a.1.total_cmp(&b.1))
+        .map(|(p, s)| (p.clone(), *s))
+        .expect("non-empty history");
+    SearchResult { best, best_score, history }
+}
+
+/// Successive halving: evaluate all candidates at `cheap` budget, keep the
+/// best `keep_fraction`, then evaluate survivors with `full`. `objective`
+/// receives `(params, is_full_budget)`.
+pub fn successive_halving<F>(
+    space: &[Param],
+    n_trials: usize,
+    keep_fraction: f64,
+    seed: u64,
+    mut objective: F,
+) -> SearchResult
+where
+    F: FnMut(&TrialParams, bool) -> f64,
+{
+    assert!((0.0..=1.0).contains(&keep_fraction), "keep_fraction in [0,1]");
+    let names: Vec<&'static str> = space.iter().map(|p| p.name()).collect();
+    let mut rng = SplitMix64::new(seed ^ 0x6861_6c76_3100);
+    let mut cheap: Vec<(TrialParams, f64)> = (0..n_trials.max(1))
+        .map(|_| {
+            let params = TrialParams {
+                names: names.clone(),
+                values: space.iter().map(|p| p.sample(&mut rng)).collect(),
+            };
+            let score = objective(&params, false);
+            (params, score)
+        })
+        .collect();
+    cheap.sort_by(|a, b| a.1.total_cmp(&b.1));
+    let survivors = ((n_trials as f64 * keep_fraction).ceil() as usize).clamp(1, n_trials);
+    let history: Vec<(TrialParams, f64)> = cheap
+        .into_iter()
+        .take(survivors)
+        .map(|(p, _)| {
+            let score = objective(&p, true);
+            (p, score)
+        })
+        .collect();
+    let (best, best_score) = history
+        .iter()
+        .min_by(|a, b| a.1.total_cmp(&b.1))
+        .map(|(p, s)| (p.clone(), *s))
+        .expect("non-empty history");
+    SearchResult { best, best_score, history }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn space() -> Vec<Param> {
+        vec![
+            Param::Float { name: "x", lo: -2.0, hi: 2.0 },
+            Param::LogFloat { name: "lr", lo: 1e-4, hi: 1e-1 },
+            Param::Int { name: "layers", lo: 1, hi: 3 },
+            Param::Choice { name: "act", n: 2 },
+        ]
+    }
+
+    #[test]
+    fn finds_a_good_x_on_a_bowl() {
+        let result = random_search(&space(), 200, 1, |p| {
+            let x = p.get("x");
+            (x - 0.7) * (x - 0.7)
+        });
+        assert!((result.best.get("x") - 0.7).abs() < 0.15, "best x {}", result.best.get("x"));
+        assert_eq!(result.history.len(), 200);
+    }
+
+    #[test]
+    fn samples_respect_bounds_and_types() {
+        let result = random_search(&space(), 50, 2, |p| {
+            let lr = p.get("lr");
+            assert!((1e-4..=1e-1).contains(&lr), "lr {lr}");
+            let layers = p.get_usize("layers");
+            assert!((1..=3).contains(&layers), "layers {layers}");
+            let act = p.get_usize("act");
+            assert!(act < 2);
+            0.0
+        });
+        assert_eq!(result.best_score, 0.0);
+    }
+
+    #[test]
+    fn log_uniform_spreads_over_decades() {
+        let lrs: Vec<f64> = random_search(&space(), 300, 3, |_| 0.0)
+            .history
+            .iter()
+            .map(|(p, _)| p.get("lr"))
+            .collect();
+        let below_1e3 = lrs.iter().filter(|&&v| v < 1e-3).count();
+        let above_1e2 = lrs.iter().filter(|&&v| v > 1e-2).count();
+        // Log-uniform: each decade gets a comparable share.
+        assert!(below_1e3 > 50, "{below_1e3}");
+        assert!(above_1e2 > 50, "{above_1e2}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = random_search(&space(), 20, 7, |p| p.get("x").abs());
+        let b = random_search(&space(), 20, 7, |p| p.get("x").abs());
+        assert_eq!(a.best.values, b.best.values);
+    }
+
+    #[test]
+    fn successive_halving_prunes_then_refines() {
+        let mut cheap_calls = 0usize;
+        let mut full_calls = 0usize;
+        let result = successive_halving(&space(), 40, 0.25, 5, |p, full| {
+            if full {
+                full_calls += 1;
+            } else {
+                cheap_calls += 1;
+            }
+            (p.get("x") - 1.0).abs()
+        });
+        assert_eq!(cheap_calls, 40);
+        assert_eq!(full_calls, 10);
+        assert!((result.best.get("x") - 1.0).abs() < 0.4);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown parameter")]
+    fn get_rejects_unknown_names() {
+        let r = random_search(&space(), 1, 0, |_| 0.0);
+        let _ = r.best.get("nope");
+    }
+}

@@ -1,0 +1,341 @@
+//! Tree-structured Parzen Estimator (TPE) — Optuna's default sampler
+//! (Bergstra et al., NeurIPS 2011; Akiba et al., KDD 2019, which the paper
+//! cites for its hyper-parameter search).
+//!
+//! TPE models `p(x | good)` and `p(x | bad)` with Parzen (kernel-density)
+//! estimators over the observed trials, splitting them at the γ-quantile of
+//! the scores, and proposes the candidate maximizing the density ratio
+//! `l(x)/g(x)`. Dimensions are treated independently (Optuna's univariate
+//! default): Gaussian kernels for continuous/integer dimensions (log-space
+//! for log-uniform ones) and smoothed categorical histograms for choices.
+
+use trout_linalg::SplitMix64;
+
+use crate::hpo::{Param, SearchResult, TrialParams};
+
+/// TPE sampler settings.
+#[derive(Debug, Clone)]
+pub struct TpeConfig {
+    /// Random trials before the model kicks in (Optuna default: 10).
+    pub n_startup: usize,
+    /// Fraction of trials considered "good" (Optuna defaults to ~10%).
+    pub gamma: f64,
+    /// Candidates drawn from `l(x)` per proposal (Optuna default: 24).
+    pub n_candidates: usize,
+    /// Every `random_interval`-th trial is sampled uniformly, guaranteeing
+    /// the model can escape a bad basin the startup trials happened to favor
+    /// (univariate TPE is otherwise strongly self-reinforcing).
+    pub random_interval: usize,
+}
+
+impl Default for TpeConfig {
+    fn default() -> Self {
+        TpeConfig { n_startup: 10, gamma: 0.12, n_candidates: 32, random_interval: 6 }
+    }
+}
+
+/// Internal unit-interval representation of a dimension.
+#[derive(Debug, Clone, Copy)]
+enum Dim {
+    /// Continuous on [lo, hi] (already log-transformed when needed).
+    Continuous { lo: f64, hi: f64, log: bool, int: bool },
+    /// Categorical with n options.
+    Categorical { n: usize },
+}
+
+fn dims(space: &[Param]) -> Vec<Dim> {
+    space
+        .iter()
+        .map(|p| match *p {
+            Param::Float { lo, hi, .. } => Dim::Continuous { lo, hi, log: false, int: false },
+            Param::LogFloat { lo, hi, .. } => {
+                Dim::Continuous { lo: lo.ln(), hi: hi.ln(), log: true, int: false }
+            }
+            Param::Int { lo, hi, .. } => {
+                Dim::Continuous { lo: lo as f64, hi: hi as f64, log: false, int: true }
+            }
+            Param::Choice { n, .. } => Dim::Categorical { n },
+        })
+        .collect()
+}
+
+/// External value -> internal coordinate.
+fn to_internal(dim: &Dim, v: f64) -> f64 {
+    match dim {
+        Dim::Continuous { log: true, .. } => v.ln(),
+        _ => v,
+    }
+}
+
+/// Internal coordinate -> external value.
+fn to_external(dim: &Dim, v: f64) -> f64 {
+    match *dim {
+        Dim::Continuous { lo, hi, log, int } => {
+            let clamped = v.clamp(lo, hi);
+            let out = if log { clamped.exp() } else { clamped };
+            if int {
+                out.round()
+            } else {
+                out
+            }
+        }
+        Dim::Categorical { .. } => v,
+    }
+}
+
+/// Gaussian Parzen density over observations with a shared bandwidth.
+struct Kde {
+    points: Vec<f64>,
+    bandwidth: f64,
+    lo: f64,
+    hi: f64,
+}
+
+impl Kde {
+    fn fit(points: Vec<f64>, lo: f64, hi: f64) -> Kde {
+        let n = points.len().max(1) as f64;
+        // Silverman's rule on the observed spread, floored at 2% of the
+        // range so coincident observations still yield a proper density.
+        // Using the sample std (not the range) lets the good-set KDE narrow
+        // as the search concentrates — the self-sharpening TPE relies on.
+        let mean = points.iter().sum::<f64>() / n;
+        let std =
+            (points.iter().map(|p| (p - mean) * (p - mean)).sum::<f64>() / n).sqrt();
+        let bandwidth =
+            (1.06 * std * n.powf(-0.2)).max((hi - lo) * 0.05).max(1e-12);
+        Kde { points, bandwidth, lo, hi }
+    }
+
+    /// Mixture weight of the uniform prior component (Optuna mixes a
+    /// uniform "prior" into both estimators; without it the ratio l/g is
+    /// maximized wherever g happens to be smallest — typically the domain
+    /// edges — and the search drifts to the boundary).
+    fn prior_weight(&self) -> f64 {
+        (1.0 / (self.points.len() as f64 + 1.0)).max(0.1)
+    }
+
+    fn sample(&self, rng: &mut SplitMix64) -> f64 {
+        if self.points.is_empty() || rng.next_f64() < self.prior_weight() {
+            return self.lo + (self.hi - self.lo) * rng.next_f64();
+        }
+        let center = self.points[rng.next_below(self.points.len() as u64) as usize];
+        (center + self.bandwidth * rng.normal()).clamp(self.lo, self.hi)
+    }
+
+    fn density(&self, x: f64) -> f64 {
+        let uniform = 1.0 / (self.hi - self.lo).max(1e-12);
+        if self.points.is_empty() {
+            return uniform;
+        }
+        let norm = 1.0 / ((2.0 * std::f64::consts::PI).sqrt() * self.bandwidth);
+        let kde = self
+            .points
+            .iter()
+            .map(|&c| {
+                let z = (x - c) / self.bandwidth;
+                norm * (-0.5 * z * z).exp()
+            })
+            .sum::<f64>()
+            / self.points.len() as f64;
+        let w = self.prior_weight();
+        w * uniform + (1.0 - w) * kde
+    }
+}
+
+/// Smoothed categorical distribution.
+struct CatDist {
+    probs: Vec<f64>,
+}
+
+impl CatDist {
+    fn fit(observations: &[usize], n: usize) -> CatDist {
+        let mut counts = vec![1.0f64; n]; // +1 smoothing prior
+        for &o in observations {
+            counts[o.min(n - 1)] += 1.0;
+        }
+        let total: f64 = counts.iter().sum();
+        CatDist { probs: counts.into_iter().map(|c| c / total).collect() }
+    }
+
+    fn sample(&self, rng: &mut SplitMix64) -> usize {
+        let mut t = rng.next_f64();
+        for (i, &p) in self.probs.iter().enumerate() {
+            t -= p;
+            if t < 0.0 {
+                return i;
+            }
+        }
+        self.probs.len() - 1
+    }
+}
+
+/// Runs TPE minimization of `objective` over `space`.
+pub fn tpe_search<F>(
+    space: &[Param],
+    n_trials: usize,
+    seed: u64,
+    cfg: &TpeConfig,
+    mut objective: F,
+) -> SearchResult
+where
+    F: FnMut(&TrialParams) -> f64,
+{
+    assert!(!space.is_empty(), "empty search space");
+    assert!(n_trials >= 1, "need at least one trial");
+    let names: Vec<&'static str> = space.iter().map(Param::name).collect();
+    let dim_info = dims(space);
+    let mut rng = SplitMix64::new(seed ^ 0x7470_6521);
+    let mut history: Vec<(TrialParams, f64)> = Vec::with_capacity(n_trials);
+
+    for trial in 0..n_trials {
+        let force_random = cfg.random_interval > 0 && trial % cfg.random_interval.max(1) == cfg.random_interval.max(1) - 1;
+        let values: Vec<f64> = if trial < cfg.n_startup || history.len() < 4 || force_random {
+            space.iter().map(|p| p.sample_public(&mut rng)).collect()
+        } else {
+            // Split history at the gamma quantile.
+            let mut scored: Vec<(usize, f64)> =
+                history.iter().enumerate().map(|(i, (_, s))| (i, *s)).collect();
+            scored.sort_by(|a, b| a.1.total_cmp(&b.1));
+            let n_good = ((history.len() as f64 * cfg.gamma).ceil() as usize)
+                .clamp(2, history.len() - 1);
+            let good: Vec<usize> = scored[..n_good].iter().map(|&(i, _)| i).collect();
+            let bad: Vec<usize> = scored[n_good..].iter().map(|&(i, _)| i).collect();
+
+            dim_info
+                .iter()
+                .enumerate()
+                .map(|(d, dim)| match *dim {
+                    Dim::Continuous { lo, hi, .. } => {
+                        let pts = |idx: &[usize]| -> Vec<f64> {
+                            idx.iter()
+                                .map(|&i| to_internal(dim, history[i].0.values[d]))
+                                .collect()
+                        };
+                        let l = Kde::fit(pts(&good), lo, hi);
+                        let g = Kde::fit(pts(&bad), lo, hi);
+                        let mut best = (f64::NEG_INFINITY, lo);
+                        for _ in 0..cfg.n_candidates {
+                            let x = l.sample(&mut rng);
+                            let score = l.density(x) / g.density(x).max(1e-300);
+                            if score > best.0 {
+                                best = (score, x);
+                            }
+                        }
+                        to_external(dim, best.1)
+                    }
+                    Dim::Categorical { n } => {
+                        // Sample from the good-set distribution directly. The
+                        // textbook l/g ratio oscillates for categories at low
+                        // trial counts: once the search exploits the best
+                        // category, the bad set fills with it too and the
+                        // ratio starts favoring rarely-tried categories.
+                        let obs: Vec<usize> =
+                            good.iter().map(|&i| history[i].0.values[d] as usize).collect();
+                        let l = CatDist::fit(&obs, n);
+                        l.sample(&mut rng) as f64
+                    }
+                })
+                .collect()
+        };
+        let params = TrialParams::new(names.clone(), values);
+        let score = objective(&params);
+        history.push((params, score));
+    }
+
+    let (best, best_score) = history
+        .iter()
+        .min_by(|a, b| a.1.total_cmp(&b.1))
+        .map(|(p, s)| (p.clone(), *s))
+        .expect("non-empty history");
+    SearchResult { best, best_score, history }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bowl_space() -> Vec<Param> {
+        vec![
+            Param::Float { name: "x", lo: -3.0, hi: 3.0 },
+            Param::Float { name: "y", lo: -3.0, hi: 3.0 },
+            Param::LogFloat { name: "s", lo: 1e-3, hi: 1.0 },
+            Param::Choice { name: "c", n: 3 },
+        ]
+    }
+
+    /// Minimum at x=1, y=-0.5, s=0.1, c=2.
+    fn bowl(p: &TrialParams) -> f64 {
+        let x = p.get("x");
+        let y = p.get("y");
+        let s = p.get("s");
+        let c = p.get_usize("c");
+        (x - 1.0).powi(2)
+            + (y + 0.5).powi(2)
+            + (s.ln() - 0.1f64.ln()).powi(2) * 0.2
+            + if c == 2 { 0.0 } else { 0.5 }
+    }
+
+    #[test]
+    fn tpe_converges_on_a_bowl() {
+        // 4 dimensions (one log-scaled, one categorical) at 150 trials: the
+        // search should land near the optimum, not merely luck into it.
+        let result = tpe_search(&bowl_space(), 150, 3, &TpeConfig::default(), bowl);
+        assert!((result.best.get("x") - 1.0).abs() < 0.6, "x {}", result.best.get("x"));
+        assert!((result.best.get("y") + 0.5).abs() < 0.6, "y {}", result.best.get("y"));
+        assert_eq!(result.best.get_usize("c"), 2);
+        assert!(result.best_score < 0.5, "score {}", result.best_score);
+    }
+
+    #[test]
+    fn tpe_outperforms_pure_random_on_a_continuous_bowl() {
+        // Univariate TPE shines on smooth continuous spaces; compare means
+        // over several seeds. (On spaces with weakly-coupled dimensions and
+        // unlucky startups it can camp in a side basin — the interleaved
+        // random trials bound that loss but don't eliminate it, just as in
+        // Optuna.)
+        let space = vec![
+            Param::Float { name: "x", lo: -3.0, hi: 3.0 },
+            Param::Float { name: "y", lo: -3.0, hi: 3.0 },
+        ];
+        let f = |p: &TrialParams| (p.get("x") - 1.0).powi(2) + (p.get("y") + 0.5).powi(2);
+        let mut tpe_total = 0.0;
+        let mut random_total = 0.0;
+        for seed in 0..8 {
+            tpe_total += tpe_search(&space, 80, seed, &TpeConfig::default(), f).best_score;
+            random_total += crate::hpo::random_search(&space, 80, seed, f).best_score;
+        }
+        assert!(
+            tpe_total < random_total,
+            "TPE mean best {:.4} should beat random {:.4}",
+            tpe_total / 8.0,
+            random_total / 8.0
+        );
+    }
+
+    #[test]
+    fn late_trials_concentrate_near_the_optimum() {
+        let result = tpe_search(&bowl_space(), 100, 5, &TpeConfig::default(), bowl);
+        let early: f64 = result.history[..20].iter().map(|(_, s)| s).sum::<f64>() / 20.0;
+        let late: f64 =
+            result.history[80..].iter().map(|(_, s)| s).sum::<f64>() / 20.0;
+        assert!(late < early, "mean score should fall: early {early:.3} late {late:.3}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = tpe_search(&bowl_space(), 30, 9, &TpeConfig::default(), bowl);
+        let b = tpe_search(&bowl_space(), 30, 9, &TpeConfig::default(), bowl);
+        assert_eq!(a.best.values, b.best.values);
+    }
+
+    #[test]
+    fn respects_bounds_in_every_trial() {
+        let result = tpe_search(&bowl_space(), 80, 11, &TpeConfig::default(), |p| {
+            assert!((-3.0..=3.0).contains(&p.get("x")));
+            assert!((1e-3..=1.0 + 1e-9).contains(&p.get("s")));
+            assert!(p.get_usize("c") < 3);
+            p.get("x").abs()
+        });
+        assert_eq!(result.history.len(), 80);
+    }
+}

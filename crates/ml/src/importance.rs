@@ -1,0 +1,116 @@
+//! Permutation feature importance — the SHAP stand-in.
+//!
+//! The paper prunes features by SHAP value (§III): features whose
+//! attribution is near zero are dropped. Permutation importance serves the
+//! same decision — it measures how much a metric degrades when one feature's
+//! column is shuffled, breaking its relationship with the target while
+//! preserving its marginal distribution. Like KernelSHAP it is
+//! model-agnostic; unlike SHAP it attributes at the feature (not sample)
+//! level, which is the only granularity the paper's pruning uses.
+
+use trout_linalg::{Matrix, SplitMix64};
+
+/// Importance of one feature: the increase in error when it is permuted.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeatureImportance {
+    /// Column index.
+    pub feature: usize,
+    /// Mean metric increase over repeats (higher = more important).
+    pub importance: f64,
+}
+
+/// Computes permutation importances.
+///
+/// * `predict` — batch inference for the model under analysis.
+/// * `metric` — error metric over `(preds, targets)`; *lower is better*.
+/// * `repeats` — shuffles per feature (averaged).
+///
+/// Returns one entry per column, sorted by descending importance.
+pub fn permutation_importance<P, M>(
+    x: &Matrix,
+    y: &[f32],
+    predict: P,
+    metric: M,
+    repeats: usize,
+    seed: u64,
+) -> Vec<FeatureImportance>
+where
+    P: Fn(&Matrix) -> Vec<f32>,
+    M: Fn(&[f32], &[f32]) -> f64,
+{
+    assert_eq!(x.rows(), y.len(), "x/y length mismatch");
+    assert!(repeats >= 1, "need at least one repeat");
+    let base = metric(&predict(x), y);
+    let mut rng = SplitMix64::new(seed ^ 0x1398_0aa7);
+    let n = x.rows();
+    let mut out = Vec::with_capacity(x.cols());
+    let mut perm: Vec<usize> = (0..n).collect();
+    for j in 0..x.cols() {
+        let mut delta = 0.0f64;
+        for _ in 0..repeats {
+            rng.shuffle(&mut perm);
+            let mut xp = x.clone();
+            for (r, &src) in perm.iter().enumerate() {
+                let v = x.get(src, j);
+                xp.set(r, j, v);
+            }
+            delta += metric(&predict(&xp), y) - base;
+        }
+        out.push(FeatureImportance { feature: j, importance: delta / repeats as f64 });
+    }
+    out.sort_by(|a, b| b.importance.total_cmp(&a.importance));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::mae;
+
+    #[test]
+    fn informative_feature_outranks_noise() {
+        // y depends only on column 0; columns 1-2 are noise.
+        let mut rng = SplitMix64::new(3);
+        let n = 400;
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for _ in 0..n {
+            let a = rng.uniform(-1.0, 1.0);
+            rows.push(a);
+            rows.push(rng.uniform(-1.0, 1.0));
+            rows.push(rng.uniform(-1.0, 1.0));
+            y.push(3.0 * a);
+        }
+        let x = Matrix::from_vec(n, 3, rows);
+        // "Model": the true function, reading only column 0.
+        let predict = |m: &Matrix| -> Vec<f32> { (0..m.rows()).map(|r| 3.0 * m.get(r, 0)).collect() };
+        let imps = permutation_importance(&x, &y, predict, mae, 3, 1);
+        assert_eq!(imps[0].feature, 0);
+        assert!(imps[0].importance > 10.0 * imps[1].importance.abs().max(1e-9));
+        // Noise features hover near zero.
+        for fi in &imps[1..] {
+            assert!(fi.importance.abs() < 0.1, "{fi:?}");
+        }
+    }
+
+    #[test]
+    fn importances_cover_every_feature_once() {
+        let x = Matrix::from_vec(10, 4, (0..40).map(|i| i as f32).collect());
+        let y = vec![0.0f32; 10];
+        let predict = |m: &Matrix| vec![0.0f32; m.rows()];
+        let imps = permutation_importance(&x, &y, predict, mae, 1, 0);
+        let mut feats: Vec<usize> = imps.iter().map(|f| f.feature).collect();
+        feats.sort_unstable();
+        assert_eq!(feats, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let x = Matrix::from_vec(20, 2, (0..40).map(|i| (i * 7 % 13) as f32).collect());
+        let y: Vec<f32> = (0..20).map(|i| i as f32).collect();
+        let predict = |m: &Matrix| -> Vec<f32> { (0..m.rows()).map(|r| m.get(r, 0)).collect() };
+        let a = permutation_importance(&x, &y, predict, mae, 2, 9);
+        let b = permutation_importance(&x, &y, predict, mae, 2, 9);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,202 @@
+//! k-nearest-neighbour regression — the third baseline model (§IV; Brown et
+//! al. also used kNN for queue-wait prediction).
+//!
+//! At 33 standardized features a space-partitioning index degenerates to a
+//! scan anyway (curse of dimensionality), so queries are brute force,
+//! parallelized over query rows with rayon. `max_train` caps the reference
+//! set (uniformly subsampled, newest-biased is unnecessary since callers pass
+//! time-ordered data and training folds are already the recent past).
+
+use rayon::prelude::*;
+use trout_linalg::{ops::dist2, Matrix, SplitMix64};
+
+use crate::data::Standardizer;
+
+/// kNN regressor configuration.
+#[derive(Debug, Clone)]
+pub struct KnnConfig {
+    /// Neighbour count.
+    pub k: usize,
+    /// Weight neighbours by inverse distance instead of uniformly.
+    pub distance_weighted: bool,
+    /// Cap on stored training rows (subsampled deterministically when
+    /// exceeded); `None` stores everything.
+    pub max_train: Option<usize>,
+    /// Subsample seed.
+    pub seed: u64,
+}
+
+impl Default for KnnConfig {
+    fn default() -> Self {
+        KnnConfig { k: 10, distance_weighted: false, max_train: Some(20_000), seed: 0 }
+    }
+}
+
+/// A fitted kNN regressor (stores standardized training data).
+#[derive(Debug, Clone)]
+pub struct KnnRegressor {
+    k: usize,
+    distance_weighted: bool,
+    scaler: Standardizer,
+    x: Matrix,
+    y: Vec<f32>,
+}
+
+impl KnnRegressor {
+    /// Stores (a subsample of) the training set, standardized per feature.
+    pub fn fit(x: &Matrix, y: &[f32], cfg: &KnnConfig) -> KnnRegressor {
+        assert_eq!(x.rows(), y.len(), "x/y length mismatch");
+        assert!(x.rows() > 0, "cannot fit on empty data");
+        assert!(cfg.k >= 1, "k must be at least 1");
+        let (x_kept, y_kept) = match cfg.max_train {
+            Some(cap) if x.rows() > cap => {
+                let mut rng = SplitMix64::new(cfg.seed ^ 0x6B6E_6E21);
+                let mut idx = rng.sample_indices(x.rows(), cap);
+                idx.sort_unstable();
+                (x.select_rows(&idx), idx.iter().map(|&i| y[i]).collect())
+            }
+            _ => (x.clone(), y.to_vec()),
+        };
+        let scaler = Standardizer::fit(&x_kept);
+        let x_std = scaler.transform(&x_kept);
+        KnnRegressor {
+            k: cfg.k.min(x_kept.rows()),
+            distance_weighted: cfg.distance_weighted,
+            scaler,
+            x: x_std,
+            y: y_kept,
+        }
+    }
+
+    /// Number of stored reference rows.
+    pub fn train_size(&self) -> usize {
+        self.x.rows()
+    }
+
+    /// Predicts one raw (unstandardized) row.
+    pub fn predict_row(&self, row: &[f32]) -> f32 {
+        let mut q = row.to_vec();
+        self.scaler.transform_row(&mut q);
+        // Max-heap of the k smallest distances via a simple bounded vec:
+        // k is small (~10), so insertion into a sorted buffer is fastest.
+        let mut best: Vec<(f32, f32)> = Vec::with_capacity(self.k + 1); // (dist2, y)
+        for r in 0..self.x.rows() {
+            let d = dist2(&q, self.x.row(r));
+            if best.len() < self.k {
+                best.push((d, self.y[r]));
+                if best.len() == self.k {
+                    best.sort_by(|a, b| a.0.total_cmp(&b.0));
+                }
+            } else if d < best[self.k - 1].0 {
+                let pos = best.partition_point(|&(bd, _)| bd < d);
+                best.insert(pos, (d, self.y[r]));
+                best.pop();
+            }
+        }
+        if self.distance_weighted {
+            let mut num = 0.0f64;
+            let mut den = 0.0f64;
+            for &(d, y) in &best {
+                let w = 1.0 / (d as f64 + 1e-9);
+                num += w * y as f64;
+                den += w;
+            }
+            (num / den) as f32
+        } else {
+            best.iter().map(|&(_, y)| y).sum::<f32>() / best.len() as f32
+        }
+    }
+
+    /// Batch prediction, parallel over query rows.
+    pub fn predict(&self, x: &Matrix) -> Vec<f32> {
+        (0..x.rows())
+            .into_par_iter()
+            .map(|r| self.predict_row(x.row(r)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line_data(n: usize) -> (Matrix, Vec<f32>) {
+        let xs: Vec<f32> = (0..n).map(|i| i as f32).collect();
+        let y: Vec<f32> = xs.iter().map(|&v| 2.0 * v).collect();
+        (Matrix::from_vec(n, 1, xs), y)
+    }
+
+    #[test]
+    fn k1_reproduces_training_points() {
+        let (x, y) = line_data(20);
+        let knn = KnnRegressor::fit(&x, &y, &KnnConfig { k: 1, ..Default::default() });
+        for (i, &yi) in y.iter().enumerate() {
+            assert_eq!(knn.predict_row(&[i as f32]), yi);
+        }
+    }
+
+    #[test]
+    fn k3_averages_neighbours() {
+        let (x, y) = line_data(10);
+        let knn = KnnRegressor::fit(&x, &y, &KnnConfig { k: 3, ..Default::default() });
+        // Neighbours of 5.0 are 4,5,6 -> mean 2*5 = 10.
+        assert!((knn.predict_row(&[5.0]) - 10.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn standardization_makes_scales_comparable() {
+        // Feature 1 is huge but pure noise; without scaling it would drown
+        // feature 0 in the metric.
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        let mut rng = SplitMix64::new(2);
+        for i in 0..200 {
+            let a = (i % 20) as f32 / 20.0;
+            let noise = rng.uniform(-1e6, 1e6);
+            rows.extend_from_slice(&[a, noise]);
+            y.push(a * 10.0);
+        }
+        let x = Matrix::from_vec(200, 2, rows);
+        let knn = KnnRegressor::fit(&x, &y, &KnnConfig { k: 5, ..Default::default() });
+        let pred = knn.predict_row(&[0.5, 0.0]);
+        assert!((pred - 5.0).abs() < 1.5, "pred {pred}");
+    }
+
+    #[test]
+    fn max_train_caps_reference_set() {
+        let (x, y) = line_data(500);
+        let knn = KnnRegressor::fit(
+            &x,
+            &y,
+            &KnnConfig { k: 3, max_train: Some(100), ..Default::default() },
+        );
+        assert_eq!(knn.train_size(), 100);
+        // Still roughly on the line.
+        let pred = knn.predict_row(&[250.0]);
+        assert!((pred - 500.0).abs() < 30.0, "pred {pred}");
+    }
+
+    #[test]
+    fn distance_weighting_prefers_closer_points() {
+        let x = Matrix::from_vec(3, 1, vec![0.0, 1.0, 10.0]);
+        let y = [0.0f32, 1.0, 100.0];
+        let uniform = KnnRegressor::fit(&x, &y, &KnnConfig { k: 3, ..Default::default() });
+        let weighted = KnnRegressor::fit(
+            &x,
+            &y,
+            &KnnConfig { k: 3, distance_weighted: true, ..Default::default() },
+        );
+        let q = [0.1f32];
+        assert!(weighted.predict_row(&q) < uniform.predict_row(&q));
+    }
+
+    #[test]
+    fn batch_matches_single() {
+        let (x, y) = line_data(50);
+        let knn = KnnRegressor::fit(&x, &y, &KnnConfig { k: 4, ..Default::default() });
+        let batch = knn.predict(&x);
+        for (i, &b) in batch.iter().enumerate() {
+            assert_eq!(b, knn.predict_row(x.row(i)));
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! TROUT's from-scratch machine-learning stack.
+//!
+//! The paper's modelling toolbox, reimplemented in pure Rust:
+//!
+//! * [`nn`] — dense feed-forward networks with ELU/ReLU activations, dropout,
+//!   optional batch normalization, Adam, and the smooth-L1 / BCE losses the
+//!   paper trains with (§III).
+//! * [`tree`] — histogram-based CART trees, random forests (the paper's
+//!   runtime predictor and RF baseline) and second-order gradient-boosted
+//!   trees (the XGBoost-style baseline).
+//! * [`knn`] — k-nearest-neighbour regression (the kNN baseline).
+//! * [`smote`] — Synthetic Minority Over-sampling TEchnique plus majority
+//!   undersampling, used to balance the quick-start classifier's classes.
+//! * [`cv`] — time-series cross-validation (5 expanding folds, test = 1/6)
+//!   and the deliberately leaky shuffled split used by ablation A2.
+//! * [`metrics`] — MAPE, binary/per-class accuracy, Pearson r, the
+//!   fraction-within-100 %-error metric of Figs. 8–9, and friends.
+//! * [`calibration`] — Platt scaling, Brier score and reliability tables for
+//!   the SMOTE-trained classifier's probabilities.
+//! * [`importance`] — permutation feature importance (the SHAP stand-in used
+//!   for feature pruning, A8).
+//! * [`hpo`] — random-search hyper-parameter tuning (the Optuna stand-in).
+//!
+//! All models speak `(&Matrix, &[f32])` — rows are samples, columns are
+//! features — and are deterministic given their seed.
+
+pub mod calibration;
+pub mod cv;
+pub mod data;
+pub mod hpo;
+mod hpo_tpe;
+pub mod importance;
+pub mod knn;
+pub mod metrics;
+pub mod nn;
+pub mod smote;
+pub mod tree;
+
+pub use trout_linalg::Matrix;

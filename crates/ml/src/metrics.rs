@@ -1,0 +1,296 @@
+//! Evaluation metrics.
+//!
+//! The paper's primary metric is mean absolute percentage error (§III
+//! motivates it at length: relative misses matter to users, not absolute
+//! ones); secondary metrics are the fraction of predictions within 100 %
+//! error (Figs. 8–9), Pearson's r for the scatter plots (Figs. 4–5, 7), and
+//! binary / per-class accuracy for the classifier.
+
+/// Mean absolute percentage error, in percent. Targets at or below
+/// `floor` are clamped to `floor` to keep near-zero queue times from
+/// producing infinite percentages (the paper's regressor only ever sees
+/// targets > 10 minutes, but ablations feed smaller cutoffs through here).
+pub fn mape_with_floor(preds: &[f32], targets: &[f32], floor: f32) -> f64 {
+    assert_eq!(preds.len(), targets.len(), "length mismatch");
+    if preds.is_empty() {
+        return 0.0;
+    }
+    let mut total = 0.0f64;
+    for (&p, &t) in preds.iter().zip(targets) {
+        let denom = t.max(floor) as f64;
+        total += ((p as f64 - t as f64).abs() / denom) * 100.0;
+    }
+    total / preds.len() as f64
+}
+
+/// MAPE with a 1-minute floor (the natural resolution of the target).
+pub fn mape(preds: &[f32], targets: &[f32]) -> f64 {
+    mape_with_floor(preds, targets, 1.0)
+}
+
+/// Fraction of predictions whose absolute percentage error is below
+/// `threshold_pct` percent — Figs. 8–9 use 100 %.
+pub fn fraction_within_pct(preds: &[f32], targets: &[f32], threshold_pct: f64) -> f64 {
+    assert_eq!(preds.len(), targets.len(), "length mismatch");
+    if preds.is_empty() {
+        return 0.0;
+    }
+    let ok = preds
+        .iter()
+        .zip(targets)
+        .filter(|(&p, &t)| {
+            let denom = (t as f64).max(1.0);
+            ((p as f64 - t as f64).abs() / denom) * 100.0 < threshold_pct
+        })
+        .count();
+    ok as f64 / preds.len() as f64
+}
+
+/// Mean absolute error.
+pub fn mae(preds: &[f32], targets: &[f32]) -> f64 {
+    assert_eq!(preds.len(), targets.len(), "length mismatch");
+    if preds.is_empty() {
+        return 0.0;
+    }
+    preds.iter().zip(targets).map(|(&p, &t)| (p as f64 - t as f64).abs()).sum::<f64>()
+        / preds.len() as f64
+}
+
+/// Root mean squared error.
+pub fn rmse(preds: &[f32], targets: &[f32]) -> f64 {
+    assert_eq!(preds.len(), targets.len(), "length mismatch");
+    if preds.is_empty() {
+        return 0.0;
+    }
+    (preds
+        .iter()
+        .zip(targets)
+        .map(|(&p, &t)| {
+            let d = p as f64 - t as f64;
+            d * d
+        })
+        .sum::<f64>()
+        / preds.len() as f64)
+        .sqrt()
+}
+
+/// Pearson correlation coefficient between predictions and targets
+/// (0 when either side has no variance).
+pub fn pearson_r(preds: &[f32], targets: &[f32]) -> f64 {
+    assert_eq!(preds.len(), targets.len(), "length mismatch");
+    let n = preds.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let mp = preds.iter().map(|&v| v as f64).sum::<f64>() / n as f64;
+    let mt = targets.iter().map(|&v| v as f64).sum::<f64>() / n as f64;
+    let (mut cov, mut vp, mut vt) = (0.0f64, 0.0f64, 0.0f64);
+    for (&p, &t) in preds.iter().zip(targets) {
+        let dp = p as f64 - mp;
+        let dt = t as f64 - mt;
+        cov += dp * dt;
+        vp += dp * dp;
+        vt += dt * dt;
+    }
+    if vp <= 0.0 || vt <= 0.0 {
+        return 0.0;
+    }
+    cov / (vp.sqrt() * vt.sqrt())
+}
+
+/// Binary accuracy of probabilistic predictions at a 0.5 threshold;
+/// labels must be 0 or 1.
+pub fn binary_accuracy(probs: &[f32], labels: &[f32]) -> f64 {
+    assert_eq!(probs.len(), labels.len(), "length mismatch");
+    if probs.is_empty() {
+        return 0.0;
+    }
+    let ok = probs
+        .iter()
+        .zip(labels)
+        .filter(|(&p, &l)| (p >= 0.5) == (l >= 0.5))
+        .count();
+    ok as f64 / probs.len() as f64
+}
+
+/// Per-class accuracy `(acc_class0, acc_class1)` — the paper reports the
+/// classifier had "similar accuracy on both classes". Classes with no
+/// samples yield 0.
+pub fn per_class_accuracy(probs: &[f32], labels: &[f32]) -> (f64, f64) {
+    assert_eq!(probs.len(), labels.len(), "length mismatch");
+    let (mut n0, mut ok0, mut n1, mut ok1) = (0usize, 0usize, 0usize, 0usize);
+    for (&p, &l) in probs.iter().zip(labels) {
+        if l >= 0.5 {
+            n1 += 1;
+            if p >= 0.5 {
+                ok1 += 1;
+            }
+        } else {
+            n0 += 1;
+            if p < 0.5 {
+                ok0 += 1;
+            }
+        }
+    }
+    (
+        if n0 == 0 { 0.0 } else { ok0 as f64 / n0 as f64 },
+        if n1 == 0 { 0.0 } else { ok1 as f64 / n1 as f64 },
+    )
+}
+
+/// 2x2 confusion counts `(tn, fp, fn, tp)` at a 0.5 threshold.
+pub fn confusion(probs: &[f32], labels: &[f32]) -> (usize, usize, usize, usize) {
+    assert_eq!(probs.len(), labels.len(), "length mismatch");
+    let (mut tn, mut fp, mut fnn, mut tp) = (0, 0, 0, 0);
+    for (&p, &l) in probs.iter().zip(labels) {
+        match (p >= 0.5, l >= 0.5) {
+            (false, false) => tn += 1,
+            (true, false) => fp += 1,
+            (false, true) => fnn += 1,
+            (true, true) => tp += 1,
+        }
+    }
+    (tn, fp, fnn, tp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mape_basic() {
+        // Predicting 1 for 10 is 90% off; 10 for 30 is 66.7% off.
+        let m = mape(&[1.0, 10.0], &[10.0, 30.0]);
+        assert!((m - (90.0 + 200.0 / 3.0) / 2.0).abs() < 1e-6, "{m}");
+    }
+
+    #[test]
+    fn mape_floor_prevents_division_blowup() {
+        let m = mape(&[5.0], &[0.0]);
+        assert!((m - 500.0).abs() < 1e-9);
+        let m2 = mape_with_floor(&[5.0], &[0.0], 10.0);
+        assert!((m2 - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn proportional_misses_have_equal_mape() {
+        // The paper's point: 1-for-2 minutes and 1-day-for-2-days are both
+        // 50 % error.
+        let small = mape(&[1.0], &[2.0]);
+        let large = mape(&[720.0], &[1440.0]);
+        assert!((small - large).abs() < 1e-9);
+    }
+
+    #[test]
+    fn within_pct() {
+        let f = fraction_within_pct(&[15.0, 50.0], &[10.0, 10.0], 100.0);
+        assert!((f - 0.5).abs() < 1e-9);
+        assert_eq!(fraction_within_pct(&[], &[], 100.0), 0.0);
+    }
+
+    #[test]
+    fn pearson_perfect_and_inverse() {
+        let a = [1.0f32, 2.0, 3.0, 4.0];
+        let b = [2.0f32, 4.0, 6.0, 8.0];
+        assert!((pearson_r(&a, &b) - 1.0).abs() < 1e-9);
+        let c = [8.0f32, 6.0, 4.0, 2.0];
+        assert!((pearson_r(&a, &c) + 1.0).abs() < 1e-9);
+        assert_eq!(pearson_r(&a, &[5.0, 5.0, 5.0, 5.0]), 0.0);
+    }
+
+    #[test]
+    fn classifier_metrics() {
+        let probs = [0.9f32, 0.2, 0.7, 0.4];
+        let labels = [1.0f32, 0.0, 0.0, 1.0];
+        assert!((binary_accuracy(&probs, &labels) - 0.5).abs() < 1e-9);
+        let (a0, a1) = per_class_accuracy(&probs, &labels);
+        assert!((a0 - 0.5).abs() < 1e-9);
+        assert!((a1 - 0.5).abs() < 1e-9);
+        assert_eq!(confusion(&probs, &labels), (1, 1, 1, 1));
+    }
+
+    #[test]
+    fn regression_error_metrics() {
+        assert!((mae(&[1.0, 3.0], &[0.0, 0.0]) - 2.0).abs() < 1e-9);
+        assert!((rmse(&[3.0, 4.0], &[0.0, 0.0]) - (12.5f64).sqrt()).abs() < 1e-9);
+    }
+}
+
+/// Population Stability Index between a baseline and a current sample of one
+/// feature — the standard drift score behind the paper's §V concern that
+/// "predictions stay current with the cluster changes". Buckets are baseline
+/// deciles; PSI < 0.1 is commonly read as stable, > 0.25 as drifted.
+pub fn population_stability_index(baseline: &[f32], current: &[f32], n_bins: usize) -> f64 {
+    assert!(n_bins >= 2, "need at least two bins");
+    if baseline.is_empty() || current.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = baseline.to_vec();
+    sorted.sort_by(f32::total_cmp);
+    // Bucket edges at baseline quantiles (deduplicated for ties).
+    let mut edges: Vec<f32> = (1..n_bins)
+        .map(|q| sorted[(q * (sorted.len() - 1)) / n_bins])
+        .collect();
+    edges.dedup_by(|a, b| a == b);
+    let bucket = |v: f32| edges.partition_point(|&e| e < v);
+    let k = edges.len() + 1;
+    let mut base_counts = vec![0usize; k];
+    let mut cur_counts = vec![0usize; k];
+    for &v in baseline {
+        base_counts[bucket(v)] += 1;
+    }
+    for &v in current {
+        cur_counts[bucket(v)] += 1;
+    }
+    let (nb, nc) = (baseline.len() as f64, current.len() as f64);
+    let mut psi = 0.0;
+    for i in 0..k {
+        // Laplace smoothing keeps empty buckets finite.
+        let p = (base_counts[i] as f64 + 0.5) / (nb + 0.5 * k as f64);
+        let q = (cur_counts[i] as f64 + 0.5) / (nc + 0.5 * k as f64);
+        psi += (q - p) * (q / p).ln();
+    }
+    psi
+}
+
+#[cfg(test)]
+mod psi_tests {
+    use super::*;
+    use trout_linalg::SplitMix64;
+
+    #[test]
+    fn identical_distributions_score_near_zero() {
+        let mut rng = SplitMix64::new(1);
+        let a: Vec<f32> = (0..5_000).map(|_| rng.uniform(0.0, 100.0)).collect();
+        let b: Vec<f32> = (0..5_000).map(|_| rng.uniform(0.0, 100.0)).collect();
+        let psi = population_stability_index(&a, &b, 10);
+        assert!(psi < 0.02, "psi {psi}");
+    }
+
+    #[test]
+    fn shifted_distribution_scores_high() {
+        let mut rng = SplitMix64::new(2);
+        let a: Vec<f32> = (0..5_000).map(|_| rng.uniform(0.0, 100.0)).collect();
+        let b: Vec<f32> = (0..5_000).map(|_| rng.uniform(60.0, 160.0)).collect();
+        let psi = population_stability_index(&a, &b, 10);
+        assert!(psi > 0.25, "psi {psi} should flag a 60% shift");
+    }
+
+    #[test]
+    fn constant_baseline_is_finite() {
+        let a = vec![7.0f32; 100];
+        let b = vec![9.0f32; 100];
+        let psi = population_stability_index(&a, &b, 10);
+        assert!(psi.is_finite());
+    }
+
+    #[test]
+    fn psi_is_roughly_symmetric_in_magnitude() {
+        let mut rng = SplitMix64::new(3);
+        let a: Vec<f32> = (0..4_000).map(|_| rng.uniform(0.0, 50.0)).collect();
+        let b: Vec<f32> = (0..4_000).map(|_| rng.uniform(10.0, 60.0)).collect();
+        let ab = population_stability_index(&a, &b, 10);
+        let ba = population_stability_index(&b, &a, 10);
+        assert!((ab - ba).abs() < ab.max(ba) * 0.5, "{ab} vs {ba}");
+    }
+}

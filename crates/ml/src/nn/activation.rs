@@ -1,0 +1,137 @@
+//! Activation functions.
+
+use serde::{Deserialize, Serialize};
+
+/// Element-wise activation applied after each dense layer.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Activation {
+    /// Identity (used on output layers).
+    Identity,
+    /// Rectified linear unit.
+    Relu,
+    /// Exponential linear unit (the paper's choice): `x` for `x > 0`,
+    /// `alpha * (e^x - 1)` otherwise.
+    Elu {
+        /// Negative-side scale (1.0 in the paper's setup).
+        alpha: f32,
+    },
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Logistic sigmoid.
+    Sigmoid,
+}
+
+impl Activation {
+    /// Standard ELU with `alpha = 1`.
+    pub const ELU: Activation = Activation::Elu { alpha: 1.0 };
+
+    /// Applies the activation to a pre-activation value.
+    #[inline]
+    pub fn forward(self, z: f32) -> f32 {
+        match self {
+            Activation::Identity => z,
+            Activation::Relu => z.max(0.0),
+            Activation::Elu { alpha } => {
+                if z > 0.0 {
+                    z
+                } else {
+                    alpha * (z.exp() - 1.0)
+                }
+            }
+            Activation::Tanh => z.tanh(),
+            Activation::Sigmoid => trout_linalg::ops::sigmoid(z),
+        }
+    }
+
+    /// Derivative with respect to the pre-activation `z` (the cached forward
+    /// output `a` is supplied too, so sigmoid/tanh avoid recomputation).
+    #[inline]
+    pub fn derivative(self, z: f32, a: f32) -> f32 {
+        match self {
+            Activation::Identity => 1.0,
+            Activation::Relu => {
+                if z > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Activation::Elu { alpha } => {
+                if z > 0.0 {
+                    1.0
+                } else {
+                    // d/dz alpha(e^z - 1) = alpha e^z = a + alpha.
+                    a + alpha
+                }
+            }
+            Activation::Tanh => 1.0 - a * a,
+            Activation::Sigmoid => a * (1.0 - a),
+        }
+    }
+
+    /// Applies the activation to a whole slice, writing outputs over inputs.
+    pub fn forward_slice(self, zs: &[f32], out: &mut [f32]) {
+        debug_assert_eq!(zs.len(), out.len());
+        for (o, &z) in out.iter_mut().zip(zs) {
+            *o = self.forward(z);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_gradient(act: Activation, z: f32) {
+        let eps = 1e-3f32;
+        let num = (act.forward(z + eps) - act.forward(z - eps)) / (2.0 * eps);
+        let ana = act.derivative(z, act.forward(z));
+        assert!(
+            (num - ana).abs() < 2e-3,
+            "{act:?} at z={z}: numeric {num} vs analytic {ana}"
+        );
+    }
+
+    #[test]
+    fn derivatives_match_finite_differences() {
+        for act in [
+            Activation::Identity,
+            Activation::ELU,
+            Activation::Elu { alpha: 0.5 },
+            Activation::Tanh,
+            Activation::Sigmoid,
+        ] {
+            for z in [-2.0f32, -0.5, 0.3, 1.7] {
+                check_gradient(act, z);
+            }
+        }
+        // ReLU away from the kink.
+        for z in [-1.0f32, 1.0] {
+            check_gradient(Activation::Relu, z);
+        }
+    }
+
+    #[test]
+    fn elu_is_continuous_and_bounded_below() {
+        let elu = Activation::ELU;
+        assert!((elu.forward(1e-6) - elu.forward(-1e-6)).abs() < 1e-5);
+        assert!(elu.forward(-100.0) > -1.0 - 1e-6);
+        assert_eq!(elu.forward(3.0), 3.0);
+    }
+
+    #[test]
+    fn relu_clamps_negatives() {
+        assert_eq!(Activation::Relu.forward(-5.0), 0.0);
+        assert_eq!(Activation::Relu.forward(5.0), 5.0);
+    }
+
+    #[test]
+    fn slice_forward_matches_scalar() {
+        let zs = [-1.0f32, 0.0, 2.0];
+        let mut out = [0.0f32; 3];
+        Activation::ELU.forward_slice(&zs, &mut out);
+        for (o, z) in out.iter().zip(zs) {
+            assert_eq!(*o, Activation::ELU.forward(z));
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! Training losses.
+
+use serde::{Deserialize, Serialize};
+
+/// Loss functions over a batch of scalar predictions.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Loss {
+    /// Mean squared error.
+    Mse,
+    /// Mean absolute error.
+    Mae,
+    /// Smooth L1 (Huber with delta = `beta`): quadratic within `beta` of the
+    /// target, linear outside — "a combination of mean absolute error and
+    /// mean squared error … can account for large misses due to long queue
+    /// time jobs with outlier wait times and help prevent the effects of the
+    /// exploding gradient problem" (§III).
+    SmoothL1 {
+        /// Quadratic-to-linear transition point.
+        beta: f32,
+    },
+    /// Binary cross-entropy *on logits* (numerically stable log-sum-exp
+    /// form); targets must be 0 or 1.
+    BceWithLogits,
+}
+
+impl Loss {
+    /// Smooth L1 with the PyTorch default `beta = 1`.
+    pub const SMOOTH_L1: Loss = Loss::SmoothL1 { beta: 1.0 };
+
+    /// Per-sample loss value.
+    #[inline]
+    pub fn value(self, pred: f32, target: f32) -> f32 {
+        match self {
+            Loss::Mse => {
+                let d = pred - target;
+                d * d
+            }
+            Loss::Mae => (pred - target).abs(),
+            Loss::SmoothL1 { beta } => {
+                let d = (pred - target).abs();
+                if d < beta {
+                    0.5 * d * d / beta
+                } else {
+                    d - 0.5 * beta
+                }
+            }
+            Loss::BceWithLogits => {
+                // max(x,0) - x*t + ln(1 + e^-|x|)
+                let x = pred;
+                x.max(0.0) - x * target + (1.0 + (-x.abs()).exp()).ln()
+            }
+        }
+    }
+
+    /// Per-sample gradient d loss / d pred.
+    #[inline]
+    pub fn gradient(self, pred: f32, target: f32) -> f32 {
+        match self {
+            Loss::Mse => 2.0 * (pred - target),
+            Loss::Mae => (pred - target).signum(),
+            Loss::SmoothL1 { beta } => {
+                let d = pred - target;
+                if d.abs() < beta {
+                    d / beta
+                } else {
+                    d.signum()
+                }
+            }
+            Loss::BceWithLogits => trout_linalg::ops::sigmoid(pred) - target,
+        }
+    }
+
+    /// Mean loss over a batch.
+    pub fn mean(self, preds: &[f32], targets: &[f32]) -> f32 {
+        debug_assert_eq!(preds.len(), targets.len());
+        if preds.is_empty() {
+            return 0.0;
+        }
+        preds.iter().zip(targets).map(|(&p, &t)| self.value(p, t)).sum::<f32>()
+            / preds.len() as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_grad(loss: Loss, p: f32, t: f32) {
+        let eps = 1e-3;
+        let num = (loss.value(p + eps, t) - loss.value(p - eps, t)) / (2.0 * eps);
+        let ana = loss.gradient(p, t);
+        assert!((num - ana).abs() < 5e-3, "{loss:?} p={p} t={t}: {num} vs {ana}");
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        for loss in [Loss::Mse, Loss::SMOOTH_L1, Loss::SmoothL1 { beta: 2.0 }, Loss::BceWithLogits] {
+            for (p, t) in [(0.3, 1.0), (-2.0, 0.0), (5.0, 1.0), (0.5, 0.7)] {
+                check_grad(loss, p, t);
+            }
+        }
+        // MAE away from the kink.
+        check_grad(Loss::Mae, 2.0, 0.0);
+        check_grad(Loss::Mae, -2.0, 0.0);
+    }
+
+    #[test]
+    fn smooth_l1_blends_mse_and_mae() {
+        let s = Loss::SMOOTH_L1;
+        // Small residual: quadratic (half of MSE at beta=1).
+        assert!((s.value(0.1, 0.0) - 0.005).abs() < 1e-6);
+        // Large residual: linear with slope 1, offset -0.5.
+        assert!((s.value(10.0, 0.0) - 9.5).abs() < 1e-6);
+        // Gradient bounded by 1 — the anti-exploding-gradient property.
+        assert!(s.gradient(1e6, 0.0).abs() <= 1.0);
+    }
+
+    #[test]
+    fn bce_stable_at_extreme_logits() {
+        let b = Loss::BceWithLogits;
+        assert!(b.value(1000.0, 1.0) < 1e-6);
+        assert!(b.value(-1000.0, 0.0) < 1e-6);
+        assert!(b.value(-1000.0, 1.0).is_finite());
+        assert!(b.gradient(1000.0, 0.0).is_finite());
+    }
+
+    #[test]
+    fn mean_over_batch() {
+        let l = Loss::Mse;
+        assert_eq!(l.mean(&[1.0, 3.0], &[0.0, 0.0]), 5.0);
+        assert_eq!(l.mean(&[], &[]), 0.0);
+    }
+}

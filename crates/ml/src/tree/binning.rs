@@ -1,0 +1,168 @@
+//! Quantile feature binning for histogram-based tree learning.
+
+use trout_linalg::Matrix;
+
+/// Per-feature quantile cut points. A value `v` falls in bin
+/// `#{cuts < v}`; a split "at bin b" sends `v` left iff `v <= cuts[b]`,
+/// so trees can be evaluated on raw floats after being learned on bins.
+#[derive(Debug, Clone)]
+pub struct Binner {
+    cuts: Vec<Vec<f32>>,
+}
+
+/// Column-major binned dataset (`u8` bin ids), ready for histogram scans.
+#[derive(Debug, Clone)]
+pub struct BinnedMatrix {
+    /// `bins[feature * rows + row]`.
+    bins: Vec<u8>,
+    rows: usize,
+    cols: usize,
+}
+
+impl Binner {
+    /// Fits up to `max_bins` (<= 256) quantile bins per feature.
+    pub fn fit(x: &Matrix, max_bins: usize) -> Binner {
+        assert!((2..=256).contains(&max_bins), "max_bins must be in 2..=256");
+        assert!(x.rows() > 0, "cannot bin empty data");
+        let (n, d) = (x.rows(), x.cols());
+        let mut cuts = Vec::with_capacity(d);
+        let mut col = vec![0.0f32; n];
+        for j in 0..d {
+            for (r, c) in col.iter_mut().enumerate() {
+                *c = x.get(r, j);
+            }
+            col.sort_by(f32::total_cmp);
+            let mut feature_cuts: Vec<f32> = Vec::with_capacity(max_bins - 1);
+            for q in 1..max_bins {
+                let idx = (q * n) / max_bins;
+                let cut = col[idx.min(n - 1)];
+                if feature_cuts.last().is_none_or(|&last| cut > last) {
+                    feature_cuts.push(cut);
+                }
+            }
+            // Drop a trailing cut equal to the max: nothing would go right.
+            if feature_cuts.last() == Some(&col[n - 1]) && feature_cuts.len() > 1 {
+                // keep it: v <= cut goes left; max equals cut -> left; fine.
+            }
+            cuts.push(feature_cuts);
+        }
+        Binner { cuts }
+    }
+
+    /// Number of features.
+    pub fn n_features(&self) -> usize {
+        self.cuts.len()
+    }
+
+    /// Number of bins for `feature` (cuts + 1).
+    pub fn n_bins(&self, feature: usize) -> usize {
+        self.cuts[feature].len() + 1
+    }
+
+    /// The raw threshold of a split at `(feature, bin)`: values `<=` it go
+    /// left.
+    pub fn cut(&self, feature: usize, bin: u8) -> f32 {
+        self.cuts[feature][bin as usize]
+    }
+
+    /// Bin id of one value.
+    #[inline]
+    pub fn bin_value(&self, feature: usize, v: f32) -> u8 {
+        self.cuts[feature].partition_point(|&c| c < v) as u8
+    }
+
+    /// Bins a whole matrix into column-major `u8` storage.
+    pub fn bin(&self, x: &Matrix) -> BinnedMatrix {
+        assert_eq!(x.cols(), self.cuts.len(), "width mismatch");
+        let (n, d) = (x.rows(), x.cols());
+        let mut bins = vec![0u8; n * d];
+        for j in 0..d {
+            let col = &mut bins[j * n..(j + 1) * n];
+            for (r, b) in col.iter_mut().enumerate() {
+                *b = self.bin_value(j, x.get(r, j));
+            }
+        }
+        BinnedMatrix { bins, rows: n, cols: d }
+    }
+}
+
+impl BinnedMatrix {
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of features.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The bin column of `feature` (one `u8` per row).
+    #[inline]
+    pub fn feature(&self, feature: usize) -> &[u8] {
+        &self.bins[feature * self.rows..(feature + 1) * self.rows]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bins_are_monotone_in_value() {
+        let x = Matrix::from_vec(6, 1, vec![1.0, 5.0, 2.0, 9.0, 3.0, 7.0]);
+        let b = Binner::fit(&x, 4);
+        let mut prev = 0u8;
+        for v in [0.5f32, 1.5, 2.5, 4.0, 6.0, 8.0, 10.0] {
+            let bin = b.bin_value(0, v);
+            assert!(bin >= prev, "bin must not decrease with value");
+            prev = bin;
+        }
+    }
+
+    #[test]
+    fn split_semantics_match_thresholds() {
+        let x = Matrix::from_vec(8, 1, (1..=8).map(|i| i as f32).collect());
+        let b = Binner::fit(&x, 4);
+        for bin in 0..(b.n_bins(0) - 1) as u8 {
+            let cut = b.cut(0, bin);
+            // Everything binned at or below `bin` must be <= cut.
+            for v in (1..=8).map(|i| i as f32) {
+                if b.bin_value(0, v) <= bin {
+                    assert!(v <= cut, "v {v} bin {} cut {cut}", b.bin_value(0, v));
+                } else {
+                    assert!(v > cut, "v {v} bin {} cut {cut}", b.bin_value(0, v));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn constant_feature_gets_single_bin_region() {
+        let x = Matrix::from_vec(5, 1, vec![3.0; 5]);
+        let b = Binner::fit(&x, 8);
+        // All cuts equal 3.0 collapse to one; every value <= 3 bins to 0.
+        assert!(b.n_bins(0) <= 2);
+        assert_eq!(b.bin_value(0, 3.0), 0);
+    }
+
+    #[test]
+    fn binned_matrix_layout() {
+        let x = Matrix::from_vec(3, 2, vec![1.0, 10.0, 2.0, 20.0, 3.0, 30.0]);
+        let b = Binner::fit(&x, 4);
+        let bm = b.bin(&x);
+        assert_eq!(bm.rows(), 3);
+        assert_eq!(bm.cols(), 2);
+        assert_eq!(bm.feature(0).len(), 3);
+        // Column 0 bins should be non-decreasing since values are 1,2,3.
+        let f0 = bm.feature(0);
+        assert!(f0[0] <= f0[1] && f0[1] <= f0[2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "max_bins")]
+    fn rejects_bad_bin_count() {
+        let x = Matrix::from_vec(2, 1, vec![1.0, 2.0]);
+        let _ = Binner::fit(&x, 1);
+    }
+}

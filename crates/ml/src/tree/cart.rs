@@ -1,0 +1,345 @@
+//! The histogram CART learner in gradient/hessian form.
+//!
+//! Split gain is the XGBoost criterion
+//! `G_L²/(H_L+λ) + G_R²/(H_R+λ) − G²/(H+λ)` and leaf values are
+//! `−G/(H+λ)` scaled by `leaf_sign` (+1 for direct regression on targets
+//! where `g = y`, −1 for boosting where `g` is a gradient). With `g = y`,
+//! `h = 1`, `λ = 0` this is exactly classic variance-reduction CART with
+//! mean-valued leaves.
+
+use serde::{Deserialize, Serialize};
+use trout_linalg::SplitMix64;
+
+use super::binning::{Binner, BinnedMatrix};
+
+/// Tree growth parameters.
+#[derive(Debug, Clone)]
+pub struct TreeConfig {
+    /// Maximum depth (root = depth 0).
+    pub max_depth: usize,
+    /// Minimum samples on each side of a split.
+    pub min_samples_leaf: usize,
+    /// Minimum gain to accept a split.
+    pub min_gain: f32,
+    /// L2 regularization on leaf weights (XGBoost's lambda).
+    pub lambda: f32,
+    /// Fraction of features considered per split (1.0 = all; random forests
+    /// use sqrt(d)/d).
+    pub feature_subsample: f32,
+    /// Leaf value sign: `+1` when `g` holds raw targets, `-1` when `g` holds
+    /// loss gradients (Newton step).
+    pub leaf_sign: f32,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        TreeConfig {
+            max_depth: 6,
+            min_samples_leaf: 5,
+            min_gain: 1e-6,
+            lambda: 0.0,
+            feature_subsample: 1.0,
+            leaf_sign: 1.0,
+        }
+    }
+}
+
+/// Flat node storage: internal nodes carry a split, leaves a value.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+enum Node {
+    Split { feature: u16, threshold: f32, left: u32, right: u32 },
+    Leaf { value: f32 },
+}
+
+/// A trained decision tree, evaluable on raw `f32` rows.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Tree {
+    nodes: Vec<Node>,
+}
+
+impl Tree {
+    /// Grows a tree on the binned rows `rows` with per-row gradient `g` and
+    /// hessian `h` (`h[i] = 1` for plain regression).
+    pub fn fit(
+        binned: &BinnedMatrix,
+        binner: &Binner,
+        rows: &mut [u32],
+        g: &[f32],
+        h: &[f32],
+        cfg: &TreeConfig,
+        rng: &mut SplitMix64,
+    ) -> Tree {
+        assert!(!rows.is_empty(), "cannot fit a tree on zero rows");
+        let mut tree = Tree { nodes: Vec::with_capacity(64) };
+        tree.grow(binned, binner, rows, g, h, cfg, 0, rng);
+        tree
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn grow(
+        &mut self,
+        binned: &BinnedMatrix,
+        binner: &Binner,
+        rows: &mut [u32],
+        g: &[f32],
+        h: &[f32],
+        cfg: &TreeConfig,
+        depth: usize,
+        rng: &mut SplitMix64,
+    ) -> u32 {
+        let (g_sum, h_sum) = rows.iter().fold((0.0f64, 0.0f64), |(gs, hs), &r| {
+            (gs + g[r as usize] as f64, hs + h[r as usize] as f64)
+        });
+        let leaf_value =
+            (cfg.leaf_sign as f64 * g_sum / (h_sum + cfg.lambda as f64)).clamp(-1e10, 1e10) as f32;
+
+        if depth >= cfg.max_depth || rows.len() < 2 * cfg.min_samples_leaf {
+            return self.push(Node::Leaf { value: leaf_value });
+        }
+
+        let best = self.find_best_split(binned, rows, g, h, cfg, rng);
+        let Some((feature, bin, gain)) = best else {
+            return self.push(Node::Leaf { value: leaf_value });
+        };
+        if gain < cfg.min_gain {
+            return self.push(Node::Leaf { value: leaf_value });
+        }
+
+        // Partition rows in place: left = bin <= split bin.
+        let col = binned.feature(feature);
+        let mut i = 0usize;
+        let mut j = rows.len();
+        while i < j {
+            if col[rows[i] as usize] <= bin {
+                i += 1;
+            } else {
+                j -= 1;
+                rows.swap(i, j);
+            }
+        }
+        let split_at = i;
+        if split_at == 0 || split_at == rows.len() {
+            return self.push(Node::Leaf { value: leaf_value });
+        }
+
+        let node_idx = self.push(Node::Split {
+            feature: feature as u16,
+            threshold: binner.cut(feature, bin),
+            left: 0,
+            right: 0,
+        });
+        let (left_rows, right_rows) = rows.split_at_mut(split_at);
+        let left = self.grow(binned, binner, left_rows, g, h, cfg, depth + 1, rng);
+        let right = self.grow(binned, binner, right_rows, g, h, cfg, depth + 1, rng);
+        if let Node::Split { left: l, right: r, .. } = &mut self.nodes[node_idx as usize] {
+            *l = left;
+            *r = right;
+        }
+        node_idx
+    }
+
+    fn push(&mut self, node: Node) -> u32 {
+        self.nodes.push(node);
+        (self.nodes.len() - 1) as u32
+    }
+
+    /// Best `(feature, bin, gain)` over (a subsample of) features.
+    fn find_best_split(
+        &self,
+        binned: &BinnedMatrix,
+        rows: &[u32],
+        g: &[f32],
+        h: &[f32],
+        cfg: &TreeConfig,
+        rng: &mut SplitMix64,
+    ) -> Option<(usize, u8, f32)> {
+        let d = binned.cols();
+        let n_try = if cfg.feature_subsample >= 1.0 {
+            d
+        } else {
+            ((d as f32 * cfg.feature_subsample).ceil() as usize).clamp(1, d)
+        };
+        let features: Vec<usize> = if n_try == d {
+            (0..d).collect()
+        } else {
+            rng.sample_indices(d, n_try)
+        };
+
+        let lambda = cfg.lambda as f64;
+        let (g_tot, h_tot) = rows.iter().fold((0.0f64, 0.0f64), |(gs, hs), &r| {
+            (gs + g[r as usize] as f64, hs + h[r as usize] as f64)
+        });
+        let parent_score = g_tot * g_tot / (h_tot + lambda);
+
+        let mut best: Option<(usize, u8, f32)> = None;
+        // Histogram buffers reused across features.
+        let mut hist_g = [0.0f64; 256];
+        let mut hist_h = [0.0f64; 256];
+        let mut hist_n = [0u32; 256];
+        for &f in &features {
+            let col = binned.feature(f);
+            let n_bins = 256usize;
+            hist_g[..n_bins].fill(0.0);
+            hist_h[..n_bins].fill(0.0);
+            hist_n[..n_bins].fill(0);
+            let mut max_bin = 0usize;
+            for &r in rows {
+                let b = col[r as usize] as usize;
+                hist_g[b] += g[r as usize] as f64;
+                hist_h[b] += h[r as usize] as f64;
+                hist_n[b] += 1;
+                max_bin = max_bin.max(b);
+            }
+            let (mut gl, mut hl) = (0.0f64, 0.0f64);
+            let mut nl = 0usize;
+            for b in 0..max_bin {
+                gl += hist_g[b];
+                hl += hist_h[b];
+                nl += hist_n[b] as usize;
+                if nl < cfg.min_samples_leaf {
+                    continue;
+                }
+                let nr = rows.len() - nl;
+                if nr < cfg.min_samples_leaf {
+                    break;
+                }
+                let gr = g_tot - gl;
+                let hr = h_tot - hl;
+                let gain =
+                    (gl * gl / (hl + lambda) + gr * gr / (hr + lambda) - parent_score) as f32;
+                if best.is_none_or(|(_, _, bg)| gain > bg) {
+                    best = Some((f, b as u8, gain));
+                }
+            }
+        }
+        best
+    }
+
+    /// Predicts one raw feature row.
+    pub fn predict_row(&self, row: &[f32]) -> f32 {
+        let mut idx = 0u32;
+        loop {
+            match &self.nodes[idx as usize] {
+                Node::Leaf { value } => return *value,
+                Node::Split { feature, threshold, left, right } => {
+                    idx = if row[*feature as usize] <= *threshold { *left } else { *right };
+                }
+            }
+        }
+    }
+
+    /// Number of nodes (leaves + splits).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Maximum depth actually reached.
+    pub fn depth(&self) -> usize {
+        fn rec(nodes: &[Node], idx: u32) -> usize {
+            match &nodes[idx as usize] {
+                Node::Leaf { .. } => 0,
+                Node::Split { left, right, .. } => 1 + rec(nodes, *left).max(rec(nodes, *right)),
+            }
+        }
+        rec(&self.nodes, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trout_linalg::Matrix;
+
+    fn fit_regression(x: &Matrix, y: &[f32], cfg: &TreeConfig) -> (Tree, Binner) {
+        let binner = Binner::fit(x, 64);
+        let binned = binner.bin(x);
+        let mut rows: Vec<u32> = (0..x.rows() as u32).collect();
+        let h = vec![1.0f32; y.len()];
+        let mut rng = SplitMix64::new(5);
+        (Tree::fit(&binned, &binner, &mut rows, y, &h, cfg, &mut rng), binner)
+    }
+
+    #[test]
+    fn splits_a_step_function_exactly() {
+        // y = 0 for x <= 0.5, 10 for x > 0.5.
+        let n = 40;
+        let xs: Vec<f32> = (0..n).map(|i| i as f32 / n as f32).collect();
+        let y: Vec<f32> = xs.iter().map(|&v| if v <= 0.5 { 0.0 } else { 10.0 }).collect();
+        let x = Matrix::from_vec(n, 1, xs);
+        let cfg = TreeConfig { max_depth: 2, min_samples_leaf: 1, ..Default::default() };
+        let (tree, _) = fit_regression(&x, &y, &cfg);
+        assert!((tree.predict_row(&[0.2]) - 0.0).abs() < 1e-4);
+        assert!((tree.predict_row(&[0.9]) - 10.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn respects_max_depth() {
+        let n = 256;
+        let xs: Vec<f32> = (0..n).map(|i| i as f32).collect();
+        let y: Vec<f32> = (0..n).map(|i| (i % 7) as f32).collect();
+        let x = Matrix::from_vec(n, 1, xs);
+        let cfg = TreeConfig { max_depth: 3, min_samples_leaf: 1, ..Default::default() };
+        let (tree, _) = fit_regression(&x, &y, &cfg);
+        assert!(tree.depth() <= 3, "depth {}", tree.depth());
+    }
+
+    #[test]
+    fn min_samples_leaf_is_enforced() {
+        let n = 20;
+        let xs: Vec<f32> = (0..n).map(|i| i as f32).collect();
+        let y = xs.clone();
+        let x = Matrix::from_vec(n, 1, xs);
+        let cfg = TreeConfig { max_depth: 10, min_samples_leaf: 8, ..Default::default() };
+        let (tree, _) = fit_regression(&x, &y, &cfg);
+        // With min leaf 8 out of 20 samples, at most 1 split fits cleanly.
+        assert!(tree.depth() <= 2, "depth {}", tree.depth());
+    }
+
+    #[test]
+    fn pure_node_becomes_leaf() {
+        let x = Matrix::from_vec(10, 1, (0..10).map(|i| i as f32).collect());
+        let y = vec![4.0f32; 10];
+        let cfg = TreeConfig { min_samples_leaf: 1, ..Default::default() };
+        let (tree, _) = fit_regression(&x, &y, &cfg);
+        assert_eq!(tree.node_count(), 1, "constant target should produce a single leaf");
+        assert!((tree.predict_row(&[3.0]) - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn leaf_value_is_mean_with_unit_hessians() {
+        let x = Matrix::from_vec(4, 1, vec![0.0, 0.0, 0.0, 0.0]);
+        let y = [1.0f32, 2.0, 3.0, 6.0];
+        let cfg = TreeConfig::default();
+        let (tree, _) = fit_regression(&x, &y, &cfg);
+        assert!((tree.predict_row(&[0.0]) - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn lambda_shrinks_leaves() {
+        let x = Matrix::from_vec(4, 1, vec![0.0; 4]);
+        let y = [4.0f32; 4];
+        let cfg = TreeConfig { lambda: 4.0, ..Default::default() }; // leaf = 16/(4+4) = 2
+        let (tree, _) = fit_regression(&x, &y, &cfg);
+        assert!((tree.predict_row(&[0.0]) - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn two_feature_interaction() {
+        // y = 1 iff (a > 0.5 && b > 0.5): needs two levels.
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..16 {
+            for j in 0..16 {
+                let (a, b) = (i as f32 / 16.0, j as f32 / 16.0);
+                rows.extend_from_slice(&[a, b]);
+                y.push(if a > 0.5 && b > 0.5 { 1.0 } else { 0.0 });
+            }
+        }
+        let x = Matrix::from_vec(256, 2, rows);
+        let cfg = TreeConfig { max_depth: 3, min_samples_leaf: 1, ..Default::default() };
+        let (tree, _) = fit_regression(&x, &y, &cfg);
+        assert!(tree.predict_row(&[0.9, 0.9]) > 0.9);
+        assert!(tree.predict_row(&[0.9, 0.1]) < 0.1);
+        assert!(tree.predict_row(&[0.1, 0.9]) < 0.1);
+    }
+}

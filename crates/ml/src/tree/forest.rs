@@ -1,0 +1,191 @@
+//! Random forests (regression and binary classification).
+//!
+//! The paper uses a random forest twice: as the runtime predictor feeding the
+//! `Pred Runtime` features, and as one of the three baselines ("a random
+//! forest was used as a benchmark instead [of single decision trees] to
+//! reduce overfitting and have less variance", §IV).
+
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use trout_linalg::{Matrix, SplitMix64};
+
+use super::binning::Binner;
+use super::cart::{Tree, TreeConfig};
+
+/// Random forest hyper-parameters.
+#[derive(Debug, Clone)]
+pub struct RandomForestConfig {
+    /// Number of trees.
+    pub n_trees: usize,
+    /// Maximum tree depth.
+    pub max_depth: usize,
+    /// Minimum samples per leaf.
+    pub min_samples_leaf: usize,
+    /// Fraction of features per split; `None` = `sqrt(d)/d` (the classic
+    /// forest default).
+    pub feature_subsample: Option<f32>,
+    /// Bootstrap-sample rows per tree.
+    pub bootstrap: bool,
+    /// Feature bin count.
+    pub max_bins: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for RandomForestConfig {
+    fn default() -> Self {
+        RandomForestConfig {
+            n_trees: 100,
+            max_depth: 12,
+            min_samples_leaf: 3,
+            feature_subsample: None,
+            bootstrap: true,
+            max_bins: 64,
+            seed: 0,
+        }
+    }
+}
+
+/// A trained forest. For classification, targets are 0/1 and the prediction
+/// is the mean leaf value = class-1 probability.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RandomForest {
+    trees: Vec<Tree>,
+}
+
+impl RandomForest {
+    /// Fits a regression forest (for classification, pass 0/1 labels as `y`
+    /// and read [`RandomForest::predict`] as a probability).
+    pub fn fit(x: &Matrix, y: &[f32], cfg: &RandomForestConfig) -> RandomForest {
+        assert_eq!(x.rows(), y.len(), "x/y length mismatch");
+        assert!(x.rows() > 0, "cannot fit on empty data");
+        assert!(cfg.n_trees > 0, "need at least one tree");
+        let binner = Binner::fit(x, cfg.max_bins);
+        let binned = binner.bin(x);
+        let n = x.rows();
+        let d = x.cols();
+        let subsample = cfg
+            .feature_subsample
+            .unwrap_or_else(|| ((d as f32).sqrt() / d as f32).clamp(0.05, 1.0));
+        let tree_cfg = TreeConfig {
+            max_depth: cfg.max_depth,
+            min_samples_leaf: cfg.min_samples_leaf,
+            min_gain: 1e-7,
+            lambda: 0.0,
+            feature_subsample: subsample,
+            leaf_sign: 1.0,
+        };
+        let h = vec![1.0f32; n];
+        let mut root_rng = SplitMix64::new(cfg.seed ^ 0x666F_7265_7374);
+        let seeds: Vec<u64> = (0..cfg.n_trees).map(|_| root_rng.next_u64()).collect();
+        let trees: Vec<Tree> = seeds
+            .into_par_iter()
+            .map(|seed| {
+                let mut rng = SplitMix64::new(seed);
+                let mut rows: Vec<u32> = if cfg.bootstrap {
+                    (0..n).map(|_| rng.next_below(n as u64) as u32).collect()
+                } else {
+                    (0..n as u32).collect()
+                };
+                Tree::fit(&binned, &binner, &mut rows, y, &h, &tree_cfg, &mut rng)
+            })
+            .collect();
+        RandomForest { trees }
+    }
+
+    /// Number of trees.
+    pub fn n_trees(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Mean prediction over trees for one raw row.
+    pub fn predict_row(&self, row: &[f32]) -> f32 {
+        let sum: f32 = self.trees.iter().map(|t| t.predict_row(row)).sum();
+        sum / self.trees.len() as f32
+    }
+
+    /// Batch prediction, parallel over rows.
+    pub fn predict(&self, x: &Matrix) -> Vec<f32> {
+        (0..x.rows())
+            .into_par_iter()
+            .map(|r| self.predict_row(x.row(r)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_xy(f: impl Fn(f32, f32) -> f32) -> (Matrix, Vec<f32>) {
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..24 {
+            for j in 0..24 {
+                let (a, b) = (i as f32 / 24.0, j as f32 / 24.0);
+                rows.extend_from_slice(&[a, b]);
+                y.push(f(a, b));
+            }
+        }
+        (Matrix::from_vec(24 * 24, 2, rows), y)
+    }
+
+    #[test]
+    fn fits_a_smooth_surface() {
+        let (x, y) = grid_xy(|a, b| a * 2.0 + b * b);
+        let cfg = RandomForestConfig { n_trees: 30, max_depth: 8, ..Default::default() };
+        let rf = RandomForest::fit(&x, &y, &cfg);
+        let preds = rf.predict(&x);
+        let err = crate::metrics::mae(&preds, &y);
+        assert!(err < 0.1, "train mae {err}");
+    }
+
+    #[test]
+    fn classification_probabilities_are_sane() {
+        let (x, y) = grid_xy(|a, b| if a + b > 1.0 { 1.0 } else { 0.0 });
+        let cfg = RandomForestConfig { n_trees: 40, max_depth: 6, ..Default::default() };
+        let rf = RandomForest::fit(&x, &y, &cfg);
+        assert!(rf.predict_row(&[0.9, 0.9]) > 0.8);
+        assert!(rf.predict_row(&[0.1, 0.1]) < 0.2);
+        let p = rf.predict_row(&[0.5, 0.5]);
+        assert!((0.0..=1.0).contains(&p));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let (x, y) = grid_xy(|a, b| a - b);
+        let cfg = RandomForestConfig { n_trees: 8, seed: 42, ..Default::default() };
+        let a = RandomForest::fit(&x, &y, &cfg).predict(&x);
+        let b = RandomForest::fit(&x, &y, &cfg).predict(&x);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn more_trees_reduce_variance() {
+        // Compare two small forests' disagreement with a larger one.
+        let (x, y) = grid_xy(|a, b| (8.0 * a).sin() + (5.0 * b).cos());
+        let small1 = RandomForest::fit(&x, &y, &RandomForestConfig { n_trees: 2, seed: 1, ..Default::default() });
+        let small2 = RandomForest::fit(&x, &y, &RandomForestConfig { n_trees: 2, seed: 2, ..Default::default() });
+        let big1 = RandomForest::fit(&x, &y, &RandomForestConfig { n_trees: 60, seed: 1, ..Default::default() });
+        let big2 = RandomForest::fit(&x, &y, &RandomForestConfig { n_trees: 60, seed: 2, ..Default::default() });
+        let d_small = crate::metrics::mae(&small1.predict(&x), &small2.predict(&x));
+        let d_big = crate::metrics::mae(&big1.predict(&x), &big2.predict(&x));
+        assert!(d_big < d_small, "seed sensitivity should drop with trees: {d_big} vs {d_small}");
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let (x, y) = grid_xy(|a, _| a);
+        let rf = RandomForest::fit(&x, &y, &RandomForestConfig { n_trees: 3, ..Default::default() });
+        let json = serde_json::to_string(&rf).unwrap();
+        let back: RandomForest = serde_json::from_str(&json).unwrap();
+        assert_eq!(rf.predict(&x), back.predict(&x));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn rejects_mismatched_lengths() {
+        let x = Matrix::zeros(3, 2);
+        let _ = RandomForest::fit(&x, &[1.0], &RandomForestConfig::default());
+    }
+}

@@ -1,0 +1,242 @@
+//! Gradient-boosted trees with the second-order (XGBoost-style) objective —
+//! the paper's "XGBoost regression model" baseline (§IV, citing Brown et al.
+//! who used XGBoost for queue-wait prediction).
+
+use serde::{Deserialize, Serialize};
+use trout_linalg::{ops::sigmoid, Matrix, SplitMix64};
+
+use super::binning::Binner;
+use super::cart::{Tree, TreeConfig};
+
+/// Boosting objective.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Objective {
+    /// Squared-error regression: `g = pred − y`, `h = 1`.
+    SquaredError,
+    /// Binary logistic: raw scores are logits; `g = p − y`, `h = p(1−p)`.
+    Logistic,
+}
+
+/// Boosting hyper-parameters (defaults follow common XGBoost practice:
+/// 100 rounds, depth 6, eta 0.1, lambda 1).
+#[derive(Debug, Clone)]
+pub struct GbtConfig {
+    /// Number of boosting rounds.
+    pub n_rounds: usize,
+    /// Maximum depth per tree.
+    pub max_depth: usize,
+    /// Shrinkage (learning rate, eta).
+    pub learning_rate: f32,
+    /// L2 regularization on leaf weights.
+    pub lambda: f32,
+    /// Minimum samples per leaf.
+    pub min_samples_leaf: usize,
+    /// Row subsample fraction per round (1.0 = all).
+    pub subsample: f32,
+    /// Feature bin count.
+    pub max_bins: usize,
+    /// Objective.
+    pub objective: Objective,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for GbtConfig {
+    fn default() -> Self {
+        GbtConfig {
+            n_rounds: 100,
+            max_depth: 6,
+            learning_rate: 0.1,
+            lambda: 1.0,
+            min_samples_leaf: 3,
+            subsample: 1.0,
+            max_bins: 64,
+            objective: Objective::SquaredError,
+            seed: 0,
+        }
+    }
+}
+
+/// A trained boosted ensemble.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Gbt {
+    base_score: f32,
+    learning_rate: f32,
+    objective: Objective,
+    trees: Vec<Tree>,
+}
+
+impl Gbt {
+    /// Fits the ensemble.
+    pub fn fit(x: &Matrix, y: &[f32], cfg: &GbtConfig) -> Gbt {
+        assert_eq!(x.rows(), y.len(), "x/y length mismatch");
+        assert!(x.rows() > 0, "cannot fit on empty data");
+        let n = x.rows();
+        let binner = Binner::fit(x, cfg.max_bins);
+        let binned = binner.bin(x);
+        let base_score = match cfg.objective {
+            Objective::SquaredError => y.iter().sum::<f32>() / n as f32,
+            Objective::Logistic => 0.0,
+        };
+        let tree_cfg = TreeConfig {
+            max_depth: cfg.max_depth,
+            min_samples_leaf: cfg.min_samples_leaf,
+            min_gain: 1e-7,
+            lambda: cfg.lambda,
+            feature_subsample: 1.0,
+            leaf_sign: -1.0,
+        };
+        let mut rng = SplitMix64::new(cfg.seed ^ 0x6762_7473);
+        let mut scores = vec![base_score; n];
+        let mut g = vec![0.0f32; n];
+        let mut h = vec![0.0f32; n];
+        let mut trees = Vec::with_capacity(cfg.n_rounds);
+        for _ in 0..cfg.n_rounds {
+            match cfg.objective {
+                Objective::SquaredError => {
+                    for i in 0..n {
+                        g[i] = scores[i] - y[i];
+                        h[i] = 1.0;
+                    }
+                }
+                Objective::Logistic => {
+                    for i in 0..n {
+                        let p = sigmoid(scores[i]);
+                        g[i] = p - y[i];
+                        h[i] = (p * (1.0 - p)).max(1e-6);
+                    }
+                }
+            }
+            let mut rows: Vec<u32> = if cfg.subsample >= 1.0 {
+                (0..n as u32).collect()
+            } else {
+                let k = ((n as f32 * cfg.subsample) as usize).clamp(1, n);
+                rng.sample_indices(n, k).into_iter().map(|i| i as u32).collect()
+            };
+            let tree = Tree::fit(&binned, &binner, &mut rows, &g, &h, &tree_cfg, &mut rng);
+            for (i, s) in scores.iter_mut().enumerate() {
+                *s += cfg.learning_rate * tree.predict_row(x.row(i));
+            }
+            trees.push(tree);
+        }
+        Gbt { base_score, learning_rate: cfg.learning_rate, objective: cfg.objective, trees }
+    }
+
+    /// Number of trees.
+    pub fn n_trees(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Raw score for one row (a logit under [`Objective::Logistic`]).
+    pub fn score_row(&self, row: &[f32]) -> f32 {
+        let mut s = self.base_score;
+        for t in &self.trees {
+            s += self.learning_rate * t.predict_row(row);
+        }
+        s
+    }
+
+    /// Prediction for one row: the raw score for regression, the probability
+    /// for logistic.
+    pub fn predict_row(&self, row: &[f32]) -> f32 {
+        let s = self.score_row(row);
+        match self.objective {
+            Objective::SquaredError => s,
+            Objective::Logistic => sigmoid(s),
+        }
+    }
+
+    /// Batch prediction.
+    pub fn predict(&self, x: &Matrix) -> Vec<f32> {
+        (0..x.rows()).map(|r| self.predict_row(x.row(r))).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wave() -> (Matrix, Vec<f32>) {
+        let n = 400;
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        let mut rng = SplitMix64::new(9);
+        for _ in 0..n {
+            let a = rng.uniform(0.0, 1.0);
+            let b = rng.uniform(0.0, 1.0);
+            rows.extend_from_slice(&[a, b]);
+            y.push((6.0 * a).sin() + 2.0 * b);
+        }
+        (Matrix::from_vec(n, 2, rows), y)
+    }
+
+    #[test]
+    fn boosting_reduces_error_with_rounds() {
+        let (x, y) = wave();
+        let short = Gbt::fit(&x, &y, &GbtConfig { n_rounds: 5, ..Default::default() });
+        let long = Gbt::fit(&x, &y, &GbtConfig { n_rounds: 120, ..Default::default() });
+        let e_short = crate::metrics::mae(&short.predict(&x), &y);
+        let e_long = crate::metrics::mae(&long.predict(&x), &y);
+        assert!(e_long < e_short / 2.0, "boosting stalled: {e_short} -> {e_long}");
+        assert!(e_long < 0.08, "final mae {e_long}");
+    }
+
+    #[test]
+    fn base_score_is_mean_for_regression() {
+        let x = Matrix::from_vec(4, 1, vec![0.0, 1.0, 2.0, 3.0]);
+        let y = [2.0f32, 4.0, 6.0, 8.0];
+        let gbt = Gbt::fit(&x, &y, &GbtConfig { n_rounds: 0, ..Default::default() });
+        assert!((gbt.predict_row(&[9.0]) - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn logistic_objective_learns_a_boundary() {
+        let n = 300;
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        let mut rng = SplitMix64::new(4);
+        for _ in 0..n {
+            let a = rng.uniform(-1.0, 1.0);
+            let b = rng.uniform(-1.0, 1.0);
+            rows.extend_from_slice(&[a, b]);
+            y.push(if a * a + b * b < 0.5 { 1.0 } else { 0.0 });
+        }
+        let x = Matrix::from_vec(n, 2, rows);
+        let cfg = GbtConfig {
+            n_rounds: 60,
+            max_depth: 4,
+            objective: Objective::Logistic,
+            ..Default::default()
+        };
+        let gbt = Gbt::fit(&x, &y, &cfg);
+        assert!(gbt.predict_row(&[0.0, 0.0]) > 0.8);
+        assert!(gbt.predict_row(&[0.95, 0.95]) < 0.2);
+        let acc = crate::metrics::binary_accuracy(&gbt.predict(&x), &y);
+        assert!(acc > 0.9, "train accuracy {acc}");
+    }
+
+    #[test]
+    fn subsampling_still_learns() {
+        let (x, y) = wave();
+        let cfg = GbtConfig { n_rounds: 80, subsample: 0.5, seed: 3, ..Default::default() };
+        let gbt = Gbt::fit(&x, &y, &cfg);
+        let err = crate::metrics::mae(&gbt.predict(&x), &y);
+        assert!(err < 0.15, "mae {err}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let (x, y) = wave();
+        let cfg = GbtConfig { n_rounds: 10, subsample: 0.7, seed: 12, ..Default::default() };
+        assert_eq!(Gbt::fit(&x, &y, &cfg).predict(&x), Gbt::fit(&x, &y, &cfg).predict(&x));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let (x, y) = wave();
+        let gbt = Gbt::fit(&x, &y, &GbtConfig { n_rounds: 4, ..Default::default() });
+        let json = serde_json::to_string(&gbt).unwrap();
+        let back: Gbt = serde_json::from_str(&json).unwrap();
+        assert_eq!(gbt.predict(&x), back.predict(&x));
+    }
+}

@@ -1,0 +1,19 @@
+//! Tree-based models: CART, random forests, gradient-boosted trees.
+//!
+//! All three baselines the paper compares TROUT against are tree-adjacent
+//! (XGBoost, random forest, and — via [`crate::knn`] — kNN), and the paper's
+//! runtime predictor is itself a random forest. Everything here is built on
+//! one histogram-based CART learner ([`Tree`]) expressed in the
+//! gradient/hessian form XGBoost popularized: plain regression is the special
+//! case `g = y, h = 1` (variance-reduction splits, mean leaves), and boosting
+//! supplies per-round gradients with regularized leaf weights.
+
+mod binning;
+mod cart;
+mod forest;
+mod gbt;
+
+pub use binning::{Binner, BinnedMatrix};
+pub use cart::{Tree, TreeConfig};
+pub use forest::{RandomForest, RandomForestConfig};
+pub use gbt::{Gbt, GbtConfig, Objective};

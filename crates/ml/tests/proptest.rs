@@ -1,0 +1,140 @@
+//! Property tests over the ML stack's invariants.
+
+use proptest::prelude::*;
+use trout_linalg::Matrix;
+use trout_ml::cv::{ShuffledKFold, TimeSeriesSplit};
+use trout_ml::metrics;
+use trout_ml::nn::{Activation, Loss};
+use trout_ml::smote::{smote_balance, SmoteConfig};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn activation_derivatives_match_finite_differences(
+        z in -4.0f32..4.0,
+        alpha in 0.1f32..2.0,
+    ) {
+        for act in [
+            Activation::Identity,
+            Activation::Elu { alpha },
+            Activation::Tanh,
+            Activation::Sigmoid,
+        ] {
+            // ELU with alpha != 1 has a derivative kink at z = 0 (left limit
+            // alpha, right limit 1); central differences straddle it, so
+            // keep the probe off the kink.
+            if matches!(act, Activation::Elu { .. }) && z.abs() < 5e-3 {
+                continue;
+            }
+            let eps = 1e-3f32;
+            let num = (act.forward(z + eps) - act.forward(z - eps)) / (2.0 * eps);
+            let ana = act.derivative(z, act.forward(z));
+            prop_assert!((num - ana).abs() < 5e-3, "{:?} z={} {} vs {}", act, z, num, ana);
+        }
+    }
+
+    #[test]
+    fn loss_gradients_match_finite_differences(
+        p in -20.0f32..20.0,
+        t in -20.0f32..20.0,
+        beta in 0.2f32..3.0,
+    ) {
+        for loss in [Loss::Mse, Loss::SmoothL1 { beta }, Loss::BceWithLogits] {
+            // BCE needs a 0/1 target.
+            let target = if matches!(loss, Loss::BceWithLogits) {
+                f32::from(t > 0.0)
+            } else {
+                t
+            };
+            let eps = 1e-2f32;
+            let num = (loss.value(p + eps, target) - loss.value(p - eps, target)) / (2.0 * eps);
+            let ana = loss.gradient(p, target);
+            prop_assert!(
+                (num - ana).abs() < 2e-2 * (1.0 + ana.abs()),
+                "{:?} p={} t={}: {} vs {}", loss, p, target, num, ana
+            );
+        }
+    }
+
+    #[test]
+    fn smooth_l1_gradient_is_bounded(p in -1e6f32..1e6, t in -1e6f32..1e6) {
+        let g = Loss::SMOOTH_L1.gradient(p, t);
+        prop_assert!(g.abs() <= 1.0 + 1e-6, "gradient {} explodes", g);
+    }
+
+    #[test]
+    fn mape_is_scale_invariant(
+        preds in prop::collection::vec(1.0f32..1e4, 1..40),
+        scale in 1.0f32..100.0,
+    ) {
+        let targets: Vec<f32> = preds.iter().map(|&p| p * 1.5 + 3.0).collect();
+        let a = metrics::mape(&preds, &targets);
+        let sp: Vec<f32> = preds.iter().map(|&p| p * scale).collect();
+        let st: Vec<f32> = targets.iter().map(|&t| t * scale).collect();
+        let b = metrics::mape(&sp, &st);
+        prop_assert!((a - b).abs() < 0.3 + a * 0.05, "{} vs {}", a, b);
+    }
+
+    #[test]
+    fn pearson_r_is_within_unit_interval(
+        pairs in prop::collection::vec((-1e3f32..1e3, -1e3f32..1e3), 2..64),
+    ) {
+        let preds: Vec<f32> = pairs.iter().map(|p| p.0).collect();
+        let targets: Vec<f32> = pairs.iter().map(|p| p.1).collect();
+        let r = metrics::pearson_r(&preds, &targets);
+        prop_assert!((-1.0 - 1e-6..=1.0 + 1e-6).contains(&r), "r = {}", r);
+    }
+
+    #[test]
+    fn time_series_split_never_leaks_future(n in 24usize..500) {
+        for fold in TimeSeriesSplit::paper(n).split(n) {
+            let max_train = *fold.train.iter().max().unwrap();
+            let min_test = *fold.test.iter().min().unwrap();
+            prop_assert!(max_train < min_test);
+        }
+    }
+
+    #[test]
+    fn shuffled_kfold_partitions(n in 6usize..300, k in 2usize..6, seed in 0u64..100) {
+        prop_assume!(n >= k);
+        let folds = ShuffledKFold { n_splits: k, seed }.split(n);
+        let mut seen = vec![0usize; n];
+        for f in &folds {
+            for &i in &f.test {
+                seen[i] += 1;
+            }
+        }
+        prop_assert!(seen.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn smote_always_balances(
+        minority_count in 2usize..20,
+        majority_count in 20usize..120,
+        seed in 0u64..50,
+    ) {
+        let n = minority_count + majority_count;
+        let mut data = Vec::with_capacity(n * 2);
+        let mut labels = Vec::with_capacity(n);
+        for i in 0..n {
+            let minority = i < minority_count;
+            let c = if minority { 10.0 } else { 0.0 };
+            data.push(c + (i % 7) as f32 * 0.1);
+            data.push(c - (i % 5) as f32 * 0.1);
+            labels.push(if minority { 1.0 } else { 0.0 });
+        }
+        let x = Matrix::from_vec(n, 2, data);
+        let cfg = SmoteConfig { seed, ..Default::default() };
+        let (bx, by) = smote_balance(&x, &labels, &cfg);
+        let ones = by.iter().filter(|&&l| l >= 0.5).count();
+        prop_assert_eq!(ones * 2, by.len(), "classes not balanced");
+        prop_assert_eq!(bx.rows(), by.len());
+        // Synthetic minority points stay in the minority's bounding box.
+        for (r, &label) in by.iter().enumerate() {
+            if label >= 0.5 {
+                prop_assert!(bx.row(r)[0] > 5.0, "synthetic point leaked into majority region");
+            }
+        }
+    }
+}

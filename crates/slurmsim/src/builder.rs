@@ -1,0 +1,107 @@
+//! High-level entry point: workload generation + scheduling in one call.
+
+use trout_workload::{ClusterSpec, UserPopulation, WorkloadConfig, WorkloadGenerator};
+
+use crate::record::Trace;
+use crate::scheduler::{simulate, SchedulerConfig};
+
+/// Builds and runs a full simulation: generate an Anvil-like workload, then
+/// schedule it, yielding the accounting [`Trace`] the rest of TROUT consumes.
+///
+/// ```
+/// use trout_slurmsim::SimulationBuilder;
+///
+/// let trace = SimulationBuilder::anvil_like().jobs(300).seed(1).run();
+/// assert_eq!(trace.records.len(), 300);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimulationBuilder {
+    workload: WorkloadConfig,
+    cluster: ClusterSpec,
+    scheduler: SchedulerConfig,
+}
+
+impl SimulationBuilder {
+    /// Anvil-like defaults: 7 partitions, shared-dominated mix, multifactor
+    /// priority with fair-share, EASY backfill.
+    pub fn anvil_like() -> Self {
+        SimulationBuilder {
+            workload: WorkloadConfig::anvil_like(10_000),
+            cluster: ClusterSpec::anvil_like(),
+            scheduler: SchedulerConfig::default(),
+        }
+    }
+
+    /// Sets the number of jobs to generate.
+    pub fn jobs(mut self, jobs: usize) -> Self {
+        self.workload.jobs = jobs;
+        self.workload.users = (jobs / 80).clamp(24, 4_624);
+        self
+    }
+
+    /// Sets the RNG seed (trace is a pure function of it).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.workload.seed = seed;
+        self
+    }
+
+    /// Overrides the workload configuration wholesale.
+    pub fn workload(mut self, cfg: WorkloadConfig) -> Self {
+        self.workload = cfg;
+        self
+    }
+
+    /// Overrides the scheduler configuration.
+    pub fn scheduler(mut self, cfg: SchedulerConfig) -> Self {
+        self.scheduler = cfg;
+        self
+    }
+
+    /// Overrides the cluster topology.
+    pub fn cluster(mut self, cluster: ClusterSpec) -> Self {
+        self.cluster = cluster;
+        self
+    }
+
+    /// Runs generation + scheduling, returning the trace.
+    pub fn run(self) -> Trace {
+        self.run_with_population().0
+    }
+
+    /// Like [`SimulationBuilder::run`] but also returns the user population
+    /// (needed when downstream code wants per-user shares).
+    pub fn run_with_population(self) -> (Trace, UserPopulation) {
+        let generator = WorkloadGenerator::new(self.workload, self.cluster.clone());
+        let (population, jobs) = generator.generate();
+        let trace = simulate(&self.cluster, &population, jobs, &self.scheduler);
+        (trace, population)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_produces_requested_jobs() {
+        let trace = SimulationBuilder::anvil_like().jobs(400).seed(2).run();
+        assert_eq!(trace.records.len(), 400);
+    }
+
+    #[test]
+    fn builder_is_deterministic() {
+        let a = SimulationBuilder::anvil_like().jobs(200).seed(8).run();
+        let b = SimulationBuilder::anvil_like().jobs(200).seed(8).run();
+        assert_eq!(a.records, b.records);
+    }
+
+    #[test]
+    fn queue_time_distribution_shape() {
+        // The headline statistic the paper reports about its data: a large
+        // majority of jobs start almost immediately, with a heavy tail.
+        let trace = SimulationBuilder::anvil_like().jobs(10_000).seed(42).run();
+        let quick = trace.quick_start_fraction(10.0);
+        assert!(quick > 0.6, "quick-start fraction {quick} too low — cluster overloaded");
+        assert!(quick < 0.98, "quick-start fraction {quick} too high — no contention at all");
+    }
+}

@@ -1,0 +1,128 @@
+//! Fair-share usage tracking with exponential decay.
+//!
+//! Anvil runs SLURM "configured with a fair share policy" (§I), which is why
+//! the paper must engineer user-history features at all. We implement the
+//! classic SLURM fair-share factor `F = 2^(-U/S)` where `U` is the user's
+//! normalized decayed usage and `S` their normalized share, with usage
+//! half-life decay (SLURM's `PriorityDecayHalfLife`, default 7 days).
+
+/// Per-user decayed CPU-second usage plus share weights.
+#[derive(Debug, Clone)]
+pub struct FairShareTracker {
+    half_life_secs: f64,
+    /// (decayed usage in cpu-seconds, timestamp of last decay) per user.
+    usage: Vec<(f64, i64)>,
+    shares: Vec<f64>,
+    total_shares: f64,
+}
+
+impl FairShareTracker {
+    /// Creates a tracker for `shares.len()` users.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `half_life_secs` is not positive or `shares` is empty.
+    pub fn new(shares: Vec<f64>, half_life_secs: f64) -> Self {
+        assert!(half_life_secs > 0.0, "half life must be positive");
+        assert!(!shares.is_empty(), "need at least one user");
+        let total_shares: f64 = shares.iter().sum();
+        assert!(total_shares > 0.0, "total shares must be positive");
+        FairShareTracker {
+            half_life_secs,
+            usage: vec![(0.0, 0); shares.len()],
+            shares,
+            total_shares,
+        }
+    }
+
+    fn decay_to(&mut self, user: u32, now: i64) -> f64 {
+        let (u, last) = &mut self.usage[user as usize];
+        if now > *last {
+            let dt = (now - *last) as f64;
+            *u *= 0.5f64.powf(dt / self.half_life_secs);
+            *last = now;
+        }
+        *u
+    }
+
+    /// Records `cpu_seconds` of consumption by `user`, decayed to `now`.
+    pub fn add_usage(&mut self, user: u32, cpu_seconds: f64, now: i64) {
+        self.decay_to(user, now);
+        self.usage[user as usize].0 += cpu_seconds;
+    }
+
+    /// Raw decayed usage of `user` at `now` (cpu-seconds).
+    pub fn usage(&mut self, user: u32, now: i64) -> f64 {
+        self.decay_to(user, now)
+    }
+
+    /// The SLURM fair-share factor `2^(-U_norm / S_norm)` in `(0, 1]`:
+    /// 1 for users with no recent usage, approaching 0 for heavy users.
+    pub fn factor(&mut self, user: u32, now: i64) -> f64 {
+        let u = self.decay_to(user, now);
+        let total_usage: f64 = self.usage.iter().map(|(x, _)| x).sum();
+        if total_usage <= 0.0 {
+            return 1.0;
+        }
+        let u_norm = u / total_usage;
+        let s_norm = self.shares[user as usize] / self.total_shares;
+        2.0f64.powf(-u_norm / s_norm.max(1e-12))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DAY: f64 = 86_400.0;
+
+    #[test]
+    fn fresh_users_have_factor_one() {
+        let mut fs = FairShareTracker::new(vec![1.0, 1.0], 7.0 * DAY);
+        assert_eq!(fs.factor(0, 0), 1.0);
+        assert_eq!(fs.factor(1, 1_000), 1.0);
+    }
+
+    #[test]
+    fn usage_lowers_factor() {
+        let mut fs = FairShareTracker::new(vec![1.0, 1.0], 7.0 * DAY);
+        fs.add_usage(0, 1_000_000.0, 0);
+        let f_heavy = fs.factor(0, 0);
+        let f_idle = fs.factor(1, 0);
+        assert!(f_heavy < f_idle, "{f_heavy} vs {f_idle}");
+        assert!(f_heavy > 0.0);
+        assert!((f_idle - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn usage_decays_with_half_life() {
+        let mut fs = FairShareTracker::new(vec![1.0], 7.0 * DAY);
+        fs.add_usage(0, 1_000.0, 0);
+        let after_one_half_life = fs.usage(0, (7.0 * DAY) as i64);
+        assert!((after_one_half_life - 500.0).abs() < 1.0, "{after_one_half_life}");
+        let after_two = fs.usage(0, (14.0 * DAY) as i64);
+        assert!((after_two - 250.0).abs() < 1.0, "{after_two}");
+    }
+
+    #[test]
+    fn bigger_share_means_higher_factor_at_equal_usage() {
+        let mut fs = FairShareTracker::new(vec![4.0, 1.0], 7.0 * DAY);
+        fs.add_usage(0, 500_000.0, 0);
+        fs.add_usage(1, 500_000.0, 0);
+        assert!(fs.factor(0, 0) > fs.factor(1, 0));
+    }
+
+    #[test]
+    fn factor_bounded() {
+        let mut fs = FairShareTracker::new(vec![1.0, 1.0], 7.0 * DAY);
+        fs.add_usage(0, 1e12, 0);
+        let f = fs.factor(0, 0);
+        assert!((0.0..=1.0).contains(&f));
+    }
+
+    #[test]
+    #[should_panic(expected = "half life")]
+    fn rejects_nonpositive_half_life() {
+        let _ = FairShareTracker::new(vec![1.0], 0.0);
+    }
+}

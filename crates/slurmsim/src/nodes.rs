@@ -1,0 +1,311 @@
+//! Node pools and resource allocation.
+//!
+//! A pool is a homogeneous set of nodes shared by one or more partitions
+//! (Anvil's CPU partitions overlap on the same nodes; the GPU island is its
+//! own pool). Allocation is first-fit by node index, which packs small shared
+//! jobs densely — the same effect as SLURM's default `CR_Core_Memory`
+//! consumable-resource packing at the fidelity this simulation needs.
+
+use trout_workload::{JobRequest, PartitionSpec};
+
+/// Free capacity of one node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Node {
+    /// Free CPU cores.
+    pub free_cpus: u32,
+    /// Free memory (GB).
+    pub free_mem_gb: u32,
+    /// Free GPUs.
+    pub free_gpus: u32,
+}
+
+/// A job's per-node resource demand, derived from its request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Demand {
+    /// Number of nodes required.
+    pub nodes: u32,
+    /// CPU cores per node.
+    pub cpus_pn: u32,
+    /// Memory (GB) per node.
+    pub mem_pn: u32,
+    /// GPUs per node.
+    pub gpus_pn: u32,
+    /// If set, each node is taken exclusively regardless of cores used.
+    pub whole_node: bool,
+    /// The job may only use the first `limit_nodes` nodes of the pool
+    /// (partition size limit within a shared pool).
+    pub limit_nodes: u32,
+}
+
+impl Demand {
+    /// Derives the per-node demand of `job` in its partition. As in SLURM,
+    /// the node count grows beyond the request when a single node cannot
+    /// supply the per-node share of CPUs, memory or GPUs.
+    pub fn from_job(job: &JobRequest, partition: &PartitionSpec) -> Demand {
+        let mut n = job.req_nodes.max(1);
+        n = n.max(job.req_cpus.div_ceil(partition.cpus_per_node.max(1)));
+        n = n.max(job.req_mem_gb.div_ceil(partition.mem_per_node_gb.max(1)));
+        if job.req_gpus > 0 {
+            n = n.max(job.req_gpus.div_ceil(partition.gpus_per_node.max(1)));
+        }
+        Demand {
+            nodes: n,
+            cpus_pn: job.req_cpus.div_ceil(n),
+            mem_pn: job.req_mem_gb.div_ceil(n),
+            gpus_pn: job.req_gpus.div_ceil(n),
+            whole_node: partition.whole_node,
+            limit_nodes: partition.total_nodes,
+        }
+    }
+}
+
+/// A pool of identical nodes.
+#[derive(Debug, Clone)]
+pub struct NodePool {
+    /// Per-node capacity (the "full" node).
+    pub capacity: Node,
+    nodes: Vec<Node>,
+}
+
+impl NodePool {
+    /// Creates `count` empty nodes of the given shape.
+    pub fn new(count: u32, cpus: u32, mem_gb: u32, gpus: u32) -> Self {
+        let capacity = Node { free_cpus: cpus, free_mem_gb: mem_gb, free_gpus: gpus };
+        NodePool { capacity, nodes: vec![capacity; count as usize] }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if the pool has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Read-only node states (for shadow-time what-if copies).
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Whether one node can host one slice of the demand.
+    #[inline]
+    fn node_fits(node: &Node, capacity: &Node, d: &Demand) -> bool {
+        if d.whole_node {
+            *node == *capacity
+        } else {
+            node.free_cpus >= d.cpus_pn && node.free_mem_gb >= d.mem_pn && node.free_gpus >= d.gpus_pn
+        }
+    }
+
+    /// Checks whether `d` fits in an arbitrary node-state slice (used both on
+    /// the live pool and on hypothetical future states during backfill).
+    pub fn fits_in(states: &[Node], capacity: &Node, d: &Demand) -> bool {
+        let limit = (d.limit_nodes as usize).min(states.len());
+        let mut found = 0;
+        for node in &states[..limit] {
+            if Self::node_fits(node, capacity, d) {
+                found += 1;
+                if found >= d.nodes {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Whether `d` currently fits.
+    pub fn fits(&self, d: &Demand) -> bool {
+        Self::fits_in(&self.nodes, &self.capacity, d)
+    }
+
+    /// Attempts to allocate; on success returns the chosen node indices
+    /// (first-fit ascending) with the resources already deducted.
+    pub fn try_alloc(&mut self, d: &Demand) -> Option<Vec<u32>> {
+        let limit = (d.limit_nodes as usize).min(self.nodes.len());
+        let mut chosen = Vec::with_capacity(d.nodes as usize);
+        for (i, node) in self.nodes[..limit].iter().enumerate() {
+            if Self::node_fits(node, &self.capacity, d) {
+                chosen.push(i as u32);
+                if chosen.len() == d.nodes as usize {
+                    break;
+                }
+            }
+        }
+        if chosen.len() < d.nodes as usize {
+            return None;
+        }
+        for &i in &chosen {
+            Self::deduct(&mut self.nodes[i as usize], &self.capacity, d);
+        }
+        Some(chosen)
+    }
+
+    /// Deducts one node-slice of `d` from `node` (helper shared with the
+    /// hypothetical replays in the scheduler's shadow computation).
+    pub fn deduct(node: &mut Node, capacity: &Node, d: &Demand) {
+        if d.whole_node {
+            node.free_cpus = 0;
+            node.free_mem_gb = 0;
+            node.free_gpus = 0;
+        } else {
+            node.free_cpus -= d.cpus_pn.min(node.free_cpus);
+            node.free_mem_gb -= d.mem_pn.min(node.free_mem_gb);
+            node.free_gpus -= d.gpus_pn.min(node.free_gpus);
+        }
+        let _ = capacity;
+    }
+
+    /// Returns one node-slice of `d` to each listed node.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if the release would exceed node capacity —
+    /// that means an allocation was double-freed.
+    pub fn free(&mut self, nodes: &[u32], d: &Demand) {
+        for &i in nodes {
+            let node = &mut self.nodes[i as usize];
+            if d.whole_node {
+                *node = self.capacity;
+            } else {
+                node.free_cpus += d.cpus_pn;
+                node.free_mem_gb += d.mem_pn;
+                node.free_gpus += d.gpus_pn;
+                debug_assert!(node.free_cpus <= self.capacity.free_cpus, "cpu double free");
+                debug_assert!(node.free_mem_gb <= self.capacity.free_mem_gb, "mem double free");
+                debug_assert!(node.free_gpus <= self.capacity.free_gpus, "gpu double free");
+                node.free_cpus = node.free_cpus.min(self.capacity.free_cpus);
+                node.free_mem_gb = node.free_mem_gb.min(self.capacity.free_mem_gb);
+                node.free_gpus = node.free_gpus.min(self.capacity.free_gpus);
+            }
+        }
+    }
+
+    /// Total free CPUs across the pool (for utilization accounting).
+    pub fn free_cpus(&self) -> u64 {
+        self.nodes.iter().map(|n| n.free_cpus as u64).sum()
+    }
+
+    /// Total CPUs in the pool.
+    pub fn total_cpus(&self) -> u64 {
+        self.nodes.len() as u64 * self.capacity.free_cpus as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demand(nodes: u32, cpus_pn: u32, whole: bool) -> Demand {
+        Demand { nodes, cpus_pn, mem_pn: cpus_pn * 2, gpus_pn: 0, whole_node: whole, limit_nodes: u32::MAX }
+    }
+
+    #[test]
+    fn alloc_and_free_round_trip() {
+        let mut pool = NodePool::new(4, 128, 256, 0);
+        let d = demand(2, 64, false);
+        let alloc = pool.try_alloc(&d).unwrap();
+        assert_eq!(alloc, vec![0, 1]);
+        assert_eq!(pool.free_cpus(), 4 * 128 - 2 * 64);
+        pool.free(&alloc, &d);
+        assert_eq!(pool.free_cpus(), 4 * 128);
+    }
+
+    #[test]
+    fn first_fit_packs_small_jobs() {
+        let mut pool = NodePool::new(2, 128, 256, 0);
+        let d = demand(1, 32, false);
+        for _ in 0..4 {
+            let a = pool.try_alloc(&d).unwrap();
+            assert_eq!(a, vec![0], "should keep packing node 0");
+        }
+        let a = pool.try_alloc(&d).unwrap();
+        assert_eq!(a, vec![1], "node 0 full, spill to node 1");
+    }
+
+    #[test]
+    fn whole_node_requires_pristine_node() {
+        let mut pool = NodePool::new(2, 128, 256, 0);
+        let small = demand(1, 1, false);
+        let sa = pool.try_alloc(&small).unwrap();
+        assert_eq!(sa, vec![0]);
+        let whole = demand(2, 128, true);
+        assert!(pool.try_alloc(&whole).is_none(), "node 0 is tainted");
+        let whole1 = demand(1, 128, true);
+        let wa = pool.try_alloc(&whole1).unwrap();
+        assert_eq!(wa, vec![1]);
+        // Freeing the whole node restores full capacity.
+        pool.free(&wa, &whole1);
+        assert!(pool.try_alloc(&whole1).is_some());
+    }
+
+    #[test]
+    fn memory_can_be_the_binding_constraint() {
+        let mut pool = NodePool::new(1, 128, 256, 0);
+        let fat = Demand { nodes: 1, cpus_pn: 1, mem_pn: 200, gpus_pn: 0, whole_node: false, limit_nodes: u32::MAX };
+        assert!(pool.try_alloc(&fat).is_some());
+        assert!(pool.try_alloc(&fat).is_none(), "only 56 GB left");
+        let lean = Demand { nodes: 1, cpus_pn: 64, mem_pn: 32, gpus_pn: 0, whole_node: false, limit_nodes: u32::MAX };
+        assert!(pool.try_alloc(&lean).is_some());
+    }
+
+    #[test]
+    fn gpu_accounting() {
+        let mut pool = NodePool::new(1, 128, 512, 4);
+        let g2 = Demand { nodes: 1, cpus_pn: 32, mem_pn: 64, gpus_pn: 2, whole_node: false, limit_nodes: u32::MAX };
+        assert!(pool.try_alloc(&g2).is_some());
+        assert!(pool.try_alloc(&g2).is_some());
+        assert!(pool.try_alloc(&g2).is_none(), "GPUs exhausted");
+    }
+
+    #[test]
+    fn limit_nodes_restricts_placement() {
+        let mut pool = NodePool::new(4, 128, 256, 0);
+        let mut d = demand(1, 128, false);
+        d.limit_nodes = 1;
+        assert!(pool.try_alloc(&d).is_some());
+        assert!(pool.try_alloc(&d).is_none(), "only node 0 permitted");
+        d.limit_nodes = 4;
+        assert!(pool.try_alloc(&d).is_some());
+    }
+
+    #[test]
+    fn demand_from_job_divides_across_nodes() {
+        use trout_workload::{ClusterSpec, Qos};
+        let cluster = ClusterSpec::anvil_like();
+        let spec = &cluster.partitions[1]; // wholenode
+        let job = JobRequest {
+            id: 0,
+            user: 0,
+            partition: 1,
+            submit_time: 0,
+            eligible_time: 0,
+            req_cpus: 256,
+            req_mem_gb: 512,
+            req_nodes: 2,
+            req_gpus: 0,
+            timelimit_min: 60,
+            true_runtime_min: 10,
+            hidden_delay_min: 0,
+            cancel_after_min: 0,
+            qos: Qos::Normal,
+            campaign: 0,
+        };
+        let d = Demand::from_job(&job, spec);
+        assert_eq!(d.nodes, 2);
+        assert_eq!(d.cpus_pn, 128);
+        assert_eq!(d.mem_pn, 256);
+        assert!(d.whole_node);
+    }
+
+    #[test]
+    fn fits_in_hypothetical_states() {
+        let pool = NodePool::new(2, 128, 256, 0);
+        let mut states = pool.nodes().to_vec();
+        let d = demand(2, 128, false);
+        assert!(NodePool::fits_in(&states, &pool.capacity, &d));
+        states[0].free_cpus = 0;
+        assert!(!NodePool::fits_in(&states, &pool.capacity, &d));
+    }
+}

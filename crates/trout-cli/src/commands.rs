@@ -1,0 +1,291 @@
+//! CLI subcommand implementations.
+
+use std::fs;
+
+use trout_core::eval as core_eval;
+use trout_core::tuner::{tune_regressor, TunerConfig};
+use trout_core::{featurize, HierarchicalModel, TroutConfig, TroutTrainer};
+use trout_features::names;
+use trout_ml::importance::permutation_importance;
+use trout_ml::metrics;
+use trout_slurmsim::{JobRecord, JobState, SimulationBuilder, Trace};
+use trout_workload::stats::TraceStats;
+use trout_workload::ClusterSpec;
+
+use crate::args::Options;
+
+/// `trout simulate --jobs N --seed S --out FILE`
+pub fn simulate(opts: &Options) -> Result<(), String> {
+    let jobs: usize = opts.get_or("jobs", 20_000)?;
+    let seed: u64 = opts.get_or("seed", 42)?;
+    let out = opts.require("out")?;
+    let trace = SimulationBuilder::anvil_like().jobs(jobs).seed(seed).run();
+    fs::write(out, trace.to_csv()).map_err(|e| format!("writing {out}: {e}"))?;
+    println!(
+        "wrote {} records to {out} ({:.1}% under 10 min)",
+        trace.records.len(),
+        100.0 * trace.quick_start_fraction(10.0)
+    );
+    Ok(())
+}
+
+fn load_trace(opts: &Options) -> Result<Trace, String> {
+    let path = opts.require("trace")?;
+    let text = fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    // SWF logs (Parallel Workloads Archive) start with `;` header comments
+    // or use the .swf extension; everything else is the native CSV format.
+    if path.ends_with(".swf") || text.starts_with(';') {
+        let (trace, stats) = trout_slurmsim::swf::parse_swf(&text).map_err(|e| e.to_string())?;
+        eprintln!(
+            "imported SWF: {} jobs ({} skipped as never-started)",
+            stats.imported, stats.skipped_not_started
+        );
+        return Ok(trace);
+    }
+    Trace::from_csv(ClusterSpec::anvil_like(), &text)
+        .ok_or_else(|| format!("{path} is not a trout trace CSV or SWF log"))
+}
+
+/// `trout stats --trace FILE`
+pub fn stats(opts: &Options) -> Result<(), String> {
+    let trace = load_trace(opts)?;
+    let stats = TraceStats::of(&to_requests(&trace));
+    println!("{:<24} {:>10} {:>10} {:>10} {:>10} {:>10}", "Variable", "Max", "Mean", "Median", "Std Dev", "Count");
+    for (name, s) in [
+        ("Requested Time (hr)", &stats.requested_time_hr),
+        ("Runtime (hr)", &stats.runtime_hr),
+        ("Wasted Time (hr)", &stats.wasted_time_hr),
+        ("Jobs Submitted By User", &stats.jobs_per_user),
+    ] {
+        println!(
+            "{:<24} {:>10.1} {:>10.2} {:>10.2} {:>10.1} {:>10}",
+            name, s.max, s.mean, s.median, s.std_dev, s.count
+        );
+    }
+    println!(
+        "\nqueue time: {:.1}% of jobs under 10 minutes",
+        100.0 * trace.quick_start_fraction(10.0)
+    );
+    Ok(())
+}
+
+/// Rebuilds request-like rows from records (for the stats table; runtime is
+/// known because these jobs already ran).
+fn to_requests(trace: &Trace) -> Vec<trout_workload::JobRequest> {
+    trace
+        .records
+        .iter()
+        .map(|r| trout_workload::JobRequest {
+            id: r.id,
+            user: r.user,
+            partition: r.partition,
+            submit_time: r.submit_time,
+            eligible_time: r.eligible_time,
+            req_cpus: r.req_cpus,
+            req_mem_gb: r.req_mem_gb,
+            req_nodes: r.req_nodes,
+            req_gpus: r.req_gpus,
+            timelimit_min: r.timelimit_min,
+            true_runtime_min: r.runtime_min().round() as u32,
+            hidden_delay_min: 0,
+            cancel_after_min: 0,
+            qos: r.qos,
+            campaign: r.campaign,
+        })
+        .collect()
+}
+
+/// `trout train --trace FILE --out MODEL.json [--cutoff MIN] [--epochs N]`
+pub fn train(opts: &Options) -> Result<(), String> {
+    let trace = load_trace(opts)?;
+    let out = opts.require("out")?;
+    let mut cfg = TroutConfig::default();
+    cfg.cutoff_min = opts.get_or("cutoff", 10.0f32)?;
+    cfg.regressor_epochs = opts.get_or("epochs", cfg.regressor_epochs)?;
+    cfg.seed = opts.get_or("seed", 0)?;
+    let (ds, _) = featurize(&trace, 0.6, cfg.seed);
+    let model = TroutTrainer::new(cfg.clone()).fit(&ds);
+    fs::write(out, model.to_json()).map_err(|e| format!("writing {out}: {e}"))?;
+
+    // Quick self-report on the most recent 20 %.
+    let split = ds.len() * 4 / 5;
+    let test: Vec<usize> = (split..ds.len()).collect();
+    let (tx, ty) = ds.select(&test);
+    let probs = model.quick_start_proba_batch(&tx);
+    let labels: Vec<f32> =
+        ty.iter().map(|&q| if q < cfg.cutoff_min { 1.0 } else { 0.0 }).collect();
+    println!(
+        "trained on {} jobs; holdout classifier accuracy {:.2}% ({} test jobs); saved to {out}",
+        split,
+        100.0 * metrics::binary_accuracy(&probs, &labels),
+        test.len()
+    );
+    Ok(())
+}
+
+fn load_model(opts: &Options) -> Result<HierarchicalModel, String> {
+    let path = opts.require("model")?;
+    let json = fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    HierarchicalModel::from_json(&json).map_err(|e| format!("{path}: {e}"))
+}
+
+/// `trout predict --model MODEL.json --trace FILE --job-id ID`
+pub fn predict(opts: &Options) -> Result<(), String> {
+    let trace = load_trace(opts)?;
+    let model = load_model(opts)?;
+    let job_id: u64 = opts.require_parsed("job-id")?;
+    let row = trace
+        .records
+        .iter()
+        .position(|r| r.id == job_id)
+        .ok_or_else(|| format!("job {job_id} not found in trace"))?;
+    let (ds, _) = featurize(&trace, 0.6, 0);
+    let pred = model.predict(ds.row(row));
+    println!("{}", pred.message(model.cutoff_min));
+    println!(
+        "(calibrated chance of starting within {:.0} minutes: {:.0}%)",
+        model.cutoff_min,
+        100.0 * model.calibrated_quick_proba(ds.row(row))
+    );
+    let actual = trace.records[row].queue_time_min();
+    println!("(actual queue time in trace: {actual:.1} minutes)");
+    Ok(())
+}
+
+/// `trout whatif --model M --trace F --partition P --cpus N --mem GB --nodes N --timelimit MIN [--gpus N]`
+///
+/// The paper's future-work extension: predict the queue time of a job the
+/// user has *not* submitted, from the current end-of-trace cluster state.
+pub fn whatif(opts: &Options) -> Result<(), String> {
+    let mut trace = load_trace(opts)?;
+    let model = load_model(opts)?;
+    let part_name = opts.require("partition")?;
+    let partition = trace
+        .cluster
+        .partition_index(part_name)
+        .ok_or_else(|| format!("unknown partition `{part_name}`"))? as u32;
+    let cpus: u32 = opts.require_parsed("cpus")?;
+    let mem: u32 = opts.require_parsed("mem")?;
+    let nodes: u32 = opts.get_or("nodes", 1)?;
+    let gpus: u32 = opts.get_or("gpus", 0)?;
+    let timelimit: u32 = opts.require_parsed("timelimit")?;
+
+    // Hypothetical submission "now" = the last eligibility instant observed.
+    let now = trace.records.iter().map(|r| r.eligible_time).max().unwrap_or(0);
+    // Priority proxy: the median recent priority in the partition (the real
+    // system would ask the multifactor plugin).
+    let mut recent: Vec<f64> = trace
+        .records
+        .iter()
+        .rev()
+        .filter(|r| r.partition == partition)
+        .take(200)
+        .map(|r| r.priority)
+        .collect();
+    recent.sort_by(f64::total_cmp);
+    let priority = recent.get(recent.len() / 2).copied().unwrap_or(1_000.0);
+
+    let hypothetical = JobRecord {
+        id: trace.records.last().map_or(0, |r| r.id + 1),
+        user: 0,
+        partition,
+        submit_time: now,
+        eligible_time: now,
+        start_time: now, // zero-length pending interval: unknown outcome
+        end_time: now + timelimit as i64 * 60,
+        req_cpus: cpus,
+        req_mem_gb: mem,
+        req_nodes: nodes,
+        req_gpus: gpus,
+        timelimit_min: timelimit,
+        qos: trout_workload::Qos::Normal,
+        campaign: 0,
+        priority,
+        state: JobState::Completed,
+    };
+    trace.records.push(hypothetical);
+    let (ds, _) = featurize(&trace, 0.6, 0);
+    let pred = model.predict(ds.row(ds.len() - 1));
+    println!(
+        "hypothetical job ({part_name}, {cpus} cpus, {mem} GB, {nodes} nodes, {timelimit} min limit):"
+    );
+    println!("{}", pred.message(model.cutoff_min));
+    Ok(())
+}
+
+/// `trout importance --model MODEL.json --trace FILE [--top N]`
+pub fn importance(opts: &Options) -> Result<(), String> {
+    let trace = load_trace(opts)?;
+    let model = load_model(opts)?;
+    let top: usize = opts.get_or("top", 10)?;
+    let (ds, _) = featurize(&trace, 0.6, 0);
+    // Importance of the regressor on the truly-long most recent jobs.
+    let long = ds.long_wait_indices(model.cutoff_min);
+    if long.is_empty() {
+        return Err("trace has no long-wait jobs to attribute".into());
+    }
+    let take: Vec<usize> = long.iter().rev().take(4_000).copied().collect();
+    let (x, y) = ds.select(&take);
+    let imps = permutation_importance(
+        &x,
+        &y,
+        |m| model.regress_minutes_batch(m),
+        metrics::mape,
+        2,
+        7,
+    );
+    println!("{:<28} {:>14}", "Feature", "MAPE increase");
+    for fi in imps.iter().take(top) {
+        println!("{:<28} {:>13.2}%", names::FEATURE_NAMES[fi.feature], fi.importance);
+    }
+    Ok(())
+}
+
+/// `trout eval --trace FILE [--folds N]` — the paper's full evaluation
+/// protocol: per-fold classifier accuracy and regressor MAPE/r/within-100%.
+pub fn eval(opts: &Options) -> Result<(), String> {
+    let trace = load_trace(opts)?;
+    let folds: usize = opts.get_or("folds", 5)?;
+    let mut cfg = TroutConfig::default();
+    cfg.seed = opts.get_or("seed", 0)?;
+    cfg.regressor_epochs = opts.get_or("epochs", cfg.regressor_epochs)?;
+    let (ds, _) = featurize(&trace, 0.6, cfg.seed);
+    let reports = core_eval::evaluate_folds(&cfg, &ds, folds);
+    println!(
+        "{:>5} {:>10} {:>12} {:>12} {:>10} {:>12}",
+        "fold", "test jobs", "cls acc", "reg MAPE", "pearson", "within-100%"
+    );
+    for r in &reports {
+        println!(
+            "{:>5} {:>10} {:>11.2}% {:>11.2}% {:>10.3} {:>12.3}",
+            r.fold, r.n_test, 100.0 * r.classifier_accuracy, r.regressor_mape, r.pearson_r, r.within_100
+        );
+    }
+    let last3: Vec<f64> = reports.iter().rev().take(3).map(|r| r.regressor_mape).collect();
+    println!(
+        "mean regressor MAPE over last {} folds: {:.2}%",
+        last3.len(),
+        last3.iter().sum::<f64>() / last3.len().max(1) as f64
+    );
+    Ok(())
+}
+
+/// `trout tune --trace FILE [--trials N]` — the Optuna-substitute search.
+pub fn tune(opts: &Options) -> Result<(), String> {
+    let trace = load_trace(opts)?;
+    let trials: usize = opts.get_or("trials", 12)?;
+    let seed: u64 = opts.get_or("seed", 7)?;
+    let (ds, _) = featurize(&trace, 0.6, seed);
+    let base = TroutConfig::default();
+    let (best, result) = tune_regressor(
+        &base,
+        &ds,
+        &TunerConfig { n_trials: trials, keep_fraction: 0.25, seed, ..Default::default() },
+    );
+    println!("best validation MAPE (folds 2-3): {:.2}%", result.best_score);
+    println!(
+        "best config: lr={:.5} epochs={} hidden={:?} dropout={:.2} activation={:?} batch={}",
+        best.lr, best.regressor_epochs, best.regressor_hidden, best.dropout, best.activation, best.batch_size
+    );
+    Ok(())
+}

@@ -1,0 +1,82 @@
+//! `trout` — the command-line queue-time prediction tool (§V).
+//!
+//! The paper integrates the hierarchical model into a CLI that takes a job in
+//! the queue and prints a prediction; this binary reproduces it against the
+//! simulated cluster, plus the "hypothetical job queueing" extension sketched
+//! in the paper's future work.
+//!
+//! ```text
+//! trout simulate  --jobs 20000 --seed 42 --out trace.csv
+//! trout stats     --trace trace.csv
+//! trout train     --trace trace.csv --out model.json
+//! trout predict   --model model.json --trace trace.csv --job-id 19999
+//! trout whatif    --model model.json --trace trace.csv --partition shared \
+//!                 --cpus 16 --mem 32 --nodes 1 --timelimit 240
+//! trout importance --model model.json --trace trace.csv
+//! ```
+
+use std::process::ExitCode;
+
+mod args;
+mod commands;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match run(&argv) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(argv: &[String]) -> Result<(), String> {
+    let Some(cmd) = argv.first() else {
+        print_usage();
+        return Err("missing subcommand".into());
+    };
+    let opts = args::Options::parse(&argv[1..])?;
+    match cmd.as_str() {
+        "simulate" => commands::simulate(&opts),
+        "stats" => commands::stats(&opts),
+        "train" => commands::train(&opts),
+        "predict" => commands::predict(&opts),
+        "whatif" => commands::whatif(&opts),
+        "importance" => commands::importance(&opts),
+        "eval" => commands::eval(&opts),
+        "tune" => commands::tune(&opts),
+        "help" | "--help" | "-h" => {
+            print_usage();
+            Ok(())
+        }
+        other => Err(format!("unknown subcommand `{other}` (try `trout help`)")),
+    }
+}
+
+fn print_usage() {
+    println!(
+        "trout — hierarchical queue-time prediction for SLURM-like clusters
+
+USAGE: trout <subcommand> [--flag value ...]
+
+SUBCOMMANDS:
+  simulate    generate a synthetic Anvil-like accounting trace (CSV)
+              --jobs N --seed S --out FILE
+  stats       print Table-I style statistics for a trace
+              --trace FILE
+  train       featurize a trace and train the hierarchical model
+              --trace FILE --out MODEL.json [--cutoff MIN] [--epochs N]
+  predict     Algorithm 1 for one job in the trace
+              --model MODEL.json --trace FILE --job-id ID
+  whatif      hypothetical job queueing (paper \u{a7}V future work)
+              --model MODEL.json --trace FILE --partition NAME
+              --cpus N --mem GB --nodes N --timelimit MIN [--gpus N]
+  importance  permutation feature importance of the trained regressor
+              --model MODEL.json --trace FILE [--top N]
+  eval        run the paper's 5-fold time-series evaluation on a trace
+              --trace FILE [--folds N]
+  tune        Optuna-substitute hyper-parameter search for the regressor
+              --trace FILE [--trials N]"
+    );
+}

@@ -1,0 +1,320 @@
+//! The paper's evaluation protocol: time-series folds, per-fold metrics, and
+//! the four-model comparison behind Figs. 6–9.
+
+use trout_features::Dataset;
+use trout_linalg::Matrix;
+use trout_ml::cv::TimeSeriesSplit;
+use trout_ml::knn::{KnnConfig, KnnRegressor};
+use trout_ml::metrics;
+use trout_ml::tree::{Gbt, GbtConfig, Objective, RandomForest, RandomForestConfig};
+
+use crate::trainer::{TroutConfig, TroutTrainer};
+
+/// Per-fold metrics of the hierarchical model, matching §IV's reporting:
+/// classifier accuracy on the fold's test window, regressor MAPE / Pearson r
+/// / within-100 % on the test jobs that truly queued past the cutoff.
+#[derive(Debug, Clone)]
+pub struct FoldReport {
+    /// Fold number (1-based, as the paper counts).
+    pub fold: usize,
+    /// Training rows.
+    pub n_train: usize,
+    /// Test rows.
+    pub n_test: usize,
+    /// Test rows with true queue time >= cutoff (regression population).
+    pub n_long_test: usize,
+    /// Classifier binary accuracy over the whole test window.
+    pub classifier_accuracy: f64,
+    /// Per-class accuracy (long, quick).
+    pub class_accuracy: (f64, f64),
+    /// Regressor mean absolute percentage error on long test jobs.
+    pub regressor_mape: f64,
+    /// Pearson r between predicted and actual queue times (long test jobs).
+    pub pearson_r: f64,
+    /// Fraction of long-test predictions within 100 % error.
+    pub within_100: f64,
+    /// Predicted/actual pairs (minutes) for scatter plots (Figs. 4–5).
+    pub scatter: Vec<(f32, f32)>,
+}
+
+/// Runs the paper's 5-fold (configurable) time-series evaluation of the
+/// hierarchical model.
+pub fn evaluate_folds(cfg: &TroutConfig, ds: &Dataset, n_splits: usize) -> Vec<FoldReport> {
+    let splitter = TimeSeriesSplit { n_splits, test_size: Some(ds.len() / 6) };
+    let trainer = TroutTrainer::new(cfg.clone());
+    let mut reports = Vec::with_capacity(n_splits);
+    for (f, fold) in splitter.split(ds.len()).into_iter().enumerate() {
+        let model = trainer.fit_rows(ds, &fold.train);
+        let (tx, ty) = ds.select(&fold.test);
+
+        // Classifier over the full test window.
+        let probs = model.quick_start_proba_batch(&tx);
+        let labels: Vec<f32> =
+            ty.iter().map(|&q| if q < cfg.cutoff_min { 1.0 } else { 0.0 }).collect();
+        let classifier_accuracy = metrics::binary_accuracy(&probs, &labels);
+        let class_accuracy = metrics::per_class_accuracy(&probs, &labels);
+
+        // Regressor over the truly-long test jobs.
+        let long_idx: Vec<usize> =
+            (0..ty.len()).filter(|&i| ty[i] >= cfg.cutoff_min).collect();
+        let lx = tx.select_rows(&long_idx);
+        let lys: Vec<f32> = long_idx.iter().map(|&i| ty[i]).collect();
+        let preds = model.regress_minutes_batch(&lx);
+        reports.push(FoldReport {
+            fold: f + 1,
+            n_train: fold.train.len(),
+            n_test: fold.test.len(),
+            n_long_test: long_idx.len(),
+            classifier_accuracy,
+            class_accuracy,
+            regressor_mape: metrics::mape(&preds, &lys),
+            pearson_r: metrics::pearson_r(&preds, &lys),
+            within_100: metrics::fraction_within_pct(&preds, &lys, 100.0),
+            scatter: preds.into_iter().zip(lys).collect(),
+        });
+    }
+    reports
+}
+
+/// The four regression models of Figs. 6–9.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BaselineModel {
+    /// TROUT's neural-network regressor.
+    NeuralNet,
+    /// Gradient-boosted trees (the XGBoost baseline).
+    Xgboost,
+    /// Random forest.
+    RandomForest,
+    /// k-nearest neighbours.
+    Knn,
+}
+
+impl BaselineModel {
+    /// All four, in the paper's reporting order.
+    pub const ALL: [BaselineModel; 4] = [
+        BaselineModel::NeuralNet,
+        BaselineModel::Xgboost,
+        BaselineModel::RandomForest,
+        BaselineModel::Knn,
+    ];
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            BaselineModel::NeuralNet => "Neural Net",
+            BaselineModel::Xgboost => "XGBoost",
+            BaselineModel::RandomForest => "Random Forest",
+            BaselineModel::Knn => "kNN",
+        }
+    }
+}
+
+/// One model's metrics on one fold's long-job regression task.
+#[derive(Debug, Clone)]
+pub struct ComparisonEntry {
+    /// Which model.
+    pub model: BaselineModel,
+    /// Fold number (1-based).
+    pub fold: usize,
+    /// Mean absolute percentage error.
+    pub mape: f64,
+    /// Fraction within 100 % error.
+    pub within_100: f64,
+    /// Pearson r.
+    pub pearson_r: f64,
+}
+
+/// Trains every requested model on the same long-job folds and targets —
+/// "All models were trained on the same data and split with the same
+/// features" (§IV). All models see the same target transform from `cfg`.
+pub fn compare_models(
+    cfg: &TroutConfig,
+    ds: &Dataset,
+    n_splits: usize,
+    which: &[BaselineModel],
+) -> Vec<ComparisonEntry> {
+    let splitter = TimeSeriesSplit { n_splits, test_size: Some(ds.len() / 6) };
+    let mut out = Vec::new();
+    for (f, fold) in splitter.split(ds.len()).into_iter().enumerate() {
+        // Long-job subsets on both sides of the split.
+        let train_long: Vec<usize> = fold
+            .train
+            .iter()
+            .copied()
+            .filter(|&i| ds.y_queue_min[i] >= cfg.cutoff_min)
+            .collect();
+        let test_long: Vec<usize> = fold
+            .test
+            .iter()
+            .copied()
+            .filter(|&i| ds.y_queue_min[i] >= cfg.cutoff_min)
+            .collect();
+        if train_long.is_empty() || test_long.is_empty() {
+            continue;
+        }
+        let (tx, ty_raw) = ds.select(&train_long);
+        let ty: Vec<f32> = ty_raw.iter().map(|&v| cfg.target_transform.forward(v)).collect();
+        let (ex, ey) = ds.select(&test_long);
+
+        for &model in which {
+            let preds = train_predict(model, cfg, &tx, &ty, &ex, ds, &fold.train, f as u64);
+            let preds: Vec<f32> =
+                preds.into_iter().map(|p| cfg.target_transform.inverse(p).max(0.0)).collect();
+            out.push(ComparisonEntry {
+                model,
+                fold: f + 1,
+                mape: metrics::mape(&preds, &ey),
+                within_100: metrics::fraction_within_pct(&preds, &ey, 100.0),
+                pearson_r: metrics::pearson_r(&preds, &ey),
+            });
+        }
+    }
+    out
+}
+
+#[allow(clippy::too_many_arguments)]
+fn train_predict(
+    model: BaselineModel,
+    cfg: &TroutConfig,
+    tx: &Matrix,
+    ty: &[f32],
+    ex: &Matrix,
+    ds: &Dataset,
+    train_rows: &[usize],
+    fold_seed: u64,
+) -> Vec<f32> {
+    match model {
+        BaselineModel::NeuralNet => {
+            // Use the full hierarchical trainer's regressor stage by training
+            // on the fold's entire window (it selects long jobs itself), then
+            // emit raw-space predictions to share the common inverse below.
+            let trained = TroutTrainer::new(cfg.clone()).fit_rows(ds, train_rows);
+            trained
+                .regress_minutes_batch(ex)
+                .into_iter()
+                .map(|m| cfg.target_transform.forward(m))
+                .collect()
+        }
+        BaselineModel::Xgboost => {
+            let gcfg = GbtConfig {
+                n_rounds: 100,
+                max_depth: 6,
+                learning_rate: 0.1,
+                lambda: 1.0,
+                objective: Objective::SquaredError,
+                seed: cfg.seed ^ fold_seed,
+                ..Default::default()
+            };
+            Gbt::fit(tx, ty, &gcfg).predict(ex)
+        }
+        BaselineModel::RandomForest => {
+            let rcfg = RandomForestConfig {
+                n_trees: 100,
+                max_depth: 12,
+                seed: cfg.seed ^ fold_seed,
+                ..Default::default()
+            };
+            RandomForest::fit(tx, ty, &rcfg).predict(ex)
+        }
+        BaselineModel::Knn => {
+            let kcfg = KnnConfig { k: 10, seed: cfg.seed ^ fold_seed, ..Default::default() };
+            KnnRegressor::fit(tx, ty, &kcfg).predict(ex)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trout_features::FeaturePipeline;
+    use trout_slurmsim::SimulationBuilder;
+
+    fn dataset(jobs: usize) -> Dataset {
+        let trace = SimulationBuilder::anvil_like().jobs(jobs).seed(14).run();
+        FeaturePipeline::standard().build(&trace)
+    }
+
+    #[test]
+    fn fold_reports_have_paper_shape() {
+        let ds = dataset(3_000);
+        let mut cfg = TroutConfig::smoke();
+        cfg.classifier_epochs = 6;
+        cfg.regressor_epochs = 8;
+        let reports = evaluate_folds(&cfg, &ds, 3);
+        assert_eq!(reports.len(), 3);
+        for r in &reports {
+            assert!(r.n_train > 0 && r.n_test > 0);
+            assert!((0.0..=1.0).contains(&r.classifier_accuracy));
+            assert!(r.regressor_mape.is_finite());
+            assert!((-1.0..=1.0).contains(&r.pearson_r));
+            assert_eq!(r.scatter.len(), r.n_long_test);
+        }
+        // Expanding windows: later folds train on strictly more data.
+        assert!(reports[2].n_train > reports[0].n_train);
+    }
+
+    #[test]
+    fn comparison_covers_requested_models_per_fold() {
+        let ds = dataset(2_400);
+        let mut cfg = TroutConfig::smoke();
+        cfg.regressor_epochs = 5;
+        let entries = compare_models(
+            &cfg,
+            &ds,
+            2,
+            &[BaselineModel::Xgboost, BaselineModel::Knn],
+        );
+        assert_eq!(entries.len(), 4, "2 models x 2 folds");
+        for e in &entries {
+            assert!(e.mape.is_finite() && e.mape >= 0.0);
+            assert!((0.0..=1.0).contains(&e.within_100));
+        }
+    }
+
+    #[test]
+    fn xgboost_beats_a_constant_predictor() {
+        let ds = dataset(2_400);
+        let cfg = TroutConfig::smoke();
+        let entries = compare_models(&cfg, &ds, 2, &[BaselineModel::Xgboost]);
+        // Constant predictor: the training-long-jobs median, evaluated on the
+        // same folds' long test jobs.
+        let folds = TimeSeriesSplit { n_splits: 2, test_size: Some(ds.len() / 6) }.split(ds.len());
+        let mut const_mape = Vec::new();
+        for fold in folds {
+            let mut train_y: Vec<f32> = fold
+                .train
+                .iter()
+                .filter(|&&i| ds.y_queue_min[i] >= cfg.cutoff_min)
+                .map(|&i| ds.y_queue_min[i])
+                .collect();
+            let test_y: Vec<f32> = fold
+                .test
+                .iter()
+                .filter(|&&i| ds.y_queue_min[i] >= cfg.cutoff_min)
+                .map(|&i| ds.y_queue_min[i])
+                .collect();
+            if train_y.is_empty() || test_y.is_empty() {
+                continue;
+            }
+            train_y.sort_by(f32::total_cmp);
+            let med = train_y[train_y.len() / 2];
+            let preds = vec![med; test_y.len()];
+            const_mape.push(metrics::mape(&preds, &test_y));
+        }
+        let mean_model: f64 = entries.iter().map(|e| e.mape).sum::<f64>() / entries.len() as f64;
+        let mean_const: f64 = const_mape.iter().sum::<f64>() / const_mape.len() as f64;
+        assert!(
+            mean_model < mean_const,
+            "XGBoost mape {mean_model:.1}% should beat constant {mean_const:.1}%"
+        );
+    }
+
+    #[test]
+    fn model_names_are_distinct() {
+        let names: Vec<&str> = BaselineModel::ALL.iter().map(|m| m.name()).collect();
+        let mut dedup = names.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len());
+    }
+}

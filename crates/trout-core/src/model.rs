@@ -1,0 +1,163 @@
+//! The hierarchical model and Algorithm 1 inference.
+
+use serde::{Deserialize, Serialize};
+use trout_linalg::{ops::sigmoid, Matrix};
+use trout_ml::calibration::PlattScaler;
+use trout_ml::nn::Mlp;
+
+use crate::trainer::TargetTransform;
+
+/// Algorithm 1's output: either "less than the cutoff" or a concrete number
+/// of minutes from the regressor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum QueuePrediction {
+    /// Predicted to start within the cutoff (10 minutes in the paper).
+    QuickStart,
+    /// Predicted queue time in minutes.
+    Minutes(f32),
+}
+
+impl QueuePrediction {
+    /// The user-facing message of Algorithm 1.
+    pub fn message(&self, cutoff_min: f32) -> String {
+        match self {
+            QueuePrediction::QuickStart => {
+                format!("Predicted to take less than {cutoff_min:.0} minutes")
+            }
+            QueuePrediction::Minutes(m) => format!("Predicted to start in {m:.0} minutes"),
+        }
+    }
+
+    /// Collapses to a number for metric computation: quick starts count as
+    /// half the cutoff (the class's central value).
+    pub fn as_minutes(&self, cutoff_min: f32) -> f32 {
+        match self {
+            QueuePrediction::QuickStart => cutoff_min / 2.0,
+            QueuePrediction::Minutes(m) => *m,
+        }
+    }
+}
+
+/// The trained two-stage system: quick-start classifier + queue regressor.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HierarchicalModel {
+    /// Quick-start cutoff in minutes (10 in the paper).
+    pub cutoff_min: f32,
+    pub(crate) classifier: Mlp,
+    pub(crate) regressor: Mlp,
+    pub(crate) target_transform: TargetTransform,
+    /// Platt scaler fitted on a held-out slice so the SMOTE-trained
+    /// classifier's outputs read as real probabilities. Decisions
+    /// (Algorithm 1) still threshold the raw logit at 0.5, as the paper
+    /// does; calibration only affects the reported confidence.
+    #[serde(default)]
+    pub(crate) calibrator: Option<PlattScaler>,
+}
+
+impl HierarchicalModel {
+    /// Algorithm 1 for one feature row: classify, and only if the job is
+    /// predicted to exceed the cutoff, regress a concrete queue time.
+    pub fn predict(&self, features: &[f32]) -> QueuePrediction {
+        let quick_logit = self.classifier.predict_one(features);
+        // The classifier is trained with label 1 = quick start.
+        if sigmoid(quick_logit) >= 0.5 {
+            QueuePrediction::QuickStart
+        } else {
+            QueuePrediction::Minutes(self.regress_minutes(features))
+        }
+    }
+
+    /// Batch version of [`HierarchicalModel::predict`].
+    pub fn predict_batch(&self, x: &Matrix) -> Vec<QueuePrediction> {
+        let probs = self.classifier.predict_proba(x);
+        let mut out = Vec::with_capacity(x.rows());
+        for (r, &p) in probs.iter().enumerate() {
+            if p >= 0.5 {
+                out.push(QueuePrediction::QuickStart);
+            } else {
+                out.push(QueuePrediction::Minutes(self.regress_minutes(x.row(r))));
+            }
+        }
+        out
+    }
+
+    /// Probability the job starts within the cutoff (raw sigmoid of the
+    /// classifier logit — the quantity Algorithm 1 thresholds).
+    pub fn quick_start_proba(&self, features: &[f32]) -> f32 {
+        sigmoid(self.classifier.predict_one(features))
+    }
+
+    /// Quick-start probabilities for a batch.
+    pub fn quick_start_proba_batch(&self, x: &Matrix) -> Vec<f32> {
+        self.classifier.predict_proba(x)
+    }
+
+    /// Calibrated quick-start probability (Platt-scaled; falls back to the
+    /// raw sigmoid when no calibrator was fitted).
+    pub fn calibrated_quick_proba(&self, features: &[f32]) -> f32 {
+        let logit = self.classifier.predict_one(features);
+        match &self.calibrator {
+            Some(c) => c.calibrate(logit),
+            None => sigmoid(logit),
+        }
+    }
+
+    /// Calibrated probabilities for a batch.
+    pub fn calibrated_quick_proba_batch(&self, x: &Matrix) -> Vec<f32> {
+        let logits = self.classifier.predict(x);
+        match &self.calibrator {
+            Some(c) => c.calibrate_batch(&logits),
+            None => logits.into_iter().map(sigmoid).collect(),
+        }
+    }
+
+    /// The regressor's raw queue-time estimate in minutes (ignores the
+    /// classifier stage; used when evaluating the regressor on known-long
+    /// jobs as the paper does).
+    pub fn regress_minutes(&self, features: &[f32]) -> f32 {
+        let raw = self.regressor.predict_one(features);
+        self.target_transform.inverse(raw).max(0.0)
+    }
+
+    /// Batch version of [`HierarchicalModel::regress_minutes`].
+    pub fn regress_minutes_batch(&self, x: &Matrix) -> Vec<f32> {
+        self.regressor
+            .predict(x)
+            .into_iter()
+            .map(|raw| self.target_transform.inverse(raw).max(0.0))
+            .collect()
+    }
+
+    /// Serializes to JSON (the CLI checkpoint format).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("model serializes")
+    }
+
+    /// Loads a JSON checkpoint.
+    pub fn from_json(json: &str) -> Result<HierarchicalModel, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_follow_algorithm_1() {
+        assert_eq!(
+            QueuePrediction::QuickStart.message(10.0),
+            "Predicted to take less than 10 minutes"
+        );
+        assert_eq!(
+            QueuePrediction::Minutes(42.4).message(10.0),
+            "Predicted to start in 42 minutes"
+        );
+    }
+
+    #[test]
+    fn as_minutes_collapses_quick_starts() {
+        assert_eq!(QueuePrediction::QuickStart.as_minutes(10.0), 5.0);
+        assert_eq!(QueuePrediction::Minutes(77.0).as_minutes(10.0), 77.0);
+    }
+}

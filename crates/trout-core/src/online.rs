@@ -1,0 +1,151 @@
+//! Online learning — the paper's §V future work: "future work on integrating
+//! online learning capabilities is needed to ensure predictions stay current
+//! with the cluster changes."
+//!
+//! The mechanism is warm-start fine-tuning: as freshly completed jobs arrive,
+//! both networks continue training from their current weights on a sliding
+//! window of recent history, at a reduced learning rate so the update refines
+//! rather than forgets.
+
+use trout_features::Dataset;
+use trout_ml::smote::{smote_balance, SmoteConfig};
+
+use crate::model::HierarchicalModel;
+use crate::trainer::TroutConfig;
+
+/// Online-update policy.
+#[derive(Debug, Clone)]
+pub struct OnlineConfig {
+    /// Epochs per update.
+    pub epochs: usize,
+    /// Learning-rate multiplier relative to the base config (< 1 so updates
+    /// refine instead of overwrite).
+    pub lr_scale: f32,
+    /// Sliding window: at most this many most-recent rows per update.
+    pub window: usize,
+}
+
+impl Default for OnlineConfig {
+    fn default() -> Self {
+        OnlineConfig { epochs: 4, lr_scale: 0.3, window: 8_000 }
+    }
+}
+
+/// Applies one online update to a trained model from newly completed jobs.
+///
+/// `rows` are dataset row indices of the jobs observed since the last update
+/// (they must be completed jobs — their queue times are the labels). The
+/// update window is the tail `cfg_online.window` of them.
+pub fn update_model(
+    model: &mut HierarchicalModel,
+    base: &TroutConfig,
+    online: &OnlineConfig,
+    ds: &Dataset,
+    rows: &[usize],
+) {
+    if rows.is_empty() {
+        return;
+    }
+    let take = rows.len().min(online.window);
+    let window = &rows[rows.len() - take..];
+    let (x, y) = ds.select(window);
+    let lr = base.lr * online.lr_scale;
+
+    // Classifier update on (re-)balanced classes.
+    let labels: Vec<f32> =
+        y.iter().map(|&q| if q < model.cutoff_min { 1.0 } else { 0.0 }).collect();
+    let has_both = labels.iter().any(|&l| l >= 0.5) && labels.iter().any(|&l| l < 0.5);
+    if has_both {
+        let (cx, cy) = if base.use_smote {
+            smote_balance(
+                &x,
+                &labels,
+                &SmoteConfig { seed: base.seed ^ rows.len() as u64, ..Default::default() },
+            )
+        } else {
+            (x.clone(), labels)
+        };
+        model.classifier.fit_with(&cx, &cy, online.epochs, lr);
+    }
+
+    // Regressor update on the window's long jobs.
+    let long: Vec<usize> =
+        (0..y.len()).filter(|&i| y[i] >= model.cutoff_min).collect();
+    if !long.is_empty() {
+        let rx = x.select_rows(&long);
+        let ry: Vec<f32> =
+            long.iter().map(|&i| model.target_transform.forward(y[i])).collect();
+        model.regressor.fit_with(&rx, &ry, online.epochs, lr);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{featurize, TroutTrainer};
+    use trout_ml::metrics;
+    use trout_slurmsim::SimulationBuilder;
+
+    #[test]
+    fn online_updates_do_not_break_the_model() {
+        let trace = SimulationBuilder::anvil_like().jobs(4_000).seed(14).run();
+        let (ds, _) = featurize(&trace, 0.6, 1);
+        let base = TroutConfig::smoke();
+        let mut model = TroutTrainer::new(base.clone()).fit_rows(&ds, &(0..2_000).collect::<Vec<_>>());
+        let online = OnlineConfig::default();
+        for chunk_start in (2_000..3_600).step_by(400) {
+            let rows: Vec<usize> = (chunk_start..chunk_start + 400).collect();
+            update_model(&mut model, &base, &online, &ds, &rows);
+        }
+        // Still produces finite predictions on the most recent window.
+        let tail: Vec<usize> = (3_600..4_000).collect();
+        let (tx, _) = ds.select(&tail);
+        for p in model.regress_minutes_batch(&tx) {
+            assert!(p.is_finite() && p >= 0.0);
+        }
+        for p in model.quick_start_proba_batch(&tx) {
+            assert!((0.0..=1.0).contains(&p));
+        }
+    }
+
+    #[test]
+    fn online_updates_track_drift_better_than_a_frozen_model() {
+        // Train both models on the first half, then stream the second half in
+        // chunks; the updated model sees each chunk after predicting the next.
+        let trace = SimulationBuilder::anvil_like().jobs(8_000).seed(42).run();
+        let (ds, _) = featurize(&trace, 0.5, 1);
+        let mut base = TroutConfig::smoke();
+        base.classifier_epochs = 6;
+        let train: Vec<usize> = (0..4_000).collect();
+        let frozen = TroutTrainer::new(base.clone()).fit_rows(&ds, &train);
+        let mut online_model = frozen.clone();
+        let online = OnlineConfig { epochs: 3, lr_scale: 0.3, window: 4_000 };
+
+        let (mut frozen_acc, mut online_acc, mut chunks) = (0.0, 0.0, 0);
+        for start in (4_000..8_000).step_by(1_000) {
+            let eval_rows: Vec<usize> = (start..start + 1_000).collect();
+            let (tx, ty) = ds.select(&eval_rows);
+            let labels: Vec<f32> =
+                ty.iter().map(|&q| if q < 10.0 { 1.0 } else { 0.0 }).collect();
+            frozen_acc += metrics::binary_accuracy(&frozen.quick_start_proba_batch(&tx), &labels);
+            online_acc +=
+                metrics::binary_accuracy(&online_model.quick_start_proba_batch(&tx), &labels);
+            chunks += 1;
+            update_model(&mut online_model, &base, &online, &ds, &eval_rows);
+        }
+        let (f, o) = (frozen_acc / chunks as f64, online_acc / chunks as f64);
+        // The online model must not be (meaningfully) worse; usually better.
+        assert!(o >= f - 0.03, "online {o:.3} vs frozen {f:.3}");
+    }
+
+    #[test]
+    fn empty_update_is_a_no_op() {
+        let trace = SimulationBuilder::anvil_like().jobs(2_500).seed(14).run();
+        let (ds, _) = featurize(&trace, 0.6, 1);
+        let base = TroutConfig::smoke();
+        let mut model = TroutTrainer::new(base.clone()).fit(&ds);
+        let before = model.to_json();
+        update_model(&mut model, &base, &OnlineConfig::default(), &ds, &[]);
+        assert_eq!(model.to_json(), before);
+    }
+}

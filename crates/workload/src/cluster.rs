@@ -1,0 +1,268 @@
+//! Cluster topology: partitions, node shapes, and the Anvil-like layout.
+
+use serde::{Deserialize, Serialize};
+
+/// Static description of one SLURM partition.
+///
+/// On Anvil, CPU partitions overlap on the same physical nodes while the GPU
+/// partition is isolated (§I). We model that by giving each partition a
+/// `node_pool` id: partitions with the same pool compete for the same nodes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PartitionSpec {
+    /// Partition name, e.g. `"shared"`.
+    pub name: String,
+    /// Identifier of the physical node pool this partition schedules onto.
+    pub node_pool: usize,
+    /// Number of nodes in the pool the partition may use.
+    pub total_nodes: u32,
+    /// CPU cores per node.
+    pub cpus_per_node: u32,
+    /// Memory per node in GB.
+    pub mem_per_node_gb: u32,
+    /// GPUs per node (0 for CPU partitions).
+    pub gpus_per_node: u32,
+    /// SLURM `PriorityTier`; higher tiers are scheduled first.
+    pub priority_tier: u32,
+    /// Maximum requested walltime in minutes.
+    pub max_timelimit_min: u32,
+    /// If `true`, jobs get whole nodes regardless of the cores requested.
+    pub whole_node: bool,
+}
+
+impl PartitionSpec {
+    /// Total CPU cores in the partition.
+    pub fn total_cpus(&self) -> u64 {
+        self.total_nodes as u64 * self.cpus_per_node as u64
+    }
+
+    /// Total GPUs in the partition.
+    pub fn total_gpus(&self) -> u64 {
+        self.total_nodes as u64 * self.gpus_per_node as u64
+    }
+
+    /// Total memory (GB) in the partition.
+    pub fn total_mem_gb(&self) -> u64 {
+        self.total_nodes as u64 * self.mem_per_node_gb as u64
+    }
+}
+
+/// A cluster: a set of partitions over shared node pools.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterSpec {
+    /// Cluster name (used in trace headers).
+    pub name: String,
+    /// Partitions, indexed by [`JobRequest::partition`](crate::JobRequest).
+    pub partitions: Vec<PartitionSpec>,
+}
+
+impl ClusterSpec {
+    /// An Anvil-like cluster, scaled down from the real machine (1000 × 128
+    /// cores) so that traces of 10⁴–10⁵ jobs produce realistic contention.
+    ///
+    /// Pools: pool 0 is the shared CPU fleet (used by `shared`, `wholenode`,
+    /// `wide` and `debug`), pool 1 is the high-memory island, pool 2 the
+    /// isolated GPU island (`gpu` + `gpu-debug`). Seven partitions match the
+    /// seven active partitions in the paper's dataset.
+    pub fn anvil_like() -> Self {
+        let cpu = |name: &str, tier: u32, nodes: u32, tl: u32, whole: bool| PartitionSpec {
+            name: name.to_string(),
+            node_pool: 0,
+            total_nodes: nodes,
+            cpus_per_node: 128,
+            mem_per_node_gb: 256,
+            gpus_per_node: 0,
+            priority_tier: tier,
+            max_timelimit_min: tl,
+            whole_node: whole,
+        };
+        ClusterSpec {
+            name: "anvil-sim".to_string(),
+            partitions: vec![
+                // 0: the dominant partition — ~69 % of jobs.
+                cpu("shared", 1, 96, 4 * 24 * 60, false),
+                // 1: exclusive full-node jobs on the same pool.
+                cpu("wholenode", 1, 96, 4 * 24 * 60, true),
+                // 2: very wide jobs, slightly higher tier, same pool.
+                cpu("wide", 2, 96, 2 * 24 * 60, true),
+                // 3: debug: short limit, top tier so it jumps the queue.
+                cpu("debug", 4, 96, 2 * 60, false),
+                PartitionSpec {
+                    name: "highmem".to_string(),
+                    node_pool: 1,
+                    total_nodes: 8,
+                    cpus_per_node: 128,
+                    mem_per_node_gb: 1024,
+                    gpus_per_node: 0,
+                    priority_tier: 1,
+                    max_timelimit_min: 2 * 24 * 60,
+                    whole_node: false,
+                },
+                PartitionSpec {
+                    name: "gpu".to_string(),
+                    node_pool: 2,
+                    total_nodes: 12,
+                    cpus_per_node: 128,
+                    mem_per_node_gb: 512,
+                    gpus_per_node: 4,
+                    priority_tier: 1,
+                    max_timelimit_min: 2 * 24 * 60,
+                    whole_node: false,
+                },
+                PartitionSpec {
+                    name: "gpu-debug".to_string(),
+                    node_pool: 2,
+                    total_nodes: 12,
+                    cpus_per_node: 128,
+                    mem_per_node_gb: 512,
+                    gpus_per_node: 4,
+                    priority_tier: 4,
+                    max_timelimit_min: 30,
+                    whole_node: false,
+                },
+            ],
+        }
+    }
+
+    /// A smaller, GPU-heavier cluster with a different node shape (64-core
+    /// nodes, fat GPU island) — the "different HPC system" of the paper's
+    /// generalization discussion (§V). Partition names reuse the Anvil
+    /// vocabulary so the workload generator's shape models apply.
+    pub fn midsize_gpu_like() -> Self {
+        ClusterSpec {
+            name: "horizon-sim".to_string(),
+            partitions: vec![
+                PartitionSpec {
+                    name: "shared".to_string(),
+                    node_pool: 0,
+                    total_nodes: 48,
+                    cpus_per_node: 64,
+                    mem_per_node_gb: 256,
+                    gpus_per_node: 0,
+                    priority_tier: 1,
+                    max_timelimit_min: 2 * 24 * 60,
+                    whole_node: false,
+                },
+                PartitionSpec {
+                    name: "wholenode".to_string(),
+                    node_pool: 0,
+                    total_nodes: 48,
+                    cpus_per_node: 64,
+                    mem_per_node_gb: 256,
+                    gpus_per_node: 0,
+                    priority_tier: 1,
+                    max_timelimit_min: 2 * 24 * 60,
+                    whole_node: true,
+                },
+                PartitionSpec {
+                    name: "debug".to_string(),
+                    node_pool: 0,
+                    total_nodes: 48,
+                    cpus_per_node: 64,
+                    mem_per_node_gb: 256,
+                    gpus_per_node: 0,
+                    priority_tier: 4,
+                    max_timelimit_min: 60,
+                    whole_node: false,
+                },
+                PartitionSpec {
+                    name: "gpu".to_string(),
+                    node_pool: 1,
+                    total_nodes: 24,
+                    cpus_per_node: 64,
+                    mem_per_node_gb: 512,
+                    gpus_per_node: 8,
+                    priority_tier: 1,
+                    max_timelimit_min: 2 * 24 * 60,
+                    whole_node: false,
+                },
+            ],
+        }
+    }
+
+    /// Looks up a partition index by name.
+    pub fn partition_index(&self, name: &str) -> Option<usize> {
+        self.partitions.iter().position(|p| p.name == name)
+    }
+
+    /// Distinct node-pool ids with the node count of each pool.
+    ///
+    /// Partitions in the same pool may declare different `total_nodes`
+    /// (a partition can be limited to a subset); the pool size is the max.
+    pub fn pools(&self) -> Vec<(usize, u32)> {
+        let mut pools: Vec<(usize, u32)> = Vec::new();
+        for p in &self.partitions {
+            match pools.iter_mut().find(|(id, _)| *id == p.node_pool) {
+                Some((_, n)) => *n = (*n).max(p.total_nodes),
+                None => pools.push((p.node_pool, p.total_nodes)),
+            }
+        }
+        pools.sort_unstable();
+        pools
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn anvil_like_has_seven_partitions() {
+        let c = ClusterSpec::anvil_like();
+        assert_eq!(c.partitions.len(), 7);
+        assert_eq!(c.partition_index("shared"), Some(0));
+        assert!(c.partition_index("nope").is_none());
+    }
+
+    #[test]
+    fn gpu_partition_is_isolated_from_cpu_pool() {
+        let c = ClusterSpec::anvil_like();
+        let shared = &c.partitions[c.partition_index("shared").unwrap()];
+        let gpu = &c.partitions[c.partition_index("gpu").unwrap()];
+        assert_ne!(shared.node_pool, gpu.node_pool);
+        assert!(gpu.gpus_per_node > 0);
+        assert_eq!(shared.gpus_per_node, 0);
+    }
+
+    #[test]
+    fn cpu_partitions_share_a_pool() {
+        let c = ClusterSpec::anvil_like();
+        let pools: Vec<usize> = ["shared", "wholenode", "wide", "debug"]
+            .iter()
+            .map(|n| c.partitions[c.partition_index(n).unwrap()].node_pool)
+            .collect();
+        assert!(pools.iter().all(|&p| p == pools[0]));
+    }
+
+    #[test]
+    fn totals() {
+        let p = &ClusterSpec::anvil_like().partitions[0];
+        assert_eq!(p.total_cpus(), 96 * 128);
+        assert_eq!(p.total_mem_gb(), 96 * 256);
+        assert_eq!(p.total_gpus(), 0);
+    }
+
+    #[test]
+    fn pools_reports_each_pool_once() {
+        let c = ClusterSpec::anvil_like();
+        let pools = c.pools();
+        assert_eq!(pools.len(), 3);
+        assert_eq!(pools[0], (0, 96));
+        assert_eq!(pools[2], (2, 12));
+    }
+}
+
+#[cfg(test)]
+mod midsize_tests {
+    use super::*;
+
+    #[test]
+    fn midsize_cluster_is_well_formed() {
+        let c = ClusterSpec::midsize_gpu_like();
+        assert_eq!(c.partitions.len(), 4);
+        assert_eq!(c.pools().len(), 2);
+        let gpu = &c.partitions[c.partition_index("gpu").unwrap()];
+        assert_eq!(gpu.total_gpus(), 24 * 8);
+        // Different node shape than Anvil: 64-core nodes.
+        assert_eq!(c.partitions[0].cpus_per_node, 64);
+    }
+}

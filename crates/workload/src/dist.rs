@@ -1,0 +1,252 @@
+//! Hand-rolled distribution samplers over [`SplitMix64`].
+//!
+//! Implemented here (rather than pulling `rand_distr`) because the samplers
+//! are few, tiny, and having them in-repo lets the tests pin their moments —
+//! the workload calibration in `generator.rs` depends on these exact
+//! parameterizations.
+
+use trout_linalg::SplitMix64;
+
+/// Exponential distribution with rate `lambda` (mean `1/lambda`), sampled by
+/// inverse CDF.
+#[derive(Debug, Clone, Copy)]
+pub struct Exp {
+    /// Rate parameter (> 0).
+    pub lambda: f64,
+}
+
+impl Exp {
+    /// Creates the distribution; panics if `lambda <= 0`.
+    pub fn new(lambda: f64) -> Self {
+        assert!(lambda > 0.0, "lambda must be positive");
+        Exp { lambda }
+    }
+
+    /// Draws one sample.
+    pub fn sample(&self, rng: &mut SplitMix64) -> f64 {
+        // 1 - u in (0, 1] keeps ln finite.
+        -(1.0 - rng.next_f64()).ln() / self.lambda
+    }
+}
+
+/// Log-normal distribution: `exp(mu + sigma * Z)`.
+///
+/// Parameterized directly by the *median* (`exp(mu)`) because that is how the
+/// paper reports its workload statistics (Table I gives medians and means).
+#[derive(Debug, Clone, Copy)]
+pub struct LogNormal {
+    /// Mean of the underlying normal, i.e. `ln(median)`.
+    pub mu: f64,
+    /// Standard deviation of the underlying normal (>= 0).
+    pub sigma: f64,
+}
+
+impl LogNormal {
+    /// From the log-space parameters.
+    pub fn new(mu: f64, sigma: f64) -> Self {
+        assert!(sigma >= 0.0, "sigma must be non-negative");
+        LogNormal { mu, sigma }
+    }
+
+    /// From the distribution's median and mean (both > 0, mean >= median):
+    /// `sigma = sqrt(2 ln(mean/median))`.
+    pub fn from_median_mean(median: f64, mean: f64) -> Self {
+        assert!(median > 0.0 && mean >= median, "need 0 < median <= mean");
+        let sigma = (2.0 * (mean / median).ln()).sqrt();
+        LogNormal { mu: median.ln(), sigma }
+    }
+
+    /// Draws one sample.
+    pub fn sample(&self, rng: &mut SplitMix64) -> f64 {
+        (self.mu + self.sigma * rng.normal()).exp()
+    }
+
+    /// The distribution's theoretical mean `exp(mu + sigma²/2)`.
+    pub fn mean(&self) -> f64 {
+        (self.mu + self.sigma * self.sigma / 2.0).exp()
+    }
+}
+
+/// Pareto (type I) distribution with scale `xm` and shape `alpha`, sampled by
+/// inverse CDF. Used for user activity weights and campaign sizes — the
+/// mechanisms behind Table I's jobs-per-user tail (median 43, max 516 914).
+#[derive(Debug, Clone, Copy)]
+pub struct Pareto {
+    /// Scale (minimum value, > 0).
+    pub xm: f64,
+    /// Shape (> 0); smaller is heavier-tailed.
+    pub alpha: f64,
+}
+
+impl Pareto {
+    /// Creates the distribution; panics unless both parameters are positive.
+    pub fn new(xm: f64, alpha: f64) -> Self {
+        assert!(xm > 0.0 && alpha > 0.0, "xm and alpha must be positive");
+        Pareto { xm, alpha }
+    }
+
+    /// Draws one sample (>= xm).
+    pub fn sample(&self, rng: &mut SplitMix64) -> f64 {
+        let u = 1.0 - rng.next_f64(); // (0, 1]
+        self.xm / u.powf(1.0 / self.alpha)
+    }
+}
+
+/// Kumaraswamy distribution on `[0, 1]` — an analytically invertible Beta
+/// stand-in, used for the walltime *usage fraction* (§V: mean ≈ 15 % of the
+/// request, mass piled near zero).
+#[derive(Debug, Clone, Copy)]
+pub struct Kumaraswamy {
+    /// First shape parameter (> 0); < 1 piles mass near zero.
+    pub a: f64,
+    /// Second shape parameter (> 0); > 1 pulls mass away from one.
+    pub b: f64,
+}
+
+impl Kumaraswamy {
+    /// Creates the distribution; panics unless both shapes are positive.
+    pub fn new(a: f64, b: f64) -> Self {
+        assert!(a > 0.0 && b > 0.0, "shape parameters must be positive");
+        Kumaraswamy { a, b }
+    }
+
+    /// Draws one sample in `[0, 1)` via the closed-form inverse CDF.
+    pub fn sample(&self, rng: &mut SplitMix64) -> f64 {
+        let u = rng.next_f64();
+        (1.0 - (1.0 - u).powf(1.0 / self.b)).powf(1.0 / self.a)
+    }
+}
+
+/// Samples an index from unnormalized non-negative weights.
+///
+/// # Panics
+///
+/// Panics if `weights` is empty or sums to zero.
+pub fn categorical(weights: &[f64], rng: &mut SplitMix64) -> usize {
+    assert!(!weights.is_empty(), "empty categorical");
+    let total: f64 = weights.iter().sum();
+    assert!(total > 0.0, "categorical weights sum to zero");
+    let mut t = rng.next_f64() * total;
+    for (i, &w) in weights.iter().enumerate() {
+        t -= w;
+        if t < 0.0 {
+            return i;
+        }
+    }
+    weights.len() - 1
+}
+
+/// A diurnal + weekly arrival-rate modulation factor in `[floor, 1]`.
+///
+/// HPC submission rates dip overnight and at weekends; modulating the Poisson
+/// arrival process this way gives the trace realistic load waves (and gives
+/// the queue-time distribution its long daytime-congestion tail).
+pub fn diurnal_factor(t_seconds: i64) -> f64 {
+    const DAY: f64 = 86_400.0;
+    const WEEK: f64 = 7.0 * 86_400.0;
+    let tf = t_seconds as f64;
+    let hour_phase = (tf % DAY) / DAY * std::f64::consts::TAU;
+    // Trough at 04:00 (cosine peak), so the busy peak lands at 16:00.
+    let trough = 4.0 / 24.0 * std::f64::consts::TAU;
+    let daily = 0.55 - 0.45 * (hour_phase - trough).cos();
+    let dow = ((tf % WEEK) / DAY) as u32; // 0 = simulated Monday
+    let weekly = if dow >= 5 { 0.45 } else { 1.0 };
+    (daily * weekly).clamp(0.05, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> SplitMix64 {
+        SplitMix64::new(0xFEED)
+    }
+
+    fn moments(mut f: impl FnMut(&mut SplitMix64) -> f64, n: usize) -> (f64, f64) {
+        let mut r = rng();
+        let (mut s, mut s2) = (0.0, 0.0);
+        for _ in 0..n {
+            let x = f(&mut r);
+            s += x;
+            s2 += x * x;
+        }
+        let mean = s / n as f64;
+        (mean, s2 / n as f64 - mean * mean)
+    }
+
+    #[test]
+    fn exp_mean() {
+        let d = Exp::new(0.25);
+        let (mean, var) = moments(|r| d.sample(r), 200_000);
+        assert!((mean - 4.0).abs() < 0.1, "mean {mean}");
+        assert!((var - 16.0).abs() < 1.0, "var {var}");
+    }
+
+    #[test]
+    fn lognormal_median_and_mean() {
+        let d = LogNormal::from_median_mean(240.0, 753.0);
+        let mut r = rng();
+        let mut xs: Vec<f64> = (0..100_001).map(|_| d.sample(&mut r)).collect();
+        xs.sort_by(f64::total_cmp);
+        let median = xs[50_000];
+        assert!((median / 240.0 - 1.0).abs() < 0.05, "median {median}");
+        assert!((d.mean() / 753.0 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pareto_min_and_tail() {
+        let d = Pareto::new(2.0, 1.2);
+        let mut r = rng();
+        let xs: Vec<f64> = (0..50_000).map(|_| d.sample(&mut r)).collect();
+        assert!(xs.iter().all(|&x| x >= 2.0));
+        // Heavy tail: some samples far above the scale.
+        assert!(xs.iter().any(|&x| x > 200.0));
+    }
+
+    #[test]
+    fn kumaraswamy_bounded_and_skewed() {
+        let d = Kumaraswamy::new(0.45, 2.2);
+        let mut r = rng();
+        let xs: Vec<f64> = (0..100_000).map(|_| d.sample(&mut r)).collect();
+        assert!(xs.iter().all(|&x| (0.0..=1.0).contains(&x)));
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        // Shaped to put the bulk near zero with mean in the 0.1-0.25 band.
+        assert!((0.08..0.3).contains(&mean), "mean {mean}");
+        let below_005 = xs.iter().filter(|&&x| x < 0.05).count() as f64 / xs.len() as f64;
+        assert!(below_005 > 0.3, "mass near zero {below_005}");
+    }
+
+    #[test]
+    fn categorical_respects_weights() {
+        let mut r = rng();
+        let w = [1.0, 0.0, 3.0];
+        let mut counts = [0usize; 3];
+        for _ in 0..40_000 {
+            counts[categorical(&w, &mut r)] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        let ratio = counts[2] as f64 / counts[0] as f64;
+        assert!((ratio - 3.0).abs() < 0.3, "ratio {ratio}");
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to zero")]
+    fn categorical_rejects_zero_weights() {
+        categorical(&[0.0, 0.0], &mut rng());
+    }
+
+    #[test]
+    fn diurnal_factor_bounds_and_rhythm() {
+        for t in (0..14 * 86_400).step_by(3600) {
+            let f = diurnal_factor(t);
+            assert!((0.05..=1.0).contains(&f), "t={t} f={f}");
+        }
+        // Weekday afternoon busier than weekday night.
+        let afternoon = diurnal_factor(15 * 3600);
+        let night = diurnal_factor(4 * 3600);
+        assert!(afternoon > 2.0 * night, "afternoon {afternoon} night {night}");
+        // Weekends quieter than weekdays at the same hour.
+        let saturday = diurnal_factor(5 * 86_400 + 15 * 3600);
+        assert!(saturday < afternoon);
+    }
+}

@@ -1,0 +1,220 @@
+//! The job-request record: what a user asks SLURM for.
+
+use serde::{Deserialize, Serialize};
+
+/// Quality-of-service class, a component of SLURM's multifactor priority.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Qos {
+    /// Default QOS for regular allocations.
+    Normal,
+    /// Elevated QOS (e.g. paid boost); adds priority.
+    High,
+    /// Scavenger/standby QOS; lowest priority.
+    Standby,
+}
+
+impl Qos {
+    /// QOS contribution to the multifactor priority, normalized to `[0, 1]`.
+    pub fn factor(self) -> f64 {
+        match self {
+            Qos::Standby => 0.0,
+            Qos::Normal => 0.5,
+            Qos::High => 1.0,
+        }
+    }
+
+    /// Stable short name used in the CSV trace format.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Qos::Normal => "normal",
+            Qos::High => "high",
+            Qos::Standby => "standby",
+        }
+    }
+
+    /// Parses the CSV short name.
+    pub fn parse(s: &str) -> Option<Qos> {
+        match s {
+            "normal" => Some(Qos::Normal),
+            "high" => Some(Qos::High),
+            "standby" => Some(Qos::Standby),
+            _ => None,
+        }
+    }
+}
+
+/// A job submission as the scheduler sees it at submit time, plus the ground
+/// truth runtime the simulator uses to decide when the job actually finishes
+/// (in the real system that is unknown until completion; models must never
+/// use it as a feature — only `timelimit_min` is visible pre-start).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobRequest {
+    /// Unique, monotonically increasing job id.
+    pub id: u64,
+    /// Submitting user id (index into the user population).
+    pub user: u32,
+    /// Partition index into [`ClusterSpec::partitions`](crate::ClusterSpec).
+    pub partition: u32,
+    /// Submission instant, seconds since trace start.
+    pub submit_time: i64,
+    /// Instant the job becomes eligible to run (>= submit_time); later than
+    /// submit when the user asked for a deferred start (`--begin`) or the job
+    /// waited on a dependency. The paper computes all queue features at this
+    /// instant, not at submit (§III).
+    pub eligible_time: i64,
+    /// Requested CPU cores (total across nodes).
+    pub req_cpus: u32,
+    /// Requested memory in GB (total).
+    pub req_mem_gb: u32,
+    /// Requested node count.
+    pub req_nodes: u32,
+    /// Requested GPUs (total).
+    pub req_gpus: u32,
+    /// Requested walltime limit in minutes.
+    pub timelimit_min: u32,
+    /// Ground-truth runtime in minutes (<= timelimit); hidden from models.
+    pub true_runtime_min: u32,
+    /// Hidden scheduling delay in minutes: time past `eligible_time` before
+    /// the scheduler will actually consider the job. Stands in for the waits
+    /// SLURM accounting does not expose as queue state — association/QOS
+    /// limits (`AssocGrpCpuLimit`), license waits, array throttling. Models
+    /// never see it; it is irreducible noise in the queue-time target, which
+    /// real traces have in abundance (one reason the paper's accuracy
+    /// ceilings sit where they do).
+    pub hidden_delay_min: u32,
+    /// If nonzero, the user cancels the job this many minutes after it
+    /// becomes schedulable unless it has started by then (hidden from
+    /// models, like `true_runtime_min`). Real traces are full of these;
+    /// they matter because cancelled-pending jobs still inflate the queue
+    /// state other jobs observe.
+    pub cancel_after_min: u32,
+    /// Quality of service.
+    pub qos: Qos,
+    /// Id of the campaign burst this job belongs to (jobs submitted
+    /// back-to-back by one user with identical shapes share a campaign).
+    pub campaign: u64,
+}
+
+impl JobRequest {
+    /// Walltime the user requested but the job will not use, in minutes —
+    /// Table I's "wasted time".
+    pub fn wasted_min(&self) -> u32 {
+        self.timelimit_min.saturating_sub(self.true_runtime_min)
+    }
+
+    /// Serializes to one CSV line (matching [`JobRequest::CSV_HEADER`]).
+    pub fn to_csv(&self) -> String {
+        format!(
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            self.id,
+            self.user,
+            self.partition,
+            self.submit_time,
+            self.eligible_time,
+            self.req_cpus,
+            self.req_mem_gb,
+            self.req_nodes,
+            self.req_gpus,
+            self.timelimit_min,
+            self.true_runtime_min,
+            self.hidden_delay_min,
+            self.cancel_after_min,
+            self.qos.as_str(),
+            self.campaign,
+        )
+    }
+
+    /// CSV column names for [`JobRequest::to_csv`].
+    pub const CSV_HEADER: &'static str = "id,user,partition,submit_time,eligible_time,req_cpus,req_mem_gb,req_nodes,req_gpus,timelimit_min,true_runtime_min,hidden_delay_min,cancel_after_min,qos,campaign";
+
+    /// Parses one CSV line produced by [`JobRequest::to_csv`].
+    pub fn from_csv(line: &str) -> Option<JobRequest> {
+        let mut it = line.trim().split(',');
+        let req = JobRequest {
+            id: it.next()?.parse().ok()?,
+            user: it.next()?.parse().ok()?,
+            partition: it.next()?.parse().ok()?,
+            submit_time: it.next()?.parse().ok()?,
+            eligible_time: it.next()?.parse().ok()?,
+            req_cpus: it.next()?.parse().ok()?,
+            req_mem_gb: it.next()?.parse().ok()?,
+            req_nodes: it.next()?.parse().ok()?,
+            req_gpus: it.next()?.parse().ok()?,
+            timelimit_min: it.next()?.parse().ok()?,
+            true_runtime_min: it.next()?.parse().ok()?,
+            hidden_delay_min: it.next()?.parse().ok()?,
+            cancel_after_min: it.next()?.parse().ok()?,
+            qos: Qos::parse(it.next()?)?,
+            campaign: it.next()?.parse().ok()?,
+        };
+        if it.next().is_some() {
+            return None; // trailing fields: not our format
+        }
+        Some(req)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> JobRequest {
+        JobRequest {
+            id: 42,
+            user: 7,
+            partition: 0,
+            submit_time: 1_000,
+            eligible_time: 1_060,
+            req_cpus: 16,
+            req_mem_gb: 32,
+            req_nodes: 1,
+            req_gpus: 0,
+            timelimit_min: 240,
+            true_runtime_min: 37,
+            hidden_delay_min: 0,
+            cancel_after_min: 0,
+            qos: Qos::Normal,
+            campaign: 9,
+        }
+    }
+
+    #[test]
+    fn csv_round_trip() {
+        let r = sample();
+        let line = r.to_csv();
+        assert_eq!(JobRequest::from_csv(&line), Some(r));
+    }
+
+    #[test]
+    fn csv_rejects_malformed() {
+        assert!(JobRequest::from_csv("not,a,job").is_none());
+        assert!(JobRequest::from_csv("").is_none());
+        let extra = format!("{},surplus", sample().to_csv());
+        assert!(JobRequest::from_csv(&extra).is_none());
+    }
+
+    #[test]
+    fn header_matches_field_count() {
+        let cols = JobRequest::CSV_HEADER.split(',').count();
+        let fields = sample().to_csv().split(',').count();
+        assert_eq!(cols, fields);
+    }
+
+    #[test]
+    fn wasted_time_saturates() {
+        let mut r = sample();
+        assert_eq!(r.wasted_min(), 203);
+        r.true_runtime_min = 999;
+        assert_eq!(r.wasted_min(), 0);
+    }
+
+    #[test]
+    fn qos_round_trip() {
+        for q in [Qos::Normal, Qos::High, Qos::Standby] {
+            assert_eq!(Qos::parse(q.as_str()), Some(q));
+        }
+        assert_eq!(Qos::parse("bogus"), None);
+        assert!(Qos::High.factor() > Qos::Normal.factor());
+        assert!(Qos::Normal.factor() > Qos::Standby.factor());
+    }
+}

@@ -1,0 +1,121 @@
+//! Summary statistics over traces — the machinery behind Table I.
+
+use crate::request::JobRequest;
+
+/// Max/mean/median/standard-deviation summary of one variable, as reported in
+/// the paper's Table I.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Summary {
+    /// Largest observation.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median (lower median for even counts).
+    pub median: f64,
+    /// Population standard deviation.
+    pub std_dev: f64,
+    /// Number of observations.
+    pub count: usize,
+}
+
+impl Summary {
+    /// Summarizes a sample. Returns an all-zero summary for empty input.
+    pub fn of(values: &[f64]) -> Summary {
+        if values.is_empty() {
+            return Summary { max: 0.0, mean: 0.0, median: 0.0, std_dev: 0.0, count: 0 };
+        }
+        let mut sorted = values.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        let n = sorted.len();
+        let mean = sorted.iter().sum::<f64>() / n as f64;
+        let var = sorted.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n as f64;
+        Summary {
+            max: sorted[n - 1],
+            mean,
+            median: sorted[n / 2],
+            std_dev: var.sqrt(),
+            count: n,
+        }
+    }
+}
+
+/// The four Table I rows computed from a request trace: requested time,
+/// runtime, and wasted time in hours, plus jobs submitted per user.
+#[derive(Debug, Clone)]
+pub struct TraceStats {
+    /// Requested walltime (hours).
+    pub requested_time_hr: Summary,
+    /// Actual runtime (hours).
+    pub runtime_hr: Summary,
+    /// Requested minus used walltime (hours).
+    pub wasted_time_hr: Summary,
+    /// Jobs submitted per user (over users who submitted at least one job).
+    pub jobs_per_user: Summary,
+}
+
+impl TraceStats {
+    /// Computes all four rows.
+    pub fn of(jobs: &[JobRequest]) -> TraceStats {
+        let req: Vec<f64> = jobs.iter().map(|j| j.timelimit_min as f64 / 60.0).collect();
+        let run: Vec<f64> = jobs.iter().map(|j| j.true_runtime_min as f64 / 60.0).collect();
+        let waste: Vec<f64> = jobs.iter().map(|j| j.wasted_min() as f64 / 60.0).collect();
+        let max_user = jobs.iter().map(|j| j.user).max().map_or(0, |u| u as usize + 1);
+        let mut per_user = vec![0f64; max_user];
+        for j in jobs {
+            per_user[j.user as usize] += 1.0;
+        }
+        per_user.retain(|&c| c > 0.0);
+        TraceStats {
+            requested_time_hr: Summary::of(&req),
+            runtime_hr: Summary::of(&run),
+            wasted_time_hr: Summary::of(&waste),
+            jobs_per_user: Summary::of(&per_user),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ClusterSpec, WorkloadConfig, WorkloadGenerator};
+
+    #[test]
+    fn summary_basic() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0, 100.0]);
+        assert_eq!(s.max, 100.0);
+        assert_eq!(s.median, 3.0);
+        assert_eq!(s.count, 5);
+        assert!((s.mean - 22.0).abs() < 1e-9);
+        assert!(s.std_dev > 30.0);
+    }
+
+    #[test]
+    fn summary_empty() {
+        let s = Summary::of(&[]);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean, 0.0);
+    }
+
+    #[test]
+    fn trace_stats_have_table1_shape() {
+        let cfg = WorkloadConfig::anvil_like(20_000);
+        let (_, jobs) = WorkloadGenerator::new(cfg, ClusterSpec::anvil_like()).generate();
+        let stats = TraceStats::of(&jobs);
+
+        // Requested time: median a few hours, mean well above median (skew),
+        // max bounded by the 432 h partition cap.
+        assert!(stats.requested_time_hr.median >= 1.0 && stats.requested_time_hr.median <= 10.0);
+        assert!(stats.requested_time_hr.mean > 1.5 * stats.requested_time_hr.median);
+        assert!(stats.requested_time_hr.max <= 432.0);
+
+        // Runtime: far below requested; median minutes-scale.
+        assert!(stats.runtime_hr.mean < 0.4 * stats.requested_time_hr.mean);
+        assert!(stats.runtime_hr.median < 1.0);
+
+        // Wasted time dominates requested time.
+        assert!(stats.wasted_time_hr.mean > 0.6 * stats.requested_time_hr.mean);
+
+        // Jobs per user: heavy tail (mean >> median).
+        assert!(stats.jobs_per_user.mean > 2.0 * stats.jobs_per_user.median);
+    }
+}

@@ -1,0 +1,200 @@
+//! The synthetic user population.
+//!
+//! Table I shows the jobs-per-user distribution on Anvil is extraordinarily
+//! skewed (4 624 users; median 43 jobs, mean 839, max 516 914). We reproduce
+//! that by giving each user a Pareto-distributed activity weight. §V notes the
+//! *average* job uses ≈ 15 % of requested walltime while "power users" average
+//! below 5 % — so each user also carries a persistent usage bias, correlated
+//! (inversely) with activity: the heaviest submitters are the worst
+//! overestimators.
+
+use serde::{Deserialize, Serialize};
+use trout_linalg::SplitMix64;
+
+use crate::dist::{categorical, Kumaraswamy, Pareto};
+
+/// Per-user static profile.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct UserProfile {
+    /// Relative submission rate (Pareto-distributed across the population).
+    pub activity: f64,
+    /// Index of the partition this user usually submits to.
+    pub home_partition: u32,
+    /// Multiplier on the walltime usage fraction; power users ≈ 0.2–0.4
+    /// (i.e. they use far less of their request), careful users up to ≈ 2.
+    pub usage_bias: f64,
+    /// Probability that a submission event is a campaign burst rather than a
+    /// single job.
+    pub campaign_propensity: f64,
+    /// Fair-share weight (allocation size); feeds the scheduler's fair-share
+    /// priority factor.
+    pub share: f64,
+}
+
+/// The full population, plus the sampler for "which user submits next".
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct UserPopulation {
+    users: Vec<UserProfile>,
+}
+
+impl UserPopulation {
+    /// Generates `n` users. `partition_mix` gives the global probability of
+    /// each partition being a user's home partition (e.g. `shared` ≈ 0.69).
+    pub fn generate(n: usize, partition_mix: &[f64], rng: &mut SplitMix64) -> Self {
+        assert!(n > 0, "population must be non-empty");
+        let activity_dist = Pareto::new(1.0, 0.85);
+        let usage_dist = Kumaraswamy::new(1.6, 1.2);
+        let users = (0..n)
+            .map(|_| {
+                let activity = activity_dist.sample(rng).min(50_000.0);
+                // Inverse correlation: busier users waste more walltime.
+                let activity_penalty = 1.0 / (1.0 + (activity / 50.0).sqrt());
+                let usage_bias = (0.15 + 1.9 * usage_dist.sample(rng)) * activity_penalty;
+                UserProfile {
+                    activity,
+                    home_partition: categorical(partition_mix, rng) as u32,
+                    usage_bias: usage_bias.clamp(0.02, 2.0),
+                    campaign_propensity: 0.04 + 0.28 * rng.next_f64() * (activity / 10.0).min(1.0),
+                    share: 0.5 + 4.5 * rng.next_f64(),
+                }
+            })
+            .collect();
+        UserPopulation { users }
+    }
+
+    /// Number of users.
+    pub fn len(&self) -> usize {
+        self.users.len()
+    }
+
+    /// Returns `true` if the population is empty (never true for generated
+    /// populations).
+    pub fn is_empty(&self) -> bool {
+        self.users.is_empty()
+    }
+
+    /// The profile of user `id`.
+    pub fn profile(&self, id: u32) -> &UserProfile {
+        &self.users[id as usize]
+    }
+
+    /// Iterates over `(id, profile)`.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &UserProfile)> {
+        self.users.iter().enumerate().map(|(i, p)| (i as u32, p))
+    }
+
+    /// Samples the submitting user, proportional to activity.
+    pub fn sample_user(&self, rng: &mut SplitMix64) -> u32 {
+        let weights: Vec<f64> = self.users.iter().map(|u| u.activity).collect();
+        categorical(&weights, rng) as u32
+    }
+
+    /// Precomputed cumulative weights for fast repeated sampling.
+    pub fn sampler(&self) -> UserSampler {
+        let mut cum = Vec::with_capacity(self.users.len());
+        let mut total = 0.0;
+        for u in &self.users {
+            total += u.activity;
+            cum.push(total);
+        }
+        UserSampler { cum }
+    }
+}
+
+/// Binary-search user sampler built by [`UserPopulation::sampler`].
+#[derive(Debug, Clone)]
+pub struct UserSampler {
+    cum: Vec<f64>,
+}
+
+impl UserSampler {
+    /// Samples a user id proportional to activity in `O(log n)`.
+    pub fn sample(&self, rng: &mut SplitMix64) -> u32 {
+        let total = *self.cum.last().expect("non-empty population");
+        let t = rng.next_f64() * total;
+        self.cum.partition_point(|&c| c <= t) as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pop() -> (UserPopulation, SplitMix64) {
+        let mut rng = SplitMix64::new(31);
+        let mix = [0.69, 0.12, 0.03, 0.06, 0.03, 0.06, 0.01];
+        (UserPopulation::generate(500, &mix, &mut rng), rng)
+    }
+
+    #[test]
+    fn population_size_and_bounds() {
+        let (p, _) = pop();
+        assert_eq!(p.len(), 500);
+        for (_, u) in p.iter() {
+            assert!(u.activity >= 1.0);
+            assert!((0.02..=2.0).contains(&u.usage_bias));
+            assert!((0.0..=1.0).contains(&u.campaign_propensity));
+            assert!(u.share > 0.0);
+        }
+    }
+
+    #[test]
+    fn activity_is_heavy_tailed() {
+        let (p, _) = pop();
+        let mut acts: Vec<f64> = p.iter().map(|(_, u)| u.activity).collect();
+        acts.sort_by(f64::total_cmp);
+        let median = acts[acts.len() / 2];
+        let mean = acts.iter().sum::<f64>() / acts.len() as f64;
+        assert!(mean > 3.0 * median, "mean {mean} median {median}: tail too light");
+    }
+
+    #[test]
+    fn home_partitions_follow_mix() {
+        let (p, _) = pop();
+        let shared = p.iter().filter(|(_, u)| u.home_partition == 0).count();
+        let frac = shared as f64 / p.len() as f64;
+        assert!((0.55..0.8).contains(&frac), "shared home fraction {frac}");
+    }
+
+    #[test]
+    fn power_users_overestimate_more() {
+        let (p, _) = pop();
+        let mut heavy: Vec<f64> = Vec::new();
+        let mut light: Vec<f64> = Vec::new();
+        for (_, u) in p.iter() {
+            if u.activity > 100.0 {
+                heavy.push(u.usage_bias);
+            } else if u.activity < 5.0 {
+                light.push(u.usage_bias);
+            }
+        }
+        if !heavy.is_empty() && !light.is_empty() {
+            let mh = heavy.iter().sum::<f64>() / heavy.len() as f64;
+            let ml = light.iter().sum::<f64>() / light.len() as f64;
+            assert!(mh < ml, "heavy users should have lower usage bias ({mh} vs {ml})");
+        }
+    }
+
+    #[test]
+    fn sampler_matches_linear_sampling_distribution() {
+        let (p, mut rng) = pop();
+        let s = p.sampler();
+        let mut counts = vec![0u32; p.len()];
+        for _ in 0..30_000 {
+            counts[s.sample(&mut rng) as usize] += 1;
+        }
+        // The most active user should be sampled far more than the median one.
+        let (hot_id, _) = p
+            .iter()
+            .max_by(|a, b| a.1.activity.total_cmp(&b.1.activity))
+            .map(|(i, u)| (i, u.activity))
+            .unwrap();
+        let hot_count = counts[hot_id as usize];
+        let median_count = {
+            let mut c = counts.clone();
+            c.sort_unstable();
+            c[c.len() / 2]
+        };
+        assert!(hot_count > 10 * median_count.max(1), "hot {hot_count} median {median_count}");
+    }
+}

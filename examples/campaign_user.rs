@@ -1,0 +1,72 @@
+//! Scenario: a power user fires off a campaign of near-identical jobs —
+//! exactly the workload pattern §III warns about (back-to-back submissions
+//! whose queue times are strongly correlated, the source of the shuffled-
+//! split leakage). This example finds the largest campaign in a simulated
+//! trace, shows how its queue times evolve as the burst saturates the
+//! partition, and how TROUT's predictions track that build-up.
+//!
+//! ```text
+//! cargo run --release --example campaign_user
+//! ```
+
+use std::collections::HashMap;
+
+use trout::prelude::*;
+
+fn main() {
+    let trace = SimulationBuilder::anvil_like().jobs(12_000).seed(7).run();
+
+    // Find the biggest campaign burst that actually queued (bursts whose
+    // jobs all started instantly make a dull demo).
+    let mut sizes: HashMap<u64, (usize, f64)> = HashMap::new();
+    for r in &trace.records {
+        let e = sizes.entry(r.campaign).or_default();
+        e.0 += 1;
+        e.1 += r.queue_time_min();
+    }
+    let (&campaign, &(size, _)) = sizes
+        .iter()
+        .filter(|(_, &(n, total))| n >= 10 && total / n as f64 >= 10.0)
+        .max_by_key(|(_, &(n, _))| n)
+        .or_else(|| sizes.iter().max_by_key(|(_, &(n, _))| n))
+        .expect("non-empty trace");
+    let rows: Vec<usize> = trace
+        .records
+        .iter()
+        .enumerate()
+        .filter(|(_, r)| r.campaign == campaign)
+        .map(|(i, _)| i)
+        .collect();
+    let first = &trace.records[rows[0]];
+    println!(
+        "largest campaign: #{campaign} — user {} submitted {size} identical jobs \
+         ({} cpus, {} min limit) to partition {}",
+        first.user, first.req_cpus, first.timelimit_min, first.partition
+    );
+
+    // Train on everything before the campaign started.
+    let (ds, _) = trout::core::featurize(&trace, 0.6, 1);
+    let train: Vec<usize> = (0..rows[0].max(1_000)).collect();
+    let model = TroutTrainer::new(TroutConfig::default()).fit_rows(&ds, &train);
+
+    // Walk the burst: actual vs predicted queue time.
+    println!("\n{:>8} {:>14} {:>18}", "job", "actual (min)", "TROUT prediction");
+    let step = (rows.len() / 12).max(1);
+    for &i in rows.iter().step_by(step) {
+        let pred = model.predict(ds.row(i));
+        let shown = match pred {
+            QueuePrediction::QuickStart => "< 10 min".to_string(),
+            QueuePrediction::Minutes(m) => format!("{m:.0} min"),
+        };
+        println!("{:>8} {:>14.1} {:>18}", ds.ids[i], ds.y_queue_min[i], shown);
+    }
+
+    // The burst's own back-pressure: later jobs in the campaign see more of
+    // their siblings in the queue, so their predicted waits should not drop.
+    let first_pred = model.predict(ds.row(rows[0])).as_minutes(10.0);
+    let last_pred = model.predict(ds.row(*rows.last().unwrap())).as_minutes(10.0);
+    println!(
+        "\nqueue build-up across the campaign: first job predicted {first_pred:.0} min, \
+         last job predicted {last_pred:.0} min"
+    );
+}

@@ -1,0 +1,51 @@
+//! Scenario: hyper-parameter search — the Optuna stage of the paper's
+//! pipeline (§III). Runs the successive-halving tuner over the regressor's
+//! learning rate, epochs, depth, widths, dropout and activation, scoring on
+//! validation folds 2–3, then reports the winner and the full trial history.
+//!
+//! ```text
+//! cargo run --release --example hyperparameter_search
+//! ```
+
+use trout::core::tuner::{tune_regressor, TunerConfig};
+use trout::core::{eval, featurize, TroutConfig};
+use trout::prelude::*;
+
+fn main() {
+    let trace = SimulationBuilder::anvil_like().jobs(8_000).seed(42).run();
+    let (ds, _) = featurize(&trace, 0.6, 1);
+
+    let base = TroutConfig::default();
+    let tuner = TunerConfig { n_trials: 10, keep_fraction: 0.3, seed: 7, ..Default::default() };
+    println!("searching {} trials (successive halving keeps {:.0}%)…", tuner.n_trials, 100.0 * tuner.keep_fraction);
+    let (best_cfg, result) = tune_regressor(&base, &ds, &tuner);
+
+    println!("\nsurvivor trials (validation MAPE on folds 2-3):");
+    for (params, score) in &result.history {
+        println!(
+            "  lr={:.5} epochs={:>2} depth={} width={:>3} dropout={:.2} -> {score:.1}%",
+            params.get("lr"),
+            params.get_usize("epochs"),
+            params.get_usize("depth"),
+            params.get_usize("width"),
+            params.get("dropout"),
+        );
+    }
+    println!(
+        "\nbest: lr={:.5} epochs={} hidden={:?} dropout={:.2} activation={:?}",
+        best_cfg.lr,
+        best_cfg.regressor_epochs,
+        best_cfg.regressor_hidden,
+        best_cfg.dropout,
+        best_cfg.activation
+    );
+
+    // Final verdict on the held-out folds the search never touched.
+    let reports = eval::evaluate_folds(&best_cfg, &ds, 5);
+    for r in reports.iter().filter(|r| r.fold >= 4) {
+        println!(
+            "held-out fold {}: MAPE {:.1}%  Pearson r {:.3}",
+            r.fold, r.regressor_mape, r.pearson_r
+        );
+    }
+}

@@ -1,0 +1,63 @@
+//! Scenario: online learning (§V future work) — "future work on integrating
+//! online learning capabilities is needed to ensure predictions stay current
+//! with the cluster changes."
+//!
+//! Trains TROUT on the first half of a trace, then streams the second half in
+//! day-sized chunks. A frozen copy predicts each chunk as-is; the online copy
+//! predicts the chunk *then* fine-tunes on it (warm start at reduced learning
+//! rate). The printout shows per-chunk classifier accuracy for both.
+//!
+//! ```text
+//! cargo run --release --example online_learning
+//! ```
+
+use trout::core::online::{update_model, OnlineConfig};
+use trout::core::{featurize, TroutConfig, TroutTrainer};
+use trout::ml::metrics;
+use trout::prelude::*;
+
+fn main() {
+    let trace = SimulationBuilder::anvil_like().jobs(16_000).seed(42).run();
+    let (ds, _) = featurize(&trace, 0.5, 1);
+
+    let base = TroutConfig::default();
+    let train: Vec<usize> = (0..8_000).collect();
+    let frozen = TroutTrainer::new(base.clone()).fit_rows(&ds, &train);
+    let mut live = frozen.clone();
+    let online = OnlineConfig::default();
+
+    println!(
+        "{:>6} {:>18} {:>18} {:>14}",
+        "chunk", "frozen acc", "online acc", "chunk quick%"
+    );
+    let (mut f_total, mut o_total, mut chunks) = (0.0, 0.0, 0);
+    for start in (8_000..16_000).step_by(1_000) {
+        let rows: Vec<usize> = (start..start + 1_000).collect();
+        let (tx, ty) = ds.select(&rows);
+        let labels: Vec<f32> = ty.iter().map(|&q| if q < 10.0 { 1.0 } else { 0.0 }).collect();
+        let quick_frac =
+            labels.iter().filter(|&&l| l >= 0.5).count() as f64 / labels.len() as f64;
+
+        let f_acc = metrics::binary_accuracy(&frozen.quick_start_proba_batch(&tx), &labels);
+        let o_acc = metrics::binary_accuracy(&live.quick_start_proba_batch(&tx), &labels);
+        println!(
+            "{:>6} {:>17.2}% {:>17.2}% {:>13.1}%",
+            chunks + 1,
+            100.0 * f_acc,
+            100.0 * o_acc,
+            100.0 * quick_frac
+        );
+        f_total += f_acc;
+        o_total += o_acc;
+        chunks += 1;
+
+        // The chunk's jobs have now completed: fine-tune on them.
+        update_model(&mut live, &base, &online, &ds, &rows);
+    }
+    println!(
+        "\nmean: frozen {:.2}%  online {:.2}%  ({} chunks)",
+        100.0 * f_total / chunks as f64,
+        100.0 * o_total / chunks as f64,
+        chunks
+    );
+}

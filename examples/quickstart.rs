@@ -1,0 +1,53 @@
+//! Quickstart: simulate an Anvil-like trace, engineer the paper's features,
+//! train the hierarchical model, and predict a queue time.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use trout::core::eval;
+use trout::prelude::*;
+
+fn main() {
+    // 1. Simulate a small accounting trace (the stand-in for Anvil's sacct
+    //    dump; see DESIGN.md §1 for the substitution rationale).
+    let trace = SimulationBuilder::anvil_like().jobs(8_000).seed(42).run();
+    println!(
+        "simulated {} jobs — {:.1}% queued under 10 minutes",
+        trace.records.len(),
+        100.0 * trace.quick_start_fraction(10.0)
+    );
+
+    // 2. Featurize: runtime random forest + the 33 Table-II features.
+    let (ds, _runtime_model) = trout::core::featurize(&trace, 0.6, 1);
+    println!("featurized: {} rows x {} features", ds.len(), ds.x.cols());
+
+    // 3. Train TROUT on everything except the most recent sixth.
+    let cfg = TroutConfig::default();
+    let train: Vec<usize> = (0..ds.len() * 5 / 6).collect();
+    let model = trout::core::TroutTrainer::new(cfg.clone()).fit_rows(&ds, &train);
+
+    // 4. Algorithm 1 on the most recent jobs.
+    println!("\npredictions for the 5 newest jobs:");
+    for i in ds.len() - 5..ds.len() {
+        let pred = model.predict(ds.row(i));
+        println!(
+            "  job {:>6}: {}  (actual: {:.0} min)",
+            ds.ids[i],
+            pred.message(cfg.cutoff_min),
+            ds.y_queue_min[i]
+        );
+    }
+
+    // 5. Held-out metrics in the paper's terms.
+    let reports = eval::evaluate_folds(&cfg, &ds, 5);
+    let last3: Vec<&eval::FoldReport> = reports.iter().rev().take(3).collect();
+    let mape = last3.iter().map(|r| r.regressor_mape).sum::<f64>() / 3.0;
+    println!("\n5-fold time-series CV (paper protocol):");
+    println!(
+        "  classifier accuracy (final fold): {:.2}%",
+        100.0 * reports.last().unwrap().classifier_accuracy
+    );
+    println!("  regressor MAPE, mean of last 3 folds: {mape:.1}%");
+    println!("  Pearson r (final fold): {:.3}", reports.last().unwrap().pearson_r);
+}

@@ -1,0 +1,76 @@
+//! Scenario: hypothetical job queueing (§V future work) — "a user supplying
+//! TROUT with the parameters requested for a job they wish to submit …
+//! allowing users to optimize their job submissions until they achieve
+//! parameters that will result in their job running within a desired time
+//! frame."
+//!
+//! This example trains a model, then sweeps requested CPUs x walltime for a
+//! hypothetical `shared`-partition job at the current end-of-trace cluster
+//! state and prints the predicted queue-time matrix a user would consult
+//! before submitting.
+//!
+//! ```text
+//! cargo run --release --example whatif_planning
+//! ```
+
+use trout::prelude::*;
+use trout::slurmsim::{JobRecord, JobState};
+
+fn main() {
+    let trace = SimulationBuilder::anvil_like().jobs(10_000).seed(11).run();
+    let (ds, _) = trout::core::featurize(&trace, 0.6, 1);
+    let model = TroutTrainer::new(TroutConfig::default()).fit(&ds);
+
+    let now = trace.records.iter().map(|r| r.eligible_time).max().unwrap();
+    let median_priority = {
+        let mut p: Vec<f64> =
+            trace.records.iter().rev().take(500).map(|r| r.priority).collect();
+        p.sort_by(f64::total_cmp);
+        p[p.len() / 2]
+    };
+
+    let cpus_options = [1u32, 4, 16, 64, 128];
+    let walltime_options = [30u32, 120, 480, 1_440];
+
+    println!("hypothetical shared-partition job — predicted queue time (minutes):\n");
+    print!("{:>10}", "cpus\\limit");
+    for w in walltime_options {
+        print!("{w:>10}");
+    }
+    println!();
+    for cpus in cpus_options {
+        print!("{cpus:>10}");
+        for timelimit in walltime_options {
+            let mut t = trace.clone();
+            t.records.push(JobRecord {
+                id: t.records.last().unwrap().id + 1,
+                user: 0,
+                partition: 0, // shared
+                submit_time: now,
+                eligible_time: now,
+                start_time: now,
+                end_time: now + timelimit as i64 * 60,
+                req_cpus: cpus,
+                req_mem_gb: cpus * 2,
+                req_nodes: 1,
+                req_gpus: 0,
+                timelimit_min: timelimit,
+                qos: trout::workload::Qos::Normal,
+                campaign: 0,
+                priority: median_priority,
+                state: JobState::Completed,
+            });
+            let (wds, _) = trout::core::featurize(&t, 0.6, 1);
+            let cell = match model.predict(wds.row(wds.len() - 1)) {
+                QueuePrediction::QuickStart => "<10".to_string(),
+                QueuePrediction::Minutes(m) => format!("{m:.0}"),
+            };
+            print!("{cell:>10}");
+        }
+        println!();
+    }
+    println!(
+        "\n(a user would pick the cheapest cell that still meets their deadline — \
+         the paper's submission-optimization loop)"
+    );
+}

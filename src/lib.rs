@@ -1,0 +1,60 @@
+//! # TROUT — hierarchical deep learning for HPC job queue-time prediction
+//!
+//! This is the umbrella crate of the TROUT workspace, a from-scratch Rust
+//! reproduction of *"A Hierarchical Deep Learning Approach for Predicting Job
+//! Queue Times in HPC Systems"* (SC 2024). It re-exports every subsystem so
+//! examples and downstream users can depend on a single crate:
+//!
+//! * [`itree`] — interval trees used for overlap feature engineering.
+//! * [`linalg`] — dense matrix kernels backing the neural networks.
+//! * [`workload`] — synthetic Anvil-like workload generation.
+//! * [`slurmsim`] — the discrete-event SLURM-like scheduler simulator.
+//! * [`features`] — the Table-II feature pipeline.
+//! * [`ml`] — neural networks, tree ensembles, kNN, SMOTE, CV and metrics.
+//! * [`core`] — the hierarchical TROUT model itself.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use trout::prelude::*;
+//!
+//! // 1. Simulate a small Anvil-like trace.
+//! let trace = SimulationBuilder::anvil_like()
+//!     .jobs(2_000)
+//!     .seed(7)
+//!     .run();
+//!
+//! // 2. Engineer the paper's Table-II features.
+//! let dataset = FeaturePipeline::standard().build(&trace);
+//!
+//! // 3. Train the hierarchical model (tiny budget for doc-test speed).
+//! let model = TroutTrainer::new(TroutConfig::smoke()).fit(&dataset);
+//!
+//! // 4. Predict the queue time of the last job.
+//! let pred = model.predict(&dataset.row(dataset.len() - 1));
+//! match pred {
+//!     QueuePrediction::QuickStart => println!("predicted to start in <10 minutes"),
+//!     QueuePrediction::Minutes(m) => println!("predicted to start in {m:.0} minutes"),
+//! }
+//! ```
+
+pub use trout_core as core;
+pub use trout_features as features;
+pub use trout_itree as itree;
+pub use trout_linalg as linalg;
+pub use trout_ml as ml;
+pub use trout_slurmsim as slurmsim;
+pub use trout_workload as workload;
+
+/// Convenient re-exports of the types most programs need.
+pub mod prelude {
+    pub use trout_core::online::{update_model, OnlineConfig};
+    pub use trout_core::tuner::{tune_regressor, TunerConfig};
+    pub use trout_core::{
+        HierarchicalModel, QueuePrediction, TroutConfig, TroutTrainer,
+    };
+    pub use trout_features::{Dataset, FeaturePipeline};
+    pub use trout_ml::metrics;
+    pub use trout_slurmsim::{JobRecord, SimulationBuilder, Trace};
+    pub use trout_workload::{JobRequest, WorkloadConfig};
+}

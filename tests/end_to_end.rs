@@ -1,0 +1,90 @@
+//! Cross-crate integration: simulate → featurize → train → predict →
+//! checkpoint, exercising the whole public API the way the examples do.
+
+use trout::core::{eval, featurize, HierarchicalModel, TroutConfig, TroutTrainer};
+use trout::prelude::*;
+
+fn trace() -> Trace {
+    SimulationBuilder::anvil_like().jobs(3_000).seed(14).run()
+}
+
+#[test]
+fn full_pipeline_produces_sane_predictions() {
+    let trace = trace();
+    let (ds, _) = featurize(&trace, 0.6, 1);
+    assert_eq!(ds.len(), 3_000);
+    assert_eq!(ds.x.cols(), 33);
+
+    let cfg = TroutConfig::smoke();
+    let train: Vec<usize> = (0..2_500).collect();
+    let model = TroutTrainer::new(cfg.clone()).fit_rows(&ds, &train);
+
+    let mut quick = 0usize;
+    for i in 2_500..3_000 {
+        match model.predict(ds.row(i)) {
+            QueuePrediction::QuickStart => quick += 1,
+            QueuePrediction::Minutes(m) => {
+                assert!(m.is_finite() && m >= 0.0, "minutes prediction {m}");
+                assert!(m < 60.0 * 24.0 * 30.0, "absurd prediction {m}");
+            }
+        }
+    }
+    // The test window is majority quick-start; the classifier should say so
+    // for a solid majority of jobs.
+    assert!(quick > 250, "only {quick}/500 predicted quick");
+}
+
+#[test]
+fn checkpoint_file_round_trip() {
+    let trace = trace();
+    let (ds, _) = featurize(&trace, 0.6, 1);
+    let model = TroutTrainer::new(TroutConfig::smoke()).fit(&ds);
+
+    let dir = std::env::temp_dir().join("trout-it-checkpoint");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("model.json");
+    std::fs::write(&path, model.to_json()).unwrap();
+    let loaded = HierarchicalModel::from_json(&std::fs::read_to_string(&path).unwrap()).unwrap();
+
+    for i in (0..ds.len()).step_by(111) {
+        assert_eq!(model.predict(ds.row(i)), loaded.predict(ds.row(i)), "row {i}");
+    }
+}
+
+#[test]
+fn trace_csv_round_trip_preserves_features() {
+    let trace = trace();
+    let csv = trace.to_csv();
+    let back = Trace::from_csv(trace.cluster.clone(), &csv).expect("parse");
+    assert_eq!(back.records, trace.records);
+
+    // Feature pipelines on original and round-tripped traces agree.
+    let a = FeaturePipeline::standard().build(&trace);
+    let b = FeaturePipeline::standard().build(&back);
+    assert_eq!(a.x.as_slice(), b.x.as_slice());
+}
+
+#[test]
+fn evaluation_protocol_is_reproducible() {
+    let trace = trace();
+    let (ds, _) = featurize(&trace, 0.6, 1);
+    let mut cfg = TroutConfig::smoke();
+    cfg.classifier_epochs = 4;
+    cfg.regressor_epochs = 4;
+    let a = eval::evaluate_folds(&cfg, &ds, 3);
+    let b = eval::evaluate_folds(&cfg, &ds, 3);
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.classifier_accuracy, y.classifier_accuracy);
+        assert_eq!(x.regressor_mape, y.regressor_mape);
+    }
+}
+
+#[test]
+fn quickstart_doc_flow_compiles_and_runs_small() {
+    // Mirrors the README quickstart at reduced scale.
+    let trace = SimulationBuilder::anvil_like().jobs(2_000).seed(7).run();
+    let dataset = FeaturePipeline::standard().build(&trace);
+    let model = TroutTrainer::new(TroutConfig::smoke()).fit(&dataset);
+    let pred = model.predict(dataset.row(dataset.len() - 1));
+    let _ = pred.message(10.0);
+}

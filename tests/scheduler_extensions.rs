@@ -1,0 +1,85 @@
+//! Integration coverage for the scheduler extensions (preemption,
+//! cancellations, SWF interop) through the public workspace API.
+
+use trout::prelude::*;
+use trout::slurmsim::{simulate, JobState, SchedulerConfig};
+use trout::workload::{ClusterSpec, WorkloadConfig, WorkloadGenerator};
+
+fn trace_with(cancel_fraction: f64, preemption: bool, jobs: usize, seed: u64) -> Trace {
+    let cluster = ClusterSpec::anvil_like();
+    let mut wl = WorkloadConfig::anvil_like(jobs);
+    wl.seed = seed;
+    wl.cancel_fraction = cancel_fraction;
+    let (pop, reqs) = WorkloadGenerator::new(wl, cluster.clone()).generate();
+    let cfg = SchedulerConfig { enable_preemption: preemption, ..Default::default() };
+    simulate(&cluster, &pop, reqs, &cfg)
+}
+
+#[test]
+fn preemption_lowers_normal_qos_waits_under_load() {
+    // With standby jobs preemptible, non-standby jobs should on aggregate
+    // wait no longer than without preemption (same workload).
+    let with = trace_with(0.0, true, 4_000, 21);
+    let without = trace_with(0.0, false, 4_000, 21);
+    let mean_wait = |t: &Trace, standby: bool| -> f64 {
+        let xs: Vec<f64> = t
+            .records
+            .iter()
+            .filter(|r| (r.qos == trout::workload::Qos::Standby) == standby)
+            .map(|r| r.queue_time_min())
+            .collect();
+        xs.iter().sum::<f64>() / xs.len().max(1) as f64
+    };
+    let normal_with = mean_wait(&with, false);
+    let normal_without = mean_wait(&without, false);
+    assert!(
+        normal_with <= normal_without * 1.05,
+        "preemption should not hurt non-standby waits: {normal_with:.1} vs {normal_without:.1}"
+    );
+}
+
+#[test]
+fn full_pipeline_works_with_cancellations_enabled() {
+    let trace = trace_with(0.12, true, 3_000, 14);
+    let cancelled = trace.records.iter().filter(|r| r.state == JobState::Cancelled).count();
+    assert!(cancelled > 0, "expected some cancellations");
+
+    let (ds, _) = trout::core::featurize(&trace, 0.6, 1);
+    assert_eq!(ds.len(), 3_000 - cancelled);
+
+    let model = TroutTrainer::new(TroutConfig::smoke()).fit(&ds);
+    for i in (0..ds.len()).step_by(257) {
+        let _ = model.predict(ds.row(i));
+        let p = model.calibrated_quick_proba(ds.row(i));
+        assert!((0.0..=1.0).contains(&p));
+    }
+}
+
+#[test]
+fn swf_round_trip_supports_the_full_pipeline() {
+    let trace = trace_with(0.0, true, 2_500, 14);
+    let swf = trout::slurmsim::swf::to_swf(&trace);
+    let (imported, stats) = trout::slurmsim::swf::parse_swf(&swf).expect("parse");
+    assert_eq!(stats.imported, 2_500);
+    let ds = FeaturePipeline::standard().build(&imported);
+    assert_eq!(ds.len(), 2_500);
+    let model = TroutTrainer::new(TroutConfig::smoke()).fit(&ds);
+    let _ = model.predict(ds.row(0));
+}
+
+#[test]
+fn feature_drift_is_visible_between_trace_halves() {
+    use trout::ml::metrics::population_stability_index;
+    // Queue-state features drift between a quiet early window and the loaded
+    // steady state — the §V motivation for online learning.
+    let trace = trace_with(0.0, true, 8_000, 42);
+    let (ds, _) = trout::core::featurize(&trace, 0.5, 1);
+    let j = trout::features::names::idx::PAR_CPUS_RUNNING;
+    let early: Vec<f32> = (0..1_000).map(|i| ds.raw.get(i, j)).collect();
+    let late: Vec<f32> = (7_000..8_000).map(|i| ds.raw.get(i, j)).collect();
+    let psi = population_stability_index(&early, &late, 10);
+    assert!(psi.is_finite() && psi >= 0.0);
+    // Same window against itself is stable.
+    let self_psi = population_stability_index(&early, &early, 10);
+    assert!(self_psi < 0.01, "self PSI {self_psi}");
+}

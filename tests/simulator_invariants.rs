@@ -1,0 +1,75 @@
+//! Property tests over the scheduler: conservation and causality invariants
+//! must hold for any workload configuration, not just the defaults.
+
+use proptest::prelude::*;
+use trout::slurmsim::{simulate, SchedulerConfig, Trace};
+use trout::workload::{ClusterSpec, WorkloadConfig, WorkloadGenerator};
+
+fn run_trace(jobs: usize, seed: u64, events_per_hour: f64, max_campaign: usize) -> Trace {
+    let cluster = ClusterSpec::anvil_like();
+    let mut cfg = WorkloadConfig::anvil_like(jobs);
+    cfg.seed = seed;
+    cfg.events_per_hour = events_per_hour;
+    cfg.max_campaign = max_campaign;
+    let (pop, reqs) = WorkloadGenerator::new(cfg, cluster.clone()).generate();
+    simulate(&cluster, &pop, reqs, &SchedulerConfig::default())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn causality_and_conservation_hold(
+        seed in 0u64..1_000,
+        events_per_hour in 10.0f64..90.0,
+        max_campaign in 2usize..300,
+    ) {
+        let trace = run_trace(600, seed, events_per_hour, max_campaign);
+        prop_assert_eq!(trace.records.len(), 600);
+
+        // Causality per job.
+        for r in &trace.records {
+            prop_assert!(r.eligible_time >= r.submit_time);
+            prop_assert!(r.start_time >= r.eligible_time);
+            prop_assert!(r.end_time > r.start_time);
+            let runtime_min = (r.end_time - r.start_time) as f64 / 60.0;
+            prop_assert!(runtime_min <= r.timelimit_min as f64 + 1e-9,
+                "job {} ran past its limit", r.id);
+        }
+
+        // Pool-level CPU conservation via sweep line.
+        for (pool_id, count) in trace.cluster.pools() {
+            let cap = trace.cluster.partitions.iter()
+                .filter(|p| p.node_pool == pool_id)
+                .map(|p| p.cpus_per_node)
+                .max().unwrap() as i64 * count as i64;
+            let mut deltas: Vec<(i64, i64)> = Vec::new();
+            for r in &trace.records {
+                let spec = &trace.cluster.partitions[r.partition as usize];
+                if spec.node_pool != pool_id {
+                    continue;
+                }
+                let cpus = if spec.whole_node {
+                    (r.req_nodes * spec.cpus_per_node) as i64
+                } else {
+                    r.req_cpus as i64
+                };
+                deltas.push((r.start_time, cpus));
+                deltas.push((r.end_time, -cpus));
+            }
+            deltas.sort();
+            let mut used = 0i64;
+            for (_, d) in deltas {
+                used += d;
+                prop_assert!(used <= cap, "pool {} oversubscribed: {} > {}", pool_id, used, cap);
+            }
+        }
+    }
+
+    #[test]
+    fn simulation_is_a_pure_function_of_the_seed(seed in 0u64..500) {
+        let a = run_trace(300, seed, 40.0, 50);
+        let b = run_trace(300, seed, 40.0, 50);
+        prop_assert_eq!(a.records, b.records);
+    }
+}
