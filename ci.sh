@@ -1,0 +1,10 @@
+#!/bin/sh
+# Hermetic CI: the whole workspace must build, test and stay formatted with
+# no network access and no crates-io dependencies (see DESIGN.md §2).
+set -eux
+
+cd "$(dirname "$0")"
+
+cargo build --workspace --release --offline
+cargo test --workspace -q --offline
+cargo fmt --check

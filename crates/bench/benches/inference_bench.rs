@@ -1,33 +1,14 @@
-//! Criterion bench: Algorithm-1 inference latency (experiment A7).
+//! Bench harness: Algorithm-1 inference latency (experiment A7).
 //!
 //! The paper reports the CLI takes "only a few seconds" end to end on one
 //! CPU; the decomposition here shows that budget is dominated by feature
 //! assembly (snapshot queries), not the network forward pass.
+//!
+//! Bodies live in `trout_bench::microbench` so the `bench_smoke` test can
+//! run them for one iteration under `cargo test`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use trout_core::{featurize, TroutConfig, TroutTrainer};
-use trout_features::SnapshotIndex;
-use trout_slurmsim::SimulationBuilder;
-
-fn bench_inference(c: &mut Criterion) {
-    let trace = SimulationBuilder::anvil_like().jobs(6_000).seed(14).run();
-    let (ds, _) = featurize(&trace, 0.6, 1);
-    let model = TroutTrainer::new(TroutConfig::smoke()).fit(&ds);
-    let row = ds.row(ds.len() - 1).to_vec();
-
-    let mut group = c.benchmark_group("inference");
-    group.sample_size(30);
-    group.bench_function("algorithm1_forward_pass", |b| {
-        b.iter(|| std::hint::black_box(model.predict(&row)))
-    });
-
-    let preds: Vec<f64> = trace.records.iter().map(|r| r.timelimit_min as f64).collect();
-    let index = SnapshotIndex::build(&trace, preds);
-    group.bench_function("snapshot_feature_assembly", |b| {
-        b.iter(|| std::hint::black_box(index.snapshot(trace.records.len() - 1)))
-    });
-    group.finish();
-}
+use trout_bench::microbench::bench_inference;
+use trout_std::{criterion_group, criterion_main};
 
 criterion_group!(benches, bench_inference);
 criterion_main!(benches);

@@ -1,66 +1,12 @@
-//! Criterion bench: interval-tree construction and queries vs the naive
+//! Bench harness: interval-tree construction and queries vs the naive
 //! linear scan — the performance claim behind the paper's §V discussion of
 //! interval-tree feature engineering (ablation A6's micro view).
+//!
+//! Bodies live in `trout_bench::microbench` so the `bench_smoke` test can
+//! run them for one iteration under `cargo test`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use trout_itree::{ChunkedIntervalIndex, Interval, IntervalTree, NaiveIndex};
-use trout_linalg::SplitMix64;
-
-fn random_intervals(n: usize, seed: u64) -> Vec<(Interval<i64>, u64)> {
-    let mut rng = SplitMix64::new(seed);
-    (0..n)
-        .map(|i| {
-            let start = rng.next_below(1_000_000) as i64;
-            let len = 1 + rng.next_below(50_000) as i64;
-            (Interval::new(start, start + len), i as u64)
-        })
-        .collect()
-}
-
-fn bench_build(c: &mut Criterion) {
-    let mut group = c.benchmark_group("itree_build");
-    group.sample_size(10);
-    for &n in &[1_000usize, 10_000, 50_000] {
-        let entries = random_intervals(n, 1);
-        group.bench_with_input(BenchmarkId::new("monolithic", n), &entries, |b, e| {
-            b.iter(|| IntervalTree::new(e.clone()))
-        });
-        group.bench_with_input(BenchmarkId::new("chunked_10k_1k", n), &entries, |b, e| {
-            b.iter(|| ChunkedIntervalIndex::build(e.clone(), 10_000, 1_000))
-        });
-    }
-    group.finish();
-}
-
-fn bench_stab(c: &mut Criterion) {
-    let mut group = c.benchmark_group("itree_stab");
-    group.sample_size(20);
-    for &n in &[1_000usize, 10_000, 50_000] {
-        let entries = random_intervals(n, 2);
-        let tree = IntervalTree::new(entries.clone());
-        let naive = NaiveIndex::new(entries);
-        let probes: Vec<i64> = (0..256).map(|i| i * 4_000).collect();
-        group.bench_with_input(BenchmarkId::new("tree", n), &probes, |b, ps| {
-            b.iter(|| {
-                let mut acc = 0usize;
-                for &p in ps {
-                    acc += tree.count_overlaps(Interval::new(p, p + 1));
-                }
-                acc
-            })
-        });
-        group.bench_with_input(BenchmarkId::new("naive", n), &probes, |b, ps| {
-            b.iter(|| {
-                let mut acc = 0usize;
-                for &p in ps {
-                    acc += naive.count_overlaps(Interval::new(p, p + 1));
-                }
-                acc
-            })
-        });
-    }
-    group.finish();
-}
+use trout_bench::microbench::{bench_build, bench_stab};
+use trout_std::{criterion_group, criterion_main};
 
 criterion_group!(benches, bench_build, bench_stab);
 criterion_main!(benches);

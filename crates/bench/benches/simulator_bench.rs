@@ -1,23 +1,11 @@
-//! Criterion bench: the scheduler substrate — end-to-end simulation rate and
+//! Bench harness: the scheduler substrate — end-to-end simulation rate and
 //! the cost of the feature snapshot pipeline over a full trace.
+//!
+//! Bodies live in `trout_bench::microbench` so the `bench_smoke` test can
+//! run them for one iteration under `cargo test`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use trout_features::FeaturePipeline;
-use trout_slurmsim::SimulationBuilder;
-
-fn bench_simulator(c: &mut Criterion) {
-    let mut group = c.benchmark_group("simulator");
-    group.sample_size(10);
-    group.bench_function("simulate_2k_jobs", |b| {
-        b.iter(|| SimulationBuilder::anvil_like().jobs(2_000).seed(9).run())
-    });
-
-    let trace = SimulationBuilder::anvil_like().jobs(4_000).seed(9).run();
-    group.bench_function("featurize_4k_jobs", |b| {
-        b.iter(|| FeaturePipeline::standard().build(&trace))
-    });
-    group.finish();
-}
+use trout_bench::microbench::bench_simulator;
+use trout_std::{criterion_group, criterion_main};
 
 criterion_group!(benches, bench_simulator);
 criterion_main!(benches);

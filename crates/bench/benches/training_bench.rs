@@ -1,57 +1,12 @@
-//! Criterion bench: training throughput of the four model families on a
+//! Bench harness: training throughput of the four model families on a
 //! fixed featurized fold (supports the F6–F9 comparison and shows the cost
 //! side of the accuracy trade).
+//!
+//! Bodies live in `trout_bench::microbench` so the `bench_smoke` test can
+//! run them for one iteration under `cargo test`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use trout_core::featurize;
-use trout_linalg::Matrix;
-use trout_ml::knn::{KnnConfig, KnnRegressor};
-use trout_ml::nn::{Mlp, MlpConfig};
-use trout_ml::tree::{Gbt, GbtConfig, RandomForest, RandomForestConfig};
-use trout_slurmsim::SimulationBuilder;
-
-fn training_data() -> (Matrix, Vec<f32>) {
-    let trace = SimulationBuilder::anvil_like().jobs(6_000).seed(14).run();
-    let (ds, _) = featurize(&trace, 0.6, 1);
-    let long = ds.long_wait_indices(10.0);
-    let (x, y) = ds.select(&long);
-    let y_log: Vec<f32> = y.iter().map(|&v| (1.0 + v).ln()).collect();
-    (x, y_log)
-}
-
-fn bench_training(c: &mut Criterion) {
-    let (x, y) = training_data();
-    let mut group = c.benchmark_group("training");
-    group.sample_size(10);
-
-    group.bench_function("nn_5_epochs", |b| {
-        b.iter(|| {
-            let mut cfg = MlpConfig::new(x.cols(), vec![64, 32]);
-            cfg.epochs = 5;
-            cfg.seed = 3;
-            Mlp::train(&cfg, &x, &y).0
-        })
-    });
-    group.bench_function("gbt_25_rounds", |b| {
-        b.iter(|| Gbt::fit(&x, &y, &GbtConfig { n_rounds: 25, ..Default::default() }))
-    });
-    group.bench_function("rf_25_trees", |b| {
-        b.iter(|| {
-            RandomForest::fit(&x, &y, &RandomForestConfig { n_trees: 25, ..Default::default() })
-        })
-    });
-    group.bench_function("knn_fit_plus_100_queries", |b| {
-        b.iter(|| {
-            let knn = KnnRegressor::fit(&x, &y, &KnnConfig::default());
-            let mut acc = 0.0f32;
-            for r in 0..100.min(x.rows()) {
-                acc += knn.predict_row(x.row(r));
-            }
-            acc
-        })
-    });
-    group.finish();
-}
+use trout_bench::microbench::bench_training;
+use trout_std::{criterion_group, criterion_main};
 
 criterion_group!(benches, bench_training);
 criterion_main!(benches);

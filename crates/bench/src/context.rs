@@ -55,7 +55,8 @@ impl Context {
     /// The 5-fold hierarchical evaluation (computed once, shared by F4/F5
     /// and R2).
     pub fn fold_reports(&self) -> &[FoldReport] {
-        self.folds.get_or_init(|| eval::evaluate_folds(&self.cfg, &self.ds, 5))
+        self.folds
+            .get_or_init(|| eval::evaluate_folds(&self.cfg, &self.ds, 5))
     }
 
     /// The four-model comparison (computed once, shared by F6/F7 and F8/F9).
@@ -66,8 +67,14 @@ impl Context {
 
     /// Builds from `TROUT_JOBS` / `TROUT_SEED` (defaults 20 000 / 42).
     pub fn from_env() -> Context {
-        let jobs = std::env::var("TROUT_JOBS").ok().and_then(|v| v.parse().ok()).unwrap_or(20_000);
-        let seed = std::env::var("TROUT_SEED").ok().and_then(|v| v.parse().ok()).unwrap_or(42);
+        let jobs = std::env::var("TROUT_JOBS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(20_000);
+        let seed = std::env::var("TROUT_SEED")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(42);
         Context::new(jobs, seed)
     }
 }

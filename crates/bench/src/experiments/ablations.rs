@@ -11,10 +11,7 @@ use crate::{Context, Report};
 /// Trains and evaluates on the last two expanding-window folds (folds 4–5 of
 /// the paper protocol) and averages `(classifier accuracy, regressor MAPE,
 /// within-100%)` — one fold alone is too seed-sensitive to rank ablations.
-fn final_fold_metrics(
-    cfg: &TroutConfig,
-    ds: &trout_features::Dataset,
-) -> (f64, f64, f64) {
+fn final_fold_metrics(cfg: &TroutConfig, ds: &trout_features::Dataset) -> (f64, f64, f64) {
     let n = ds.len();
     let step = n / 6;
     let (mut acc_s, mut mape_s, mut within_s, mut k) = (0.0, 0.0, 0.0, 0);
@@ -25,8 +22,10 @@ fn final_fold_metrics(
         let (tx, ty) = ds.select(&test);
 
         let probs = model.quick_start_proba_batch(&tx);
-        let labels: Vec<f32> =
-            ty.iter().map(|&q| if q < cfg.cutoff_min { 1.0 } else { 0.0 }).collect();
+        let labels: Vec<f32> = ty
+            .iter()
+            .map(|&q| if q < cfg.cutoff_min { 1.0 } else { 0.0 })
+            .collect();
         acc_s += metrics::binary_accuracy(&probs, &labels);
 
         let long: Vec<usize> = (0..ty.len()).filter(|&i| ty[i] >= cfg.cutoff_min).collect();
@@ -49,8 +48,10 @@ fn mean_mape_over_folds(cfg: &TroutConfig, ds: &trout_features::Dataset, folds: 
     let trainer = TroutTrainer::new(cfg.clone());
     let mut mapes = Vec::new();
     for fold in folds {
-        let train_has_long =
-            fold.train.iter().any(|&i| ds.y_queue_min[i] >= cfg.cutoff_min);
+        let train_has_long = fold
+            .train
+            .iter()
+            .any(|&i| ds.y_queue_min[i] >= cfg.cutoff_min);
         if !train_has_long {
             continue;
         }
@@ -110,13 +111,18 @@ pub fn a2_leakage(ctx: &Context) -> Report {
     // the training set", §III).
     let n = ctx.ds.len();
     let window_start = n - n / 6;
-    let eval_rows: Vec<usize> =
-        (window_start..n).filter(|i| (i - window_start) % 2 == 1).collect();
-    let sibling_rows: Vec<usize> =
-        (window_start..n).filter(|i| (i - window_start).is_multiple_of(2)).collect();
+    let eval_rows: Vec<usize> = (window_start..n)
+        .filter(|i| (i - window_start) % 2 == 1)
+        .collect();
+    let sibling_rows: Vec<usize> = (window_start..n)
+        .filter(|i| (i - window_start).is_multiple_of(2))
+        .collect();
     let honest_train: Vec<usize> = (0..window_start).collect();
-    let leaky_train: Vec<usize> =
-        honest_train.iter().copied().chain(sibling_rows.iter().copied()).collect();
+    let leaky_train: Vec<usize> = honest_train
+        .iter()
+        .copied()
+        .chain(sibling_rows.iter().copied())
+        .collect();
 
     let eval_long: Vec<usize> = eval_rows
         .iter()
@@ -141,12 +147,17 @@ pub fn a2_leakage(ctx: &Context) -> Report {
             .filter(|&i| ctx.ds.y_queue_min[i] >= ctx.cfg.cutoff_min)
             .collect();
         let (tx, ty_raw) = ctx.ds.select(&long);
-        let ty: Vec<f32> =
-            ty_raw.iter().map(|&v| ctx.cfg.target_transform.forward(v)).collect();
+        let ty: Vec<f32> = ty_raw
+            .iter()
+            .map(|&v| ctx.cfg.target_transform.forward(v))
+            .collect();
         let knn = trout_ml::knn::KnnRegressor::fit(
             &tx,
             &ty,
-            &trout_ml::knn::KnnConfig { k: 3, ..Default::default() },
+            &trout_ml::knn::KnnConfig {
+                k: 3,
+                ..Default::default()
+            },
         );
         let preds: Vec<f32> = knn
             .predict(&lx)
@@ -161,8 +172,16 @@ pub fn a2_leakage(ctx: &Context) -> Report {
     // Also report the uncontrolled comparison the paper actually ran
     // (shuffled k-fold vs time-series CV); its test sets differ between the
     // two arms, so at small scales window-difficulty noise can swamp it.
-    let ts_folds = TimeSeriesSplit { n_splits: 3, test_size: Some(n / 6) }.split(n);
-    let sh_folds = ShuffledKFold { n_splits: 3, seed: ctx.seed }.split(n);
+    let ts_folds = TimeSeriesSplit {
+        n_splits: 3,
+        test_size: Some(n / 6),
+    }
+    .split(n);
+    let sh_folds = ShuffledKFold {
+        n_splits: 3,
+        seed: ctx.seed,
+    }
+    .split(n);
     let ts_mape = mean_mape_over_folds(&ctx.cfg, &ctx.ds, &ts_folds);
     let sh_mape = mean_mape_over_folds(&ctx.cfg, &ctx.ds, &sh_folds);
 
@@ -174,9 +193,15 @@ pub fn a2_leakage(ctx: &Context) -> Report {
         lines: vec![
             format!("controlled (same {} eval jobs):", eval_long.len()),
             format!("  NN  honest (past-only)        MAPE: {honest:.2}%"),
-            format!("  NN  leaky (+campaign siblings) MAPE: {leaky:.2}%  ({:.2}x)", honest / leaky.max(1e-9)),
+            format!(
+                "  NN  leaky (+campaign siblings) MAPE: {leaky:.2}%  ({:.2}x)",
+                honest / leaky.max(1e-9)
+            ),
             format!("  kNN honest (past-only)        MAPE: {knn_honest:.2}%"),
-            format!("  kNN leaky (+campaign siblings) MAPE: {knn_leaky:.2}%  ({:.2}x)", knn_honest / knn_leaky.max(1e-9)),
+            format!(
+                "  kNN leaky (+campaign siblings) MAPE: {knn_leaky:.2}%  ({:.2}x)",
+                knn_honest / knn_leaky.max(1e-9)
+            ),
             format!(
                 "uncontrolled (paper's comparison): time-series CV {ts_mape:.2}% vs \
                  shuffled k-fold {sh_mape:.2}%"
@@ -201,8 +226,10 @@ pub fn a3_smote(ctx: &Context) -> Report {
         let test: Vec<usize> = (test_start..n).collect();
         let (tx, ty) = ctx.ds.select(&test);
         let probs = model.quick_start_proba_batch(&tx);
-        let labels: Vec<f32> =
-            ty.iter().map(|&q| if q < cfg.cutoff_min { 1.0 } else { 0.0 }).collect();
+        let labels: Vec<f32> = ty
+            .iter()
+            .map(|&q| if q < cfg.cutoff_min { 1.0 } else { 0.0 })
+            .collect();
         let acc = metrics::binary_accuracy(&probs, &labels);
         let (long_acc, quick_acc) = metrics::per_class_accuracy(&probs, &labels);
         lines.push(format!(
@@ -288,7 +315,10 @@ pub fn a10_target(ctx: &Context) -> Report {
         "{:>12} {:>16} {:>14}",
         "target", "regressor MAPE", "within-100%"
     )];
-    for (name, t) in [("raw minutes", TargetTransform::Raw), ("log1p", TargetTransform::Log1p)] {
+    for (name, t) in [
+        ("raw minutes", TargetTransform::Raw),
+        ("log1p", TargetTransform::Log1p),
+    ] {
         let mut cfg = ctx.cfg.clone();
         cfg.target_transform = t;
         let (_, mape, within) = final_fold_metrics(&cfg, &ctx.ds);

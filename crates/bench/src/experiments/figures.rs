@@ -16,13 +16,20 @@ pub fn fig2_density(ctx: &Context) -> Report {
         counts[bucket] += 1;
     }
     let n = ctx.trace.records.len() as f64;
-    let mut lines =
-        vec![format!("{:>14} {:>8} {:>8}  density", "bucket (min)", "count", "frac")];
+    let mut lines = vec![format!(
+        "{:>14} {:>8} {:>8}  density",
+        "bucket (min)", "count", "frac"
+    )];
     for (i, &c) in counts.iter().enumerate() {
-        let hi = edges_min.get(i + 1).map_or("inf".to_string(), |e| format!("{e:.0}"));
+        let hi = edges_min
+            .get(i + 1)
+            .map_or("inf".to_string(), |e| format!("{e:.0}"));
         let frac = c as f64 / n;
         let bar = "#".repeat((frac * 120.0).round() as usize);
-        lines.push(format!("{:>6.0} - {:>5} {c:>8} {frac:>8.3}  {bar}", edges_min[i], hi));
+        lines.push(format!(
+            "{:>6.0} - {:>5} {c:>8} {frac:>8.3}  {bar}",
+            edges_min[i], hi
+        ));
     }
     let quick = ctx.trace.quick_start_fraction(10.0);
     lines.push(format!(
@@ -40,7 +47,10 @@ pub fn fig2_density(ctx: &Context) -> Report {
 /// Fig. 3: the time-series split diagram, as index ranges.
 pub fn fig3_splits(ctx: &Context) -> Report {
     let folds = TimeSeriesSplit::paper(ctx.ds.len()).split(ctx.ds.len());
-    let mut lines = vec![format!("{:>5} {:>18} {:>18}", "fold", "train rows", "test rows")];
+    let mut lines = vec![format!(
+        "{:>5} {:>18} {:>18}",
+        "fold", "train rows", "test rows"
+    )];
     for (i, f) in folds.iter().enumerate() {
         lines.push(format!(
             "{:>5} {:>18} {:>18}",
@@ -74,7 +84,10 @@ pub fn fig4_5_scatter(ctx: &Context) -> Report {
         // Decile profile of predicted vs actual: visibly linear trend.
         let mut pairs = r.scatter.clone();
         pairs.sort_by(|a, b| a.1.total_cmp(&b.1));
-        lines.push(format!("  {:>10} {:>14} {:>14}", "decile", "actual (med)", "pred (med)"));
+        lines.push(format!(
+            "  {:>10} {:>14} {:>14}",
+            "decile", "actual (med)", "pred (med)"
+        ));
         for d in 0..10 {
             let lo = d * pairs.len() / 10;
             let hi = ((d + 1) * pairs.len() / 10).max(lo + 1).min(pairs.len());
@@ -185,8 +198,11 @@ pub fn fig8_9_within100(ctx: &Context) -> Report {
         folds
             .iter()
             .map(|&fold| {
-                let vals: Vec<f64> =
-                    entries.iter().filter(|e| e.fold == fold).map(&metric).collect();
+                let vals: Vec<f64> = entries
+                    .iter()
+                    .filter(|e| e.fold == fold)
+                    .map(&metric)
+                    .collect();
                 let max = vals.iter().cloned().fold(f64::MIN, f64::max);
                 let min = vals.iter().cloned().fold(f64::MAX, f64::min);
                 (max - min) / max.max(1e-9)

@@ -17,8 +17,10 @@ pub fn r1_classifier(ctx: &Context) -> Report {
     let test: Vec<usize> = (test_start..n).collect();
     let (tx, ty) = ctx.ds.select(&test);
     let probs = model.quick_start_proba_batch(&tx);
-    let labels: Vec<f32> =
-        ty.iter().map(|&q| if q < ctx.cfg.cutoff_min { 1.0 } else { 0.0 }).collect();
+    let labels: Vec<f32> = ty
+        .iter()
+        .map(|&q| if q < ctx.cfg.cutoff_min { 1.0 } else { 0.0 })
+        .collect();
     let acc = metrics::binary_accuracy(&probs, &labels);
     let (long_acc, quick_acc) = metrics::per_class_accuracy(&probs, &labels);
     let (tn, fp, fnn, tp) = metrics::confusion(&probs, &labels);
@@ -50,7 +52,12 @@ pub fn r2_regression(ctx: &Context) -> Report {
             r.fold, r.regressor_mape, r.pearson_r, r.within_100, r.n_long_test
         ));
     }
-    let last3: Vec<f64> = reports.iter().rev().take(3).map(|r| r.regressor_mape).collect();
+    let last3: Vec<f64> = reports
+        .iter()
+        .rev()
+        .take(3)
+        .map(|r| r.regressor_mape)
+        .collect();
     let mean3 = last3.iter().sum::<f64>() / last3.len() as f64;
     lines.push(format!(
         "mean MAPE over last 3 folds: {mean3:.2}% (paper: 97.567%)"

@@ -50,7 +50,12 @@ pub fn a6_itree(ctx: &Context) -> Report {
     let records = &ctx.trace.records[..ctx.trace.records.len().min(20_000)];
     let entries: Vec<(Interval<i64>, u64)> = records
         .iter()
-        .map(|r| (Interval::new(r.eligible_time, r.start_time.max(r.eligible_time + 1)), r.id))
+        .map(|r| {
+            (
+                Interval::new(r.eligible_time, r.start_time.max(r.eligible_time + 1)),
+                r.id,
+            )
+        })
         .collect();
     let mono = IntervalTree::new(entries.clone());
     let chunked = ChunkedIntervalIndex::build(entries.clone(), 5_000, 500);
@@ -61,7 +66,11 @@ pub fn a6_itree(ctx: &Context) -> Report {
         let a = mono.count_overlaps(probe);
         let b = chunked.count_overlaps(probe);
         let c = naive.count_overlaps(probe);
-        assert!(a == b && b == c, "chunked/monolithic/naive disagree at {}", r.id);
+        assert!(
+            a == b && b == c,
+            "chunked/monolithic/naive disagree at {}",
+            r.id
+        );
         checked += 1;
     }
     lines.push(format!(
@@ -131,8 +140,14 @@ pub fn a9_whatif(ctx: &Context) -> Report {
         })
         .unwrap();
     let now = ctx.trace.records[busiest].eligible_time;
-    let mut priorities: Vec<f64> =
-        ctx.trace.records.iter().rev().take(500).map(|r| r.priority).collect();
+    let mut priorities: Vec<f64> = ctx
+        .trace
+        .records
+        .iter()
+        .rev()
+        .take(500)
+        .map(|r| r.priority)
+        .collect();
     priorities.sort_by(f64::total_cmp);
     let priority = priorities[priorities.len() / 2];
 
@@ -217,14 +232,20 @@ pub fn a11_transfer(ctx: &Context) -> Report {
     let m = tds.len();
     let test: Vec<usize> = (m - m / 6..m).collect();
     let (tx, ty) = tds.select(&test);
-    let labels: Vec<f32> =
-        ty.iter().map(|&q| if q < ctx.cfg.cutoff_min { 1.0 } else { 0.0 }).collect();
-    let long: Vec<usize> = (0..ty.len()).filter(|&i| ty[i] >= ctx.cfg.cutoff_min).collect();
-    let (lx, lys) = (tx.select_rows(&long), long.iter().map(|&i| ty[i]).collect::<Vec<f32>>());
+    let labels: Vec<f32> = ty
+        .iter()
+        .map(|&q| if q < ctx.cfg.cutoff_min { 1.0 } else { 0.0 })
+        .collect();
+    let long: Vec<usize> = (0..ty.len())
+        .filter(|&i| ty[i] >= ctx.cfg.cutoff_min)
+        .collect();
+    let (lx, lys) = (
+        tx.select_rows(&long),
+        long.iter().map(|&i| ty[i]).collect::<Vec<f32>>(),
+    );
 
     let eval_model = |model: &trout_core::HierarchicalModel| -> (f64, f64) {
-        let acc =
-            metrics::binary_accuracy(&model.quick_start_proba_batch(&tx), &labels);
+        let acc = metrics::binary_accuracy(&model.quick_start_proba_batch(&tx), &labels);
         let mape = if long.is_empty() {
             f64::NAN
         } else {
@@ -248,9 +269,17 @@ pub fn a11_transfer(ctx: &Context) -> Report {
                 "target cluster: {} ({} partitions, 64-core nodes, {} GPUs)",
                 trace.cluster.name,
                 trace.cluster.partitions.len(),
-                trace.cluster.partitions.iter().map(|p| p.total_gpus()).sum::<u64>()
+                trace
+                    .cluster
+                    .partitions
+                    .iter()
+                    .map(|p| p.total_gpus())
+                    .sum::<u64>()
             ),
-            format!("target quick-start fraction: {:.1}%", 100.0 * trace.quick_start_fraction(10.0)),
+            format!(
+                "target quick-start fraction: {:.1}%",
+                100.0 * trace.quick_start_fraction(10.0)
+            ),
             format!(
                 "zero-shot (Anvil-trained): classifier {:.2}%  regressor MAPE {:.1}%",
                 100.0 * zs_acc,

@@ -42,7 +42,10 @@ pub fn table1_stats(ctx: &Context) -> Report {
         .map(|r| r.runtime_min() / r.timelimit_min as f64)
         .sum::<f64>()
         / recs.len() as f64;
-    lines.push(format!("mean walltime usage: {:.1}% of request (paper: ~15%)", usage * 100.0));
+    lines.push(format!(
+        "mean walltime usage: {:.1}% of request (paper: ~15%)",
+        usage * 100.0
+    ));
     Report {
         id: "T1",
         title: "Trace statistics (Table I)",

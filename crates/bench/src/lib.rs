@@ -13,6 +13,7 @@
 
 pub mod context;
 pub mod experiments;
+pub mod microbench;
 
 pub use context::Context;
 
@@ -42,7 +43,10 @@ impl Report {
 
     /// Renders as markdown for EXPERIMENTS.md.
     pub fn to_markdown(&self) -> String {
-        let mut s = format!("### {} — {}\n\n*Paper:* {}\n\n```text\n", self.id, self.title, self.paper);
+        let mut s = format!(
+            "### {} — {}\n\n*Paper:* {}\n\n```text\n",
+            self.id, self.title, self.paper
+        );
         for l in &self.lines {
             s.push_str(l);
             s.push('\n');

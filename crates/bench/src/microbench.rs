@@ -1,0 +1,180 @@
+//! Microbenchmark bodies shared between the `benches/` harness binaries and
+//! the `bench_smoke` test.
+//!
+//! Each function drives one bench group through a `trout_std::bench`
+//! [`Criterion`]; the harness binaries run them calibrated and write
+//! `BENCH_*.json` reports, while the smoke test runs them for a single
+//! iteration via [`Criterion::smoke`].
+
+use trout_std::bench::{BenchmarkId, Criterion};
+
+use trout_core::{featurize, TroutConfig, TroutTrainer};
+use trout_features::{FeaturePipeline, SnapshotIndex};
+use trout_itree::{ChunkedIntervalIndex, Interval, IntervalTree, NaiveIndex};
+use trout_linalg::{Matrix, SplitMix64};
+use trout_ml::knn::{KnnConfig, KnnRegressor};
+use trout_ml::nn::{Mlp, MlpConfig};
+use trout_ml::tree::{Gbt, GbtConfig, RandomForest, RandomForestConfig};
+use trout_slurmsim::SimulationBuilder;
+
+fn random_intervals(n: usize, seed: u64) -> Vec<(Interval<i64>, u64)> {
+    let mut rng = SplitMix64::new(seed);
+    (0..n)
+        .map(|i| {
+            let start = rng.next_below(1_000_000) as i64;
+            let len = 1 + rng.next_below(50_000) as i64;
+            (Interval::new(start, start + len), i as u64)
+        })
+        .collect()
+}
+
+/// Interval-tree construction vs the chunked index (ablation A6's micro
+/// view).
+pub fn bench_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("itree_build");
+    group.sample_size(10);
+    for &n in &[1_000usize, 10_000, 50_000] {
+        let entries = random_intervals(n, 1);
+        group.bench_with_input(BenchmarkId::new("monolithic", n), &entries, |b, e| {
+            b.iter(|| IntervalTree::new(e.clone()))
+        });
+        group.bench_with_input(BenchmarkId::new("chunked_10k_1k", n), &entries, |b, e| {
+            b.iter(|| ChunkedIntervalIndex::build(e.clone(), 10_000, 1_000))
+        });
+    }
+    group.finish();
+}
+
+/// Stabbing queries: tree vs the naive linear scan.
+pub fn bench_stab(c: &mut Criterion) {
+    let mut group = c.benchmark_group("itree_stab");
+    group.sample_size(20);
+    for &n in &[1_000usize, 10_000, 50_000] {
+        let entries = random_intervals(n, 2);
+        let tree = IntervalTree::new(entries.clone());
+        let naive = NaiveIndex::new(entries);
+        let probes: Vec<i64> = (0..256).map(|i| i * 4_000).collect();
+        group.bench_with_input(BenchmarkId::new("tree", n), &probes, |b, ps| {
+            b.iter(|| {
+                let mut acc = 0usize;
+                for &p in ps {
+                    acc += tree.count_overlaps(Interval::new(p, p + 1));
+                }
+                acc
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("naive", n), &probes, |b, ps| {
+            b.iter(|| {
+                let mut acc = 0usize;
+                for &p in ps {
+                    acc += naive.count_overlaps(Interval::new(p, p + 1));
+                }
+                acc
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Algorithm-1 inference latency (experiment A7): forward pass vs snapshot
+/// feature assembly.
+pub fn bench_inference(c: &mut Criterion) {
+    let trace = SimulationBuilder::anvil_like().jobs(6_000).seed(14).run();
+    let (ds, _) = featurize(&trace, 0.6, 1);
+    let model = TroutTrainer::new(TroutConfig::smoke()).fit(&ds);
+    let row = ds.row(ds.len() - 1).to_vec();
+
+    let mut group = c.benchmark_group("inference");
+    group.sample_size(30);
+    group.bench_function("algorithm1_forward_pass", |b| {
+        b.iter(|| std::hint::black_box(model.predict(&row)))
+    });
+
+    let preds: Vec<f64> = trace
+        .records
+        .iter()
+        .map(|r| r.timelimit_min as f64)
+        .collect();
+    let index = SnapshotIndex::build(&trace, preds);
+    group.bench_function("snapshot_feature_assembly", |b| {
+        b.iter(|| std::hint::black_box(index.snapshot(trace.records.len() - 1)))
+    });
+    group.finish();
+}
+
+/// Scheduler substrate: end-to-end simulation rate and full-trace
+/// featurization cost.
+pub fn bench_simulator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator");
+    group.sample_size(10);
+    group.bench_function("simulate_2k_jobs", |b| {
+        b.iter(|| SimulationBuilder::anvil_like().jobs(2_000).seed(9).run())
+    });
+
+    let trace = SimulationBuilder::anvil_like().jobs(4_000).seed(9).run();
+    group.bench_function("featurize_4k_jobs", |b| {
+        b.iter(|| FeaturePipeline::standard().build(&trace))
+    });
+    group.finish();
+}
+
+fn training_data() -> (Matrix, Vec<f32>) {
+    let trace = SimulationBuilder::anvil_like().jobs(6_000).seed(14).run();
+    let (ds, _) = featurize(&trace, 0.6, 1);
+    let long = ds.long_wait_indices(10.0);
+    let (x, y) = ds.select(&long);
+    let y_log: Vec<f32> = y.iter().map(|&v| (1.0 + v).ln()).collect();
+    (x, y_log)
+}
+
+/// Training throughput of the four model families on a fixed featurized fold
+/// (supports the F6–F9 comparison).
+pub fn bench_training(c: &mut Criterion) {
+    let (x, y) = training_data();
+    let mut group = c.benchmark_group("training");
+    group.sample_size(10);
+
+    group.bench_function("nn_5_epochs", |b| {
+        b.iter(|| {
+            let mut cfg = MlpConfig::new(x.cols(), vec![64, 32]);
+            cfg.epochs = 5;
+            cfg.seed = 3;
+            Mlp::train(&cfg, &x, &y).0
+        })
+    });
+    group.bench_function("gbt_25_rounds", |b| {
+        b.iter(|| {
+            Gbt::fit(
+                &x,
+                &y,
+                &GbtConfig {
+                    n_rounds: 25,
+                    ..Default::default()
+                },
+            )
+        })
+    });
+    group.bench_function("rf_25_trees", |b| {
+        b.iter(|| {
+            RandomForest::fit(
+                &x,
+                &y,
+                &RandomForestConfig {
+                    n_trees: 25,
+                    ..Default::default()
+                },
+            )
+        })
+    });
+    group.bench_function("knn_fit_plus_100_queries", |b| {
+        b.iter(|| {
+            let knn = KnnRegressor::fit(&x, &y, &KnnConfig::default());
+            let mut acc = 0.0f32;
+            for r in 0..100.min(x.rows()) {
+                acc += knn.predict_row(x.row(r));
+            }
+            acc
+        })
+    });
+    group.finish();
+}

@@ -1,0 +1,30 @@
+//! Smoke test: every microbenchmark body runs for exactly one iteration
+//! under `cargo test`, so bench code cannot rot between full bench runs.
+
+use trout_bench::microbench;
+use trout_std::bench::Criterion;
+
+#[test]
+fn itree_benches_run_in_smoke_mode() {
+    let mut c = Criterion::smoke();
+    microbench::bench_build(&mut c);
+    microbench::bench_stab(&mut c);
+}
+
+#[test]
+fn simulator_benches_run_in_smoke_mode() {
+    let mut c = Criterion::smoke();
+    microbench::bench_simulator(&mut c);
+}
+
+#[test]
+fn inference_benches_run_in_smoke_mode() {
+    let mut c = Criterion::smoke();
+    microbench::bench_inference(&mut c);
+}
+
+#[test]
+fn training_benches_run_in_smoke_mode() {
+    let mut c = Criterion::smoke();
+    microbench::bench_training(&mut c);
+}

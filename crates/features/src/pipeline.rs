@@ -1,6 +1,5 @@
 //! The end-to-end feature pipeline: trace → (X, y).
 
-use rayon::prelude::*;
 use trout_linalg::Matrix;
 use trout_slurmsim::{JobState, Trace};
 
@@ -43,18 +42,26 @@ impl Dataset {
     /// Binary quick-start labels at `cutoff_min` (1 = queued less than the
     /// cutoff — the class the paper's classifier calls "quick start").
     pub fn quick_labels(&self, cutoff_min: f32) -> Vec<f32> {
-        self.y_queue_min.iter().map(|&q| if q < cutoff_min { 1.0 } else { 0.0 }).collect()
+        self.y_queue_min
+            .iter()
+            .map(|&q| if q < cutoff_min { 1.0 } else { 0.0 })
+            .collect()
     }
 
     /// Row indices of jobs that queued at least `cutoff_min` minutes — the
     /// regression model's training population.
     pub fn long_wait_indices(&self, cutoff_min: f32) -> Vec<usize> {
-        (0..self.len()).filter(|&i| self.y_queue_min[i] >= cutoff_min).collect()
+        (0..self.len())
+            .filter(|&i| self.y_queue_min[i] >= cutoff_min)
+            .collect()
     }
 
     /// Materializes `(x, y)` for a subset of rows, in the given order.
     pub fn select(&self, indices: &[usize]) -> (Matrix, Vec<f32>) {
-        (self.x.select_rows(indices), indices.iter().map(|&i| self.y_queue_min[i]).collect())
+        (
+            self.x.select_rows(indices),
+            indices.iter().map(|&i| self.y_queue_min[i]).collect(),
+        )
     }
 
     /// Projects the dataset onto a feature subset — the second half of the
@@ -82,7 +89,9 @@ pub struct FeaturePipeline {
 impl FeaturePipeline {
     /// The paper's pipeline: all 33 features, `ln(1+x)` scaling.
     pub fn standard() -> FeaturePipeline {
-        FeaturePipeline { scaling: Scaling::Ln1p }
+        FeaturePipeline {
+            scaling: Scaling::Ln1p,
+        }
     }
 
     /// Same features with a different scaler (ablation A4).
@@ -93,7 +102,11 @@ impl FeaturePipeline {
     /// Featurizes a trace using each job's *time limit* as its runtime
     /// prediction (the estimate available before any runtime model exists).
     pub fn build(&self, trace: &Trace) -> Dataset {
-        let naive: Vec<f64> = trace.records.iter().map(|r| r.timelimit_min as f64).collect();
+        let naive: Vec<f64> = trace
+            .records
+            .iter()
+            .map(|r| r.timelimit_min as f64)
+            .collect();
         self.build_with_runtime_predictions(trace, naive)
     }
 
@@ -143,10 +156,8 @@ impl FeaturePipeline {
         rows: &[usize],
     ) -> Matrix {
         let index = SnapshotIndex::build(trace, pred_runtime_min.clone());
-        let out: Vec<Vec<f32>> = rows
-            .par_iter()
-            .map(|&i| feature_row(trace, &index, &pred_runtime_min, i))
-            .collect();
+        let out: Vec<Vec<f32>> =
+            trout_std::par::par_map(rows, |&i| feature_row(trace, &index, &pred_runtime_min, i));
         let mut data = Vec::with_capacity(rows.len() * N_FEATURES);
         for row in out {
             data.extend_from_slice(&row);
@@ -218,7 +229,10 @@ mod tests {
         assert_eq!(ds.len(), 600);
         assert_eq!(ds.x.cols(), N_FEATURES);
         assert_eq!(ds.raw.cols(), N_FEATURES);
-        assert_eq!(ds.ids, trace.records.iter().map(|r| r.id).collect::<Vec<_>>());
+        assert_eq!(
+            ds.ids,
+            trace.records.iter().map(|r| r.id).collect::<Vec<_>>()
+        );
         for (i, r) in trace.records.iter().enumerate() {
             assert!((ds.y_queue_min[i] - r.queue_time_min() as f32).abs() < 1e-4);
         }
@@ -245,7 +259,10 @@ mod tests {
         for (i, r) in trace.records.iter().enumerate() {
             let part = &trace.cluster.partitions[r.partition as usize];
             assert_eq!(ds.raw.get(i, idx::PAR_TOTAL_NODES), part.total_nodes as f32);
-            assert_eq!(ds.raw.get(i, idx::PAR_CPU_PER_NODE), part.cpus_per_node as f32);
+            assert_eq!(
+                ds.raw.get(i, idx::PAR_CPU_PER_NODE),
+                part.cpus_per_node as f32
+            );
             assert_eq!(ds.raw.get(i, idx::PAR_TOTAL_GPU), part.total_gpus() as f32);
         }
     }
@@ -356,7 +373,11 @@ mod cancellation_tests {
         // find a started job whose eligibility fell inside a cancelled job's
         // pending window in the same partition and check the naive count.
         let mut witnessed = false;
-        'outer: for c in trace.records.iter().filter(|r| r.state == JobState::Cancelled) {
+        'outer: for c in trace
+            .records
+            .iter()
+            .filter(|r| r.state == JobState::Cancelled)
+        {
             for (row, &id) in ds.ids.iter().enumerate() {
                 let r = &trace.records[id as usize];
                 if r.partition == c.partition
@@ -375,7 +396,10 @@ mod cancellation_tests {
                 }
             }
         }
-        assert!(witnessed, "no witness pair found — trace too sparse for the assertion");
+        assert!(
+            witnessed,
+            "no witness pair found — trace too sparse for the assertion"
+        );
     }
 
     #[test]

@@ -5,11 +5,10 @@
 //! benefits" (§III). All four (plus z-score and identity) are implemented so
 //! the ablation can measure rather than assert that claim.
 
-use serde::{Deserialize, Serialize};
 use trout_linalg::Matrix;
 
 /// Scaling method applied column-wise to the raw feature matrix.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Scaling {
     /// No transform.
     None,
@@ -27,13 +26,55 @@ pub enum Scaling {
     },
 }
 
+impl trout_std::json::ToJson for Scaling {
+    fn to_json(&self) -> trout_std::json::Json {
+        use trout_std::json::Json;
+        match self {
+            Scaling::None => Json::Str("None".to_string()),
+            Scaling::Ln1p => Json::Str("Ln1p".to_string()),
+            Scaling::MinMax => Json::Str("MinMax".to_string()),
+            Scaling::ZScore => Json::Str("ZScore".to_string()),
+            Scaling::BoxCox { lambda } => Json::Obj(vec![(
+                "BoxCox".to_string(),
+                Json::Obj(vec![("lambda".to_string(), lambda.to_json())]),
+            )]),
+        }
+    }
+}
+
+impl trout_std::json::FromJson for Scaling {
+    fn from_json(j: &trout_std::json::Json) -> Result<Self, trout_std::json::JsonError> {
+        use trout_std::json::{Json, JsonError};
+        match j {
+            Json::Str(s) => match s.as_str() {
+                "None" => Ok(Scaling::None),
+                "Ln1p" => Ok(Scaling::Ln1p),
+                "MinMax" => Ok(Scaling::MinMax),
+                "ZScore" => Ok(Scaling::ZScore),
+                other => Err(JsonError::new(format!("unknown Scaling variant {other}"))),
+            },
+            Json::Obj(_) => {
+                let inner = j
+                    .get("BoxCox")
+                    .ok_or_else(|| JsonError::new("unknown Scaling variant"))?;
+                Ok(Scaling::BoxCox {
+                    lambda: f32::from_json_field(inner.get("lambda"), "BoxCox.lambda")?,
+                })
+            }
+            other => Err(JsonError::new(format!("invalid Scaling: {other}"))),
+        }
+    }
+}
+
 /// A fitted scaler (stateless for `None`/`Ln1p`/`BoxCox`).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct FittedScaler {
     method: Scaling,
     /// Per-column `(offset, scale)` for the stateful methods.
     stats: Vec<(f32, f32)>,
 }
+
+trout_std::impl_json_struct!(FittedScaler { method, stats });
 
 impl Scaling {
     /// Fits the scaler on a raw feature matrix.
@@ -82,7 +123,10 @@ impl Scaling {
             }
             _ => Vec::new(),
         };
-        FittedScaler { method: self, stats }
+        FittedScaler {
+            method: self,
+            stats,
+        }
     }
 }
 

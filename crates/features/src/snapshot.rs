@@ -70,11 +70,19 @@ impl<'a> SnapshotIndex<'a> {
     /// record `i` (pass each job's `timelimit_min` for the naive estimate).
     pub fn build(trace: &'a Trace, pred_runtime_min: Vec<f64>) -> SnapshotIndex<'a> {
         let records = &trace.records[..];
-        assert_eq!(records.len(), pred_runtime_min.len(), "prediction per record required");
+        assert_eq!(
+            records.len(),
+            pred_runtime_min.len(),
+            "prediction per record required"
+        );
         let n_parts = trace.cluster.partitions.len();
         let mut pending_entries: Vec<Vec<(Interval<i64>, u32)>> = vec![Vec::new(); n_parts];
         let mut running_entries: Vec<Vec<(Interval<i64>, u32)>> = vec![Vec::new(); n_parts];
-        let max_user = records.iter().map(|r| r.user).max().map_or(0, |u| u as usize + 1);
+        let max_user = records
+            .iter()
+            .map(|r| r.user)
+            .max()
+            .map_or(0, |u| u as usize + 1);
         let mut user_history: Vec<Vec<u32>> = vec![Vec::new(); max_user];
         for (i, r) in records.iter().enumerate() {
             let p = r.partition as usize;
@@ -154,7 +162,10 @@ impl<'a> SnapshotIndex<'a> {
                     snap.running.add(r, self.pred_runtime[j]);
                 }
             }
-            if r.user == me.user && r.id != me.id && r.submit_time >= t - 86_400 && r.submit_time <= t
+            if r.user == me.user
+                && r.id != me.id
+                && r.submit_time >= t - 86_400
+                && r.submit_time <= t
             {
                 snap.user_past_day.add(r, self.pred_runtime[j]);
             }
@@ -177,7 +188,11 @@ mod tests {
 
     fn index_for(jobs: usize, seed: u64) -> (Trace, Vec<f64>) {
         let trace = SimulationBuilder::anvil_like().jobs(jobs).seed(seed).run();
-        let preds: Vec<f64> = trace.records.iter().map(|r| r.timelimit_min as f64).collect();
+        let preds: Vec<f64> = trace
+            .records
+            .iter()
+            .map(|r| r.timelimit_min as f64)
+            .collect();
         (trace, preds)
     }
 
@@ -223,9 +238,7 @@ mod tests {
             let including = trace
                 .records
                 .iter()
-                .filter(|r| {
-                    r.partition == me.partition && r.eligible_time <= t && t < r.start_time
-                })
+                .filter(|r| r.partition == me.partition && r.eligible_time <= t && t < r.start_time)
                 .count() as f64;
             assert_eq!(with_self_would_be.queue.jobs, including - 1.0, "record {i}");
         }

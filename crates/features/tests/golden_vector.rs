@@ -1,0 +1,114 @@
+//! Golden-vector test: the 33 Table-II features computed from a fixed-seed
+//! 500-job trace must match the checked-in snapshot in
+//! `tests/golden/table2_seed42.json`.
+//!
+//! The snapshot pins one probe row (all 33 raw feature values) and the
+//! per-column means over the whole dataset, each compared with a
+//! per-feature tolerance of `1e-3 * (1 + |golden|)` so a legitimate
+//! float-kernel change (e.g. a different summation order) passes while a
+//! feature-semantics regression fails loudly.
+//!
+//! To regenerate after an *intentional* feature change:
+//!
+//! ```text
+//! TROUT_REGEN_GOLDEN=1 cargo test -p trout-features --test golden_vector
+//! ```
+
+use trout_features::names::{FEATURE_NAMES, N_FEATURES};
+use trout_features::FeaturePipeline;
+use trout_slurmsim::SimulationBuilder;
+use trout_std::json::{FromJson, Json, ToJson};
+
+const JOBS: usize = 500;
+const SEED: u64 = 42;
+const PROBE_ROW: usize = 250;
+
+fn golden_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/table2_seed42.json")
+}
+
+fn compute() -> (Vec<f32>, Vec<f32>, u64) {
+    let trace = SimulationBuilder::anvil_like().jobs(JOBS).seed(SEED).run();
+    let ds = FeaturePipeline::standard().build(&trace);
+    assert!(ds.len() > PROBE_ROW, "trace too small for the probe row");
+    let probe = ds.raw.row(PROBE_ROW).to_vec();
+    let mut means = vec![0.0f32; N_FEATURES];
+    for i in 0..ds.len() {
+        for (j, m) in means.iter_mut().enumerate() {
+            *m += ds.raw.get(i, j);
+        }
+    }
+    for m in &mut means {
+        *m /= ds.len() as f32;
+    }
+    (probe, means, ds.ids[PROBE_ROW])
+}
+
+#[test]
+fn table2_features_match_golden_snapshot() {
+    let (probe, means, probe_id) = compute();
+
+    if std::env::var("TROUT_REGEN_GOLDEN").as_deref() == Ok("1") {
+        let json = Json::Obj(vec![
+            ("jobs".to_string(), (JOBS as u64).to_json()),
+            ("seed".to_string(), SEED.to_json()),
+            ("probe_row".to_string(), (PROBE_ROW as u64).to_json()),
+            ("probe_id".to_string(), probe_id.to_json()),
+            ("probe_raw".to_string(), probe.to_json()),
+            ("column_means".to_string(), means.to_json()),
+        ]);
+        std::fs::create_dir_all(golden_path().parent().unwrap()).unwrap();
+        std::fs::write(golden_path(), json.to_string()).unwrap();
+        eprintln!("regenerated {}", golden_path().display());
+        return;
+    }
+
+    let text = std::fs::read_to_string(golden_path()).unwrap_or_else(|e| {
+        panic!(
+            "missing golden snapshot {} ({e}); regenerate with \
+             TROUT_REGEN_GOLDEN=1 cargo test -p trout-features --test golden_vector",
+            golden_path().display()
+        )
+    });
+    let json = Json::parse(&text).expect("golden snapshot is valid JSON");
+    let jobs = u64::from_json_field(json.get("jobs"), "jobs").unwrap();
+    let seed = u64::from_json_field(json.get("seed"), "seed").unwrap();
+    let probe_row = u64::from_json_field(json.get("probe_row"), "probe_row").unwrap();
+    assert_eq!(
+        (jobs, seed, probe_row),
+        (JOBS as u64, SEED, PROBE_ROW as u64)
+    );
+    assert_eq!(
+        u64::from_json_field(json.get("probe_id"), "probe_id").unwrap(),
+        probe_id
+    );
+
+    let want_probe = Vec::<f32>::from_json_field(json.get("probe_raw"), "probe_raw").unwrap();
+    let want_means = Vec::<f32>::from_json_field(json.get("column_means"), "column_means").unwrap();
+    assert_eq!(want_probe.len(), N_FEATURES);
+    assert_eq!(want_means.len(), N_FEATURES);
+
+    let mut failures = Vec::new();
+    for (label, got, want) in [
+        ("probe_raw", &probe, &want_probe),
+        ("column_means", &means, &want_means),
+    ] {
+        for j in 0..N_FEATURES {
+            let tol = 1e-3 * (1.0 + want[j].abs());
+            if (got[j] - want[j]).abs() > tol {
+                failures.push(format!(
+                    "{label}[{j}] ({}): got {} want {} (tol {tol})",
+                    FEATURE_NAMES[j], got[j], want[j]
+                ));
+            }
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "{} feature(s) drifted from the golden snapshot:\n{}\n\
+         If the change is intentional, regenerate with \
+         TROUT_REGEN_GOLDEN=1 cargo test -p trout-features --test golden_vector",
+        failures.len(),
+        failures.join("\n")
+    );
+}

@@ -1,18 +1,21 @@
 //! Property tests for the feature pipeline.
+//!
+//! Runs on `trout_std::proptest_lite` with the fixed default seed; a failing
+//! case prints its seed and shrunk input plus a `TROUT_PROPTEST_SEED=...`
+//! reproduction line.
 
-use proptest::prelude::*;
 use trout_features::scaling::Scaling;
 use trout_features::{FeaturePipeline, SnapshotIndex};
 use trout_linalg::Matrix;
 use trout_slurmsim::SimulationBuilder;
+use trout_std::proptest_lite::vec_of;
+use trout_std::{prop_assert, prop_assert_eq, proptest_lite};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(6))]
-
-    /// The interval-tree snapshot must equal the naive full scan on traces
-    /// from arbitrary seeds — the load-bearing correctness property of the
-    /// whole feature pipeline.
-    #[test]
+proptest_lite! {
+    // The interval-tree snapshot must equal the naive full scan on traces
+    // from arbitrary seeds — the load-bearing correctness property of the
+    // whole feature pipeline.
+    #[cases(6)]
     fn snapshots_match_naive_oracle(seed in 0u64..300) {
         let trace = SimulationBuilder::anvil_like().jobs(500).seed(seed).run();
         let preds: Vec<f64> = trace.records.iter().map(|r| r.timelimit_min as f64).collect();
@@ -22,7 +25,7 @@ proptest! {
         }
     }
 
-    #[test]
+    #[cases(6)]
     fn datasets_are_deterministic_and_finite(seed in 0u64..300) {
         let trace = SimulationBuilder::anvil_like().jobs(400).seed(seed).run();
         let a = FeaturePipeline::standard().build(&trace);
@@ -31,15 +34,11 @@ proptest! {
         prop_assert!(a.x.as_slice().iter().all(|v| v.is_finite()));
         prop_assert!(a.y_queue_min.iter().all(|v| v.is_finite() && *v >= 0.0));
     }
-}
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
+    #[cases(128)]
     fn scalers_are_monotone_per_column(
-        col in prop::collection::vec(0.0f32..1e6, 3..40),
-        lambda in 0.05f32..1.0,
+        col in vec_of(0.0f32..1e6, 3..40),
+        lambda in 0.05f32..1.0
     ) {
         let n = col.len();
         let x = Matrix::from_vec(n, 1, col.clone());
@@ -62,9 +61,9 @@ proptest! {
         }
     }
 
-    #[test]
+    #[cases(128)]
     fn scaled_values_are_always_finite(
-        col in prop::collection::vec(0.0f32..1e9, 2..20),
+        col in vec_of(0.0f32..1e9, 2..20)
     ) {
         let x = Matrix::from_vec(col.len(), 1, col.clone());
         for scaling in [Scaling::Ln1p, Scaling::MinMax, Scaling::ZScore] {

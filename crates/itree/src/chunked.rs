@@ -1,5 +1,3 @@
-use rayon::prelude::*;
-
 use crate::{Interval, IntervalTree};
 
 /// The paper's chunked interval-tree build: entries are sorted by start time,
@@ -9,7 +7,7 @@ use crate::{Interval, IntervalTree};
 /// back together with de-duplication of the entries shared by two chunks.
 ///
 /// Chunking bounds per-tree build cost and lets the trees be constructed in
-/// parallel with rayon; the hull test below prunes whole chunks per query, so
+/// parallel; the hull test below prunes whole chunks per query, so
 /// point-in-time snapshot queries over a long trace touch only a few chunks.
 #[derive(Debug, Clone)]
 pub struct ChunkedIntervalIndex<K, V> {
@@ -42,7 +40,10 @@ impl<K: Copy + Ord + Send + Sync, V: Clone + Send + Sync> ChunkedIntervalIndex<K
     /// Panics if `chunk_size == 0` or `overlap >= chunk_size`.
     pub fn build(mut entries: Vec<(Interval<K>, V)>, chunk_size: usize, overlap: usize) -> Self {
         assert!(chunk_size > 0, "chunk_size must be positive");
-        assert!(overlap < chunk_size, "overlap must be smaller than chunk_size");
+        assert!(
+            overlap < chunk_size,
+            "overlap must be smaller than chunk_size"
+        );
         entries.sort_by_key(|e| e.0);
         let len = entries.len();
         let tagged: Vec<(Interval<K>, (u64, V))> = entries
@@ -67,17 +68,18 @@ impl<K: Copy + Ord + Send + Sync, V: Clone + Send + Sync> ChunkedIntervalIndex<K
             lo += stride;
         }
 
-        let chunks: Vec<Chunk<K, V>> = spans
-            .into_par_iter()
-            .map(|(lo, hi, id_floor)| {
-                let slice = &tagged[lo..hi];
-                let mut hull = slice[0].0;
-                for (iv, _) in slice {
-                    hull = hull.hull(iv);
-                }
-                Chunk { hull, id_floor: id_floor as u64, tree: IntervalTree::new(slice.to_vec()) }
-            })
-            .collect();
+        let chunks: Vec<Chunk<K, V>> = trout_std::par::par_map(&spans, |&(lo, hi, id_floor)| {
+            let slice = &tagged[lo..hi];
+            let mut hull = slice[0].0;
+            for (iv, _) in slice {
+                hull = hull.hull(iv);
+            }
+            Chunk {
+                hull,
+                id_floor: id_floor as u64,
+                tree: IntervalTree::new(slice.to_vec()),
+            }
+        });
 
         ChunkedIntervalIndex { chunks, len }
     }
@@ -158,7 +160,11 @@ mod tests {
         assert!(idx.chunk_count() > 1);
         for qs in (-10..620).step_by(7) {
             let q = Interval::new(qs, qs + 5);
-            assert_eq!(idx.count_overlaps(q), naive.count_overlaps(q), "query {q:?}");
+            assert_eq!(
+                idx.count_overlaps(q),
+                naive.count_overlaps(q),
+                "query {q:?}"
+            );
         }
     }
 

@@ -41,7 +41,10 @@ impl<K: Copy + Ord> Interval<K> {
     #[inline]
     pub fn intersection(&self, other: &Interval<K>) -> Option<Interval<K>> {
         if self.overlaps(other) {
-            Some(Interval::new(self.start.max(other.start), self.end.min(other.end)))
+            Some(Interval::new(
+                self.start.max(other.start),
+                self.end.min(other.end),
+            ))
         } else {
             None
         }

@@ -49,7 +49,9 @@ impl<K: Copy + Ord, V> NaiveIndex<K, V> {
 
     /// Returns entries containing `point` — O(n).
     pub fn stab(&self, point: K) -> impl Iterator<Item = &(Interval<K>, V)> {
-        self.entries.iter().filter(move |(iv, _)| iv.contains(point))
+        self.entries
+            .iter()
+            .filter(move |(iv, _)| iv.contains(point))
     }
 }
 
@@ -72,7 +74,11 @@ mod tests {
             Interval::new(9, 21),
             Interval::new(30, 40),
         ] {
-            assert_eq!(naive.count_overlaps(q), tree.count_overlaps(q), "query {q:?}");
+            assert_eq!(
+                naive.count_overlaps(q),
+                tree.count_overlaps(q),
+                "query {q:?}"
+            );
         }
     }
 

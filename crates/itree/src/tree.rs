@@ -30,7 +30,10 @@ impl<K: Copy + Ord, V> IntervalTree<K, V> {
         if !entries.is_empty() {
             Self::build_max_end(&entries, &mut max_end, 0, entries.len());
         }
-        IntervalTree { entries, max_end: max_end.into_boxed_slice() }
+        IntervalTree {
+            entries,
+            max_end: max_end.into_boxed_slice(),
+        }
     }
 
     /// Computes subtree maxima over the slice `[lo, hi)` rooted at its midpoint.
@@ -225,7 +228,10 @@ mod tests {
     #[test]
     fn overlap_query() {
         let t = sample();
-        assert_eq!(ids(t.overlaps(Interval::new(12, 22)).collect()), vec![1, 2, 4]);
+        assert_eq!(
+            ids(t.overlaps(Interval::new(12, 22)).collect()),
+            vec![1, 2, 4]
+        );
         assert_eq!(t.count_overlaps(Interval::new(12, 22)), 3);
         assert_eq!(t.count_overlaps(Interval::new(200, 300)), 0);
     }

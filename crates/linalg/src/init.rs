@@ -38,7 +38,10 @@ mod tests {
         let w = he_normal(fan_in, 256, &mut rng);
         let var = trout_linalg_test_variance(w.as_slice());
         let target = 2.0 / fan_in as f32;
-        assert!((var - target).abs() < target * 0.15, "var {var} target {target}");
+        assert!(
+            (var - target).abs() < target * 0.15,
+            "var {var} target {target}"
+        );
     }
 
     fn trout_linalg_test_variance(a: &[f32]) -> f32 {

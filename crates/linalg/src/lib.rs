@@ -4,11 +4,12 @@
 //! and a queue-time regressor) with PyTorch; this crate supplies the minimal
 //! substrate needed to do the same in pure Rust:
 //!
-//! * [`Matrix`] — a row-major `f32` matrix with (rayon-)parallel matrix
+//! * [`Matrix`] — a row-major `f32` matrix with scoped-thread-parallel matrix
 //!   multiplication and the transpose-fused products backpropagation needs.
 //! * [`ops`] — slice-level vector kernels (dot, axpy, hadamard, …).
 //! * [`SplitMix64`] — a tiny, fully deterministic RNG so every experiment in
-//!   the benchmark harness is reproducible bit-for-bit from a seed.
+//!   the benchmark harness is reproducible bit-for-bit from a seed
+//!   (re-exported from `trout-std`, where it now lives).
 //! * [`init`] — Xavier/He weight initialization.
 //!
 //! Layouts are deliberately flat (`Vec<f32>` + index arithmetic) per the Rust
@@ -17,7 +18,6 @@
 pub mod init;
 mod matrix;
 pub mod ops;
-mod rng;
 
 pub use matrix::Matrix;
-pub use rng::SplitMix64;
+pub use trout_std::rng::SplitMix64;

@@ -1,19 +1,20 @@
-use rayon::prelude::*;
-use serde::{Deserialize, Serialize};
+use trout_std::par;
 
 /// Row-major dense `f32` matrix.
 ///
 /// Storage is a single flat `Vec<f32>` (row `r` occupies
 /// `data[r*cols .. (r+1)*cols]`). All products below iterate in row-major
 /// order with an `ikj` loop nest so the inner loop streams contiguously, and
-/// parallelize over output rows with rayon once the work is large enough to
-/// amortize the fork/join.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+/// parallelize over output rows once the work is large enough to amortize
+/// the fork/join.
+#[derive(Debug, Clone, PartialEq)]
 pub struct Matrix {
     rows: usize,
     cols: usize,
     data: Vec<f32>,
 }
+
+trout_std::impl_json_struct!(Matrix { rows, cols, data });
 
 /// Below this many multiply-adds the parallel paths fall back to serial —
 /// forking rayon tasks for tiny layers costs more than the math.
@@ -22,7 +23,11 @@ const PAR_THRESHOLD: usize = 64 * 1024;
 impl Matrix {
     /// A `rows x cols` matrix of zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Builds from a flat row-major buffer.
@@ -121,7 +126,7 @@ impl Matrix {
         assert_eq!(self.cols, other.rows, "matmul dimension mismatch");
         let (m, k, n) = (self.rows, self.cols, other.cols);
         let mut out = Matrix::zeros(m, n);
-        let body = |(r, out_row): (usize, &mut [f32])| {
+        let body = |r: usize, out_row: &mut [f32]| {
             let a_row = &self.data[r * k..(r + 1) * k];
             for (kk, &a) in a_row.iter().enumerate() {
                 if a == 0.0 {
@@ -134,9 +139,12 @@ impl Matrix {
             }
         };
         if m * k * n >= PAR_THRESHOLD && n > 0 {
-            out.data.par_chunks_exact_mut(n).enumerate().for_each(body);
+            par::par_chunks_mut(&mut out.data, n, body);
         } else if n > 0 {
-            out.data.chunks_exact_mut(n).enumerate().for_each(body);
+            out.data
+                .chunks_exact_mut(n)
+                .enumerate()
+                .for_each(|(r, row)| body(r, row));
         }
         out
     }
@@ -147,7 +155,7 @@ impl Matrix {
         assert_eq!(self.cols, other.cols, "matmul_bt dimension mismatch");
         let (m, k, n) = (self.rows, self.cols, other.rows);
         let mut out = Matrix::zeros(m, n);
-        let body = |(r, out_row): (usize, &mut [f32])| {
+        let body = |r: usize, out_row: &mut [f32]| {
             let a_row = &self.data[r * k..(r + 1) * k];
             for (c, o) in out_row.iter_mut().enumerate() {
                 let b_row = &other.data[c * k..(c + 1) * k];
@@ -155,9 +163,12 @@ impl Matrix {
             }
         };
         if m * k * n >= PAR_THRESHOLD && n > 0 {
-            out.data.par_chunks_exact_mut(n).enumerate().for_each(body);
+            par::par_chunks_mut(&mut out.data, n, body);
         } else if n > 0 {
-            out.data.chunks_exact_mut(n).enumerate().for_each(body);
+            out.data
+                .chunks_exact_mut(n)
+                .enumerate()
+                .for_each(|(r, row)| body(r, row));
         }
         out
     }
@@ -285,14 +296,22 @@ mod tests {
     #[test]
     fn matmul_bt_matches_explicit_transpose() {
         let a = m(2, 3, &[1.0, -2.0, 3.0, 0.5, 5.0, -6.0]);
-        let b = m(4, 3, &[1.0, 0.0, 2.0, -1.0, 3.0, 1.0, 0.0, 0.0, 1.0, 2.0, 2.0, 2.0]);
+        let b = m(
+            4,
+            3,
+            &[1.0, 0.0, 2.0, -1.0, 3.0, 1.0, 0.0, 0.0, 1.0, 2.0, 2.0, 2.0],
+        );
         assert_eq!(a.matmul_bt(&b), a.matmul(&b.transpose()));
     }
 
     #[test]
     fn matmul_at_matches_explicit_transpose() {
         let a = m(4, 2, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]);
-        let b = m(4, 3, &[1.0, 0.0, 2.0, -1.0, 3.0, 1.0, 0.0, 0.0, 1.0, 2.0, 2.0, 2.0]);
+        let b = m(
+            4,
+            3,
+            &[1.0, 0.0, 2.0, -1.0, 3.0, 1.0, 0.0, 0.0, 1.0, 2.0, 2.0, 2.0],
+        );
         assert_eq!(a.matmul_at(&b), a.transpose().matmul(&b));
     }
 

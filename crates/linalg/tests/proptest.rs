@@ -1,35 +1,42 @@
 //! Property tests for the linear-algebra kernels.
+//!
+//! Runs on `trout_std::proptest_lite` with the fixed default seed; a failing
+//! case prints its seed and shrunk input plus a `TROUT_PROPTEST_SEED=...`
+//! reproduction line.
 
-use proptest::prelude::*;
 use trout_linalg::{ops, Matrix, SplitMix64};
+use trout_std::proptest_lite::{from_fn, vec_of, Strategy};
+use trout_std::{prop_assert, prop_assert_eq, prop_assume, proptest_lite};
 
+/// Random matrices with dims in `1..max_dim` and entries in `[-100, 100)`.
+/// Domain-specific generator, so no shrinking — failures still replay by seed.
 fn arb_matrix(max_dim: usize) -> impl Strategy<Value = Matrix> {
-    (1..max_dim, 1..max_dim).prop_flat_map(|(r, c)| {
-        prop::collection::vec(-100.0f32..100.0, r * c)
-            .prop_map(move |data| Matrix::from_vec(r, c, data))
+    from_fn(move |rng: &mut SplitMix64| {
+        let r = 1 + rng.next_below((max_dim - 1) as u64) as usize;
+        let c = 1 + rng.next_below((max_dim - 1) as u64) as usize;
+        let data = (0..r * c).map(|_| rng.uniform(-100.0, 100.0)).collect();
+        Matrix::from_vec(r, c, data)
     })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
+proptest_lite! {
+    #[cases(128)]
     fn matmul_is_associative_with_identity(a in arb_matrix(8)) {
         let id = Matrix::from_fn(a.cols(), a.cols(), |r, c| f32::from(r == c));
         let prod = a.matmul(&id);
         prop_assert_eq!(prod.as_slice(), a.as_slice());
     }
 
-    #[test]
+    #[cases(128)]
     fn transpose_is_involutive(a in arb_matrix(10)) {
         let round_trip = a.transpose().transpose();
         prop_assert_eq!(round_trip.as_slice(), a.as_slice());
     }
 
-    #[test]
+    #[cases(128)]
     fn fused_transpose_products_match_explicit(
         a in arb_matrix(7),
-        seed in 0u64..1_000,
+        seed in 0u64..1_000
     ) {
         let mut rng = SplitMix64::new(seed);
         // Shapes: a is (m x k); b must be (n x k) for matmul_bt.
@@ -42,10 +49,10 @@ proptest! {
         }
     }
 
-    #[test]
+    #[cases(128)]
     fn dot_is_commutative_and_bilinear(
-        v in prop::collection::vec(-50.0f32..50.0, 1..64),
-        alpha in -4.0f32..4.0,
+        v in vec_of(-50.0f32..50.0, 1..64),
+        alpha in -4.0f32..4.0
     ) {
         let w: Vec<f32> = v.iter().rev().cloned().collect();
         let ab = ops::dot(&v, &w);
@@ -58,7 +65,7 @@ proptest! {
             "{} vs {}", lhs, alpha * ab);
     }
 
-    #[test]
+    #[cases(128)]
     fn col_sums_match_manual(a in arb_matrix(9)) {
         let sums = a.col_sums();
         for (j, &s) in sums.iter().enumerate() {
@@ -67,7 +74,7 @@ proptest! {
         }
     }
 
-    #[test]
+    #[cases(128)]
     fn rng_next_below_is_in_range(seed in 0u64..10_000, bound in 1u64..1_000_000) {
         let mut rng = SplitMix64::new(seed);
         for _ in 0..32 {
@@ -75,7 +82,7 @@ proptest! {
         }
     }
 
-    #[test]
+    #[cases(128)]
     fn sample_indices_are_distinct(seed in 0u64..10_000, n in 1usize..200) {
         let mut rng = SplitMix64::new(seed);
         let k = (seed as usize % n) + 1;

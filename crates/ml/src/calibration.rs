@@ -8,16 +8,17 @@
 //! useful, so this module provides Platt scaling (a logistic fit on held-out
 //! logits) plus Brier score and a reliability table to measure it.
 
-use serde::{Deserialize, Serialize};
 use trout_linalg::ops::sigmoid;
 
 /// Platt scaler: `p = sigmoid(a * logit + b)` with `(a, b)` fitted on a
 /// held-out calibration set by logistic regression (Newton iterations).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct PlattScaler {
     a: f32,
     b: f32,
 }
+
+trout_std::impl_json_struct!(PlattScaler { a, b });
 
 impl PlattScaler {
     /// Fits on raw classifier logits and 0/1 labels.
@@ -63,7 +64,10 @@ impl PlattScaler {
                 break;
             }
         }
-        PlattScaler { a: a as f32, b: b as f32 }
+        PlattScaler {
+            a: a as f32,
+            b: b as f32,
+        }
     }
 
     /// Calibrated probability for one raw logit.

@@ -33,7 +33,10 @@ pub struct TimeSeriesSplit {
 impl TimeSeriesSplit {
     /// The paper's configuration: 5 splits, test size one sixth of the data.
     pub fn paper(n: usize) -> TimeSeriesSplit {
-        TimeSeriesSplit { n_splits: 5, test_size: Some(n / 6) }
+        TimeSeriesSplit {
+            n_splits: 5,
+            test_size: Some(n / 6),
+        }
     }
 
     /// Generates the folds for a dataset of `n` rows.
@@ -90,8 +93,11 @@ impl ShuffledKFold {
         for i in 0..self.n_splits {
             let size = base + usize::from(i < rem);
             let test: Vec<usize> = order[at..at + size].to_vec();
-            let train: Vec<usize> =
-                order[..at].iter().chain(order[at + size..].iter()).copied().collect();
+            let train: Vec<usize> = order[..at]
+                .iter()
+                .chain(order[at + size..].iter())
+                .copied()
+                .collect();
             folds.push(Fold { train, test });
             at += size;
         }
@@ -141,7 +147,11 @@ mod tests {
 
     #[test]
     fn default_test_size() {
-        let folds = TimeSeriesSplit { n_splits: 3, test_size: None }.split(40);
+        let folds = TimeSeriesSplit {
+            n_splits: 3,
+            test_size: None,
+        }
+        .split(40);
         assert_eq!(folds.len(), 3);
         assert!(folds.iter().all(|f| f.test.len() == 10));
     }
@@ -154,7 +164,11 @@ mod tests {
 
     #[test]
     fn shuffled_kfold_partitions_everything() {
-        let folds = ShuffledKFold { n_splits: 4, seed: 3 }.split(103);
+        let folds = ShuffledKFold {
+            n_splits: 4,
+            seed: 3,
+        }
+        .split(103);
         let mut count = vec![0usize; 103];
         for f in &folds {
             assert_eq!(f.train.len() + f.test.len(), 103);
@@ -162,21 +176,36 @@ mod tests {
                 count[i] += 1;
             }
         }
-        assert!(count.iter().all(|&c| c == 1), "each row in exactly one test fold");
+        assert!(
+            count.iter().all(|&c| c == 1),
+            "each row in exactly one test fold"
+        );
     }
 
     #[test]
     fn shuffled_kfold_mixes_time() {
         // With shuffling, some early rows land in the last fold's test set.
-        let folds = ShuffledKFold { n_splits: 2, seed: 1 }.split(100);
+        let folds = ShuffledKFold {
+            n_splits: 2,
+            seed: 1,
+        }
+        .split(100);
         let early_in_test = folds[1].test.iter().any(|&i| i < 50);
         assert!(early_in_test);
     }
 
     #[test]
     fn shuffled_kfold_deterministic() {
-        let a = ShuffledKFold { n_splits: 3, seed: 9 }.split(50);
-        let b = ShuffledKFold { n_splits: 3, seed: 9 }.split(50);
+        let a = ShuffledKFold {
+            n_splits: 3,
+            seed: 9,
+        }
+        .split(50);
+        let b = ShuffledKFold {
+            n_splits: 3,
+            seed: 9,
+        }
+        .split(50);
         assert_eq!(a, b);
     }
 }

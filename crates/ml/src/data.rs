@@ -1,16 +1,17 @@
 //! Small dataset utilities shared by the models.
 
-use serde::{Deserialize, Serialize};
 use trout_linalg::Matrix;
 
 /// Per-feature z-score standardizer (fit on train, apply to test). Used
 /// internally by distance-based algorithms (kNN, SMOTE) where raw feature
 /// scales would dominate the metric.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Standardizer {
     mean: Vec<f32>,
     std: Vec<f32>,
 }
+
+trout_std::impl_json_struct!(Standardizer { mean, std });
 
 impl Standardizer {
     /// Fits means and standard deviations column-wise. Constant columns get

@@ -155,7 +155,11 @@ where
         .min_by(|a, b| a.1.total_cmp(&b.1))
         .map(|(p, s)| (p.clone(), *s))
         .expect("non-empty history");
-    SearchResult { best, best_score, history }
+    SearchResult {
+        best,
+        best_score,
+        history,
+    }
 }
 
 /// Successive halving: evaluate all candidates at `cheap` budget, keep the
@@ -171,7 +175,10 @@ pub fn successive_halving<F>(
 where
     F: FnMut(&TrialParams, bool) -> f64,
 {
-    assert!((0.0..=1.0).contains(&keep_fraction), "keep_fraction in [0,1]");
+    assert!(
+        (0.0..=1.0).contains(&keep_fraction),
+        "keep_fraction in [0,1]"
+    );
     let names: Vec<&'static str> = space.iter().map(|p| p.name()).collect();
     let mut rng = SplitMix64::new(seed ^ 0x6861_6c76_3100);
     let mut cheap: Vec<(TrialParams, f64)> = (0..n_trials.max(1))
@@ -199,7 +206,11 @@ where
         .min_by(|a, b| a.1.total_cmp(&b.1))
         .map(|(p, s)| (p.clone(), *s))
         .expect("non-empty history");
-    SearchResult { best, best_score, history }
+    SearchResult {
+        best,
+        best_score,
+        history,
+    }
 }
 
 #[cfg(test)]
@@ -208,9 +219,21 @@ mod tests {
 
     fn space() -> Vec<Param> {
         vec![
-            Param::Float { name: "x", lo: -2.0, hi: 2.0 },
-            Param::LogFloat { name: "lr", lo: 1e-4, hi: 1e-1 },
-            Param::Int { name: "layers", lo: 1, hi: 3 },
+            Param::Float {
+                name: "x",
+                lo: -2.0,
+                hi: 2.0,
+            },
+            Param::LogFloat {
+                name: "lr",
+                lo: 1e-4,
+                hi: 1e-1,
+            },
+            Param::Int {
+                name: "layers",
+                lo: 1,
+                hi: 3,
+            },
             Param::Choice { name: "act", n: 2 },
         ]
     }
@@ -221,7 +244,11 @@ mod tests {
             let x = p.get("x");
             (x - 0.7) * (x - 0.7)
         });
-        assert!((result.best.get("x") - 0.7).abs() < 0.15, "best x {}", result.best.get("x"));
+        assert!(
+            (result.best.get("x") - 0.7).abs() < 0.15,
+            "best x {}",
+            result.best.get("x")
+        );
         assert_eq!(result.history.len(), 200);
     }
 

@@ -30,7 +30,12 @@ pub struct TpeConfig {
 
 impl Default for TpeConfig {
     fn default() -> Self {
-        TpeConfig { n_startup: 10, gamma: 0.12, n_candidates: 32, random_interval: 6 }
+        TpeConfig {
+            n_startup: 10,
+            gamma: 0.12,
+            n_candidates: 32,
+            random_interval: 6,
+        }
     }
 }
 
@@ -38,7 +43,12 @@ impl Default for TpeConfig {
 #[derive(Debug, Clone, Copy)]
 enum Dim {
     /// Continuous on [lo, hi] (already log-transformed when needed).
-    Continuous { lo: f64, hi: f64, log: bool, int: bool },
+    Continuous {
+        lo: f64,
+        hi: f64,
+        log: bool,
+        int: bool,
+    },
     /// Categorical with n options.
     Categorical { n: usize },
 }
@@ -47,13 +57,24 @@ fn dims(space: &[Param]) -> Vec<Dim> {
     space
         .iter()
         .map(|p| match *p {
-            Param::Float { lo, hi, .. } => Dim::Continuous { lo, hi, log: false, int: false },
-            Param::LogFloat { lo, hi, .. } => {
-                Dim::Continuous { lo: lo.ln(), hi: hi.ln(), log: true, int: false }
-            }
-            Param::Int { lo, hi, .. } => {
-                Dim::Continuous { lo: lo as f64, hi: hi as f64, log: false, int: true }
-            }
+            Param::Float { lo, hi, .. } => Dim::Continuous {
+                lo,
+                hi,
+                log: false,
+                int: false,
+            },
+            Param::LogFloat { lo, hi, .. } => Dim::Continuous {
+                lo: lo.ln(),
+                hi: hi.ln(),
+                log: true,
+                int: false,
+            },
+            Param::Int { lo, hi, .. } => Dim::Continuous {
+                lo: lo as f64,
+                hi: hi as f64,
+                log: false,
+                int: true,
+            },
             Param::Choice { n, .. } => Dim::Categorical { n },
         })
         .collect()
@@ -99,11 +120,14 @@ impl Kde {
         // Using the sample std (not the range) lets the good-set KDE narrow
         // as the search concentrates — the self-sharpening TPE relies on.
         let mean = points.iter().sum::<f64>() / n;
-        let std =
-            (points.iter().map(|p| (p - mean) * (p - mean)).sum::<f64>() / n).sqrt();
-        let bandwidth =
-            (1.06 * std * n.powf(-0.2)).max((hi - lo) * 0.05).max(1e-12);
-        Kde { points, bandwidth, lo, hi }
+        let std = (points.iter().map(|p| (p - mean) * (p - mean)).sum::<f64>() / n).sqrt();
+        let bandwidth = (1.06 * std * n.powf(-0.2)).max((hi - lo) * 0.05).max(1e-12);
+        Kde {
+            points,
+            bandwidth,
+            lo,
+            hi,
+        }
     }
 
     /// Mixture weight of the uniform prior component (Optuna mixes a
@@ -154,7 +178,9 @@ impl CatDist {
             counts[o.min(n - 1)] += 1.0;
         }
         let total: f64 = counts.iter().sum();
-        CatDist { probs: counts.into_iter().map(|c| c / total).collect() }
+        CatDist {
+            probs: counts.into_iter().map(|c| c / total).collect(),
+        }
     }
 
     fn sample(&self, rng: &mut SplitMix64) -> usize {
@@ -188,16 +214,20 @@ where
     let mut history: Vec<(TrialParams, f64)> = Vec::with_capacity(n_trials);
 
     for trial in 0..n_trials {
-        let force_random = cfg.random_interval > 0 && trial % cfg.random_interval.max(1) == cfg.random_interval.max(1) - 1;
+        let force_random = cfg.random_interval > 0
+            && trial % cfg.random_interval.max(1) == cfg.random_interval.max(1) - 1;
         let values: Vec<f64> = if trial < cfg.n_startup || history.len() < 4 || force_random {
             space.iter().map(|p| p.sample_public(&mut rng)).collect()
         } else {
             // Split history at the gamma quantile.
-            let mut scored: Vec<(usize, f64)> =
-                history.iter().enumerate().map(|(i, (_, s))| (i, *s)).collect();
+            let mut scored: Vec<(usize, f64)> = history
+                .iter()
+                .enumerate()
+                .map(|(i, (_, s))| (i, *s))
+                .collect();
             scored.sort_by(|a, b| a.1.total_cmp(&b.1));
-            let n_good = ((history.len() as f64 * cfg.gamma).ceil() as usize)
-                .clamp(2, history.len() - 1);
+            let n_good =
+                ((history.len() as f64 * cfg.gamma).ceil() as usize).clamp(2, history.len() - 1);
             let good: Vec<usize> = scored[..n_good].iter().map(|&(i, _)| i).collect();
             let bad: Vec<usize> = scored[n_good..].iter().map(|&(i, _)| i).collect();
 
@@ -229,8 +259,10 @@ where
                         // trial counts: once the search exploits the best
                         // category, the bad set fills with it too and the
                         // ratio starts favoring rarely-tried categories.
-                        let obs: Vec<usize> =
-                            good.iter().map(|&i| history[i].0.values[d] as usize).collect();
+                        let obs: Vec<usize> = good
+                            .iter()
+                            .map(|&i| history[i].0.values[d] as usize)
+                            .collect();
                         let l = CatDist::fit(&obs, n);
                         l.sample(&mut rng) as f64
                     }
@@ -247,7 +279,11 @@ where
         .min_by(|a, b| a.1.total_cmp(&b.1))
         .map(|(p, s)| (p.clone(), *s))
         .expect("non-empty history");
-    SearchResult { best, best_score, history }
+    SearchResult {
+        best,
+        best_score,
+        history,
+    }
 }
 
 #[cfg(test)]
@@ -256,9 +292,21 @@ mod tests {
 
     fn bowl_space() -> Vec<Param> {
         vec![
-            Param::Float { name: "x", lo: -3.0, hi: 3.0 },
-            Param::Float { name: "y", lo: -3.0, hi: 3.0 },
-            Param::LogFloat { name: "s", lo: 1e-3, hi: 1.0 },
+            Param::Float {
+                name: "x",
+                lo: -3.0,
+                hi: 3.0,
+            },
+            Param::Float {
+                name: "y",
+                lo: -3.0,
+                hi: 3.0,
+            },
+            Param::LogFloat {
+                name: "s",
+                lo: 1e-3,
+                hi: 1.0,
+            },
             Param::Choice { name: "c", n: 3 },
         ]
     }
@@ -280,8 +328,16 @@ mod tests {
         // 4 dimensions (one log-scaled, one categorical) at 150 trials: the
         // search should land near the optimum, not merely luck into it.
         let result = tpe_search(&bowl_space(), 150, 3, &TpeConfig::default(), bowl);
-        assert!((result.best.get("x") - 1.0).abs() < 0.6, "x {}", result.best.get("x"));
-        assert!((result.best.get("y") + 0.5).abs() < 0.6, "y {}", result.best.get("y"));
+        assert!(
+            (result.best.get("x") - 1.0).abs() < 0.6,
+            "x {}",
+            result.best.get("x")
+        );
+        assert!(
+            (result.best.get("y") + 0.5).abs() < 0.6,
+            "y {}",
+            result.best.get("y")
+        );
         assert_eq!(result.best.get_usize("c"), 2);
         assert!(result.best_score < 0.5, "score {}", result.best_score);
     }
@@ -294,8 +350,16 @@ mod tests {
         // random trials bound that loss but don't eliminate it, just as in
         // Optuna.)
         let space = vec![
-            Param::Float { name: "x", lo: -3.0, hi: 3.0 },
-            Param::Float { name: "y", lo: -3.0, hi: 3.0 },
+            Param::Float {
+                name: "x",
+                lo: -3.0,
+                hi: 3.0,
+            },
+            Param::Float {
+                name: "y",
+                lo: -3.0,
+                hi: 3.0,
+            },
         ];
         let f = |p: &TrialParams| (p.get("x") - 1.0).powi(2) + (p.get("y") + 0.5).powi(2);
         let mut tpe_total = 0.0;
@@ -316,9 +380,11 @@ mod tests {
     fn late_trials_concentrate_near_the_optimum() {
         let result = tpe_search(&bowl_space(), 100, 5, &TpeConfig::default(), bowl);
         let early: f64 = result.history[..20].iter().map(|(_, s)| s).sum::<f64>() / 20.0;
-        let late: f64 =
-            result.history[80..].iter().map(|(_, s)| s).sum::<f64>() / 20.0;
-        assert!(late < early, "mean score should fall: early {early:.3} late {late:.3}");
+        let late: f64 = result.history[80..].iter().map(|(_, s)| s).sum::<f64>() / 20.0;
+        assert!(
+            late < early,
+            "mean score should fall: early {early:.3} late {late:.3}"
+        );
     }
 
     #[test]

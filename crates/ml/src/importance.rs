@@ -56,7 +56,10 @@ where
             }
             delta += metric(&predict(&xp), y) - base;
         }
-        out.push(FeatureImportance { feature: j, importance: delta / repeats as f64 });
+        out.push(FeatureImportance {
+            feature: j,
+            importance: delta / repeats as f64,
+        });
     }
     out.sort_by(|a, b| b.importance.total_cmp(&a.importance));
     out
@@ -83,7 +86,8 @@ mod tests {
         }
         let x = Matrix::from_vec(n, 3, rows);
         // "Model": the true function, reading only column 0.
-        let predict = |m: &Matrix| -> Vec<f32> { (0..m.rows()).map(|r| 3.0 * m.get(r, 0)).collect() };
+        let predict =
+            |m: &Matrix| -> Vec<f32> { (0..m.rows()).map(|r| 3.0 * m.get(r, 0)).collect() };
         let imps = permutation_importance(&x, &y, predict, mae, 3, 1);
         assert_eq!(imps[0].feature, 0);
         assert!(imps[0].importance > 10.0 * imps[1].importance.abs().max(1e-9));

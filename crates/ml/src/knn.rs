@@ -3,11 +3,10 @@
 //!
 //! At 33 standardized features a space-partitioning index degenerates to a
 //! scan anyway (curse of dimensionality), so queries are brute force,
-//! parallelized over query rows with rayon. `max_train` caps the reference
+//! parallelized over query rows. `max_train` caps the reference
 //! set (uniformly subsampled, newest-biased is unnecessary since callers pass
 //! time-ordered data and training folds are already the recent past).
 
-use rayon::prelude::*;
 use trout_linalg::{ops::dist2, Matrix, SplitMix64};
 
 use crate::data::Standardizer;
@@ -28,7 +27,12 @@ pub struct KnnConfig {
 
 impl Default for KnnConfig {
     fn default() -> Self {
-        KnnConfig { k: 10, distance_weighted: false, max_train: Some(20_000), seed: 0 }
+        KnnConfig {
+            k: 10,
+            distance_weighted: false,
+            max_train: Some(20_000),
+            seed: 0,
+        }
     }
 }
 
@@ -109,10 +113,7 @@ impl KnnRegressor {
 
     /// Batch prediction, parallel over query rows.
     pub fn predict(&self, x: &Matrix) -> Vec<f32> {
-        (0..x.rows())
-            .into_par_iter()
-            .map(|r| self.predict_row(x.row(r)))
-            .collect()
+        trout_std::par::par_map_range(x.rows(), |r| self.predict_row(x.row(r)))
     }
 }
 
@@ -129,7 +130,14 @@ mod tests {
     #[test]
     fn k1_reproduces_training_points() {
         let (x, y) = line_data(20);
-        let knn = KnnRegressor::fit(&x, &y, &KnnConfig { k: 1, ..Default::default() });
+        let knn = KnnRegressor::fit(
+            &x,
+            &y,
+            &KnnConfig {
+                k: 1,
+                ..Default::default()
+            },
+        );
         for (i, &yi) in y.iter().enumerate() {
             assert_eq!(knn.predict_row(&[i as f32]), yi);
         }
@@ -138,7 +146,14 @@ mod tests {
     #[test]
     fn k3_averages_neighbours() {
         let (x, y) = line_data(10);
-        let knn = KnnRegressor::fit(&x, &y, &KnnConfig { k: 3, ..Default::default() });
+        let knn = KnnRegressor::fit(
+            &x,
+            &y,
+            &KnnConfig {
+                k: 3,
+                ..Default::default()
+            },
+        );
         // Neighbours of 5.0 are 4,5,6 -> mean 2*5 = 10.
         assert!((knn.predict_row(&[5.0]) - 10.0).abs() < 1e-5);
     }
@@ -157,7 +172,14 @@ mod tests {
             y.push(a * 10.0);
         }
         let x = Matrix::from_vec(200, 2, rows);
-        let knn = KnnRegressor::fit(&x, &y, &KnnConfig { k: 5, ..Default::default() });
+        let knn = KnnRegressor::fit(
+            &x,
+            &y,
+            &KnnConfig {
+                k: 5,
+                ..Default::default()
+            },
+        );
         let pred = knn.predict_row(&[0.5, 0.0]);
         assert!((pred - 5.0).abs() < 1.5, "pred {pred}");
     }
@@ -168,7 +190,11 @@ mod tests {
         let knn = KnnRegressor::fit(
             &x,
             &y,
-            &KnnConfig { k: 3, max_train: Some(100), ..Default::default() },
+            &KnnConfig {
+                k: 3,
+                max_train: Some(100),
+                ..Default::default()
+            },
         );
         assert_eq!(knn.train_size(), 100);
         // Still roughly on the line.
@@ -180,11 +206,22 @@ mod tests {
     fn distance_weighting_prefers_closer_points() {
         let x = Matrix::from_vec(3, 1, vec![0.0, 1.0, 10.0]);
         let y = [0.0f32, 1.0, 100.0];
-        let uniform = KnnRegressor::fit(&x, &y, &KnnConfig { k: 3, ..Default::default() });
+        let uniform = KnnRegressor::fit(
+            &x,
+            &y,
+            &KnnConfig {
+                k: 3,
+                ..Default::default()
+            },
+        );
         let weighted = KnnRegressor::fit(
             &x,
             &y,
-            &KnnConfig { k: 3, distance_weighted: true, ..Default::default() },
+            &KnnConfig {
+                k: 3,
+                distance_weighted: true,
+                ..Default::default()
+            },
         );
         let q = [0.1f32];
         assert!(weighted.predict_row(&q) < uniform.predict_row(&q));
@@ -193,7 +230,14 @@ mod tests {
     #[test]
     fn batch_matches_single() {
         let (x, y) = line_data(50);
-        let knn = KnnRegressor::fit(&x, &y, &KnnConfig { k: 4, ..Default::default() });
+        let knn = KnnRegressor::fit(
+            &x,
+            &y,
+            &KnnConfig {
+                k: 4,
+                ..Default::default()
+            },
+        );
         let batch = knn.predict(&x);
         for (i, &b) in batch.iter().enumerate() {
             assert_eq!(b, knn.predict_row(x.row(i)));

@@ -52,7 +52,11 @@ pub fn mae(preds: &[f32], targets: &[f32]) -> f64 {
     if preds.is_empty() {
         return 0.0;
     }
-    preds.iter().zip(targets).map(|(&p, &t)| (p as f64 - t as f64).abs()).sum::<f64>()
+    preds
+        .iter()
+        .zip(targets)
+        .map(|(&p, &t)| (p as f64 - t as f64).abs())
+        .sum::<f64>()
         / preds.len() as f64
 }
 

@@ -1,9 +1,7 @@
 //! Activation functions.
 
-use serde::{Deserialize, Serialize};
-
 /// Element-wise activation applied after each dense layer.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Activation {
     /// Identity (used on output layers).
     Identity,
@@ -19,6 +17,48 @@ pub enum Activation {
     Tanh,
     /// Logistic sigmoid.
     Sigmoid,
+}
+
+impl trout_std::json::ToJson for Activation {
+    fn to_json(&self) -> trout_std::json::Json {
+        use trout_std::json::Json;
+        match self {
+            Activation::Identity => Json::Str("Identity".to_string()),
+            Activation::Relu => Json::Str("Relu".to_string()),
+            Activation::Tanh => Json::Str("Tanh".to_string()),
+            Activation::Sigmoid => Json::Str("Sigmoid".to_string()),
+            Activation::Elu { alpha } => Json::Obj(vec![(
+                "Elu".to_string(),
+                Json::Obj(vec![("alpha".to_string(), alpha.to_json())]),
+            )]),
+        }
+    }
+}
+
+impl trout_std::json::FromJson for Activation {
+    fn from_json(j: &trout_std::json::Json) -> Result<Self, trout_std::json::JsonError> {
+        use trout_std::json::{Json, JsonError};
+        match j {
+            Json::Str(s) => match s.as_str() {
+                "Identity" => Ok(Activation::Identity),
+                "Relu" => Ok(Activation::Relu),
+                "Tanh" => Ok(Activation::Tanh),
+                "Sigmoid" => Ok(Activation::Sigmoid),
+                other => Err(JsonError::new(format!(
+                    "unknown Activation variant {other}"
+                ))),
+            },
+            Json::Obj(_) => {
+                let inner = j
+                    .get("Elu")
+                    .ok_or_else(|| JsonError::new("unknown Activation variant"))?;
+                Ok(Activation::Elu {
+                    alpha: f32::from_json_field(inner.get("alpha"), "Elu.alpha")?,
+                })
+            }
+            other => Err(JsonError::new(format!("invalid Activation: {other}"))),
+        }
+    }
 }
 
 impl Activation {

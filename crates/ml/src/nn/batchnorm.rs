@@ -4,11 +4,10 @@
 //! implement it so ablation A5 can reproduce that comparison rather than
 //! assert it.
 
-use serde::{Deserialize, Serialize};
 use trout_linalg::Matrix;
 
 /// One batch-normalization layer over `dim` features.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct BatchNorm {
     gamma: Vec<f32>,
     beta: Vec<f32>,
@@ -17,6 +16,15 @@ pub struct BatchNorm {
     momentum: f32,
     eps: f32,
 }
+
+trout_std::impl_json_struct!(BatchNorm {
+    gamma,
+    beta,
+    running_mean,
+    running_var,
+    momentum,
+    eps
+});
 
 /// Per-batch cache needed for the backward pass.
 #[derive(Debug, Clone)]
@@ -89,7 +97,14 @@ impl BatchNorm {
             self.running_var[j] =
                 (1.0 - self.momentum) * self.running_var[j] + self.momentum * var[j];
         }
-        (out, BnCache { x_hat, mean, inv_std })
+        (
+            out,
+            BnCache {
+                x_hat,
+                mean,
+                inv_std,
+            },
+        )
     }
 
     /// Inference-mode forward using the running statistics.
@@ -99,8 +114,8 @@ impl BatchNorm {
         let mut out = Matrix::zeros(n, d);
         for r in 0..n {
             for j in 0..d {
-                let xh = (x.get(r, j) - self.running_mean[j])
-                    / (self.running_var[j] + self.eps).sqrt();
+                let xh =
+                    (x.get(r, j) - self.running_mean[j]) / (self.running_var[j] + self.eps).sqrt();
                 out.set(r, j, self.gamma[j] * xh + self.beta[j]);
             }
         }
@@ -196,7 +211,10 @@ mod tests {
             let lm: f32 = om.as_slice().iter().map(|v| v * v / 2.0).sum();
             let num = (lp - lm) / (2.0 * eps);
             let ana = d_x.get(r, j);
-            assert!((num - ana).abs() < 0.05 * (1.0 + ana.abs()), "({r},{j}): {num} vs {ana}");
+            assert!(
+                (num - ana).abs() < 0.05 * (1.0 + ana.abs()),
+                "({r},{j}): {num} vs {ana}"
+            );
         }
     }
 

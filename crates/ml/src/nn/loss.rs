@@ -1,9 +1,7 @@
 //! Training losses.
 
-use serde::{Deserialize, Serialize};
-
 /// Loss functions over a batch of scalar predictions.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Loss {
     /// Mean squared error.
     Mse,
@@ -21,6 +19,44 @@ pub enum Loss {
     /// Binary cross-entropy *on logits* (numerically stable log-sum-exp
     /// form); targets must be 0 or 1.
     BceWithLogits,
+}
+
+impl trout_std::json::ToJson for Loss {
+    fn to_json(&self) -> trout_std::json::Json {
+        use trout_std::json::Json;
+        match self {
+            Loss::Mse => Json::Str("Mse".to_string()),
+            Loss::Mae => Json::Str("Mae".to_string()),
+            Loss::BceWithLogits => Json::Str("BceWithLogits".to_string()),
+            Loss::SmoothL1 { beta } => Json::Obj(vec![(
+                "SmoothL1".to_string(),
+                Json::Obj(vec![("beta".to_string(), beta.to_json())]),
+            )]),
+        }
+    }
+}
+
+impl trout_std::json::FromJson for Loss {
+    fn from_json(j: &trout_std::json::Json) -> Result<Self, trout_std::json::JsonError> {
+        use trout_std::json::{Json, JsonError};
+        match j {
+            Json::Str(s) => match s.as_str() {
+                "Mse" => Ok(Loss::Mse),
+                "Mae" => Ok(Loss::Mae),
+                "BceWithLogits" => Ok(Loss::BceWithLogits),
+                other => Err(JsonError::new(format!("unknown Loss variant {other}"))),
+            },
+            Json::Obj(_) => {
+                let inner = j
+                    .get("SmoothL1")
+                    .ok_or_else(|| JsonError::new("unknown Loss variant"))?;
+                Ok(Loss::SmoothL1 {
+                    beta: f32::from_json_field(inner.get("beta"), "SmoothL1.beta")?,
+                })
+            }
+            other => Err(JsonError::new(format!("invalid Loss: {other}"))),
+        }
+    }
 }
 
 impl Loss {
@@ -76,7 +112,11 @@ impl Loss {
         if preds.is_empty() {
             return 0.0;
         }
-        preds.iter().zip(targets).map(|(&p, &t)| self.value(p, t)).sum::<f32>()
+        preds
+            .iter()
+            .zip(targets)
+            .map(|(&p, &t)| self.value(p, t))
+            .sum::<f32>()
             / preds.len() as f32
     }
 }
@@ -89,12 +129,20 @@ mod tests {
         let eps = 1e-3;
         let num = (loss.value(p + eps, t) - loss.value(p - eps, t)) / (2.0 * eps);
         let ana = loss.gradient(p, t);
-        assert!((num - ana).abs() < 5e-3, "{loss:?} p={p} t={t}: {num} vs {ana}");
+        assert!(
+            (num - ana).abs() < 5e-3,
+            "{loss:?} p={p} t={t}: {num} vs {ana}"
+        );
     }
 
     #[test]
     fn gradients_match_finite_differences() {
-        for loss in [Loss::Mse, Loss::SMOOTH_L1, Loss::SmoothL1 { beta: 2.0 }, Loss::BceWithLogits] {
+        for loss in [
+            Loss::Mse,
+            Loss::SMOOTH_L1,
+            Loss::SmoothL1 { beta: 2.0 },
+            Loss::BceWithLogits,
+        ] {
             for (p, t) in [(0.3, 1.0), (-2.0, 0.0), (5.0, 1.0), (0.5, 0.7)] {
                 check_grad(loss, p, t);
             }

@@ -1,6 +1,5 @@
 //! The multi-layer perceptron: configuration, training loop, inference.
 
-use serde::{Deserialize, Serialize};
 use trout_linalg::{init, Matrix, SplitMix64};
 
 use super::activation::Activation;
@@ -10,7 +9,7 @@ use super::optimizer::Adam;
 
 /// Hyper-parameters of an [`Mlp`] — the space the paper explores with Optuna
 /// (learning rate, epochs, layer count/sizes, dropout, activation; §III).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct MlpConfig {
     /// Input feature count.
     pub input_dim: usize,
@@ -40,14 +39,33 @@ pub struct MlpConfig {
     pub early_stopping: Option<EarlyStopping>,
 }
 
+trout_std::impl_json_struct!(MlpConfig {
+    input_dim,
+    hidden,
+    activation,
+    loss,
+    dropout,
+    batchnorm,
+    lr,
+    epochs,
+    batch_size,
+    seed,
+    early_stopping
+});
+
 /// Early-stopping policy for [`MlpConfig::early_stopping`].
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct EarlyStopping {
     /// Fraction of rows (taken from the end) used as the validation set.
     pub validation_fraction: f32,
     /// Epochs without validation improvement before stopping.
     pub patience: usize,
 }
+
+trout_std::impl_json_struct!(EarlyStopping {
+    validation_fraction,
+    patience
+});
 
 impl MlpConfig {
     /// A reasonable starting point for a scalar-output network.
@@ -69,7 +87,7 @@ impl MlpConfig {
 }
 
 /// One dense block: `x @ w + b`, optional batch norm, then activation.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 struct Block {
     w: Matrix,
     b: Vec<f32>,
@@ -77,8 +95,10 @@ struct Block {
     act: Activation,
 }
 
+trout_std::impl_json_struct!(Block { w, b, bn, act });
+
 /// A trained (or trainable) feed-forward network with scalar output.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Mlp {
     blocks: Vec<Block>,
     loss: Loss,
@@ -89,6 +109,17 @@ pub struct Mlp {
     batch_size: usize,
     early_stopping: Option<EarlyStopping>,
 }
+
+trout_std::impl_json_struct!(Mlp {
+    blocks,
+    loss,
+    dropout,
+    seed,
+    lr,
+    epochs,
+    batch_size,
+    early_stopping
+});
 
 /// Per-epoch training losses returned by [`Mlp::fit`].
 #[derive(Debug, Clone)]
@@ -123,7 +154,10 @@ impl Mlp {
     /// otherwise).
     pub fn new(cfg: &MlpConfig) -> Self {
         assert!(cfg.input_dim > 0, "input_dim must be positive");
-        assert!((0.0..1.0).contains(&cfg.dropout), "dropout must be in [0, 1)");
+        assert!(
+            (0.0..1.0).contains(&cfg.dropout),
+            "dropout must be in [0, 1)"
+        );
         let mut rng = SplitMix64::new(cfg.seed ^ 0x6E65_7477_6F72_6B73);
         let mut dims = vec![cfg.input_dim];
         dims.extend_from_slice(&cfg.hidden);
@@ -139,8 +173,16 @@ impl Mlp {
             blocks.push(Block {
                 w,
                 b: vec![0.0; fan_out],
-                bn: if cfg.batchnorm && !last { Some(BatchNorm::new(fan_out)) } else { None },
-                act: if last { Activation::Identity } else { cfg.activation },
+                bn: if cfg.batchnorm && !last {
+                    Some(BatchNorm::new(fan_out))
+                } else {
+                    None
+                },
+                act: if last {
+                    Activation::Identity
+                } else {
+                    cfg.activation
+                },
             });
         }
         Mlp {
@@ -205,8 +247,7 @@ impl Mlp {
                 (
                     Adam::new(b.w.rows() * b.w.cols(), self.lr),
                     Adam::new(b.b.len(), self.lr),
-                    b.bn
-                        .as_ref()
+                    b.bn.as_ref()
                         .map(|bn| (Adam::new(bn.dim(), self.lr), Adam::new(bn.dim(), self.lr))),
                 )
             })
@@ -275,7 +316,11 @@ impl Mlp {
         if let Some(blocks) = best_blocks {
             self.blocks = blocks;
         }
-        TrainReport { epoch_losses, val_losses, best_epoch }
+        TrainReport {
+            epoch_losses,
+            val_losses,
+            best_epoch,
+        }
     }
 
     /// Training-mode forward pass: returns predictions and per-block caches.
@@ -297,7 +342,9 @@ impl Mlp {
                 None => (lin, None),
             };
             let mut output = Matrix::zeros(pre_act.rows(), pre_act.cols());
-            block.act.forward_slice(pre_act.as_slice(), output.as_mut_slice());
+            block
+                .act
+                .forward_slice(pre_act.as_slice(), output.as_mut_slice());
             // Inverted dropout on hidden activations only.
             let mask = if dropout > 0.0 && li + 1 < depth {
                 let keep = 1.0 - dropout;
@@ -315,7 +362,13 @@ impl Mlp {
                 None
             };
             h = output.clone();
-            caches.push(BlockCache { input, pre_act, output, bn: bn_cache, dropout_mask: mask });
+            caches.push(BlockCache {
+                input,
+                pre_act,
+                output,
+                bn: bn_cache,
+                dropout_mask: mask,
+            });
         }
         let preds: Vec<f32> = h.as_slice().to_vec();
         (preds, caches)
@@ -363,9 +416,19 @@ impl Mlp {
             let d_w = cache.input.matmul_at(&g_lin);
             let d_b = g_lin.col_sums();
             grad = g_lin.matmul_bt(&block.w);
-            grads[li] = Some(Grads { w: d_w, b: d_b, bn: bn_grads });
+            grads[li] = Some(Grads {
+                w: d_w,
+                b: d_b,
+                bn: bn_grads,
+            });
         }
-        (loss_val, grads.into_iter().map(|g| g.expect("grad for every block")).collect())
+        (
+            loss_val,
+            grads
+                .into_iter()
+                .map(|g| g.expect("grad for every block"))
+                .collect(),
+        )
     }
 
     /// Inference on a batch: returns the raw scalar output per row (a logit
@@ -381,7 +444,9 @@ impl Mlp {
                 None => lin,
             };
             let mut out = Matrix::zeros(pre_act.rows(), pre_act.cols());
-            block.act.forward_slice(pre_act.as_slice(), out.as_mut_slice());
+            block
+                .act
+                .forward_slice(pre_act.as_slice(), out.as_mut_slice());
             h = out;
         }
         h.as_slice().to_vec()
@@ -395,7 +460,10 @@ impl Mlp {
 
     /// Class probabilities for a BCE-trained network (sigmoid of the logit).
     pub fn predict_proba(&self, x: &Matrix) -> Vec<f32> {
-        self.predict(x).into_iter().map(trout_linalg::ops::sigmoid).collect()
+        self.predict(x)
+            .into_iter()
+            .map(trout_linalg::ops::sigmoid)
+            .collect()
     }
 
     #[cfg(test)]
@@ -433,7 +501,11 @@ mod tests {
         cfg.activation = Activation::Tanh;
         cfg.epochs = 1500;
         let (mlp, report) = Mlp::train(&cfg, &x, &y);
-        assert!(report.epoch_losses.last().unwrap() < &0.1, "loss {:?}", report.epoch_losses.last());
+        assert!(
+            report.epoch_losses.last().unwrap() < &0.1,
+            "loss {:?}",
+            report.epoch_losses.last()
+        );
         let probs = mlp.predict_proba(&x);
         assert!(probs[0] < 0.3 && probs[3] < 0.3, "{probs:?}");
         assert!(probs[1] > 0.7 && probs[2] > 0.7, "{probs:?}");
@@ -544,8 +616,9 @@ mod tests {
         let mut cfg = toy_config(vec![4]);
         cfg.epochs = 5;
         let (mlp, _) = Mlp::train(&cfg, &x, &y);
-        let json = serde_json::to_string(&mlp).unwrap();
-        let back: Mlp = serde_json::from_str(&json).unwrap();
+        use trout_std::json::{FromJson, ToJson};
+        let json = mlp.to_json_string();
+        let back = Mlp::from_json_str(&json).unwrap();
         assert_eq!(mlp.predict(&x), back.predict(&x));
     }
 
@@ -593,7 +666,10 @@ mod early_stopping_tests {
         let mut cfg = MlpConfig::new(2, vec![8]);
         cfg.epochs = 400;
         cfg.lr = 5e-3;
-        cfg.early_stopping = Some(EarlyStopping { validation_fraction: 0.2, patience: 5 });
+        cfg.early_stopping = Some(EarlyStopping {
+            validation_fraction: 0.2,
+            patience: 5,
+        });
         let (_, report) = Mlp::train(&cfg, &x, &y);
         assert!(report.epoch_losses.len() < 400, "never stopped early");
         assert!(!report.val_losses.is_empty());
@@ -606,7 +682,10 @@ mod early_stopping_tests {
         let mut cfg = MlpConfig::new(2, vec![8]);
         cfg.epochs = 120;
         cfg.lr = 1e-2;
-        cfg.early_stopping = Some(EarlyStopping { validation_fraction: 0.25, patience: 3 });
+        cfg.early_stopping = Some(EarlyStopping {
+            validation_fraction: 0.25,
+            patience: 3,
+        });
         let (mlp, report) = Mlp::train(&cfg, &x, &y);
         // Recompute validation loss of the returned model: must equal the
         // recorded minimum (weights restored, not last-epoch).
@@ -615,8 +694,15 @@ mod early_stopping_tests {
         let vx = x.select_rows(&idx);
         let vy = &y[val_start..];
         let vl = mlp.loss().mean(&mlp.predict(&vx), vy);
-        let min_recorded = report.val_losses.iter().cloned().fold(f32::INFINITY, f32::min);
-        assert!((vl - min_recorded).abs() < 1e-5, "{vl} vs recorded min {min_recorded}");
+        let min_recorded = report
+            .val_losses
+            .iter()
+            .cloned()
+            .fold(f32::INFINITY, f32::min);
+        assert!(
+            (vl - min_recorded).abs() < 1e-5,
+            "{vl} vs recorded min {min_recorded}"
+        );
     }
 
     #[test]

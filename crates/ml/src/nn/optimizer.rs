@@ -1,12 +1,10 @@
 //! Optimizers.
 
-use serde::{Deserialize, Serialize};
-
 /// Adam (Kingma & Ba, 2015) — the optimizer both of the paper's models use.
 ///
 /// One `Adam` instance owns first/second-moment state for a single flat
 /// parameter buffer; the network keeps one per weight matrix and bias vector.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Adam {
     lr: f32,
     beta1: f32,
@@ -17,11 +15,29 @@ pub struct Adam {
     v: Vec<f32>,
 }
 
+trout_std::impl_json_struct!(Adam {
+    lr,
+    beta1,
+    beta2,
+    eps,
+    t,
+    m,
+    v
+});
+
 impl Adam {
     /// Creates state for `dim` parameters with the standard defaults
     /// (`beta1 = 0.9`, `beta2 = 0.999`, `eps = 1e-8`).
     pub fn new(dim: usize, lr: f32) -> Self {
-        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, m: vec![0.0; dim], v: vec![0.0; dim] }
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            m: vec![0.0; dim],
+            v: vec![0.0; dim],
+        }
     }
 
     /// Current learning rate.

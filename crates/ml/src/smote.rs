@@ -27,7 +27,12 @@ pub struct SmoteConfig {
 
 impl Default for SmoteConfig {
     fn default() -> Self {
-        SmoteConfig { k: 5, target_ratio: 1.0, majority_cap_ratio: Some(1.0), seed: 0 }
+        SmoteConfig {
+            k: 5,
+            target_ratio: 1.0,
+            majority_cap_ratio: Some(1.0),
+            seed: 0,
+        }
     }
 }
 
@@ -45,11 +50,17 @@ pub fn smote_balance(x: &Matrix, labels: &[f32], cfg: &SmoteConfig) -> (Matrix, 
         let ones = labels.iter().filter(|&&l| l >= 0.5).count();
         ones * 2 <= labels.len()
     };
-    let (min_label, maj_label) = if minority_is_one { (1.0f32, 0.0f32) } else { (0.0, 1.0) };
-    let min_idx: Vec<usize> =
-        (0..labels.len()).filter(|&i| (labels[i] >= 0.5) == (min_label >= 0.5)).collect();
-    let maj_idx: Vec<usize> =
-        (0..labels.len()).filter(|&i| (labels[i] >= 0.5) != (min_label >= 0.5)).collect();
+    let (min_label, maj_label) = if minority_is_one {
+        (1.0f32, 0.0f32)
+    } else {
+        (0.0, 1.0)
+    };
+    let min_idx: Vec<usize> = (0..labels.len())
+        .filter(|&i| (labels[i] >= 0.5) == (min_label >= 0.5))
+        .collect();
+    let maj_idx: Vec<usize> = (0..labels.len())
+        .filter(|&i| (labels[i] >= 0.5) != (min_label >= 0.5))
+        .collect();
     assert!(!min_idx.is_empty(), "minority class is empty");
     assert!(!maj_idx.is_empty(), "majority class is empty");
 
@@ -61,7 +72,10 @@ pub fn smote_balance(x: &Matrix, labels: &[f32], cfg: &SmoteConfig) -> (Matrix, 
         None => maj_idx.len(),
     };
     let mut kept_maj: Vec<usize> = if maj_keep < maj_idx.len() {
-        rng.sample_indices(maj_idx.len(), maj_keep).into_iter().map(|i| maj_idx[i]).collect()
+        rng.sample_indices(maj_idx.len(), maj_keep)
+            .into_iter()
+            .map(|i| maj_idx[i])
+            .collect()
     } else {
         maj_idx.clone()
     };
@@ -175,7 +189,10 @@ mod tests {
     #[test]
     fn no_cap_keeps_all_majority() {
         let (x, y) = blobs();
-        let cfg = SmoteConfig { majority_cap_ratio: None, ..Default::default() };
+        let cfg = SmoteConfig {
+            majority_cap_ratio: None,
+            ..Default::default()
+        };
         let (_, by) = smote_balance(&x, &y, &cfg);
         let (zeros, ones) = class_counts(&by);
         assert_eq!(zeros, 180, "majority untouched");

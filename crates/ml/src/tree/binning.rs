@@ -82,7 +82,11 @@ impl Binner {
                 *b = self.bin_value(j, x.get(r, j));
             }
         }
-        BinnedMatrix { bins, rows: n, cols: d }
+        BinnedMatrix {
+            bins,
+            rows: n,
+            cols: d,
+        }
     }
 }
 

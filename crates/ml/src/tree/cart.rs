@@ -7,10 +7,9 @@
 //! `h = 1`, `λ = 0` this is exactly classic variance-reduction CART with
 //! mean-valued leaves.
 
-use serde::{Deserialize, Serialize};
 use trout_linalg::SplitMix64;
 
-use super::binning::{Binner, BinnedMatrix};
+use super::binning::{BinnedMatrix, Binner};
 
 /// Tree growth parameters.
 #[derive(Debug, Clone)]
@@ -45,17 +44,72 @@ impl Default for TreeConfig {
 }
 
 /// Flat node storage: internal nodes carry a split, leaves a value.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 enum Node {
-    Split { feature: u16, threshold: f32, left: u32, right: u32 },
-    Leaf { value: f32 },
+    Split {
+        feature: u16,
+        threshold: f32,
+        left: u32,
+        right: u32,
+    },
+    Leaf {
+        value: f32,
+    },
+}
+
+impl trout_std::json::ToJson for Node {
+    fn to_json(&self) -> trout_std::json::Json {
+        use trout_std::json::Json;
+        match self {
+            Node::Split {
+                feature,
+                threshold,
+                left,
+                right,
+            } => Json::Obj(vec![(
+                "Split".to_string(),
+                Json::Obj(vec![
+                    ("feature".to_string(), feature.to_json()),
+                    ("threshold".to_string(), threshold.to_json()),
+                    ("left".to_string(), left.to_json()),
+                    ("right".to_string(), right.to_json()),
+                ]),
+            )]),
+            Node::Leaf { value } => Json::Obj(vec![(
+                "Leaf".to_string(),
+                Json::Obj(vec![("value".to_string(), value.to_json())]),
+            )]),
+        }
+    }
+}
+
+impl trout_std::json::FromJson for Node {
+    fn from_json(j: &trout_std::json::Json) -> Result<Self, trout_std::json::JsonError> {
+        use trout_std::json::JsonError;
+        if let Some(inner) = j.get("Split") {
+            Ok(Node::Split {
+                feature: u16::from_json_field(inner.get("feature"), "Split.feature")?,
+                threshold: f32::from_json_field(inner.get("threshold"), "Split.threshold")?,
+                left: u32::from_json_field(inner.get("left"), "Split.left")?,
+                right: u32::from_json_field(inner.get("right"), "Split.right")?,
+            })
+        } else if let Some(inner) = j.get("Leaf") {
+            Ok(Node::Leaf {
+                value: f32::from_json_field(inner.get("value"), "Leaf.value")?,
+            })
+        } else {
+            Err(JsonError::new(format!("invalid Node: {j}")))
+        }
+    }
 }
 
 /// A trained decision tree, evaluable on raw `f32` rows.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Tree {
     nodes: Vec<Node>,
 }
+
+trout_std::impl_json_struct!(Tree { nodes });
 
 impl Tree {
     /// Grows a tree on the binned rows `rows` with per-row gradient `g` and
@@ -70,7 +124,9 @@ impl Tree {
         rng: &mut SplitMix64,
     ) -> Tree {
         assert!(!rows.is_empty(), "cannot fit a tree on zero rows");
-        let mut tree = Tree { nodes: Vec::with_capacity(64) };
+        let mut tree = Tree {
+            nodes: Vec::with_capacity(64),
+        };
         tree.grow(binned, binner, rows, g, h, cfg, 0, rng);
         tree
     }
@@ -131,7 +187,10 @@ impl Tree {
         let (left_rows, right_rows) = rows.split_at_mut(split_at);
         let left = self.grow(binned, binner, left_rows, g, h, cfg, depth + 1, rng);
         let right = self.grow(binned, binner, right_rows, g, h, cfg, depth + 1, rng);
-        if let Node::Split { left: l, right: r, .. } = &mut self.nodes[node_idx as usize] {
+        if let Node::Split {
+            left: l, right: r, ..
+        } = &mut self.nodes[node_idx as usize]
+        {
             *l = left;
             *r = right;
         }
@@ -221,8 +280,17 @@ impl Tree {
         loop {
             match &self.nodes[idx as usize] {
                 Node::Leaf { value } => return *value,
-                Node::Split { feature, threshold, left, right } => {
-                    idx = if row[*feature as usize] <= *threshold { *left } else { *right };
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    idx = if row[*feature as usize] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
                 }
             }
         }
@@ -256,7 +324,10 @@ mod tests {
         let mut rows: Vec<u32> = (0..x.rows() as u32).collect();
         let h = vec![1.0f32; y.len()];
         let mut rng = SplitMix64::new(5);
-        (Tree::fit(&binned, &binner, &mut rows, y, &h, cfg, &mut rng), binner)
+        (
+            Tree::fit(&binned, &binner, &mut rows, y, &h, cfg, &mut rng),
+            binner,
+        )
     }
 
     #[test]
@@ -264,9 +335,16 @@ mod tests {
         // y = 0 for x <= 0.5, 10 for x > 0.5.
         let n = 40;
         let xs: Vec<f32> = (0..n).map(|i| i as f32 / n as f32).collect();
-        let y: Vec<f32> = xs.iter().map(|&v| if v <= 0.5 { 0.0 } else { 10.0 }).collect();
+        let y: Vec<f32> = xs
+            .iter()
+            .map(|&v| if v <= 0.5 { 0.0 } else { 10.0 })
+            .collect();
         let x = Matrix::from_vec(n, 1, xs);
-        let cfg = TreeConfig { max_depth: 2, min_samples_leaf: 1, ..Default::default() };
+        let cfg = TreeConfig {
+            max_depth: 2,
+            min_samples_leaf: 1,
+            ..Default::default()
+        };
         let (tree, _) = fit_regression(&x, &y, &cfg);
         assert!((tree.predict_row(&[0.2]) - 0.0).abs() < 1e-4);
         assert!((tree.predict_row(&[0.9]) - 10.0).abs() < 1e-4);
@@ -278,7 +356,11 @@ mod tests {
         let xs: Vec<f32> = (0..n).map(|i| i as f32).collect();
         let y: Vec<f32> = (0..n).map(|i| (i % 7) as f32).collect();
         let x = Matrix::from_vec(n, 1, xs);
-        let cfg = TreeConfig { max_depth: 3, min_samples_leaf: 1, ..Default::default() };
+        let cfg = TreeConfig {
+            max_depth: 3,
+            min_samples_leaf: 1,
+            ..Default::default()
+        };
         let (tree, _) = fit_regression(&x, &y, &cfg);
         assert!(tree.depth() <= 3, "depth {}", tree.depth());
     }
@@ -289,7 +371,11 @@ mod tests {
         let xs: Vec<f32> = (0..n).map(|i| i as f32).collect();
         let y = xs.clone();
         let x = Matrix::from_vec(n, 1, xs);
-        let cfg = TreeConfig { max_depth: 10, min_samples_leaf: 8, ..Default::default() };
+        let cfg = TreeConfig {
+            max_depth: 10,
+            min_samples_leaf: 8,
+            ..Default::default()
+        };
         let (tree, _) = fit_regression(&x, &y, &cfg);
         // With min leaf 8 out of 20 samples, at most 1 split fits cleanly.
         assert!(tree.depth() <= 2, "depth {}", tree.depth());
@@ -299,9 +385,16 @@ mod tests {
     fn pure_node_becomes_leaf() {
         let x = Matrix::from_vec(10, 1, (0..10).map(|i| i as f32).collect());
         let y = vec![4.0f32; 10];
-        let cfg = TreeConfig { min_samples_leaf: 1, ..Default::default() };
+        let cfg = TreeConfig {
+            min_samples_leaf: 1,
+            ..Default::default()
+        };
         let (tree, _) = fit_regression(&x, &y, &cfg);
-        assert_eq!(tree.node_count(), 1, "constant target should produce a single leaf");
+        assert_eq!(
+            tree.node_count(),
+            1,
+            "constant target should produce a single leaf"
+        );
         assert!((tree.predict_row(&[3.0]) - 4.0).abs() < 1e-6);
     }
 
@@ -318,7 +411,10 @@ mod tests {
     fn lambda_shrinks_leaves() {
         let x = Matrix::from_vec(4, 1, vec![0.0; 4]);
         let y = [4.0f32; 4];
-        let cfg = TreeConfig { lambda: 4.0, ..Default::default() }; // leaf = 16/(4+4) = 2
+        let cfg = TreeConfig {
+            lambda: 4.0,
+            ..Default::default()
+        }; // leaf = 16/(4+4) = 2
         let (tree, _) = fit_regression(&x, &y, &cfg);
         assert!((tree.predict_row(&[0.0]) - 2.0).abs() < 1e-6);
     }
@@ -336,7 +432,11 @@ mod tests {
             }
         }
         let x = Matrix::from_vec(256, 2, rows);
-        let cfg = TreeConfig { max_depth: 3, min_samples_leaf: 1, ..Default::default() };
+        let cfg = TreeConfig {
+            max_depth: 3,
+            min_samples_leaf: 1,
+            ..Default::default()
+        };
         let (tree, _) = fit_regression(&x, &y, &cfg);
         assert!(tree.predict_row(&[0.9, 0.9]) > 0.9);
         assert!(tree.predict_row(&[0.9, 0.1]) < 0.1);

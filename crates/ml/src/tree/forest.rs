@@ -5,8 +5,6 @@
 //! forest was used as a benchmark instead [of single decision trees] to
 //! reduce overfitting and have less variance", §IV).
 
-use rayon::prelude::*;
-use serde::{Deserialize, Serialize};
 use trout_linalg::{Matrix, SplitMix64};
 
 use super::binning::Binner;
@@ -48,10 +46,12 @@ impl Default for RandomForestConfig {
 
 /// A trained forest. For classification, targets are 0/1 and the prediction
 /// is the mean leaf value = class-1 probability.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct RandomForest {
     trees: Vec<Tree>,
 }
+
+trout_std::impl_json_struct!(RandomForest { trees });
 
 impl RandomForest {
     /// Fits a regression forest (for classification, pass 0/1 labels as `y`
@@ -78,18 +78,15 @@ impl RandomForest {
         let h = vec![1.0f32; n];
         let mut root_rng = SplitMix64::new(cfg.seed ^ 0x666F_7265_7374);
         let seeds: Vec<u64> = (0..cfg.n_trees).map(|_| root_rng.next_u64()).collect();
-        let trees: Vec<Tree> = seeds
-            .into_par_iter()
-            .map(|seed| {
-                let mut rng = SplitMix64::new(seed);
-                let mut rows: Vec<u32> = if cfg.bootstrap {
-                    (0..n).map(|_| rng.next_below(n as u64) as u32).collect()
-                } else {
-                    (0..n as u32).collect()
-                };
-                Tree::fit(&binned, &binner, &mut rows, y, &h, &tree_cfg, &mut rng)
-            })
-            .collect();
+        let trees: Vec<Tree> = trout_std::par::par_map(&seeds, |&seed| {
+            let mut rng = SplitMix64::new(seed);
+            let mut rows: Vec<u32> = if cfg.bootstrap {
+                (0..n).map(|_| rng.next_below(n as u64) as u32).collect()
+            } else {
+                (0..n as u32).collect()
+            };
+            Tree::fit(&binned, &binner, &mut rows, y, &h, &tree_cfg, &mut rng)
+        });
         RandomForest { trees }
     }
 
@@ -106,10 +103,7 @@ impl RandomForest {
 
     /// Batch prediction, parallel over rows.
     pub fn predict(&self, x: &Matrix) -> Vec<f32> {
-        (0..x.rows())
-            .into_par_iter()
-            .map(|r| self.predict_row(x.row(r)))
-            .collect()
+        trout_std::par::par_map_range(x.rows(), |r| self.predict_row(x.row(r)))
     }
 }
 
@@ -133,7 +127,11 @@ mod tests {
     #[test]
     fn fits_a_smooth_surface() {
         let (x, y) = grid_xy(|a, b| a * 2.0 + b * b);
-        let cfg = RandomForestConfig { n_trees: 30, max_depth: 8, ..Default::default() };
+        let cfg = RandomForestConfig {
+            n_trees: 30,
+            max_depth: 8,
+            ..Default::default()
+        };
         let rf = RandomForest::fit(&x, &y, &cfg);
         let preds = rf.predict(&x);
         let err = crate::metrics::mae(&preds, &y);
@@ -143,7 +141,11 @@ mod tests {
     #[test]
     fn classification_probabilities_are_sane() {
         let (x, y) = grid_xy(|a, b| if a + b > 1.0 { 1.0 } else { 0.0 });
-        let cfg = RandomForestConfig { n_trees: 40, max_depth: 6, ..Default::default() };
+        let cfg = RandomForestConfig {
+            n_trees: 40,
+            max_depth: 6,
+            ..Default::default()
+        };
         let rf = RandomForest::fit(&x, &y, &cfg);
         assert!(rf.predict_row(&[0.9, 0.9]) > 0.8);
         assert!(rf.predict_row(&[0.1, 0.1]) < 0.2);
@@ -154,7 +156,11 @@ mod tests {
     #[test]
     fn deterministic_per_seed() {
         let (x, y) = grid_xy(|a, b| a - b);
-        let cfg = RandomForestConfig { n_trees: 8, seed: 42, ..Default::default() };
+        let cfg = RandomForestConfig {
+            n_trees: 8,
+            seed: 42,
+            ..Default::default()
+        };
         let a = RandomForest::fit(&x, &y, &cfg).predict(&x);
         let b = RandomForest::fit(&x, &y, &cfg).predict(&x);
         assert_eq!(a, b);
@@ -164,21 +170,64 @@ mod tests {
     fn more_trees_reduce_variance() {
         // Compare two small forests' disagreement with a larger one.
         let (x, y) = grid_xy(|a, b| (8.0 * a).sin() + (5.0 * b).cos());
-        let small1 = RandomForest::fit(&x, &y, &RandomForestConfig { n_trees: 2, seed: 1, ..Default::default() });
-        let small2 = RandomForest::fit(&x, &y, &RandomForestConfig { n_trees: 2, seed: 2, ..Default::default() });
-        let big1 = RandomForest::fit(&x, &y, &RandomForestConfig { n_trees: 60, seed: 1, ..Default::default() });
-        let big2 = RandomForest::fit(&x, &y, &RandomForestConfig { n_trees: 60, seed: 2, ..Default::default() });
+        let small1 = RandomForest::fit(
+            &x,
+            &y,
+            &RandomForestConfig {
+                n_trees: 2,
+                seed: 1,
+                ..Default::default()
+            },
+        );
+        let small2 = RandomForest::fit(
+            &x,
+            &y,
+            &RandomForestConfig {
+                n_trees: 2,
+                seed: 2,
+                ..Default::default()
+            },
+        );
+        let big1 = RandomForest::fit(
+            &x,
+            &y,
+            &RandomForestConfig {
+                n_trees: 60,
+                seed: 1,
+                ..Default::default()
+            },
+        );
+        let big2 = RandomForest::fit(
+            &x,
+            &y,
+            &RandomForestConfig {
+                n_trees: 60,
+                seed: 2,
+                ..Default::default()
+            },
+        );
         let d_small = crate::metrics::mae(&small1.predict(&x), &small2.predict(&x));
         let d_big = crate::metrics::mae(&big1.predict(&x), &big2.predict(&x));
-        assert!(d_big < d_small, "seed sensitivity should drop with trees: {d_big} vs {d_small}");
+        assert!(
+            d_big < d_small,
+            "seed sensitivity should drop with trees: {d_big} vs {d_small}"
+        );
     }
 
     #[test]
     fn serde_round_trip() {
         let (x, y) = grid_xy(|a, _| a);
-        let rf = RandomForest::fit(&x, &y, &RandomForestConfig { n_trees: 3, ..Default::default() });
-        let json = serde_json::to_string(&rf).unwrap();
-        let back: RandomForest = serde_json::from_str(&json).unwrap();
+        let rf = RandomForest::fit(
+            &x,
+            &y,
+            &RandomForestConfig {
+                n_trees: 3,
+                ..Default::default()
+            },
+        );
+        use trout_std::json::{FromJson, ToJson};
+        let json = rf.to_json_string();
+        let back = RandomForest::from_json_str(&json).unwrap();
         assert_eq!(rf.predict(&x), back.predict(&x));
     }
 

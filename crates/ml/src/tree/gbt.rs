@@ -2,20 +2,24 @@
 //! the paper's "XGBoost regression model" baseline (§IV, citing Brown et al.
 //! who used XGBoost for queue-wait prediction).
 
-use serde::{Deserialize, Serialize};
 use trout_linalg::{ops::sigmoid, Matrix, SplitMix64};
 
 use super::binning::Binner;
 use super::cart::{Tree, TreeConfig};
 
 /// Boosting objective.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Objective {
     /// Squared-error regression: `g = pred − y`, `h = 1`.
     SquaredError,
     /// Binary logistic: raw scores are logits; `g = p − y`, `h = p(1−p)`.
     Logistic,
 }
+
+trout_std::impl_json_enum!(Objective {
+    SquaredError,
+    Logistic
+});
 
 /// Boosting hyper-parameters (defaults follow common XGBoost practice:
 /// 100 rounds, depth 6, eta 0.1, lambda 1).
@@ -58,13 +62,20 @@ impl Default for GbtConfig {
 }
 
 /// A trained boosted ensemble.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Gbt {
     base_score: f32,
     learning_rate: f32,
     objective: Objective,
     trees: Vec<Tree>,
 }
+
+trout_std::impl_json_struct!(Gbt {
+    base_score,
+    learning_rate,
+    objective,
+    trees
+});
 
 impl Gbt {
     /// Fits the ensemble.
@@ -111,7 +122,10 @@ impl Gbt {
                 (0..n as u32).collect()
             } else {
                 let k = ((n as f32 * cfg.subsample) as usize).clamp(1, n);
-                rng.sample_indices(n, k).into_iter().map(|i| i as u32).collect()
+                rng.sample_indices(n, k)
+                    .into_iter()
+                    .map(|i| i as u32)
+                    .collect()
             };
             let tree = Tree::fit(&binned, &binner, &mut rows, &g, &h, &tree_cfg, &mut rng);
             for (i, s) in scores.iter_mut().enumerate() {
@@ -119,7 +133,12 @@ impl Gbt {
             }
             trees.push(tree);
         }
-        Gbt { base_score, learning_rate: cfg.learning_rate, objective: cfg.objective, trees }
+        Gbt {
+            base_score,
+            learning_rate: cfg.learning_rate,
+            objective: cfg.objective,
+            trees,
+        }
     }
 
     /// Number of trees.
@@ -173,11 +192,28 @@ mod tests {
     #[test]
     fn boosting_reduces_error_with_rounds() {
         let (x, y) = wave();
-        let short = Gbt::fit(&x, &y, &GbtConfig { n_rounds: 5, ..Default::default() });
-        let long = Gbt::fit(&x, &y, &GbtConfig { n_rounds: 120, ..Default::default() });
+        let short = Gbt::fit(
+            &x,
+            &y,
+            &GbtConfig {
+                n_rounds: 5,
+                ..Default::default()
+            },
+        );
+        let long = Gbt::fit(
+            &x,
+            &y,
+            &GbtConfig {
+                n_rounds: 120,
+                ..Default::default()
+            },
+        );
         let e_short = crate::metrics::mae(&short.predict(&x), &y);
         let e_long = crate::metrics::mae(&long.predict(&x), &y);
-        assert!(e_long < e_short / 2.0, "boosting stalled: {e_short} -> {e_long}");
+        assert!(
+            e_long < e_short / 2.0,
+            "boosting stalled: {e_short} -> {e_long}"
+        );
         assert!(e_long < 0.08, "final mae {e_long}");
     }
 
@@ -185,7 +221,14 @@ mod tests {
     fn base_score_is_mean_for_regression() {
         let x = Matrix::from_vec(4, 1, vec![0.0, 1.0, 2.0, 3.0]);
         let y = [2.0f32, 4.0, 6.0, 8.0];
-        let gbt = Gbt::fit(&x, &y, &GbtConfig { n_rounds: 0, ..Default::default() });
+        let gbt = Gbt::fit(
+            &x,
+            &y,
+            &GbtConfig {
+                n_rounds: 0,
+                ..Default::default()
+            },
+        );
         assert!((gbt.predict_row(&[9.0]) - 5.0).abs() < 1e-6);
     }
 
@@ -218,7 +261,12 @@ mod tests {
     #[test]
     fn subsampling_still_learns() {
         let (x, y) = wave();
-        let cfg = GbtConfig { n_rounds: 80, subsample: 0.5, seed: 3, ..Default::default() };
+        let cfg = GbtConfig {
+            n_rounds: 80,
+            subsample: 0.5,
+            seed: 3,
+            ..Default::default()
+        };
         let gbt = Gbt::fit(&x, &y, &cfg);
         let err = crate::metrics::mae(&gbt.predict(&x), &y);
         assert!(err < 0.15, "mae {err}");
@@ -227,16 +275,32 @@ mod tests {
     #[test]
     fn deterministic_per_seed() {
         let (x, y) = wave();
-        let cfg = GbtConfig { n_rounds: 10, subsample: 0.7, seed: 12, ..Default::default() };
-        assert_eq!(Gbt::fit(&x, &y, &cfg).predict(&x), Gbt::fit(&x, &y, &cfg).predict(&x));
+        let cfg = GbtConfig {
+            n_rounds: 10,
+            subsample: 0.7,
+            seed: 12,
+            ..Default::default()
+        };
+        assert_eq!(
+            Gbt::fit(&x, &y, &cfg).predict(&x),
+            Gbt::fit(&x, &y, &cfg).predict(&x)
+        );
     }
 
     #[test]
     fn serde_round_trip() {
         let (x, y) = wave();
-        let gbt = Gbt::fit(&x, &y, &GbtConfig { n_rounds: 4, ..Default::default() });
-        let json = serde_json::to_string(&gbt).unwrap();
-        let back: Gbt = serde_json::from_str(&json).unwrap();
+        let gbt = Gbt::fit(
+            &x,
+            &y,
+            &GbtConfig {
+                n_rounds: 4,
+                ..Default::default()
+            },
+        );
+        use trout_std::json::{FromJson, ToJson};
+        let json = gbt.to_json_string();
+        let back = Gbt::from_json_str(&json).unwrap();
         assert_eq!(gbt.predict(&x), back.predict(&x));
     }
 }

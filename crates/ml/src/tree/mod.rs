@@ -13,7 +13,7 @@ mod cart;
 mod forest;
 mod gbt;
 
-pub use binning::{Binner, BinnedMatrix};
+pub use binning::{BinnedMatrix, Binner};
 pub use cart::{Tree, TreeConfig};
 pub use forest::{RandomForest, RandomForestConfig};
 pub use gbt::{Gbt, GbtConfig, Objective};

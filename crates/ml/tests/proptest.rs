@@ -1,19 +1,22 @@
 //! Property tests over the ML stack's invariants.
+//!
+//! Runs on `trout_std::proptest_lite` with the fixed default seed; a failing
+//! case prints its seed and shrunk input plus a `TROUT_PROPTEST_SEED=...`
+//! reproduction line.
 
-use proptest::prelude::*;
 use trout_linalg::Matrix;
 use trout_ml::cv::{ShuffledKFold, TimeSeriesSplit};
 use trout_ml::metrics;
 use trout_ml::nn::{Activation, Loss};
 use trout_ml::smote::{smote_balance, SmoteConfig};
+use trout_std::proptest_lite::vec_of;
+use trout_std::{prop_assert, prop_assert_eq, prop_assume, proptest_lite};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
+proptest_lite! {
+    #[cases(256)]
     fn activation_derivatives_match_finite_differences(
         z in -4.0f32..4.0,
-        alpha in 0.1f32..2.0,
+        alpha in 0.1f32..2.0
     ) {
         for act in [
             Activation::Identity,
@@ -34,11 +37,11 @@ proptest! {
         }
     }
 
-    #[test]
+    #[cases(256)]
     fn loss_gradients_match_finite_differences(
         p in -20.0f32..20.0,
         t in -20.0f32..20.0,
-        beta in 0.2f32..3.0,
+        beta in 0.2f32..3.0
     ) {
         for loss in [Loss::Mse, Loss::SmoothL1 { beta }, Loss::BceWithLogits] {
             // BCE needs a 0/1 target.
@@ -57,16 +60,16 @@ proptest! {
         }
     }
 
-    #[test]
+    #[cases(256)]
     fn smooth_l1_gradient_is_bounded(p in -1e6f32..1e6, t in -1e6f32..1e6) {
         let g = Loss::SMOOTH_L1.gradient(p, t);
         prop_assert!(g.abs() <= 1.0 + 1e-6, "gradient {} explodes", g);
     }
 
-    #[test]
+    #[cases(256)]
     fn mape_is_scale_invariant(
-        preds in prop::collection::vec(1.0f32..1e4, 1..40),
-        scale in 1.0f32..100.0,
+        preds in vec_of(1.0f32..1e4, 1..40),
+        scale in 1.0f32..100.0
     ) {
         let targets: Vec<f32> = preds.iter().map(|&p| p * 1.5 + 3.0).collect();
         let a = metrics::mape(&preds, &targets);
@@ -76,9 +79,9 @@ proptest! {
         prop_assert!((a - b).abs() < 0.3 + a * 0.05, "{} vs {}", a, b);
     }
 
-    #[test]
+    #[cases(256)]
     fn pearson_r_is_within_unit_interval(
-        pairs in prop::collection::vec((-1e3f32..1e3, -1e3f32..1e3), 2..64),
+        pairs in vec_of(((-1e3f32..1e3), (-1e3f32..1e3)), 2..64)
     ) {
         let preds: Vec<f32> = pairs.iter().map(|p| p.0).collect();
         let targets: Vec<f32> = pairs.iter().map(|p| p.1).collect();
@@ -86,7 +89,7 @@ proptest! {
         prop_assert!((-1.0 - 1e-6..=1.0 + 1e-6).contains(&r), "r = {}", r);
     }
 
-    #[test]
+    #[cases(256)]
     fn time_series_split_never_leaks_future(n in 24usize..500) {
         for fold in TimeSeriesSplit::paper(n).split(n) {
             let max_train = *fold.train.iter().max().unwrap();
@@ -95,7 +98,7 @@ proptest! {
         }
     }
 
-    #[test]
+    #[cases(256)]
     fn shuffled_kfold_partitions(n in 6usize..300, k in 2usize..6, seed in 0u64..100) {
         prop_assume!(n >= k);
         let folds = ShuffledKFold { n_splits: k, seed }.split(n);
@@ -108,11 +111,11 @@ proptest! {
         prop_assert!(seen.iter().all(|&c| c == 1));
     }
 
-    #[test]
+    #[cases(256)]
     fn smote_always_balances(
         minority_count in 2usize..20,
         majority_count in 20usize..120,
-        seed in 0u64..50,
+        seed in 0u64..50
     ) {
         let n = minority_count + majority_count;
         let mut data = Vec::with_capacity(n * 2);

@@ -101,7 +101,13 @@ mod tests {
         // majority of jobs start almost immediately, with a heavy tail.
         let trace = SimulationBuilder::anvil_like().jobs(10_000).seed(42).run();
         let quick = trace.quick_start_fraction(10.0);
-        assert!(quick > 0.6, "quick-start fraction {quick} too low — cluster overloaded");
-        assert!(quick < 0.98, "quick-start fraction {quick} too high — no contention at all");
+        assert!(
+            quick > 0.6,
+            "quick-start fraction {quick} too low — cluster overloaded"
+        );
+        assert!(
+            quick < 0.98,
+            "quick-start fraction {quick} too high — no contention at all"
+        );
     }
 }

@@ -99,7 +99,10 @@ mod tests {
         let mut fs = FairShareTracker::new(vec![1.0], 7.0 * DAY);
         fs.add_usage(0, 1_000.0, 0);
         let after_one_half_life = fs.usage(0, (7.0 * DAY) as i64);
-        assert!((after_one_half_life - 500.0).abs() < 1.0, "{after_one_half_life}");
+        assert!(
+            (after_one_half_life - 500.0).abs() < 1.0,
+            "{after_one_half_life}"
+        );
         let after_two = fs.usage(0, (14.0 * DAY) as i64);
         assert!((after_two - 250.0).abs() < 1.0, "{after_two}");
     }

@@ -70,8 +70,15 @@ pub struct NodePool {
 impl NodePool {
     /// Creates `count` empty nodes of the given shape.
     pub fn new(count: u32, cpus: u32, mem_gb: u32, gpus: u32) -> Self {
-        let capacity = Node { free_cpus: cpus, free_mem_gb: mem_gb, free_gpus: gpus };
-        NodePool { capacity, nodes: vec![capacity; count as usize] }
+        let capacity = Node {
+            free_cpus: cpus,
+            free_mem_gb: mem_gb,
+            free_gpus: gpus,
+        };
+        NodePool {
+            capacity,
+            nodes: vec![capacity; count as usize],
+        }
     }
 
     /// Number of nodes.
@@ -95,7 +102,9 @@ impl NodePool {
         if d.whole_node {
             *node == *capacity
         } else {
-            node.free_cpus >= d.cpus_pn && node.free_mem_gb >= d.mem_pn && node.free_gpus >= d.gpus_pn
+            node.free_cpus >= d.cpus_pn
+                && node.free_mem_gb >= d.mem_pn
+                && node.free_gpus >= d.gpus_pn
         }
     }
 
@@ -173,7 +182,10 @@ impl NodePool {
                 node.free_mem_gb += d.mem_pn;
                 node.free_gpus += d.gpus_pn;
                 debug_assert!(node.free_cpus <= self.capacity.free_cpus, "cpu double free");
-                debug_assert!(node.free_mem_gb <= self.capacity.free_mem_gb, "mem double free");
+                debug_assert!(
+                    node.free_mem_gb <= self.capacity.free_mem_gb,
+                    "mem double free"
+                );
                 debug_assert!(node.free_gpus <= self.capacity.free_gpus, "gpu double free");
                 node.free_cpus = node.free_cpus.min(self.capacity.free_cpus);
                 node.free_mem_gb = node.free_mem_gb.min(self.capacity.free_mem_gb);
@@ -198,7 +210,14 @@ mod tests {
     use super::*;
 
     fn demand(nodes: u32, cpus_pn: u32, whole: bool) -> Demand {
-        Demand { nodes, cpus_pn, mem_pn: cpus_pn * 2, gpus_pn: 0, whole_node: whole, limit_nodes: u32::MAX }
+        Demand {
+            nodes,
+            cpus_pn,
+            mem_pn: cpus_pn * 2,
+            gpus_pn: 0,
+            whole_node: whole,
+            limit_nodes: u32::MAX,
+        }
     }
 
     #[test]
@@ -243,17 +262,38 @@ mod tests {
     #[test]
     fn memory_can_be_the_binding_constraint() {
         let mut pool = NodePool::new(1, 128, 256, 0);
-        let fat = Demand { nodes: 1, cpus_pn: 1, mem_pn: 200, gpus_pn: 0, whole_node: false, limit_nodes: u32::MAX };
+        let fat = Demand {
+            nodes: 1,
+            cpus_pn: 1,
+            mem_pn: 200,
+            gpus_pn: 0,
+            whole_node: false,
+            limit_nodes: u32::MAX,
+        };
         assert!(pool.try_alloc(&fat).is_some());
         assert!(pool.try_alloc(&fat).is_none(), "only 56 GB left");
-        let lean = Demand { nodes: 1, cpus_pn: 64, mem_pn: 32, gpus_pn: 0, whole_node: false, limit_nodes: u32::MAX };
+        let lean = Demand {
+            nodes: 1,
+            cpus_pn: 64,
+            mem_pn: 32,
+            gpus_pn: 0,
+            whole_node: false,
+            limit_nodes: u32::MAX,
+        };
         assert!(pool.try_alloc(&lean).is_some());
     }
 
     #[test]
     fn gpu_accounting() {
         let mut pool = NodePool::new(1, 128, 512, 4);
-        let g2 = Demand { nodes: 1, cpus_pn: 32, mem_pn: 64, gpus_pn: 2, whole_node: false, limit_nodes: u32::MAX };
+        let g2 = Demand {
+            nodes: 1,
+            cpus_pn: 32,
+            mem_pn: 64,
+            gpus_pn: 2,
+            whole_node: false,
+            limit_nodes: u32::MAX,
+        };
         assert!(pool.try_alloc(&g2).is_some());
         assert!(pool.try_alloc(&g2).is_some());
         assert!(pool.try_alloc(&g2).is_none(), "GPUs exhausted");

@@ -52,7 +52,11 @@ impl PriorityEngine {
     pub fn new(cluster: &ClusterSpec, weights: PriorityWeights) -> Self {
         PriorityEngine {
             weights,
-            partition_cpus: cluster.partitions.iter().map(|p| p.total_cpus() as f64).collect(),
+            partition_cpus: cluster
+                .partitions
+                .iter()
+                .map(|p| p.total_cpus() as f64)
+                .collect(),
         }
     }
 

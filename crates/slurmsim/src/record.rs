@@ -1,10 +1,9 @@
 //! The accounting record the simulator emits — the analogue of `sacct` rows.
 
-use serde::{Deserialize, Serialize};
 use trout_workload::{ClusterSpec, JobRequest, Qos};
 
 /// Terminal state of a simulated job.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum JobState {
     /// Ran to completion within its limit.
     Completed,
@@ -16,9 +15,15 @@ pub enum JobState {
     Cancelled,
 }
 
+trout_std::impl_json_enum!(JobState {
+    Completed,
+    Timeout,
+    Cancelled
+});
+
 /// One scheduled job: the request fields visible at submission plus the
 /// outcome the scheduler produced.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct JobRecord {
     /// Job id (dense, submit-ordered).
     pub id: u64,
@@ -54,6 +59,25 @@ pub struct JobRecord {
     /// Terminal state.
     pub state: JobState,
 }
+
+trout_std::impl_json_struct!(JobRecord {
+    id,
+    user,
+    partition,
+    submit_time,
+    eligible_time,
+    start_time,
+    end_time,
+    req_cpus,
+    req_mem_gb,
+    req_nodes,
+    req_gpus,
+    timelimit_min,
+    qos,
+    campaign,
+    priority,
+    state
+});
 
 impl JobRecord {
     /// Queue time in minutes: the delay between eligibility and start —
@@ -167,7 +191,7 @@ impl JobRecord {
 
 /// A complete simulated accounting trace: the cluster it ran on plus every
 /// job record, sorted by job id (= submit order).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Trace {
     /// The cluster topology the trace was produced on.
     pub cluster: ClusterSpec,
@@ -175,17 +199,25 @@ pub struct Trace {
     pub records: Vec<JobRecord>,
 }
 
+trout_std::impl_json_struct!(Trace { cluster, records });
+
 impl Trace {
     /// Fraction of *started* jobs with queue time below `cutoff_min`
     /// minutes. The paper reports 87 % below 10 minutes on the raw Anvil
     /// data. Cancelled-pending jobs have no start and are excluded.
     pub fn quick_start_fraction(&self, cutoff_min: f64) -> f64 {
-        let started: Vec<&JobRecord> =
-            self.records.iter().filter(|r| r.state != JobState::Cancelled).collect();
+        let started: Vec<&JobRecord> = self
+            .records
+            .iter()
+            .filter(|r| r.state != JobState::Cancelled)
+            .collect();
         if started.is_empty() {
             return 0.0;
         }
-        let quick = started.iter().filter(|r| r.is_quick_start(cutoff_min)).count();
+        let quick = started
+            .iter()
+            .filter(|r| r.is_quick_start(cutoff_min))
+            .count();
         quick as f64 / started.len() as f64
     }
 
@@ -269,7 +301,10 @@ mod tests {
 
     #[test]
     fn trace_csv_round_trip() {
-        let t = Trace { cluster: ClusterSpec::anvil_like(), records: vec![rec()] };
+        let t = Trace {
+            cluster: ClusterSpec::anvil_like(),
+            records: vec![rec()],
+        };
         let csv = t.to_csv();
         let back = Trace::from_csv(ClusterSpec::anvil_like(), &csv).unwrap();
         assert_eq!(back.records, t.records);
@@ -279,9 +314,15 @@ mod tests {
     fn quick_start_fraction_counts() {
         let mut quick = rec();
         quick.start_time = quick.eligible_time; // 0-minute queue
-        let t = Trace { cluster: ClusterSpec::anvil_like(), records: vec![rec(), quick] };
+        let t = Trace {
+            cluster: ClusterSpec::anvil_like(),
+            records: vec![rec(), quick],
+        };
         assert!((t.quick_start_fraction(10.0) - 0.5).abs() < 1e-9);
-        let empty = Trace { cluster: ClusterSpec::anvil_like(), records: vec![] };
+        let empty = Trace {
+            cluster: ClusterSpec::anvil_like(),
+            records: vec![],
+        };
         assert_eq!(empty.quick_start_fraction(10.0), 0.0);
     }
 }

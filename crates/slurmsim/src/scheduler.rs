@@ -84,7 +84,10 @@ fn pack_end_id(id: u64, incarnation: u32) -> u64 {
 }
 
 fn unpack_end_id(packed: u64) -> (u64, u32) {
-    (packed & ((1 << INCARNATION_SHIFT) - 1), (packed >> INCARNATION_SHIFT) as u32)
+    (
+        packed & ((1 << INCARNATION_SHIFT) - 1),
+        (packed >> INCARNATION_SHIFT) as u32,
+    )
 }
 
 /// Simulates scheduling `jobs` (sorted by submit time) on `cluster`.
@@ -124,8 +127,11 @@ pub fn simulate(
             NodePool::new(count, c, m, g)
         })
         .collect();
-    let partition_pool: Vec<usize> =
-        cluster.partitions.iter().map(|p| pool_index(p.node_pool)).collect();
+    let partition_pool: Vec<usize> = cluster
+        .partitions
+        .iter()
+        .map(|p| pool_index(p.node_pool))
+        .collect();
 
     // Event kinds: ends (0) drain before eligibilities (1) at equal times so
     // freed resources are visible to the pass that considers the new job;
@@ -151,7 +157,10 @@ pub fn simulate(
     let mut job_by_id: Vec<Option<JobRequest>> = vec![None; n];
     for job in jobs {
         let idx = job.id as usize;
-        assert!(idx < n && job_by_id[idx].is_none(), "job ids must be dense and unique");
+        assert!(
+            idx < n && job_by_id[idx].is_none(),
+            "job ids must be dense and unique"
+        );
         job_by_id[idx] = Some(job);
     }
 
@@ -206,7 +215,10 @@ pub fn simulate(
                     let demand = Demand::from_job(&job, part);
                     assert!(
                         NodePool::fits_in(
-                            &vec![pools[partition_pool[job.partition as usize]].capacity; part.total_nodes as usize],
+                            &vec![
+                                pools[partition_pool[job.partition as usize]].capacity;
+                                part.total_nodes as usize
+                            ],
                             &pools[partition_pool[job.partition as usize]].capacity,
                             &demand
                         ),
@@ -243,16 +255,24 @@ pub fn simulate(
     }
 
     assert!(pending.is_empty(), "{} jobs never started", pending.len());
-    let records: Vec<JobRecord> =
-        records.into_iter().map(|r| r.expect("every job recorded")).collect();
-    Trace { cluster: cluster.clone(), records }
+    let records: Vec<JobRecord> = records
+        .into_iter()
+        .map(|r| r.expect("every job recorded"))
+        .collect();
+    Trace {
+        cluster: cluster.clone(),
+        records,
+    }
 }
 
 #[derive(Debug, Clone, Copy)]
 enum PoolGate {
     Open,
     /// Head job blocked: reservation at `shadow`; `tested` backfill probes so far.
-    Blocked { shadow: i64, tested: usize },
+    Blocked {
+        shadow: i64,
+        tested: usize,
+    },
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -299,7 +319,8 @@ fn schedule_pass(
             if p.job.qos == Qos::Standby || pools[p.pool].fits(&p.demand) {
                 continue; // no right to preempt / no need to
             }
-            let Some(victims) = select_preemption_victims(&pools[p.pool], &p.demand, running, p.pool)
+            let Some(victims) =
+                select_preemption_victims(&pools[p.pool], &p.demand, running, p.pool)
             else {
                 continue;
             };
@@ -319,7 +340,9 @@ fn schedule_pass(
                     job: rj.request,
                 });
             }
-            let nodes = pools[p.pool].try_alloc(&p.demand).expect("preemption made room");
+            let nodes = pools[p.pool]
+                .try_alloc(&p.demand)
+                .expect("preemption made room");
             start_job(t, p, nodes, running, records, events, incarnations);
             started.push(idx);
         }
@@ -345,7 +368,10 @@ fn schedule_pass(
                 if tested >= config.backfill_depth {
                     continue;
                 }
-                gates[p.pool] = PoolGate::Blocked { shadow, tested: tested + 1 };
+                gates[p.pool] = PoolGate::Blocked {
+                    shadow,
+                    tested: tested + 1,
+                };
                 let finishes_by = t + p.job.timelimit_min as i64 * 60;
                 if finishes_by <= shadow && pool.fits(&p.demand) {
                     let nodes = pool.try_alloc(&p.demand).expect("fits implies alloc");
@@ -424,8 +450,13 @@ fn start_job(
     };
     // A restart after preemption overwrites the earlier record — like sacct,
     // the trace reports the run that actually completed.
-    records[job.id as usize] =
-        Some(JobRecord::from_request(job, t, end, p.priority_at_eligible, state));
+    records[job.id as usize] = Some(JobRecord::from_request(
+        job,
+        t,
+        end,
+        p.priority_at_eligible,
+        state,
+    ));
     let idx = job.id as usize;
     incarnations[idx] += 1;
     running[idx] = Some(RunningJob {
@@ -531,7 +562,12 @@ mod tests {
     }
 
     fn run(jobs: Vec<JobRequest>) -> Trace {
-        simulate(&toy_cluster(), &toy_pop(4), jobs, &SchedulerConfig::default())
+        simulate(
+            &toy_cluster(),
+            &toy_pop(4),
+            jobs,
+            &SchedulerConfig::default(),
+        )
     }
 
     #[test]
@@ -568,7 +604,10 @@ mod tests {
         assert_eq!(trace.records[2].start_time, 2, "short job backfills");
         // Head job starts once node frees at t=6000 (job 0 real end).
         assert_eq!(trace.records[1].start_time, 6_000);
-        assert!(trace.records[3].start_time >= trace.records[1].start_time, "long backfill candidate must not pass the reservation");
+        assert!(
+            trace.records[3].start_time >= trace.records[1].start_time,
+            "long backfill candidate must not pass the reservation"
+        );
     }
 
     #[test]
@@ -597,7 +636,11 @@ mod tests {
         assert_eq!(trace.records.len(), 2_000);
         for r in &trace.records {
             assert!(r.eligible_time >= r.submit_time);
-            assert!(r.start_time >= r.eligible_time, "job {} started before eligible", r.id);
+            assert!(
+                r.start_time >= r.eligible_time,
+                "job {} started before eligible",
+                r.id
+            );
             assert!(r.end_time > r.start_time);
             assert!(r.priority > 0.0);
         }
@@ -678,7 +721,12 @@ mod tests {
         let mut debug = job(2, 2, 8, 20, 5);
         debug.partition = 1;
         debug.req_mem_gb = 32;
-        let trace = simulate(&cluster, &toy_pop(4), vec![blocker, normal, debug], &SchedulerConfig::default());
+        let trace = simulate(
+            &cluster,
+            &toy_pop(4),
+            vec![blocker, normal, debug],
+            &SchedulerConfig::default(),
+        );
         assert!(
             trace.records[2].start_time < trace.records[1].start_time,
             "debug tier should preempt queue order"
@@ -743,8 +791,16 @@ mod preemption_tests {
             job(0, 0, 8, 500, 400, Qos::Standby),
             job(1, 60, 8, 100, 30, Qos::Normal),
         ];
-        let trace = simulate(&toy_cluster(), &toy_pop(), jobs, &SchedulerConfig::default());
-        assert_eq!(trace.records[1].start_time, 60, "preemptor starts immediately");
+        let trace = simulate(
+            &toy_cluster(),
+            &toy_pop(),
+            jobs,
+            &SchedulerConfig::default(),
+        );
+        assert_eq!(
+            trace.records[1].start_time, 60,
+            "preemptor starts immediately"
+        );
         // Standby restarted after the normal job finished (60 + 30min).
         assert_eq!(trace.records[0].start_time, 60 + 30 * 60);
         // Its final record runs its full runtime from the restart.
@@ -760,9 +816,18 @@ mod preemption_tests {
             job(0, 0, 8, 500, 400, Qos::Normal),
             job(1, 60, 8, 100, 30, Qos::High),
         ];
-        let trace = simulate(&toy_cluster(), &toy_pop(), jobs, &SchedulerConfig::default());
+        let trace = simulate(
+            &toy_cluster(),
+            &toy_pop(),
+            jobs,
+            &SchedulerConfig::default(),
+        );
         // High QOS outranks Normal in the queue but cannot evict it.
-        assert_eq!(trace.records[1].start_time, 400 * 60, "waits for the running job");
+        assert_eq!(
+            trace.records[1].start_time,
+            400 * 60,
+            "waits for the running job"
+        );
     }
 
     #[test]
@@ -771,7 +836,12 @@ mod preemption_tests {
             job(0, 0, 8, 500, 100, Qos::Standby),
             job(1, 60, 8, 100, 30, Qos::Standby),
         ];
-        let trace = simulate(&toy_cluster(), &toy_pop(), jobs, &SchedulerConfig::default());
+        let trace = simulate(
+            &toy_cluster(),
+            &toy_pop(),
+            jobs,
+            &SchedulerConfig::default(),
+        );
         assert_eq!(trace.records[1].start_time, 100 * 60);
     }
 
@@ -784,7 +854,12 @@ mod preemption_tests {
             job(1, 10, 4, 500, 400, Qos::Standby),
             job(2, 60, 4, 100, 30, Qos::Normal),
         ];
-        let trace = simulate(&toy_cluster(), &toy_pop(), jobs, &SchedulerConfig::default());
+        let trace = simulate(
+            &toy_cluster(),
+            &toy_pop(),
+            jobs,
+            &SchedulerConfig::default(),
+        );
         assert_eq!(trace.records[2].start_time, 60);
         // The older standby (id 0) keeps running from t=0.
         assert_eq!(trace.records[0].start_time, 0);
@@ -798,7 +873,10 @@ mod preemption_tests {
             job(0, 0, 8, 500, 400, Qos::Standby),
             job(1, 60, 8, 100, 30, Qos::Normal),
         ];
-        let cfg = SchedulerConfig { enable_preemption: false, ..Default::default() };
+        let cfg = SchedulerConfig {
+            enable_preemption: false,
+            ..Default::default()
+        };
         let trace = simulate(&toy_cluster(), &toy_pop(), jobs, &cfg);
         assert_eq!(trace.records[1].start_time, 400 * 60);
         assert_eq!(trace.records[0].start_time, 0);
@@ -959,9 +1037,16 @@ mod cancellation_tests {
         let (pop, reqs) = WorkloadGenerator::new(cfg, cluster.clone()).generate();
         let trace = simulate(&cluster, &pop, reqs, &SchedulerConfig::default());
         assert_eq!(trace.records.len(), 3_000);
-        let cancelled = trace.records.iter().filter(|r| r.state == JobState::Cancelled).count();
+        let cancelled = trace
+            .records
+            .iter()
+            .filter(|r| r.state == JobState::Cancelled)
+            .count();
         assert!(cancelled > 0, "10% cancel fraction should cancel someone");
-        assert!(cancelled < 300, "only pending jobs can cancel; got {cancelled}");
+        assert!(
+            cancelled < 300,
+            "only pending jobs can cancel; got {cancelled}"
+        );
         for r in &trace.records {
             match r.state {
                 JobState::Cancelled => {

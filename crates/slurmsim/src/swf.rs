@@ -111,7 +111,12 @@ pub fn parse_swf(text: &str) -> Result<(Trace, SwfImportStats), SwfError> {
     if partition_ids.is_empty() {
         partition_ids.push(0);
     }
-    let total_procs = max_procs.max(rows.iter().map(|r| r[4].max(r[7]).max(1) as u32).max().unwrap_or(1));
+    let total_procs = max_procs.max(
+        rows.iter()
+            .map(|r| r[4].max(r[7]).max(1) as u32)
+            .max()
+            .unwrap_or(1),
+    );
     let nodes = max_nodes.max(1);
     let cpus_per_node = total_procs.div_ceil(nodes).max(1);
     let partitions: Vec<PartitionSpec> = partition_ids
@@ -128,7 +133,10 @@ pub fn parse_swf(text: &str) -> Result<(Trace, SwfImportStats), SwfError> {
             whole_node: false,
         })
         .collect();
-    let cluster = ClusterSpec { name: "swf-import".to_string(), partitions };
+    let cluster = ClusterSpec {
+        name: "swf-import".to_string(),
+        partitions,
+    };
 
     let mut records = Vec::with_capacity(rows.len());
     for row in rows {
@@ -145,15 +153,21 @@ pub fn parse_swf(text: &str) -> Result<(Trace, SwfImportStats), SwfError> {
             stats.skipped_not_started += 1;
             continue;
         }
-        let procs = if req_procs > 0 { req_procs } else { alloc_procs.max(1) } as u32;
+        let procs = if req_procs > 0 {
+            req_procs
+        } else {
+            alloc_procs.max(1)
+        } as u32;
         let timelimit_min = if req_time > 0 {
             (req_time as f64 / 60.0).ceil() as u32
         } else {
             (run as f64 / 60.0).ceil() as u32
         }
         .max(1);
-        let partition_idx =
-            partition_ids.iter().position(|&p| p == partition.max(0)).unwrap_or(0) as u32;
+        let partition_idx = partition_ids
+            .iter()
+            .position(|&p| p == partition.max(0))
+            .unwrap_or(0) as u32;
         records.push(JobRecord {
             id: records.len() as u64,
             user: user.max(0) as u32,
@@ -163,7 +177,11 @@ pub fn parse_swf(text: &str) -> Result<(Trace, SwfImportStats), SwfError> {
             start_time: start,
             end_time: start + run,
             req_cpus: procs,
-            req_mem_gb: if req_mem > 0 { (req_mem as u64 / 1024).min(u32::MAX as u64) as u32 } else { 0 },
+            req_mem_gb: if req_mem > 0 {
+                (req_mem as u64 / 1024).min(u32::MAX as u64) as u32
+            } else {
+                0
+            },
             req_nodes: procs.div_ceil(cpus_per_node).max(1),
             req_gpus: 0,
             timelimit_min,
@@ -187,7 +205,13 @@ pub fn parse_swf(text: &str) -> Result<(Trace, SwfImportStats), SwfError> {
 /// (GPUs, QOS, campaign, priority) are dropped; think time encodes the
 /// eligibility delay.
 pub fn to_swf(trace: &Trace) -> String {
-    let max_nodes = trace.cluster.pools().iter().map(|&(_, n)| n).max().unwrap_or(1);
+    let max_nodes = trace
+        .cluster
+        .pools()
+        .iter()
+        .map(|&(_, n)| n)
+        .max()
+        .unwrap_or(1);
     let max_procs: u64 = trace
         .cluster
         .partitions

@@ -25,26 +25,34 @@ impl Options {
 
     /// Raw string value of a flag.
     pub fn get(&self, name: &str) -> Option<&str> {
-        self.pairs.iter().rev().find(|(k, _)| k == name).map(|(_, v)| v.as_str())
+        self.pairs
+            .iter()
+            .rev()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
     }
 
     /// Required string flag.
     pub fn require(&self, name: &str) -> Result<&str, String> {
-        self.get(name).ok_or_else(|| format!("missing required flag --{name}"))
+        self.get(name)
+            .ok_or_else(|| format!("missing required flag --{name}"))
     }
 
     /// Optional parsed flag with default.
     pub fn get_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
         match self.get(name) {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| format!("flag --{name}: cannot parse `{v}`")),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("flag --{name}: cannot parse `{v}`")),
         }
     }
 
     /// Required parsed flag.
     pub fn require_parsed<T: std::str::FromStr>(&self, name: &str) -> Result<T, String> {
         let v = self.require(name)?;
-        v.parse().map_err(|_| format!("flag --{name}: cannot parse `{v}`"))
+        v.parse()
+            .map_err(|_| format!("flag --{name}: cannot parse `{v}`"))
     }
 }
 

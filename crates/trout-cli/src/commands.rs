@@ -50,7 +50,10 @@ fn load_trace(opts: &Options) -> Result<Trace, String> {
 pub fn stats(opts: &Options) -> Result<(), String> {
     let trace = load_trace(opts)?;
     let stats = TraceStats::of(&to_requests(&trace));
-    println!("{:<24} {:>10} {:>10} {:>10} {:>10} {:>10}", "Variable", "Max", "Mean", "Median", "Std Dev", "Count");
+    println!(
+        "{:<24} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "Variable", "Max", "Mean", "Median", "Std Dev", "Count"
+    );
     for (name, s) in [
         ("Requested Time (hr)", &stats.requested_time_hr),
         ("Runtime (hr)", &stats.runtime_hr),
@@ -112,8 +115,10 @@ pub fn train(opts: &Options) -> Result<(), String> {
     let test: Vec<usize> = (split..ds.len()).collect();
     let (tx, ty) = ds.select(&test);
     let probs = model.quick_start_proba_batch(&tx);
-    let labels: Vec<f32> =
-        ty.iter().map(|&q| if q < cfg.cutoff_min { 1.0 } else { 0.0 }).collect();
+    let labels: Vec<f32> = ty
+        .iter()
+        .map(|&q| if q < cfg.cutoff_min { 1.0 } else { 0.0 })
+        .collect();
     println!(
         "trained on {} jobs; holdout classifier accuracy {:.2}% ({} test jobs); saved to {out}",
         split,
@@ -171,7 +176,12 @@ pub fn whatif(opts: &Options) -> Result<(), String> {
     let timelimit: u32 = opts.require_parsed("timelimit")?;
 
     // Hypothetical submission "now" = the last eligibility instant observed.
-    let now = trace.records.iter().map(|r| r.eligible_time).max().unwrap_or(0);
+    let now = trace
+        .records
+        .iter()
+        .map(|r| r.eligible_time)
+        .max()
+        .unwrap_or(0);
     // Priority proxy: the median recent priority in the partition (the real
     // system would ask the multifactor plugin).
     let mut recent: Vec<f64> = trace
@@ -236,7 +246,11 @@ pub fn importance(opts: &Options) -> Result<(), String> {
     );
     println!("{:<28} {:>14}", "Feature", "MAPE increase");
     for fi in imps.iter().take(top) {
-        println!("{:<28} {:>13.2}%", names::FEATURE_NAMES[fi.feature], fi.importance);
+        println!(
+            "{:<28} {:>13.2}%",
+            names::FEATURE_NAMES[fi.feature],
+            fi.importance
+        );
     }
     Ok(())
 }
@@ -258,10 +272,20 @@ pub fn eval(opts: &Options) -> Result<(), String> {
     for r in &reports {
         println!(
             "{:>5} {:>10} {:>11.2}% {:>11.2}% {:>10.3} {:>12.3}",
-            r.fold, r.n_test, 100.0 * r.classifier_accuracy, r.regressor_mape, r.pearson_r, r.within_100
+            r.fold,
+            r.n_test,
+            100.0 * r.classifier_accuracy,
+            r.regressor_mape,
+            r.pearson_r,
+            r.within_100
         );
     }
-    let last3: Vec<f64> = reports.iter().rev().take(3).map(|r| r.regressor_mape).collect();
+    let last3: Vec<f64> = reports
+        .iter()
+        .rev()
+        .take(3)
+        .map(|r| r.regressor_mape)
+        .collect();
     println!(
         "mean regressor MAPE over last {} folds: {:.2}%",
         last3.len(),
@@ -280,12 +304,25 @@ pub fn tune(opts: &Options) -> Result<(), String> {
     let (best, result) = tune_regressor(
         &base,
         &ds,
-        &TunerConfig { n_trials: trials, keep_fraction: 0.25, seed, ..Default::default() },
+        &TunerConfig {
+            n_trials: trials,
+            keep_fraction: 0.25,
+            seed,
+            ..Default::default()
+        },
     );
-    println!("best validation MAPE (folds 2-3): {:.2}%", result.best_score);
+    println!(
+        "best validation MAPE (folds 2-3): {:.2}%",
+        result.best_score
+    );
     println!(
         "best config: lr={:.5} epochs={} hidden={:?} dropout={:.2} activation={:?} batch={}",
-        best.lr, best.regressor_epochs, best.regressor_hidden, best.dropout, best.activation, best.batch_size
+        best.lr,
+        best.regressor_epochs,
+        best.regressor_hidden,
+        best.dropout,
+        best.activation,
+        best.batch_size
     );
     Ok(())
 }

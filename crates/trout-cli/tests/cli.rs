@@ -21,7 +21,14 @@ fn help_lists_subcommands() {
     let out = trout(&["help"]);
     assert!(out.status.success());
     let text = String::from_utf8_lossy(&out.stdout);
-    for cmd in ["simulate", "train", "predict", "whatif", "importance", "stats"] {
+    for cmd in [
+        "simulate",
+        "train",
+        "predict",
+        "whatif",
+        "importance",
+        "stats",
+    ] {
         assert!(text.contains(cmd), "usage should mention {cmd}");
     }
 }
@@ -45,8 +52,14 @@ fn simulate_stats_train_predict_whatif_pipeline() {
     let trace = tmp("pipeline-trace.csv");
     let model = tmp("pipeline-model.json");
 
-    let out = trout(&["simulate", "--jobs", "2500", "--seed", "14", "--out", &trace]);
-    assert!(out.status.success(), "simulate: {}", String::from_utf8_lossy(&out.stderr));
+    let out = trout(&[
+        "simulate", "--jobs", "2500", "--seed", "14", "--out", &trace,
+    ]);
+    assert!(
+        out.status.success(),
+        "simulate: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(String::from_utf8_lossy(&out.stdout).contains("2500 records"));
 
     let out = trout(&["stats", "--trace", &trace]);
@@ -56,11 +69,21 @@ fn simulate_stats_train_predict_whatif_pipeline() {
     assert!(text.contains("Jobs Submitted By User"));
 
     let out = trout(&["train", "--trace", &trace, "--out", &model, "--epochs", "4"]);
-    assert!(out.status.success(), "train: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "train: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(String::from_utf8_lossy(&out.stdout).contains("holdout classifier accuracy"));
 
-    let out = trout(&["predict", "--model", &model, "--trace", &trace, "--job-id", "2400"]);
-    assert!(out.status.success(), "predict: {}", String::from_utf8_lossy(&out.stderr));
+    let out = trout(&[
+        "predict", "--model", &model, "--trace", &trace, "--job-id", "2400",
+    ]);
+    assert!(
+        out.status.success(),
+        "predict: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(
         text.contains("Predicted to take less than") || text.contains("Predicted to start in"),
@@ -68,10 +91,25 @@ fn simulate_stats_train_predict_whatif_pipeline() {
     );
 
     let out = trout(&[
-        "whatif", "--model", &model, "--trace", &trace, "--partition", "shared", "--cpus", "16",
-        "--mem", "32", "--timelimit", "240",
+        "whatif",
+        "--model",
+        &model,
+        "--trace",
+        &trace,
+        "--partition",
+        "shared",
+        "--cpus",
+        "16",
+        "--mem",
+        "32",
+        "--timelimit",
+        "240",
     ]);
-    assert!(out.status.success(), "whatif: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "whatif: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(String::from_utf8_lossy(&out.stdout).contains("hypothetical job"));
 }
 
@@ -79,9 +117,19 @@ fn simulate_stats_train_predict_whatif_pipeline() {
 fn predict_rejects_unknown_job() {
     let trace = tmp("reject-trace.csv");
     let model = tmp("reject-model.json");
-    assert!(trout(&["simulate", "--jobs", "2500", "--seed", "14", "--out", &trace]).status.success());
-    assert!(trout(&["train", "--trace", &trace, "--out", &model, "--epochs", "3"]).status.success());
-    let out = trout(&["predict", "--model", &model, "--trace", &trace, "--job-id", "999999"]);
+    assert!(
+        trout(&["simulate", "--jobs", "2500", "--seed", "14", "--out", &trace])
+            .status
+            .success()
+    );
+    assert!(
+        trout(&["train", "--trace", &trace, "--out", &model, "--epochs", "3"])
+            .status
+            .success()
+    );
+    let out = trout(&[
+        "predict", "--model", &model, "--trace", &trace, "--job-id", "999999",
+    ]);
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("not found"));
 }
@@ -89,41 +137,90 @@ fn predict_rejects_unknown_job() {
 #[test]
 fn eval_subcommand_prints_fold_table() {
     let trace = tmp("eval-trace.csv");
-    assert!(trout(&["simulate", "--jobs", "3000", "--seed", "14", "--out", &trace]).status.success());
+    assert!(
+        trout(&["simulate", "--jobs", "3000", "--seed", "14", "--out", &trace])
+            .status
+            .success()
+    );
     let out = trout(&["eval", "--trace", &trace, "--folds", "3", "--epochs", "4"]);
-    assert!(out.status.success(), "eval: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "eval: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("reg MAPE"));
     assert!(text.contains("mean regressor MAPE"));
     // Three fold rows.
-    assert!(text.lines().filter(|l| l.trim_start().starts_with(['1', '2', '3'])).count() >= 3);
+    assert!(
+        text.lines()
+            .filter(|l| l.trim_start().starts_with(['1', '2', '3']))
+            .count()
+            >= 3
+    );
 }
 
 #[test]
 fn importance_subcommand_ranks_features() {
     let trace = tmp("imp-trace.csv");
     let model = tmp("imp-model.json");
-    assert!(trout(&["simulate", "--jobs", "3000", "--seed", "14", "--out", &trace]).status.success());
-    assert!(trout(&["train", "--trace", &trace, "--out", &model, "--epochs", "4"]).status.success());
-    let out = trout(&["importance", "--model", &model, "--trace", &trace, "--top", "5"]);
-    assert!(out.status.success(), "importance: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        trout(&["simulate", "--jobs", "3000", "--seed", "14", "--out", &trace])
+            .status
+            .success()
+    );
+    assert!(
+        trout(&["train", "--trace", &trace, "--out", &model, "--epochs", "4"])
+            .status
+            .success()
+    );
+    let out = trout(&[
+        "importance",
+        "--model",
+        &model,
+        "--trace",
+        &trace,
+        "--top",
+        "5",
+    ]);
+    assert!(
+        out.status.success(),
+        "importance: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("MAPE increase"));
-    assert!(text.lines().count() >= 6, "expected header + 5 rows: {text}");
+    assert!(
+        text.lines().count() >= 6,
+        "expected header + 5 rows: {text}"
+    );
 }
 
 #[test]
 fn swf_traces_are_accepted_everywhere() {
     // Build a tiny SWF log by exporting a simulated trace.
     let swf_path = tmp("import.swf");
-    let trace = trout_slurmsim::SimulationBuilder::anvil_like().jobs(2_500).seed(14).run();
+    let trace = trout_slurmsim::SimulationBuilder::anvil_like()
+        .jobs(2_500)
+        .seed(14)
+        .run();
     std::fs::write(&swf_path, trout_slurmsim::swf::to_swf(&trace)).unwrap();
 
     let out = trout(&["stats", "--trace", &swf_path]);
-    assert!(out.status.success(), "stats on swf: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "stats on swf: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(String::from_utf8_lossy(&out.stdout).contains("Requested Time (hr)"));
 
     let model = tmp("swf-model.json");
-    let out = trout(&["train", "--trace", &swf_path, "--out", &model, "--epochs", "3"]);
-    assert!(out.status.success(), "train on swf: {}", String::from_utf8_lossy(&out.stderr));
+    let out = trout(&[
+        "train", "--trace", &swf_path, "--out", &model, "--epochs", "3",
+    ]);
+    assert!(
+        out.status.success(),
+        "train on swf: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 }

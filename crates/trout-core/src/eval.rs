@@ -40,7 +40,10 @@ pub struct FoldReport {
 /// Runs the paper's 5-fold (configurable) time-series evaluation of the
 /// hierarchical model.
 pub fn evaluate_folds(cfg: &TroutConfig, ds: &Dataset, n_splits: usize) -> Vec<FoldReport> {
-    let splitter = TimeSeriesSplit { n_splits, test_size: Some(ds.len() / 6) };
+    let splitter = TimeSeriesSplit {
+        n_splits,
+        test_size: Some(ds.len() / 6),
+    };
     let trainer = TroutTrainer::new(cfg.clone());
     let mut reports = Vec::with_capacity(n_splits);
     for (f, fold) in splitter.split(ds.len()).into_iter().enumerate() {
@@ -49,14 +52,15 @@ pub fn evaluate_folds(cfg: &TroutConfig, ds: &Dataset, n_splits: usize) -> Vec<F
 
         // Classifier over the full test window.
         let probs = model.quick_start_proba_batch(&tx);
-        let labels: Vec<f32> =
-            ty.iter().map(|&q| if q < cfg.cutoff_min { 1.0 } else { 0.0 }).collect();
+        let labels: Vec<f32> = ty
+            .iter()
+            .map(|&q| if q < cfg.cutoff_min { 1.0 } else { 0.0 })
+            .collect();
         let classifier_accuracy = metrics::binary_accuracy(&probs, &labels);
         let class_accuracy = metrics::per_class_accuracy(&probs, &labels);
 
         // Regressor over the truly-long test jobs.
-        let long_idx: Vec<usize> =
-            (0..ty.len()).filter(|&i| ty[i] >= cfg.cutoff_min).collect();
+        let long_idx: Vec<usize> = (0..ty.len()).filter(|&i| ty[i] >= cfg.cutoff_min).collect();
         let lx = tx.select_rows(&long_idx);
         let lys: Vec<f32> = long_idx.iter().map(|&i| ty[i]).collect();
         let preds = model.regress_minutes_batch(&lx);
@@ -133,7 +137,10 @@ pub fn compare_models(
     n_splits: usize,
     which: &[BaselineModel],
 ) -> Vec<ComparisonEntry> {
-    let splitter = TimeSeriesSplit { n_splits, test_size: Some(ds.len() / 6) };
+    let splitter = TimeSeriesSplit {
+        n_splits,
+        test_size: Some(ds.len() / 6),
+    };
     let mut out = Vec::new();
     for (f, fold) in splitter.split(ds.len()).into_iter().enumerate() {
         // Long-job subsets on both sides of the split.
@@ -153,13 +160,18 @@ pub fn compare_models(
             continue;
         }
         let (tx, ty_raw) = ds.select(&train_long);
-        let ty: Vec<f32> = ty_raw.iter().map(|&v| cfg.target_transform.forward(v)).collect();
+        let ty: Vec<f32> = ty_raw
+            .iter()
+            .map(|&v| cfg.target_transform.forward(v))
+            .collect();
         let (ex, ey) = ds.select(&test_long);
 
         for &model in which {
             let preds = train_predict(model, cfg, &tx, &ty, &ex, ds, &fold.train, f as u64);
-            let preds: Vec<f32> =
-                preds.into_iter().map(|p| cfg.target_transform.inverse(p).max(0.0)).collect();
+            let preds: Vec<f32> = preds
+                .into_iter()
+                .map(|p| cfg.target_transform.inverse(p).max(0.0))
+                .collect();
             out.push(ComparisonEntry {
                 model,
                 fold: f + 1,
@@ -217,7 +229,11 @@ fn train_predict(
             RandomForest::fit(tx, ty, &rcfg).predict(ex)
         }
         BaselineModel::Knn => {
-            let kcfg = KnnConfig { k: 10, seed: cfg.seed ^ fold_seed, ..Default::default() };
+            let kcfg = KnnConfig {
+                k: 10,
+                seed: cfg.seed ^ fold_seed,
+                ..Default::default()
+            };
             KnnRegressor::fit(tx, ty, &kcfg).predict(ex)
         }
     }
@@ -258,12 +274,7 @@ mod tests {
         let ds = dataset(2_400);
         let mut cfg = TroutConfig::smoke();
         cfg.regressor_epochs = 5;
-        let entries = compare_models(
-            &cfg,
-            &ds,
-            2,
-            &[BaselineModel::Xgboost, BaselineModel::Knn],
-        );
+        let entries = compare_models(&cfg, &ds, 2, &[BaselineModel::Xgboost, BaselineModel::Knn]);
         assert_eq!(entries.len(), 4, "2 models x 2 folds");
         for e in &entries {
             assert!(e.mape.is_finite() && e.mape >= 0.0);
@@ -278,7 +289,11 @@ mod tests {
         let entries = compare_models(&cfg, &ds, 2, &[BaselineModel::Xgboost]);
         // Constant predictor: the training-long-jobs median, evaluated on the
         // same folds' long test jobs.
-        let folds = TimeSeriesSplit { n_splits: 2, test_size: Some(ds.len() / 6) }.split(ds.len());
+        let folds = TimeSeriesSplit {
+            n_splits: 2,
+            test_size: Some(ds.len() / 6),
+        }
+        .split(ds.len());
         let mut const_mape = Vec::new();
         for fold in folds {
             let mut train_y: Vec<f32> = fold

@@ -60,7 +60,10 @@ mod tests {
         // Runtime predictions are bounded by sane limits.
         let preds = predictor.predict_all(&trace);
         for (p, r) in preds.iter().zip(&trace.records) {
-            assert!(*p >= 0.0 && *p <= r.timelimit_min as f64 * 1.5 + 1.0, "pred {p} for {r:?}");
+            assert!(
+                *p >= 0.0 && *p <= r.timelimit_min as f64 * 1.5 + 1.0,
+                "pred {p} for {r:?}"
+            );
         }
     }
 }

@@ -1,6 +1,5 @@
 //! The hierarchical model and Algorithm 1 inference.
 
-use serde::{Deserialize, Serialize};
 use trout_linalg::{ops::sigmoid, Matrix};
 use trout_ml::calibration::PlattScaler;
 use trout_ml::nn::Mlp;
@@ -39,7 +38,7 @@ impl QueuePrediction {
 }
 
 /// The trained two-stage system: quick-start classifier + queue regressor.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct HierarchicalModel {
     /// Quick-start cutoff in minutes (10 in the paper).
     pub cutoff_min: f32,
@@ -50,9 +49,16 @@ pub struct HierarchicalModel {
     /// classifier's outputs read as real probabilities. Decisions
     /// (Algorithm 1) still threshold the raw logit at 0.5, as the paper
     /// does; calibration only affects the reported confidence.
-    #[serde(default)]
     pub(crate) calibrator: Option<PlattScaler>,
 }
+
+trout_std::impl_json_struct!(HierarchicalModel {
+    cutoff_min,
+    classifier,
+    regressor,
+    target_transform,
+    calibrator
+});
 
 impl HierarchicalModel {
     /// Algorithm 1 for one feature row: classify, and only if the job is
@@ -130,12 +136,12 @@ impl HierarchicalModel {
 
     /// Serializes to JSON (the CLI checkpoint format).
     pub fn to_json(&self) -> String {
-        serde_json::to_string(self).expect("model serializes")
+        trout_std::json::ToJson::to_json_string(self)
     }
 
     /// Loads a JSON checkpoint.
-    pub fn from_json(json: &str) -> Result<HierarchicalModel, serde_json::Error> {
-        serde_json::from_str(json)
+    pub fn from_json(json: &str) -> Result<HierarchicalModel, trout_std::json::JsonError> {
+        trout_std::json::FromJson::from_json_str(json)
     }
 }
 

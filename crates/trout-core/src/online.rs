@@ -27,7 +27,11 @@ pub struct OnlineConfig {
 
 impl Default for OnlineConfig {
     fn default() -> Self {
-        OnlineConfig { epochs: 4, lr_scale: 0.3, window: 8_000 }
+        OnlineConfig {
+            epochs: 4,
+            lr_scale: 0.3,
+            window: 8_000,
+        }
     }
 }
 
@@ -52,15 +56,20 @@ pub fn update_model(
     let lr = base.lr * online.lr_scale;
 
     // Classifier update on (re-)balanced classes.
-    let labels: Vec<f32> =
-        y.iter().map(|&q| if q < model.cutoff_min { 1.0 } else { 0.0 }).collect();
+    let labels: Vec<f32> = y
+        .iter()
+        .map(|&q| if q < model.cutoff_min { 1.0 } else { 0.0 })
+        .collect();
     let has_both = labels.iter().any(|&l| l >= 0.5) && labels.iter().any(|&l| l < 0.5);
     if has_both {
         let (cx, cy) = if base.use_smote {
             smote_balance(
                 &x,
                 &labels,
-                &SmoteConfig { seed: base.seed ^ rows.len() as u64, ..Default::default() },
+                &SmoteConfig {
+                    seed: base.seed ^ rows.len() as u64,
+                    ..Default::default()
+                },
             )
         } else {
             (x.clone(), labels)
@@ -69,12 +78,13 @@ pub fn update_model(
     }
 
     // Regressor update on the window's long jobs.
-    let long: Vec<usize> =
-        (0..y.len()).filter(|&i| y[i] >= model.cutoff_min).collect();
+    let long: Vec<usize> = (0..y.len()).filter(|&i| y[i] >= model.cutoff_min).collect();
     if !long.is_empty() {
         let rx = x.select_rows(&long);
-        let ry: Vec<f32> =
-            long.iter().map(|&i| model.target_transform.forward(y[i])).collect();
+        let ry: Vec<f32> = long
+            .iter()
+            .map(|&i| model.target_transform.forward(y[i]))
+            .collect();
         model.regressor.fit_with(&rx, &ry, online.epochs, lr);
     }
 }
@@ -91,7 +101,8 @@ mod tests {
         let trace = SimulationBuilder::anvil_like().jobs(4_000).seed(14).run();
         let (ds, _) = featurize(&trace, 0.6, 1);
         let base = TroutConfig::smoke();
-        let mut model = TroutTrainer::new(base.clone()).fit_rows(&ds, &(0..2_000).collect::<Vec<_>>());
+        let mut model =
+            TroutTrainer::new(base.clone()).fit_rows(&ds, &(0..2_000).collect::<Vec<_>>());
         let online = OnlineConfig::default();
         for chunk_start in (2_000..3_600).step_by(400) {
             let rows: Vec<usize> = (chunk_start..chunk_start + 400).collect();
@@ -119,14 +130,20 @@ mod tests {
         let train: Vec<usize> = (0..4_000).collect();
         let frozen = TroutTrainer::new(base.clone()).fit_rows(&ds, &train);
         let mut online_model = frozen.clone();
-        let online = OnlineConfig { epochs: 3, lr_scale: 0.3, window: 4_000 };
+        let online = OnlineConfig {
+            epochs: 3,
+            lr_scale: 0.3,
+            window: 4_000,
+        };
 
         let (mut frozen_acc, mut online_acc, mut chunks) = (0.0, 0.0, 0);
         for start in (4_000..8_000).step_by(1_000) {
             let eval_rows: Vec<usize> = (start..start + 1_000).collect();
             let (tx, ty) = ds.select(&eval_rows);
-            let labels: Vec<f32> =
-                ty.iter().map(|&q| if q < 10.0 { 1.0 } else { 0.0 }).collect();
+            let labels: Vec<f32> = ty
+                .iter()
+                .map(|&q| if q < 10.0 { 1.0 } else { 0.0 })
+                .collect();
             frozen_acc += metrics::binary_accuracy(&frozen.quick_start_proba_batch(&tx), &labels);
             online_acc +=
                 metrics::binary_accuracy(&online_model.quick_start_proba_batch(&tx), &labels);

@@ -7,7 +7,6 @@
 //! request-time fields only (never anything observed after start); the target
 //! is the actual runtime in minutes.
 
-use serde::{Deserialize, Serialize};
 use trout_linalg::Matrix;
 use trout_ml::tree::{RandomForest, RandomForestConfig};
 use trout_slurmsim::{JobRecord, Trace};
@@ -16,10 +15,12 @@ use trout_slurmsim::{JobRecord, Trace};
 const RT_FEATURES: usize = 7;
 
 /// A fitted runtime model.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct RuntimePredictor {
     forest: RandomForest,
 }
+
+trout_std::impl_json_struct!(RuntimePredictor { forest });
 
 fn runtime_features(r: &JobRecord) -> [f32; RT_FEATURES] {
     [
@@ -49,14 +50,17 @@ impl RuntimePredictor {
     ///
     /// Panics if the prefix is empty.
     pub fn fit_on_prefix(trace: &Trace, train_frac: f64, seed: u64) -> RuntimePredictor {
-        let n_train = ((trace.records.len() as f64 * train_frac) as usize)
-            .clamp(1, trace.records.len());
+        let n_train =
+            ((trace.records.len() as f64 * train_frac) as usize).clamp(1, trace.records.len());
         let records: Vec<JobRecord> = trace.records[..n_train]
             .iter()
             .filter(|r| r.state != trout_slurmsim::JobState::Cancelled)
             .cloned()
             .collect();
-        assert!(!records.is_empty(), "no started jobs in the training prefix");
+        assert!(
+            !records.is_empty(),
+            "no started jobs in the training prefix"
+        );
         let x = feature_matrix(&records);
         let y: Vec<f32> = records.iter().map(|r| r.runtime_min() as f32).collect();
         let cfg = RandomForestConfig {
@@ -66,7 +70,9 @@ impl RuntimePredictor {
             seed,
             ..Default::default()
         };
-        RuntimePredictor { forest: RandomForest::fit(&x, &y, &cfg) }
+        RuntimePredictor {
+            forest: RandomForest::fit(&x, &y, &cfg),
+        }
     }
 
     /// Predicted runtime (minutes) for one record, clamped to
@@ -112,7 +118,11 @@ mod tests {
         let model = RuntimePredictor::fit_on_prefix(&trace, 0.5, 3);
         for r in &trace.records {
             let p = model.predict(r);
-            assert!(p >= 0.0 && p <= r.timelimit_min as f64, "{p} vs limit {}", r.timelimit_min);
+            assert!(
+                p >= 0.0 && p <= r.timelimit_min as f64,
+                "{p} vs limit {}",
+                r.timelimit_min
+            );
         }
     }
 

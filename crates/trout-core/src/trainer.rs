@@ -1,6 +1,5 @@
 //! Training the hierarchical model.
 
-use serde::{Deserialize, Serialize};
 use trout_features::Dataset;
 use trout_linalg::Matrix;
 use trout_ml::calibration::PlattScaler;
@@ -16,13 +15,15 @@ use crate::model::HierarchicalModel;
 /// relative-error-shaped and conditions the output scale, so it is the
 /// default here. `Raw` reproduces the paper's literal setup; ablation A10
 /// compares the two.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum TargetTransform {
     /// Predict minutes directly.
     Raw,
     /// Predict `ln(1 + minutes)`, invert with `expm1`.
     Log1p,
 }
+
+trout_std::impl_json_enum!(TargetTransform { Raw, Log1p });
 
 impl TargetTransform {
     /// Forward transform applied to training targets.
@@ -44,7 +45,7 @@ impl TargetTransform {
 }
 
 /// Full training configuration for TROUT.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TroutConfig {
     /// Quick-start cutoff in minutes (10 in the paper; 5/30 in ablation A1).
     pub cutoff_min: f32,
@@ -75,6 +76,23 @@ pub struct TroutConfig {
     /// Master seed.
     pub seed: u64,
 }
+
+trout_std::impl_json_struct!(TroutConfig {
+    cutoff_min,
+    classifier_hidden,
+    classifier_epochs,
+    regressor_hidden,
+    regressor_epochs,
+    activation,
+    regression_loss,
+    dropout,
+    batchnorm,
+    lr,
+    batch_size,
+    use_smote,
+    target_transform,
+    seed
+});
 
 impl Default for TroutConfig {
     /// The production configuration. The regressor hyper-parameters come
@@ -151,15 +169,21 @@ impl TroutTrainer {
 
         // --- Stage 1: quick-start classifier on (optionally) SMOTE-balanced
         // classes. Label 1 = quick start (< cutoff).
-        let labels: Vec<f32> =
-            y.iter().map(|&q| if q < cfg.cutoff_min { 1.0 } else { 0.0 }).collect();
-        let has_both_classes =
-            labels.iter().any(|&l| l >= 0.5) && labels.iter().any(|&l| l < 0.5);
+        let labels: Vec<f32> = y
+            .iter()
+            .map(|&q| if q < cfg.cutoff_min { 1.0 } else { 0.0 })
+            .collect();
+        let has_both_classes = labels.iter().any(|&l| l >= 0.5) && labels.iter().any(|&l| l < 0.5);
         let (cx, cy) = if cfg.use_smote && has_both_classes {
             smote_balance(
                 &x,
                 &labels,
-                &SmoteConfig { k: 5, target_ratio: 1.0, majority_cap_ratio: Some(1.0), seed: cfg.seed },
+                &SmoteConfig {
+                    k: 5,
+                    target_ratio: 1.0,
+                    majority_cap_ratio: Some(1.0),
+                    seed: cfg.seed,
+                },
             )
         } else {
             (x.clone(), labels)
@@ -175,16 +199,17 @@ impl TroutTrainer {
         let (classifier, _) = Mlp::train(&ccfg, &cx, &cy);
 
         // --- Stage 2: regressor on the long-wait jobs only.
-        let long_rows: Vec<usize> =
-            (0..y.len()).filter(|&i| y[i] >= cfg.cutoff_min).collect();
+        let long_rows: Vec<usize> = (0..y.len()).filter(|&i| y[i] >= cfg.cutoff_min).collect();
         assert!(
             !long_rows.is_empty(),
             "no job in the training window queued >= {} minutes",
             cfg.cutoff_min
         );
         let rx = x.select_rows(&long_rows);
-        let ry: Vec<f32> =
-            long_rows.iter().map(|&i| cfg.target_transform.forward(y[i])).collect();
+        let ry: Vec<f32> = long_rows
+            .iter()
+            .map(|&i| cfg.target_transform.forward(y[i]))
+            .collect();
         let mut rcfg = MlpConfig::new(x.cols(), cfg.regressor_hidden.clone());
         rcfg.activation = cfg.activation;
         rcfg.loss = cfg.regression_loss;
@@ -237,7 +262,10 @@ impl TroutTrainer {
             scaler: trout_features::Scaling::None.fit(x),
         };
         let all: Vec<usize> = (0..ds.len()).collect();
-        TroutTrainer { config: cfg.clone() }.fit_rows(&ds, &all)
+        TroutTrainer {
+            config: cfg.clone(),
+        }
+        .fit_rows(&ds, &all)
     }
 }
 
@@ -292,7 +320,10 @@ mod tests {
         let test: Vec<usize> = (split..ds.len()).collect();
         let (tx, ty) = ds.select(&test);
         let probs = model.quick_start_proba_batch(&tx);
-        let labels: Vec<f32> = ty.iter().map(|&q| if q < 10.0 { 1.0 } else { 0.0 }).collect();
+        let labels: Vec<f32> = ty
+            .iter()
+            .map(|&q| if q < 10.0 { 1.0 } else { 0.0 })
+            .collect();
         let acc = metrics::binary_accuracy(&probs, &labels);
         assert!(acc > 0.6, "held-out accuracy {acc}");
     }
@@ -344,7 +375,10 @@ mod calibration_tests {
         let model = TroutTrainer::new(cfg).fit_rows(&ds, &train);
         let test: Vec<usize> = (n * 5 / 6..n).collect();
         let (tx, ty) = ds.select(&test);
-        let labels: Vec<f32> = ty.iter().map(|&q| if q < 10.0 { 1.0 } else { 0.0 }).collect();
+        let labels: Vec<f32> = ty
+            .iter()
+            .map(|&q| if q < 10.0 { 1.0 } else { 0.0 })
+            .collect();
         let raw = model.quick_start_proba_batch(&tx);
         let cal = model.calibrated_quick_proba_batch(&tx);
         let ece_raw = expected_calibration_error(&raw, &labels, 10);
@@ -362,8 +396,8 @@ mod calibration_tests {
         let ds = FeaturePipeline::standard().build(&trace);
         let model = TroutTrainer::new(TroutConfig::smoke()).fit(&ds);
         // Strip the calibrator field to emulate a pre-calibration checkpoint.
-        let mut v: serde_json::Value = serde_json::from_str(&model.to_json()).unwrap();
-        v.as_object_mut().unwrap().remove("calibrator");
+        let mut v = trout_std::json::Json::parse(&model.to_json()).unwrap();
+        v.remove("calibrator").unwrap();
         let legacy = HierarchicalModel::from_json(&v.to_string()).unwrap();
         let p = legacy.calibrated_quick_proba(ds.row(0));
         assert!((0.0..=1.0).contains(&p));

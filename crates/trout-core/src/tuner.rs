@@ -42,7 +42,12 @@ pub struct TunerConfig {
 
 impl Default for TunerConfig {
     fn default() -> Self {
-        TunerConfig { n_trials: 24, keep_fraction: 0.25, seed: 0, sampler: Sampler::SuccessiveHalving }
+        TunerConfig {
+            n_trials: 24,
+            keep_fraction: 0.25,
+            seed: 0,
+            sampler: Sampler::SuccessiveHalving,
+        }
     }
 }
 
@@ -50,13 +55,39 @@ impl Default for TunerConfig {
 /// and widths, dropout, activation.
 fn search_space() -> Vec<Param> {
     vec![
-        Param::LogFloat { name: "lr", lo: 2e-4, hi: 5e-3 },
-        Param::Int { name: "epochs", lo: 20, hi: 60 },
-        Param::Int { name: "depth", lo: 2, hi: 4 },
-        Param::Int { name: "width", lo: 48, hi: 160 },
-        Param::Float { name: "dropout", lo: 0.0, hi: 0.3 },
-        Param::Choice { name: "activation", n: 3 }, // ELU / ReLU / tanh
-        Param::Choice { name: "batch", n: 3 },      // 128 / 256 / 512
+        Param::LogFloat {
+            name: "lr",
+            lo: 2e-4,
+            hi: 5e-3,
+        },
+        Param::Int {
+            name: "epochs",
+            lo: 20,
+            hi: 60,
+        },
+        Param::Int {
+            name: "depth",
+            lo: 2,
+            hi: 4,
+        },
+        Param::Int {
+            name: "width",
+            lo: 48,
+            hi: 160,
+        },
+        Param::Float {
+            name: "dropout",
+            lo: 0.0,
+            hi: 0.3,
+        },
+        Param::Choice {
+            name: "activation",
+            n: 3,
+        }, // ELU / ReLU / tanh
+        Param::Choice {
+            name: "batch",
+            n: 3,
+        }, // 128 / 256 / 512
     ]
 }
 
@@ -68,8 +99,9 @@ pub fn config_from_trial(base: &TroutConfig, p: &TrialParams) -> TroutConfig {
     let depth = p.get_usize("depth");
     let width = p.get_usize("width");
     // Tapering widths: e.g. depth 3, width 96 -> [96, 64, 43].
-    cfg.regressor_hidden =
-        (0..depth).map(|d| ((width as f64) * 0.67f64.powi(d as i32)) as usize).collect();
+    cfg.regressor_hidden = (0..depth)
+        .map(|d| ((width as f64) * 0.67f64.powi(d as i32)) as usize)
+        .collect();
     cfg.dropout = p.get("dropout") as f32;
     cfg.activation = match p.get_usize("activation") {
         0 => Activation::ELU,
@@ -83,7 +115,11 @@ pub fn config_from_trial(base: &TroutConfig, p: &TrialParams) -> TroutConfig {
 /// The regressor's mean MAPE over the validation folds `val_folds`
 /// (1-based fold numbers of the paper's 5-fold split).
 fn regressor_score(cfg: &TroutConfig, ds: &Dataset, val_folds: &[usize]) -> f64 {
-    let folds = TimeSeriesSplit { n_splits: 5, test_size: Some(ds.len() / 6) }.split(ds.len());
+    let folds = TimeSeriesSplit {
+        n_splits: 5,
+        test_size: Some(ds.len() / 6),
+    }
+    .split(ds.len());
     let trainer = TroutTrainer::new(cfg.clone());
     let mut total = 0.0;
     let mut k = 0usize;
@@ -91,8 +127,10 @@ fn regressor_score(cfg: &TroutConfig, ds: &Dataset, val_folds: &[usize]) -> f64 
         if !val_folds.contains(&(i + 1)) {
             continue;
         }
-        let train_long =
-            fold.train.iter().any(|&r| ds.y_queue_min[r] >= cfg.cutoff_min);
+        let train_long = fold
+            .train
+            .iter()
+            .any(|&r| ds.y_queue_min[r] >= cfg.cutoff_min);
         let test_long: Vec<usize> = fold
             .test
             .iter()
@@ -170,7 +208,10 @@ mod tests {
             assert!((2e-4..=5e-3).contains(&(cfg.lr as f64)));
             assert!((20..=60).contains(&cfg.regressor_epochs));
             assert!((2..=4).contains(&cfg.regressor_hidden.len()));
-            assert!(cfg.regressor_hidden.windows(2).all(|w| w[1] <= w[0]), "widths taper");
+            assert!(
+                cfg.regressor_hidden.windows(2).all(|w| w[1] <= w[0]),
+                "widths taper"
+            );
             assert!((0.0..0.31).contains(&cfg.dropout));
             assert!([128, 256, 512].contains(&cfg.batch_size));
             0.0
@@ -187,10 +228,19 @@ mod tests {
         let (best_cfg, result) = tune_regressor(
             &base,
             &ds,
-            &TunerConfig { n_trials: 4, keep_fraction: 0.5, seed: 1, ..Default::default() },
+            &TunerConfig {
+                n_trials: 4,
+                keep_fraction: 0.5,
+                seed: 1,
+                ..Default::default()
+            },
         );
         assert!(result.best_score.is_finite());
-        assert_eq!(result.history.len(), 2, "survivors re-scored at full budget");
+        assert_eq!(
+            result.history.len(),
+            2,
+            "survivors re-scored at full budget"
+        );
         assert!(!best_cfg.regressor_hidden.is_empty());
     }
 }
@@ -210,7 +260,12 @@ mod tpe_tuner_tests {
         let (best_cfg, result) = tune_regressor(
             &base,
             &ds,
-            &TunerConfig { n_trials: 3, keep_fraction: 0.5, seed: 2, sampler: Sampler::Tpe },
+            &TunerConfig {
+                n_trials: 3,
+                keep_fraction: 0.5,
+                seed: 2,
+                sampler: Sampler::Tpe,
+            },
         );
         assert_eq!(result.history.len(), 3);
         assert!(result.best_score.is_finite());

@@ -1,0 +1,344 @@
+//! Wall-clock micro-benchmarking with a criterion-shaped API (the
+//! workspace's `criterion` replacement).
+//!
+//! Bench targets are plain `harness = false` binaries built from
+//! [`criterion_group!`](crate::criterion_group) /
+//! [`criterion_main!`](crate::criterion_main). Each benchmark calibrates
+//! an iteration count until a sample takes long enough to time reliably,
+//! collects `sample_size` samples, prints a one-line summary and appends
+//! the result to a `BENCH_<group>.json` report under
+//! `$TROUT_BENCH_OUT` (default `target/bench`).
+//!
+//! Setting `TROUT_BENCH_SMOKE=1` (or constructing with
+//! [`Criterion::smoke`]) runs every benchmark for exactly one iteration
+//! with no report, which is how the `bench_smoke` test suite exercises
+//! bench code under `cargo test`.
+
+use crate::json::Json;
+use std::time::Instant;
+
+/// Minimum sample duration the calibrator aims for, in nanoseconds.
+const TARGET_SAMPLE_NS: u128 = 2_000_000;
+
+/// Hard cap on calibrated iterations per sample.
+const MAX_ITERS: u64 = 1 << 20;
+
+/// Opaque value barrier preventing the optimizer from deleting bench
+/// bodies (re-export of `std::hint::black_box`).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifies one benchmark within a group: a function name plus a
+/// parameter rendered into the label (`name/param`).
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id labelled `{name}/{parameter}`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Builds an id from the parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            label: s.to_string(),
+        }
+    }
+}
+
+/// Passed to each benchmark closure; [`Bencher::iter`] times the body.
+pub struct Bencher {
+    iters: u64,
+    elapsed_ns: u128,
+}
+
+impl Bencher {
+    /// Runs `f` for the harness-chosen number of iterations and records
+    /// the elapsed wall-clock time.
+    pub fn iter<T>(&mut self, mut f: impl FnMut() -> T) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed_ns = start.elapsed().as_nanos();
+    }
+}
+
+#[derive(Clone)]
+struct Measurement {
+    label: String,
+    sample_size: usize,
+    iters: u64,
+    mean_ns: f64,
+    min_ns: f64,
+    max_ns: f64,
+}
+
+impl Measurement {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("label".into(), Json::Str(self.label.clone())),
+            ("sample_size".into(), Json::Int(self.sample_size as i128)),
+            ("iters_per_sample".into(), Json::Int(self.iters as i128)),
+            ("mean_ns".into(), Json::Num(self.mean_ns)),
+            ("min_ns".into(), Json::Num(self.min_ns)),
+            ("max_ns".into(), Json::Num(self.max_ns)),
+        ])
+    }
+}
+
+/// Top-level bench context; hands out [`BenchmarkGroup`]s.
+pub struct Criterion {
+    smoke: bool,
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let smoke = std::env::var("TROUT_BENCH_SMOKE").is_ok_and(|v| v == "1");
+        Criterion {
+            smoke,
+            default_sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// A context that runs every benchmark once and writes no report.
+    pub fn smoke() -> Self {
+        Criterion {
+            smoke: true,
+            default_sample_size: 1,
+        }
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.default_sample_size,
+            smoke: self.smoke,
+            results: Vec::new(),
+            finished: false,
+            _criterion: self,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark (its own one-entry group).
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let mut group = self.benchmark_group(name);
+        group.bench_function(name, f);
+        group.finish();
+        drop(group);
+        self
+    }
+}
+
+/// A named set of benchmarks sharing a sample size; writes one
+/// `BENCH_<group>.json` report on [`finish`](BenchmarkGroup::finish).
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    sample_size: usize,
+    smoke: bool,
+    results: Vec<Measurement>,
+    finished: bool,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark under this group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        self.run(id.label, |b| f(b));
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        self.run(id.label, |b| f(b, input));
+        self
+    }
+
+    fn run(&mut self, label: String, mut body: impl FnMut(&mut Bencher)) {
+        if self.smoke {
+            let mut b = Bencher {
+                iters: 1,
+                elapsed_ns: 0,
+            };
+            body(&mut b);
+            eprintln!("bench {}/{label}: smoke ok (1 iteration)", self.name);
+            return;
+        }
+        // Calibrate: double iterations until one sample is long enough.
+        let mut iters = 1u64;
+        loop {
+            let mut b = Bencher {
+                iters,
+                elapsed_ns: 0,
+            };
+            body(&mut b);
+            if b.elapsed_ns >= TARGET_SAMPLE_NS || iters >= MAX_ITERS {
+                break;
+            }
+            iters *= 2;
+        }
+        let mut per_iter: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let mut b = Bencher {
+                iters,
+                elapsed_ns: 0,
+            };
+            body(&mut b);
+            per_iter.push(b.elapsed_ns as f64 / iters as f64);
+        }
+        let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+        let min = per_iter.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = per_iter.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        eprintln!(
+            "bench {}/{label}: mean {:.1} ns/iter (min {:.1}, max {:.1}, {} samples x {} iters)",
+            self.name, mean, min, max, self.sample_size, iters
+        );
+        self.results.push(Measurement {
+            label,
+            sample_size: self.sample_size,
+            iters,
+            mean_ns: mean,
+            min_ns: min,
+            max_ns: max,
+        });
+    }
+
+    /// Writes the group's `BENCH_<group>.json` report.
+    pub fn finish(&mut self) {
+        if self.finished || self.smoke || self.results.is_empty() {
+            self.finished = true;
+            return;
+        }
+        self.finished = true;
+        let dir = std::env::var("TROUT_BENCH_OUT").unwrap_or_else(|_| "target/bench".to_string());
+        let report = Json::Obj(vec![
+            ("group".into(), Json::Str(self.name.clone())),
+            (
+                "benchmarks".into(),
+                Json::Arr(self.results.iter().map(Measurement::to_json).collect()),
+            ),
+        ]);
+        let sanitized: String = self
+            .name
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+            .collect();
+        let path = format!("{dir}/BENCH_{sanitized}.json");
+        if std::fs::create_dir_all(&dir).is_ok() {
+            if let Err(e) = std::fs::write(&path, report.to_string()) {
+                eprintln!("bench {}: could not write {path}: {e}", self.name);
+            } else {
+                eprintln!("bench {}: report written to {path}", self.name);
+            }
+        }
+    }
+}
+
+impl Drop for BenchmarkGroup<'_> {
+    fn drop(&mut self) {
+        self.finish();
+    }
+}
+
+/// Defines a bench group function from one or more `fn(&mut Criterion)`
+/// registrations (criterion-compatible shape).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::bench::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Defines `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_mode_runs_body_exactly_once() {
+        let mut calls = 0u32;
+        let mut c = Criterion::smoke();
+        let mut g = c.benchmark_group("demo");
+        g.bench_function("count", |b| b.iter(|| calls += 1));
+        g.finish();
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn bench_with_input_passes_the_input_through() {
+        let mut c = Criterion::smoke();
+        let mut g = c.benchmark_group("demo");
+        let mut seen = 0u64;
+        g.bench_with_input(BenchmarkId::new("sq", 7u64), &7u64, |b, &n| {
+            b.iter(|| seen = n * n)
+        });
+        g.finish();
+        assert_eq!(seen, 49);
+    }
+
+    #[test]
+    fn benchmark_id_formats_name_and_parameter() {
+        assert_eq!(BenchmarkId::new("query", 1024).label, "query/1024");
+        assert_eq!(BenchmarkId::from_parameter("x").label, "x");
+    }
+
+    #[test]
+    fn measurement_serializes_to_json() {
+        let m = Measurement {
+            label: "q/1".to_string(),
+            sample_size: 10,
+            iters: 4,
+            mean_ns: 12.5,
+            min_ns: 10.0,
+            max_ns: 15.0,
+        };
+        let j = m.to_json().to_string();
+        assert!(j.contains("\"label\":\"q/1\""), "{j}");
+        assert!(j.contains("\"mean_ns\":12.5"), "{j}");
+    }
+}

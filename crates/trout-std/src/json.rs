@@ -1,0 +1,819 @@
+//! Minimal JSON value, parser and writer plus the [`ToJson`]/[`FromJson`]
+//! traits (the workspace's `serde`/`serde_json` replacement).
+//!
+//! Structs and unit-variant enums get their impls from
+//! [`impl_json_struct!`](crate::impl_json_struct) and
+//! [`impl_json_enum!`](crate::impl_json_enum); data-carrying enum variants
+//! are implemented by hand in their defining crates. The wire format
+//! follows serde's defaults (struct → object keyed by field name, unit
+//! variant → string, data variant → externally tagged object), so
+//! checkpoints written by the seed code parse unchanged.
+//!
+//! Numbers: integers are kept as `i128` so `u64` seeds and job ids round
+//! trip exactly; floats write their shortest round-trip decimal form, with
+//! `f32` widened to `f64` first so the reparsed value is bit-identical.
+//! Non-finite floats serialize as `null` and parse back as NaN.
+
+use std::fmt;
+
+/// A parsed JSON document.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An integer literal (no `.` or exponent).
+    Int(i128),
+    /// A floating-point literal.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; insertion order is preserved.
+    Obj(Vec<(String, Json)>),
+}
+
+/// Error produced by parsing or by [`FromJson`] conversions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JsonError(pub String);
+
+impl JsonError {
+    /// Creates an error with the given message.
+    pub fn new(msg: impl Into<String>) -> Self {
+        JsonError(msg.into())
+    }
+
+    /// Wraps the error with the field it occurred in.
+    pub fn in_field(self, field: &str) -> Self {
+        JsonError(format!("{field}: {}", self.0))
+    }
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json error: {}", self.0)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+impl Json {
+    /// Parses a JSON document.
+    pub fn parse(text: &str) -> Result<Json, JsonError> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+            depth: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(JsonError::new(format!("trailing data at byte {}", p.pos)));
+        }
+        Ok(v)
+    }
+
+    /// Member lookup on an object; `None` for missing keys or non-objects.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Mutable access to an object's members.
+    pub fn as_object_mut(&mut self) -> Option<&mut Vec<(String, Json)>> {
+        match self {
+            Json::Obj(members) => Some(members),
+            _ => None,
+        }
+    }
+
+    /// Removes (and returns) an object member by key.
+    pub fn remove(&mut self, key: &str) -> Option<Json> {
+        let members = self.as_object_mut()?;
+        let i = members.iter().position(|(k, _)| k == key)?;
+        Some(members.remove(i).1)
+    }
+
+    /// The members of an object, or an error naming the expected type.
+    pub fn expect_obj(&self, what: &str) -> Result<&[(String, Json)], JsonError> {
+        match self {
+            Json::Obj(members) => Ok(members),
+            other => Err(JsonError::new(format!(
+                "{what}: expected object, got {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// The elements of an array, or an error naming the expected type.
+    pub fn expect_arr(&self, what: &str) -> Result<&[Json], JsonError> {
+        match self {
+            Json::Arr(items) => Ok(items),
+            other => Err(JsonError::new(format!(
+                "{what}: expected array, got {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    fn kind(&self) -> &'static str {
+        match self {
+            Json::Null => "null",
+            Json::Bool(_) => "bool",
+            Json::Int(_) => "integer",
+            Json::Num(_) => "number",
+            Json::Str(_) => "string",
+            Json::Arr(_) => "array",
+            Json::Obj(_) => "object",
+        }
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(i) => {
+                out.push_str(&i.to_string());
+            }
+            Json::Num(x) => {
+                if x.is_finite() {
+                    let s = x.to_string();
+                    out.push_str(&s);
+                    // Keep a float marker so integral floats stay floats.
+                    if !s.contains(['.', 'e', 'E']) {
+                        out.push_str(".0");
+                    }
+                } else {
+                    // serde_json refuses NaN/inf; we degrade to null (read
+                    // back as NaN) so a poisoned model still checkpoints.
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_string(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    v.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(members) => {
+                out.push('{');
+                for (i, (k, v)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_string(k, out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut s = String::new();
+        self.write(&mut s);
+        f.write_str(&s)
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+const MAX_DEPTH: usize = 128;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    depth: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(JsonError::new(format!(
+                "expected '{}' at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(JsonError::new(format!(
+                "invalid literal at byte {}",
+                self.pos
+            )))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, JsonError> {
+        if self.depth >= MAX_DEPTH {
+            return Err(JsonError::new("nesting too deep"));
+        }
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'[') => {
+                self.depth += 1;
+                self.pos += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    self.depth -= 1;
+                    return Ok(Json::Arr(items));
+                }
+                loop {
+                    self.skip_ws();
+                    items.push(self.value()?);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b']') => {
+                            self.pos += 1;
+                            break;
+                        }
+                        _ => {
+                            return Err(JsonError::new(format!(
+                                "expected ',' or ']' at byte {}",
+                                self.pos
+                            )))
+                        }
+                    }
+                }
+                self.depth -= 1;
+                Ok(Json::Arr(items))
+            }
+            Some(b'{') => {
+                self.depth += 1;
+                self.pos += 1;
+                let mut members = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    self.depth -= 1;
+                    return Ok(Json::Obj(members));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.string()?;
+                    self.skip_ws();
+                    self.eat(b':')?;
+                    self.skip_ws();
+                    let val = self.value()?;
+                    members.push((key, val));
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b'}') => {
+                            self.pos += 1;
+                            break;
+                        }
+                        _ => {
+                            return Err(JsonError::new(format!(
+                                "expected ',' or '}}' at byte {}",
+                                self.pos
+                            )))
+                        }
+                    }
+                }
+                self.depth -= 1;
+                Ok(Json::Obj(members))
+            }
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(JsonError::new(format!(
+                "unexpected input at byte {}",
+                self.pos
+            ))),
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        let mut is_float = false;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| JsonError::new("invalid utf-8 in number"))?;
+        if !is_float {
+            if let Ok(i) = text.parse::<i128>() {
+                return Ok(Json::Int(i));
+            }
+        }
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| JsonError::new(format!("invalid number '{text}' at byte {start}")))
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(JsonError::new("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self
+                        .peek()
+                        .ok_or_else(|| JsonError::new("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hi = self.hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair.
+                                self.eat(b'\\')?;
+                                self.eat(b'u')?;
+                                let lo = self.hex4()?;
+                                let combined = 0x10000
+                                    + ((hi - 0xD800) << 10)
+                                    + (lo.wrapping_sub(0xDC00) & 0x3FF);
+                                char::from_u32(combined)
+                            } else {
+                                char::from_u32(hi)
+                            };
+                            out.push(c.ok_or_else(|| JsonError::new("invalid \\u escape"))?);
+                        }
+                        other => {
+                            return Err(JsonError::new(format!(
+                                "invalid escape '\\{}'",
+                                other as char
+                            )))
+                        }
+                    }
+                }
+                Some(_) => {
+                    // Consume one UTF-8 code point.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| JsonError::new("invalid utf-8 in string"))?;
+                    let c = rest.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        if self.pos + 4 > self.bytes.len() {
+            return Err(JsonError::new("truncated \\u escape"));
+        }
+        let text = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+            .map_err(|_| JsonError::new("invalid \\u escape"))?;
+        self.pos += 4;
+        u32::from_str_radix(text, 16).map_err(|_| JsonError::new("invalid \\u escape"))
+    }
+}
+
+/// Serialization into a [`Json`] value.
+pub trait ToJson {
+    /// Converts `self` to a JSON value.
+    fn to_json(&self) -> Json;
+
+    /// Convenience: the compact JSON text.
+    fn to_json_string(&self) -> String {
+        self.to_json().to_string()
+    }
+}
+
+/// Deserialization from a [`Json`] value.
+pub trait FromJson: Sized {
+    /// Reconstructs a value from JSON.
+    fn from_json(j: &Json) -> Result<Self, JsonError>;
+
+    /// Reconstructs from an optional object member. The default requires
+    /// the field to be present; `Option<T>` overrides this so missing
+    /// members read as `None` (serde's behaviour for `Option` fields).
+    fn from_json_field(v: Option<&Json>, ctx: &str) -> Result<Self, JsonError> {
+        match v {
+            Some(j) => Self::from_json(j).map_err(|e| e.in_field(ctx)),
+            None => Err(JsonError::new(format!("missing field {ctx}"))),
+        }
+    }
+
+    /// Convenience: parse text then convert.
+    fn from_json_str(s: &str) -> Result<Self, JsonError> {
+        Self::from_json(&Json::parse(s)?)
+    }
+}
+
+macro_rules! impl_json_int {
+    ($($ty:ty),+) => {
+        $(
+            impl ToJson for $ty {
+                fn to_json(&self) -> Json {
+                    Json::Int(*self as i128)
+                }
+            }
+            impl FromJson for $ty {
+                fn from_json(j: &Json) -> Result<Self, JsonError> {
+                    match j {
+                        Json::Int(i) => <$ty>::try_from(*i)
+                            .map_err(|_| JsonError::new(format!("{} out of range for {}", i, stringify!($ty)))),
+                        Json::Num(x) if x.fract() == 0.0 => Ok(*x as $ty),
+                        other => Err(JsonError::new(format!("expected integer, got {}", other.kind()))),
+                    }
+                }
+            }
+        )+
+    };
+}
+
+impl_json_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64);
+
+impl ToJson for f64 {
+    fn to_json(&self) -> Json {
+        Json::Num(*self)
+    }
+}
+
+impl FromJson for f64 {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        match j {
+            Json::Num(x) => Ok(*x),
+            Json::Int(i) => Ok(*i as f64),
+            Json::Null => Ok(f64::NAN),
+            other => Err(JsonError::new(format!(
+                "expected number, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl ToJson for f32 {
+    fn to_json(&self) -> Json {
+        // Widen so the decimal form is the exact f64 of this f32 — parsing
+        // back and narrowing returns the identical bits.
+        Json::Num(*self as f64)
+    }
+}
+
+impl FromJson for f32 {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        f64::from_json(j).map(|x| x as f32)
+    }
+}
+
+impl ToJson for bool {
+    fn to_json(&self) -> Json {
+        Json::Bool(*self)
+    }
+}
+
+impl FromJson for bool {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        match j {
+            Json::Bool(b) => Ok(*b),
+            other => Err(JsonError::new(format!(
+                "expected bool, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> Json {
+        Json::Str(self.clone())
+    }
+}
+
+impl FromJson for String {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        match j {
+            Json::Str(s) => Ok(s.clone()),
+            other => Err(JsonError::new(format!(
+                "expected string, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl ToJson for str {
+    fn to_json(&self) -> Json {
+        Json::Str(self.to_string())
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: FromJson> FromJson for Vec<T> {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        j.expect_arr("Vec")?.iter().map(T::from_json).collect()
+    }
+}
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json(&self) -> Json {
+        match self {
+            Some(v) => v.to_json(),
+            None => Json::Null,
+        }
+    }
+}
+
+impl<T: FromJson> FromJson for Option<T> {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        match j {
+            Json::Null => Ok(None),
+            other => T::from_json(other).map(Some),
+        }
+    }
+
+    fn from_json_field(v: Option<&Json>, ctx: &str) -> Result<Self, JsonError> {
+        match v {
+            None => Ok(None),
+            Some(j) => Self::from_json(j).map_err(|e| e.in_field(ctx)),
+        }
+    }
+}
+
+impl<A: ToJson, B: ToJson> ToJson for (A, B) {
+    fn to_json(&self) -> Json {
+        Json::Arr(vec![self.0.to_json(), self.1.to_json()])
+    }
+}
+
+impl<A: FromJson, B: FromJson> FromJson for (A, B) {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        let items = j.expect_arr("pair")?;
+        if items.len() != 2 {
+            return Err(JsonError::new(format!(
+                "expected 2-element array, got {}",
+                items.len()
+            )));
+        }
+        Ok((A::from_json(&items[0])?, B::from_json(&items[1])?))
+    }
+}
+
+/// Looks up `key` in an object's member list (macro support).
+pub fn obj_get<'a>(members: &'a [(String, Json)], key: &str) -> Option<&'a Json> {
+    members.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+/// Implements [`ToJson`]/[`FromJson`] for a struct, serializing the listed
+/// fields as a JSON object keyed by field name (serde's default layout).
+/// Invoke in the crate that defines the type; private fields are fine.
+#[macro_export]
+macro_rules! impl_json_struct {
+    ($ty:ident { $($field:ident),+ $(,)? }) => {
+        impl $crate::json::ToJson for $ty {
+            fn to_json(&self) -> $crate::json::Json {
+                $crate::json::Json::Obj(vec![
+                    $( (stringify!($field).to_string(), $crate::json::ToJson::to_json(&self.$field)), )+
+                ])
+            }
+        }
+        impl $crate::json::FromJson for $ty {
+            fn from_json(j: &$crate::json::Json) -> Result<Self, $crate::json::JsonError> {
+                let members = j.expect_obj(stringify!($ty))?;
+                Ok($ty {
+                    $( $field: $crate::json::FromJson::from_json_field(
+                        $crate::json::obj_get(members, stringify!($field)),
+                        concat!(stringify!($ty), ".", stringify!($field)),
+                    )?, )+
+                })
+            }
+        }
+    };
+}
+
+/// Implements [`ToJson`]/[`FromJson`] for an enum of unit variants,
+/// serializing each as its name string (serde's default layout).
+#[macro_export]
+macro_rules! impl_json_enum {
+    ($ty:ident { $($variant:ident),+ $(,)? }) => {
+        impl $crate::json::ToJson for $ty {
+            fn to_json(&self) -> $crate::json::Json {
+                match self {
+                    $( $ty::$variant => $crate::json::Json::Str(stringify!($variant).to_string()), )+
+                }
+            }
+        }
+        impl $crate::json::FromJson for $ty {
+            fn from_json(j: &$crate::json::Json) -> Result<Self, $crate::json::JsonError> {
+                match j {
+                    $( $crate::json::Json::Str(s) if s == stringify!($variant) => Ok($ty::$variant), )+
+                    other => Err($crate::json::JsonError::new(format!(
+                        "invalid {} variant: {}", stringify!($ty), other
+                    ))),
+                }
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    struct Demo {
+        name: String,
+        count: u64,
+        ratio: f32,
+        tags: Vec<i64>,
+        maybe: Option<f64>,
+    }
+
+    impl_json_struct!(Demo {
+        name,
+        count,
+        ratio,
+        tags,
+        maybe
+    });
+
+    #[derive(Debug, Clone, Copy, PartialEq)]
+    enum Mode {
+        Fast,
+        Careful,
+    }
+
+    impl_json_enum!(Mode { Fast, Careful });
+
+    #[test]
+    fn struct_round_trip_is_exact() {
+        let d = Demo {
+            name: "α \"quoted\"\nline".to_string(),
+            count: u64::MAX,
+            ratio: 0.1,
+            tags: vec![-3, 0, 9_007_199_254_740_993],
+            maybe: None,
+        };
+        let text = d.to_json_string();
+        let back = Demo::from_json_str(&text).unwrap();
+        assert_eq!(back, d);
+    }
+
+    #[test]
+    fn f32_round_trips_bit_exactly() {
+        for bits in [
+            0x3DCC_CCCDu32,
+            0x0000_0001,
+            0x7F7F_FFFF,
+            0x8000_0000,
+            0x4049_0FDB,
+        ] {
+            let x = f32::from_bits(bits);
+            let text = x.to_json_string();
+            let back = f32::from_json_str(&text).unwrap();
+            assert_eq!(back.to_bits(), x.to_bits(), "{x} via {text}");
+        }
+    }
+
+    #[test]
+    fn non_finite_floats_degrade_to_null() {
+        assert_eq!(f64::NAN.to_json_string(), "null");
+        assert!(f64::from_json_str("null").unwrap().is_nan());
+    }
+
+    #[test]
+    fn missing_option_field_reads_as_none() {
+        let back = Demo::from_json_str(r#"{"name":"x","count":1,"ratio":2.0,"tags":[]}"#).unwrap();
+        assert_eq!(back.maybe, None);
+    }
+
+    #[test]
+    fn missing_required_field_errors() {
+        let err = Demo::from_json_str(r#"{"name":"x"}"#).unwrap_err();
+        assert!(err.0.contains("Demo.count"), "{err}");
+    }
+
+    #[test]
+    fn unit_enum_round_trips() {
+        assert_eq!(Mode::Fast.to_json_string(), "\"Fast\"");
+        assert_eq!(Mode::from_json_str("\"Careful\"").unwrap(), Mode::Careful);
+        assert!(Mode::from_json_str("\"Slow\"").is_err());
+    }
+
+    #[test]
+    fn parser_handles_escapes_and_unicode() {
+        let v = Json::parse(r#""aé\n\t\"\\A 😀""#).unwrap();
+        assert_eq!(v, Json::Str("aé\n\t\"\\A 😀".to_string()));
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "tru",
+            "\"unterminated",
+            "{\"a\":}",
+            "1 2",
+            "{'a':1}",
+        ] {
+            assert!(Json::parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn numbers_parse_by_shape() {
+        assert_eq!(Json::parse("42").unwrap(), Json::Int(42));
+        assert_eq!(Json::parse("-7").unwrap(), Json::Int(-7));
+        assert_eq!(Json::parse("42.0").unwrap(), Json::Num(42.0));
+        assert_eq!(Json::parse("1e3").unwrap(), Json::Num(1000.0));
+        assert_eq!(
+            Json::parse("18446744073709551615").unwrap(),
+            Json::Int(u64::MAX as i128)
+        );
+    }
+
+    #[test]
+    fn object_helpers_work() {
+        let mut v = Json::parse(r#"{"a":1,"b":2}"#).unwrap();
+        assert_eq!(v.get("a"), Some(&Json::Int(1)));
+        assert_eq!(v.remove("a"), Some(Json::Int(1)));
+        assert_eq!(v.get("a"), None);
+        assert_eq!(v.to_string(), r#"{"b":2}"#);
+    }
+
+    #[test]
+    fn nested_value_round_trips_through_text() {
+        let text = r#"{"cluster":{"name":"anvil","partitions":[{"name":"shared","whole_node":false}]},"records":[],"x":[1,2.5,null,true,"s"]}"#;
+        let v = Json::parse(text).unwrap();
+        assert_eq!(Json::parse(&v.to_string()).unwrap(), v);
+    }
+}

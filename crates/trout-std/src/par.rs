@@ -1,0 +1,170 @@
+//! Scoped-thread data parallelism (the workspace's `rayon` replacement).
+//!
+//! All helpers split the work into contiguous blocks, one per worker, and
+//! reassemble results in input order, so output is bit-identical for any
+//! thread count — the determinism guarantee the end-to-end tests assert.
+//!
+//! The worker count is `min(TROUT_THREADS, work items)`, falling back to
+//! `std::thread::available_parallelism()` when the variable is unset or
+//! unparsable. `TROUT_THREADS=1` forces fully serial execution.
+
+use std::panic;
+
+/// Number of worker threads to use for `items` units of work.
+pub fn thread_count(items: usize) -> usize {
+    let configured = std::env::var("TROUT_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        });
+    configured.min(items).max(1)
+}
+
+/// Parallel map over a slice, preserving order.
+pub fn par_map<T: Sync, U: Send>(items: &[T], f: impl Fn(&T) -> U + Sync) -> Vec<U> {
+    let threads = thread_count(items.len());
+    if threads <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let block = items.len().div_ceil(threads);
+    let f = &f;
+    let mut out: Vec<Vec<U>> = Vec::with_capacity(threads);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = items
+            .chunks(block)
+            .map(|c| s.spawn(move || c.iter().map(f).collect::<Vec<U>>()))
+            .collect();
+        for h in handles {
+            out.push(h.join().unwrap_or_else(|e| panic::resume_unwind(e)));
+        }
+    });
+    out.into_iter().flatten().collect()
+}
+
+/// Parallel map over the index range `0..n`, preserving order.
+pub fn par_map_range<U: Send>(n: usize, f: impl Fn(usize) -> U + Sync) -> Vec<U> {
+    let threads = thread_count(n);
+    if threads <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let block = n.div_ceil(threads);
+    let f = &f;
+    let mut out: Vec<Vec<U>> = Vec::with_capacity(threads);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..n)
+            .step_by(block)
+            .map(|lo| {
+                let hi = (lo + block).min(n);
+                s.spawn(move || (lo..hi).map(f).collect::<Vec<U>>())
+            })
+            .collect();
+        for h in handles {
+            out.push(h.join().unwrap_or_else(|e| panic::resume_unwind(e)));
+        }
+    });
+    out.into_iter().flatten().collect()
+}
+
+/// Runs `f(chunk_index, chunk)` over every complete `size`-element chunk of
+/// `data` (trailing partial chunks are ignored, matching
+/// `chunks_exact_mut`), in parallel.
+pub fn par_chunks_mut<T: Send>(data: &mut [T], size: usize, f: impl Fn(usize, &mut [T]) + Sync) {
+    assert!(size > 0, "chunk size must be positive");
+    let nchunks = data.len() / size;
+    let threads = thread_count(nchunks);
+    if threads <= 1 {
+        for (i, c) in data.chunks_exact_mut(size).enumerate() {
+            f(i, c);
+        }
+        return;
+    }
+    let per_thread = nchunks.div_ceil(threads);
+    let f = &f;
+    std::thread::scope(|s| {
+        let mut rest = &mut data[..nchunks * size];
+        let mut base = 0usize;
+        while !rest.is_empty() {
+            let take = (per_thread * size).min(rest.len());
+            let (block, tail) = rest.split_at_mut(take);
+            rest = tail;
+            s.spawn(move || {
+                for (j, c) in block.chunks_exact_mut(size).enumerate() {
+                    f(base + j, c);
+                }
+            });
+            base += take / size;
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_preserves_order() {
+        let items: Vec<u64> = (0..1_000).collect();
+        let got = par_map(&items, |&x| x * x);
+        let want: Vec<u64> = items.iter().map(|&x| x * x).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn par_map_range_matches_serial() {
+        let got = par_map_range(513, |i| i as i64 - 7);
+        let want: Vec<i64> = (0..513).map(|i| i as i64 - 7).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn par_map_handles_empty_and_single() {
+        assert_eq!(par_map(&[] as &[u8], |&x| x), Vec::<u8>::new());
+        assert_eq!(par_map(&[5u8], |&x| x + 1), vec![6]);
+    }
+
+    #[test]
+    fn par_chunks_mut_touches_only_complete_chunks() {
+        let mut data: Vec<usize> = vec![0; 10];
+        par_chunks_mut(&mut data, 3, |i, chunk| {
+            for v in chunk.iter_mut() {
+                *v = i + 1;
+            }
+        });
+        assert_eq!(data, vec![1, 1, 1, 2, 2, 2, 3, 3, 3, 0]);
+    }
+
+    #[test]
+    fn par_chunks_mut_matches_serial_for_large_input() {
+        let n = 257;
+        let size = 5;
+        let mut a: Vec<u64> = (0..(n * size) as u64).collect();
+        let mut b = a.clone();
+        par_chunks_mut(&mut a, size, |i, chunk| {
+            for v in chunk.iter_mut() {
+                *v = v.wrapping_mul(i as u64 + 1);
+            }
+        });
+        for (i, c) in b.chunks_exact_mut(size).enumerate() {
+            for v in c.iter_mut() {
+                *v = v.wrapping_mul(i as u64 + 1);
+            }
+        }
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn worker_panics_propagate() {
+        let items: Vec<usize> = (0..64).collect();
+        let result = std::panic::catch_unwind(|| {
+            par_map(&items, |&x| {
+                assert!(x != 40, "boom at 40");
+                x
+            })
+        });
+        assert!(result.is_err());
+    }
+}

@@ -1,3 +1,10 @@
+//! Deterministic pseudo-random generators (the workspace's `rand`
+//! replacement). [`SplitMix64`] is the workhorse used by workload
+//! generation, SMOTE, kNN tie-breaking and NN weight initialization;
+//! [`Pcg32`] is a second, statistically independent family used where a
+//! stream must not correlate with SplitMix output (e.g. stress tests of
+//! the property harness itself).
+
 /// SplitMix64: a tiny, high-quality, splittable pseudo-random generator
 /// (Steele, Lea & Flood, OOPSLA 2014). Used everywhere a deterministic,
 /// seed-reproducible stream is needed — weight initialization, dropout masks,
@@ -65,12 +72,62 @@ impl SplitMix64 {
         lo + (hi - lo) * self.next_f32()
     }
 
+    /// Uniform `i64` in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    #[inline]
+    pub fn gen_range_i64(&mut self, lo: i64, hi: i64) -> i64 {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        lo.wrapping_add(self.next_below(hi.wrapping_sub(lo) as u64) as i64)
+    }
+
+    /// Uniform `u64` in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    #[inline]
+    pub fn gen_range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        lo + self.next_below(hi - lo)
+    }
+
+    /// Uniform `usize` in `[lo, hi)`.
+    #[inline]
+    pub fn gen_range_usize(&mut self, lo: usize, hi: usize) -> usize {
+        self.gen_range_u64(lo as u64, hi as u64) as usize
+    }
+
+    /// Uniform `f64` in `[lo, hi)`.
+    #[inline]
+    pub fn gen_range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.next_f64()
+    }
+
+    /// Bernoulli draw: `true` with probability `p`.
+    #[inline]
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
     /// Standard normal sample via the Box–Muller transform.
     pub fn normal(&mut self) -> f64 {
         // Draw u1 in (0,1] to keep ln finite.
         let u1 = 1.0 - self.next_f64();
         let u2 = self.next_f64();
         (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+
+    /// Exponential sample with the given rate (inverse-CDF method).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate <= 0`.
+    pub fn exponential(&mut self, rate: f64) -> f64 {
+        assert!(rate > 0.0, "rate must be positive");
+        -(1.0 - self.next_f64()).ln() / rate
     }
 
     /// Forks an independent generator (the "split" in SplitMix).
@@ -111,6 +168,75 @@ impl SplitMix64 {
     }
 }
 
+/// PCG32 (XSH-RR variant, O'Neill 2014): 64-bit state, 32-bit output.
+/// A second generator family whose streams are independent of
+/// [`SplitMix64`]'s for the same seed.
+#[derive(Debug, Clone)]
+pub struct Pcg32 {
+    state: u64,
+    inc: u64,
+}
+
+impl Pcg32 {
+    const MULT: u64 = 6_364_136_223_846_793_005;
+
+    /// Creates a generator from a seed and stream id.
+    pub fn new(seed: u64, stream: u64) -> Self {
+        let mut rng = Pcg32 {
+            state: 0,
+            inc: (stream << 1) | 1,
+        };
+        rng.next_u32();
+        rng.state = rng.state.wrapping_add(seed);
+        rng.next_u32();
+        rng
+    }
+
+    /// Next raw 32-bit output.
+    #[inline]
+    pub fn next_u32(&mut self) -> u32 {
+        let old = self.state;
+        self.state = old.wrapping_mul(Self::MULT).wrapping_add(self.inc);
+        let xorshifted = (((old >> 18) ^ old) >> 27) as u32;
+        let rot = (old >> 59) as u32;
+        xorshifted.rotate_right(rot)
+    }
+
+    /// Next raw 64-bit output (two 32-bit draws).
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        (self.next_u32() as u64) << 32 | self.next_u32() as u64
+    }
+
+    /// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    #[inline]
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        let mut x = self.next_u64();
+        let mut m = (x as u128) * (bound as u128);
+        let mut low = m as u64;
+        if low < bound {
+            let threshold = bound.wrapping_neg() % bound;
+            while low < threshold {
+                x = self.next_u64();
+                m = (x as u128) * (bound as u128);
+                low = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -148,8 +274,32 @@ mod tests {
             counts[rng.next_below(10) as usize] += 1;
         }
         for &c in &counts {
-            assert!((8_000..12_000).contains(&c), "bucket count {c} far from uniform");
+            assert!(
+                (8_000..12_000).contains(&c),
+                "bucket count {c} far from uniform"
+            );
         }
+    }
+
+    #[test]
+    fn gen_range_covers_bounds() {
+        let mut rng = SplitMix64::new(21);
+        let mut saw_lo = false;
+        let mut saw_hi = false;
+        for _ in 0..10_000 {
+            let v = rng.gen_range_i64(-3, 3);
+            assert!((-3..3).contains(&v));
+            saw_lo |= v == -3;
+            saw_hi |= v == 2;
+        }
+        assert!(saw_lo && saw_hi);
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = SplitMix64::new(33);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((23_000..27_000).contains(&hits), "{hits}");
     }
 
     #[test]
@@ -169,6 +319,15 @@ mod tests {
     }
 
     #[test]
+    fn exponential_mean_is_inverse_rate() {
+        let mut rng = SplitMix64::new(13);
+        let n = 200_000;
+        let sum: f64 = (0..n).map(|_| rng.exponential(2.0)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
     fn shuffle_is_permutation() {
         let mut rng = SplitMix64::new(3);
         let mut v: Vec<u32> = (0..50).collect();
@@ -176,7 +335,11 @@ mod tests {
         let mut sorted = v.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..50).collect::<Vec<u32>>());
-        assert_ne!(v, (0..50).collect::<Vec<u32>>(), "shuffle left slice in order (astronomically unlikely)");
+        assert_ne!(
+            v,
+            (0..50).collect::<Vec<u32>>(),
+            "shuffle left slice in order (astronomically unlikely)"
+        );
     }
 
     #[test]
@@ -201,5 +364,26 @@ mod tests {
         let a: Vec<u64> = (0..8).map(|_| parent.next_u64()).collect();
         let b: Vec<u64> = (0..8).map(|_| child.next_u64()).collect();
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn pcg32_is_deterministic_and_differs_from_splitmix() {
+        let mut a = Pcg32::new(42, 1);
+        let mut b = Pcg32::new(42, 1);
+        let mut sm = SplitMix64::new(42);
+        let xs: Vec<u64> = (0..16).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..16).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..16).map(|_| sm.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn pcg32_streams_are_distinct() {
+        let mut a = Pcg32::new(7, 1);
+        let mut b = Pcg32::new(7, 2);
+        let xs: Vec<u32> = (0..8).map(|_| a.next_u32()).collect();
+        let ys: Vec<u32> = (0..8).map(|_| b.next_u32()).collect();
+        assert_ne!(xs, ys);
     }
 }

@@ -1,13 +1,11 @@
 //! Cluster topology: partitions, node shapes, and the Anvil-like layout.
 
-use serde::{Deserialize, Serialize};
-
 /// Static description of one SLURM partition.
 ///
 /// On Anvil, CPU partitions overlap on the same physical nodes while the GPU
 /// partition is isolated (§I). We model that by giving each partition a
 /// `node_pool` id: partitions with the same pool compete for the same nodes.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PartitionSpec {
     /// Partition name, e.g. `"shared"`.
     pub name: String,
@@ -29,6 +27,18 @@ pub struct PartitionSpec {
     pub whole_node: bool,
 }
 
+trout_std::impl_json_struct!(PartitionSpec {
+    name,
+    node_pool,
+    total_nodes,
+    cpus_per_node,
+    mem_per_node_gb,
+    gpus_per_node,
+    priority_tier,
+    max_timelimit_min,
+    whole_node
+});
+
 impl PartitionSpec {
     /// Total CPU cores in the partition.
     pub fn total_cpus(&self) -> u64 {
@@ -47,13 +57,15 @@ impl PartitionSpec {
 }
 
 /// A cluster: a set of partitions over shared node pools.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ClusterSpec {
     /// Cluster name (used in trace headers).
     pub name: String,
     /// Partitions, indexed by [`JobRequest::partition`](crate::JobRequest).
     pub partitions: Vec<PartitionSpec>,
 }
+
+trout_std::impl_json_struct!(ClusterSpec { name, partitions });
 
 impl ClusterSpec {
     /// An Anvil-like cluster, scaled down from the real machine (1000 × 128

@@ -53,7 +53,10 @@ impl LogNormal {
     pub fn from_median_mean(median: f64, mean: f64) -> Self {
         assert!(median > 0.0 && mean >= median, "need 0 < median <= mean");
         let sigma = (2.0 * (mean / median).ln()).sqrt();
-        LogNormal { mu: median.ln(), sigma }
+        LogNormal {
+            mu: median.ln(),
+            sigma,
+        }
     }
 
     /// Draws one sample.
@@ -244,7 +247,10 @@ mod tests {
         // Weekday afternoon busier than weekday night.
         let afternoon = diurnal_factor(15 * 3600);
         let night = diurnal_factor(4 * 3600);
-        assert!(afternoon > 2.0 * night, "afternoon {afternoon} night {night}");
+        assert!(
+            afternoon > 2.0 * night,
+            "afternoon {afternoon} night {night}"
+        );
         // Weekends quieter than weekdays at the same hour.
         let saturday = diurnal_factor(5 * 86_400 + 15 * 3600);
         assert!(saturday < afternoon);

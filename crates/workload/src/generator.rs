@@ -1,6 +1,5 @@
 //! The workload generator: arrival process, job shapes, campaigns.
 
-use serde::{Deserialize, Serialize};
 use trout_linalg::SplitMix64;
 
 use crate::cluster::ClusterSpec;
@@ -9,7 +8,7 @@ use crate::request::{JobRequest, Qos};
 use crate::users::UserPopulation;
 
 /// Configuration for one synthetic trace.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct WorkloadConfig {
     /// Number of jobs to emit.
     pub jobs: usize,
@@ -35,6 +34,18 @@ pub struct WorkloadConfig {
     /// Cap on campaign burst size ("tens or hundreds" of jobs, §III).
     pub max_campaign: usize,
 }
+
+trout_std::impl_json_struct!(WorkloadConfig {
+    jobs,
+    users,
+    seed,
+    events_per_hour,
+    partition_mix,
+    deferred_fraction,
+    hidden_delay_fraction,
+    cancel_fraction,
+    max_campaign
+});
 
 impl WorkloadConfig {
     /// Anvil-like defaults for a trace of `jobs` jobs.
@@ -175,8 +186,7 @@ impl WorkloadGenerator {
         // Requested walltime: log-normal matched to Table I (median 4 h,
         // mean 12.55 h), truncated to the partition limit and >= 10 min.
         let tl_dist = LogNormal::from_median_mean(240.0, 753.0);
-        let timelimit_min =
-            (tl_dist.sample(rng) as u32).clamp(10, spec.max_timelimit_min);
+        let timelimit_min = (tl_dist.sample(rng) as u32).clamp(10, spec.max_timelimit_min);
 
         let (req_nodes, req_cpus, req_mem_gb, req_gpus) = self.sample_shape(partition, rng);
 
@@ -186,7 +196,15 @@ impl WorkloadGenerator {
             _ => Qos::Normal,
         };
 
-        JobTemplate { partition: partition as u32, timelimit_min, req_nodes, req_cpus, req_mem_gb, req_gpus, qos }
+        JobTemplate {
+            partition: partition as u32,
+            timelimit_min,
+            req_nodes,
+            req_cpus,
+            req_mem_gb,
+            req_gpus,
+            qos,
+        }
     }
 
     /// Partition-conditioned resource shapes.
@@ -250,8 +268,7 @@ impl WorkloadGenerator {
             1 + rng.next_below(5) as u32
         } else {
             let frac = (usage.sample(rng) * p.usage_bias).clamp(0.0005, 1.0);
-            ((template.timelimit_min as f64 * frac).round() as u32)
-                .clamp(1, template.timelimit_min)
+            ((template.timelimit_min as f64 * frac).round() as u32).clamp(1, template.timelimit_min)
         };
 
         let hidden_delay_min = if rng.next_f64() < self.config.hidden_delay_fraction {
@@ -263,14 +280,13 @@ impl WorkloadGenerator {
 
         // Short-circuit so the RNG stream (and therefore every calibrated
         // seed) is untouched unless cancellations are enabled.
-        let cancel_after_min = if self.config.cancel_fraction > 0.0
-            && rng.next_f64() < self.config.cancel_fraction
-        {
-            let d = LogNormal::from_median_mean(20.0, 120.0).sample(rng);
-            (d.round() as u32).clamp(1, 7 * 24 * 60)
-        } else {
-            0
-        };
+        let cancel_after_min =
+            if self.config.cancel_fraction > 0.0 && rng.next_f64() < self.config.cancel_fraction {
+                let d = LogNormal::from_median_mean(20.0, 120.0).sample(rng);
+                (d.round() as u32).clamp(1, 7 * 24 * 60)
+            } else {
+                0
+            };
 
         let eligible_time = if rng.next_f64() < self.config.deferred_fraction {
             submit_time + 60 + rng.next_below(24 * 3600) as i64
@@ -353,10 +369,19 @@ mod tests {
         for j in &jobs {
             let spec = &cluster.partitions[j.partition as usize];
             assert!(j.req_nodes >= 1 && j.req_nodes <= spec.total_nodes, "{j:?}");
-            assert!(j.req_cpus >= 1 && j.req_cpus <= spec.total_cpus() as u32, "{j:?}");
+            assert!(
+                j.req_cpus >= 1 && j.req_cpus <= spec.total_cpus() as u32,
+                "{j:?}"
+            );
             assert!(j.req_gpus <= spec.total_gpus() as u32, "{j:?}");
-            assert!(j.timelimit_min >= 10 && j.timelimit_min <= spec.max_timelimit_min, "{j:?}");
-            assert!(j.true_runtime_min >= 1 && j.true_runtime_min <= j.timelimit_min, "{j:?}");
+            assert!(
+                j.timelimit_min >= 10 && j.timelimit_min <= spec.max_timelimit_min,
+                "{j:?}"
+            );
+            assert!(
+                j.true_runtime_min >= 1 && j.true_runtime_min <= j.timelimit_min,
+                "{j:?}"
+            );
             assert!(j.eligible_time >= j.submit_time, "{j:?}");
         }
     }
@@ -369,7 +394,10 @@ mod tests {
             .map(|j| j.true_runtime_min as f64 / j.timelimit_min as f64)
             .sum::<f64>()
             / jobs.len() as f64;
-        assert!((0.06..0.30).contains(&mean_frac), "mean usage fraction {mean_frac}");
+        assert!(
+            (0.06..0.30).contains(&mean_frac),
+            "mean usage fraction {mean_frac}"
+        );
     }
 
     #[test]
@@ -396,13 +424,20 @@ mod tests {
         }
         assert!(multi > 0, "no campaign bursts among {checked} campaigns");
         // Big bursts exist ("tens or hundreds of jobs").
-        assert!(jobs.len() > checked + 50, "bursts too small: {checked} campaigns for {} jobs", jobs.len());
+        assert!(
+            jobs.len() > checked + 50,
+            "bursts too small: {checked} campaigns for {} jobs",
+            jobs.len()
+        );
     }
 
     #[test]
     fn some_jobs_are_deferred() {
         let (_, jobs) = small_trace(10_000, 6);
-        let deferred = jobs.iter().filter(|j| j.eligible_time > j.submit_time).count();
+        let deferred = jobs
+            .iter()
+            .filter(|j| j.eligible_time > j.submit_time)
+            .count();
         let frac = deferred as f64 / jobs.len() as f64;
         assert!((0.01..0.08).contains(&frac), "deferred fraction {frac}");
     }
@@ -442,7 +477,9 @@ mod cancellation_generation_tests {
             let mut cfg = WorkloadConfig::anvil_like(1_000);
             cfg.seed = 9;
             cfg.cancel_fraction = frac;
-            WorkloadGenerator::new(cfg, ClusterSpec::anvil_like()).generate().1
+            WorkloadGenerator::new(cfg, ClusterSpec::anvil_like())
+                .generate()
+                .1
         };
         let base = mk(0.0);
         assert!(base.iter().all(|j| j.cancel_after_min == 0));

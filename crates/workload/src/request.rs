@@ -1,9 +1,7 @@
 //! The job-request record: what a user asks SLURM for.
 
-use serde::{Deserialize, Serialize};
-
 /// Quality-of-service class, a component of SLURM's multifactor priority.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Qos {
     /// Default QOS for regular allocations.
     Normal,
@@ -12,6 +10,12 @@ pub enum Qos {
     /// Scavenger/standby QOS; lowest priority.
     Standby,
 }
+
+trout_std::impl_json_enum!(Qos {
+    Normal,
+    High,
+    Standby
+});
 
 impl Qos {
     /// QOS contribution to the multifactor priority, normalized to `[0, 1]`.
@@ -47,7 +51,7 @@ impl Qos {
 /// truth runtime the simulator uses to decide when the job actually finishes
 /// (in the real system that is unknown until completion; models must never
 /// use it as a feature — only `timelimit_min` is visible pre-start).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct JobRequest {
     /// Unique, monotonically increasing job id.
     pub id: u64,
@@ -94,6 +98,24 @@ pub struct JobRequest {
     /// back-to-back by one user with identical shapes share a campaign).
     pub campaign: u64,
 }
+
+trout_std::impl_json_struct!(JobRequest {
+    id,
+    user,
+    partition,
+    submit_time,
+    eligible_time,
+    req_cpus,
+    req_mem_gb,
+    req_nodes,
+    req_gpus,
+    timelimit_min,
+    true_runtime_min,
+    hidden_delay_min,
+    cancel_after_min,
+    qos,
+    campaign
+});
 
 impl JobRequest {
     /// Walltime the user requested but the job will not use, in minutes —

@@ -22,7 +22,13 @@ impl Summary {
     /// Summarizes a sample. Returns an all-zero summary for empty input.
     pub fn of(values: &[f64]) -> Summary {
         if values.is_empty() {
-            return Summary { max: 0.0, mean: 0.0, median: 0.0, std_dev: 0.0, count: 0 };
+            return Summary {
+                max: 0.0,
+                mean: 0.0,
+                median: 0.0,
+                std_dev: 0.0,
+                count: 0,
+            };
         }
         let mut sorted = values.to_vec();
         sorted.sort_by(f64::total_cmp);
@@ -57,9 +63,16 @@ impl TraceStats {
     /// Computes all four rows.
     pub fn of(jobs: &[JobRequest]) -> TraceStats {
         let req: Vec<f64> = jobs.iter().map(|j| j.timelimit_min as f64 / 60.0).collect();
-        let run: Vec<f64> = jobs.iter().map(|j| j.true_runtime_min as f64 / 60.0).collect();
+        let run: Vec<f64> = jobs
+            .iter()
+            .map(|j| j.true_runtime_min as f64 / 60.0)
+            .collect();
         let waste: Vec<f64> = jobs.iter().map(|j| j.wasted_min() as f64 / 60.0).collect();
-        let max_user = jobs.iter().map(|j| j.user).max().map_or(0, |u| u as usize + 1);
+        let max_user = jobs
+            .iter()
+            .map(|j| j.user)
+            .max()
+            .map_or(0, |u| u as usize + 1);
         let mut per_user = vec![0f64; max_user];
         for j in jobs {
             per_user[j.user as usize] += 1.0;

@@ -8,13 +8,12 @@
 //! (inversely) with activity: the heaviest submitters are the worst
 //! overestimators.
 
-use serde::{Deserialize, Serialize};
 use trout_linalg::SplitMix64;
 
 use crate::dist::{categorical, Kumaraswamy, Pareto};
 
 /// Per-user static profile.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct UserProfile {
     /// Relative submission rate (Pareto-distributed across the population).
     pub activity: f64,
@@ -31,11 +30,21 @@ pub struct UserProfile {
     pub share: f64,
 }
 
+trout_std::impl_json_struct!(UserProfile {
+    activity,
+    home_partition,
+    usage_bias,
+    campaign_propensity,
+    share
+});
+
 /// The full population, plus the sampler for "which user submits next".
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct UserPopulation {
     users: Vec<UserProfile>,
 }
+
+trout_std::impl_json_struct!(UserPopulation { users });
 
 impl UserPopulation {
     /// Generates `n` users. `partition_mix` gives the global probability of
@@ -145,7 +154,10 @@ mod tests {
         acts.sort_by(f64::total_cmp);
         let median = acts[acts.len() / 2];
         let mean = acts.iter().sum::<f64>() / acts.len() as f64;
-        assert!(mean > 3.0 * median, "mean {mean} median {median}: tail too light");
+        assert!(
+            mean > 3.0 * median,
+            "mean {mean} median {median}: tail too light"
+        );
     }
 
     #[test]
@@ -171,7 +183,10 @@ mod tests {
         if !heavy.is_empty() && !light.is_empty() {
             let mh = heavy.iter().sum::<f64>() / heavy.len() as f64;
             let ml = light.iter().sum::<f64>() / light.len() as f64;
-            assert!(mh < ml, "heavy users should have lower usage bias ({mh} vs {ml})");
+            assert!(
+                mh < ml,
+                "heavy users should have lower usage bias ({mh} vs {ml})"
+            );
         }
     }
 
@@ -195,6 +210,9 @@ mod tests {
             c.sort_unstable();
             c[c.len() / 2]
         };
-        assert!(hot_count > 10 * median_count.max(1), "hot {hot_count} median {median_count}");
+        assert!(
+            hot_count > 10 * median_count.max(1),
+            "hot {hot_count} median {median_count}"
+        );
     }
 }

@@ -50,7 +50,10 @@ fn main() {
     let model = TroutTrainer::new(TroutConfig::default()).fit_rows(&ds, &train);
 
     // Walk the burst: actual vs predicted queue time.
-    println!("\n{:>8} {:>14} {:>18}", "job", "actual (min)", "TROUT prediction");
+    println!(
+        "\n{:>8} {:>14} {:>18}",
+        "job", "actual (min)", "TROUT prediction"
+    );
     let step = (rows.len() / 12).max(1);
     for &i in rows.iter().step_by(step) {
         let pred = model.predict(ds.row(i));
@@ -64,7 +67,9 @@ fn main() {
     // The burst's own back-pressure: later jobs in the campaign see more of
     // their siblings in the queue, so their predicted waits should not drop.
     let first_pred = model.predict(ds.row(rows[0])).as_minutes(10.0);
-    let last_pred = model.predict(ds.row(*rows.last().unwrap())).as_minutes(10.0);
+    let last_pred = model
+        .predict(ds.row(*rows.last().unwrap()))
+        .as_minutes(10.0);
     println!(
         "\nqueue build-up across the campaign: first job predicted {first_pred:.0} min, \
          last job predicted {last_pred:.0} min"

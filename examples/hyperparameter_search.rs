@@ -16,8 +16,17 @@ fn main() {
     let (ds, _) = featurize(&trace, 0.6, 1);
 
     let base = TroutConfig::default();
-    let tuner = TunerConfig { n_trials: 10, keep_fraction: 0.3, seed: 7, ..Default::default() };
-    println!("searching {} trials (successive halving keeps {:.0}%)…", tuner.n_trials, 100.0 * tuner.keep_fraction);
+    let tuner = TunerConfig {
+        n_trials: 10,
+        keep_fraction: 0.3,
+        seed: 7,
+        ..Default::default()
+    };
+    println!(
+        "searching {} trials (successive halving keeps {:.0}%)…",
+        tuner.n_trials,
+        100.0 * tuner.keep_fraction
+    );
     let (best_cfg, result) = tune_regressor(&base, &ds, &tuner);
 
     println!("\nsurvivor trials (validation MAPE on folds 2-3):");

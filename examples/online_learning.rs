@@ -34,9 +34,11 @@ fn main() {
     for start in (8_000..16_000).step_by(1_000) {
         let rows: Vec<usize> = (start..start + 1_000).collect();
         let (tx, ty) = ds.select(&rows);
-        let labels: Vec<f32> = ty.iter().map(|&q| if q < 10.0 { 1.0 } else { 0.0 }).collect();
-        let quick_frac =
-            labels.iter().filter(|&&l| l >= 0.5).count() as f64 / labels.len() as f64;
+        let labels: Vec<f32> = ty
+            .iter()
+            .map(|&q| if q < 10.0 { 1.0 } else { 0.0 })
+            .collect();
+        let quick_frac = labels.iter().filter(|&&l| l >= 0.5).count() as f64 / labels.len() as f64;
 
         let f_acc = metrics::binary_accuracy(&frozen.quick_start_proba_batch(&tx), &labels);
         let o_acc = metrics::binary_accuracy(&live.quick_start_proba_batch(&tx), &labels);

@@ -49,5 +49,8 @@ fn main() {
         100.0 * reports.last().unwrap().classifier_accuracy
     );
     println!("  regressor MAPE, mean of last 3 folds: {mape:.1}%");
-    println!("  Pearson r (final fold): {:.3}", reports.last().unwrap().pearson_r);
+    println!(
+        "  Pearson r (final fold): {:.3}",
+        reports.last().unwrap().pearson_r
+    );
 }

@@ -23,8 +23,13 @@ fn main() {
 
     let now = trace.records.iter().map(|r| r.eligible_time).max().unwrap();
     let median_priority = {
-        let mut p: Vec<f64> =
-            trace.records.iter().rev().take(500).map(|r| r.priority).collect();
+        let mut p: Vec<f64> = trace
+            .records
+            .iter()
+            .rev()
+            .take(500)
+            .map(|r| r.priority)
+            .collect();
         p.sort_by(f64::total_cmp);
         p[p.len() / 2]
     };

@@ -50,9 +50,7 @@ pub use trout_workload as workload;
 pub mod prelude {
     pub use trout_core::online::{update_model, OnlineConfig};
     pub use trout_core::tuner::{tune_regressor, TunerConfig};
-    pub use trout_core::{
-        HierarchicalModel, QueuePrediction, TroutConfig, TroutTrainer,
-    };
+    pub use trout_core::{HierarchicalModel, QueuePrediction, TroutConfig, TroutTrainer};
     pub use trout_features::{Dataset, FeaturePipeline};
     pub use trout_ml::metrics;
     pub use trout_slurmsim::{JobRecord, SimulationBuilder, Trace};

@@ -47,7 +47,11 @@ fn checkpoint_file_round_trip() {
     let loaded = HierarchicalModel::from_json(&std::fs::read_to_string(&path).unwrap()).unwrap();
 
     for i in (0..ds.len()).step_by(111) {
-        assert_eq!(model.predict(ds.row(i)), loaded.predict(ds.row(i)), "row {i}");
+        assert_eq!(
+            model.predict(ds.row(i)),
+            loaded.predict(ds.row(i)),
+            "row {i}"
+        );
     }
 }
 
@@ -77,6 +81,41 @@ fn evaluation_protocol_is_reproducible() {
         assert_eq!(x.classifier_accuracy, y.classifier_accuracy);
         assert_eq!(x.regressor_mape, y.regressor_mape);
     }
+}
+
+#[test]
+fn pipeline_is_deterministic_across_runs_and_thread_counts() {
+    // Byte-identical traces from the same seed.
+    let t1 = trace();
+    let t2 = trace();
+    assert_eq!(
+        t1.to_csv(),
+        t2.to_csv(),
+        "trace generation must be byte-identical per seed"
+    );
+
+    // Features, training and predictions must not depend on the worker
+    // count: trout_std::par splits work into contiguous order-preserving
+    // blocks, so 1 thread and 4 threads produce bit-identical results.
+    let run = |threads: &str| {
+        std::env::set_var("TROUT_THREADS", threads);
+        let (ds, _) = featurize(&t1, 0.6, 1);
+        let model = TroutTrainer::new(TroutConfig::smoke()).fit(&ds);
+        let preds: Vec<QueuePrediction> = (0..ds.len())
+            .step_by(37)
+            .map(|i| model.predict(ds.row(i)))
+            .collect();
+        (ds, preds)
+    };
+    let (ds1, p1) = run("1");
+    let (ds4, p4) = run("4");
+    std::env::remove_var("TROUT_THREADS");
+    assert_eq!(
+        ds1.x.as_slice(),
+        ds4.x.as_slice(),
+        "features must be bit-identical for any thread count"
+    );
+    assert_eq!(p1, p4, "predictions must be identical for any thread count");
 }
 
 #[test]

@@ -11,7 +11,10 @@ fn trace_with(cancel_fraction: f64, preemption: bool, jobs: usize, seed: u64) ->
     wl.seed = seed;
     wl.cancel_fraction = cancel_fraction;
     let (pop, reqs) = WorkloadGenerator::new(wl, cluster.clone()).generate();
-    let cfg = SchedulerConfig { enable_preemption: preemption, ..Default::default() };
+    let cfg = SchedulerConfig {
+        enable_preemption: preemption,
+        ..Default::default()
+    };
     simulate(&cluster, &pop, reqs, &cfg)
 }
 
@@ -41,7 +44,11 @@ fn preemption_lowers_normal_qos_waits_under_load() {
 #[test]
 fn full_pipeline_works_with_cancellations_enabled() {
     let trace = trace_with(0.12, true, 3_000, 14);
-    let cancelled = trace.records.iter().filter(|r| r.state == JobState::Cancelled).count();
+    let cancelled = trace
+        .records
+        .iter()
+        .filter(|r| r.state == JobState::Cancelled)
+        .count();
     assert!(cancelled > 0, "expected some cancellations");
 
     let (ds, _) = trout::core::featurize(&trace, 0.6, 1);

@@ -1,9 +1,13 @@
 //! Property tests over the scheduler: conservation and causality invariants
 //! must hold for any workload configuration, not just the defaults.
+//!
+//! Runs on `trout_std::proptest_lite` with the fixed default seed; a failing
+//! case prints its seed and shrunk input plus a `TROUT_PROPTEST_SEED=...`
+//! reproduction line.
 
-use proptest::prelude::*;
 use trout::slurmsim::{simulate, SchedulerConfig, Trace};
 use trout::workload::{ClusterSpec, WorkloadConfig, WorkloadGenerator};
+use trout_std::{prop_assert, prop_assert_eq, proptest_lite};
 
 fn run_trace(jobs: usize, seed: u64, events_per_hour: f64, max_campaign: usize) -> Trace {
     let cluster = ClusterSpec::anvil_like();
@@ -15,14 +19,12 @@ fn run_trace(jobs: usize, seed: u64, events_per_hour: f64, max_campaign: usize) 
     simulate(&cluster, &pop, reqs, &SchedulerConfig::default())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(8))]
-
-    #[test]
+proptest_lite! {
+    #[cases(8)]
     fn causality_and_conservation_hold(
         seed in 0u64..1_000,
         events_per_hour in 10.0f64..90.0,
-        max_campaign in 2usize..300,
+        max_campaign in 2usize..300
     ) {
         let trace = run_trace(600, seed, events_per_hour, max_campaign);
         prop_assert_eq!(trace.records.len(), 600);
@@ -66,7 +68,7 @@ proptest! {
         }
     }
 
-    #[test]
+    #[cases(8)]
     fn simulation_is_a_pure_function_of_the_seed(seed in 0u64..500) {
         let a = run_trace(300, seed, 40.0, 50);
         let b = run_trace(300, seed, 40.0, 50);
