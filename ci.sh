@@ -8,3 +8,25 @@ cd "$(dirname "$0")"
 cargo build --workspace --release --offline
 cargo test --workspace -q --offline
 cargo fmt --check
+
+# Serve protocol smoke: flatten a small trace into a ~200-line ndjson replay
+# script, pipe it through the daemon, and require one well-formed ok-response
+# per request line plus a clean exit.
+serve_tmp=$(mktemp -d)
+./target/release/trout simulate --jobs 60 --seed 7 --out "$serve_tmp/trace.csv"
+./target/release/trout events --trace "$serve_tmp/trace.csv" --predict-every 5 \
+    --out "$serve_tmp/events.ndjson"
+./target/release/trout serve --bootstrap 300 --stdin \
+    < "$serve_tmp/events.ndjson" > "$serve_tmp/responses.ndjson"
+requests=$(wc -l < "$serve_tmp/events.ndjson")
+responses=$(wc -l < "$serve_tmp/responses.ndjson")
+test "$requests" -ge 190 && test "$requests" -eq "$responses"
+test "$(grep -c '^{"ok":' "$serve_tmp/responses.ndjson")" -eq "$responses"
+if grep -q '"ok":false' "$serve_tmp/responses.ndjson"; then
+    echo "serve smoke: unexpected error responses" >&2
+    exit 1
+fi
+rm -rf "$serve_tmp"
+
+# One-iteration pass over the serve bench (no calibration, no report).
+TROUT_BENCH_SMOKE=1 cargo bench --offline -p trout-bench --bench serve_bench

@@ -1,0 +1,14 @@
+//! Bench harness: the online prediction service end to end.
+//!
+//! Replays a live event stream through the daemon's session loop and
+//! reports sustained predictions/sec plus the per-stage latency and
+//! batch-size histograms in `BENCH_serve.json`.
+//!
+//! Bodies live in `trout_bench::serve_bench` so the `bench_smoke` test can
+//! run them for one iteration under `cargo test`.
+
+use trout_bench::serve_bench::bench_serve;
+use trout_std::{criterion_group, criterion_main};
+
+criterion_group!(benches, bench_serve);
+criterion_main!(benches);

@@ -21,7 +21,7 @@ fn final_fold_metrics(cfg: &TroutConfig, ds: &trout_features::Dataset) -> (f64, 
         let test: Vec<usize> = (test_start..(test_start + step).min(n)).collect();
         let (tx, ty) = ds.select(&test);
 
-        let probs = model.quick_start_proba_batch(&tx);
+        let probs = crate::quick_start_probs(&model, &tx);
         let labels: Vec<f32> = ty
             .iter()
             .map(|&q| if q < cfg.cutoff_min { 1.0 } else { 0.0 })
@@ -34,7 +34,7 @@ fn final_fold_metrics(cfg: &TroutConfig, ds: &trout_features::Dataset) -> (f64, 
         }
         let lx = tx.select_rows(&long);
         let lys: Vec<f32> = long.iter().map(|&i| ty[i]).collect();
-        let preds = model.regress_minutes_batch(&lx);
+        let preds = crate::regressed_minutes(&model, &lx);
         mape_s += metrics::mape(&preds, &lys);
         within_s += metrics::fraction_within_pct(&preds, &lys, 100.0);
         k += 1;
@@ -66,7 +66,7 @@ fn mean_mape_over_folds(cfg: &TroutConfig, ds: &trout_features::Dataset, folds: 
             continue;
         }
         let (lx, lys) = ds.select(&long_test);
-        let preds = model.regress_minutes_batch(&lx);
+        let preds = crate::regressed_minutes(&model, &lx);
         mapes.push(metrics::mape(&preds, &lys));
     }
     mapes.iter().sum::<f64>() / mapes.len().max(1) as f64
@@ -134,8 +134,8 @@ pub fn a2_leakage(ctx: &Context) -> Report {
     let trainer = TroutTrainer::new(ctx.cfg.clone());
     let honest_model = trainer.fit_rows(&ctx.ds, &honest_train);
     let leaky_model = trainer.fit_rows(&ctx.ds, &leaky_train);
-    let honest = metrics::mape(&honest_model.regress_minutes_batch(&lx), &lys);
-    let leaky = metrics::mape(&leaky_model.regress_minutes_batch(&lx), &lys);
+    let honest = metrics::mape(&crate::regressed_minutes(&honest_model, &lx), &lys);
+    let leaky = metrics::mape(&crate::regressed_minutes(&leaky_model, &lx), &lys);
 
     // kNN makes the memorization mechanism explicit: with siblings in the
     // reference set, the nearest neighbour of an eval job is its own
@@ -225,7 +225,7 @@ pub fn a3_smote(ctx: &Context) -> Report {
         let model = TroutTrainer::new(cfg.clone()).fit_rows(&ctx.ds, &train);
         let test: Vec<usize> = (test_start..n).collect();
         let (tx, ty) = ctx.ds.select(&test);
-        let probs = model.quick_start_proba_batch(&tx);
+        let probs = crate::quick_start_probs(&model, &tx);
         let labels: Vec<f32> = ty
             .iter()
             .map(|&q| if q < cfg.cutoff_min { 1.0 } else { 0.0 })

@@ -16,7 +16,7 @@ pub fn r1_classifier(ctx: &Context) -> Report {
     let model = TroutTrainer::new(ctx.cfg.clone()).fit_rows(&ctx.ds, &train);
     let test: Vec<usize> = (test_start..n).collect();
     let (tx, ty) = ctx.ds.select(&test);
-    let probs = model.quick_start_proba_batch(&tx);
+    let probs = crate::quick_start_probs(&model, &tx);
     let labels: Vec<f32> = ty
         .iter()
         .map(|&q| if q < ctx.cfg.cutoff_min { 1.0 } else { 0.0 })

@@ -3,7 +3,7 @@
 
 use std::time::Instant;
 
-use trout_core::TroutTrainer;
+use trout_core::{Predictor, TroutTrainer};
 use trout_features::names::FEATURE_NAMES;
 use trout_features::SnapshotIndex;
 use trout_itree::{ChunkedIntervalIndex, Interval, IntervalTree, NaiveIndex};
@@ -103,7 +103,7 @@ pub fn a8_importance(ctx: &Context) -> Report {
     let imps = permutation_importance(
         &x,
         &y,
-        |m| model.regress_minutes_batch(m),
+        |m| crate::regressed_minutes(&model, m),
         metrics::mape,
         3,
         ctx.seed,
@@ -180,10 +180,10 @@ pub fn a9_whatif(ctx: &Context) -> Report {
             let preds = ctx.runtime_model.predict_all(&t);
             let ds = trout_features::FeaturePipeline::standard()
                 .build_with_runtime_predictions(&t, preds);
-            let pred = model.predict(ds.row(ds.len() - 1));
-            let cell = match pred {
-                trout_core::QueuePrediction::QuickStart => "<10".to_string(),
-                trout_core::QueuePrediction::Minutes(m) => format!("{m:.0}"),
+            let pred = model.predict(trout_core::PredictionRequest::new(ds.row(ds.len() - 1)));
+            let cell = match pred.estimate {
+                trout_core::QueueEstimate::QuickStart => "<10".to_string(),
+                trout_core::QueueEstimate::Minutes(m) => format!("{m:.0}"),
             };
             row.push_str(&format!("{cell:>10}"));
         }
@@ -245,11 +245,11 @@ pub fn a11_transfer(ctx: &Context) -> Report {
     );
 
     let eval_model = |model: &trout_core::HierarchicalModel| -> (f64, f64) {
-        let acc = metrics::binary_accuracy(&model.quick_start_proba_batch(&tx), &labels);
+        let acc = metrics::binary_accuracy(&crate::quick_start_probs(model, &tx), &labels);
         let mape = if long.is_empty() {
             f64::NAN
         } else {
-            metrics::mape(&model.regress_minutes_batch(&lx), &lys)
+            metrics::mape(&crate::regressed_minutes(model, &lx), &lys)
         };
         (acc, mape)
     };

@@ -11,11 +11,35 @@
 //! * `TROUT_JOBS` — trace size (default 20 000),
 //! * `TROUT_SEED` — master seed (default 42).
 
+use trout_core::{BatchPredictionRequest, HierarchicalModel, Predictor};
+use trout_linalg::Matrix;
+
 pub mod context;
 pub mod experiments;
 pub mod microbench;
+pub mod serve_bench;
 
 pub use context::Context;
+
+/// Quick-start probability per row — the classifier-only view of the typed
+/// batch API, which several experiments score in isolation.
+pub fn quick_start_probs(model: &HierarchicalModel, x: &Matrix) -> Vec<f32> {
+    model
+        .predict_batch(BatchPredictionRequest::new(x))
+        .into_iter()
+        .map(|p| p.quick_proba)
+        .collect()
+}
+
+/// Unconditionally regressed minutes per row (the regressor-only view; the
+/// experiments score it on *known*-long jobs regardless of the classifier).
+pub fn regressed_minutes(model: &HierarchicalModel, x: &Matrix) -> Vec<f32> {
+    model
+        .predict_batch(BatchPredictionRequest::with_minutes(x))
+        .into_iter()
+        .map(|p| p.minutes.expect("want_minutes was set"))
+        .collect()
+}
 
 /// A rendered experiment report: identifier, title, and the rows/series the
 /// corresponding paper artifact shows.

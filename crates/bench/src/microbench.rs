@@ -8,7 +8,7 @@
 
 use trout_std::bench::{BenchmarkId, Criterion};
 
-use trout_core::{featurize, TroutConfig, TroutTrainer};
+use trout_core::{featurize, Predictor, TroutConfig, TroutTrainer};
 use trout_features::{FeaturePipeline, SnapshotIndex};
 use trout_itree::{ChunkedIntervalIndex, Interval, IntervalTree, NaiveIndex};
 use trout_linalg::{Matrix, SplitMix64};
@@ -87,7 +87,7 @@ pub fn bench_inference(c: &mut Criterion) {
     let mut group = c.benchmark_group("inference");
     group.sample_size(30);
     group.bench_function("algorithm1_forward_pass", |b| {
-        b.iter(|| std::hint::black_box(model.predict(&row)))
+        b.iter(|| std::hint::black_box(model.predict(trout_core::PredictionRequest::new(&row))))
     });
 
     let preds: Vec<f64> = trace

@@ -1,0 +1,165 @@
+//! Serve-path benchmark: replay a live event stream through the daemon's
+//! session loop and report sustained prediction throughput.
+//!
+//! Unlike the microbenches this one measures the *service*, not a kernel:
+//! the replay goes through `run_session` — JSON parsing, micro-batch
+//! coalescing, incremental snapshot probes, the batched forward pass, and
+//! response serialization — exactly what a `trout serve --stdin` client
+//! pays. The report (`BENCH_serve.json`) carries the session throughput
+//! plus the engine's full metrics registry, so the per-stage latency
+//! histograms (featurize/inference/predict, p50/p90/p99) and the coalesced
+//! batch-size distribution land next to the headline number.
+
+use std::sync::Mutex;
+use std::time::Instant;
+
+use trout_serve::protocol::job_to_json;
+use trout_serve::{run_session, ServeConfig, ServeEngine};
+use trout_slurmsim::{SimulationBuilder, Trace};
+use trout_std::bench::{write_report, Criterion};
+use trout_std::json::Json;
+
+use trout_features::incremental::{trace_events, ReplayEvent};
+
+/// Flattens a trace into the ndjson session script a live client would
+/// produce: lifecycle events in time order, and after every
+/// `predict_stride`-th submit a burst of predicts for the most recent
+/// pending jobs (consecutive predict lines, so the session loop coalesces
+/// them into real multi-row batches).
+fn event_script(trace: &Trace, predict_stride: usize, burst: usize) -> String {
+    let mut out = String::new();
+    let mut pending: Vec<u64> = Vec::new();
+    let mut submits = 0usize;
+    for (t, ev) in trace_events(trace) {
+        match ev {
+            ReplayEvent::Submit(i) => {
+                let r = &trace.records[i];
+                let line = Json::Obj(vec![
+                    ("event".into(), Json::Str("submit".into())),
+                    ("job".into(), job_to_json(r)),
+                ]);
+                out.push_str(&line.to_string());
+                out.push('\n');
+                pending.push(r.id);
+                submits += 1;
+                if submits % predict_stride == 0 {
+                    for &id in pending.iter().rev().take(burst) {
+                        out.push_str(&format!(
+                            "{{\"event\":\"predict\",\"id\":{id},\"time\":{}}}\n",
+                            r.submit_time
+                        ));
+                    }
+                }
+            }
+            ReplayEvent::Start(i) => {
+                let id = trace.records[i].id;
+                pending.retain(|&p| p != id);
+                out.push_str(&format!(
+                    "{{\"event\":\"start\",\"id\":{id},\"time\":{t}}}\n"
+                ));
+            }
+            ReplayEvent::End(i) => {
+                let id = trace.records[i].id;
+                pending.retain(|&p| p != id);
+                out.push_str(&format!("{{\"event\":\"end\",\"id\":{id},\"time\":{t}}}\n"));
+            }
+        }
+    }
+    out.push_str("{\"event\":\"shutdown\"}\n");
+    out
+}
+
+/// Replays a full live session through `run_session`, writes
+/// `BENCH_serve.json` (throughput + metrics histograms) unless smoking, then
+/// times the steady-state `predict_batch` hot path under the criterion
+/// harness.
+pub fn bench_serve(c: &mut Criterion) {
+    let smoke = std::env::var("TROUT_BENCH_SMOKE").is_ok_and(|v| v == "1");
+    let (boot_jobs, live_jobs, stride, burst) = if smoke {
+        (300, 120, 4, 4)
+    } else {
+        (4_000, 3_000, 1, 8)
+    };
+    let cfg = ServeConfig {
+        refit_every: 1_024,
+        seed: 7,
+        ..Default::default()
+    };
+    let engine = ServeEngine::bootstrap(boot_jobs, &cfg);
+    let live = SimulationBuilder::anvil_like()
+        .jobs(live_jobs)
+        .seed(cfg.seed ^ 0x5eed)
+        .run();
+    let script = event_script(&live, stride, burst);
+
+    let mutex = Mutex::new(engine);
+    let mut responses: Vec<u8> = Vec::with_capacity(script.len());
+    let t0 = Instant::now();
+    let handled = run_session(&mutex, script.as_bytes(), &mut responses, 64)
+        .expect("bench session must run clean");
+    let elapsed = t0.elapsed().as_secs_f64();
+    let mut engine = mutex.into_inner().expect("session loop done");
+
+    let m = &engine.metrics;
+    assert_eq!(m.errors_total, 0, "bench replay produced error responses");
+    // Sustained service rate: amortized end-to-end microseconds per
+    // prediction, inverted. This charges featurize + inference + batching
+    // overhead to every prediction but not the lifecycle events in between.
+    let preds_per_sec = if m.predict_us.mean() > 0.0 {
+        1e6 / m.predict_us.mean()
+    } else {
+        0.0
+    };
+    eprintln!(
+        "bench serve/replay: {handled} lines in {elapsed:.2}s — {} predictions \
+         ({preds_per_sec:.0}/sec sustained, p99 {} us), {} batches, {} refits",
+        m.predicts_total,
+        m.predict_us.quantile(0.99),
+        m.batches_total,
+        m.refits_total
+    );
+    if !smoke {
+        let report = Json::Obj(vec![
+            ("group".into(), Json::Str("serve".into())),
+            (
+                "session".into(),
+                Json::Obj(vec![
+                    ("lines".into(), Json::Int(handled as i128)),
+                    ("elapsed_s".into(), Json::Num(elapsed)),
+                    (
+                        "lines_per_sec".into(),
+                        Json::Num(handled as f64 / elapsed.max(1e-9)),
+                    ),
+                    ("predictions".into(), Json::Int(m.predicts_total as i128)),
+                    ("predictions_per_sec".into(), Json::Num(preds_per_sec)),
+                ]),
+            ),
+            ("metrics".into(), engine.metrics.to_json()),
+        ]);
+        write_report("serve", &report);
+    }
+
+    // Steady-state predict latency: fresh pending jobs on the post-replay
+    // engine, first batch warms the feature cache, calibrated iterations
+    // measure the hot path at three coalescing levels.
+    let last = live.records.last().expect("non-empty trace");
+    let t_now = last.end_time + 1_000;
+    let mut ids = Vec::new();
+    for k in 0..32u64 {
+        let mut rec = last.clone();
+        rec.id = 10_000_000 + k;
+        rec.submit_time = t_now;
+        rec.eligible_time = t_now;
+        engine.apply_submit(rec).expect("fresh submit");
+        ids.push(10_000_000 + k);
+    }
+    let mut group = c.benchmark_group("serve_predict");
+    group.sample_size(20);
+    for &n in &[1usize, 8, 32] {
+        let queries: Vec<(u64, i64)> = ids.iter().take(n).map(|&id| (id, t_now + 1)).collect();
+        group.bench_function(&format!("predict_batch/{n}")[..], |b| {
+            b.iter(|| engine.predict_batch(&queries))
+        });
+    }
+    group.finish();
+}

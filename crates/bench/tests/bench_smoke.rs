@@ -1,7 +1,7 @@
 //! Smoke test: every microbenchmark body runs for exactly one iteration
 //! under `cargo test`, so bench code cannot rot between full bench runs.
 
-use trout_bench::microbench;
+use trout_bench::{microbench, serve_bench};
 use trout_std::bench::Criterion;
 
 #[test]
@@ -27,4 +27,14 @@ fn inference_benches_run_in_smoke_mode() {
 fn training_benches_run_in_smoke_mode() {
     let mut c = Criterion::smoke();
     microbench::bench_training(&mut c);
+}
+
+#[test]
+fn serve_bench_runs_in_smoke_mode() {
+    // The serve bench scales its replay by the same env switch the full
+    // harness honours; other smoke tests construct `Criterion::smoke()`
+    // explicitly, so setting it here cannot change their behaviour.
+    std::env::set_var("TROUT_BENCH_SMOKE", "1");
+    let mut c = Criterion::smoke();
+    serve_bench::bench_serve(&mut c);
 }

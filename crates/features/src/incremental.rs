@@ -1,0 +1,514 @@
+//! Incrementally maintained queue snapshots for online serving.
+//!
+//! [`SnapshotIndex`](crate::SnapshotIndex) answers "what did the queue look
+//! like at instant `t`?" by building interval trees over a *complete* trace —
+//! every job's start and end already known. A live prediction daemon has
+//! neither: jobs arrive one `submit`/`start`/`end` event at a time and a
+//! pending job's start is exactly the unknown being predicted. This module
+//! maintains the same per-partition pending/running sets and per-user
+//! submission history *incrementally*: each event is one `O(log n)` update to
+//! a [`DynamicIntervalTree`] (pending jobs live on `[eligible, ∞)`, running
+//! jobs on `[start, ∞)`; the matching transition event deletes the entry), so
+//! the daemon never rebuilds an index over its whole history.
+//!
+//! Correctness contract: after applying every event with timestamp `≤ t`, a
+//! [`snapshot`](IncrementalSnapshot::snapshot) probed at `t` returns
+//! [`Aggregate`]s **bit-identical** to
+//! [`SnapshotIndex::snapshot_naive`](crate::SnapshotIndex::snapshot_naive)
+//! over the equivalent trace — including f64 summation order, which is why
+//! hits are accumulated in ascending job-id order (the oracle's record
+//! order). The replay property test in `tests/incremental_replay.rs` enforces
+//! this at every stab point of a multi-thousand-job trace.
+
+use std::collections::HashMap;
+
+use trout_itree::{DynamicIntervalTree, Interval};
+use trout_slurmsim::JobRecord;
+
+use crate::snapshot::QueueSnapshot;
+
+/// Sentinel for "this interval has not closed yet".
+const OPEN: i64 = i64::MAX;
+
+/// Trailing user-history window, seconds (the paper's 24 h).
+const USER_WINDOW_S: i64 = 86_400;
+
+/// Where a tracked job currently is in its lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobPhase {
+    /// Submitted, waiting (or not yet eligible).
+    Pending,
+    /// Started, still running.
+    Running,
+    /// Ended — completed, timed out, or cancelled while pending.
+    Done,
+}
+
+/// A job the incremental index knows about.
+#[derive(Debug, Clone)]
+pub struct TrackedJob {
+    /// The job's record. `start_time`/`end_time` are updated as the
+    /// corresponding events arrive and are meaningless before that.
+    pub rec: JobRecord,
+    /// Runtime-model estimate (minutes) frozen at submission.
+    pub pred_runtime_min: f64,
+    /// Current lifecycle phase.
+    pub phase: JobPhase,
+}
+
+/// An event the index refused to apply.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EventError {
+    /// `start`/`end` referenced an id never submitted (or already evicted).
+    UnknownJob(u64),
+    /// `submit` reused a live id.
+    DuplicateJob(u64),
+    /// `submit` named a partition outside the cluster.
+    UnknownPartition(u32),
+    /// The event is illegal in the job's current phase (e.g. `start` on a
+    /// running job).
+    BadPhase {
+        /// Offending job.
+        id: u64,
+        /// Phase the job is actually in.
+        phase: JobPhase,
+    },
+}
+
+impl std::fmt::Display for EventError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EventError::UnknownJob(id) => write!(f, "unknown job id {id}"),
+            EventError::DuplicateJob(id) => write!(f, "job id {id} already exists"),
+            EventError::UnknownPartition(p) => write!(f, "unknown partition index {p}"),
+            EventError::BadPhase { id, phase } => {
+                write!(f, "event illegal for job {id} in phase {phase:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EventError {}
+
+/// The observer of a snapshot query: "what does the queue look like from
+/// this job's point of view at `time`?".
+#[derive(Debug, Clone, Copy)]
+pub struct SnapshotProbe {
+    /// Query instant (must be ≥ every applied event's timestamp).
+    pub time: i64,
+    /// Observer's partition index.
+    pub partition: u32,
+    /// Observer's user (for the trailing-24 h history).
+    pub user: u32,
+    /// Observer's priority (splits `queue` into the `ahead` subset).
+    pub priority: f64,
+    /// Job id to exclude from `queue` and `user_past_day` — the observer
+    /// itself when it has been submitted; `None` for hypothetical jobs.
+    pub exclude_id: Option<u64>,
+}
+
+/// Live, event-driven replacement for [`crate::SnapshotIndex`].
+pub struct IncrementalSnapshot {
+    /// Per partition: pending jobs on `[eligible_time, ∞)`, payload job id.
+    pending: Vec<DynamicIntervalTree<i64, u64>>,
+    /// Per partition: running jobs on `[start_time, ∞)`, payload job id.
+    running: Vec<DynamicIntervalTree<i64, u64>>,
+    /// Every known job by id.
+    jobs: HashMap<u64, TrackedJob>,
+    /// Per user: `(submit_time, id)` in submission order.
+    user_history: HashMap<u32, Vec<(i64, u64)>>,
+    /// Events applied so far.
+    applied: u64,
+}
+
+impl IncrementalSnapshot {
+    /// Creates an empty index over `n_partitions` partitions.
+    pub fn new(n_partitions: usize) -> IncrementalSnapshot {
+        IncrementalSnapshot {
+            pending: (0..n_partitions)
+                .map(|_| DynamicIntervalTree::new())
+                .collect(),
+            running: (0..n_partitions)
+                .map(|_| DynamicIntervalTree::new())
+                .collect(),
+            jobs: HashMap::new(),
+            user_history: HashMap::new(),
+            applied: 0,
+        }
+    }
+
+    /// Number of events applied since construction.
+    pub fn events_applied(&self) -> u64 {
+        self.applied
+    }
+
+    /// Jobs currently pending in partition `p`.
+    pub fn pending_len(&self, p: usize) -> usize {
+        self.pending.get(p).map_or(0, DynamicIntervalTree::len)
+    }
+
+    /// Jobs currently running in partition `p`.
+    pub fn running_len(&self, p: usize) -> usize {
+        self.running.get(p).map_or(0, DynamicIntervalTree::len)
+    }
+
+    /// Total jobs tracked (all phases, before eviction).
+    pub fn tracked_len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Looks up a tracked job.
+    pub fn job(&self, id: u64) -> Option<&TrackedJob> {
+        self.jobs.get(&id)
+    }
+
+    /// Applies a `submit` event: the job enters the user's history now and
+    /// the partition's pending set from its eligibility instant onward.
+    /// `rec.start_time`/`rec.end_time` are ignored (they are unknown live).
+    pub fn submit(&mut self, mut rec: JobRecord, pred_runtime_min: f64) -> Result<(), EventError> {
+        let p = rec.partition as usize;
+        if p >= self.pending.len() {
+            return Err(EventError::UnknownPartition(rec.partition));
+        }
+        if self.jobs.contains_key(&rec.id) {
+            return Err(EventError::DuplicateJob(rec.id));
+        }
+        rec.start_time = OPEN;
+        rec.end_time = OPEN;
+        self.pending[p].insert(Interval::new(rec.eligible_time, OPEN), rec.id);
+        self.user_history
+            .entry(rec.user)
+            .or_default()
+            .push((rec.submit_time, rec.id));
+        self.jobs.insert(
+            rec.id,
+            TrackedJob {
+                rec,
+                pred_runtime_min,
+                phase: JobPhase::Pending,
+            },
+        );
+        self.applied += 1;
+        Ok(())
+    }
+
+    /// Applies a `start` event: pending → running at `time`.
+    pub fn start(&mut self, id: u64, time: i64) -> Result<(), EventError> {
+        let job = self.jobs.get_mut(&id).ok_or(EventError::UnknownJob(id))?;
+        if job.phase != JobPhase::Pending {
+            return Err(EventError::BadPhase {
+                id,
+                phase: job.phase,
+            });
+        }
+        let p = job.rec.partition as usize;
+        let eligible = job.rec.eligible_time;
+        job.rec.start_time = time;
+        job.phase = JobPhase::Running;
+        let removed = self.pending[p].remove(Interval::new(eligible, OPEN), &id);
+        debug_assert!(removed, "pending entry for job {id} missing");
+        self.running[p].insert(Interval::new(time, OPEN), id);
+        self.applied += 1;
+        Ok(())
+    }
+
+    /// Applies an `end` event: running → done, or pending → done for a job
+    /// cancelled before it ever started.
+    pub fn end(&mut self, id: u64, time: i64) -> Result<(), EventError> {
+        let job = self.jobs.get_mut(&id).ok_or(EventError::UnknownJob(id))?;
+        let p = job.rec.partition as usize;
+        match job.phase {
+            JobPhase::Running => {
+                let started = job.rec.start_time;
+                job.rec.end_time = time;
+                job.phase = JobPhase::Done;
+                let removed = self.running[p].remove(Interval::new(started, OPEN), &id);
+                debug_assert!(removed, "running entry for job {id} missing");
+            }
+            JobPhase::Pending => {
+                // Cancelled while waiting: it leaves the queue now and never
+                // ran, mirroring JobState::Cancelled records where start and
+                // end both hold the cancellation instant.
+                let eligible = job.rec.eligible_time;
+                job.rec.start_time = time;
+                job.rec.end_time = time;
+                job.phase = JobPhase::Done;
+                let removed = self.pending[p].remove(Interval::new(eligible, OPEN), &id);
+                debug_assert!(removed, "pending entry for job {id} missing");
+            }
+            JobPhase::Done => {
+                return Err(EventError::BadPhase {
+                    id,
+                    phase: job.phase,
+                })
+            }
+        }
+        self.applied += 1;
+        Ok(())
+    }
+
+    /// The queue state the probe's job observes. Requires every event with
+    /// timestamp ≤ `probe.time` to have been applied (and none beyond it
+    /// that would change pending membership at `probe.time`).
+    pub fn snapshot(&self, probe: &SnapshotProbe) -> QueueSnapshot {
+        let mut snap = QueueSnapshot::default();
+        let p = probe.partition as usize;
+        let t = probe.time;
+        if p >= self.pending.len() {
+            return snap;
+        }
+
+        // Pending ids stabbed at t, accumulated in ascending id order — the
+        // oracle's record order, so f64 sums agree bit for bit.
+        let mut ids: Vec<u64> = self.pending[p]
+            .stab_values(t)
+            .into_iter()
+            .copied()
+            .collect();
+        ids.sort_unstable();
+        for id in ids {
+            if probe.exclude_id == Some(id) {
+                continue;
+            }
+            let job = &self.jobs[&id];
+            snap.queue.add(&job.rec, job.pred_runtime_min);
+            if job.rec.priority > probe.priority {
+                snap.ahead.add(&job.rec, job.pred_runtime_min);
+            }
+        }
+
+        let mut ids: Vec<u64> = self.running[p]
+            .stab_values(t)
+            .into_iter()
+            .copied()
+            .collect();
+        ids.sort_unstable();
+        for id in ids {
+            let job = &self.jobs[&id];
+            snap.running.add(&job.rec, job.pred_runtime_min);
+        }
+
+        if let Some(history) = self.user_history.get(&probe.user) {
+            let lo = t - USER_WINDOW_S;
+            let from = history.partition_point(|&(s, _)| s < lo);
+            for &(submit, id) in &history[from..] {
+                if submit > t {
+                    break;
+                }
+                if probe.exclude_id == Some(id) {
+                    continue;
+                }
+                let job = &self.jobs[&id];
+                snap.user_past_day.add(&job.rec, job.pred_runtime_min);
+            }
+        }
+        snap
+    }
+
+    /// Drops finished jobs that can no longer influence any future snapshot
+    /// (done, and submitted more than 24 h before `now`). Returns the number
+    /// evicted. Callers must not probe at times earlier than `now` afterward.
+    pub fn evict_finished_before(&mut self, now: i64) -> usize {
+        let cutoff = now - USER_WINDOW_S;
+        let mut evicted = 0usize;
+        for history in self.user_history.values_mut() {
+            let keep_from = history.partition_point(|&(s, _)| s < cutoff);
+            for &(_, id) in &history[..keep_from] {
+                if self
+                    .jobs
+                    .get(&id)
+                    .is_some_and(|j| j.phase == JobPhase::Done)
+                {
+                    self.jobs.remove(&id);
+                    evicted += 1;
+                }
+            }
+            history.drain(..keep_from);
+        }
+        self.user_history.retain(|_, h| !h.is_empty());
+        evicted
+    }
+}
+
+/// One step of an offline trace replay, indexing into `trace.records`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplayEvent {
+    /// The record is submitted (at its `submit_time`).
+    Submit(usize),
+    /// The record starts running (at its `start_time`).
+    Start(usize),
+    /// The record ends — or is cancelled while pending (at its `end_time`).
+    End(usize),
+}
+
+impl ReplayEvent {
+    fn rank(self) -> u8 {
+        match self {
+            ReplayEvent::Submit(_) => 0,
+            ReplayEvent::Start(_) => 1,
+            ReplayEvent::End(_) => 2,
+        }
+    }
+
+    fn idx(self) -> usize {
+        match self {
+            ReplayEvent::Submit(i) | ReplayEvent::Start(i) | ReplayEvent::End(i) => i,
+        }
+    }
+}
+
+/// Flattens a complete trace into the time-ordered event stream a live
+/// daemon would have seen — the bridge between the offline oracle and the
+/// incremental index (and the source for `trout events` replay scripts).
+/// Cancelled records emit no `Start` (they never ran); their `End` fires at
+/// the cancellation instant and removes them from the pending set.
+pub fn trace_events(trace: &trout_slurmsim::Trace) -> Vec<(i64, ReplayEvent)> {
+    let mut events: Vec<(i64, ReplayEvent)> = Vec::with_capacity(trace.records.len() * 3);
+    for (i, r) in trace.records.iter().enumerate() {
+        events.push((r.submit_time, ReplayEvent::Submit(i)));
+        if r.state == trout_slurmsim::JobState::Cancelled {
+            events.push((r.end_time, ReplayEvent::End(i)));
+        } else {
+            events.push((r.start_time, ReplayEvent::Start(i)));
+            events.push((r.end_time, ReplayEvent::End(i)));
+        }
+    }
+    events.sort_by_key(|&(t, e)| (t, e.rank(), e.idx()));
+    events
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trout_slurmsim::JobState;
+    use trout_workload::Qos;
+
+    fn rec(id: u64, user: u32, part: u32, submit: i64, eligible: i64, prio: f64) -> JobRecord {
+        JobRecord {
+            id,
+            user,
+            partition: part,
+            submit_time: submit,
+            eligible_time: eligible,
+            start_time: 0,
+            end_time: 0,
+            req_cpus: 4,
+            req_mem_gb: 8,
+            req_nodes: 1,
+            req_gpus: 0,
+            timelimit_min: 60,
+            qos: Qos::Normal,
+            campaign: 0,
+            priority: prio,
+            state: JobState::Completed,
+        }
+    }
+
+    fn probe(time: i64, part: u32) -> SnapshotProbe {
+        SnapshotProbe {
+            time,
+            partition: part,
+            user: 99,
+            priority: 0.0,
+            exclude_id: None,
+        }
+    }
+
+    #[test]
+    fn lifecycle_moves_jobs_between_sets() {
+        let mut idx = IncrementalSnapshot::new(2);
+        idx.submit(rec(1, 0, 0, 100, 100, 5.0), 60.0).unwrap();
+        idx.submit(rec(2, 0, 0, 110, 110, 9.0), 30.0).unwrap();
+        assert_eq!(idx.snapshot(&probe(120, 0)).queue.jobs, 2.0);
+        // Higher-priority subset from a low-priority observer's view.
+        let s = idx.snapshot(&SnapshotProbe {
+            priority: 6.0,
+            ..probe(120, 0)
+        });
+        assert_eq!(s.ahead.jobs, 1.0);
+
+        idx.start(1, 130).unwrap();
+        let s = idx.snapshot(&probe(130, 0));
+        assert_eq!(s.queue.jobs, 1.0);
+        assert_eq!(s.running.jobs, 1.0);
+        assert_eq!(s.running.pred_runtime_min, 60.0);
+
+        idx.end(1, 200).unwrap();
+        assert_eq!(idx.snapshot(&probe(200, 0)).running.jobs, 0.0);
+    }
+
+    #[test]
+    fn not_yet_eligible_jobs_are_invisible() {
+        let mut idx = IncrementalSnapshot::new(1);
+        idx.submit(rec(1, 3, 0, 100, 500, 1.0), 10.0).unwrap();
+        // Visible to the user window immediately, to the queue only at 500.
+        let s = idx.snapshot(&SnapshotProbe {
+            user: 3,
+            ..probe(200, 0)
+        });
+        assert_eq!(s.queue.jobs, 0.0);
+        assert_eq!(s.user_past_day.jobs, 1.0);
+        assert_eq!(idx.snapshot(&probe(500, 0)).queue.jobs, 1.0);
+    }
+
+    #[test]
+    fn cancellation_removes_pending_without_running() {
+        let mut idx = IncrementalSnapshot::new(1);
+        idx.submit(rec(7, 0, 0, 0, 0, 1.0), 5.0).unwrap();
+        idx.end(7, 50).unwrap(); // cancel while pending
+        let s = idx.snapshot(&probe(60, 0));
+        assert_eq!(s.queue.jobs, 0.0);
+        assert_eq!(s.running.jobs, 0.0);
+        assert_eq!(idx.job(7).unwrap().phase, JobPhase::Done);
+    }
+
+    #[test]
+    fn events_are_validated() {
+        let mut idx = IncrementalSnapshot::new(1);
+        assert_eq!(idx.start(9, 10), Err(EventError::UnknownJob(9)));
+        idx.submit(rec(1, 0, 0, 0, 0, 1.0), 5.0).unwrap();
+        assert_eq!(
+            idx.submit(rec(1, 0, 0, 5, 5, 1.0), 5.0),
+            Err(EventError::DuplicateJob(1))
+        );
+        assert_eq!(
+            idx.submit(rec(2, 0, 9, 5, 5, 1.0), 5.0),
+            Err(EventError::UnknownPartition(9))
+        );
+        idx.start(1, 10).unwrap();
+        assert_eq!(
+            idx.start(1, 11),
+            Err(EventError::BadPhase {
+                id: 1,
+                phase: JobPhase::Running
+            })
+        );
+    }
+
+    #[test]
+    fn observer_exclusion() {
+        let mut idx = IncrementalSnapshot::new(1);
+        idx.submit(rec(1, 4, 0, 100, 100, 1.0), 5.0).unwrap();
+        idx.submit(rec(2, 4, 0, 110, 110, 2.0), 5.0).unwrap();
+        let s = idx.snapshot(&SnapshotProbe {
+            user: 4,
+            exclude_id: Some(2),
+            ..probe(120, 0)
+        });
+        assert_eq!(s.queue.jobs, 1.0);
+        assert_eq!(s.user_past_day.jobs, 1.0);
+    }
+
+    #[test]
+    fn eviction_drops_only_stale_done_jobs() {
+        let mut idx = IncrementalSnapshot::new(1);
+        idx.submit(rec(1, 0, 0, 0, 0, 1.0), 5.0).unwrap();
+        idx.start(1, 10).unwrap();
+        idx.end(1, 20).unwrap();
+        idx.submit(rec(2, 0, 0, 5, 5, 1.0), 5.0).unwrap(); // still pending
+        assert_eq!(idx.evict_finished_before(86_500), 1);
+        assert!(idx.job(1).is_none());
+        assert!(idx.job(2).is_some(), "live jobs survive eviction");
+        assert_eq!(idx.snapshot(&probe(86_500, 0)).queue.jobs, 1.0);
+    }
+}

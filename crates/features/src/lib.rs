@@ -15,11 +15,13 @@
 //! and Box–Cox scalers are implemented for the A4 scaling ablation the paper
 //! describes ("tested but found not to provide noticeable benefits").
 
+pub mod incremental;
 pub mod names;
 mod pipeline;
 pub mod scaling;
 pub mod snapshot;
 
-pub use pipeline::{Dataset, FeaturePipeline};
+pub use incremental::{IncrementalSnapshot, SnapshotProbe};
+pub use pipeline::{assemble_row, Dataset, FeaturePipeline};
 pub use scaling::Scaling;
 pub use snapshot::SnapshotIndex;

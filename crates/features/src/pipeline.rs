@@ -175,6 +175,22 @@ fn feature_row(
     let r = &trace.records[i];
     let part = &trace.cluster.partitions[r.partition as usize];
     let snap = index.snapshot(i);
+    assemble_row(r, part, &snap, pred_runtime_min[i])
+}
+
+/// Assembles the 33 Table-II raw feature values from a job's request, its
+/// partition's capacity, a queue snapshot, and the runtime model's estimate.
+///
+/// This is the single definition of "a feature row": the offline pipeline
+/// calls it per trace record, and the online server calls it per live job
+/// with an incrementally maintained snapshot, so the two paths can never
+/// drift apart.
+pub fn assemble_row(
+    r: &trout_slurmsim::JobRecord,
+    part: &trout_workload::PartitionSpec,
+    snap: &crate::snapshot::QueueSnapshot,
+    pred_runtime_min: f64,
+) -> Vec<f32> {
     let mut f = vec![0.0f32; N_FEATURES];
     f[idx::PRIORITY] = r.priority as f32;
     f[idx::TIMELIMIT_RAW] = r.timelimit_min as f32;
@@ -206,7 +222,7 @@ fn feature_row(
     f[idx::PAR_CPU_PER_NODE] = part.cpus_per_node as f32;
     f[idx::PAR_MEM_PER_NODE] = part.mem_per_node_gb as f32;
     f[idx::PAR_TOTAL_GPU] = part.total_gpus() as f32;
-    f[idx::PRED_RUNTIME] = pred_runtime_min[i] as f32;
+    f[idx::PRED_RUNTIME] = pred_runtime_min as f32;
     f[idx::PAR_QUEUE_PRED_TIMELIMIT] = snap.queue.pred_runtime_min as f32;
     f[idx::PAR_RUNNING_PRED_TIMELIMIT] = snap.running.pred_runtime_min as f32;
     f

@@ -161,6 +161,14 @@ impl FittedScaler {
         }
     }
 
+    /// Transforms one feature row in place — the single-job path the online
+    /// server uses, numerically identical to [`FittedScaler::transform`].
+    pub fn transform_row(&self, row: &mut [f32]) {
+        for (j, v) in row.iter_mut().enumerate() {
+            *v = self.apply(j, *v);
+        }
+    }
+
     /// Transforms a whole matrix (out of place).
     pub fn transform(&self, x: &Matrix) -> Matrix {
         let mut out = x.clone();

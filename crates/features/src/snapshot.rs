@@ -29,7 +29,10 @@ pub struct Aggregate {
 }
 
 impl Aggregate {
-    fn add(&mut self, r: &JobRecord, pred_runtime: f64) {
+    /// Accumulates one job. Public so the incremental index (and any other
+    /// snapshot producer) adds records with exactly the same arithmetic —
+    /// and therefore bit-identical sums — as the offline oracle.
+    pub fn add(&mut self, r: &JobRecord, pred_runtime: f64) {
         self.jobs += 1.0;
         self.cpus += r.req_cpus as f64;
         self.mem_gb += r.req_mem_gb as f64;

@@ -1,0 +1,123 @@
+//! Oracle tests for the incremental snapshot index.
+//!
+//! Replays a complete trace one submit/start/end event at a time through
+//! [`IncrementalSnapshot`] and asserts that the snapshot observed at every
+//! record's eligibility instant is **bit-identical** (exact `f64` equality,
+//! summation order included) to [`SnapshotIndex::snapshot_naive`] — the same
+//! full-scan oracle the offline tree is tested against.
+
+use trout_features::incremental::{trace_events, ReplayEvent};
+use trout_features::{IncrementalSnapshot, SnapshotIndex, SnapshotProbe};
+use trout_slurmsim::{SimulationBuilder, Trace};
+use trout_std::{prop_assert_eq, proptest_lite};
+use trout_workload::WorkloadConfig;
+
+/// Runtime predictions with awkward fractional parts, so any deviation in
+/// f64 accumulation order shows up as a bit difference.
+fn fractional_preds(trace: &Trace) -> Vec<f64> {
+    trace
+        .records
+        .iter()
+        .map(|r| r.timelimit_min as f64 * 1.37 + 0.1)
+        .collect()
+}
+
+fn trace_with_cancellations(jobs: usize, seed: u64, cancel_fraction: f64) -> Trace {
+    let mut cfg = WorkloadConfig::anvil_like(jobs);
+    cfg.seed = seed;
+    cfg.cancel_fraction = cancel_fraction;
+    SimulationBuilder::anvil_like().workload(cfg).run()
+}
+
+/// Replays `trace` event-by-event and checks every stab point against the
+/// naive oracle. `evict_every` optionally runs the daemon's garbage
+/// collection mid-replay to prove eviction never perturbs results.
+fn assert_replay_matches_oracle(trace: &Trace, evict_every: Option<usize>) {
+    let n = trace.records.len();
+    assert!(
+        trace
+            .records
+            .iter()
+            .enumerate()
+            .all(|(i, r)| r.id == i as u64),
+        "oracle comparison assumes dense submit-ordered ids"
+    );
+    let preds = fractional_preds(trace);
+    let oracle = SnapshotIndex::build(trace, preds.clone());
+
+    let events = trace_events(trace);
+    let mut inc = IncrementalSnapshot::new(trace.cluster.partitions.len());
+
+    // Probe each record at its eligibility instant, in time order, applying
+    // every event with timestamp <= t first — exactly what a live daemon
+    // that predicts at submission time would have seen.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&i| (trace.records[i].eligible_time, i));
+
+    let mut cursor = 0usize;
+    for (k, &i) in order.iter().enumerate() {
+        let me = &trace.records[i];
+        let t = me.eligible_time;
+        while cursor < events.len() && events[cursor].0 <= t {
+            match events[cursor].1 {
+                ReplayEvent::Submit(j) => inc
+                    .submit(trace.records[j].clone(), preds[j])
+                    .expect("submit"),
+                ReplayEvent::Start(j) => inc
+                    .start(trace.records[j].id, trace.records[j].start_time)
+                    .expect("start"),
+                ReplayEvent::End(j) => inc
+                    .end(trace.records[j].id, trace.records[j].end_time)
+                    .expect("end"),
+            }
+            cursor += 1;
+        }
+        if let Some(every) = evict_every {
+            if k % every == every - 1 {
+                inc.evict_finished_before(t);
+            }
+        }
+        let got = inc.snapshot(&SnapshotProbe {
+            time: t,
+            partition: me.partition,
+            user: me.user,
+            priority: me.priority,
+            exclude_id: Some(me.id),
+        });
+        assert_eq!(got, oracle.snapshot_naive(i), "record {i} at t={t}");
+    }
+}
+
+#[test]
+fn five_thousand_job_replay_is_bit_identical_to_naive_oracle() {
+    // A cancellation only materializes when the job is still pending at its
+    // cancel deadline, so the realized rate is well below the configured one.
+    let trace = trace_with_cancellations(5_000, 42, 0.3);
+    let cancelled = trace
+        .records
+        .iter()
+        .filter(|r| r.state == trout_slurmsim::JobState::Cancelled)
+        .count();
+    assert!(cancelled > 20, "only {cancelled} cancelled jobs generated");
+    assert_replay_matches_oracle(&trace, None);
+}
+
+#[test]
+fn replay_with_periodic_eviction_still_matches_oracle() {
+    let trace = trace_with_cancellations(1_500, 7, 0.1);
+    assert_replay_matches_oracle(&trace, Some(100));
+}
+
+proptest_lite! {
+    // Event-by-event replay equals the full-scan oracle for arbitrary seeds
+    // and cancellation rates — the serve path's load-bearing property.
+    #[cases(5)]
+    fn replay_matches_oracle_for_random_traces(
+        seed in 0u64..1_000,
+        cancel_pct in 0u32..25
+    ) {
+        let trace = trace_with_cancellations(400, seed, cancel_pct as f64 / 100.0);
+        assert_replay_matches_oracle(&trace, None);
+        prop_assert_eq!(trace.records.len(), 400);
+    }
+}

@@ -1,0 +1,372 @@
+//! A mutable interval tree: the dynamic counterpart of [`IntervalTree`].
+//!
+//! [`IntervalTree`](crate::IntervalTree) is built once over a complete trace
+//! and never changes — the right shape for offline featurization, and the
+//! wrong one for a live prediction service, where every `submit`/`start`/
+//! `end` event moves one job between the pending and running sets. This
+//! treap supports `O(log n)` expected insert and delete while answering the
+//! same stabbing/overlap queries with the same `max_end` pruning.
+//!
+//! Entries are ordered by `(start, end, value)`; the treap priority is a
+//! deterministic hash of that key and an insertion counter, so tree shape —
+//! and therefore visit order and timing — is reproducible run to run.
+
+use crate::Interval;
+
+/// One treap node; `max_end` is the maximum interval end in its subtree.
+struct Node<K, V> {
+    iv: Interval<K>,
+    val: V,
+    prio: u64,
+    max_end: K,
+    left: Option<Box<Node<K, V>>>,
+    right: Option<Box<Node<K, V>>>,
+}
+
+impl<K: Copy + Ord, V> Node<K, V> {
+    fn new(iv: Interval<K>, val: V, prio: u64) -> Box<Self> {
+        Box::new(Node {
+            iv,
+            val,
+            prio,
+            max_end: iv.end,
+            left: None,
+            right: None,
+        })
+    }
+
+    /// Recomputes `max_end` from the node's own interval and its children.
+    fn pull(&mut self) {
+        let mut m = self.iv.end;
+        if let Some(l) = &self.left {
+            m = m.max(l.max_end);
+        }
+        if let Some(r) = &self.right {
+            m = m.max(r.max_end);
+        }
+        self.max_end = m;
+    }
+}
+
+/// A mutable interval tree over half-open intervals, keyed by
+/// `(interval, value)` so equal intervals with distinct payloads coexist.
+///
+/// ```
+/// use trout_itree::{DynamicIntervalTree, Interval};
+///
+/// let mut t = DynamicIntervalTree::new();
+/// t.insert(Interval::new(0i64, 10), 1u64);
+/// t.insert(Interval::new(5, 15), 2);
+/// assert_eq!(t.count_overlaps(Interval::new(7, 8)), 2);
+/// assert!(t.remove(Interval::new(0, 10), &1));
+/// assert_eq!(t.count_overlaps(Interval::new(7, 8)), 1);
+/// ```
+pub struct DynamicIntervalTree<K, V> {
+    root: Option<Box<Node<K, V>>>,
+    len: usize,
+    /// Monotone counter mixed into treap priorities.
+    inserted: u64,
+}
+
+impl<K: Copy + Ord, V: Ord> Default for DynamicIntervalTree<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// SplitMix64 finalizer — the same mix `trout_linalg::SplitMix64` uses,
+/// inlined here so `itree` stays dependency-free.
+#[inline]
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl<K: Copy + Ord, V: Ord> DynamicIntervalTree<K, V> {
+    /// Creates an empty tree.
+    pub fn new() -> Self {
+        DynamicIntervalTree {
+            root: None,
+            len: 0,
+            inserted: 0,
+        }
+    }
+
+    /// Number of stored entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if the tree stores no entries.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Inserts one `(interval, value)` entry. Duplicate keys are allowed;
+    /// each insertion adds one entry.
+    pub fn insert(&mut self, iv: Interval<K>, val: V) {
+        self.inserted += 1;
+        let prio = mix(self.inserted);
+        let node = Node::new(iv, val, prio);
+        let root = self.root.take();
+        self.root = Some(Self::insert_node(root, node));
+        self.len += 1;
+    }
+
+    fn insert_node(tree: Option<Box<Node<K, V>>>, node: Box<Node<K, V>>) -> Box<Node<K, V>> {
+        let Some(mut t) = tree else {
+            return node;
+        };
+        if node.prio > t.prio {
+            // The new node becomes the subtree root: split the old tree
+            // around its key.
+            let (le, gt) = Self::split(Some(t), &node.iv, &node.val);
+            let mut n = node;
+            n.left = le;
+            n.right = gt;
+            n.pull();
+            return n;
+        }
+        if (node.iv, &node.val) < (t.iv, &t.val) {
+            let l = t.left.take();
+            t.left = Some(Self::insert_node(l, node));
+        } else {
+            let r = t.right.take();
+            t.right = Some(Self::insert_node(r, node));
+        }
+        t.pull();
+        t
+    }
+
+    /// Splits `tree` into entries with key `<= (iv, val)` and `> (iv, val)`.
+    #[allow(clippy::type_complexity)]
+    fn split(
+        tree: Option<Box<Node<K, V>>>,
+        iv: &Interval<K>,
+        val: &V,
+    ) -> (Option<Box<Node<K, V>>>, Option<Box<Node<K, V>>>) {
+        let Some(mut t) = tree else {
+            return (None, None);
+        };
+        if (t.iv, &t.val) <= (*iv, val) {
+            let (le, gt) = Self::split(t.right.take(), iv, val);
+            t.right = le;
+            t.pull();
+            (Some(t), gt)
+        } else {
+            let (le, gt) = Self::split(t.left.take(), iv, val);
+            t.left = gt;
+            t.pull();
+            (le, Some(t))
+        }
+    }
+
+    /// Removes one entry exactly matching `(iv, val)`; returns whether an
+    /// entry was removed.
+    pub fn remove(&mut self, iv: Interval<K>, val: &V) -> bool {
+        let root = self.root.take();
+        let (root, removed) = Self::remove_node(root, &iv, val);
+        self.root = root;
+        if removed {
+            self.len -= 1;
+        }
+        removed
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn remove_node(
+        tree: Option<Box<Node<K, V>>>,
+        iv: &Interval<K>,
+        val: &V,
+    ) -> (Option<Box<Node<K, V>>>, bool) {
+        let Some(mut t) = tree else {
+            return (None, false);
+        };
+        let removed;
+        match (*iv, val).cmp(&(t.iv, &t.val)) {
+            std::cmp::Ordering::Equal => {
+                let merged = Self::merge(t.left.take(), t.right.take());
+                return (merged, true);
+            }
+            std::cmp::Ordering::Less => {
+                let (l, r) = Self::remove_node(t.left.take(), iv, val);
+                t.left = l;
+                removed = r;
+            }
+            std::cmp::Ordering::Greater => {
+                let (r, rm) = Self::remove_node(t.right.take(), iv, val);
+                t.right = r;
+                removed = rm;
+            }
+        }
+        t.pull();
+        (Some(t), removed)
+    }
+
+    /// Merges two trees where every key in `a` is `<=` every key in `b`.
+    fn merge(a: Option<Box<Node<K, V>>>, b: Option<Box<Node<K, V>>>) -> Option<Box<Node<K, V>>> {
+        match (a, b) {
+            (None, b) => b,
+            (a, None) => a,
+            (Some(mut a), Some(mut b)) => {
+                if a.prio > b.prio {
+                    a.right = Self::merge(a.right.take(), Some(b));
+                    a.pull();
+                    Some(a)
+                } else {
+                    b.left = Self::merge(Some(a), b.left.take());
+                    b.pull();
+                    Some(b)
+                }
+            }
+        }
+    }
+
+    /// Calls `visit` for every stored interval overlapping `query`, in
+    /// `(start, end, value)` order.
+    pub fn for_each_overlap<F: FnMut(&Interval<K>, &V)>(&self, query: Interval<K>, mut visit: F) {
+        if query.is_empty() {
+            return;
+        }
+        if let Some(root) = &self.root {
+            Self::visit_node(root, &query, &mut visit);
+        }
+    }
+
+    fn visit_node<F: FnMut(&Interval<K>, &V)>(
+        node: &Node<K, V>,
+        query: &Interval<K>,
+        visit: &mut F,
+    ) {
+        if node.max_end <= query.start {
+            // Nothing in this subtree reaches the query.
+            return;
+        }
+        if let Some(l) = &node.left {
+            Self::visit_node(l, query, visit);
+        }
+        if node.iv.start >= query.end {
+            // Keys are start-ordered: the node and its right subtree all
+            // start at or after the query end.
+            return;
+        }
+        if node.iv.overlaps(query) {
+            visit(&node.iv, &node.val);
+        }
+        if let Some(r) = &node.right {
+            Self::visit_node(r, query, visit);
+        }
+    }
+
+    /// Collects the values of entries containing `point` (the half-open
+    /// stabbing predicate `start <= point < end`).
+    pub fn stab_values(&self, point: K) -> Vec<&V> {
+        let mut out = Vec::new();
+        if let Some(root) = &self.root {
+            Self::collect_stab(root, point, &mut out);
+        }
+        out
+    }
+
+    fn collect_stab<'a>(node: &'a Node<K, V>, point: K, out: &mut Vec<&'a V>) {
+        if node.max_end <= point {
+            return;
+        }
+        if let Some(l) = &node.left {
+            Self::collect_stab(l, point, out);
+        }
+        if node.iv.start > point {
+            return;
+        }
+        if node.iv.contains(point) {
+            out.push(&node.val);
+        }
+        if let Some(r) = &node.right {
+            Self::collect_stab(r, point, out);
+        }
+    }
+
+    /// Counts entries overlapping `query` without materializing them.
+    pub fn count_overlaps(&self, query: Interval<K>) -> usize {
+        let mut n = 0usize;
+        self.for_each_overlap(query, |_, _| n += 1);
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids_overlapping(t: &DynamicIntervalTree<i64, u64>, q: Interval<i64>) -> Vec<u64> {
+        let mut v = Vec::new();
+        t.for_each_overlap(q, |_, &id| v.push(id));
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn insert_query_remove_roundtrip() {
+        let mut t = DynamicIntervalTree::new();
+        t.insert(Interval::new(0i64, 10), 0u64);
+        t.insert(Interval::new(5, 15), 1);
+        t.insert(Interval::new(20, 30), 2);
+        assert_eq!(t.len(), 3);
+        assert_eq!(ids_overlapping(&t, Interval::new(7, 8)), vec![0, 1]);
+        assert!(t.remove(Interval::new(5, 15), &1));
+        assert!(!t.remove(Interval::new(5, 15), &1), "already removed");
+        assert_eq!(ids_overlapping(&t, Interval::new(7, 8)), vec![0]);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn open_ended_intervals_stab_like_sets() {
+        // The live pending/running sets use [t, i64::MAX) intervals.
+        let mut t = DynamicIntervalTree::new();
+        for (start, id) in [(100i64, 1u64), (200, 2), (300, 3)] {
+            t.insert(Interval::new(start, i64::MAX), id);
+        }
+        assert_eq!(t.stab_values(50), Vec::<&u64>::new());
+        assert_eq!(t.stab_values(250).len(), 2);
+        assert!(t.remove(Interval::new(200, i64::MAX), &2));
+        assert_eq!(t.stab_values(250).len(), 1);
+    }
+
+    #[test]
+    fn duplicate_intervals_distinct_values() {
+        let mut t = DynamicIntervalTree::new();
+        t.insert(Interval::new(0i64, 5), 7u64);
+        t.insert(Interval::new(0, 5), 8);
+        t.insert(Interval::new(0, 5), 9);
+        assert_eq!(t.count_overlaps(Interval::new(1, 2)), 3);
+        assert!(t.remove(Interval::new(0, 5), &8));
+        assert_eq!(ids_overlapping(&t, Interval::new(1, 2)), vec![7, 9]);
+    }
+
+    #[test]
+    fn empty_and_inverted_queries_match_nothing() {
+        let mut t = DynamicIntervalTree::new();
+        t.insert(Interval::new(0i64, 10), 1u64);
+        assert_eq!(t.count_overlaps(Interval::new(5, 5)), 0);
+        assert_eq!(t.count_overlaps(Interval::new(9, 3)), 0);
+        // Empty stored intervals are kept but never reported.
+        t.insert(Interval::new(4, 4), 2);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.count_overlaps(Interval::new(0, 10)), 1);
+    }
+
+    #[test]
+    fn visit_order_is_sorted_by_start() {
+        let mut t = DynamicIntervalTree::new();
+        for (s, id) in [(30i64, 0u64), (10, 1), (20, 2), (10, 3)] {
+            t.insert(Interval::new(s, 100), id);
+        }
+        let mut starts = Vec::new();
+        t.for_each_overlap(Interval::new(0, 200), |iv, _| starts.push(iv.start));
+        assert_eq!(starts, vec![10, 10, 20, 30]);
+    }
+}

@@ -1,24 +1,33 @@
 //! Minimal `--flag value` option parsing (no third-party CLI dependency).
 
+use trout_core::TroutError;
+
 /// Parsed `--key value` pairs.
 #[derive(Debug, Clone, Default)]
 pub struct Options {
     pairs: Vec<(String, String)>,
 }
 
+fn config(msg: String) -> TroutError {
+    TroutError::Config(msg)
+}
+
 impl Options {
-    /// Parses alternating `--flag value` tokens.
-    pub fn parse(argv: &[String]) -> Result<Options, String> {
+    /// Parses `--flag value` tokens. A flag directly followed by another
+    /// flag (or by the end of the line) is a bare boolean switch, stored as
+    /// `"true"` — e.g. `trout serve --stdin`.
+    pub fn parse(argv: &[String]) -> Result<Options, TroutError> {
         let mut pairs = Vec::new();
-        let mut it = argv.iter();
+        let mut it = argv.iter().peekable();
         while let Some(flag) = it.next() {
             let Some(name) = flag.strip_prefix("--") else {
-                return Err(format!("expected a --flag, got `{flag}`"));
+                return Err(config(format!("expected a --flag, got `{flag}`")));
             };
-            let Some(value) = it.next() else {
-                return Err(format!("flag --{name} is missing a value"));
+            let value = match it.peek() {
+                Some(next) if !next.starts_with("--") => it.next().unwrap().clone(),
+                _ => "true".to_string(),
             };
-            pairs.push((name.to_string(), value.clone()));
+            pairs.push((name.to_string(), value));
         }
         Ok(Options { pairs })
     }
@@ -32,27 +41,32 @@ impl Options {
             .map(|(_, v)| v.as_str())
     }
 
+    /// Whether a flag is present at all.
+    pub fn has(&self, name: &str) -> bool {
+        self.get(name).is_some()
+    }
+
     /// Required string flag.
-    pub fn require(&self, name: &str) -> Result<&str, String> {
+    pub fn require(&self, name: &str) -> Result<&str, TroutError> {
         self.get(name)
-            .ok_or_else(|| format!("missing required flag --{name}"))
+            .ok_or_else(|| config(format!("missing required flag --{name}")))
     }
 
     /// Optional parsed flag with default.
-    pub fn get_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+    pub fn get_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, TroutError> {
         match self.get(name) {
             None => Ok(default),
             Some(v) => v
                 .parse()
-                .map_err(|_| format!("flag --{name}: cannot parse `{v}`")),
+                .map_err(|_| config(format!("flag --{name}: cannot parse `{v}`"))),
         }
     }
 
     /// Required parsed flag.
-    pub fn require_parsed<T: std::str::FromStr>(&self, name: &str) -> Result<T, String> {
+    pub fn require_parsed<T: std::str::FromStr>(&self, name: &str) -> Result<T, TroutError> {
         let v = self.require(name)?;
         v.parse()
-            .map_err(|_| format!("flag --{name}: cannot parse `{v}`"))
+            .map_err(|_| config(format!("flag --{name}: cannot parse `{v}`")))
     }
 }
 
@@ -60,7 +74,7 @@ impl Options {
 mod tests {
     use super::*;
 
-    fn opts(s: &[&str]) -> Result<Options, String> {
+    fn opts(s: &[&str]) -> Result<Options, TroutError> {
         Options::parse(&s.iter().map(|v| v.to_string()).collect::<Vec<_>>())
     }
 
@@ -70,6 +84,7 @@ mod tests {
         assert_eq!(o.get("jobs"), Some("100"));
         assert_eq!(o.get_or::<u64>("seed", 0).unwrap(), 7);
         assert_eq!(o.get_or::<u64>("absent", 3).unwrap(), 3);
+        assert!(o.has("jobs") && !o.has("absent"));
     }
 
     #[test]
@@ -79,21 +94,31 @@ mod tests {
     }
 
     #[test]
-    fn rejects_bare_values_and_dangling_flags() {
+    fn rejects_bare_values() {
         assert!(opts(&["jobs", "100"]).is_err());
-        assert!(opts(&["--jobs"]).is_err());
     }
 
     #[test]
-    fn reports_parse_failures() {
+    fn bare_flags_are_boolean_switches() {
+        let o = opts(&["--stdin", "--batch", "16", "--verbose"]).unwrap();
+        assert!(o.has("stdin"));
+        assert_eq!(o.get("stdin"), Some("true"));
+        assert_eq!(o.get_or::<usize>("batch", 0).unwrap(), 16);
+        assert!(o.has("verbose"));
+    }
+
+    #[test]
+    fn reports_parse_failures_as_config_errors() {
         let o = opts(&["--jobs", "many"]).unwrap();
         let err = o.get_or::<usize>("jobs", 1).unwrap_err();
-        assert!(err.contains("--jobs"), "{err}");
+        assert!(matches!(err, TroutError::Config(_)));
+        assert!(err.to_string().contains("--jobs"), "{err}");
     }
 
     #[test]
     fn require_reports_missing() {
         let o = opts(&[]).unwrap();
-        assert!(o.require("trace").unwrap_err().contains("--trace"));
+        let err = o.require("trace").unwrap_err();
+        assert!(err.to_string().contains("--trace"), "{err}");
     }
 }

@@ -2,9 +2,13 @@
 
 use std::fs;
 
+use trout_core::error::{Result, TroutError};
 use trout_core::eval as core_eval;
 use trout_core::tuner::{tune_regressor, TunerConfig};
-use trout_core::{featurize, HierarchicalModel, TroutConfig, TroutTrainer};
+use trout_core::{
+    featurize, BatchPredictionRequest, HierarchicalModel, PredictionRequest, Predictor,
+    TroutConfig, TroutTrainer,
+};
 use trout_features::names;
 use trout_ml::importance::permutation_importance;
 use trout_ml::metrics;
@@ -15,12 +19,12 @@ use trout_workload::ClusterSpec;
 use crate::args::Options;
 
 /// `trout simulate --jobs N --seed S --out FILE`
-pub fn simulate(opts: &Options) -> Result<(), String> {
+pub fn simulate(opts: &Options) -> Result<()> {
     let jobs: usize = opts.get_or("jobs", 20_000)?;
     let seed: u64 = opts.get_or("seed", 42)?;
     let out = opts.require("out")?;
     let trace = SimulationBuilder::anvil_like().jobs(jobs).seed(seed).run();
-    fs::write(out, trace.to_csv()).map_err(|e| format!("writing {out}: {e}"))?;
+    fs::write(out, trace.to_csv()).map_err(|e| io_at("writing", out, e))?;
     println!(
         "wrote {} records to {out} ({:.1}% under 10 min)",
         trace.records.len(),
@@ -29,13 +33,19 @@ pub fn simulate(opts: &Options) -> Result<(), String> {
     Ok(())
 }
 
-fn load_trace(opts: &Options) -> Result<Trace, String> {
+/// Wraps an io error with the operation and path it came from.
+fn io_at(what: &str, path: &str, e: std::io::Error) -> TroutError {
+    TroutError::Io(std::io::Error::new(e.kind(), format!("{what} {path}: {e}")))
+}
+
+pub(crate) fn load_trace(opts: &Options) -> Result<Trace> {
     let path = opts.require("trace")?;
-    let text = fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let text = fs::read_to_string(path).map_err(|e| io_at("reading", path, e))?;
     // SWF logs (Parallel Workloads Archive) start with `;` header comments
     // or use the .swf extension; everything else is the native CSV format.
     if path.ends_with(".swf") || text.starts_with(';') {
-        let (trace, stats) = trout_slurmsim::swf::parse_swf(&text).map_err(|e| e.to_string())?;
+        let (trace, stats) =
+            trout_slurmsim::swf::parse_swf(&text).map_err(|e| TroutError::Parse(e.to_string()))?;
         eprintln!(
             "imported SWF: {} jobs ({} skipped as never-started)",
             stats.imported, stats.skipped_not_started
@@ -43,11 +53,11 @@ fn load_trace(opts: &Options) -> Result<Trace, String> {
         return Ok(trace);
     }
     Trace::from_csv(ClusterSpec::anvil_like(), &text)
-        .ok_or_else(|| format!("{path} is not a trout trace CSV or SWF log"))
+        .ok_or_else(|| TroutError::Parse(format!("{path} is not a trout trace CSV or SWF log")))
 }
 
 /// `trout stats --trace FILE`
-pub fn stats(opts: &Options) -> Result<(), String> {
+pub fn stats(opts: &Options) -> Result<()> {
     let trace = load_trace(opts)?;
     let stats = TraceStats::of(&to_requests(&trace));
     println!(
@@ -99,7 +109,7 @@ fn to_requests(trace: &Trace) -> Vec<trout_workload::JobRequest> {
 }
 
 /// `trout train --trace FILE --out MODEL.json [--cutoff MIN] [--epochs N]`
-pub fn train(opts: &Options) -> Result<(), String> {
+pub fn train(opts: &Options) -> Result<()> {
     let trace = load_trace(opts)?;
     let out = opts.require("out")?;
     let mut cfg = TroutConfig::default();
@@ -108,13 +118,17 @@ pub fn train(opts: &Options) -> Result<(), String> {
     cfg.seed = opts.get_or("seed", 0)?;
     let (ds, _) = featurize(&trace, 0.6, cfg.seed);
     let model = TroutTrainer::new(cfg.clone()).fit(&ds);
-    fs::write(out, model.to_json()).map_err(|e| format!("writing {out}: {e}"))?;
+    fs::write(out, model.to_json()).map_err(|e| io_at("writing", out, e))?;
 
     // Quick self-report on the most recent 20 %.
     let split = ds.len() * 4 / 5;
     let test: Vec<usize> = (split..ds.len()).collect();
     let (tx, ty) = ds.select(&test);
-    let probs = model.quick_start_proba_batch(&tx);
+    let probs: Vec<f32> = model
+        .predict_batch(BatchPredictionRequest::new(&tx))
+        .into_iter()
+        .map(|p| p.quick_proba)
+        .collect();
     let labels: Vec<f32> = ty
         .iter()
         .map(|&q| if q < cfg.cutoff_min { 1.0 } else { 0.0 })
@@ -128,14 +142,14 @@ pub fn train(opts: &Options) -> Result<(), String> {
     Ok(())
 }
 
-fn load_model(opts: &Options) -> Result<HierarchicalModel, String> {
+pub(crate) fn load_model(opts: &Options) -> Result<HierarchicalModel> {
     let path = opts.require("model")?;
-    let json = fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
-    HierarchicalModel::from_json(&json).map_err(|e| format!("{path}: {e}"))
+    let json = fs::read_to_string(path).map_err(|e| io_at("reading", path, e))?;
+    HierarchicalModel::from_json(&json).map_err(|e| TroutError::Model(format!("{path}: {e}")))
 }
 
 /// `trout predict --model MODEL.json --trace FILE --job-id ID`
-pub fn predict(opts: &Options) -> Result<(), String> {
+pub fn predict(opts: &Options) -> Result<()> {
     let trace = load_trace(opts)?;
     let model = load_model(opts)?;
     let job_id: u64 = opts.require_parsed("job-id")?;
@@ -143,14 +157,14 @@ pub fn predict(opts: &Options) -> Result<(), String> {
         .records
         .iter()
         .position(|r| r.id == job_id)
-        .ok_or_else(|| format!("job {job_id} not found in trace"))?;
+        .ok_or_else(|| TroutError::Config(format!("job {job_id} not found in trace")))?;
     let (ds, _) = featurize(&trace, 0.6, 0);
-    let pred = model.predict(ds.row(row));
-    println!("{}", pred.message(model.cutoff_min));
+    let pred = model.predict(PredictionRequest::new(ds.row(row)));
+    println!("{}", pred.message());
     println!(
         "(calibrated chance of starting within {:.0} minutes: {:.0}%)",
-        model.cutoff_min,
-        100.0 * model.calibrated_quick_proba(ds.row(row))
+        pred.cutoff_min,
+        100.0 * pred.calibrated_proba
     );
     let actual = trace.records[row].queue_time_min();
     println!("(actual queue time in trace: {actual:.1} minutes)");
@@ -161,14 +175,15 @@ pub fn predict(opts: &Options) -> Result<(), String> {
 ///
 /// The paper's future-work extension: predict the queue time of a job the
 /// user has *not* submitted, from the current end-of-trace cluster state.
-pub fn whatif(opts: &Options) -> Result<(), String> {
+pub fn whatif(opts: &Options) -> Result<()> {
     let mut trace = load_trace(opts)?;
     let model = load_model(opts)?;
     let part_name = opts.require("partition")?;
     let partition = trace
         .cluster
         .partition_index(part_name)
-        .ok_or_else(|| format!("unknown partition `{part_name}`"))? as u32;
+        .ok_or_else(|| TroutError::Config(format!("unknown partition `{part_name}`")))?
+        as u32;
     let cpus: u32 = opts.require_parsed("cpus")?;
     let mem: u32 = opts.require_parsed("mem")?;
     let nodes: u32 = opts.get_or("nodes", 1)?;
@@ -215,16 +230,16 @@ pub fn whatif(opts: &Options) -> Result<(), String> {
     };
     trace.records.push(hypothetical);
     let (ds, _) = featurize(&trace, 0.6, 0);
-    let pred = model.predict(ds.row(ds.len() - 1));
+    let pred = model.predict(PredictionRequest::new(ds.row(ds.len() - 1)));
     println!(
         "hypothetical job ({part_name}, {cpus} cpus, {mem} GB, {nodes} nodes, {timelimit} min limit):"
     );
-    println!("{}", pred.message(model.cutoff_min));
+    println!("{}", pred.message());
     Ok(())
 }
 
 /// `trout importance --model MODEL.json --trace FILE [--top N]`
-pub fn importance(opts: &Options) -> Result<(), String> {
+pub fn importance(opts: &Options) -> Result<()> {
     let trace = load_trace(opts)?;
     let model = load_model(opts)?;
     let top: usize = opts.get_or("top", 10)?;
@@ -232,14 +247,22 @@ pub fn importance(opts: &Options) -> Result<(), String> {
     // Importance of the regressor on the truly-long most recent jobs.
     let long = ds.long_wait_indices(model.cutoff_min);
     if long.is_empty() {
-        return Err("trace has no long-wait jobs to attribute".into());
+        return Err(TroutError::Model(
+            "trace has no long-wait jobs to attribute".into(),
+        ));
     }
     let take: Vec<usize> = long.iter().rev().take(4_000).copied().collect();
     let (x, y) = ds.select(&take);
     let imps = permutation_importance(
         &x,
         &y,
-        |m| model.regress_minutes_batch(m),
+        |m| {
+            model
+                .predict_batch(BatchPredictionRequest::with_minutes(m))
+                .into_iter()
+                .map(|p| p.minutes.expect("want_minutes set"))
+                .collect()
+        },
         metrics::mape,
         2,
         7,
@@ -257,7 +280,7 @@ pub fn importance(opts: &Options) -> Result<(), String> {
 
 /// `trout eval --trace FILE [--folds N]` — the paper's full evaluation
 /// protocol: per-fold classifier accuracy and regressor MAPE/r/within-100%.
-pub fn eval(opts: &Options) -> Result<(), String> {
+pub fn eval(opts: &Options) -> Result<()> {
     let trace = load_trace(opts)?;
     let folds: usize = opts.get_or("folds", 5)?;
     let mut cfg = TroutConfig::default();
@@ -295,7 +318,7 @@ pub fn eval(opts: &Options) -> Result<(), String> {
 }
 
 /// `trout tune --trace FILE [--trials N]` — the Optuna-substitute search.
-pub fn tune(opts: &Options) -> Result<(), String> {
+pub fn tune(opts: &Options) -> Result<()> {
     let trace = load_trace(opts)?;
     let trials: usize = opts.get_or("trials", 12)?;
     let seed: u64 = opts.get_or("seed", 7)?;

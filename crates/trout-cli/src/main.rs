@@ -17,8 +17,11 @@
 
 use std::process::ExitCode;
 
+use trout_core::TroutError;
+
 mod args;
 mod commands;
+mod serve_cmd;
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -31,10 +34,10 @@ fn main() -> ExitCode {
     }
 }
 
-fn run(argv: &[String]) -> Result<(), String> {
+fn run(argv: &[String]) -> Result<(), TroutError> {
     let Some(cmd) = argv.first() else {
         print_usage();
-        return Err("missing subcommand".into());
+        return Err(TroutError::Config("missing subcommand".into()));
     };
     let opts = args::Options::parse(&argv[1..])?;
     match cmd.as_str() {
@@ -46,11 +49,15 @@ fn run(argv: &[String]) -> Result<(), String> {
         "importance" => commands::importance(&opts),
         "eval" => commands::eval(&opts),
         "tune" => commands::tune(&opts),
+        "serve" => serve_cmd::serve(&opts),
+        "events" => serve_cmd::events(&opts),
         "help" | "--help" | "-h" => {
             print_usage();
             Ok(())
         }
-        other => Err(format!("unknown subcommand `{other}` (try `trout help`)")),
+        other => Err(TroutError::Config(format!(
+            "unknown subcommand `{other}` (try `trout help`)"
+        ))),
     }
 }
 
@@ -77,6 +84,11 @@ SUBCOMMANDS:
   eval        run the paper's 5-fold time-series evaluation on a trace
               --trace FILE [--folds N]
   tune        Optuna-substitute hyper-parameter search for the regressor
-              --trace FILE [--trials N]"
+              --trace FILE [--trials N]
+  serve       online prediction daemon (ndjson over stdin/stdout or TCP)
+              (--model MODEL.json --trace FILE | --bootstrap JOBS)
+              [--stdin | --listen ADDR] [--batch N] [--refit-every N]
+  events      flatten a trace into a submit/start/end ndjson replay script
+              --trace FILE [--out FILE] [--predict-every N]"
     );
 }

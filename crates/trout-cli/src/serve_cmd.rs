@@ -1,0 +1,165 @@
+//! The `trout serve` daemon and the `trout events` replay-script generator.
+
+use std::fs;
+use std::sync::{Arc, Mutex};
+
+use trout_core::error::{Result, TroutError};
+use trout_core::online::OnlineConfig;
+use trout_core::TroutConfig;
+use trout_features::incremental::{trace_events, ReplayEvent};
+use trout_serve::protocol::job_to_json;
+use trout_serve::{run_stdin, run_tcp, ServeConfig, ServeEngine};
+use trout_std::json::Json;
+
+use crate::args::Options;
+use crate::commands::{load_model, load_trace};
+
+/// `trout serve (--model MODEL.json --trace FILE | --bootstrap JOBS)
+///              [--stdin | --listen ADDR] [--batch N] [--refit-every N]`
+///
+/// Builds the engine (either from a trained model plus its training trace,
+/// or self-bootstrapped from a fresh simulation), then serves the ndjson
+/// protocol over stdin/stdout (the default) or a TCP listener.
+pub fn serve(opts: &Options) -> Result<()> {
+    let batch: usize = opts.get_or("batch", 32)?;
+    let cfg = ServeConfig {
+        refit_every: opts.get_or("refit-every", 256)?,
+        seed: opts.get_or("seed", 0)?,
+        ..Default::default()
+    };
+
+    let engine = if opts.has("bootstrap") {
+        let jobs: usize = opts.require_parsed("bootstrap")?;
+        eprintln!(
+            "serve: bootstrapping on a fresh {jobs}-job simulation (seed {})",
+            cfg.seed
+        );
+        ServeEngine::bootstrap(jobs, &cfg)
+    } else {
+        let model = load_model(opts)?;
+        let trace = load_trace(opts)?;
+        eprintln!(
+            "serve: loaded model, refitting scaler + runtime forest on {} trace records",
+            trace.records.len()
+        );
+        ServeEngine::from_trace(
+            &trace,
+            Some(model),
+            TroutConfig::default(),
+            OnlineConfig::default(),
+            &cfg,
+        )
+    };
+
+    match opts.get("listen") {
+        Some(addr) => {
+            let listener = std::net::TcpListener::bind(addr)
+                .map_err(|e| TroutError::Config(format!("cannot listen on {addr}: {e}")))?;
+            eprintln!("serve: listening on {addr}");
+            run_tcp(Arc::new(Mutex::new(engine)), listener, batch, None)
+        }
+        None => {
+            eprintln!("serve: reading events from stdin (batch {batch})");
+            let handled = run_stdin(engine, batch)?;
+            eprintln!("serve: session closed after {handled} requests");
+            Ok(())
+        }
+    }
+}
+
+/// `trout events --trace FILE [--out FILE] [--predict-every N]`
+///
+/// Flattens a trace into the time-ordered submit/start/end ndjson stream a
+/// live client would have produced — directly pipeable into `trout serve`.
+/// With `--predict-every N`, every Nth submit is followed by a predict for
+/// that job at its submission instant; the script ends with `metrics` and
+/// `shutdown` so a piped session exits cleanly.
+pub fn events(opts: &Options) -> Result<()> {
+    let trace = load_trace(opts)?;
+    let predict_every: usize = opts.get_or("predict-every", 0)?;
+    let mut out = String::new();
+    let mut submits = 0usize;
+    for (t, ev) in trace_events(&trace) {
+        match ev {
+            ReplayEvent::Submit(i) => {
+                let r = &trace.records[i];
+                let line = Json::Obj(vec![
+                    ("event".into(), Json::Str("submit".into())),
+                    ("job".into(), job_to_json(r)),
+                ]);
+                out.push_str(&line.to_string());
+                out.push('\n');
+                submits += 1;
+                if predict_every > 0 && submits % predict_every == 0 {
+                    out.push_str(&format!(
+                        "{{\"event\":\"predict\",\"id\":{},\"time\":{}}}\n",
+                        r.id, r.submit_time
+                    ));
+                }
+            }
+            ReplayEvent::Start(i) => out.push_str(&format!(
+                "{{\"event\":\"start\",\"id\":{},\"time\":{t}}}\n",
+                trace.records[i].id
+            )),
+            ReplayEvent::End(i) => out.push_str(&format!(
+                "{{\"event\":\"end\",\"id\":{},\"time\":{t}}}\n",
+                trace.records[i].id
+            )),
+        }
+    }
+    out.push_str("{\"event\":\"metrics\"}\n{\"event\":\"shutdown\"}\n");
+    match opts.get("out") {
+        Some(path) => {
+            fs::write(path, &out).map_err(|e| {
+                TroutError::Io(std::io::Error::new(
+                    e.kind(),
+                    format!("writing {path}: {e}"),
+                ))
+            })?;
+            eprintln!("wrote {} event lines to {path}", out.lines().count());
+        }
+        None => print!("{out}"),
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trout_slurmsim::SimulationBuilder;
+
+    #[test]
+    fn events_script_round_trips_through_the_protocol() {
+        let trace = SimulationBuilder::anvil_like().jobs(40).seed(5).run();
+        // Reuse the generator body via a temp file.
+        let dir = std::env::temp_dir().join("trout_events_test");
+        fs::create_dir_all(&dir).unwrap();
+        let trace_path = dir.join("trace.csv");
+        let out_path = dir.join("events.ndjson");
+        fs::write(&trace_path, trace.to_csv()).unwrap();
+        let opts = Options::parse(&[
+            "--trace".into(),
+            trace_path.display().to_string(),
+            "--out".into(),
+            out_path.display().to_string(),
+            "--predict-every".into(),
+            "4".into(),
+        ])
+        .unwrap();
+        events(&opts).unwrap();
+
+        let script = fs::read_to_string(&out_path).unwrap();
+        // submit+start+end per record (no cancellations in the default
+        // workload), one predict per 4 submits, plus metrics+shutdown.
+        assert_eq!(script.lines().count(), 40 * 3 + 10 + 2);
+        let mut predicts = 0usize;
+        for line in script.lines() {
+            let ev = trout_serve::parse_event(line).unwrap_or_else(|e| panic!("{line}: {e}"));
+            if matches!(ev, trout_serve::ClientEvent::Predict { .. }) {
+                predicts += 1;
+            }
+        }
+        assert_eq!(predicts, 10);
+        assert!(script.trim_end().ends_with("{\"event\":\"shutdown\"}"));
+    }
+}

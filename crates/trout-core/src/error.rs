@@ -1,0 +1,101 @@
+//! The crate-wide error type.
+//!
+//! Everything user-facing (CLI commands, checkpoint loading, the serve
+//! protocol) previously reported failures as bare `String`s, which made the
+//! failure class invisible to callers — the server cannot decide whether to
+//! reject one request or shut down without parsing prose. [`TroutError`]
+//! carries the class as a variant; `From` impls let `?` lift the common
+//! underlying errors.
+
+use trout_std::json::JsonError;
+
+/// Classified failure from any TROUT entry point.
+#[derive(Debug)]
+pub enum TroutError {
+    /// Filesystem or socket failure.
+    Io(std::io::Error),
+    /// Malformed input: CSV/SWF traces, JSON checkpoints, protocol frames.
+    Parse(String),
+    /// Invalid or inconsistent configuration (flags, knobs, shapes).
+    Config(String),
+    /// Model-level failure: training produced no model, checkpoint
+    /// incompatible with the feature schema, etc.
+    Model(String),
+    /// Serve-protocol violation: unknown event kind, illegal lifecycle
+    /// transition, reference to an unknown job.
+    Protocol(String),
+}
+
+impl std::fmt::Display for TroutError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TroutError::Io(e) => write!(f, "io error: {e}"),
+            TroutError::Parse(m) => write!(f, "parse error: {m}"),
+            TroutError::Config(m) => write!(f, "config error: {m}"),
+            TroutError::Model(m) => write!(f, "model error: {m}"),
+            TroutError::Protocol(m) => write!(f, "protocol error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for TroutError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TroutError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for TroutError {
+    fn from(e: std::io::Error) -> Self {
+        TroutError::Io(e)
+    }
+}
+
+impl From<JsonError> for TroutError {
+    fn from(e: JsonError) -> Self {
+        TroutError::Parse(e.to_string())
+    }
+}
+
+impl From<trout_features::incremental::EventError> for TroutError {
+    fn from(e: trout_features::incremental::EventError) -> Self {
+        TroutError::Protocol(e.to_string())
+    }
+}
+
+/// Shorthand used throughout the CLI and server.
+pub type Result<T> = std::result::Result<T, TroutError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_carry_the_class() {
+        let cases: Vec<(TroutError, &str)> = vec![
+            (
+                TroutError::Io(std::io::Error::new(std::io::ErrorKind::NotFound, "gone")),
+                "io error",
+            ),
+            (TroutError::Parse("bad row".into()), "parse error"),
+            (TroutError::Config("bad flag".into()), "config error"),
+            (TroutError::Model("no model".into()), "model error"),
+            (TroutError::Protocol("bad event".into()), "protocol error"),
+        ];
+        for (e, prefix) in cases {
+            assert!(e.to_string().starts_with(prefix), "{e}");
+        }
+    }
+
+    #[test]
+    fn from_impls_classify() {
+        let io: TroutError = std::io::Error::new(std::io::ErrorKind::Other, "x").into();
+        assert!(matches!(io, TroutError::Io(_)));
+        let js: TroutError = JsonError::new("broken").into();
+        assert!(matches!(js, TroutError::Parse(_)));
+        let ev: TroutError = trout_features::incremental::EventError::UnknownJob(7).into();
+        assert!(matches!(ev, TroutError::Protocol(_)));
+    }
+}

@@ -8,6 +8,7 @@ use trout_ml::knn::{KnnConfig, KnnRegressor};
 use trout_ml::metrics;
 use trout_ml::tree::{Gbt, GbtConfig, Objective, RandomForest, RandomForestConfig};
 
+use crate::predictor::{BatchPredictionRequest, Predictor};
 use crate::trainer::{TroutConfig, TroutTrainer};
 
 /// Per-fold metrics of the hierarchical model, matching §IV's reporting:
@@ -50,8 +51,10 @@ pub fn evaluate_folds(cfg: &TroutConfig, ds: &Dataset, n_splits: usize) -> Vec<F
         let model = trainer.fit_rows(ds, &fold.train);
         let (tx, ty) = ds.select(&fold.test);
 
-        // Classifier over the full test window.
-        let probs = model.quick_start_proba_batch(&tx);
+        // One batched pass yields the classifier probabilities for the whole
+        // test window and the regressor's minutes for every row.
+        let predictions = model.predict_batch(BatchPredictionRequest::with_minutes(&tx));
+        let probs: Vec<f32> = predictions.iter().map(|p| p.quick_proba).collect();
         let labels: Vec<f32> = ty
             .iter()
             .map(|&q| if q < cfg.cutoff_min { 1.0 } else { 0.0 })
@@ -61,9 +64,11 @@ pub fn evaluate_folds(cfg: &TroutConfig, ds: &Dataset, n_splits: usize) -> Vec<F
 
         // Regressor over the truly-long test jobs.
         let long_idx: Vec<usize> = (0..ty.len()).filter(|&i| ty[i] >= cfg.cutoff_min).collect();
-        let lx = tx.select_rows(&long_idx);
         let lys: Vec<f32> = long_idx.iter().map(|&i| ty[i]).collect();
-        let preds = model.regress_minutes_batch(&lx);
+        let preds: Vec<f32> = long_idx
+            .iter()
+            .map(|&i| predictions[i].minutes.expect("want_minutes set"))
+            .collect();
         reports.push(FoldReport {
             fold: f + 1,
             n_train: fold.train.len(),
@@ -202,9 +207,12 @@ fn train_predict(
             // emit raw-space predictions to share the common inverse below.
             let trained = TroutTrainer::new(cfg.clone()).fit_rows(ds, train_rows);
             trained
-                .regress_minutes_batch(ex)
+                .predict_batch(BatchPredictionRequest::with_minutes(ex))
                 .into_iter()
-                .map(|m| cfg.target_transform.forward(m))
+                .map(|p| {
+                    cfg.target_transform
+                        .forward(p.minutes.expect("want_minutes set"))
+                })
                 .collect()
         }
         BaselineModel::Xgboost => {

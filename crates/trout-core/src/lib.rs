@@ -17,18 +17,25 @@
 //! * [`featurize`] — trace → [`trout_features::Dataset`] with the runtime
 //!   model wired in.
 //! * [`TroutTrainer::fit`] — dataset → [`HierarchicalModel`].
-//! * [`HierarchicalModel::predict`] — Algorithm 1.
+//! * [`Predictor::predict`] — Algorithm 1 behind the typed request/response
+//!   API every consumer (CLI, eval, benches, the serve daemon) shares.
 //! * [`eval`] — the paper's fold-by-fold evaluation and the four-model
 //!   comparison behind Figs. 6–9.
 
+pub mod error;
 pub mod eval;
 mod model;
 pub mod online;
+mod predictor;
 mod runtime;
 mod trainer;
 pub mod tuner;
 
-pub use model::{HierarchicalModel, QueuePrediction};
+pub use error::TroutError;
+pub use model::HierarchicalModel;
+pub use predictor::{
+    BatchPredictionRequest, PredictionRequest, Predictor, QueueEstimate, QueuePrediction,
+};
 pub use runtime::RuntimePredictor;
 pub use trainer::{TargetTransform, TroutConfig, TroutTrainer};
 pub use tuner::{tune_regressor, TunerConfig};

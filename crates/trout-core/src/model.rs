@@ -1,43 +1,16 @@
 //! The hierarchical model and Algorithm 1 inference.
 
-use trout_linalg::{ops::sigmoid, Matrix};
+use trout_linalg::ops::sigmoid;
 use trout_ml::calibration::PlattScaler;
 use trout_ml::nn::Mlp;
 
+use crate::predictor::{
+    BatchPredictionRequest, PredictionRequest, Predictor, QueueEstimate, QueuePrediction,
+};
 use crate::trainer::TargetTransform;
 
-/// Algorithm 1's output: either "less than the cutoff" or a concrete number
-/// of minutes from the regressor.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub enum QueuePrediction {
-    /// Predicted to start within the cutoff (10 minutes in the paper).
-    QuickStart,
-    /// Predicted queue time in minutes.
-    Minutes(f32),
-}
-
-impl QueuePrediction {
-    /// The user-facing message of Algorithm 1.
-    pub fn message(&self, cutoff_min: f32) -> String {
-        match self {
-            QueuePrediction::QuickStart => {
-                format!("Predicted to take less than {cutoff_min:.0} minutes")
-            }
-            QueuePrediction::Minutes(m) => format!("Predicted to start in {m:.0} minutes"),
-        }
-    }
-
-    /// Collapses to a number for metric computation: quick starts count as
-    /// half the cutoff (the class's central value).
-    pub fn as_minutes(&self, cutoff_min: f32) -> f32 {
-        match self {
-            QueuePrediction::QuickStart => cutoff_min / 2.0,
-            QueuePrediction::Minutes(m) => *m,
-        }
-    }
-}
-
 /// The trained two-stage system: quick-start classifier + queue regressor.
+/// All inference goes through the [`Predictor`] impl.
 #[derive(Debug, Clone)]
 pub struct HierarchicalModel {
     /// Quick-start cutoff in minutes (10 in the paper).
@@ -61,77 +34,10 @@ trout_std::impl_json_struct!(HierarchicalModel {
 });
 
 impl HierarchicalModel {
-    /// Algorithm 1 for one feature row: classify, and only if the job is
-    /// predicted to exceed the cutoff, regress a concrete queue time.
-    pub fn predict(&self, features: &[f32]) -> QueuePrediction {
-        let quick_logit = self.classifier.predict_one(features);
-        // The classifier is trained with label 1 = quick start.
-        if sigmoid(quick_logit) >= 0.5 {
-            QueuePrediction::QuickStart
-        } else {
-            QueuePrediction::Minutes(self.regress_minutes(features))
-        }
-    }
-
-    /// Batch version of [`HierarchicalModel::predict`].
-    pub fn predict_batch(&self, x: &Matrix) -> Vec<QueuePrediction> {
-        let probs = self.classifier.predict_proba(x);
-        let mut out = Vec::with_capacity(x.rows());
-        for (r, &p) in probs.iter().enumerate() {
-            if p >= 0.5 {
-                out.push(QueuePrediction::QuickStart);
-            } else {
-                out.push(QueuePrediction::Minutes(self.regress_minutes(x.row(r))));
-            }
-        }
-        out
-    }
-
-    /// Probability the job starts within the cutoff (raw sigmoid of the
-    /// classifier logit — the quantity Algorithm 1 thresholds).
-    pub fn quick_start_proba(&self, features: &[f32]) -> f32 {
-        sigmoid(self.classifier.predict_one(features))
-    }
-
-    /// Quick-start probabilities for a batch.
-    pub fn quick_start_proba_batch(&self, x: &Matrix) -> Vec<f32> {
-        self.classifier.predict_proba(x)
-    }
-
-    /// Calibrated quick-start probability (Platt-scaled; falls back to the
-    /// raw sigmoid when no calibrator was fitted).
-    pub fn calibrated_quick_proba(&self, features: &[f32]) -> f32 {
-        let logit = self.classifier.predict_one(features);
-        match &self.calibrator {
-            Some(c) => c.calibrate(logit),
-            None => sigmoid(logit),
-        }
-    }
-
-    /// Calibrated probabilities for a batch.
-    pub fn calibrated_quick_proba_batch(&self, x: &Matrix) -> Vec<f32> {
-        let logits = self.classifier.predict(x);
-        match &self.calibrator {
-            Some(c) => c.calibrate_batch(&logits),
-            None => logits.into_iter().map(sigmoid).collect(),
-        }
-    }
-
-    /// The regressor's raw queue-time estimate in minutes (ignores the
-    /// classifier stage; used when evaluating the regressor on known-long
-    /// jobs as the paper does).
-    pub fn regress_minutes(&self, features: &[f32]) -> f32 {
+    /// The regressor's raw queue-time estimate for one row.
+    fn regress_one(&self, features: &[f32]) -> f32 {
         let raw = self.regressor.predict_one(features);
         self.target_transform.inverse(raw).max(0.0)
-    }
-
-    /// Batch version of [`HierarchicalModel::regress_minutes`].
-    pub fn regress_minutes_batch(&self, x: &Matrix) -> Vec<f32> {
-        self.regressor
-            .predict(x)
-            .into_iter()
-            .map(|raw| self.target_transform.inverse(raw).max(0.0))
-            .collect()
     }
 
     /// Serializes to JSON (the CLI checkpoint format).
@@ -145,25 +51,77 @@ impl HierarchicalModel {
     }
 }
 
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn messages_follow_algorithm_1() {
-        assert_eq!(
-            QueuePrediction::QuickStart.message(10.0),
-            "Predicted to take less than 10 minutes"
-        );
-        assert_eq!(
-            QueuePrediction::Minutes(42.4).message(10.0),
-            "Predicted to start in 42 minutes"
-        );
+impl Predictor for HierarchicalModel {
+    fn cutoff_min(&self) -> f32 {
+        self.cutoff_min
     }
 
-    #[test]
-    fn as_minutes_collapses_quick_starts() {
-        assert_eq!(QueuePrediction::QuickStart.as_minutes(10.0), 5.0);
-        assert_eq!(QueuePrediction::Minutes(77.0).as_minutes(10.0), 77.0);
+    /// Algorithm 1 for one feature row: classify, and only if the job is
+    /// predicted to exceed the cutoff (or the request insists), regress a
+    /// concrete queue time.
+    fn predict(&self, req: PredictionRequest<'_>) -> QueuePrediction {
+        let logit = self.classifier.predict_one(req.features);
+        let quick_proba = sigmoid(logit);
+        let calibrated_proba = match &self.calibrator {
+            Some(c) => c.calibrate(logit),
+            None => quick_proba,
+        };
+        let quick = quick_proba >= 0.5;
+        let minutes = if !quick || req.want_minutes {
+            Some(self.regress_one(req.features))
+        } else {
+            None
+        };
+        QueuePrediction {
+            estimate: if quick {
+                QueueEstimate::QuickStart
+            } else {
+                QueueEstimate::Minutes(minutes.expect("regressed above"))
+            },
+            quick_proba,
+            calibrated_proba,
+            minutes,
+            cutoff_min: self.cutoff_min,
+        }
+    }
+
+    /// Batched Algorithm 1: one classifier pass over the whole matrix, one
+    /// regressor pass over the rows that need it. Bitwise identical to the
+    /// row-by-row path because MLP inference is row-independent.
+    fn predict_batch(&self, req: BatchPredictionRequest<'_>) -> Vec<QueuePrediction> {
+        let x = req.features;
+        let logits = self.classifier.predict(x);
+        let probs: Vec<f32> = logits.iter().map(|&l| sigmoid(l)).collect();
+        let calibrated: Vec<f32> = match &self.calibrator {
+            Some(c) => c.calibrate_batch(&logits),
+            None => probs.clone(),
+        };
+
+        // Rows the regressor must see: classified-long always, all rows when
+        // the request wants unconditional minutes.
+        let regress_rows: Vec<usize> = (0..x.rows())
+            .filter(|&r| probs[r] < 0.5 || req.want_minutes)
+            .collect();
+        let mut minutes: Vec<Option<f32>> = vec![None; x.rows()];
+        if !regress_rows.is_empty() {
+            let rx = x.select_rows(&regress_rows);
+            for (&r, raw) in regress_rows.iter().zip(self.regressor.predict(&rx)) {
+                minutes[r] = Some(self.target_transform.inverse(raw).max(0.0));
+            }
+        }
+
+        (0..x.rows())
+            .map(|r| QueuePrediction {
+                estimate: if probs[r] >= 0.5 {
+                    QueueEstimate::QuickStart
+                } else {
+                    QueueEstimate::Minutes(minutes[r].expect("regressed above"))
+                },
+                quick_proba: probs[r],
+                calibrated_proba: calibrated[r],
+                minutes: minutes[r],
+                cutoff_min: self.cutoff_min,
+            })
+            .collect()
     }
 }

@@ -92,9 +92,18 @@ pub fn update_model(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{featurize, TroutTrainer};
+    use crate::{featurize, BatchPredictionRequest, Predictor, TroutTrainer};
+    use trout_linalg::Matrix;
     use trout_ml::metrics;
     use trout_slurmsim::SimulationBuilder;
+
+    fn quick_probs(model: &HierarchicalModel, x: &Matrix) -> Vec<f32> {
+        model
+            .predict_batch(BatchPredictionRequest::new(x))
+            .into_iter()
+            .map(|p| p.quick_proba)
+            .collect()
+    }
 
     #[test]
     fn online_updates_do_not_break_the_model() {
@@ -111,11 +120,10 @@ mod tests {
         // Still produces finite predictions on the most recent window.
         let tail: Vec<usize> = (3_600..4_000).collect();
         let (tx, _) = ds.select(&tail);
-        for p in model.regress_minutes_batch(&tx) {
-            assert!(p.is_finite() && p >= 0.0);
-        }
-        for p in model.quick_start_proba_batch(&tx) {
-            assert!((0.0..=1.0).contains(&p));
+        for p in model.predict_batch(BatchPredictionRequest::with_minutes(&tx)) {
+            let m = p.minutes.expect("want_minutes set");
+            assert!(m.is_finite() && m >= 0.0);
+            assert!((0.0..=1.0).contains(&p.quick_proba));
         }
     }
 
@@ -144,9 +152,8 @@ mod tests {
                 .iter()
                 .map(|&q| if q < 10.0 { 1.0 } else { 0.0 })
                 .collect();
-            frozen_acc += metrics::binary_accuracy(&frozen.quick_start_proba_batch(&tx), &labels);
-            online_acc +=
-                metrics::binary_accuracy(&online_model.quick_start_proba_batch(&tx), &labels);
+            frozen_acc += metrics::binary_accuracy(&quick_probs(&frozen, &tx), &labels);
+            online_acc += metrics::binary_accuracy(&quick_probs(&online_model, &tx), &labels);
             chunks += 1;
             update_model(&mut online_model, &base, &online, &ds, &eval_rows);
         }

@@ -1,0 +1,194 @@
+//! The typed prediction API — one surface for every consumer.
+//!
+//! The CLI, the evaluation harness, the benches, and the serve daemon all
+//! used to reach into [`HierarchicalModel`](crate::HierarchicalModel) through
+//! a zoo of inherent methods (`predict`, `quick_start_proba`,
+//! `calibrated_quick_proba`, `regress_minutes`, plus `_batch` twins). The
+//! [`Predictor`] trait replaces them: a [`PredictionRequest`] goes in, a
+//! [`QueuePrediction`] comes out carrying the Algorithm-1 decision *and* the
+//! probabilities and regressed minutes behind it, so callers pick fields
+//! instead of picking methods.
+//!
+//! Batch and single-row paths are numerically interchangeable: the MLP
+//! forward pass is row-independent (batch-norm layers use running statistics
+//! at inference), so `predict_batch` over `n` rows is bitwise identical to
+//! `n` calls of `predict` — the property the serve daemon's micro-batching
+//! relies on, and one the trainer's tests pin down.
+
+use trout_linalg::Matrix;
+
+/// Algorithm 1's decision: either "less than the cutoff" or a concrete
+/// number of minutes from the regressor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum QueueEstimate {
+    /// Predicted to start within the cutoff (10 minutes in the paper).
+    QuickStart,
+    /// Predicted queue time in minutes.
+    Minutes(f32),
+}
+
+impl QueueEstimate {
+    /// The user-facing message of Algorithm 1.
+    pub fn message(&self, cutoff_min: f32) -> String {
+        match self {
+            QueueEstimate::QuickStart => {
+                format!("Predicted to take less than {cutoff_min:.0} minutes")
+            }
+            QueueEstimate::Minutes(m) => format!("Predicted to start in {m:.0} minutes"),
+        }
+    }
+
+    /// Collapses to a number for metric computation: quick starts count as
+    /// half the cutoff (the class's central value).
+    pub fn as_minutes(&self, cutoff_min: f32) -> f32 {
+        match self {
+            QueueEstimate::QuickStart => cutoff_min / 2.0,
+            QueueEstimate::Minutes(m) => *m,
+        }
+    }
+}
+
+/// One job's features on their way into a [`Predictor`].
+#[derive(Debug, Clone, Copy)]
+pub struct PredictionRequest<'a> {
+    /// The scaled feature row (Table-II order).
+    pub features: &'a [f32],
+    /// Force the regressor to run even for predicted quick starts, so
+    /// [`QueuePrediction::minutes`] is always populated. Algorithm 1 itself
+    /// only regresses jobs classified as long; evaluation code that scores
+    /// the regressor on *known*-long jobs needs the unconditional estimate.
+    pub want_minutes: bool,
+}
+
+impl<'a> PredictionRequest<'a> {
+    /// The Algorithm-1 request: regress only when classified long.
+    pub fn new(features: &'a [f32]) -> PredictionRequest<'a> {
+        PredictionRequest {
+            features,
+            want_minutes: false,
+        }
+    }
+
+    /// Requests the regressor's minutes for every job, quick or not.
+    pub fn with_minutes(features: &'a [f32]) -> PredictionRequest<'a> {
+        PredictionRequest {
+            features,
+            want_minutes: true,
+        }
+    }
+}
+
+/// A batch of feature rows (one job per row).
+#[derive(Debug, Clone, Copy)]
+pub struct BatchPredictionRequest<'a> {
+    /// Scaled feature matrix, `n_jobs x n_features`.
+    pub features: &'a Matrix,
+    /// See [`PredictionRequest::want_minutes`].
+    pub want_minutes: bool,
+}
+
+impl<'a> BatchPredictionRequest<'a> {
+    /// The Algorithm-1 request for every row.
+    pub fn new(features: &'a Matrix) -> BatchPredictionRequest<'a> {
+        BatchPredictionRequest {
+            features,
+            want_minutes: false,
+        }
+    }
+
+    /// Requests regressed minutes for every row.
+    pub fn with_minutes(features: &'a Matrix) -> BatchPredictionRequest<'a> {
+        BatchPredictionRequest {
+            features,
+            want_minutes: true,
+        }
+    }
+}
+
+/// Everything a prediction consumer might want, in one value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueuePrediction {
+    /// The Algorithm-1 decision.
+    pub estimate: QueueEstimate,
+    /// Raw quick-start probability (sigmoid of the classifier logit — the
+    /// quantity Algorithm 1 thresholds at 0.5).
+    pub quick_proba: f32,
+    /// Platt-calibrated quick-start probability (equals `quick_proba` when
+    /// no calibrator was fitted).
+    pub calibrated_proba: f32,
+    /// The regressor's queue-time estimate in minutes. Always present for
+    /// jobs classified long; present for quick starts only when the request
+    /// set `want_minutes`.
+    pub minutes: Option<f32>,
+    /// The cutoff (minutes) the decision was made against.
+    pub cutoff_min: f32,
+}
+
+impl QueuePrediction {
+    /// The user-facing message of Algorithm 1.
+    pub fn message(&self) -> String {
+        self.estimate.message(self.cutoff_min)
+    }
+
+    /// Collapses to a number for metric computation.
+    pub fn as_minutes(&self) -> f32 {
+        self.estimate.as_minutes(self.cutoff_min)
+    }
+}
+
+/// A model that turns feature rows into [`QueuePrediction`]s — the single
+/// prediction surface shared by the CLI, evaluation, benches, and the serve
+/// daemon.
+pub trait Predictor {
+    /// The quick-start cutoff (minutes) this predictor decides against.
+    fn cutoff_min(&self) -> f32;
+
+    /// Predicts one job.
+    fn predict(&self, req: PredictionRequest<'_>) -> QueuePrediction;
+
+    /// Predicts a batch. The default delegates row by row; implementations
+    /// with a cheaper batched forward pass override it (and must stay
+    /// bitwise identical to the row-by-row path).
+    fn predict_batch(&self, req: BatchPredictionRequest<'_>) -> Vec<QueuePrediction> {
+        (0..req.features.rows())
+            .map(|r| {
+                self.predict(PredictionRequest {
+                    features: req.features.row(r),
+                    want_minutes: req.want_minutes,
+                })
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_follow_algorithm_1() {
+        assert_eq!(
+            QueueEstimate::QuickStart.message(10.0),
+            "Predicted to take less than 10 minutes"
+        );
+        assert_eq!(
+            QueueEstimate::Minutes(42.4).message(10.0),
+            "Predicted to start in 42 minutes"
+        );
+    }
+
+    #[test]
+    fn as_minutes_collapses_quick_starts() {
+        assert_eq!(QueueEstimate::QuickStart.as_minutes(10.0), 5.0);
+        assert_eq!(QueueEstimate::Minutes(77.0).as_minutes(10.0), 77.0);
+        let p = QueuePrediction {
+            estimate: QueueEstimate::QuickStart,
+            quick_proba: 0.9,
+            calibrated_proba: 0.8,
+            minutes: None,
+            cutoff_min: 10.0,
+        };
+        assert_eq!(p.as_minutes(), 5.0);
+        assert_eq!(p.message(), "Predicted to take less than 10 minutes");
+    }
+}

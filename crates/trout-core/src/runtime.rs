@@ -50,12 +50,19 @@ impl RuntimePredictor {
     ///
     /// Panics if the prefix is empty.
     pub fn fit_on_prefix(trace: &Trace, train_frac: f64, seed: u64) -> RuntimePredictor {
-        let n_train =
-            ((trace.records.len() as f64 * train_frac) as usize).clamp(1, trace.records.len());
-        let records: Vec<JobRecord> = trace.records[..n_train]
+        // Cancelled jobs never ran, so they carry no runtime label. Filter
+        // them out *before* taking the training prefix: slicing first would
+        // shrink the effective training set below `train_frac` on
+        // cancellation-heavy traces (and could leave it empty).
+        let started: Vec<&JobRecord> = trace
+            .records
             .iter()
             .filter(|r| r.state != trout_slurmsim::JobState::Cancelled)
-            .cloned()
+            .collect();
+        let n_train = ((started.len() as f64 * train_frac) as usize).clamp(1, started.len().max(1));
+        let records: Vec<JobRecord> = started[..n_train.min(started.len())]
+            .iter()
+            .map(|r| (*r).clone())
             .collect();
         assert!(
             !records.is_empty(),
@@ -123,6 +130,22 @@ mod tests {
                 "{p} vs limit {}",
                 r.timelimit_min
             );
+        }
+    }
+
+    #[test]
+    fn cancellations_filtered_before_prefix_slice() {
+        // Make the leading half of the trace entirely cancelled. Slicing the
+        // prefix first would leave zero training jobs; filtering first must
+        // still find the started jobs further down the trace.
+        let mut trace = SimulationBuilder::anvil_like().jobs(600).seed(6).run();
+        for r in trace.records.iter_mut().take(300) {
+            r.state = trout_slurmsim::JobState::Cancelled;
+            r.end_time = r.start_time;
+        }
+        let model = RuntimePredictor::fit_on_prefix(&trace, 0.5, 1);
+        for p in model.predict_all(&trace) {
+            assert!(p.is_finite() && p >= 0.0);
         }
     }
 

@@ -272,6 +272,7 @@ impl TroutTrainer {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::{BatchPredictionRequest, PredictionRequest, Predictor};
     use trout_features::FeaturePipeline;
     use trout_ml::metrics;
     use trout_slurmsim::SimulationBuilder;
@@ -300,13 +301,29 @@ mod tests {
     fn smoke_training_produces_working_model() {
         let ds = small_dataset();
         let model = TroutTrainer::new(TroutConfig::smoke()).fit(&ds);
-        let pred = model.predict(ds.row(0));
+        let pred = model.predict(PredictionRequest::new(ds.row(0)));
         // Any valid variant is fine; just exercise Algorithm 1.
-        let _ = pred.message(10.0);
-        let probs = model.quick_start_proba_batch(&ds.x);
-        assert!(probs.iter().all(|p| (0.0..=1.0).contains(p)));
-        let minutes = model.regress_minutes_batch(&ds.x);
-        assert!(minutes.iter().all(|m| m.is_finite() && *m >= 0.0));
+        let _ = pred.message();
+        for p in model.predict_batch(BatchPredictionRequest::with_minutes(&ds.x)) {
+            assert!((0.0..=1.0).contains(&p.quick_proba));
+            assert!((0.0..=1.0).contains(&p.calibrated_proba));
+            let m = p.minutes.expect("want_minutes set");
+            assert!(m.is_finite() && m >= 0.0);
+        }
+    }
+
+    #[test]
+    fn batched_inference_is_bitwise_identical_to_row_by_row() {
+        // The serve daemon coalesces concurrent requests into one
+        // predict_batch call; that is only sound because the MLP forward
+        // pass is row-independent. Pin it down.
+        let ds = small_dataset();
+        let model = TroutTrainer::new(TroutConfig::smoke()).fit(&ds);
+        let batch = model.predict_batch(BatchPredictionRequest::with_minutes(&ds.x));
+        for i in (0..ds.len()).step_by(53) {
+            let single = model.predict(PredictionRequest::with_minutes(ds.row(i)));
+            assert_eq!(single, batch[i], "row {i}");
+        }
     }
 
     #[test]
@@ -319,7 +336,11 @@ mod tests {
         let model = TroutTrainer::new(cfg).fit_rows(&ds, &train);
         let test: Vec<usize> = (split..ds.len()).collect();
         let (tx, ty) = ds.select(&test);
-        let probs = model.quick_start_proba_batch(&tx);
+        let probs: Vec<f32> = model
+            .predict_batch(BatchPredictionRequest::new(&tx))
+            .into_iter()
+            .map(|p| p.quick_proba)
+            .collect();
         let labels: Vec<f32> = ty
             .iter()
             .map(|&q| if q < 10.0 { 1.0 } else { 0.0 })
@@ -335,7 +356,8 @@ mod tests {
         let json = model.to_json();
         let back = HierarchicalModel::from_json(&json).unwrap();
         for i in (0..ds.len()).step_by(97) {
-            assert_eq!(model.predict(ds.row(i)), back.predict(ds.row(i)), "row {i}");
+            let req = PredictionRequest::with_minutes(ds.row(i));
+            assert_eq!(model.predict(req), back.predict(req), "row {i}");
         }
     }
 
@@ -345,7 +367,8 @@ mod tests {
         let a = TroutTrainer::new(TroutConfig::smoke()).fit(&ds);
         let b = TroutTrainer::new(TroutConfig::smoke()).fit(&ds);
         for i in (0..ds.len()).step_by(131) {
-            assert_eq!(a.predict(ds.row(i)), b.predict(ds.row(i)));
+            let req = PredictionRequest::with_minutes(ds.row(i));
+            assert_eq!(a.predict(req), b.predict(req));
         }
     }
 
@@ -360,6 +383,7 @@ mod tests {
 #[cfg(test)]
 mod calibration_tests {
     use super::*;
+    use crate::{BatchPredictionRequest, PredictionRequest, Predictor};
     use trout_features::FeaturePipeline;
     use trout_ml::calibration::expected_calibration_error;
     use trout_slurmsim::SimulationBuilder;
@@ -379,8 +403,9 @@ mod calibration_tests {
             .iter()
             .map(|&q| if q < 10.0 { 1.0 } else { 0.0 })
             .collect();
-        let raw = model.quick_start_proba_batch(&tx);
-        let cal = model.calibrated_quick_proba_batch(&tx);
+        let preds = model.predict_batch(BatchPredictionRequest::new(&tx));
+        let raw: Vec<f32> = preds.iter().map(|p| p.quick_proba).collect();
+        let cal: Vec<f32> = preds.iter().map(|p| p.calibrated_proba).collect();
         let ece_raw = expected_calibration_error(&raw, &labels, 10);
         let ece_cal = expected_calibration_error(&cal, &labels, 10);
         assert!(
@@ -399,7 +424,9 @@ mod calibration_tests {
         let mut v = trout_std::json::Json::parse(&model.to_json()).unwrap();
         v.remove("calibrator").unwrap();
         let legacy = HierarchicalModel::from_json(&v.to_string()).unwrap();
-        let p = legacy.calibrated_quick_proba(ds.row(0));
-        assert!((0.0..=1.0).contains(&p));
+        let p = legacy.predict(PredictionRequest::new(ds.row(0)));
+        assert!((0.0..=1.0).contains(&p.calibrated_proba));
+        // Without a calibrator the calibrated probability is the raw one.
+        assert_eq!(p.calibrated_proba, p.quick_proba);
     }
 }

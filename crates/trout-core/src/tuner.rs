@@ -14,6 +14,7 @@ use trout_ml::hpo::{successive_halving, tpe_search, Param, SearchResult, TpeConf
 use trout_ml::metrics;
 use trout_ml::nn::Activation;
 
+use crate::predictor::Predictor;
 use crate::trainer::{TroutConfig, TroutTrainer};
 
 /// Which search algorithm drives the tuner.
@@ -142,7 +143,11 @@ fn regressor_score(cfg: &TroutConfig, ds: &Dataset, val_folds: &[usize]) -> f64 
         }
         let model = trainer.fit_rows(ds, &fold.train);
         let (lx, lys) = ds.select(&test_long);
-        let preds = model.regress_minutes_batch(&lx);
+        let preds: Vec<f32> = model
+            .predict_batch(crate::BatchPredictionRequest::with_minutes(&lx))
+            .into_iter()
+            .map(|p| p.minutes.expect("want_minutes set"))
+            .collect();
         total += metrics::mape(&preds, &lys);
         k += 1;
     }

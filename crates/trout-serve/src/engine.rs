@@ -1,0 +1,417 @@
+//! The serving core: event-driven state, micro-batched inference, refits.
+//!
+//! [`ServeEngine`] owns everything a prediction needs — the cluster topology,
+//! the fitted scaler, the runtime random forest, the hierarchical model, and
+//! an [`IncrementalSnapshot`] fed one lifecycle event at a time. Transports
+//! (stdin, TCP) stay thin: they parse lines, queue predicts, and call in.
+//!
+//! The model lives behind an [`Arc`] so a warm-start refit can train a clone
+//! off to the side and publish it with one pointer swap — in-flight batch
+//! handles keep the model they started with.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+use trout_core::online::{update_model, OnlineConfig};
+use trout_core::{
+    featurize, BatchPredictionRequest, HierarchicalModel, Predictor, QueuePrediction,
+    RuntimePredictor, TroutConfig, TroutError, TroutTrainer,
+};
+use trout_features::incremental::JobPhase;
+use trout_features::names::N_FEATURES;
+use trout_features::scaling::FittedScaler;
+use trout_features::{assemble_row, Dataset, IncrementalSnapshot, SnapshotProbe};
+use trout_linalg::Matrix;
+use trout_slurmsim::{JobRecord, SimulationBuilder, Trace};
+use trout_workload::ClusterSpec;
+
+use crate::metrics::ServeMetrics;
+
+/// State events between eviction sweeps of the incremental index.
+const EVICT_EVERY: u64 = 4_096;
+
+/// Engine policy knobs (transport knobs like the batch size live with the
+/// transport).
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Completed jobs between warm-start refits; 0 disables refitting.
+    pub refit_every: usize,
+    /// Leading fraction of the bootstrap trace the runtime forest trains on.
+    pub train_frac: f64,
+    /// Seed for bootstrap training.
+    pub seed: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            refit_every: 256,
+            train_frac: 0.6,
+            seed: 0,
+        }
+    }
+}
+
+/// A single prediction request: job id and the query instant.
+pub type PredictQuery = (u64, i64);
+
+/// The daemon's state machine. One engine per daemon; transports share it
+/// behind a mutex.
+pub struct ServeEngine {
+    cluster: ClusterSpec,
+    scaler: FittedScaler,
+    runtime_model: RuntimePredictor,
+    model: Arc<HierarchicalModel>,
+    index: IncrementalSnapshot,
+    base_cfg: TroutConfig,
+    online_cfg: OnlineConfig,
+    refit_every: usize,
+    /// Feature rows exactly as served, keyed by job id, captured at the
+    /// job's first predict. A completed job's row + realized queue time
+    /// become one refit training example — the model learns from the same
+    /// inputs it answered with, never from recomputed hindsight features.
+    cached_rows: HashMap<u64, Vec<f32>>,
+    history_raw: Vec<Vec<f32>>,
+    history_y: Vec<f32>,
+    history_ids: Vec<u64>,
+    completed_since_refit: usize,
+    latest_time: i64,
+    /// Counters and latency histograms (dumped by the `metrics` request).
+    pub metrics: ServeMetrics,
+}
+
+impl ServeEngine {
+    /// Builds an engine from a historical trace: featurize it (fitting the
+    /// runtime forest and the scaler), train the hierarchical model unless a
+    /// pre-trained one is supplied, and start with an empty live index.
+    pub fn from_trace(
+        trace: &Trace,
+        pretrained: Option<HierarchicalModel>,
+        base_cfg: TroutConfig,
+        online_cfg: OnlineConfig,
+        cfg: &ServeConfig,
+    ) -> ServeEngine {
+        let (ds, runtime_model) = featurize(trace, cfg.train_frac, cfg.seed);
+        let model = pretrained.unwrap_or_else(|| TroutTrainer::new(base_cfg.clone()).fit(&ds));
+        ServeEngine {
+            cluster: trace.cluster.clone(),
+            scaler: ds.scaler.clone(),
+            runtime_model,
+            model: Arc::new(model),
+            index: IncrementalSnapshot::new(trace.cluster.partitions.len()),
+            base_cfg,
+            online_cfg,
+            refit_every: cfg.refit_every,
+            cached_rows: HashMap::new(),
+            history_raw: Vec::new(),
+            history_y: Vec::new(),
+            history_ids: Vec::new(),
+            completed_since_refit: 0,
+            latest_time: i64::MIN,
+            metrics: ServeMetrics::default(),
+        }
+    }
+
+    /// Self-contained engine for smoke tests and benches: simulate a trace
+    /// and train the smoke-sized model on it.
+    pub fn bootstrap(jobs: usize, cfg: &ServeConfig) -> ServeEngine {
+        let trace = SimulationBuilder::anvil_like()
+            .jobs(jobs)
+            .seed(cfg.seed)
+            .run();
+        let mut base = TroutConfig::smoke();
+        base.seed = cfg.seed;
+        ServeEngine::from_trace(&trace, None, base, OnlineConfig::default(), cfg)
+    }
+
+    /// The currently published model (refits swap this pointer).
+    pub fn model(&self) -> Arc<HierarchicalModel> {
+        Arc::clone(&self.model)
+    }
+
+    /// The live snapshot index (for assertions and inspection).
+    pub fn index(&self) -> &IncrementalSnapshot {
+        &self.index
+    }
+
+    /// Applies a `submit`: predict the job's runtime with the forest, then
+    /// register it with the incremental index.
+    pub fn apply_submit(&mut self, rec: JobRecord) -> Result<u64, TroutError> {
+        let id = rec.id;
+        let time = rec.submit_time;
+        let pred_runtime = self.runtime_model.predict(&rec);
+        self.index.submit(rec, pred_runtime)?;
+        self.note_event(time);
+        Ok(id)
+    }
+
+    /// Applies a `start`.
+    pub fn apply_start(&mut self, id: u64, time: i64) -> Result<(), TroutError> {
+        self.index.start(id, time)?;
+        self.note_event(time);
+        Ok(())
+    }
+
+    /// Applies an `end`. A job that actually ran and was predicted at least
+    /// once becomes a refit training example (cancelled-pending jobs have no
+    /// queue-time label, so their cached row is just dropped).
+    pub fn apply_end(&mut self, id: u64, time: i64) -> Result<(), TroutError> {
+        let was_running = self
+            .index
+            .job(id)
+            .is_some_and(|j| j.phase == JobPhase::Running);
+        self.index.end(id, time)?;
+        self.note_event(time);
+        if let Some(raw) = self.cached_rows.remove(&id) {
+            if was_running {
+                let rec = &self.index.job(id).expect("job just ended").rec;
+                self.push_history(id, raw, rec.queue_time_min() as f32);
+                self.completed_since_refit += 1;
+                self.maybe_refit();
+            }
+        }
+        Ok(())
+    }
+
+    /// Answers a coalesced batch of predict queries with **one** forward
+    /// pass. Per-query failures (unknown id, job no longer pending) are
+    /// reported in place; the rest of the batch still predicts.
+    pub fn predict_batch(
+        &mut self,
+        queries: &[PredictQuery],
+    ) -> Vec<Result<QueuePrediction, TroutError>> {
+        let t_all = Instant::now();
+        let mut flat: Vec<f32> = Vec::with_capacity(queries.len() * N_FEATURES);
+        let mut slots: Vec<Result<usize, TroutError>> = Vec::with_capacity(queries.len());
+        let mut n_ok = 0usize;
+        for &(id, time) in queries {
+            let t_feat = Instant::now();
+            match self.featurize_pending(id, time) {
+                Ok(row) => {
+                    self.metrics
+                        .featurize_us
+                        .record(t_feat.elapsed().as_micros() as u64);
+                    flat.extend_from_slice(&row);
+                    slots.push(Ok(n_ok));
+                    n_ok += 1;
+                }
+                Err(e) => slots.push(Err(e)),
+            }
+        }
+        let preds = if n_ok > 0 {
+            let x = Matrix::from_vec(n_ok, N_FEATURES, flat);
+            let t_inf = Instant::now();
+            let preds = self.model.predict_batch(BatchPredictionRequest::new(&x));
+            self.metrics
+                .inference_us
+                .record(t_inf.elapsed().as_micros() as u64);
+            preds
+        } else {
+            Vec::new()
+        };
+        self.metrics.batches_total += 1;
+        self.metrics.predicts_total += n_ok as u64;
+        self.metrics.batch_size.record(queries.len() as u64);
+        let per_query = t_all.elapsed().as_micros() as u64 / queries.len().max(1) as u64;
+        for _ in queries {
+            self.metrics.predict_us.record(per_query);
+        }
+        slots.into_iter().map(|s| s.map(|i| preds[i])).collect()
+    }
+
+    /// Convenience wrapper for a batch of one.
+    pub fn predict_one(&mut self, id: u64, time: i64) -> Result<QueuePrediction, TroutError> {
+        self.predict_batch(&[(id, time)])
+            .pop()
+            .expect("one query in, one result out")
+    }
+
+    /// The metrics registry as JSON.
+    pub fn metrics_json(&self) -> trout_std::json::Json {
+        self.metrics.to_json()
+    }
+
+    /// Assembles and scales the feature row a pending job observes at `time`.
+    fn featurize_pending(&mut self, id: u64, time: i64) -> Result<Vec<f32>, TroutError> {
+        let job = self
+            .index
+            .job(id)
+            .ok_or_else(|| TroutError::Protocol(format!("predict: unknown job id {id}")))?;
+        if job.phase != JobPhase::Pending {
+            return Err(TroutError::Protocol(format!(
+                "predict: job {id} is no longer pending"
+            )));
+        }
+        let rec = job.rec.clone();
+        let pred_runtime = job.pred_runtime_min;
+        let snap = self.index.snapshot(&SnapshotProbe {
+            time,
+            partition: rec.partition,
+            user: rec.user,
+            priority: rec.priority,
+            exclude_id: Some(id),
+        });
+        let part = &self.cluster.partitions[rec.partition as usize];
+        let raw = assemble_row(&rec, part, &snap, pred_runtime);
+        self.cached_rows.entry(id).or_insert_with(|| raw.clone());
+        let mut scaled = raw;
+        self.scaler.transform_row(&mut scaled);
+        Ok(scaled)
+    }
+
+    fn note_event(&mut self, time: i64) {
+        self.latest_time = self.latest_time.max(time);
+        self.metrics.state_events_total += 1;
+        if self.metrics.state_events_total % EVICT_EVERY == 0 {
+            self.index.evict_finished_before(self.latest_time);
+        }
+    }
+
+    fn push_history(&mut self, id: u64, raw: Vec<f32>, y: f32) {
+        self.history_raw.push(raw);
+        self.history_y.push(y);
+        self.history_ids.push(id);
+        // The refit window only ever looks at the tail, so the buffers stay
+        // bounded at twice the window (amortized O(1) drain).
+        let cap = self.online_cfg.window.max(1);
+        if self.history_y.len() > 2 * cap {
+            let cut = self.history_y.len() - cap;
+            self.history_raw.drain(..cut);
+            self.history_y.drain(..cut);
+            self.history_ids.drain(..cut);
+        }
+    }
+
+    /// Warm-start refit: train a clone on the completed-job history and
+    /// publish it atomically.
+    fn maybe_refit(&mut self) {
+        if self.refit_every == 0 || self.completed_since_refit < self.refit_every {
+            return;
+        }
+        let n = self.history_y.len();
+        let mut flat = Vec::with_capacity(n * N_FEATURES);
+        for row in &self.history_raw {
+            flat.extend_from_slice(row);
+        }
+        let raw = Matrix::from_vec(n, N_FEATURES, flat);
+        let x = self.scaler.transform(&raw);
+        let ds = Dataset {
+            x,
+            raw,
+            y_queue_min: self.history_y.clone(),
+            ids: self.history_ids.clone(),
+            scaler: self.scaler.clone(),
+        };
+        let rows: Vec<usize> = (0..n).collect();
+        let mut next = (*self.model).clone();
+        update_model(&mut next, &self.base_cfg, &self.online_cfg, &ds, &rows);
+        self.model = Arc::new(next);
+        self.metrics.refits_total += 1;
+        self.completed_since_refit = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trout_features::incremental::{trace_events, ReplayEvent};
+
+    fn small_engine(refit_every: usize) -> (ServeEngine, Trace) {
+        let cfg = ServeConfig {
+            refit_every,
+            seed: 7,
+            ..Default::default()
+        };
+        let engine = ServeEngine::bootstrap(400, &cfg);
+        // A fresh trace the engine has never seen, replayed as live events.
+        let live = SimulationBuilder::anvil_like().jobs(300).seed(8).run();
+        (engine, live)
+    }
+
+    #[test]
+    fn submit_predict_lifecycle() {
+        let (mut engine, live) = small_engine(0);
+        let rec = live.records[0].clone();
+        let id = rec.id;
+        let t = rec.submit_time;
+        engine.apply_submit(rec).unwrap();
+        let p = engine.predict_one(id, t).unwrap();
+        assert!(p.quick_proba.is_finite() && (0.0..=1.0).contains(&p.quick_proba));
+        assert!(p.calibrated_proba.is_finite());
+
+        // Unknown ids and non-pending jobs are per-query protocol errors.
+        assert!(matches!(
+            engine.predict_one(999_999, t),
+            Err(TroutError::Protocol(_))
+        ));
+        engine.apply_start(id, t + 60).unwrap();
+        assert!(matches!(
+            engine.predict_one(id, t + 61),
+            Err(TroutError::Protocol(_))
+        ));
+    }
+
+    #[test]
+    fn batch_reports_per_query_errors_in_place() {
+        let (mut engine, live) = small_engine(0);
+        let a = live.records[0].clone();
+        let b = live.records[1].clone();
+        let t = b.submit_time;
+        engine.apply_submit(a.clone()).unwrap();
+        engine.apply_submit(b.clone()).unwrap();
+        let out = engine.predict_batch(&[(a.id, t), (424_242, t), (b.id, t)]);
+        assert_eq!(out.len(), 3);
+        assert!(out[0].is_ok() && out[2].is_ok());
+        assert!(out[1].is_err());
+        assert_eq!(engine.metrics.predicts_total, 2);
+        assert_eq!(engine.metrics.batches_total, 1);
+    }
+
+    #[test]
+    fn replay_with_refits_hot_swaps_the_model() {
+        let (mut engine, live) = small_engine(16);
+        let model_before = engine.model();
+        let mut predicted = 0usize;
+        for (i, (_, ev)) in trace_events(&live).iter().enumerate() {
+            match *ev {
+                ReplayEvent::Submit(r) => {
+                    let rec = live.records[r].clone();
+                    let (id, t) = (rec.id, rec.submit_time);
+                    engine.apply_submit(rec).unwrap();
+                    if i % 3 == 0 {
+                        engine.predict_one(id, t).unwrap();
+                        predicted += 1;
+                    }
+                }
+                ReplayEvent::Start(r) => {
+                    let rec = &live.records[r];
+                    engine.apply_start(rec.id, rec.start_time).unwrap();
+                }
+                ReplayEvent::End(r) => {
+                    let rec = &live.records[r];
+                    engine.apply_end(rec.id, rec.end_time).unwrap();
+                }
+            }
+        }
+        assert!(predicted > 50);
+        assert!(
+            engine.metrics.refits_total >= 1,
+            "expected at least one refit, metrics: {:?}",
+            engine.metrics.refits_total
+        );
+        assert!(
+            !Arc::ptr_eq(&model_before, &engine.model()),
+            "refit must publish a new model"
+        );
+        // The refitted model still predicts sanely.
+        let mut rec = live.records[0].clone();
+        rec.id = 1_000_000;
+        rec.submit_time += 1_000_000;
+        rec.eligible_time = rec.submit_time;
+        let (id, t) = (rec.id, rec.submit_time);
+        engine.apply_submit(rec).unwrap();
+        let p = engine.predict_one(id, t).unwrap();
+        assert!(p.quick_proba.is_finite());
+    }
+}

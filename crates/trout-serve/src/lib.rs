@@ -1,0 +1,31 @@
+//! trout-serve — the online prediction daemon behind `trout serve`.
+//!
+//! The offline pipeline answers "how long would this job have queued?" after
+//! the fact; this crate answers it **live**. A long-running engine ingests
+//! the cluster's lifecycle stream (`submit` / `start` / `end`) and serves
+//! `predict` requests over line-delimited JSON on stdin/stdout or TCP:
+//!
+//! * [`engine::ServeEngine`] — the state machine: an incrementally
+//!   maintained queue snapshot ([`trout_features::IncrementalSnapshot`],
+//!   `O(log n)` per event), the runtime forest, the fitted scaler, and the
+//!   hierarchical model behind an `Arc` so warm-start refits
+//!   ([`trout_core::online::update_model`]) publish atomically.
+//! * [`server`] — the transports and the micro-batching session loop that
+//!   coalesces back-to-back predicts into one forward pass.
+//! * [`protocol`] — the event grammar, parsing, and response builders.
+//! * [`metrics`] — O(1) counters and log-bucketed latency histograms,
+//!   dumped by the `metrics` request and by the serve bench into
+//!   `BENCH_serve.json`.
+//!
+//! The protocol (with a worked transcript) is documented in the repository
+//! README; the design rationale lives in DESIGN.md.
+
+pub mod engine;
+pub mod metrics;
+pub mod protocol;
+pub mod server;
+
+pub use engine::{ServeConfig, ServeEngine};
+pub use metrics::{LogHistogram, ServeMetrics};
+pub use protocol::{parse_event, ClientEvent};
+pub use server::{run_session, run_stdin, run_tcp};

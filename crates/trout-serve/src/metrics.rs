@@ -1,0 +1,197 @@
+//! Serve-side observability: counters and log-bucketed histograms.
+//!
+//! The daemon is long-lived, so metrics must be O(1) per observation and
+//! constant-memory. [`LogHistogram`] buckets values by power of two — enough
+//! resolution for latency percentiles (each estimate is at most 2x off,
+//! which is the granularity operators act on) while the whole registry
+//! serializes in one small JSON object for the `metrics` request and the
+//! `BENCH_serve.json` report.
+
+use trout_std::json::Json;
+
+/// Power-of-two bucketed histogram over `u64` values.
+///
+/// Bucket `i` counts observations in `[2^i, 2^(i+1))`; zero lands in bucket
+/// 0. Percentile estimates report the upper bound of the bucket where the
+/// cumulative count crosses the rank.
+#[derive(Debug, Clone)]
+pub struct LogHistogram {
+    buckets: [u64; 40],
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        LogHistogram {
+            buckets: [0; 40],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+}
+
+impl LogHistogram {
+    /// Records one observation.
+    pub fn record(&mut self, v: u64) {
+        let b = (64 - v.leading_zeros()).saturating_sub(1).min(39) as usize;
+        self.buckets[b] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean observation (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Upper bound of the bucket holding the `q`-quantile observation
+    /// (`q` in `[0, 1]`; 0 when empty).
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((self.count as f64 * q).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return (2u64 << i).min(self.max.max(1));
+            }
+        }
+        self.max
+    }
+
+    /// Serializes count/mean/max, the p50/p90/p99 estimates, and the
+    /// non-empty buckets as `[lower_bound, count]` pairs.
+    pub fn to_json(&self) -> Json {
+        let buckets: Vec<Json> = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| {
+                Json::Arr(vec![
+                    Json::Int(if i == 0 { 0 } else { 1i128 << i }),
+                    Json::Int(c as i128),
+                ])
+            })
+            .collect();
+        Json::Obj(vec![
+            ("count".into(), Json::Int(self.count as i128)),
+            ("mean".into(), Json::Num(self.mean())),
+            ("max".into(), Json::Int(self.max as i128)),
+            ("p50".into(), Json::Int(self.quantile(0.50) as i128)),
+            ("p90".into(), Json::Int(self.quantile(0.90) as i128)),
+            ("p99".into(), Json::Int(self.quantile(0.99) as i128)),
+            ("buckets".into(), Json::Arr(buckets)),
+        ])
+    }
+}
+
+/// All counters and histograms the daemon maintains.
+#[derive(Debug, Clone, Default)]
+pub struct ServeMetrics {
+    /// Every request line handled (events, predicts, metrics).
+    pub requests_total: u64,
+    /// Individual predictions served.
+    pub predicts_total: u64,
+    /// `predict_batch` flushes.
+    pub batches_total: u64,
+    /// submit/start/end lifecycle events applied.
+    pub state_events_total: u64,
+    /// Warm-start refits applied (model hot-swaps).
+    pub refits_total: u64,
+    /// Requests rejected with an error response.
+    pub errors_total: u64,
+    /// Feature-assembly latency per predicted job, microseconds.
+    pub featurize_us: LogHistogram,
+    /// Model forward-pass latency per batch, microseconds.
+    pub inference_us: LogHistogram,
+    /// End-to-end latency per prediction, microseconds.
+    pub predict_us: LogHistogram,
+    /// Coalesced batch sizes.
+    pub batch_size: LogHistogram,
+}
+
+impl ServeMetrics {
+    /// Serializes the full registry (the `metrics` request's payload).
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            (
+                "counters".into(),
+                Json::Obj(vec![
+                    ("requests".into(), Json::Int(self.requests_total as i128)),
+                    ("predicts".into(), Json::Int(self.predicts_total as i128)),
+                    ("batches".into(), Json::Int(self.batches_total as i128)),
+                    (
+                        "state_events".into(),
+                        Json::Int(self.state_events_total as i128),
+                    ),
+                    ("refits".into(), Json::Int(self.refits_total as i128)),
+                    ("errors".into(), Json::Int(self.errors_total as i128)),
+                ]),
+            ),
+            ("featurize_us".into(), self.featurize_us.to_json()),
+            ("inference_us".into(), self.inference_us.to_json()),
+            ("predict_us".into(), self.predict_us.to_json()),
+            ("batch_size".into(), self.batch_size.to_json()),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_bound_the_data() {
+        let mut h = LogHistogram::default();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 1000);
+        // Bucketed estimates are upper bounds within a factor of 2.
+        let p50 = h.quantile(0.5);
+        assert!((500..=1024).contains(&p50), "p50 {p50}");
+        let p99 = h.quantile(0.99);
+        assert!((990..=1024).contains(&p99), "p99 {p99}");
+        assert!(h.quantile(1.0) >= h.quantile(0.5));
+        assert!((h.mean() - 500.5).abs() < 1.0);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = LogHistogram::default();
+        assert_eq!(h.quantile(0.99), 0);
+        assert_eq!(h.mean(), 0.0);
+        let j = h.to_json();
+        assert_eq!(j.get("count"), Some(&Json::Int(0)));
+    }
+
+    #[test]
+    fn registry_serializes_every_section() {
+        let mut m = ServeMetrics::default();
+        m.predicts_total = 7;
+        m.predict_us.record(123);
+        let j = m.to_json();
+        assert_eq!(
+            j.get("counters").and_then(|c| c.get("predicts")),
+            Some(&Json::Int(7))
+        );
+        assert!(j.get("predict_us").is_some());
+        assert!(j.get("batch_size").is_some());
+    }
+}

@@ -1,0 +1,352 @@
+//! The serve wire protocol: line-delimited JSON in both directions.
+//!
+//! Each request line is one object tagged by `"event"`:
+//!
+//! ```text
+//! {"event":"submit","job":{"id":1,"user":3,"partition":0,"submit_time":100,
+//!   "eligible_time":100,"req_cpus":4,"req_mem_gb":8,"req_nodes":1,
+//!   "req_gpus":0,"timelimit_min":60,"qos":"normal","priority":1200.5}}
+//! {"event":"start","id":1,"time":160}
+//! {"event":"end","id":1,"time":3600}
+//! {"event":"predict","id":1,"time":120}
+//! {"event":"metrics"}
+//! {"event":"shutdown"}
+//! ```
+//!
+//! Every line gets exactly one response line, in request order. Success
+//! responses carry `"ok":true`; failures carry `"ok":false` and an `"error"`
+//! string whose prefix is the [`TroutError`] class. A malformed line is
+//! answered (not fatal): the daemon must survive a misbehaving client.
+
+use trout_core::{QueueEstimate, QueuePrediction, TroutError};
+use trout_slurmsim::{JobRecord, JobState};
+use trout_std::json::Json;
+use trout_workload::Qos;
+
+/// One parsed request line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClientEvent {
+    /// A job entered the queue.
+    Submit(Box<JobRecord>),
+    /// A pending job started running.
+    Start {
+        /// Job id.
+        id: u64,
+        /// Start instant (unix seconds).
+        time: i64,
+    },
+    /// A running job finished — or a pending job was cancelled.
+    End {
+        /// Job id.
+        id: u64,
+        /// End instant (unix seconds).
+        time: i64,
+    },
+    /// Predict the queue time of a submitted job as of `time`.
+    Predict {
+        /// Job id.
+        id: u64,
+        /// Query instant (unix seconds).
+        time: i64,
+    },
+    /// Dump the metrics registry.
+    Metrics,
+    /// Close the session cleanly.
+    Shutdown,
+}
+
+fn field_i64(j: &Json, key: &str) -> Result<i64, TroutError> {
+    match j.get(key) {
+        Some(Json::Int(v)) => {
+            i64::try_from(*v).map_err(|_| TroutError::Parse(format!("field `{key}` out of range")))
+        }
+        Some(_) => Err(TroutError::Parse(format!(
+            "field `{key}` must be an integer"
+        ))),
+        None => Err(TroutError::Parse(format!("missing field `{key}`"))),
+    }
+}
+
+fn field_u64(j: &Json, key: &str) -> Result<u64, TroutError> {
+    let v = field_i64(j, key)?;
+    u64::try_from(v).map_err(|_| TroutError::Parse(format!("field `{key}` must be non-negative")))
+}
+
+fn field_u32(j: &Json, key: &str) -> Result<u32, TroutError> {
+    let v = field_i64(j, key)?;
+    u32::try_from(v).map_err(|_| TroutError::Parse(format!("field `{key}` out of u32 range")))
+}
+
+fn field_f64_or(j: &Json, key: &str, default: f64) -> Result<f64, TroutError> {
+    match j.get(key) {
+        Some(Json::Num(v)) => Ok(*v),
+        Some(Json::Int(v)) => Ok(*v as f64),
+        Some(_) => Err(TroutError::Parse(format!("field `{key}` must be a number"))),
+        None => Ok(default),
+    }
+}
+
+fn parse_job(j: &Json) -> Result<JobRecord, TroutError> {
+    let qos = match j.get("qos") {
+        None => Qos::Normal,
+        Some(Json::Str(s)) => {
+            Qos::parse(s).ok_or_else(|| TroutError::Parse(format!("unknown qos `{s}`")))?
+        }
+        Some(_) => return Err(TroutError::Parse("field `qos` must be a string".into())),
+    };
+    let submit_time = field_i64(j, "submit_time")?;
+    Ok(JobRecord {
+        id: field_u64(j, "id")?,
+        user: field_u32(j, "user")?,
+        partition: field_u32(j, "partition")?,
+        submit_time,
+        eligible_time: match j.get("eligible_time") {
+            Some(_) => field_i64(j, "eligible_time")?,
+            None => submit_time,
+        },
+        // Unknown for a live job; the engine replaces them with open-ended
+        // sentinels as the lifecycle events arrive.
+        start_time: 0,
+        end_time: 0,
+        req_cpus: field_u32(j, "req_cpus")?,
+        req_mem_gb: field_u32(j, "req_mem_gb")?,
+        req_nodes: field_u32(j, "req_nodes")?,
+        req_gpus: match j.get("req_gpus") {
+            Some(_) => field_u32(j, "req_gpus")?,
+            None => 0,
+        },
+        timelimit_min: field_u32(j, "timelimit_min")?,
+        qos,
+        campaign: match j.get("campaign") {
+            Some(_) => field_u64(j, "campaign")?,
+            None => 0,
+        },
+        priority: field_f64_or(j, "priority", 0.0)?,
+        state: JobState::Completed,
+    })
+}
+
+/// Parses one request line.
+pub fn parse_event(line: &str) -> Result<ClientEvent, TroutError> {
+    let j = Json::parse(line).map_err(|e| TroutError::Parse(e.to_string()))?;
+    let kind = match j.get("event") {
+        Some(Json::Str(s)) => s.clone(),
+        _ => return Err(TroutError::Protocol("missing `event` tag".into())),
+    };
+    match kind.as_str() {
+        "submit" => {
+            let job = j
+                .get("job")
+                .ok_or_else(|| TroutError::Protocol("submit: missing `job` object".into()))?;
+            Ok(ClientEvent::Submit(Box::new(parse_job(job)?)))
+        }
+        "start" => Ok(ClientEvent::Start {
+            id: field_u64(&j, "id")?,
+            time: field_i64(&j, "time")?,
+        }),
+        "end" => Ok(ClientEvent::End {
+            id: field_u64(&j, "id")?,
+            time: field_i64(&j, "time")?,
+        }),
+        "predict" => Ok(ClientEvent::Predict {
+            id: field_u64(&j, "id")?,
+            time: field_i64(&j, "time")?,
+        }),
+        "metrics" => Ok(ClientEvent::Metrics),
+        "shutdown" => Ok(ClientEvent::Shutdown),
+        other => Err(TroutError::Protocol(format!("unknown event `{other}`"))),
+    }
+}
+
+/// Serializes a job record as the protocol's submit payload (the `trout
+/// events` generator and tests share it with the parser).
+pub fn job_to_json(r: &JobRecord) -> Json {
+    Json::Obj(vec![
+        ("id".into(), Json::Int(r.id as i128)),
+        ("user".into(), Json::Int(r.user as i128)),
+        ("partition".into(), Json::Int(r.partition as i128)),
+        ("submit_time".into(), Json::Int(r.submit_time as i128)),
+        ("eligible_time".into(), Json::Int(r.eligible_time as i128)),
+        ("req_cpus".into(), Json::Int(r.req_cpus as i128)),
+        ("req_mem_gb".into(), Json::Int(r.req_mem_gb as i128)),
+        ("req_nodes".into(), Json::Int(r.req_nodes as i128)),
+        ("req_gpus".into(), Json::Int(r.req_gpus as i128)),
+        ("timelimit_min".into(), Json::Int(r.timelimit_min as i128)),
+        ("qos".into(), Json::Str(r.qos.as_str().into())),
+        ("campaign".into(), Json::Int(r.campaign as i128)),
+        ("priority".into(), Json::Num(r.priority)),
+    ])
+}
+
+/// `{"ok":true,"event":...}` acknowledgement for a lifecycle event.
+pub fn ack_response(event: &str, id: u64) -> String {
+    Json::Obj(vec![
+        ("ok".into(), Json::Bool(true)),
+        ("event".into(), Json::Str(event.into())),
+        ("id".into(), Json::Int(id as i128)),
+    ])
+    .to_string()
+}
+
+/// The predict response: decision, probabilities, and minutes when present.
+pub fn prediction_response(id: u64, p: &QueuePrediction) -> String {
+    let mut members = vec![
+        ("ok".into(), Json::Bool(true)),
+        ("event".into(), Json::Str("predict".into())),
+        ("id".into(), Json::Int(id as i128)),
+        (
+            "quick_start".into(),
+            Json::Bool(matches!(p.estimate, QueueEstimate::QuickStart)),
+        ),
+        ("quick_proba".into(), Json::Num(p.quick_proba as f64)),
+        (
+            "calibrated_proba".into(),
+            Json::Num(p.calibrated_proba as f64),
+        ),
+        ("cutoff_min".into(), Json::Num(p.cutoff_min as f64)),
+    ];
+    if let Some(m) = p.minutes {
+        members.push(("minutes".into(), Json::Num(m as f64)));
+    }
+    members.push(("message".into(), Json::Str(p.message())));
+    Json::Obj(members).to_string()
+}
+
+/// The metrics response, wrapping the registry dump.
+pub fn metrics_response(metrics: Json) -> String {
+    Json::Obj(vec![
+        ("ok".into(), Json::Bool(true)),
+        ("event".into(), Json::Str("metrics".into())),
+        ("metrics".into(), metrics),
+    ])
+    .to_string()
+}
+
+/// `{"ok":false,"error":...}` — the error class rides in the message prefix.
+pub fn error_response(e: &TroutError) -> String {
+    Json::Obj(vec![
+        ("ok".into(), Json::Bool(false)),
+        ("error".into(), Json::Str(e.to_string())),
+    ])
+    .to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn submit_round_trips_through_job_to_json() {
+        let rec = JobRecord {
+            id: 42,
+            user: 7,
+            partition: 1,
+            submit_time: 1000,
+            eligible_time: 1060,
+            start_time: 0,
+            end_time: 0,
+            req_cpus: 16,
+            req_mem_gb: 64,
+            req_nodes: 2,
+            req_gpus: 1,
+            timelimit_min: 120,
+            qos: Qos::High,
+            campaign: 3,
+            priority: 1234.5,
+            state: JobState::Completed,
+        };
+        let line = Json::Obj(vec![
+            ("event".into(), Json::Str("submit".into())),
+            ("job".into(), job_to_json(&rec)),
+        ])
+        .to_string();
+        match parse_event(&line).unwrap() {
+            ClientEvent::Submit(parsed) => assert_eq!(*parsed, rec),
+            other => panic!("wrong event {other:?}"),
+        }
+    }
+
+    #[test]
+    fn minimal_submit_uses_defaults() {
+        let line = r#"{"event":"submit","job":{"id":1,"user":0,"partition":0,
+            "submit_time":50,"req_cpus":1,"req_mem_gb":2,"req_nodes":1,
+            "timelimit_min":30}}"#
+            .replace('\n', " ");
+        match parse_event(&line).unwrap() {
+            ClientEvent::Submit(j) => {
+                assert_eq!(j.eligible_time, 50, "defaults to submit_time");
+                assert_eq!(j.qos, Qos::Normal);
+                assert_eq!(j.req_gpus, 0);
+            }
+            other => panic!("wrong event {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lifecycle_and_control_events_parse() {
+        assert_eq!(
+            parse_event(r#"{"event":"start","id":3,"time":99}"#).unwrap(),
+            ClientEvent::Start { id: 3, time: 99 }
+        );
+        assert_eq!(
+            parse_event(r#"{"event":"end","id":3,"time":200}"#).unwrap(),
+            ClientEvent::End { id: 3, time: 200 }
+        );
+        assert_eq!(
+            parse_event(r#"{"event":"predict","id":3,"time":120}"#).unwrap(),
+            ClientEvent::Predict { id: 3, time: 120 }
+        );
+        assert_eq!(
+            parse_event(r#"{"event":"metrics"}"#).unwrap(),
+            ClientEvent::Metrics
+        );
+        assert_eq!(
+            parse_event(r#"{"event":"shutdown"}"#).unwrap(),
+            ClientEvent::Shutdown
+        );
+    }
+
+    #[test]
+    fn malformed_lines_classify_as_parse_or_protocol() {
+        assert!(matches!(
+            parse_event("not json at all"),
+            Err(TroutError::Parse(_))
+        ));
+        assert!(matches!(
+            parse_event(r#"{"event":"warp","id":1}"#),
+            Err(TroutError::Protocol(_))
+        ));
+        assert!(matches!(
+            parse_event(r#"{"id":1}"#),
+            Err(TroutError::Protocol(_))
+        ));
+        assert!(matches!(
+            parse_event(r#"{"event":"start","id":3}"#),
+            Err(TroutError::Parse(_))
+        ));
+    }
+
+    #[test]
+    fn responses_are_single_line_json() {
+        let p = QueuePrediction {
+            estimate: QueueEstimate::Minutes(42.5),
+            quick_proba: 0.2,
+            calibrated_proba: 0.25,
+            minutes: Some(42.5),
+            cutoff_min: 10.0,
+        };
+        for s in [
+            ack_response("submit", 1),
+            prediction_response(1, &p),
+            error_response(&TroutError::Protocol("x".into())),
+            metrics_response(Json::Obj(vec![])),
+        ] {
+            assert!(!s.contains('\n'), "{s}");
+            let parsed = Json::parse(&s).unwrap();
+            assert!(parsed.get("ok").is_some());
+        }
+        let parsed = Json::parse(&prediction_response(1, &p)).unwrap();
+        assert_eq!(parsed.get("quick_start"), Some(&Json::Bool(false)));
+        assert!(parsed.get("minutes").is_some());
+    }
+}

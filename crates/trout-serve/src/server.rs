@@ -1,0 +1,177 @@
+//! Transports: line-delimited JSON over stdin/stdout or `std::net` TCP.
+//!
+//! Both feed the same session loop. Predict requests are **micro-batched**:
+//! they queue until a non-predict line arrives, the batch cap is hit, or the
+//! reader's buffer drains (no more bytes ready — the client is waiting), then
+//! flush through one [`ServeEngine::predict_batch`] call. Responses always
+//! come back in request order, one line per request.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpListener;
+use std::sync::{Arc, Mutex};
+
+use trout_core::TroutError;
+
+use crate::engine::{PredictQuery, ServeEngine};
+use crate::protocol::{
+    ack_response, error_response, metrics_response, parse_event, prediction_response, ClientEvent,
+};
+
+/// Hard ceiling on coalesced batch size when the caller passes 0.
+const DEFAULT_BATCH_MAX: usize = 64;
+
+fn flush_batch<W: Write>(
+    engine: &Mutex<ServeEngine>,
+    queue: &mut Vec<PredictQuery>,
+    out: &mut W,
+) -> Result<(), TroutError> {
+    if queue.is_empty() {
+        return Ok(());
+    }
+    let mut guard = engine.lock().expect("engine mutex poisoned");
+    let results = guard.predict_batch(queue);
+    for ((id, _), result) in queue.iter().zip(&results) {
+        match result {
+            Ok(p) => writeln!(out, "{}", prediction_response(*id, p))?,
+            Err(e) => {
+                guard.metrics.errors_total += 1;
+                writeln!(out, "{}", error_response(e))?;
+            }
+        }
+    }
+    drop(guard);
+    queue.clear();
+    out.flush()?;
+    Ok(())
+}
+
+/// Runs one client session to completion (EOF or `shutdown`). Returns the
+/// number of request lines handled.
+pub fn run_session<R: Read, W: Write>(
+    engine: &Mutex<ServeEngine>,
+    input: R,
+    mut out: W,
+    batch_max: usize,
+) -> Result<u64, TroutError> {
+    let batch_max = if batch_max == 0 {
+        DEFAULT_BATCH_MAX
+    } else {
+        batch_max
+    };
+    let mut reader = BufReader::new(input);
+    let mut line = String::new();
+    let mut queue: Vec<PredictQuery> = Vec::with_capacity(batch_max);
+    let mut handled = 0u64;
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            flush_batch(engine, &mut queue, &mut out)?;
+            break;
+        }
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        handled += 1;
+        engine
+            .lock()
+            .expect("engine mutex poisoned")
+            .metrics
+            .requests_total += 1;
+        match parse_event(trimmed) {
+            Ok(ClientEvent::Predict { id, time }) => {
+                queue.push((id, time));
+                // Flush when full — or when the client has nothing further
+                // buffered and is presumably waiting on the answer.
+                if queue.len() >= batch_max || reader.buffer().is_empty() {
+                    flush_batch(engine, &mut queue, &mut out)?;
+                }
+            }
+            Ok(event) => {
+                // Responses stay in request order: drain queued predicts
+                // before answering this line.
+                flush_batch(engine, &mut queue, &mut out)?;
+                let mut guard = engine.lock().expect("engine mutex poisoned");
+                let response = match event {
+                    ClientEvent::Submit(rec) => guard
+                        .apply_submit(*rec)
+                        .map(|id| ack_response("submit", id)),
+                    ClientEvent::Start { id, time } => guard
+                        .apply_start(id, time)
+                        .map(|()| ack_response("start", id)),
+                    ClientEvent::End { id, time } => {
+                        guard.apply_end(id, time).map(|()| ack_response("end", id))
+                    }
+                    ClientEvent::Metrics => Ok(metrics_response(guard.metrics_json())),
+                    ClientEvent::Shutdown => {
+                        writeln!(out, "{}", ack_response("shutdown", 0))?;
+                        out.flush()?;
+                        return Ok(handled);
+                    }
+                    ClientEvent::Predict { .. } => unreachable!("handled above"),
+                };
+                match response {
+                    Ok(r) => writeln!(out, "{r}")?,
+                    Err(e) => {
+                        guard.metrics.errors_total += 1;
+                        writeln!(out, "{}", error_response(&e))?;
+                    }
+                }
+                drop(guard);
+                out.flush()?;
+            }
+            Err(e) => {
+                flush_batch(engine, &mut queue, &mut out)?;
+                engine
+                    .lock()
+                    .expect("engine mutex poisoned")
+                    .metrics
+                    .errors_total += 1;
+                writeln!(out, "{}", error_response(&e))?;
+                out.flush()?;
+            }
+        }
+    }
+    Ok(handled)
+}
+
+/// Serves the engine over stdin/stdout until EOF or `shutdown`.
+pub fn run_stdin(engine: ServeEngine, batch_max: usize) -> Result<u64, TroutError> {
+    let engine = Mutex::new(engine);
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    run_session(&engine, stdin.lock(), stdout.lock(), batch_max)
+}
+
+/// Serves the engine over TCP, one thread per connection, all connections
+/// sharing the engine. `max_conns` bounds how many connections are accepted
+/// before returning (`None` = serve forever).
+pub fn run_tcp(
+    engine: Arc<Mutex<ServeEngine>>,
+    listener: TcpListener,
+    batch_max: usize,
+    max_conns: Option<usize>,
+) -> Result<(), TroutError> {
+    let mut handles = Vec::new();
+    let mut accepted = 0usize;
+    for stream in listener.incoming() {
+        let stream = stream?;
+        let engine = Arc::clone(&engine);
+        handles.push(std::thread::spawn(move || {
+            let reader = stream.try_clone()?;
+            run_session(&engine, reader, stream, batch_max)
+        }));
+        accepted += 1;
+        if max_conns.is_some_and(|m| accepted >= m) {
+            break;
+        }
+    }
+    for h in handles {
+        match h.join() {
+            Ok(Ok(_)) => {}
+            Ok(Err(e)) => eprintln!("serve: connection ended with error: {e}"),
+            Err(_) => eprintln!("serve: connection thread panicked"),
+        }
+    }
+    Ok(())
+}

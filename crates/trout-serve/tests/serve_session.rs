@@ -1,0 +1,185 @@
+//! End-to-end session tests: a generated event script through the full
+//! parse → engine → respond loop, over an in-memory pipe and over TCP.
+
+use std::io::Cursor;
+use std::sync::{Arc, Mutex};
+
+use trout_features::incremental::{trace_events, ReplayEvent};
+use trout_serve::protocol::job_to_json;
+use trout_serve::{run_session, run_tcp, ServeConfig, ServeEngine};
+use trout_slurmsim::{SimulationBuilder, Trace};
+use trout_std::json::Json;
+
+/// Flattens a trace into the ndjson script a live client would send: after
+/// every `predict_every`-th submit it asks about the most recent pending
+/// jobs (several back-to-back predicts — the coalescing case), ending in
+/// metrics+shutdown.
+fn event_script(trace: &Trace, predict_every: usize) -> String {
+    let mut out = String::new();
+    let mut submits = 0usize;
+    let mut pending: Vec<u64> = Vec::new();
+    for (t, ev) in trace_events(trace) {
+        match ev {
+            ReplayEvent::Submit(i) => {
+                let r = &trace.records[i];
+                let line = Json::Obj(vec![
+                    ("event".into(), Json::Str("submit".into())),
+                    ("job".into(), job_to_json(r)),
+                ]);
+                out.push_str(&line.to_string());
+                out.push('\n');
+                pending.push(r.id);
+                submits += 1;
+                if predict_every > 0 && submits % predict_every == 0 {
+                    for id in pending.iter().rev().take(4) {
+                        out.push_str(&format!(
+                            "{{\"event\":\"predict\",\"id\":{id},\"time\":{}}}\n",
+                            r.submit_time
+                        ));
+                    }
+                }
+            }
+            ReplayEvent::Start(i) => {
+                pending.retain(|&id| id != trace.records[i].id);
+                out.push_str(&format!(
+                    "{{\"event\":\"start\",\"id\":{},\"time\":{t}}}\n",
+                    trace.records[i].id
+                ));
+            }
+            ReplayEvent::End(i) => {
+                pending.retain(|&id| id != trace.records[i].id);
+                out.push_str(&format!(
+                    "{{\"event\":\"end\",\"id\":{},\"time\":{t}}}\n",
+                    trace.records[i].id
+                ));
+            }
+        }
+    }
+    out.push_str("{\"event\":\"metrics\"}\n");
+    out.push_str("{\"event\":\"shutdown\"}\n");
+    out
+}
+
+fn engine() -> ServeEngine {
+    ServeEngine::bootstrap(
+        400,
+        &ServeConfig {
+            refit_every: 0,
+            seed: 3,
+            ..Default::default()
+        },
+    )
+}
+
+fn assert_session_transcript(script: &str, responses: &str) {
+    let requests = script.lines().count();
+    let lines: Vec<&str> = responses.lines().collect();
+    assert_eq!(lines.len(), requests, "one response line per request line");
+    let mut predictions = 0usize;
+    for line in &lines {
+        let j = Json::parse(line).unwrap_or_else(|e| panic!("bad response {line}: {e}"));
+        assert_eq!(j.get("ok"), Some(&Json::Bool(true)), "{line}");
+        if j.get("event") == Some(&Json::Str("predict".into())) {
+            predictions += 1;
+            let proba = match j.get("quick_proba") {
+                Some(Json::Num(p)) => *p,
+                other => panic!("quick_proba missing: {other:?}"),
+            };
+            assert!((0.0..=1.0).contains(&proba), "{line}");
+            assert!(j.get("message").is_some());
+        }
+    }
+    assert!(
+        predictions >= 10,
+        "only {predictions} predictions came back"
+    );
+
+    // The metrics dump is the second-to-last line and must carry the
+    // registry sections.
+    let metrics = Json::parse(lines[lines.len() - 2]).unwrap();
+    assert_eq!(metrics.get("event"), Some(&Json::Str("metrics".into())));
+    let m = metrics.get("metrics").expect("metrics payload");
+    let predicts = m.get("counters").and_then(|c| c.get("predicts"));
+    assert_eq!(predicts, Some(&Json::Int(predictions as i128)));
+    assert!(m.get("predict_us").and_then(|h| h.get("p99")).is_some());
+    assert!(m.get("batch_size").and_then(|h| h.get("count")).is_some());
+}
+
+#[test]
+fn stdin_style_session_round_trips_a_replay_script() {
+    let live = SimulationBuilder::anvil_like().jobs(150).seed(9).run();
+    let script = event_script(&live, 3);
+    let engine = Mutex::new(engine());
+    let mut responses: Vec<u8> = Vec::new();
+    let handled = run_session(&engine, Cursor::new(script.clone()), &mut responses, 32).unwrap();
+    assert_eq!(handled as usize, script.lines().count());
+    assert_session_transcript(&script, &String::from_utf8(responses).unwrap());
+
+    // The whole script was buffered in one Cursor, so predicts coalesce
+    // into true multi-row batches.
+    let m = engine.lock().unwrap();
+    assert!(m.metrics.batch_size.count() < m.metrics.predicts_total);
+}
+
+#[test]
+fn bad_lines_get_error_responses_and_do_not_kill_the_session() {
+    let engine = Mutex::new(engine());
+    let script = "garbage\n\
+                  {\"event\":\"predict\",\"id\":5,\"time\":0}\n\
+                  {\"event\":\"metrics\"}\n";
+    let mut out: Vec<u8> = Vec::new();
+    run_session(&engine, Cursor::new(script), &mut out, 8).unwrap();
+    let responses = String::from_utf8(out).unwrap();
+    let lines: Vec<&str> = responses.lines().collect();
+    assert_eq!(lines.len(), 3);
+    // Malformed JSON → parse error; predict of an unsubmitted id → protocol
+    // error; metrics still succeeds and counts both failures.
+    let first = Json::parse(lines[0]).unwrap();
+    assert_eq!(first.get("ok"), Some(&Json::Bool(false)));
+    let second = Json::parse(lines[1]).unwrap();
+    assert_eq!(second.get("ok"), Some(&Json::Bool(false)));
+    let third = Json::parse(lines[2]).unwrap();
+    assert_eq!(
+        third
+            .get("metrics")
+            .and_then(|m| m.get("counters"))
+            .and_then(|c| c.get("errors")),
+        Some(&Json::Int(2))
+    );
+}
+
+#[test]
+fn tcp_session_serves_a_connection() {
+    use std::io::{BufRead, BufReader, Write};
+
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let shared = Arc::new(Mutex::new(engine()));
+    let server = {
+        let shared = Arc::clone(&shared);
+        std::thread::spawn(move || run_tcp(shared, listener, 16, Some(1)))
+    };
+
+    let live = SimulationBuilder::anvil_like().jobs(60).seed(12).run();
+    let script = event_script(&live, 5);
+    let mut conn = std::net::TcpStream::connect(addr).unwrap();
+    conn.write_all(script.as_bytes()).unwrap();
+    conn.flush().unwrap();
+
+    let mut responses = String::new();
+    let mut reader = BufReader::new(conn.try_clone().unwrap());
+    let mut line = String::new();
+    let expect = script.lines().count();
+    for _ in 0..expect {
+        line.clear();
+        assert!(
+            reader.read_line(&mut line).unwrap() > 0,
+            "connection closed early"
+        );
+        responses.push_str(&line);
+    }
+    drop(reader);
+    drop(conn);
+    server.join().unwrap().unwrap();
+    assert_session_transcript(&script, &responses);
+}

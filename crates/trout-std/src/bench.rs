@@ -243,7 +243,6 @@ impl BenchmarkGroup<'_> {
             return;
         }
         self.finished = true;
-        let dir = std::env::var("TROUT_BENCH_OUT").unwrap_or_else(|_| "target/bench".to_string());
         let report = Json::Obj(vec![
             ("group".into(), Json::Str(self.name.clone())),
             (
@@ -251,18 +250,31 @@ impl BenchmarkGroup<'_> {
                 Json::Arr(self.results.iter().map(Measurement::to_json).collect()),
             ),
         ]);
-        let sanitized: String = self
-            .name
-            .chars()
-            .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
-            .collect();
-        let path = format!("{dir}/BENCH_{sanitized}.json");
-        if std::fs::create_dir_all(&dir).is_ok() {
-            if let Err(e) = std::fs::write(&path, report.to_string()) {
-                eprintln!("bench {}: could not write {path}: {e}", self.name);
-            } else {
-                eprintln!("bench {}: report written to {path}", self.name);
-            }
+        write_report(&self.name, &report);
+    }
+}
+
+/// Writes an arbitrary JSON payload as `BENCH_<name>.json` under
+/// `$TROUT_BENCH_OUT` (default `target/bench`). Used by
+/// [`BenchmarkGroup::finish`] and by harnesses whose reports carry more than
+/// mean/min/max measurements (e.g. latency histograms). Returns the path on
+/// success.
+pub fn write_report(name: &str, payload: &Json) -> Option<String> {
+    let dir = std::env::var("TROUT_BENCH_OUT").unwrap_or_else(|_| "target/bench".to_string());
+    let sanitized: String = name
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect();
+    let path = format!("{dir}/BENCH_{sanitized}.json");
+    std::fs::create_dir_all(&dir).ok()?;
+    match std::fs::write(&path, payload.to_string()) {
+        Ok(()) => {
+            eprintln!("bench {name}: report written to {path}");
+            Some(path)
+        }
+        Err(e) => {
+            eprintln!("bench {name}: could not write {path}: {e}");
+            None
         }
     }
 }

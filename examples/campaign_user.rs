@@ -56,20 +56,22 @@ fn main() {
     );
     let step = (rows.len() / 12).max(1);
     for &i in rows.iter().step_by(step) {
-        let pred = model.predict(ds.row(i));
-        let shown = match pred {
-            QueuePrediction::QuickStart => "< 10 min".to_string(),
-            QueuePrediction::Minutes(m) => format!("{m:.0} min"),
+        let pred = model.predict(PredictionRequest::new(ds.row(i)));
+        let shown = match pred.estimate {
+            QueueEstimate::QuickStart => "< 10 min".to_string(),
+            QueueEstimate::Minutes(m) => format!("{m:.0} min"),
         };
         println!("{:>8} {:>14.1} {:>18}", ds.ids[i], ds.y_queue_min[i], shown);
     }
 
     // The burst's own back-pressure: later jobs in the campaign see more of
     // their siblings in the queue, so their predicted waits should not drop.
-    let first_pred = model.predict(ds.row(rows[0])).as_minutes(10.0);
+    let first_pred = model
+        .predict(PredictionRequest::new(ds.row(rows[0])))
+        .as_minutes();
     let last_pred = model
-        .predict(ds.row(*rows.last().unwrap()))
-        .as_minutes(10.0);
+        .predict(PredictionRequest::new(ds.row(*rows.last().unwrap())))
+        .as_minutes();
     println!(
         "\nqueue build-up across the campaign: first job predicted {first_pred:.0} min, \
          last job predicted {last_pred:.0} min"

@@ -40,8 +40,14 @@ fn main() {
             .collect();
         let quick_frac = labels.iter().filter(|&&l| l >= 0.5).count() as f64 / labels.len() as f64;
 
-        let f_acc = metrics::binary_accuracy(&frozen.quick_start_proba_batch(&tx), &labels);
-        let o_acc = metrics::binary_accuracy(&live.quick_start_proba_batch(&tx), &labels);
+        let quick_probs = |m: &trout::core::HierarchicalModel| -> Vec<f32> {
+            m.predict_batch(BatchPredictionRequest::new(&tx))
+                .into_iter()
+                .map(|p| p.quick_proba)
+                .collect()
+        };
+        let f_acc = metrics::binary_accuracy(&quick_probs(&frozen), &labels);
+        let o_acc = metrics::binary_accuracy(&quick_probs(&live), &labels);
         println!(
             "{:>6} {:>17.2}% {:>17.2}% {:>13.1}%",
             chunks + 1,

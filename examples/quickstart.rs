@@ -30,11 +30,11 @@ fn main() {
     // 4. Algorithm 1 on the most recent jobs.
     println!("\npredictions for the 5 newest jobs:");
     for i in ds.len() - 5..ds.len() {
-        let pred = model.predict(ds.row(i));
+        let pred = model.predict(PredictionRequest::new(ds.row(i)));
         println!(
             "  job {:>6}: {}  (actual: {:.0} min)",
             ds.ids[i],
-            pred.message(cfg.cutoff_min),
+            pred.message(),
             ds.y_queue_min[i]
         );
     }

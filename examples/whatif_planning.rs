@@ -66,9 +66,12 @@ fn main() {
                 state: JobState::Completed,
             });
             let (wds, _) = trout::core::featurize(&t, 0.6, 1);
-            let cell = match model.predict(wds.row(wds.len() - 1)) {
-                QueuePrediction::QuickStart => "<10".to_string(),
-                QueuePrediction::Minutes(m) => format!("{m:.0}"),
+            let cell = match model
+                .predict(PredictionRequest::new(wds.row(wds.len() - 1)))
+                .estimate
+            {
+                QueueEstimate::QuickStart => "<10".to_string(),
+                QueueEstimate::Minutes(m) => format!("{m:.0}"),
             };
             print!("{cell:>10}");
         }

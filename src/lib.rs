@@ -31,10 +31,10 @@
 //! let model = TroutTrainer::new(TroutConfig::smoke()).fit(&dataset);
 //!
 //! // 4. Predict the queue time of the last job.
-//! let pred = model.predict(&dataset.row(dataset.len() - 1));
-//! match pred {
-//!     QueuePrediction::QuickStart => println!("predicted to start in <10 minutes"),
-//!     QueuePrediction::Minutes(m) => println!("predicted to start in {m:.0} minutes"),
+//! let pred = model.predict(PredictionRequest::new(dataset.row(dataset.len() - 1)));
+//! match pred.estimate {
+//!     QueueEstimate::QuickStart => println!("predicted to start in <10 minutes"),
+//!     QueueEstimate::Minutes(m) => println!("predicted to start in {m:.0} minutes"),
 //! }
 //! ```
 
@@ -50,7 +50,10 @@ pub use trout_workload as workload;
 pub mod prelude {
     pub use trout_core::online::{update_model, OnlineConfig};
     pub use trout_core::tuner::{tune_regressor, TunerConfig};
-    pub use trout_core::{HierarchicalModel, QueuePrediction, TroutConfig, TroutTrainer};
+    pub use trout_core::{
+        BatchPredictionRequest, HierarchicalModel, PredictionRequest, Predictor, QueueEstimate,
+        QueuePrediction, TroutConfig, TroutTrainer,
+    };
     pub use trout_features::{Dataset, FeaturePipeline};
     pub use trout_ml::metrics;
     pub use trout_slurmsim::{JobRecord, SimulationBuilder, Trace};

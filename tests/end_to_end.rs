@@ -21,9 +21,9 @@ fn full_pipeline_produces_sane_predictions() {
 
     let mut quick = 0usize;
     for i in 2_500..3_000 {
-        match model.predict(ds.row(i)) {
-            QueuePrediction::QuickStart => quick += 1,
-            QueuePrediction::Minutes(m) => {
+        match model.predict(PredictionRequest::new(ds.row(i))).estimate {
+            QueueEstimate::QuickStart => quick += 1,
+            QueueEstimate::Minutes(m) => {
                 assert!(m.is_finite() && m >= 0.0, "minutes prediction {m}");
                 assert!(m < 60.0 * 24.0 * 30.0, "absurd prediction {m}");
             }
@@ -48,8 +48,8 @@ fn checkpoint_file_round_trip() {
 
     for i in (0..ds.len()).step_by(111) {
         assert_eq!(
-            model.predict(ds.row(i)),
-            loaded.predict(ds.row(i)),
+            model.predict(PredictionRequest::new(ds.row(i))),
+            loaded.predict(PredictionRequest::new(ds.row(i))),
             "row {i}"
         );
     }
@@ -103,7 +103,7 @@ fn pipeline_is_deterministic_across_runs_and_thread_counts() {
         let model = TroutTrainer::new(TroutConfig::smoke()).fit(&ds);
         let preds: Vec<QueuePrediction> = (0..ds.len())
             .step_by(37)
-            .map(|i| model.predict(ds.row(i)))
+            .map(|i| model.predict(PredictionRequest::new(ds.row(i))))
             .collect();
         (ds, preds)
     };
@@ -124,6 +124,6 @@ fn quickstart_doc_flow_compiles_and_runs_small() {
     let trace = SimulationBuilder::anvil_like().jobs(2_000).seed(7).run();
     let dataset = FeaturePipeline::standard().build(&trace);
     let model = TroutTrainer::new(TroutConfig::smoke()).fit(&dataset);
-    let pred = model.predict(dataset.row(dataset.len() - 1));
-    let _ = pred.message(10.0);
+    let pred = model.predict(PredictionRequest::new(dataset.row(dataset.len() - 1)));
+    let _ = pred.message();
 }

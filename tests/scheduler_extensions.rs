@@ -56,9 +56,8 @@ fn full_pipeline_works_with_cancellations_enabled() {
 
     let model = TroutTrainer::new(TroutConfig::smoke()).fit(&ds);
     for i in (0..ds.len()).step_by(257) {
-        let _ = model.predict(ds.row(i));
-        let p = model.calibrated_quick_proba(ds.row(i));
-        assert!((0.0..=1.0).contains(&p));
+        let pred = model.predict(PredictionRequest::new(ds.row(i)));
+        assert!((0.0..=1.0).contains(&pred.calibrated_proba));
     }
 }
 
@@ -71,7 +70,7 @@ fn swf_round_trip_supports_the_full_pipeline() {
     let ds = FeaturePipeline::standard().build(&imported);
     assert_eq!(ds.len(), 2_500);
     let model = TroutTrainer::new(TroutConfig::smoke()).fit(&ds);
-    let _ = model.predict(ds.row(0));
+    let _ = model.predict(PredictionRequest::new(ds.row(0)));
 }
 
 #[test]
