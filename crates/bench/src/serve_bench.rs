@@ -102,11 +102,14 @@ pub fn bench_serve(c: &mut Criterion) {
 
     let m = &engine.metrics;
     assert_eq!(m.errors_total, 0, "bench replay produced error responses");
-    // Sustained service rate: amortized end-to-end microseconds per
-    // prediction, inverted. This charges featurize + inference + batching
-    // overhead to every prediction but not the lifecycle events in between.
-    let preds_per_sec = if m.predict_us.mean() > 0.0 {
-        1e6 / m.predict_us.mean()
+    // Sustained service rate: total time spent inside predict_batch flushes,
+    // amortized over the predictions they served, inverted. This charges
+    // featurize + inference + batching overhead to every prediction but not
+    // the lifecycle events in between. (predict_us is per-request latency —
+    // every query in a batch waits for the whole flush — so its mean would
+    // overcount shared work here.)
+    let preds_per_sec = if m.batch_us.sum() > 0 && m.predicts_total > 0 {
+        m.predicts_total as f64 * 1e6 / m.batch_us.sum() as f64
     } else {
         0.0
     };

@@ -306,11 +306,12 @@ impl IncrementalSnapshot {
     }
 
     /// Drops finished jobs that can no longer influence any future snapshot
-    /// (done, and submitted more than 24 h before `now`). Returns the number
-    /// evicted. Callers must not probe at times earlier than `now` afterward.
-    pub fn evict_finished_before(&mut self, now: i64) -> usize {
+    /// (done, and submitted more than 24 h before `now`). Returns the ids
+    /// evicted so callers can drop their own per-job state. Callers must not
+    /// probe at times earlier than `now` afterward.
+    pub fn evict_finished_before(&mut self, now: i64) -> Vec<u64> {
         let cutoff = now - USER_WINDOW_S;
-        let mut evicted = 0usize;
+        let mut evicted = Vec::new();
         for history in self.user_history.values_mut() {
             let keep_from = history.partition_point(|&(s, _)| s < cutoff);
             for &(_, id) in &history[..keep_from] {
@@ -320,7 +321,7 @@ impl IncrementalSnapshot {
                     .is_some_and(|j| j.phase == JobPhase::Done)
                 {
                     self.jobs.remove(&id);
-                    evicted += 1;
+                    evicted.push(id);
                 }
             }
             history.drain(..keep_from);
@@ -506,7 +507,7 @@ mod tests {
         idx.start(1, 10).unwrap();
         idx.end(1, 20).unwrap();
         idx.submit(rec(2, 0, 0, 5, 5, 1.0), 5.0).unwrap(); // still pending
-        assert_eq!(idx.evict_finished_before(86_500), 1);
+        assert_eq!(idx.evict_finished_before(86_500), vec![1]);
         assert!(idx.job(1).is_none());
         assert!(idx.job(2).is_some(), "live jobs survive eviction");
         assert_eq!(idx.snapshot(&probe(86_500, 0)).queue.jobs, 1.0);

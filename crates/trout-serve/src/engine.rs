@@ -31,6 +31,11 @@ use crate::metrics::ServeMetrics;
 /// State events between eviction sweeps of the incremental index.
 const EVICT_EVERY: u64 = 4_096;
 
+/// Hard bound on cached feature rows. Rows normally leave the map at the
+/// job's `end`, but a client crash can drop that event forever; at the cap
+/// new jobs are served without caching (they just yield no refit example).
+const CACHED_ROWS_MAX: usize = 65_536;
+
 /// Engine policy knobs (transport knobs like the batch size live with the
 /// transport).
 #[derive(Debug, Clone)]
@@ -162,14 +167,16 @@ impl ServeEngine {
             .job(id)
             .is_some_and(|j| j.phase == JobPhase::Running);
         self.index.end(id, time)?;
+        // Claim the realized label and the cached row before note_event: its
+        // eviction sweep may drop this very job (queued+ran for longer than
+        // the eviction window) and purge the row along with it.
+        let label = self.index.job(id).map(|j| j.rec.queue_time_min() as f32);
+        let raw = self.cached_rows.remove(&id);
         self.note_event(time);
-        if let Some(raw) = self.cached_rows.remove(&id) {
-            if was_running {
-                let rec = &self.index.job(id).expect("job just ended").rec;
-                self.push_history(id, raw, rec.queue_time_min() as f32);
-                self.completed_since_refit += 1;
-                self.maybe_refit();
-            }
+        if let (Some(raw), true, Some(y)) = (raw, was_running, label) {
+            self.push_history(id, raw, y);
+            self.completed_since_refit += 1;
+            self.maybe_refit();
         }
         Ok(())
     }
@@ -213,9 +220,14 @@ impl ServeEngine {
         self.metrics.batches_total += 1;
         self.metrics.predicts_total += n_ok as u64;
         self.metrics.batch_size.record(queries.len() as u64);
-        let per_query = t_all.elapsed().as_micros() as u64 / queries.len().max(1) as u64;
+        // Every query in the batch waits for the whole flush, so the full
+        // elapsed time *is* each one's end-to-end latency — recording it per
+        // query keeps the real tail in the histogram (amortized cost comes
+        // from batch_us.sum() / predicts instead).
+        let elapsed = t_all.elapsed().as_micros() as u64;
+        self.metrics.batch_us.record(elapsed);
         for _ in queries {
-            self.metrics.predict_us.record(per_query);
+            self.metrics.predict_us.record(elapsed);
         }
         slots.into_iter().map(|s| s.map(|i| preds[i])).collect()
     }
@@ -254,7 +266,9 @@ impl ServeEngine {
         });
         let part = &self.cluster.partitions[rec.partition as usize];
         let raw = assemble_row(&rec, part, &snap, pred_runtime);
-        self.cached_rows.entry(id).or_insert_with(|| raw.clone());
+        if self.cached_rows.len() < CACHED_ROWS_MAX || self.cached_rows.contains_key(&id) {
+            self.cached_rows.entry(id).or_insert_with(|| raw.clone());
+        }
         let mut scaled = raw;
         self.scaler.transform_row(&mut scaled);
         Ok(scaled)
@@ -264,7 +278,9 @@ impl ServeEngine {
         self.latest_time = self.latest_time.max(time);
         self.metrics.state_events_total += 1;
         if self.metrics.state_events_total % EVICT_EVERY == 0 {
-            self.index.evict_finished_before(self.latest_time);
+            for id in self.index.evict_finished_before(self.latest_time) {
+                self.cached_rows.remove(&id);
+            }
         }
     }
 
@@ -366,6 +382,39 @@ mod tests {
         assert!(out[1].is_err());
         assert_eq!(engine.metrics.predicts_total, 2);
         assert_eq!(engine.metrics.batches_total, 1);
+    }
+
+    #[test]
+    fn long_lived_job_ending_on_an_eviction_sweep_still_trains() {
+        let (mut engine, live) = small_engine(0);
+        let mut long = live.records[0].clone();
+        long.id = 500_000;
+        long.submit_time = 0;
+        long.eligible_time = 0;
+        let id = long.id;
+        engine.apply_submit(long).unwrap();
+        engine.predict_one(id, 0).unwrap();
+        engine.apply_start(id, 600).unwrap();
+        // Filler submits land the long job's `end` exactly on the
+        // EVICT_EVERY-th state event, two days after its submission — the
+        // sweep inside apply_end evicts the job in the same call that needs
+        // its realized queue time.
+        let t_late = 2 * 86_400;
+        for k in 0..(EVICT_EVERY - 3) {
+            let mut r = live.records[1].clone();
+            r.id = 600_000 + k;
+            r.submit_time = t_late;
+            r.eligible_time = t_late;
+            engine.apply_submit(r).unwrap();
+        }
+        engine.apply_end(id, t_late + 1).unwrap();
+        assert!(engine.index().job(id).is_none(), "long job was evicted");
+        assert_eq!(
+            engine.history_y.len(),
+            1,
+            "label must be captured before the eviction sweep"
+        );
+        assert!((engine.history_y[0] - 10.0).abs() < 1e-6, "600 s queued");
     }
 
     #[test]

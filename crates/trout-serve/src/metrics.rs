@@ -48,6 +48,11 @@ impl LogHistogram {
         self.count
     }
 
+    /// Sum of all observations (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
     /// Mean observation (0 when empty).
     pub fn mean(&self) -> f64 {
         if self.count == 0 {
@@ -120,8 +125,13 @@ pub struct ServeMetrics {
     pub featurize_us: LogHistogram,
     /// Model forward-pass latency per batch, microseconds.
     pub inference_us: LogHistogram,
-    /// End-to-end latency per prediction, microseconds.
+    /// End-to-end latency per prediction, microseconds. Each prediction is
+    /// charged its full flush (every query in a batch waits for the whole
+    /// batch), so the tail here is real worst-case request latency.
     pub predict_us: LogHistogram,
+    /// End-to-end latency per `predict_batch` flush, microseconds
+    /// (`sum / predicts` gives the batch-amortized cost per prediction).
+    pub batch_us: LogHistogram,
     /// Coalesced batch sizes.
     pub batch_size: LogHistogram,
 }
@@ -147,6 +157,7 @@ impl ServeMetrics {
             ("featurize_us".into(), self.featurize_us.to_json()),
             ("inference_us".into(), self.inference_us.to_json()),
             ("predict_us".into(), self.predict_us.to_json()),
+            ("batch_us".into(), self.batch_us.to_json()),
             ("batch_size".into(), self.batch_size.to_json()),
         ])
     }

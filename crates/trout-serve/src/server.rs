@@ -155,7 +155,15 @@ pub fn run_tcp(
     let mut handles = Vec::new();
     let mut accepted = 0usize;
     for stream in listener.incoming() {
-        let stream = stream?;
+        // Transient accept failures (EMFILE, ECONNABORTED, …) must not take
+        // the listener down while session threads keep running.
+        let stream = match stream {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("serve: accept error (continuing): {e}");
+                continue;
+            }
+        };
         let engine = Arc::clone(&engine);
         handles.push(std::thread::spawn(move || {
             let reader = stream.try_clone()?;
