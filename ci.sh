@@ -30,3 +30,7 @@ rm -rf "$serve_tmp"
 
 # One-iteration pass over the serve bench (no calibration, no report).
 TROUT_BENCH_SMOKE=1 cargo bench --offline -p trout-bench --bench serve_bench
+
+# Same for the training-throughput and matmul benches guarding the
+# workspace hot path.
+TROUT_BENCH_SMOKE=1 cargo bench --offline -p trout-bench --bench train_bench

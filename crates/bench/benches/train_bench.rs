@@ -1,0 +1,12 @@
+//! Bench harness: MLP training epoch throughput (rows/sec, the number the
+//! workspace refactor is accountable to → `BENCH_train.json`) and the three
+//! matmul kernels at MLP-shaped sizes.
+//!
+//! Bodies live in `trout_bench::train_bench` so the `bench_smoke` test can
+//! run them for one iteration under `cargo test`.
+
+use trout_bench::train_bench::{bench_matmul_kernels, bench_train_epochs};
+use trout_std::{criterion_group, criterion_main};
+
+criterion_group!(benches, bench_train_epochs, bench_matmul_kernels);
+criterion_main!(benches);

@@ -18,6 +18,7 @@ pub mod context;
 pub mod experiments;
 pub mod microbench;
 pub mod serve_bench;
+pub mod train_bench;
 
 pub use context::Context;
 

@@ -1,7 +1,7 @@
 //! Smoke test: every microbenchmark body runs for exactly one iteration
 //! under `cargo test`, so bench code cannot rot between full bench runs.
 
-use trout_bench::{microbench, serve_bench};
+use trout_bench::{microbench, serve_bench, train_bench};
 use trout_std::bench::Criterion;
 
 #[test]
@@ -27,6 +27,16 @@ fn inference_benches_run_in_smoke_mode() {
 fn training_benches_run_in_smoke_mode() {
     let mut c = Criterion::smoke();
     microbench::bench_training(&mut c);
+}
+
+#[test]
+fn train_benches_run_in_smoke_mode() {
+    // Scaled down by the same env switch the full harness honours (see the
+    // note in serve_bench_runs_in_smoke_mode).
+    std::env::set_var("TROUT_BENCH_SMOKE", "1");
+    let mut c = Criterion::smoke();
+    train_bench::bench_train_epochs(&mut c);
+    train_bench::bench_matmul_kernels(&mut c);
 }
 
 #[test]

@@ -75,7 +75,7 @@ impl Dataset {
             raw: self.raw.select_cols(features),
             y_queue_min: self.y_queue_min.clone(),
             ids: self.ids.clone(),
-            scaler: self.scaler.clone(),
+            scaler: self.scaler.project(features),
         }
     }
 }
@@ -343,6 +343,26 @@ mod tests {
             assert_eq!(sub.raw.get(i, 2), ds.raw.get(i, idx::PRED_RUNTIME));
         }
         assert_eq!(sub.y_queue_min, ds.y_queue_min);
+    }
+
+    #[test]
+    fn project_carries_matching_scaler_stats() {
+        // Regression: project used to clone the 33-column scaler wholesale,
+        // so a projected dataset scaled its column j with the stats of
+        // original column j — wrong for any stateful scaler unless the
+        // selection was a prefix. The projected scaler must reproduce the
+        // projected `x` from the projected `raw`.
+        let trace = SimulationBuilder::anvil_like().jobs(150).seed(12).run();
+        for scaling in [Scaling::MinMax, Scaling::ZScore] {
+            let ds = FeaturePipeline::with_scaling(scaling).build(&trace);
+            let cols = [idx::PRED_RUNTIME, idx::PAR_JOBS_QUEUE, idx::REQ_CPUS];
+            let sub = ds.project(&cols);
+            for i in (0..sub.len()).step_by(13) {
+                let mut row = sub.raw.row(i).to_vec();
+                sub.scaler.transform_row(&mut row);
+                assert_eq!(row.as_slice(), sub.x.row(i), "{scaling:?} row {i}");
+            }
+        }
     }
 
     #[test]

@@ -169,6 +169,22 @@ impl FittedScaler {
         }
     }
 
+    /// Projects the fitted scaler onto a column subset, in the given order —
+    /// the companion to [`crate::Dataset::project`]. For the stateful
+    /// methods (`MinMax`, `ZScore`) the per-column stats are reindexed so
+    /// projected column `k` scales with the stats fitted for original column
+    /// `features[k]`; the stateless methods carry no stats to project.
+    pub fn project(&self, features: &[usize]) -> FittedScaler {
+        FittedScaler {
+            method: self.method,
+            stats: if self.stats.is_empty() {
+                Vec::new()
+            } else {
+                features.iter().map(|&j| self.stats[j]).collect()
+            },
+        }
+    }
+
     /// Transforms a whole matrix (out of place).
     pub fn transform(&self, x: &Matrix) -> Matrix {
         let mut out = x.clone();
@@ -250,6 +266,25 @@ mod tests {
             let t = s.transform(&x);
             assert!(t.as_slice().iter().all(|v| v.is_finite()), "{method:?}");
         }
+    }
+
+    #[test]
+    fn project_reindexes_stats_per_column() {
+        let x = sample();
+        for method in [Scaling::MinMax, Scaling::ZScore] {
+            let full = method.fit(&x);
+            // Select column 1 only (and then column 1 before column 0): the
+            // projected scaler must scale its column k with the stats fitted
+            // for original column features[k], not for column k.
+            let p = full.project(&[1, 0]);
+            for v in [0.0f32, 10.0, 40.0] {
+                assert_eq!(p.apply(0, v), full.apply(1, v), "{method:?}");
+                assert_eq!(p.apply(1, v), full.apply(0, v), "{method:?}");
+            }
+        }
+        // Stateless methods stay stateless.
+        let ln = Scaling::Ln1p.fit(&x).project(&[1]);
+        assert_eq!(ln.apply(0, 7.0), Scaling::Ln1p.fit(&x).apply(0, 7.0));
     }
 
     #[test]

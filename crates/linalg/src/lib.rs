@@ -7,6 +7,9 @@
 //! * [`Matrix`] — a row-major `f32` matrix with scoped-thread-parallel matrix
 //!   multiplication and the transpose-fused products backpropagation needs.
 //! * [`ops`] — slice-level vector kernels (dot, axpy, hadamard, …).
+//! * [`Workspace`] — caller-owned scratch for the network hot path; paired
+//!   with the `_into` kernel variants it makes steady-state training and
+//!   inference allocation-free.
 //! * [`SplitMix64`] — a tiny, fully deterministic RNG so every experiment in
 //!   the benchmark harness is reproducible bit-for-bit from a seed
 //!   (re-exported from `trout-std`, where it now lives).
@@ -18,6 +21,8 @@
 pub mod init;
 mod matrix;
 pub mod ops;
+mod workspace;
 
 pub use matrix::Matrix;
 pub use trout_std::rng::SplitMix64;
+pub use workspace::{LayerSpec, LayerWorkspace, Workspace};

@@ -117,18 +117,61 @@ impl Matrix {
         out
     }
 
+    /// Reshapes this matrix to `rows x cols` as a *scratch buffer*: element
+    /// contents are unspecified afterwards (callers are expected to overwrite
+    /// them fully, as every `_into` kernel does). The backing `Vec` only
+    /// reallocates when `rows * cols` exceeds its high-water capacity, so a
+    /// buffer sized once for the largest batch reshapes allocation-free
+    /// forever after — the contract the workspace hot path is built on.
+    pub fn reshape_scratch(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.resize(rows * cols, 0.0);
+    }
+
     /// `self * other` — parallel over output rows for large products.
     ///
     /// # Panics
     ///
     /// Panics on inner-dimension mismatch.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(0, 0);
+        self.matmul_into(other, &mut out);
+        out
+    }
+
+    /// `self * other` written into `out` (reshaped to `m x n`, no allocation
+    /// once `out` has the capacity). Bit-identical to [`Matrix::matmul`].
+    ///
+    /// Eight shared-dim steps run per pass over the output row (then one
+    /// four-step block and a scalar tail): the fused update applies its `+=`
+    /// terms left-to-right — exactly the serial chain, so results are
+    /// bit-identical — while the out-row load/store traffic amortizes 8×. A
+    /// block containing a zero falls back so the `a == 0.0` skip is
+    /// preserved exactly (see [`axpy_block8`]).
+    pub fn matmul_into(&self, other: &Matrix, out: &mut Matrix) {
         assert_eq!(self.cols, other.rows, "matmul dimension mismatch");
         let (m, k, n) = (self.rows, self.cols, other.cols);
-        let mut out = Matrix::zeros(m, n);
+        out.reshape_scratch(m, n);
+        out.data.fill(0.0);
         let body = |r: usize, out_row: &mut [f32]| {
             let a_row = &self.data[r * k..(r + 1) * k];
-            for (kk, &a) in a_row.iter().enumerate() {
+            let mut kk = 0;
+            while kk + 8 <= k {
+                let a: [f32; 8] = a_row[kk..kk + 8].try_into().unwrap();
+                let b: [&[f32]; 8] =
+                    core::array::from_fn(|l| &other.data[(kk + l) * n..(kk + l + 1) * n]);
+                axpy_block8(out_row, a, b);
+                kk += 8;
+            }
+            if kk + 4 <= k {
+                let a: [f32; 4] = a_row[kk..kk + 4].try_into().unwrap();
+                let b: [&[f32]; 4] =
+                    core::array::from_fn(|l| &other.data[(kk + l) * n..(kk + l + 1) * n]);
+                axpy_block4(out_row, a, b);
+                kk += 4;
+            }
+            for (kk, &a) in a_row.iter().enumerate().skip(kk) {
                 if a == 0.0 {
                     continue;
                 }
@@ -146,20 +189,48 @@ impl Matrix {
                 .enumerate()
                 .for_each(|(r, row)| body(r, row));
         }
-        out
     }
 
     /// `self * otherᵀ` without materializing the transpose. For backprop:
     /// `dX = dY * Wᵀ` with `W` stored `[in, out]`.
     pub fn matmul_bt(&self, other: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(0, 0);
+        self.matmul_bt_into(other, &mut out);
+        out
+    }
+
+    /// `self * otherᵀ` written into `out`. Bit-identical to
+    /// [`Matrix::matmul_bt`].
+    ///
+    /// Four output columns are computed per pass over `a_row`: every element
+    /// still accumulates with exactly [`crate::ops::dot`]'s four-accumulator
+    /// pattern (so the result is bit-identical to a per-column `dot`), but
+    /// the four reduction chains are independent, which quadruples the ILP
+    /// this reduction-bound kernel exposes and amortizes the `a_row` loads.
+    pub fn matmul_bt_into(&self, other: &Matrix, out: &mut Matrix) {
         assert_eq!(self.cols, other.cols, "matmul_bt dimension mismatch");
         let (m, k, n) = (self.rows, self.cols, other.rows);
-        let mut out = Matrix::zeros(m, n);
+        // No zero-fill: every output element is assigned (not accumulated
+        // into) by the body below.
+        out.reshape_scratch(m, n);
         let body = |r: usize, out_row: &mut [f32]| {
             let a_row = &self.data[r * k..(r + 1) * k];
-            for (c, o) in out_row.iter_mut().enumerate() {
-                let b_row = &other.data[c * k..(c + 1) * k];
-                *o = crate::ops::dot(a_row, b_row);
+            let mut c = 0;
+            while c + 4 <= n {
+                let b0 = &other.data[c * k..(c + 1) * k];
+                let b1 = &other.data[(c + 1) * k..(c + 2) * k];
+                let b2 = &other.data[(c + 2) * k..(c + 3) * k];
+                let b3 = &other.data[(c + 3) * k..(c + 4) * k];
+                let (s0, s1, s2, s3) = dot4(a_row, b0, b1, b2, b3);
+                out_row[c] = s0;
+                out_row[c + 1] = s1;
+                out_row[c + 2] = s2;
+                out_row[c + 3] = s3;
+                c += 4;
+            }
+            for cc in c..n {
+                let b_row = &other.data[cc * k..(cc + 1) * k];
+                out_row[cc] = crate::ops::dot(a_row, b_row);
             }
         };
         if m * k * n >= PAR_THRESHOLD && n > 0 {
@@ -170,33 +241,111 @@ impl Matrix {
                 .enumerate()
                 .for_each(|(r, row)| body(r, row));
         }
-        out
     }
 
     /// `selfᵀ * other` without materializing the transpose. For backprop:
     /// `dW = Xᵀ * dY`.
     pub fn matmul_at(&self, other: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(0, 0);
+        self.matmul_at_into(other, &mut out);
+        out
+    }
+
+    /// `selfᵀ * other` written into `out` — parallel over output rows for
+    /// large products, bit-identical to the serial path.
+    ///
+    /// The parallel split hands each worker a contiguous block of *output*
+    /// rows (its private accumulator — no cross-thread reduction) and every
+    /// output element accumulates over the shared dimension in the same
+    /// ascending order as the serial loop, including the `a == 0.0` skip, so
+    /// the float summation sequence per element is identical for any thread
+    /// count.
+    pub fn matmul_at_into(&self, other: &Matrix, out: &mut Matrix) {
         assert_eq!(self.rows, other.rows, "matmul_at dimension mismatch");
         let (k, m, n) = (self.rows, self.cols, other.cols);
-        let mut out = Matrix::zeros(m, n);
-        // Serial accumulation over the shared dimension keeps this cache
-        // friendly; parallelizing would need per-thread accumulators. The
-        // matrices here are [batch x features] — m and n are small (layer
-        // widths), so the serial loop is fine.
-        for kk in 0..k {
-            let a_row = &self.data[kk * m..(kk + 1) * m];
-            let b_row = &other.data[kk * n..(kk + 1) * n];
-            for (c, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
+        out.reshape_scratch(m, n);
+        out.data.fill(0.0);
+        // The row-parallel split needs each worker to gather its `a` column
+        // strided, which costs a cache line per element; the serial algorithm
+        // streams both inputs contiguously instead. Both orders are
+        // bit-identical (asserted by `parallel_path_matches_serial`), so on a
+        // single worker the large-product case routes to the streaming form
+        // too.
+        if k * m * n >= PAR_THRESHOLD && n > 0 && par::thread_count(m) > 1 {
+            let a_data = &self.data;
+            let b_data = &other.data;
+            par::par_chunks_mut(&mut out.data, n, |c, out_row| {
+                let mut kk = 0;
+                while kk + 8 <= k {
+                    let a: [f32; 8] = core::array::from_fn(|l| a_data[(kk + l) * m + c]);
+                    let b: [&[f32]; 8] =
+                        core::array::from_fn(|l| &b_data[(kk + l) * n..(kk + l + 1) * n]);
+                    axpy_block8(out_row, a, b);
+                    kk += 8;
                 }
-                let out_row = &mut out.data[c * n..(c + 1) * n];
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
+                if kk + 4 <= k {
+                    let a: [f32; 4] = core::array::from_fn(|l| a_data[(kk + l) * m + c]);
+                    let b: [&[f32]; 4] =
+                        core::array::from_fn(|l| &b_data[(kk + l) * n..(kk + l + 1) * n]);
+                    axpy_block4(out_row, a, b);
+                    kk += 4;
+                }
+                for kk in kk..k {
+                    let a = a_data[kk * m + c];
+                    if a == 0.0 {
+                        continue;
+                    }
+                    let b_row = &b_data[kk * n..(kk + 1) * n];
+                    for (o, &b) in out_row.iter_mut().zip(b_row) {
+                        *o += a * b;
+                    }
+                }
+            });
+        } else {
+            // Serial accumulation over the shared dimension streams both
+            // inputs contiguously — cache friendly for the small layer-width
+            // products that dominate below the threshold. Eight shared-dim
+            // steps per pass (then one four-step block and a scalar tail),
+            // same fused left-to-right chain as [`Matrix::matmul_into`]
+            // (bit-identical to the step-by-step loop), falling back when a
+            // block contains a zero (see [`axpy_block8`]).
+            let mut kk = 0;
+            while kk + 8 <= k {
+                let a_rows: [&[f32]; 8] =
+                    core::array::from_fn(|l| &self.data[(kk + l) * m..(kk + l + 1) * m]);
+                let b: [&[f32]; 8] =
+                    core::array::from_fn(|l| &other.data[(kk + l) * n..(kk + l + 1) * n]);
+                for c in 0..m {
+                    let a: [f32; 8] = core::array::from_fn(|l| a_rows[l][c]);
+                    axpy_block8(&mut out.data[c * n..(c + 1) * n], a, b);
+                }
+                kk += 8;
+            }
+            if kk + 4 <= k {
+                let a_rows: [&[f32]; 4] =
+                    core::array::from_fn(|l| &self.data[(kk + l) * m..(kk + l + 1) * m]);
+                let b: [&[f32]; 4] =
+                    core::array::from_fn(|l| &other.data[(kk + l) * n..(kk + l + 1) * n]);
+                for c in 0..m {
+                    let a: [f32; 4] = core::array::from_fn(|l| a_rows[l][c]);
+                    axpy_block4(&mut out.data[c * n..(c + 1) * n], a, b);
+                }
+                kk += 4;
+            }
+            for kk in kk..k {
+                let a_row = &self.data[kk * m..(kk + 1) * m];
+                let b_row = &other.data[kk * n..(kk + 1) * n];
+                for (c, &a) in a_row.iter().enumerate() {
+                    if a == 0.0 {
+                        continue;
+                    }
+                    let out_row = &mut out.data[c * n..(c + 1) * n];
+                    for (o, &b) in out_row.iter_mut().zip(b_row) {
+                        *o += a * b;
+                    }
                 }
             }
         }
-        out
     }
 
     /// `self + other` element-wise, in place.
@@ -227,12 +376,19 @@ impl Matrix {
     /// Sums each column into a `cols`-length vector (used for bias gradients).
     pub fn col_sums(&self) -> Vec<f32> {
         let mut out = vec![0.0f32; self.cols];
+        self.col_sums_into(&mut out);
+        out
+    }
+
+    /// Column sums written into a caller-owned slice of length `cols`.
+    pub fn col_sums_into(&self, out: &mut [f32]) {
+        assert_eq!(out.len(), self.cols, "col_sums_into width mismatch");
+        out.fill(0.0);
         for r in self.data.chunks_exact(self.cols.max(1)) {
             for (o, &v) in out.iter_mut().zip(r) {
                 *o += v;
             }
         }
-        out
     }
 
     /// Frobenius norm.
@@ -243,10 +399,17 @@ impl Matrix {
     /// Extracts the sub-matrix made of the given rows, in order.
     pub fn select_rows(&self, indices: &[usize]) -> Matrix {
         let mut out = Matrix::zeros(indices.len(), self.cols);
+        self.select_rows_into(indices, &mut out);
+        out
+    }
+
+    /// Row selection written into a caller-owned matrix (reshaped to
+    /// `indices.len() x cols`, no allocation once `out` has the capacity).
+    pub fn select_rows_into(&self, indices: &[usize], out: &mut Matrix) {
+        out.reshape_scratch(indices.len(), self.cols);
         for (i, &r) in indices.iter().enumerate() {
             out.row_mut(i).copy_from_slice(self.row(r));
         }
-        out
     }
 
     /// Extracts the sub-matrix made of the given columns, in order.
@@ -260,6 +423,218 @@ impl Matrix {
         }
         out
     }
+}
+
+/// One four-step shared-dim block: the all-nonzero fast path takes the fused
+/// [`axpy4`] pass; a block containing a zero falls back to the per-step loop
+/// so the `a == 0.0` skip is preserved exactly. Either way each output
+/// element sees its `+=` terms in ascending step order — bit-identical to
+/// four sequential row updates.
+fn axpy_block4(out: &mut [f32], a: [f32; 4], b: [&[f32]; 4]) {
+    if a.iter().all(|&v| v != 0.0) {
+        axpy4(out, a, b[0], b[1], b[2], b[3]);
+    } else {
+        for (l, b_row) in b.into_iter().enumerate() {
+            let av = a[l];
+            if av == 0.0 {
+                continue;
+            }
+            for (o, &bv) in out.iter_mut().zip(b_row) {
+                *o += av * bv;
+            }
+        }
+    }
+}
+
+/// One eight-step shared-dim block: [`axpy8`] when all eight coefficients are
+/// nonzero, else two [`axpy_block4`] halves (common when `a` carries dropout
+/// zeros). All paths apply the same per-element chain in ascending step
+/// order, so the choice never changes a bit.
+fn axpy_block8(out: &mut [f32], a: [f32; 8], b: [&[f32]; 8]) {
+    if a.iter().all(|&v| v != 0.0) {
+        axpy8(out, a, b);
+    } else {
+        axpy_block4(out, [a[0], a[1], a[2], a[3]], [b[0], b[1], b[2], b[3]]);
+        axpy_block4(out, [a[4], a[5], a[6], a[7]], [b[4], b[5], b[6], b[7]]);
+    }
+}
+
+/// Fused eight-term update — one `out` load/store pass per eight shared-dim
+/// steps. Bit-identical to two sequential [`axpy4`] passes over the same
+/// block (and hence to eight sequential `o += a_l * b_l` passes): each output
+/// element sees one left-to-right chain in ascending `l` order, and SSE2
+/// packed ops are IEEE-exact per lane. The tail keeps the identical scalar
+/// expression.
+fn axpy8(out: &mut [f32], a: [f32; 8], b: [&[f32]; 8]) {
+    let n = out.len();
+    debug_assert!(b.iter().all(|s| s.len() == n));
+    let chunks = n / 4;
+    #[cfg(target_arch = "x86_64")]
+    {
+        use core::arch::x86_64::*;
+        // SAFETY: SSE2 is part of the x86-64 baseline, and every load/store
+        // stays within the first `chunks * 4` elements of the nine slices,
+        // whose lengths are all `n` (debug-asserted above, guaranteed by the
+        // caller's row slicing).
+        unsafe {
+            let va: [_; 8] = [
+                _mm_set1_ps(a[0]),
+                _mm_set1_ps(a[1]),
+                _mm_set1_ps(a[2]),
+                _mm_set1_ps(a[3]),
+                _mm_set1_ps(a[4]),
+                _mm_set1_ps(a[5]),
+                _mm_set1_ps(a[6]),
+                _mm_set1_ps(a[7]),
+            ];
+            for i in 0..chunks {
+                let j = i * 4;
+                let mut vo = _mm_loadu_ps(out.as_ptr().add(j));
+                for l in 0..8 {
+                    vo = _mm_add_ps(vo, _mm_mul_ps(va[l], _mm_loadu_ps(b[l].as_ptr().add(j))));
+                }
+                _mm_storeu_ps(out.as_mut_ptr().add(j), vo);
+            }
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    for j in 0..chunks * 4 {
+        let mut o = out[j];
+        for l in 0..8 {
+            o += a[l] * b[l][j];
+        }
+        out[j] = o;
+    }
+    for j in chunks * 4..n {
+        let mut o = out[j];
+        for l in 0..8 {
+            o += a[l] * b[l][j];
+        }
+        out[j] = o;
+    }
+}
+
+/// Fused four-term update `o = (((o + a0*b0) + a1*b1) + a2*b2) + a3*b3`
+/// applied element-wise across `out` — bit-identical to four sequential
+/// `o += a_l * b_l` passes because each output element sees the exact same
+/// left-to-right chain. Elements are independent, so widening to 4-wide SSE2
+/// packed ops (IEEE-exact per lane) preserves every bit while quartering the
+/// `out` load/store traffic; the tail keeps the identical scalar expression.
+///
+/// Hand-spelled for the same reason as [`dot4`]: the autovectorizer inserts
+/// lane shuffles between the multiply/add pairs.
+fn axpy4(out: &mut [f32], a: [f32; 4], b0: &[f32], b1: &[f32], b2: &[f32], b3: &[f32]) {
+    let n = out.len();
+    debug_assert!(b0.len() == n && b1.len() == n && b2.len() == n && b3.len() == n);
+    let chunks = n / 4;
+    #[cfg(target_arch = "x86_64")]
+    {
+        use core::arch::x86_64::*;
+        // SAFETY: SSE2 is part of the x86-64 baseline, and every load/store
+        // stays within the first `chunks * 4` elements of the five slices,
+        // whose lengths are all `n` (debug-asserted above, guaranteed by the
+        // caller's row slicing).
+        unsafe {
+            let va0 = _mm_set1_ps(a[0]);
+            let va1 = _mm_set1_ps(a[1]);
+            let va2 = _mm_set1_ps(a[2]);
+            let va3 = _mm_set1_ps(a[3]);
+            for i in 0..chunks {
+                let j = i * 4;
+                let mut vo = _mm_loadu_ps(out.as_ptr().add(j));
+                vo = _mm_add_ps(vo, _mm_mul_ps(va0, _mm_loadu_ps(b0.as_ptr().add(j))));
+                vo = _mm_add_ps(vo, _mm_mul_ps(va1, _mm_loadu_ps(b1.as_ptr().add(j))));
+                vo = _mm_add_ps(vo, _mm_mul_ps(va2, _mm_loadu_ps(b2.as_ptr().add(j))));
+                vo = _mm_add_ps(vo, _mm_mul_ps(va3, _mm_loadu_ps(b3.as_ptr().add(j))));
+                _mm_storeu_ps(out.as_mut_ptr().add(j), vo);
+            }
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    for j in 0..chunks * 4 {
+        out[j] = (((out[j] + a[0] * b0[j]) + a[1] * b1[j]) + a[2] * b2[j]) + a[3] * b3[j];
+    }
+    for j in chunks * 4..n {
+        out[j] = (((out[j] + a[0] * b0[j]) + a[1] * b1[j]) + a[2] * b2[j]) + a[3] * b3[j];
+    }
+}
+
+/// Four dot products sharing one pass over `a` — bit-identical to four
+/// [`crate::ops::dot`] calls: each result uses `dot`'s four-lane accumulator
+/// pattern and its left-to-right horizontal reduction, followed by the same
+/// scalar tail. Sharing the pass amortizes the `a` loads 4× and gives the
+/// CPU four independent reduction chains.
+///
+/// The x86-64 path spells the loop in SSE2 intrinsics (baseline for the
+/// architecture, IEEE-exact per lane, so bitwise equal to the scalar form):
+/// the autovectorizer otherwise pairs lanes *across* the four accumulators
+/// and drowns the kernel in shuffles.
+fn dot4(a: &[f32], b0: &[f32], b1: &[f32], b2: &[f32], b3: &[f32]) -> (f32, f32, f32, f32) {
+    let k = a.len();
+    debug_assert!(b0.len() == k && b1.len() == k && b2.len() == k && b3.len() == k);
+    let chunks = k / 4;
+    #[cfg(target_arch = "x86_64")]
+    let (mut s0, mut s1, mut s2, mut s3) = {
+        use core::arch::x86_64::*;
+        // SAFETY: SSE2 is part of the x86-64 baseline, and every load stays
+        // within the first `chunks * 4` elements of the five slices, whose
+        // lengths are all `k` (debug-asserted above, guaranteed by the
+        // caller's row slicing).
+        unsafe {
+            let mut acc0 = _mm_setzero_ps();
+            let mut acc1 = _mm_setzero_ps();
+            let mut acc2 = _mm_setzero_ps();
+            let mut acc3 = _mm_setzero_ps();
+            for i in 0..chunks {
+                let j = i * 4;
+                let va = _mm_loadu_ps(a.as_ptr().add(j));
+                acc0 = _mm_add_ps(acc0, _mm_mul_ps(va, _mm_loadu_ps(b0.as_ptr().add(j))));
+                acc1 = _mm_add_ps(acc1, _mm_mul_ps(va, _mm_loadu_ps(b1.as_ptr().add(j))));
+                acc2 = _mm_add_ps(acc2, _mm_mul_ps(va, _mm_loadu_ps(b2.as_ptr().add(j))));
+                acc3 = _mm_add_ps(acc3, _mm_mul_ps(va, _mm_loadu_ps(b3.as_ptr().add(j))));
+            }
+            let mut lanes = [[0.0f32; 4]; 4];
+            _mm_storeu_ps(lanes[0].as_mut_ptr(), acc0);
+            _mm_storeu_ps(lanes[1].as_mut_ptr(), acc1);
+            _mm_storeu_ps(lanes[2].as_mut_ptr(), acc2);
+            _mm_storeu_ps(lanes[3].as_mut_ptr(), acc3);
+            (
+                ((lanes[0][0] + lanes[0][1]) + lanes[0][2]) + lanes[0][3],
+                ((lanes[1][0] + lanes[1][1]) + lanes[1][2]) + lanes[1][3],
+                ((lanes[2][0] + lanes[2][1]) + lanes[2][2]) + lanes[2][3],
+                ((lanes[3][0] + lanes[3][1]) + lanes[3][2]) + lanes[3][3],
+            )
+        }
+    };
+    #[cfg(not(target_arch = "x86_64"))]
+    let (mut s0, mut s1, mut s2, mut s3) = {
+        let mut acc0 = [0.0f32; 4];
+        let mut acc1 = [0.0f32; 4];
+        let mut acc2 = [0.0f32; 4];
+        let mut acc3 = [0.0f32; 4];
+        for i in 0..chunks {
+            let j = i * 4;
+            for l in 0..4 {
+                acc0[l] += a[j + l] * b0[j + l];
+                acc1[l] += a[j + l] * b1[j + l];
+                acc2[l] += a[j + l] * b2[j + l];
+                acc3[l] += a[j + l] * b3[j + l];
+            }
+        }
+        (
+            ((acc0[0] + acc0[1]) + acc0[2]) + acc0[3],
+            ((acc1[0] + acc1[1]) + acc1[2]) + acc1[3],
+            ((acc2[0] + acc2[1]) + acc2[2]) + acc2[3],
+            ((acc3[0] + acc3[1]) + acc3[2]) + acc3[3],
+        )
+    };
+    for j in chunks * 4..k {
+        s0 += a[j] * b0[j];
+        s1 += a[j] * b1[j];
+        s2 += a[j] * b2[j];
+        s3 += a[j] * b3[j];
+    }
+    (s0, s1, s2, s3)
 }
 
 #[cfg(test)]
@@ -336,6 +711,86 @@ mod tests {
         for (x, y) in fast.as_slice().iter().zip(want.as_slice()) {
             assert!((x - y).abs() <= 1e-3, "{x} vs {y}");
         }
+
+        // matmul_at crosses the threshold too (80^3 multiply-adds). Its
+        // parallel split promises *bit*-identity with the serial loop order,
+        // so emulate that order here and compare exactly.
+        let fast_at = a.matmul_at(&b);
+        let mut want_at = Matrix::zeros(n, n);
+        for kk in 0..n {
+            for c in 0..n {
+                let av = a.get(kk, c);
+                if av == 0.0 {
+                    continue;
+                }
+                for j in 0..n {
+                    let cur = want_at.get(c, j);
+                    want_at.set(c, j, cur + av * b.get(kk, j));
+                }
+            }
+        }
+        assert_eq!(
+            fast_at.as_slice(),
+            want_at.as_slice(),
+            "parallel matmul_at must be bit-identical to the serial order"
+        );
+    }
+
+    #[test]
+    fn matmul_bt_blocked_columns_are_bit_identical_to_dot() {
+        // The column-blocked kernel promises *bit*-identity with a
+        // per-column `ops::dot`. Cover odd shapes: a column count with a
+        // tail after the 4-wide blocks (n = 7) and a shared dimension with
+        // a tail after dot's 4-wide unroll (k = 13).
+        let (m_, k_, n_) = (5, 13, 7);
+        let a = Matrix::from_fn(m_, k_, |r, c| ((r * 29 + c * 13) % 17) as f32 * 0.37 - 2.9);
+        let b = Matrix::from_fn(n_, k_, |r, c| ((r * 23 + c * 7) % 19) as f32 * 0.53 - 4.1);
+        let got = a.matmul_bt(&b);
+        for r in 0..m_ {
+            for c in 0..n_ {
+                assert_eq!(
+                    got.get(r, c).to_bits(),
+                    crate::ops::dot(a.row(r), b.row(c)).to_bits(),
+                    "({r},{c})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn into_kernels_match_owned_and_reuse_buffers() {
+        let a = m(3, 4, &[1.0; 12]);
+        let a2 = Matrix::from_fn(3, 4, |r, c| (r * 4 + c) as f32 - 5.0);
+        let b = Matrix::from_fn(4, 2, |r, c| (r * 2 + c) as f32 * 0.5 - 1.0);
+        let bt = Matrix::from_fn(2, 4, |r, c| (r * 4 + c) as f32 * 0.25);
+        let at = Matrix::from_fn(3, 5, |r, c| (r * 5 + c) as f32 - 7.0);
+
+        // One scratch buffer driven through all three kernels at different
+        // shapes; each call must fully overwrite the stale contents.
+        let mut out = Matrix::zeros(0, 0);
+        a2.matmul_into(&b, &mut out);
+        assert_eq!(out, a2.matmul(&b));
+        a2.matmul_bt_into(&bt, &mut out);
+        assert_eq!(out, a2.matmul_bt(&bt));
+        a2.matmul_at_into(&at, &mut out);
+        assert_eq!(out, a2.matmul_at(&at));
+
+        a.select_rows_into(&[2, 0], &mut out);
+        assert_eq!(out, a.select_rows(&[2, 0]));
+
+        let mut sums = vec![9.0f32; 4];
+        a2.col_sums_into(&mut sums);
+        assert_eq!(sums, a2.col_sums());
+    }
+
+    #[test]
+    fn reshape_scratch_reuses_capacity() {
+        let mut s = Matrix::zeros(8, 8);
+        let cap = s.data.capacity();
+        s.reshape_scratch(2, 3);
+        assert_eq!((s.rows(), s.cols()), (2, 3));
+        s.reshape_scratch(8, 8);
+        assert_eq!(s.data.capacity(), cap, "shrink+regrow must not reallocate");
     }
 
     #[test]

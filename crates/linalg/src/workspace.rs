@@ -1,0 +1,163 @@
+//! Caller-owned scratch memory for the neural-network hot path.
+//!
+//! A [`Workspace`] owns every per-batch buffer a feed-forward network needs
+//! for training and inference — activations, pre-activations, gradients,
+//! dropout masks, normalization statistics, parameter gradients — sized once
+//! from the layer shapes ([`LayerSpec`]) and reused across batches and
+//! epochs. Combined with the `_into` kernels on [`Matrix`], a steady-state
+//! training epoch or predict call performs zero heap allocations: every
+//! buffer is reshaped via [`Matrix::reshape_scratch`], which only touches the
+//! allocator when a batch exceeds the high-water capacity (warmup).
+//!
+//! The layout is deliberately dumb — one named buffer per role, no pooling,
+//! no lifetimes — so the borrow splits the training loop needs
+//! (`layer[li].grad` read while `layer[li-1].grad` is written) fall out of
+//! plain `split_at_mut`.
+
+use crate::Matrix;
+
+/// Shape and feature flags of one dense layer, from which its scratch
+/// buffers are sized.
+#[derive(Debug, Clone, Copy)]
+pub struct LayerSpec {
+    /// Input width of the layer (rows of its weight matrix).
+    pub fan_in: usize,
+    /// Output width of the layer (columns of its weight matrix).
+    pub width: usize,
+    /// Whether the layer normalizes (allocates `norm_*` buffers).
+    pub norm: bool,
+    /// Whether the layer drops out (allocates the `mask` buffer).
+    pub mask: bool,
+}
+
+/// Scratch buffers for one dense layer. Batch-shaped matrices (`rows x
+/// width`) are reshaped every batch by the kernels that write them;
+/// width-shaped vectors are fixed at construction.
+#[derive(Debug)]
+pub struct LayerWorkspace {
+    /// Pre-activation values: the linear output `x@w + b`, overwritten in
+    /// place by the normalization output when the layer normalizes.
+    pub pre_act: Matrix,
+    /// Post-activation output (post-dropout during training) — the next
+    /// layer's input.
+    pub output: Matrix,
+    /// Gradient w.r.t. this layer's output; consumed in place by the
+    /// backward pass (mask, then activation derivative).
+    pub grad: Matrix,
+    /// Inverted-dropout mask (each kept element holds `1/keep`); `rows x 0`
+    /// when the layer doesn't drop out.
+    pub mask: Matrix,
+    /// Normalized inputs (`x_hat`); `rows x 0` when the layer doesn't
+    /// normalize.
+    pub norm_x: Matrix,
+    /// Gradient w.r.t. the normalization input; `rows x 0` when unused.
+    pub norm_grad: Matrix,
+    /// Weight gradient, `fan_in x width`.
+    pub d_w: Matrix,
+    /// Bias gradient, `width`.
+    pub d_b: Vec<f32>,
+    /// Batch mean per feature (normalizing layers only).
+    pub norm_mean: Vec<f32>,
+    /// Batch variance per feature (normalizing layers only).
+    pub norm_var: Vec<f32>,
+    /// Batch inverse standard deviation per feature (normalizing layers
+    /// only).
+    pub norm_inv_std: Vec<f32>,
+    /// Scale-parameter gradient (normalizing layers only).
+    pub norm_d_gamma: Vec<f32>,
+    /// Shift-parameter gradient (normalizing layers only).
+    pub norm_d_beta: Vec<f32>,
+}
+
+impl LayerWorkspace {
+    fn new(spec: &LayerSpec, batch_rows: usize) -> Self {
+        let stat = |on: bool| {
+            if on {
+                vec![0.0; spec.width]
+            } else {
+                Vec::new()
+            }
+        };
+        LayerWorkspace {
+            pre_act: Matrix::zeros(batch_rows, spec.width),
+            output: Matrix::zeros(batch_rows, spec.width),
+            grad: Matrix::zeros(batch_rows, spec.width),
+            mask: Matrix::zeros(batch_rows, if spec.mask { spec.width } else { 0 }),
+            norm_x: Matrix::zeros(batch_rows, if spec.norm { spec.width } else { 0 }),
+            norm_grad: Matrix::zeros(batch_rows, if spec.norm { spec.width } else { 0 }),
+            d_w: Matrix::zeros(spec.fan_in, spec.width),
+            d_b: vec![0.0; spec.width],
+            norm_mean: stat(spec.norm),
+            norm_var: stat(spec.norm),
+            norm_inv_std: stat(spec.norm),
+            norm_d_gamma: stat(spec.norm),
+            norm_d_beta: stat(spec.norm),
+        }
+    }
+}
+
+/// All scratch memory one network needs for training and inference, sized
+/// once from the layer shapes. See the module docs for the allocation
+/// contract.
+#[derive(Debug)]
+pub struct Workspace {
+    /// The current batch's input rows (`rows x input_dim`).
+    pub input: Matrix,
+    /// The current batch's targets.
+    pub targets: Vec<f32>,
+    /// Per-layer scratch, input side first.
+    pub layers: Vec<LayerWorkspace>,
+}
+
+impl Workspace {
+    /// Builds a workspace for a network with the given input width and layer
+    /// shapes, pre-sized for batches of `batch_rows` rows. Larger batches
+    /// still work — buffers grow once to the new high-water mark and stay.
+    pub fn new(input_dim: usize, specs: &[LayerSpec], batch_rows: usize) -> Self {
+        Workspace {
+            input: Matrix::zeros(batch_rows, input_dim),
+            targets: Vec::with_capacity(batch_rows),
+            layers: specs
+                .iter()
+                .map(|s| LayerWorkspace::new(s, batch_rows))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_buffers_from_specs() {
+        let specs = [
+            LayerSpec {
+                fan_in: 8,
+                width: 16,
+                norm: true,
+                mask: true,
+            },
+            LayerSpec {
+                fan_in: 16,
+                width: 1,
+                norm: false,
+                mask: false,
+            },
+        ];
+        let ws = Workspace::new(8, &specs, 32);
+        assert_eq!((ws.input.rows(), ws.input.cols()), (32, 8));
+        assert_eq!(ws.layers.len(), 2);
+        let h = &ws.layers[0];
+        assert_eq!((h.pre_act.rows(), h.pre_act.cols()), (32, 16));
+        assert_eq!(h.mask.cols(), 16);
+        assert_eq!(h.norm_x.cols(), 16);
+        assert_eq!(h.norm_mean.len(), 16);
+        assert_eq!((h.d_w.rows(), h.d_w.cols()), (8, 16));
+        let out = &ws.layers[1];
+        assert_eq!(out.mask.cols(), 0);
+        assert_eq!(out.norm_x.cols(), 0);
+        assert!(out.norm_mean.is_empty());
+        assert_eq!(out.d_b.len(), 1);
+    }
+}

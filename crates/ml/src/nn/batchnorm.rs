@@ -59,44 +59,12 @@ impl BatchNorm {
     /// running statistics, and returns the output plus backward cache.
     pub fn forward_train(&mut self, x: &Matrix) -> (Matrix, BnCache) {
         let (n, d) = (x.rows(), x.cols());
-        assert_eq!(d, self.dim(), "batchnorm width mismatch");
-        assert!(n > 0, "empty batch");
-        let mut mean = vec![0.0f32; d];
-        for r in 0..n {
-            for (m, &v) in mean.iter_mut().zip(x.row(r)) {
-                *m += v;
-            }
-        }
-        for m in &mut mean {
-            *m /= n as f32;
-        }
-        let mut var = vec![0.0f32; d];
-        for r in 0..n {
-            for (j, &v) in x.row(r).iter().enumerate() {
-                let c = v - mean[j];
-                var[j] += c * c;
-            }
-        }
-        for v in &mut var {
-            *v /= n as f32;
-        }
-        let inv_std: Vec<f32> = var.iter().map(|&v| 1.0 / (v + self.eps).sqrt()).collect();
-
+        let mut out = x.clone();
         let mut x_hat = Matrix::zeros(n, d);
-        let mut out = Matrix::zeros(n, d);
-        for r in 0..n {
-            for j in 0..d {
-                let xh = (x.get(r, j) - mean[j]) * inv_std[j];
-                x_hat.set(r, j, xh);
-                out.set(r, j, self.gamma[j] * xh + self.beta[j]);
-            }
-        }
-        for j in 0..d {
-            self.running_mean[j] =
-                (1.0 - self.momentum) * self.running_mean[j] + self.momentum * mean[j];
-            self.running_var[j] =
-                (1.0 - self.momentum) * self.running_var[j] + self.momentum * var[j];
-        }
+        let mut mean = vec![0.0f32; d];
+        let mut var = vec![0.0f32; d];
+        let mut inv_std = vec![0.0f32; d];
+        self.forward_train_in(&mut out, &mut x_hat, &mut mean, &mut var, &mut inv_std);
         (
             out,
             BnCache {
@@ -107,19 +75,84 @@ impl BatchNorm {
         )
     }
 
-    /// Inference-mode forward using the running statistics.
-    pub fn forward_eval(&self, x: &Matrix) -> Matrix {
+    /// Training-mode forward against caller-owned buffers: `x` (the linear
+    /// output) is overwritten in place with the normalized-scaled output,
+    /// `x_hat` is reshaped to match, and the three statistic slices must be
+    /// `dim()` long. Updates running statistics. Bit-identical to
+    /// [`BatchNorm::forward_train`]; allocation-free once `x_hat` has the
+    /// capacity.
+    pub fn forward_train_in(
+        &mut self,
+        x: &mut Matrix,
+        x_hat: &mut Matrix,
+        mean: &mut [f32],
+        var: &mut [f32],
+        inv_std: &mut [f32],
+    ) {
         let (n, d) = (x.rows(), x.cols());
         assert_eq!(d, self.dim(), "batchnorm width mismatch");
-        let mut out = Matrix::zeros(n, d);
+        assert!(n > 0, "empty batch");
+        assert_eq!(mean.len(), d, "batchnorm stat buffer mismatch");
+        assert_eq!(var.len(), d, "batchnorm stat buffer mismatch");
+        assert_eq!(inv_std.len(), d, "batchnorm stat buffer mismatch");
+        mean.fill(0.0);
+        for r in 0..n {
+            for (m, &v) in mean.iter_mut().zip(x.row(r)) {
+                *m += v;
+            }
+        }
+        for m in mean.iter_mut() {
+            *m /= n as f32;
+        }
+        var.fill(0.0);
+        for r in 0..n {
+            for (j, &v) in x.row(r).iter().enumerate() {
+                let c = v - mean[j];
+                var[j] += c * c;
+            }
+        }
+        for v in var.iter_mut() {
+            *v /= n as f32;
+        }
+        for (s, &v) in inv_std.iter_mut().zip(var.iter()) {
+            *s = 1.0 / (v + self.eps).sqrt();
+        }
+
+        x_hat.reshape_scratch(n, d);
+        for r in 0..n {
+            for j in 0..d {
+                let xh = (x.get(r, j) - mean[j]) * inv_std[j];
+                x_hat.set(r, j, xh);
+                x.set(r, j, self.gamma[j] * xh + self.beta[j]);
+            }
+        }
+        for j in 0..d {
+            self.running_mean[j] =
+                (1.0 - self.momentum) * self.running_mean[j] + self.momentum * mean[j];
+            self.running_var[j] =
+                (1.0 - self.momentum) * self.running_var[j] + self.momentum * var[j];
+        }
+    }
+
+    /// Inference-mode forward using the running statistics.
+    pub fn forward_eval(&self, x: &Matrix) -> Matrix {
+        let mut out = x.clone();
+        self.forward_eval_in(&mut out);
+        out
+    }
+
+    /// Inference-mode forward in place: overwrites `x` with the output.
+    /// Bit-identical to [`BatchNorm::forward_eval`].
+    pub fn forward_eval_in(&self, x: &mut Matrix) {
+        let (n, d) = (x.rows(), x.cols());
+        assert_eq!(d, self.dim(), "batchnorm width mismatch");
         for r in 0..n {
             for j in 0..d {
                 let xh =
                     (x.get(r, j) - self.running_mean[j]) / (self.running_var[j] + self.eps).sqrt();
-                out.set(r, j, self.gamma[j] * xh + self.beta[j]);
+                x.set(r, j, self.gamma[j] * xh + self.beta[j]);
             }
         }
-        out
     }
 
     /// Backward pass: consumes `d_out`, returns `d_x` and applies parameter
@@ -127,25 +160,54 @@ impl BatchNorm {
     /// Returns `(d_x, d_gamma, d_beta)`.
     pub fn backward(&self, d_out: &Matrix, cache: &BnCache) -> (Matrix, Vec<f32>, Vec<f32>) {
         let (n, d) = (d_out.rows(), d_out.cols());
-        let nf = n as f32;
+        let mut d_x = Matrix::zeros(n, d);
         let mut d_gamma = vec![0.0f32; d];
         let mut d_beta = vec![0.0f32; d];
+        self.backward_in(
+            d_out,
+            &cache.x_hat,
+            &cache.inv_std,
+            &mut d_x,
+            &mut d_gamma,
+            &mut d_beta,
+        );
+        (d_x, d_gamma, d_beta)
+    }
+
+    /// Backward pass against caller-owned buffers: writes the input gradient
+    /// into `d_x` (reshaped to the batch) and the parameter gradients into
+    /// `d_gamma`/`d_beta`. Bit-identical to [`BatchNorm::backward`];
+    /// allocation-free once `d_x` has the capacity.
+    pub fn backward_in(
+        &self,
+        d_out: &Matrix,
+        x_hat: &Matrix,
+        inv_std: &[f32],
+        d_x: &mut Matrix,
+        d_gamma: &mut [f32],
+        d_beta: &mut [f32],
+    ) {
+        let (n, d) = (d_out.rows(), d_out.cols());
+        let nf = n as f32;
+        assert_eq!(d_gamma.len(), d, "batchnorm grad buffer mismatch");
+        assert_eq!(d_beta.len(), d, "batchnorm grad buffer mismatch");
+        d_gamma.fill(0.0);
+        d_beta.fill(0.0);
         for r in 0..n {
             for j in 0..d {
-                d_gamma[j] += d_out.get(r, j) * cache.x_hat.get(r, j);
+                d_gamma[j] += d_out.get(r, j) * x_hat.get(r, j);
                 d_beta[j] += d_out.get(r, j);
             }
         }
         // dx = (gamma * inv_std / N) * (N*dout - sum(dout) - x_hat * sum(dout*x_hat))
-        let mut d_x = Matrix::zeros(n, d);
+        d_x.reshape_scratch(n, d);
         for r in 0..n {
             for j in 0..d {
                 let dout = d_out.get(r, j);
-                let term = nf * dout - d_beta[j] - cache.x_hat.get(r, j) * d_gamma[j];
-                d_x.set(r, j, self.gamma[j] * cache.inv_std[j] / nf * term);
+                let term = nf * dout - d_beta[j] - x_hat.get(r, j) * d_gamma[j];
+                d_x.set(r, j, self.gamma[j] * inv_std[j] / nf * term);
             }
         }
-        (d_x, d_gamma, d_beta)
     }
 
     /// Mutable access to `(gamma, beta)` for the optimizer.

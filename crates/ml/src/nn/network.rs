@@ -1,9 +1,19 @@
 //! The multi-layer perceptron: configuration, training loop, inference.
+//!
+//! The numeric hot path runs against a caller-owned
+//! [`Workspace`](trout_linalg::Workspace): every per-batch buffer
+//! (activations, pre-activations, gradients, dropout masks, batch-norm
+//! statistics) lives there and is reused across batches and epochs, so a
+//! steady-state training epoch and a `predict` performs zero heap
+//! allocations after warmup (guarded by `tests/zero_alloc.rs`). The
+//! `*_in` methods take the workspace explicitly for callers that keep one
+//! alive across fits (trainer, serving); the plain `fit`/`predict` wrappers
+//! build a fresh one per call.
 
-use trout_linalg::{init, Matrix, SplitMix64};
+use trout_linalg::{init, LayerSpec, Matrix, SplitMix64, Workspace};
 
 use super::activation::Activation;
-use super::batchnorm::{BatchNorm, BnCache};
+use super::batchnorm::BatchNorm;
 use super::loss::Loss;
 use super::optimizer::Adam;
 
@@ -132,20 +142,6 @@ pub struct TrainReport {
     pub best_epoch: usize,
 }
 
-struct BlockCache {
-    input: Matrix,
-    pre_act: Matrix,
-    output: Matrix,
-    bn: Option<BnCache>,
-    dropout_mask: Option<Vec<f32>>,
-}
-
-struct Grads {
-    w: Matrix,
-    b: Vec<f32>,
-    bn: Option<(Vec<f32>, Vec<f32>)>,
-}
-
 /// Optimizer state per block: (weights, biases, optional (gamma, beta)).
 type BlockOptimizers = Vec<(Adam, Adam, Option<(Adam, Adam)>)>;
 
@@ -209,9 +205,39 @@ impl Mlp {
         self.blocks.len()
     }
 
+    /// Input feature width (rows of the first weight matrix).
+    pub fn input_dim(&self) -> usize {
+        self.blocks[0].w.rows()
+    }
+
     /// The loss this network trains with.
     pub fn loss(&self) -> Loss {
         self.loss
+    }
+
+    /// Builds a scratch [`Workspace`] matching this network's architecture,
+    /// pre-sized for `batch_rows`-row batches (larger batches grow the
+    /// buffers once to the new high-water mark).
+    pub fn workspace(&self, batch_rows: usize) -> Workspace {
+        let depth = self.blocks.len();
+        let specs: Vec<LayerSpec> = self
+            .blocks
+            .iter()
+            .enumerate()
+            .map(|(li, b)| LayerSpec {
+                fan_in: b.w.rows(),
+                width: b.w.cols(),
+                norm: b.bn.is_some(),
+                mask: self.dropout > 0.0 && li + 1 < depth,
+            })
+            .collect();
+        Workspace::new(self.blocks[0].w.rows(), &specs, batch_rows.max(1))
+    }
+
+    /// A [`Mlp::workspace`] pre-sized for this network's own training batch
+    /// size — what a caller should hold on to between warm-start refits.
+    pub fn fit_workspace(&self) -> Workspace {
+        self.workspace(self.batch_size)
     }
 
     /// Continues training from the current weights ("warm start") with an
@@ -219,10 +245,24 @@ impl Mlp {
     /// behind TROUT's online-learning mode (§V future work). Optimizer
     /// moments are fresh; weights are whatever the model has learned so far.
     pub fn fit_with(&mut self, x: &Matrix, y: &[f32], epochs: usize, lr: f32) -> TrainReport {
+        let mut ws = self.workspace(self.batch_size.min(x.rows().max(1)));
+        self.fit_with_in(x, y, epochs, lr, &mut ws)
+    }
+
+    /// [`Mlp::fit_with`] against a caller-owned workspace, so repeated
+    /// online refits stop churning the allocator.
+    pub fn fit_with_in(
+        &mut self,
+        x: &Matrix,
+        y: &[f32],
+        epochs: usize,
+        lr: f32,
+        ws: &mut Workspace,
+    ) -> TrainReport {
         let (saved_epochs, saved_lr) = (self.epochs, self.lr);
         self.epochs = epochs;
         self.lr = lr;
-        let report = self.fit(x, y);
+        let report = self.fit_in(x, y, ws);
         self.epochs = saved_epochs;
         self.lr = saved_lr;
         report
@@ -235,6 +275,15 @@ impl Mlp {
     /// Panics if `x` and `y` disagree on sample count or the feature width
     /// does not match the first layer.
     pub fn fit(&mut self, x: &Matrix, y: &[f32]) -> TrainReport {
+        let mut ws = self.workspace(self.batch_size.min(x.rows().max(1)));
+        self.fit_in(x, y, &mut ws)
+    }
+
+    /// [`Mlp::fit`] against a caller-owned workspace. After the first batch
+    /// warms the buffers, each further batch and epoch is allocation-free
+    /// (the per-fit setup — optimizer moments, the shuffle order, the loss
+    /// history — still allocates once per call).
+    pub fn fit_in(&mut self, x: &Matrix, y: &[f32], ws: &mut Workspace) -> TrainReport {
         assert_eq!(x.rows(), y.len(), "x/y length mismatch");
         assert_eq!(x.cols(), self.blocks[0].w.rows(), "feature width mismatch");
         let n = x.rows();
@@ -269,6 +318,7 @@ impl Mlp {
         let mut order: Vec<usize> = (0..train_count).collect();
         let mut epoch_losses = Vec::with_capacity(self.epochs);
         let mut val_losses = Vec::new();
+        let mut val_preds: Vec<f32> = Vec::with_capacity(val_count);
         let mut best_epoch = self.epochs.saturating_sub(1);
         let mut best_val = f32::INFINITY;
         let mut best_blocks: Option<Vec<Block>> = None;
@@ -277,28 +327,28 @@ impl Mlp {
             rng.shuffle(&mut order);
             let mut total_loss = 0.0f64;
             for chunk in order.chunks(self.batch_size) {
-                let xb = x.select_rows(chunk);
-                let yb: Vec<f32> = chunk.iter().map(|&i| y[i]).collect();
-                let (preds, caches) = self.forward_train(&xb, &mut rng);
-                let (loss_val, grads) = self.backward(&caches, &preds, &yb);
+                x.select_rows_into(chunk, &mut ws.input);
+                ws.targets.clear();
+                ws.targets.extend(chunk.iter().map(|&i| y[i]));
+                self.forward_train_in(ws, &mut rng);
+                let loss_val = self.backward_in(ws);
                 total_loss += loss_val as f64 * chunk.len() as f64;
-                for (li, g) in grads.into_iter().enumerate() {
+                for (li, lw) in ws.layers.iter().enumerate() {
                     let block = &mut self.blocks[li];
-                    opts[li].0.step(block.w.as_mut_slice(), g.w.as_slice());
-                    opts[li].1.step(&mut block.b, &g.b);
-                    if let (Some((d_gamma, d_beta)), Some(bn), Some((og, ob))) =
-                        (g.bn, block.bn.as_mut(), opts[li].2.as_mut())
-                    {
+                    opts[li].0.step(block.w.as_mut_slice(), lw.d_w.as_slice());
+                    opts[li].1.step(&mut block.b, &lw.d_b);
+                    if let (Some(bn), Some((og, ob))) = (block.bn.as_mut(), opts[li].2.as_mut()) {
                         let (gamma, beta) = bn.params_mut();
-                        og.step(gamma, &d_gamma);
-                        ob.step(beta, &d_beta);
+                        og.step(gamma, &lw.norm_d_gamma);
+                        ob.step(beta, &lw.norm_d_beta);
                     }
                 }
             }
             epoch_losses.push((total_loss / train_count.max(1) as f64) as f32);
 
             if let (Some(vx), Some(es)) = (&val_x, self.early_stopping) {
-                let vl = self.loss.mean(&self.predict(vx), &val_y);
+                self.predict_in(vx, ws, &mut val_preds);
+                let vl = self.loss.mean(&val_preds, &val_y);
                 val_losses.push(vl);
                 if vl < best_val {
                     best_val = vl;
@@ -323,133 +373,167 @@ impl Mlp {
         }
     }
 
-    /// Training-mode forward pass: returns predictions and per-block caches.
+    /// Training-mode forward pass over the workspace batch (`ws.input`):
+    /// fills each layer's `pre_act`/`output` (and mask/norm buffers).
     /// Mutates batch-norm running statistics and consumes RNG for dropout.
-    fn forward_train(&mut self, xb: &Matrix, rng: &mut SplitMix64) -> (Vec<f32>, Vec<BlockCache>) {
-        let mut caches: Vec<BlockCache> = Vec::with_capacity(self.blocks.len());
-        let mut h = xb.clone();
+    fn forward_train_in(&mut self, ws: &mut Workspace, rng: &mut SplitMix64) {
         let depth = self.blocks.len();
         let dropout = self.dropout;
-        for (li, block) in self.blocks.iter_mut().enumerate() {
-            let input = h;
-            let mut lin = input.matmul(&block.w);
-            lin.add_row_broadcast(&block.b);
-            let (pre_act, bn_cache) = match &mut block.bn {
-                Some(bn) => {
-                    let (out, cache) = bn.forward_train(&lin);
-                    (out, Some(cache))
-                }
-                None => (lin, None),
+        for li in 0..depth {
+            let (prev, rest) = ws.layers.split_at_mut(li);
+            let lw = &mut rest[0];
+            let input: &Matrix = if li == 0 {
+                &ws.input
+            } else {
+                &prev[li - 1].output
             };
-            let mut output = Matrix::zeros(pre_act.rows(), pre_act.cols());
+            let block = &mut self.blocks[li];
+            input.matmul_into(&block.w, &mut lw.pre_act);
+            lw.pre_act.add_row_broadcast(&block.b);
+            if let Some(bn) = &mut block.bn {
+                bn.forward_train_in(
+                    &mut lw.pre_act,
+                    &mut lw.norm_x,
+                    &mut lw.norm_mean,
+                    &mut lw.norm_var,
+                    &mut lw.norm_inv_std,
+                );
+            }
+            lw.output
+                .reshape_scratch(lw.pre_act.rows(), lw.pre_act.cols());
             block
                 .act
-                .forward_slice(pre_act.as_slice(), output.as_mut_slice());
+                .forward_slice(lw.pre_act.as_slice(), lw.output.as_mut_slice());
             // Inverted dropout on hidden activations only.
-            let mask = if dropout > 0.0 && li + 1 < depth {
+            if dropout > 0.0 && li + 1 < depth {
                 let keep = 1.0 - dropout;
-                let mut mask = vec![0.0f32; output.as_slice().len()];
-                for (m, o) in mask.iter_mut().zip(output.as_mut_slice()) {
+                lw.mask.reshape_scratch(lw.output.rows(), lw.output.cols());
+                for (m, o) in lw
+                    .mask
+                    .as_mut_slice()
+                    .iter_mut()
+                    .zip(lw.output.as_mut_slice())
+                {
                     if rng.next_f32() < keep {
                         *m = 1.0 / keep;
                         *o *= *m;
                     } else {
+                        *m = 0.0;
                         *o = 0.0;
                     }
                 }
-                Some(mask)
-            } else {
-                None
-            };
-            h = output.clone();
-            caches.push(BlockCache {
-                input,
-                pre_act,
-                output,
-                bn: bn_cache,
-                dropout_mask: mask,
-            });
+            }
         }
-        let preds: Vec<f32> = h.as_slice().to_vec();
-        (preds, caches)
     }
 
-    /// Backward pass over cached activations: returns the batch loss and the
-    /// parameter gradients per block, without mutating any parameter.
-    fn backward(&self, caches: &[BlockCache], preds: &[f32], yb: &[f32]) -> (f32, Vec<Grads>) {
+    /// Backward pass over the workspace's cached activations: returns the
+    /// batch loss and leaves the parameter gradients in each layer's
+    /// `d_w`/`d_b` (and `norm_d_gamma`/`norm_d_beta`), without mutating any
+    /// parameter. Consumes the `grad` buffers in place.
+    fn backward_in(&self, ws: &mut Workspace) -> f32 {
+        let depth = self.blocks.len();
+        let yb = &ws.targets;
         let batch = yb.len() as f32;
-        let loss_val = self.loss.mean(preds, yb);
+        let loss_val = {
+            let lw = ws.layers.last_mut().expect("at least one layer");
+            let preds = lw.output.as_slice();
+            let loss_val = self.loss.mean(preds, yb);
+            lw.grad.reshape_scratch(yb.len(), 1);
+            for i in 0..yb.len() {
+                let g = self.loss.gradient(lw.output.get(i, 0), yb[i]) / batch;
+                lw.grad.set(i, 0, g);
+            }
+            loss_val
+        };
 
-        let mut grad = Matrix::zeros(yb.len(), 1);
-        for (i, (&p, &t)) in preds.iter().zip(yb).enumerate() {
-            grad.set(i, 0, self.loss.gradient(p, t) / batch);
-        }
-
-        let mut grads: Vec<Option<Grads>> = (0..self.blocks.len()).map(|_| None).collect();
-        for (li, cache) in caches.iter().enumerate().rev() {
+        for li in (0..depth).rev() {
+            let (prev, rest) = ws.layers.split_at_mut(li);
+            let lw = &mut rest[0];
             let block = &self.blocks[li];
             // Dropout mask (already includes the 1/keep scaling).
-            if let Some(mask) = &cache.dropout_mask {
-                for (g, &m) in grad.as_mut_slice().iter_mut().zip(mask) {
+            if self.dropout > 0.0 && li + 1 < depth {
+                for (g, &m) in lw.grad.as_mut_slice().iter_mut().zip(lw.mask.as_slice()) {
                     *g *= m;
                 }
             }
-            // Activation derivative.
-            let mut g_pre = grad;
+            // Activation derivative, in place on the gradient.
             {
-                let gs = g_pre.as_mut_slice();
-                let zs = cache.pre_act.as_slice();
-                let avs = cache.output.as_slice();
+                let gs = lw.grad.as_mut_slice();
+                let zs = lw.pre_act.as_slice();
+                let avs = lw.output.as_slice();
                 for ((g, &z), &a) in gs.iter_mut().zip(zs).zip(avs) {
                     *g *= block.act.derivative(z, a);
                 }
             }
             // Batch norm.
-            let (g_lin, bn_grads) = match (&block.bn, &cache.bn) {
-                (Some(bn), Some(bn_cache)) => {
-                    let (g_x, d_gamma, d_beta) = bn.backward(&g_pre, bn_cache);
-                    (g_x, Some((d_gamma, d_beta)))
+            let g_lin: &Matrix = match &block.bn {
+                Some(bn) => {
+                    bn.backward_in(
+                        &lw.grad,
+                        &lw.norm_x,
+                        &lw.norm_inv_std,
+                        &mut lw.norm_grad,
+                        &mut lw.norm_d_gamma,
+                        &mut lw.norm_d_beta,
+                    );
+                    &lw.norm_grad
                 }
-                _ => (g_pre, None),
+                None => &lw.grad,
             };
             // Dense layer.
-            let d_w = cache.input.matmul_at(&g_lin);
-            let d_b = g_lin.col_sums();
-            grad = g_lin.matmul_bt(&block.w);
-            grads[li] = Some(Grads {
-                w: d_w,
-                b: d_b,
-                bn: bn_grads,
-            });
+            let input: &Matrix = if li == 0 {
+                &ws.input
+            } else {
+                &prev[li - 1].output
+            };
+            input.matmul_at_into(g_lin, &mut lw.d_w);
+            g_lin.col_sums_into(&mut lw.d_b);
+            // Propagate into the previous layer's grad buffer; layer 0's
+            // input gradient has no consumer, so it is never computed.
+            if li > 0 {
+                g_lin.matmul_bt_into(&block.w, &mut prev[li - 1].grad);
+            }
         }
-        (
-            loss_val,
-            grads
-                .into_iter()
-                .map(|g| g.expect("grad for every block"))
-                .collect(),
-        )
+        loss_val
     }
 
     /// Inference on a batch: returns the raw scalar output per row (a logit
     /// when the network was trained with [`Loss::BceWithLogits`]).
     pub fn predict(&self, x: &Matrix) -> Vec<f32> {
+        let mut ws = self.workspace(x.rows());
+        let mut out = Vec::with_capacity(x.rows());
+        self.predict_in(x, &mut ws, &mut out);
+        out
+    }
+
+    /// [`Mlp::predict`] against a caller-owned workspace and output vector —
+    /// allocation-free once both have warmed up to the batch size.
+    pub fn predict_in(&self, x: &Matrix, ws: &mut Workspace, out: &mut Vec<f32>) {
         assert_eq!(x.cols(), self.blocks[0].w.rows(), "feature width mismatch");
-        let mut h = x.clone();
-        for block in &self.blocks {
-            let mut lin = h.matmul(&block.w);
-            lin.add_row_broadcast(&block.b);
-            let pre_act = match &block.bn {
-                Some(bn) => bn.forward_eval(&lin),
-                None => lin,
-            };
-            let mut out = Matrix::zeros(pre_act.rows(), pre_act.cols());
+        for li in 0..self.blocks.len() {
+            let (prev, rest) = ws.layers.split_at_mut(li);
+            let lw = &mut rest[0];
+            let input: &Matrix = if li == 0 { x } else { &prev[li - 1].output };
+            let block = &self.blocks[li];
+            input.matmul_into(&block.w, &mut lw.pre_act);
+            lw.pre_act.add_row_broadcast(&block.b);
+            if let Some(bn) = &block.bn {
+                bn.forward_eval_in(&mut lw.pre_act);
+            }
+            lw.output
+                .reshape_scratch(lw.pre_act.rows(), lw.pre_act.cols());
             block
                 .act
-                .forward_slice(pre_act.as_slice(), out.as_mut_slice());
-            h = out;
+                .forward_slice(lw.pre_act.as_slice(), lw.output.as_mut_slice());
         }
-        h.as_slice().to_vec()
+        out.clear();
+        out.extend_from_slice(
+            ws.layers
+                .last()
+                .expect("at least one layer")
+                .output
+                .as_slice(),
+        );
     }
 
     /// Inference on a single sample.
@@ -471,11 +555,18 @@ impl Mlp {
         &mut self.blocks[layer].w.as_mut_slice()[idx]
     }
 
+    /// Full-batch weight gradients per layer (test-only reference).
     #[cfg(test)]
-    fn full_batch_gradients(&mut self, x: &Matrix, y: &[f32]) -> Vec<Grads> {
+    fn full_batch_gradients(&mut self, x: &Matrix, y: &[f32]) -> Vec<Matrix> {
         let mut rng = SplitMix64::new(0);
-        let (preds, caches) = self.forward_train(x, &mut rng);
-        self.backward(&caches, &preds, y).1
+        let mut ws = self.workspace(x.rows());
+        let all: Vec<usize> = (0..x.rows()).collect();
+        x.select_rows_into(&all, &mut ws.input);
+        ws.targets.clear();
+        ws.targets.extend_from_slice(y);
+        self.forward_train_in(&mut ws, &mut rng);
+        let _ = self.backward_in(&mut ws);
+        ws.layers.iter().map(|lw| lw.d_w.clone()).collect()
     }
 }
 
@@ -575,7 +666,7 @@ mod tests {
             let mut minus = base.clone();
             *minus.weight_mut(layer, idx) -= eps;
             let num = (loss_of(&plus) - loss_of(&minus)) / (2.0 * eps);
-            let ana = grads[layer].w.as_slice()[idx];
+            let ana = grads[layer].as_slice()[idx];
             assert!(
                 (num - ana).abs() < 1e-3 * (1.0 + ana.abs()),
                 "layer {layer} idx {idx}: numeric {num} analytic {ana}"

@@ -1,0 +1,172 @@
+//! Golden-fixture test for the MLP numeric hot path.
+//!
+//! The workspace refactor (in-place kernels, preallocated scratch) must
+//! change *where* results are written, never *what* is computed, so this
+//! test pins the network down bit-for-bit: epoch losses and predictions are
+//! stored as `f32` bit patterns and compared with `==`, with zero tolerance.
+//! Two configurations are captured so every kernel is covered: an ELU +
+//! dropout + smooth-L1 regressor (the paper's shape) and a batch-norm + BCE
+//! classifier.
+//!
+//! The matrix sizes are chosen to push `matmul`/`matmul_at` past
+//! `PAR_THRESHOLD`, so the fixture also locks the parallel kernels to the
+//! serial ones; a final section re-trains under `TROUT_THREADS=1` and `=4`
+//! and requires bit-identical results.
+//!
+//! To regenerate after an *intentional* numeric change:
+//!
+//! ```text
+//! TROUT_REGEN_GOLDEN=1 cargo test -p trout-ml --test golden_nn
+//! ```
+
+use trout_linalg::{Matrix, SplitMix64};
+use trout_ml::nn::{Activation, Loss, Mlp, MlpConfig};
+use trout_std::json::{FromJson, Json, ToJson};
+
+const ROWS: usize = 512;
+const COLS: usize = 24;
+const PROBE_ROWS: usize = 64;
+
+fn golden_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/nn_seed7.json")
+}
+
+/// Deterministic synthetic regression data: a smooth nonlinear target over
+/// uniform features, generated straight from SplitMix64 so the fixture does
+/// not depend on any other crate.
+fn synthetic_data() -> (Matrix, Vec<f32>) {
+    let mut rng = SplitMix64::new(0xF00D);
+    let mut data = Vec::with_capacity(ROWS * COLS);
+    let mut y = Vec::with_capacity(ROWS);
+    for _ in 0..ROWS {
+        let start = data.len();
+        for _ in 0..COLS {
+            data.push(rng.uniform(-1.5, 1.5));
+        }
+        let row = &data[start..];
+        y.push((2.0 * row[0]).sin() + row[1] * row[2] - 0.5 * row[3] + row[4].abs());
+    }
+    (Matrix::from_vec(ROWS, COLS, data), y)
+}
+
+fn regressor_config() -> MlpConfig {
+    let mut cfg = MlpConfig::new(COLS, vec![48, 24]);
+    cfg.activation = Activation::ELU;
+    cfg.loss = Loss::SMOOTH_L1;
+    cfg.dropout = 0.25;
+    cfg.lr = 2e-3;
+    cfg.epochs = 6;
+    cfg.batch_size = 128;
+    cfg.seed = 7;
+    cfg
+}
+
+fn classifier_config() -> MlpConfig {
+    let mut cfg = MlpConfig::new(COLS, vec![32]);
+    cfg.activation = Activation::Tanh;
+    cfg.loss = Loss::BceWithLogits;
+    cfg.batchnorm = true;
+    cfg.lr = 2e-3;
+    cfg.epochs = 4;
+    cfg.batch_size = 128;
+    cfg.seed = 11;
+    cfg
+}
+
+/// Trains one config and returns (epoch losses, probe predictions) as bit
+/// patterns.
+fn run(cfg: &MlpConfig, x: &Matrix, y: &[f32]) -> (Vec<u64>, Vec<u64>) {
+    let (mlp, report) = Mlp::train(cfg, x, y);
+    let losses: Vec<u64> = report
+        .epoch_losses
+        .iter()
+        .map(|l| l.to_bits() as u64)
+        .collect();
+    let probe: Vec<usize> = (0..PROBE_ROWS).collect();
+    let preds: Vec<u64> = mlp
+        .predict(&x.select_rows(&probe))
+        .iter()
+        .map(|p| p.to_bits() as u64)
+        .collect();
+    (losses, preds)
+}
+
+fn compute() -> Vec<(String, Vec<u64>)> {
+    let (x, y) = synthetic_data();
+    let (r_losses, r_preds) = run(&regressor_config(), &x, &y);
+    let labels: Vec<f32> = y.iter().map(|&v| if v > 0.0 { 1.0 } else { 0.0 }).collect();
+    let (c_losses, c_preds) = run(&classifier_config(), &x, &labels);
+    vec![
+        ("regressor_epoch_losses".to_string(), r_losses),
+        ("regressor_predictions".to_string(), r_preds),
+        ("classifier_epoch_losses".to_string(), c_losses),
+        ("classifier_predictions".to_string(), c_preds),
+    ]
+}
+
+#[test]
+fn mlp_training_and_inference_match_golden_bits() {
+    let sections = compute();
+
+    if std::env::var("TROUT_REGEN_GOLDEN").as_deref() == Ok("1") {
+        let json = Json::Obj(
+            sections
+                .iter()
+                .map(|(k, v)| (k.clone(), v.to_json()))
+                .collect(),
+        );
+        std::fs::create_dir_all(golden_path().parent().unwrap()).unwrap();
+        std::fs::write(golden_path(), json.to_string()).unwrap();
+        eprintln!("regenerated {}", golden_path().display());
+        return;
+    }
+
+    let text = std::fs::read_to_string(golden_path()).unwrap_or_else(|e| {
+        panic!(
+            "missing golden fixture {} ({e}); regenerate with \
+             TROUT_REGEN_GOLDEN=1 cargo test -p trout-ml --test golden_nn",
+            golden_path().display()
+        )
+    });
+    let json = Json::parse(&text).expect("golden fixture is valid JSON");
+    for (key, got) in &sections {
+        let want = Vec::<u64>::from_json_field(json.get(key), key).unwrap();
+        assert_eq!(want.len(), got.len(), "{key}: length drifted");
+        let bad: Vec<String> = (0..want.len())
+            .filter(|&i| want[i] != got[i])
+            .map(|i| {
+                format!(
+                    "{key}[{i}]: got {} want {}",
+                    f32::from_bits(got[i] as u32),
+                    f32::from_bits(want[i] as u32)
+                )
+            })
+            .collect();
+        assert!(
+            bad.is_empty(),
+            "{} value(s) are not bit-identical to the golden fixture \
+             (the hot-path refactor contract is exact reproduction):\n{}",
+            bad.len(),
+            bad.join("\n")
+        );
+    }
+}
+
+#[test]
+fn training_is_bit_identical_across_thread_counts() {
+    // Layer sizes above push matmul/matmul_at past PAR_THRESHOLD, so this
+    // exercises the parallel kernels for real. trout_std::par partitions
+    // output rows into contiguous order-preserving blocks, so any worker
+    // count must reproduce the serial bits exactly.
+    let (x, y) = synthetic_data();
+    let cfg = regressor_config();
+    let run_with = |threads: &str| {
+        std::env::set_var("TROUT_THREADS", threads);
+        run(&cfg, &x, &y)
+    };
+    let serial = run_with("1");
+    let parallel = run_with("4");
+    std::env::remove_var("TROUT_THREADS");
+    assert_eq!(serial.0, parallel.0, "epoch losses diverge across threads");
+    assert_eq!(serial.1, parallel.1, "predictions diverge across threads");
+}

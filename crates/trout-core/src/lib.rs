@@ -32,7 +32,7 @@ mod trainer;
 pub mod tuner;
 
 pub use error::TroutError;
-pub use model::HierarchicalModel;
+pub use model::{HierarchicalModel, PredictorScratch};
 pub use predictor::{
     BatchPredictionRequest, PredictionRequest, Predictor, QueueEstimate, QueuePrediction,
 };

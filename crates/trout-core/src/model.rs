@@ -1,6 +1,7 @@
 //! The hierarchical model and Algorithm 1 inference.
 
 use trout_linalg::ops::sigmoid;
+use trout_linalg::{Matrix, Workspace};
 use trout_ml::calibration::PlattScaler;
 use trout_ml::nn::Mlp;
 
@@ -8,6 +9,24 @@ use crate::predictor::{
     BatchPredictionRequest, PredictionRequest, Predictor, QueueEstimate, QueuePrediction,
 };
 use crate::trainer::TargetTransform;
+
+/// Reusable scratch for [`HierarchicalModel`] batch inference: the two MLP
+/// workspaces plus the intermediate vectors Algorithm 1 threads between
+/// them. A long-lived caller (the serve engine, CV loops) keeps one of these
+/// alive so repeated `predict_batch_in` calls stop churning the allocator.
+///
+/// Tied to the model *architecture*, not the weights — it stays valid across
+/// warm-start refits and hot swaps as long as the layer shapes are unchanged
+/// (they are, for refits of the same config).
+#[derive(Debug)]
+pub struct PredictorScratch {
+    cls_ws: Workspace,
+    reg_ws: Workspace,
+    logits: Vec<f32>,
+    reg_raw: Vec<f32>,
+    regress_rows: Vec<usize>,
+    reg_x: Matrix,
+}
 
 /// The trained two-stage system: quick-start classifier + queue regressor.
 /// All inference goes through the [`Predictor`] impl.
@@ -38,6 +57,66 @@ impl HierarchicalModel {
     fn regress_one(&self, features: &[f32]) -> f32 {
         let raw = self.regressor.predict_one(features);
         self.target_transform.inverse(raw).max(0.0)
+    }
+
+    /// Builds a [`PredictorScratch`] matching this model's architecture,
+    /// pre-sized for `batch_rows`-row batches.
+    pub fn scratch(&self, batch_rows: usize) -> PredictorScratch {
+        let rows = batch_rows.max(1);
+        PredictorScratch {
+            cls_ws: self.classifier.workspace(rows),
+            reg_ws: self.regressor.workspace(rows),
+            logits: Vec::with_capacity(rows),
+            reg_raw: Vec::with_capacity(rows),
+            regress_rows: Vec::with_capacity(rows),
+            reg_x: Matrix::zeros(rows, self.classifier.input_dim()),
+        }
+    }
+
+    /// [`Predictor::predict_batch`] against caller-owned scratch —
+    /// bit-identical output, but the MLP forward passes and row gathering
+    /// reuse the scratch buffers instead of allocating per call.
+    pub fn predict_batch_in(
+        &self,
+        req: BatchPredictionRequest<'_>,
+        s: &mut PredictorScratch,
+    ) -> Vec<QueuePrediction> {
+        let x = req.features;
+        self.classifier.predict_in(x, &mut s.cls_ws, &mut s.logits);
+        let probs: Vec<f32> = s.logits.iter().map(|&l| sigmoid(l)).collect();
+        let calibrated: Vec<f32> = match &self.calibrator {
+            Some(c) => c.calibrate_batch(&s.logits),
+            None => probs.clone(),
+        };
+
+        // Rows the regressor must see: classified-long always, all rows when
+        // the request wants unconditional minutes.
+        s.regress_rows.clear();
+        s.regress_rows
+            .extend((0..x.rows()).filter(|&r| probs[r] < 0.5 || req.want_minutes));
+        let mut minutes: Vec<Option<f32>> = vec![None; x.rows()];
+        if !s.regress_rows.is_empty() {
+            x.select_rows_into(&s.regress_rows, &mut s.reg_x);
+            self.regressor
+                .predict_in(&s.reg_x, &mut s.reg_ws, &mut s.reg_raw);
+            for (&r, &raw) in s.regress_rows.iter().zip(&s.reg_raw) {
+                minutes[r] = Some(self.target_transform.inverse(raw).max(0.0));
+            }
+        }
+
+        (0..x.rows())
+            .map(|r| QueuePrediction {
+                estimate: if probs[r] >= 0.5 {
+                    QueueEstimate::QuickStart
+                } else {
+                    QueueEstimate::Minutes(minutes[r].expect("regressed above"))
+                },
+                quick_proba: probs[r],
+                calibrated_proba: calibrated[r],
+                minutes: minutes[r],
+                cutoff_min: self.cutoff_min,
+            })
+            .collect()
     }
 
     /// Serializes to JSON (the CLI checkpoint format).
@@ -89,39 +168,7 @@ impl Predictor for HierarchicalModel {
     /// regressor pass over the rows that need it. Bitwise identical to the
     /// row-by-row path because MLP inference is row-independent.
     fn predict_batch(&self, req: BatchPredictionRequest<'_>) -> Vec<QueuePrediction> {
-        let x = req.features;
-        let logits = self.classifier.predict(x);
-        let probs: Vec<f32> = logits.iter().map(|&l| sigmoid(l)).collect();
-        let calibrated: Vec<f32> = match &self.calibrator {
-            Some(c) => c.calibrate_batch(&logits),
-            None => probs.clone(),
-        };
-
-        // Rows the regressor must see: classified-long always, all rows when
-        // the request wants unconditional minutes.
-        let regress_rows: Vec<usize> = (0..x.rows())
-            .filter(|&r| probs[r] < 0.5 || req.want_minutes)
-            .collect();
-        let mut minutes: Vec<Option<f32>> = vec![None; x.rows()];
-        if !regress_rows.is_empty() {
-            let rx = x.select_rows(&regress_rows);
-            for (&r, raw) in regress_rows.iter().zip(self.regressor.predict(&rx)) {
-                minutes[r] = Some(self.target_transform.inverse(raw).max(0.0));
-            }
-        }
-
-        (0..x.rows())
-            .map(|r| QueuePrediction {
-                estimate: if probs[r] >= 0.5 {
-                    QueueEstimate::QuickStart
-                } else {
-                    QueueEstimate::Minutes(minutes[r].expect("regressed above"))
-                },
-                quick_proba: probs[r],
-                calibrated_proba: calibrated[r],
-                minutes: minutes[r],
-                cutoff_min: self.cutoff_min,
-            })
-            .collect()
+        let mut scratch = self.scratch(req.features.rows());
+        self.predict_batch_in(req, &mut scratch)
     }
 }

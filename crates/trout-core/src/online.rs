@@ -8,10 +8,32 @@
 //! rather than forgets.
 
 use trout_features::Dataset;
+use trout_linalg::Workspace;
 use trout_ml::smote::{smote_balance, SmoteConfig};
 
 use crate::model::HierarchicalModel;
 use crate::trainer::TroutConfig;
+
+/// Persistent training workspaces for repeated online refits: one per
+/// network, sized from the model's architecture and training batch size so
+/// every `update_model_in` call reuses them instead of re-allocating the
+/// full set of layer buffers.
+#[derive(Debug)]
+pub struct RefitScratch {
+    classifier_ws: Workspace,
+    regressor_ws: Workspace,
+}
+
+impl RefitScratch {
+    /// Builds refit workspaces matching `model`'s architecture. Stays valid
+    /// across refits (they never change the layer shapes).
+    pub fn for_model(model: &HierarchicalModel) -> Self {
+        RefitScratch {
+            classifier_ws: model.classifier.fit_workspace(),
+            regressor_ws: model.regressor.fit_workspace(),
+        }
+    }
+}
 
 /// Online-update policy.
 #[derive(Debug, Clone)]
@@ -47,6 +69,20 @@ pub fn update_model(
     ds: &Dataset,
     rows: &[usize],
 ) {
+    let mut scratch = RefitScratch::for_model(model);
+    update_model_in(model, base, online, ds, rows, &mut scratch);
+}
+
+/// [`update_model`] against caller-owned refit workspaces — what a serving
+/// loop should call so refits under traffic stop churning the allocator.
+pub fn update_model_in(
+    model: &mut HierarchicalModel,
+    base: &TroutConfig,
+    online: &OnlineConfig,
+    ds: &Dataset,
+    rows: &[usize],
+    scratch: &mut RefitScratch,
+) {
     if rows.is_empty() {
         return;
     }
@@ -74,7 +110,9 @@ pub fn update_model(
         } else {
             (x.clone(), labels)
         };
-        model.classifier.fit_with(&cx, &cy, online.epochs, lr);
+        model
+            .classifier
+            .fit_with_in(&cx, &cy, online.epochs, lr, &mut scratch.classifier_ws);
     }
 
     // Regressor update on the window's long jobs.
@@ -85,7 +123,9 @@ pub fn update_model(
             .iter()
             .map(|&i| model.target_transform.forward(y[i]))
             .collect();
-        model.regressor.fit_with(&rx, &ry, online.epochs, lr);
+        model
+            .regressor
+            .fit_with_in(&rx, &ry, online.epochs, lr, &mut scratch.regressor_ws);
     }
 }
 

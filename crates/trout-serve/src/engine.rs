@@ -13,9 +13,9 @@ use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Instant;
 
-use trout_core::online::{update_model, OnlineConfig};
+use trout_core::online::{update_model_in, OnlineConfig, RefitScratch};
 use trout_core::{
-    featurize, BatchPredictionRequest, HierarchicalModel, Predictor, QueuePrediction,
+    featurize, BatchPredictionRequest, HierarchicalModel, PredictorScratch, QueuePrediction,
     RuntimePredictor, TroutConfig, TroutError, TroutTrainer,
 };
 use trout_features::incremental::JobPhase;
@@ -82,6 +82,12 @@ pub struct ServeEngine {
     history_ids: Vec<u64>,
     completed_since_refit: usize,
     latest_time: i64,
+    /// Persistent inference scratch: batch predicts reuse these buffers
+    /// instead of allocating workspaces per flush. Architecture-tied, so it
+    /// survives hot swaps (refits never change the layer shapes).
+    scratch: PredictorScratch,
+    /// Persistent training workspaces for warm-start refits.
+    refit_scratch: RefitScratch,
     /// Counters and latency histograms (dumped by the `metrics` request).
     pub metrics: ServeMetrics,
 }
@@ -99,6 +105,8 @@ impl ServeEngine {
     ) -> ServeEngine {
         let (ds, runtime_model) = featurize(trace, cfg.train_frac, cfg.seed);
         let model = pretrained.unwrap_or_else(|| TroutTrainer::new(base_cfg.clone()).fit(&ds));
+        let scratch = model.scratch(64);
+        let refit_scratch = RefitScratch::for_model(&model);
         ServeEngine {
             cluster: trace.cluster.clone(),
             scaler: ds.scaler.clone(),
@@ -114,6 +122,8 @@ impl ServeEngine {
             history_ids: Vec::new(),
             completed_since_refit: 0,
             latest_time: i64::MIN,
+            scratch,
+            refit_scratch,
             metrics: ServeMetrics::default(),
         }
     }
@@ -209,7 +219,9 @@ impl ServeEngine {
         let preds = if n_ok > 0 {
             let x = Matrix::from_vec(n_ok, N_FEATURES, flat);
             let t_inf = Instant::now();
-            let preds = self.model.predict_batch(BatchPredictionRequest::new(&x));
+            let preds = self
+                .model
+                .predict_batch_in(BatchPredictionRequest::new(&x), &mut self.scratch);
             self.metrics
                 .inference_us
                 .record(t_inf.elapsed().as_micros() as u64);
@@ -321,7 +333,14 @@ impl ServeEngine {
         };
         let rows: Vec<usize> = (0..n).collect();
         let mut next = (*self.model).clone();
-        update_model(&mut next, &self.base_cfg, &self.online_cfg, &ds, &rows);
+        update_model_in(
+            &mut next,
+            &self.base_cfg,
+            &self.online_cfg,
+            &ds,
+            &rows,
+            &mut self.refit_scratch,
+        );
         self.model = Arc::new(next);
         self.metrics.refits_total += 1;
         self.completed_since_refit = 0;

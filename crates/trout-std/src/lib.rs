@@ -21,6 +21,7 @@
 //! Hermetic-build policy: no new external crates may be added to the
 //! workspace without an issue justifying them; extend this crate instead.
 
+pub mod alloc_count;
 pub mod bench;
 pub mod json;
 pub mod par;
