@@ -11,11 +11,14 @@ cargo fmt --check
 
 # Serve protocol smoke: flatten a small trace into a ~200-line ndjson replay
 # script, pipe it through the daemon, and require one well-formed ok-response
-# per request line plus a clean exit.
+# per request line plus a clean exit. A Prometheus-format metrics request is
+# spliced in before shutdown so both exposition formats are exercised.
 serve_tmp=$(mktemp -d)
 ./target/release/trout simulate --jobs 60 --seed 7 --out "$serve_tmp/trace.csv"
 ./target/release/trout events --trace "$serve_tmp/trace.csv" --predict-every 5 \
     --out "$serve_tmp/events.ndjson"
+sed -i 's/^{"event":"metrics"}$/{"event":"metrics"}\n{"event":"metrics","format":"prometheus"}/' \
+    "$serve_tmp/events.ndjson"
 ./target/release/trout serve --bootstrap 300 --stdin \
     < "$serve_tmp/events.ndjson" > "$serve_tmp/responses.ndjson"
 requests=$(wc -l < "$serve_tmp/events.ndjson")
@@ -26,6 +29,16 @@ if grep -q '"ok":false' "$serve_tmp/responses.ndjson"; then
     echo "serve smoke: unexpected error responses" >&2
     exit 1
 fi
+# The JSON metrics dump must show served predictions and the drift monitor;
+# the Prometheus dump must carry the drift gauges in exposition syntax.
+grep '"event":"metrics","metrics"' "$serve_tmp/responses.ndjson" \
+    | grep -q '"predicts":[1-9]'
+grep '"event":"metrics","metrics"' "$serve_tmp/responses.ndjson" \
+    | grep -q '"drift":{"joined":'
+grep '"format":"prometheus"' "$serve_tmp/responses.ndjson" \
+    | grep -q 'trout_serve_drift_mae_min'
+grep '"format":"prometheus"' "$serve_tmp/responses.ndjson" \
+    | grep -q 'trout_serve_predicts_total'
 rm -rf "$serve_tmp"
 
 # One-iteration pass over the serve bench (no calibration, no report).
@@ -34,3 +47,6 @@ TROUT_BENCH_SMOKE=1 cargo bench --offline -p trout-bench --bench serve_bench
 # Same for the training-throughput and matmul benches guarding the
 # workspace hot path.
 TROUT_BENCH_SMOKE=1 cargo bench --offline -p trout-bench --bench train_bench
+
+# And the observability layer's record-cost bench.
+TROUT_BENCH_SMOKE=1 cargo bench --offline -p trout-bench --bench obs_bench

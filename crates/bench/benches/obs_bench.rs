@@ -1,0 +1,12 @@
+//! Bench harness: steady-state cost of one metric record — counter inc,
+//! histogram record, gauge set, and a full `span!` scope
+//! (→ `BENCH_obs.json`).
+//!
+//! The body lives in `trout_bench::obs_bench` so the `bench_smoke` test can
+//! run it for one iteration under `cargo test`.
+
+use trout_bench::obs_bench::bench_obs;
+use trout_std::{criterion_group, criterion_main};
+
+criterion_group!(benches, bench_obs);
+criterion_main!(benches);

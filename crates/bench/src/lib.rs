@@ -17,6 +17,7 @@ use trout_linalg::Matrix;
 pub mod context;
 pub mod experiments;
 pub mod microbench;
+pub mod obs_bench;
 pub mod serve_bench;
 pub mod train_bench;
 

@@ -1,0 +1,51 @@
+//! Observability-overhead microbench: what one metric record costs.
+//!
+//! The telemetry layer is only free to sprinkle through hot paths if a
+//! record is a few nanoseconds. This group measures the steady-state cost
+//! of a counter increment, a histogram record, a gauge set, and a full
+//! `span!` scope (two clock reads plus one record) against warmed handles —
+//! the same shapes the trainer, scheduler, and serve engine pay.
+
+use trout_std::bench::Criterion;
+
+/// Counter / histogram / gauge / span recording against warmed handles
+/// (reported as `BENCH_obs.json` by the calibrated harness).
+pub fn bench_obs(c: &mut Criterion) {
+    // Warm every per-call-site static before timing.
+    let counter = trout_obs::counter!("bench.obs_hits_total");
+    let hist = trout_obs::histogram!("bench.obs_lat_us");
+    let gauge = trout_obs::global().gauge("bench.obs_level");
+    counter.inc();
+    hist.record(1);
+    gauge.set(0.0);
+    {
+        let _span = trout_obs::span!("bench.obs_scope");
+    }
+
+    let mut group = c.benchmark_group("obs");
+    group.sample_size(50);
+    group.bench_function("counter_inc", |b| {
+        b.iter(|| std::hint::black_box(counter.inc()))
+    });
+    group.bench_function("histogram_record", |b| {
+        let mut v = 0u64;
+        b.iter(|| {
+            v = v.wrapping_add(97) & 0xFFFF;
+            hist.record(std::hint::black_box(v));
+        })
+    });
+    group.bench_function("gauge_set", |b| {
+        let mut v = 0.0f64;
+        b.iter(|| {
+            v += 0.5;
+            gauge.set(std::hint::black_box(v));
+        })
+    });
+    group.bench_function("span_scope", |b| {
+        b.iter(|| {
+            let _span = trout_obs::span!("bench.obs_scope");
+            std::hint::black_box(())
+        })
+    });
+    group.finish();
+}

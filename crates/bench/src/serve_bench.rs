@@ -101,25 +101,29 @@ pub fn bench_serve(c: &mut Criterion) {
     let mut engine = mutex.into_inner().expect("session loop done");
 
     let m = &engine.metrics;
-    assert_eq!(m.errors_total, 0, "bench replay produced error responses");
+    assert_eq!(
+        m.errors_total.get(),
+        0,
+        "bench replay produced error responses"
+    );
     // Sustained service rate: total time spent inside predict_batch flushes,
     // amortized over the predictions they served, inverted. This charges
     // featurize + inference + batching overhead to every prediction but not
     // the lifecycle events in between. (predict_us is per-request latency —
     // every query in a batch waits for the whole flush — so its mean would
     // overcount shared work here.)
-    let preds_per_sec = if m.batch_us.sum() > 0 && m.predicts_total > 0 {
-        m.predicts_total as f64 * 1e6 / m.batch_us.sum() as f64
+    let preds_per_sec = if m.batch_us.sum() > 0 && m.predicts_total.get() > 0 {
+        m.predicts_total.get() as f64 * 1e6 / m.batch_us.sum() as f64
     } else {
         0.0
     };
     eprintln!(
         "bench serve/replay: {handled} lines in {elapsed:.2}s — {} predictions \
          ({preds_per_sec:.0}/sec sustained, p99 {} us), {} batches, {} refits",
-        m.predicts_total,
+        m.predicts_total.get(),
         m.predict_us.quantile(0.99),
-        m.batches_total,
-        m.refits_total
+        m.batches_total.get(),
+        m.refits_total.get()
     );
     if !smoke {
         let report = Json::Obj(vec![
@@ -133,7 +137,10 @@ pub fn bench_serve(c: &mut Criterion) {
                         "lines_per_sec".into(),
                         Json::Num(handled as f64 / elapsed.max(1e-9)),
                     ),
-                    ("predictions".into(), Json::Int(m.predicts_total as i128)),
+                    (
+                        "predictions".into(),
+                        Json::Int(m.predicts_total.get() as i128),
+                    ),
                     ("predictions_per_sec".into(), Json::Num(preds_per_sec)),
                 ]),
             ),

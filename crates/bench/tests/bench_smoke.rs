@@ -1,7 +1,7 @@
 //! Smoke test: every microbenchmark body runs for exactly one iteration
 //! under `cargo test`, so bench code cannot rot between full bench runs.
 
-use trout_bench::{microbench, serve_bench, train_bench};
+use trout_bench::{microbench, obs_bench, serve_bench, train_bench};
 use trout_std::bench::Criterion;
 
 #[test]
@@ -37,6 +37,12 @@ fn train_benches_run_in_smoke_mode() {
     let mut c = Criterion::smoke();
     train_bench::bench_train_epochs(&mut c);
     train_bench::bench_matmul_kernels(&mut c);
+}
+
+#[test]
+fn obs_benches_run_in_smoke_mode() {
+    let mut c = Criterion::smoke();
+    obs_bench::bench_obs(&mut c);
 }
 
 #[test]

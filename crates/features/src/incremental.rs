@@ -251,6 +251,7 @@ impl IncrementalSnapshot {
     /// timestamp ≤ `probe.time` to have been applied (and none beyond it
     /// that would change pending membership at `probe.time`).
     pub fn snapshot(&self, probe: &SnapshotProbe) -> QueueSnapshot {
+        let _span = trout_obs::span!("features.snapshot");
         let mut snap = QueueSnapshot::default();
         let p = probe.partition as usize;
         let t = probe.time;
@@ -310,6 +311,7 @@ impl IncrementalSnapshot {
     /// evicted so callers can drop their own per-job state. Callers must not
     /// probe at times earlier than `now` afterward.
     pub fn evict_finished_before(&mut self, now: i64) -> Vec<u64> {
+        let _span = trout_obs::span!("features.evict");
         let cutoff = now - USER_WINDOW_S;
         let mut evicted = Vec::new();
         for history in self.user_history.values_mut() {

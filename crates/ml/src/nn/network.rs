@@ -323,15 +323,26 @@ impl Mlp {
         let mut best_val = f32::INFINITY;
         let mut best_blocks: Option<Vec<Block>> = None;
         let mut stale = 0usize;
+        // Per-epoch phase timings accumulate per batch and record once per
+        // epoch, so the hot loop costs clock reads only (no histogram
+        // traffic per batch — the zero-alloc epoch-invariance test rides
+        // with this enabled).
+        let fwd_hist = trout_obs::histogram!("span.nn.epoch_forward_us");
+        let bwd_hist = trout_obs::histogram!("span.nn.epoch_backward_us");
+        let step_hist = trout_obs::histogram!("span.nn.epoch_step_us");
         for epoch in 0..self.epochs {
             rng.shuffle(&mut order);
             let mut total_loss = 0.0f64;
+            let (mut fwd_ns, mut bwd_ns, mut step_ns) = (0u128, 0u128, 0u128);
             for chunk in order.chunks(self.batch_size) {
                 x.select_rows_into(chunk, &mut ws.input);
                 ws.targets.clear();
                 ws.targets.extend(chunk.iter().map(|&i| y[i]));
+                let t0 = std::time::Instant::now();
                 self.forward_train_in(ws, &mut rng);
+                let t1 = std::time::Instant::now();
                 let loss_val = self.backward_in(ws);
+                let t2 = std::time::Instant::now();
                 total_loss += loss_val as f64 * chunk.len() as f64;
                 for (li, lw) in ws.layers.iter().enumerate() {
                     let block = &mut self.blocks[li];
@@ -343,7 +354,14 @@ impl Mlp {
                         ob.step(beta, &lw.norm_d_beta);
                     }
                 }
+                let t3 = std::time::Instant::now();
+                fwd_ns += (t1 - t0).as_nanos();
+                bwd_ns += (t2 - t1).as_nanos();
+                step_ns += (t3 - t2).as_nanos();
             }
+            fwd_hist.record((fwd_ns / 1_000) as u64);
+            bwd_hist.record((bwd_ns / 1_000) as u64);
+            step_hist.record((step_ns / 1_000) as u64);
             epoch_losses.push((total_loss / train_count.max(1) as f64) as f32);
 
             if let (Some(vx), Some(es)) = (&val_x, self.early_stopping) {

@@ -52,6 +52,41 @@ fn model(batchnorm: bool) -> Mlp {
     Mlp::new(&cfg)
 }
 
+/// A timed scope behind a fixed call site, so the `span!` static can be
+/// warmed before allocations are counted.
+fn spanned_work() {
+    let _span = trout_obs::span!("zero_alloc.scope");
+    std::hint::black_box(3 + 4);
+}
+
+#[test]
+fn warmed_obs_recording_does_not_allocate() {
+    // First hits initialize the per-call-site statics and register the
+    // metrics (a lock plus a handful of allocations, once per name).
+    spanned_work();
+    let counter = trout_obs::counter!("zero_alloc.hits_total");
+    let hist = trout_obs::histogram!("zero_alloc.lat_us");
+    let gauge = trout_obs::global().gauge("zero_alloc.level");
+    counter.inc();
+    hist.record(17);
+    gauge.set(1.0);
+
+    // Steady state: spans, counters, histograms and gauges record through
+    // relaxed atomics only.
+    let (_, during) = CountingAllocator::count(|| {
+        for v in 1..64u64 {
+            spanned_work();
+            counter.inc();
+            hist.record(v);
+            gauge.set(v as f64);
+        }
+    });
+    assert_eq!(
+        during, 0,
+        "warmed metric recording allocated {during} times"
+    );
+}
+
 #[test]
 fn steady_state_training_and_inference_do_not_allocate() {
     // Pin to one thread for determinism; the sizes above keep the kernels

@@ -1,0 +1,293 @@
+//! Power-of-two bucketed histograms: a plain single-owner value and an
+//! atomic shared variant.
+//!
+//! [`LogHistogram`] started life inside `trout-serve`; it moved here so the
+//! trainer, simulator and feature pipeline can use the same latency
+//! summaries. Long-lived processes need O(1) per observation and constant
+//! memory, so values bucket by power of two — each percentile estimate is at
+//! most 2x off, which is the granularity operators act on.
+//!
+//! [`Histogram`](crate::Histogram) (the registry's shared handle) records
+//! through relaxed atomics and snapshots into a `LogHistogram` for
+//! serialization, so recording never takes a lock and never allocates.
+
+use trout_std::json::Json;
+
+/// Number of power-of-two buckets (`u64` needs at most 40 for microsecond
+/// latencies up to ~2^40 us ≈ 12 days; larger values clamp into the last).
+pub(crate) const N_BUCKETS: usize = 40;
+
+/// Bucket index for an observation: `[2^i, 2^(i+1))` lands in `i`, zero in
+/// bucket 0, and everything past the last bucket clamps into it.
+#[inline]
+pub(crate) fn bucket_of(v: u64) -> usize {
+    (64 - v.leading_zeros()).saturating_sub(1).min(39) as usize
+}
+
+/// Power-of-two bucketed histogram over `u64` values.
+///
+/// Bucket `i` counts observations in `[2^i, 2^(i+1))`; zero lands in bucket
+/// 0. Percentile estimates report the upper bound of the bucket where the
+/// cumulative count crosses the rank, clamped to the observed maximum.
+#[derive(Debug, Clone)]
+pub struct LogHistogram {
+    buckets: [u64; N_BUCKETS],
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        LogHistogram {
+            buckets: [0; N_BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+}
+
+impl LogHistogram {
+    /// Builds a histogram from raw parts (the atomic handle's snapshot).
+    pub(crate) fn from_parts(buckets: [u64; N_BUCKETS], count: u64, sum: u64, max: u64) -> Self {
+        LogHistogram {
+            buckets,
+            count,
+            sum,
+            max,
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, v: u64) {
+        self.buckets[bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Folds another histogram into this one: bucketwise count addition,
+    /// saturating sum, max of maxes. This is how per-worker histograms from
+    /// `trout_std::par` tasks aggregate into one summary.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (b, o) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b = b.saturating_add(*o);
+        }
+        self.count = self.count.saturating_add(other.count);
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observations (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest observation (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean observation (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Upper bound of the bucket holding the `q`-quantile observation
+    /// (`q` in `[0, 1]`; 0 when empty), clamped to the observed maximum so
+    /// the estimate never exceeds any real observation. With only zeros
+    /// recorded the maximum is 0 and every quantile reports 0.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((self.count as f64 * q).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return (2u64 << i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Non-empty buckets as `(lower_bound, count)` pairs.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (if i == 0 { 0 } else { 1u64 << i }, c))
+    }
+
+    /// Cumulative counts up to each bucket's inclusive upper bound, for
+    /// Prometheus `_bucket{le=...}` exposition: `(le, cumulative_count)`
+    /// pairs ending at the highest non-empty bucket.
+    pub fn cumulative_buckets(&self) -> Vec<(u64, u64)> {
+        let last = match self.buckets.iter().rposition(|&c| c > 0) {
+            Some(i) => i,
+            None => return Vec::new(),
+        };
+        let mut out = Vec::with_capacity(last + 1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate().take(last + 1) {
+            seen += c;
+            out.push(((2u64 << i) - 1, seen));
+        }
+        out
+    }
+
+    /// Serializes count/mean/max, the p50/p90/p99 estimates, and the
+    /// non-empty buckets as `[lower_bound, count]` pairs.
+    pub fn to_json(&self) -> Json {
+        let buckets: Vec<Json> = self
+            .nonzero_buckets()
+            .map(|(lo, c)| Json::Arr(vec![Json::Int(lo as i128), Json::Int(c as i128)]))
+            .collect();
+        Json::Obj(vec![
+            ("count".into(), Json::Int(self.count as i128)),
+            ("mean".into(), Json::Num(self.mean())),
+            ("max".into(), Json::Int(self.max as i128)),
+            ("p50".into(), Json::Int(self.quantile(0.50) as i128)),
+            ("p90".into(), Json::Int(self.quantile(0.90) as i128)),
+            ("p99".into(), Json::Int(self.quantile(0.99) as i128)),
+            ("buckets".into(), Json::Arr(buckets)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_bound_the_data() {
+        let mut h = LogHistogram::default();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 1000);
+        // Bucketed estimates are upper bounds within a factor of 2.
+        let p50 = h.quantile(0.5);
+        assert!((500..=1000).contains(&p50), "p50 {p50}");
+        let p99 = h.quantile(0.99);
+        assert!((990..=1000).contains(&p99), "p99 {p99}");
+        assert!(h.quantile(1.0) >= h.quantile(0.5));
+        assert!((h.mean() - 500.5).abs() < 1.0);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = LogHistogram::default();
+        assert_eq!(h.quantile(0.99), 0);
+        assert_eq!(h.mean(), 0.0);
+        let j = h.to_json();
+        assert_eq!(j.get("count"), Some(&Json::Int(0)));
+    }
+
+    #[test]
+    fn quantile_never_exceeds_the_observed_max() {
+        let mut h = LogHistogram::default();
+        h.record(7);
+        // A single observation: every quantile is exactly it.
+        for q in [0.0, 0.25, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 7, "q={q}");
+        }
+        // Mixed zeros and a large value: no estimate passes the max.
+        let mut m = LogHistogram::default();
+        for _ in 0..10 {
+            m.record(0);
+        }
+        m.record(1500);
+        for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            assert!(m.quantile(q) <= 1500, "q={q} -> {}", m.quantile(q));
+        }
+        assert_eq!(m.quantile(1.0), 1500);
+    }
+
+    #[test]
+    fn all_zero_observations_report_zero_quantiles() {
+        let mut h = LogHistogram::default();
+        for _ in 0..5 {
+            h.record(0);
+        }
+        assert_eq!(h.count(), 5);
+        // max is 0, so the clamp keeps every estimate at the true ceiling.
+        for q in [0.0, 0.5, 1.0] {
+            assert_eq!(h.quantile(q), 0, "q={q}");
+        }
+    }
+
+    #[test]
+    fn quantile_q0_is_the_first_nonempty_bucket_bound() {
+        let mut h = LogHistogram::default();
+        h.record(100);
+        h.record(900);
+        // Rank clamps to 1: the estimate covers the smallest observation.
+        assert!(h.quantile(0.0) >= 100 && h.quantile(0.0) <= 128);
+    }
+
+    #[test]
+    fn merge_adds_bucketwise_and_keeps_the_larger_max() {
+        let mut a = LogHistogram::default();
+        let mut b = LogHistogram::default();
+        for v in [1u64, 5, 100] {
+            a.record(v);
+        }
+        for v in [3u64, 5, 4000] {
+            b.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), 6);
+        assert_eq!(a.sum(), 1 + 5 + 100 + 3 + 5 + 4000);
+        assert_eq!(a.max(), 4000);
+        // Bucket [4,8) got one observation from each side.
+        let b48 = a.nonzero_buckets().find(|&(lo, _)| lo == 4).unwrap();
+        assert_eq!(b48.1, 2, "the two 5s share the [4,8) bucket");
+    }
+
+    #[test]
+    fn merge_of_two_empties_is_empty() {
+        let mut a = LogHistogram::default();
+        a.merge(&LogHistogram::default());
+        assert_eq!(a.count(), 0);
+        assert_eq!(a.sum(), 0);
+        assert_eq!(a.max(), 0);
+        assert_eq!(a.quantile(0.5), 0);
+    }
+
+    #[test]
+    fn merge_saturates_the_sum() {
+        let mut a = LogHistogram::default();
+        a.record(u64::MAX);
+        let mut b = LogHistogram::default();
+        b.record(u64::MAX);
+        a.merge(&b);
+        assert_eq!(a.sum(), u64::MAX, "sum saturates instead of wrapping");
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.max(), u64::MAX);
+    }
+
+    #[test]
+    fn cumulative_buckets_are_monotone_and_complete() {
+        let mut h = LogHistogram::default();
+        for v in [0u64, 1, 2, 3, 10, 300] {
+            h.record(v);
+        }
+        let cum = h.cumulative_buckets();
+        assert!(!cum.is_empty());
+        assert!(cum.windows(2).all(|w| w[0].0 < w[1].0 && w[0].1 <= w[1].1));
+        assert_eq!(cum.last().unwrap().1, h.count());
+    }
+}

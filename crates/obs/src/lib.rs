@@ -1,0 +1,36 @@
+//! trout-obs — workspace-wide telemetry.
+//!
+//! Every crate in the workspace reports through this one system:
+//!
+//! * [`Registry`] — named [`Counter`]s, [`Gauge`]s and [`Histogram`]s.
+//!   Registration locks once per name; recording is relaxed atomics — O(1),
+//!   lock-free, and allocation-free, so instrumentation is legal inside the
+//!   zero-allocation training/inference hot paths (proved by
+//!   `crates/ml/tests/zero_alloc.rs`).
+//! * [`span!`] — scoped timers recording microseconds into the
+//!   [`global()`] registry as `span.<area>.<what>_us`. The per-call-site
+//!   handle is cached in a static, so a span costs two clock reads and one
+//!   atomic record.
+//! * [`log`] — leveled structured JSONL events on stderr, filtered by the
+//!   `TROUT_LOG` environment variable (see the [`log_info!`]-family
+//!   macros).
+//! * [`LogHistogram`] — the plain power-of-two histogram (moved here from
+//!   `trout-serve`), mergeable across workers.
+//! * Exposition — [`Registry::to_json`] for the serve protocol's `metrics`
+//!   request and [`Registry::to_prometheus`] for scrapers; both are also
+//!   reachable through the `trout metrics` CLI subcommand.
+//!
+//! `trout-obs` sits directly above `trout-std` (it serializes through
+//! `trout_std::json`, so it cannot live below it); the umbrella `trout`
+//! crate re-exports it as `trout::obs`.
+
+pub mod hist;
+pub mod log;
+pub mod metrics;
+pub mod registry;
+pub mod span;
+
+pub use hist::LogHistogram;
+pub use metrics::{Counter, Gauge, Histogram};
+pub use registry::{global, prom_name, Registry};
+pub use span::Span;

@@ -1,0 +1,211 @@
+//! Shared metric handles: counters, gauges, and atomic histograms.
+//!
+//! Every handle is a cheap `Arc` wrapper around relaxed atomics: clone it
+//! out of the [`Registry`](crate::Registry) once, then record from any
+//! thread with no lock and no allocation. That keeps recording legal inside
+//! the workspace's zero-allocation hot paths (`crates/ml/tests/zero_alloc.rs`
+//! proves it with a counting global allocator).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::hist::{bucket_of, LogHistogram, N_BUCKETS};
+
+/// Monotone event counter.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// A fresh unregistered counter (tests; production handles come from a
+    /// [`Registry`](crate::Registry)).
+    pub fn new() -> Counter {
+        Counter::default()
+    }
+
+    /// Adds one; returns the new value.
+    #[inline]
+    pub fn inc(&self) -> u64 {
+        self.0.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Adds `n`; returns the new value.
+    #[inline]
+    pub fn add(&self, n: u64) -> u64 {
+        self.0.fetch_add(n, Ordering::Relaxed) + n
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Last-write-wins `f64` gauge (stored as bit pattern, so reads round trip
+/// the written value exactly — the drift monitor relies on this for its
+/// bit-identical rolling MAE).
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// A fresh unregistered gauge.
+    pub fn new() -> Gauge {
+        Gauge::default()
+    }
+
+    /// Stores a value.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+#[derive(Debug)]
+struct HistogramInner {
+    buckets: [AtomicU64; N_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+/// Shared atomic [`LogHistogram`]: same buckets and summaries, recordable
+/// from `&self` on any thread.
+#[derive(Debug, Clone)]
+pub struct Histogram(Arc<HistogramInner>);
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram(Arc::new(HistogramInner {
+            buckets: [const { AtomicU64::new(0) }; N_BUCKETS],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }))
+    }
+}
+
+impl Histogram {
+    /// A fresh unregistered histogram.
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Records one observation: O(1), lock-free, allocation-free.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        let inner = &*self.0;
+        inner.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        inner.count.fetch_add(1, Ordering::Relaxed);
+        // Saturating sum: one CAS loop, contention-free in practice (the
+        // serve engine records under its own mutex).
+        let _ = inner
+            .sum
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |s| {
+                Some(s.saturating_add(v))
+            });
+        inner.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Records a duration in whole microseconds (the span unit).
+    #[inline]
+    pub fn record_duration(&self, d: std::time::Duration) {
+        self.record(d.as_micros() as u64);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of observations (saturating).
+    pub fn sum(&self) -> u64 {
+        self.0.sum.load(Ordering::Relaxed)
+    }
+
+    /// Largest observation.
+    pub fn max(&self) -> u64 {
+        self.0.max.load(Ordering::Relaxed)
+    }
+
+    /// Mean observation (0 when empty).
+    pub fn mean(&self) -> f64 {
+        self.snapshot().mean()
+    }
+
+    /// Quantile estimate (bucket upper bound clamped to the max).
+    pub fn quantile(&self, q: f64) -> u64 {
+        self.snapshot().quantile(q)
+    }
+
+    /// A plain-value copy of the current state. Loads are individually
+    /// relaxed, so a snapshot taken under concurrent recording can be
+    /// slightly torn between fields; summaries remain monotone per field.
+    pub fn snapshot(&self) -> LogHistogram {
+        let inner = &*self.0;
+        let mut buckets = [0u64; N_BUCKETS];
+        for (b, a) in buckets.iter_mut().zip(&inner.buckets) {
+            *b = a.load(Ordering::Relaxed);
+        }
+        LogHistogram::from_parts(
+            buckets,
+            inner.count.load(Ordering::Relaxed),
+            inner.sum.load(Ordering::Relaxed),
+            inner.max.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Serializes the snapshot (same schema as [`LogHistogram::to_json`]).
+    pub fn to_json(&self) -> trout_std::json::Json {
+        self.snapshot().to_json()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_round_trip() {
+        let c = Counter::new();
+        assert_eq!(c.inc(), 1);
+        assert_eq!(c.add(4), 5);
+        assert_eq!(c.get(), 5);
+        let g = Gauge::new();
+        g.set(0.1 + 0.2);
+        assert_eq!(g.get(), 0.1 + 0.2, "gauge stores exact f64 bits");
+    }
+
+    #[test]
+    fn atomic_histogram_matches_the_plain_one() {
+        let a = Histogram::new();
+        let mut p = LogHistogram::default();
+        for v in [0u64, 1, 7, 63, 64, 1000, 1_000_000] {
+            a.record(v);
+            p.record(v);
+        }
+        let s = a.snapshot();
+        assert_eq!(s.count(), p.count());
+        assert_eq!(s.sum(), p.sum());
+        assert_eq!(s.max(), p.max());
+        for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(s.quantile(q), p.quantile(q), "q={q}");
+        }
+        assert_eq!(a.to_json(), p.to_json());
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let a = Histogram::new();
+        let b = a.clone();
+        a.record(10);
+        b.record(20);
+        assert_eq!(a.count(), 2);
+        assert_eq!(b.max(), 20);
+    }
+}

@@ -1,0 +1,245 @@
+//! The named-metric registry and its two exposition formats.
+//!
+//! A [`Registry`] maps dotted metric names (`serve.predicts_total`,
+//! `span.nn.epoch_forward_us`) to shared handles. Registration takes a lock
+//! and may allocate; it happens once per name, after which the returned
+//! handle records through relaxed atomics only. Names use the convention
+//! `<area>.<name>[_total|_us|_min]`: `_total` for counters, `_us` for
+//! microsecond histograms, `_min` for minute-valued gauges.
+//!
+//! Two dump formats:
+//! * [`Registry::to_json`] — the machine-readable sections the serve
+//!   protocol's `metrics` request embeds;
+//! * [`Registry::to_prometheus`] — Prometheus text exposition (names
+//!   sanitized to `trout_<area>_<name>`, histograms as cumulative
+//!   `_bucket{le="..."}` series plus `_sum`/`_count`).
+//!
+//! [`global()`] is the process-wide registry every `span!` records into.
+
+use std::collections::BTreeMap;
+use std::sync::{Mutex, OnceLock};
+
+use trout_std::json::Json;
+
+use crate::metrics::{Counter, Gauge, Histogram};
+
+#[derive(Default)]
+struct Maps {
+    counters: BTreeMap<String, Counter>,
+    gauges: BTreeMap<String, Gauge>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+/// A set of named counters, gauges and histograms.
+#[derive(Default)]
+pub struct Registry {
+    maps: Mutex<Maps>,
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let m = self.maps.lock().expect("registry poisoned");
+        f.debug_struct("Registry")
+            .field("counters", &m.counters.len())
+            .field("gauges", &m.gauges.len())
+            .field("histograms", &m.histograms.len())
+            .finish()
+    }
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// The counter named `name`, registering it on first use.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut m = self.maps.lock().expect("registry poisoned");
+        m.counters.entry(name.to_string()).or_default().clone()
+    }
+
+    /// The gauge named `name`, registering it on first use.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut m = self.maps.lock().expect("registry poisoned");
+        m.gauges.entry(name.to_string()).or_default().clone()
+    }
+
+    /// The histogram named `name`, registering it on first use.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let mut m = self.maps.lock().expect("registry poisoned");
+        m.histograms.entry(name.to_string()).or_default().clone()
+    }
+
+    /// Every histogram as a `name -> summary` JSON object (sorted by name).
+    pub fn histograms_json(&self) -> Json {
+        let m = self.maps.lock().expect("registry poisoned");
+        Json::Obj(
+            m.histograms
+                .iter()
+                .map(|(k, h)| (k.clone(), h.to_json()))
+                .collect(),
+        )
+    }
+
+    /// The full registry as `{"counters":{..},"gauges":{..},"histograms":{..}}`,
+    /// each section sorted by metric name.
+    pub fn to_json(&self) -> Json {
+        let m = self.maps.lock().expect("registry poisoned");
+        Json::Obj(vec![
+            (
+                "counters".into(),
+                Json::Obj(
+                    m.counters
+                        .iter()
+                        .map(|(k, c)| (k.clone(), Json::Int(c.get() as i128)))
+                        .collect(),
+                ),
+            ),
+            (
+                "gauges".into(),
+                Json::Obj(
+                    m.gauges
+                        .iter()
+                        .map(|(k, g)| (k.clone(), Json::Num(g.get())))
+                        .collect(),
+                ),
+            ),
+            (
+                "histograms".into(),
+                Json::Obj(
+                    m.histograms
+                        .iter()
+                        .map(|(k, h)| (k.clone(), h.to_json()))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Prometheus text exposition of every metric in the registry.
+    pub fn to_prometheus(&self) -> String {
+        use std::fmt::Write;
+        let m = self.maps.lock().expect("registry poisoned");
+        let mut out = String::new();
+        for (name, c) in &m.counters {
+            let n = prom_name(name);
+            let _ = writeln!(out, "# TYPE {n} counter\n{n} {}", c.get());
+        }
+        for (name, g) in &m.gauges {
+            let n = prom_name(name);
+            let _ = writeln!(out, "# TYPE {n} gauge\n{n} {}", g.get());
+        }
+        for (name, h) in &m.histograms {
+            let n = prom_name(name);
+            let s = h.snapshot();
+            let _ = writeln!(out, "# TYPE {n} histogram");
+            for (le, cum) in s.cumulative_buckets() {
+                let _ = writeln!(out, "{n}_bucket{{le=\"{le}\"}} {cum}");
+            }
+            let _ = writeln!(out, "{n}_bucket{{le=\"+Inf\"}} {}", s.count());
+            let _ = writeln!(out, "{n}_sum {}\n{n}_count {}", s.sum(), s.count());
+        }
+        out
+    }
+}
+
+/// Sanitizes a dotted metric name into a Prometheus identifier:
+/// non-alphanumerics become `_` and everything gets the `trout_` namespace
+/// prefix (unless already present).
+pub fn prom_name(name: &str) -> String {
+    let mut s = String::with_capacity(name.len() + 6);
+    if !name.starts_with("trout") {
+        s.push_str("trout_");
+    }
+    for ch in name.chars() {
+        s.push(if ch.is_ascii_alphanumeric() { ch } else { '_' });
+    }
+    s
+}
+
+static GLOBAL: OnceLock<Registry> = OnceLock::new();
+
+/// The process-wide registry: spans and any instrumentation without its own
+/// registry record here.
+pub fn global() -> &'static Registry {
+    GLOBAL.get_or_init(Registry::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_are_shared_per_name() {
+        let r = Registry::new();
+        r.counter("a.hits_total").inc();
+        r.counter("a.hits_total").add(2);
+        assert_eq!(r.counter("a.hits_total").get(), 3);
+        r.gauge("a.level").set(1.5);
+        assert_eq!(r.gauge("a.level").get(), 1.5);
+        r.histogram("a.lat_us").record(9);
+        assert_eq!(r.histogram("a.lat_us").count(), 1);
+    }
+
+    #[test]
+    fn json_dump_has_sorted_sections() {
+        let r = Registry::new();
+        r.counter("b.x_total").inc();
+        r.counter("a.y_total").inc();
+        r.gauge("g.v").set(2.0);
+        r.histogram("h.t_us").record(5);
+        let j = r.to_json();
+        match j.get("counters") {
+            Some(Json::Obj(members)) => {
+                let keys: Vec<&str> = members.iter().map(|(k, _)| k.as_str()).collect();
+                assert_eq!(keys, vec!["a.y_total", "b.x_total"], "sorted by name");
+            }
+            other => panic!("bad counters section {other:?}"),
+        }
+        assert_eq!(
+            j.get("gauges").and_then(|g| g.get("g.v")),
+            Some(&Json::Num(2.0))
+        );
+        assert!(j
+            .get("histograms")
+            .and_then(|h| h.get("h.t_us"))
+            .and_then(|h| h.get("p99"))
+            .is_some());
+    }
+
+    #[test]
+    fn prometheus_exposition_is_well_formed() {
+        let r = Registry::new();
+        r.counter("serve.predicts_total").add(5);
+        r.gauge("serve.drift.mae_min").set(3.25);
+        let h = r.histogram("serve.predict_us");
+        for v in [1u64, 3, 100] {
+            h.record(v);
+        }
+        let text = r.to_prometheus();
+        assert!(text.contains("# TYPE trout_serve_predicts_total counter"));
+        assert!(text.contains("trout_serve_predicts_total 5"));
+        assert!(text.contains("trout_serve_drift_mae_min 3.25"));
+        assert!(text.contains("trout_serve_predict_us_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("trout_serve_predict_us_sum 104"));
+        assert!(text.contains("trout_serve_predict_us_count 3"));
+        // Cumulative series is monotone and every line is name{...} value.
+        let counts: Vec<u64> = text
+            .lines()
+            .filter(|l| l.starts_with("trout_serve_predict_us_bucket"))
+            .map(|l| l.rsplit(' ').next().unwrap().parse().unwrap())
+            .collect();
+        assert!(counts.windows(2).all(|w| w[0] <= w[1]), "{counts:?}");
+    }
+
+    #[test]
+    fn prom_name_sanitizes() {
+        assert_eq!(
+            prom_name("serve.drift.mae_min"),
+            "trout_serve_drift_mae_min"
+        );
+        assert_eq!(prom_name("span.nn.fwd_us"), "trout_span_nn_fwd_us");
+        assert_eq!(prom_name("trout_already"), "trout_already");
+    }
+}

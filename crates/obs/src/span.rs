@@ -1,0 +1,111 @@
+//! Scoped-span timers.
+//!
+//! A span measures the wall-clock time between its creation and its drop
+//! and records it, in microseconds, into a histogram — normally a
+//! `span.<area>.<what>_us` entry in the global registry via the
+//! [`span!`](crate::span) macro:
+//!
+//! ```
+//! fn featurize() {
+//!     let _span = trout_obs::span!("features.assemble");
+//!     // ... timed work ...
+//! }
+//! ```
+//!
+//! The macro caches its histogram handle in a per-call-site static, so after
+//! the first hit a span costs two clock reads and one atomic record — no
+//! lock, no allocation. That keeps spans legal inside the zero-allocation
+//! training and inference loops.
+
+use std::time::Instant;
+
+use crate::metrics::Histogram;
+
+/// Live span: records elapsed microseconds into its histogram on drop.
+#[must_use = "a span measures until it is dropped; binding to _ drops immediately"]
+pub struct Span {
+    hist: &'static Histogram,
+    start: Instant,
+}
+
+impl Span {
+    /// Starts a span against a cached histogram handle (used by
+    /// [`span!`](crate::span); call sites rarely construct this directly).
+    pub fn new(hist: &'static Histogram) -> Span {
+        Span {
+            hist,
+            start: Instant::now(),
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        self.hist.record_duration(self.start.elapsed());
+    }
+}
+
+/// Times the enclosing scope into the global histogram
+/// `span.<name>_us`. The handle is cached in a per-call-site static:
+/// recording is lock- and allocation-free after the first hit.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {{
+        static SPAN_HIST: ::std::sync::OnceLock<$crate::Histogram> = ::std::sync::OnceLock::new();
+        $crate::Span::new(
+            SPAN_HIST.get_or_init(|| $crate::global().histogram(concat!("span.", $name, "_us"))),
+        )
+    }};
+}
+
+/// A cached `&'static` handle to a named global-registry histogram, for
+/// manual recording where a scope guard does not fit (e.g. accumulating
+/// per-batch phase times and recording once per epoch).
+#[macro_export]
+macro_rules! histogram {
+    ($name:expr) => {{
+        static OBS_HIST: ::std::sync::OnceLock<$crate::Histogram> = ::std::sync::OnceLock::new();
+        OBS_HIST.get_or_init(|| $crate::global().histogram($name))
+    }};
+}
+
+/// A cached `&'static` handle to a named global-registry counter, for
+/// instrumenting hot paths (one relaxed atomic add after the first hit).
+#[macro_export]
+macro_rules! counter {
+    ($name:expr) => {{
+        static OBS_COUNTER: ::std::sync::OnceLock<$crate::Counter> = ::std::sync::OnceLock::new();
+        OBS_COUNTER.get_or_init(|| $crate::global().counter($name))
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::global;
+
+    #[test]
+    fn counter_macro_returns_the_same_handle() {
+        let before = crate::counter!("obs.manual_hits_total").get();
+        crate::counter!("obs.manual_hits_total").inc();
+        assert_eq!(global().counter("obs.manual_hits_total").get(), before + 1);
+    }
+
+    #[test]
+    fn span_records_on_drop() {
+        let before = global().histogram("span.obs.test_scope_us").count();
+        {
+            let _span = crate::span!("obs.test_scope");
+            std::hint::black_box(3 + 4);
+        }
+        let h = global().histogram("span.obs.test_scope_us");
+        assert_eq!(h.count(), before + 1);
+    }
+
+    #[test]
+    fn histogram_macro_returns_the_same_handle() {
+        let h1 = crate::histogram!("obs.manual_us");
+        h1.record(5);
+        let h2 = crate::histogram!("obs.manual_us");
+        assert!(h2.count() >= 1);
+    }
+}

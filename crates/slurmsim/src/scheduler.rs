@@ -292,6 +292,7 @@ fn schedule_pass(
     if pending.is_empty() {
         return;
     }
+    let _span = trout_obs::span!("sim.schedule_pass");
     for p in pending.iter_mut() {
         p.priority_now = engine.compute(&p.job, t, fairshare);
     }
@@ -377,6 +378,7 @@ fn schedule_pass(
                     let nodes = pool.try_alloc(&p.demand).expect("fits implies alloc");
                     start_job(t, p, nodes, running, records, events, incarnations);
                     started.push(idx);
+                    trout_obs::counter!("sim.backfill_starts_total").inc();
                 }
             }
         }

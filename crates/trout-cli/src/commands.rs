@@ -46,9 +46,11 @@ pub(crate) fn load_trace(opts: &Options) -> Result<Trace> {
     if path.ends_with(".swf") || text.starts_with(';') {
         let (trace, stats) =
             trout_slurmsim::swf::parse_swf(&text).map_err(|e| TroutError::Parse(e.to_string()))?;
-        eprintln!(
+        trout_obs::log_info!(
+            "cli",
             "imported SWF: {} jobs ({} skipped as never-started)",
-            stats.imported, stats.skipped_not_started
+            stats.imported,
+            stats.skipped_not_started
         );
         return Ok(trace);
     }

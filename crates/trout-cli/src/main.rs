@@ -51,6 +51,7 @@ fn run(argv: &[String]) -> Result<(), TroutError> {
         "tune" => commands::tune(&opts),
         "serve" => serve_cmd::serve(&opts),
         "events" => serve_cmd::events(&opts),
+        "metrics" => serve_cmd::metrics(&opts),
         "help" | "--help" | "-h" => {
             print_usage();
             Ok(())
@@ -89,6 +90,11 @@ SUBCOMMANDS:
               (--model MODEL.json --trace FILE | --bootstrap JOBS)
               [--stdin | --listen ADDR] [--batch N] [--refit-every N]
   events      flatten a trace into a submit/start/end ndjson replay script
-              --trace FILE [--out FILE] [--predict-every N]"
+              --trace FILE [--out FILE] [--predict-every N]
+  metrics     dump a running daemon's metrics registry
+              --connect HOST:PORT [--format json|prometheus]
+
+Set TROUT_LOG=debug|info|warn|error|off to filter the structured JSONL
+event log on stderr (default info)."
     );
 }

@@ -1,14 +1,15 @@
-//! The `trout serve` daemon and the `trout events` replay-script generator.
+//! The `trout serve` daemon, the `trout events` replay-script generator,
+//! and the `trout metrics` client for a running daemon.
 
 use std::fs;
+use std::io::{BufRead, BufReader, Write};
 use std::sync::{Arc, Mutex};
 
 use trout_core::error::{Result, TroutError};
 use trout_core::online::OnlineConfig;
 use trout_core::TroutConfig;
-use trout_features::incremental::{trace_events, ReplayEvent};
-use trout_serve::protocol::job_to_json;
-use trout_serve::{run_stdin, run_tcp, ServeConfig, ServeEngine};
+use trout_obs::log_info;
+use trout_serve::{replay_script, run_stdin, run_tcp, ServeConfig, ServeEngine};
 use trout_std::json::Json;
 
 use crate::args::Options;
@@ -30,16 +31,18 @@ pub fn serve(opts: &Options) -> Result<()> {
 
     let engine = if opts.has("bootstrap") {
         let jobs: usize = opts.require_parsed("bootstrap")?;
-        eprintln!(
-            "serve: bootstrapping on a fresh {jobs}-job simulation (seed {})",
+        log_info!(
+            "serve",
+            "bootstrapping on a fresh {jobs}-job simulation (seed {})",
             cfg.seed
         );
         ServeEngine::bootstrap(jobs, &cfg)
     } else {
         let model = load_model(opts)?;
         let trace = load_trace(opts)?;
-        eprintln!(
-            "serve: loaded model, refitting scaler + runtime forest on {} trace records",
+        log_info!(
+            "serve",
+            "loaded model, refitting scaler + runtime forest on {} trace records",
             trace.records.len()
         );
         ServeEngine::from_trace(
@@ -55,13 +58,13 @@ pub fn serve(opts: &Options) -> Result<()> {
         Some(addr) => {
             let listener = std::net::TcpListener::bind(addr)
                 .map_err(|e| TroutError::Config(format!("cannot listen on {addr}: {e}")))?;
-            eprintln!("serve: listening on {addr}");
+            log_info!("serve", "listening on {addr}");
             run_tcp(Arc::new(Mutex::new(engine)), listener, batch, None)
         }
         None => {
-            eprintln!("serve: reading events from stdin (batch {batch})");
+            log_info!("serve", "reading events from stdin (batch {batch})");
             let handled = run_stdin(engine, batch)?;
-            eprintln!("serve: session closed after {handled} requests");
+            log_info!("serve", "session closed after {handled} requests");
             Ok(())
         }
     }
@@ -77,37 +80,7 @@ pub fn serve(opts: &Options) -> Result<()> {
 pub fn events(opts: &Options) -> Result<()> {
     let trace = load_trace(opts)?;
     let predict_every: usize = opts.get_or("predict-every", 0)?;
-    let mut out = String::new();
-    let mut submits = 0usize;
-    for (t, ev) in trace_events(&trace) {
-        match ev {
-            ReplayEvent::Submit(i) => {
-                let r = &trace.records[i];
-                let line = Json::Obj(vec![
-                    ("event".into(), Json::Str("submit".into())),
-                    ("job".into(), job_to_json(r)),
-                ]);
-                out.push_str(&line.to_string());
-                out.push('\n');
-                submits += 1;
-                if predict_every > 0 && submits % predict_every == 0 {
-                    out.push_str(&format!(
-                        "{{\"event\":\"predict\",\"id\":{},\"time\":{}}}\n",
-                        r.id, r.submit_time
-                    ));
-                }
-            }
-            ReplayEvent::Start(i) => out.push_str(&format!(
-                "{{\"event\":\"start\",\"id\":{},\"time\":{t}}}\n",
-                trace.records[i].id
-            )),
-            ReplayEvent::End(i) => out.push_str(&format!(
-                "{{\"event\":\"end\",\"id\":{},\"time\":{t}}}\n",
-                trace.records[i].id
-            )),
-        }
-    }
-    out.push_str("{\"event\":\"metrics\"}\n{\"event\":\"shutdown\"}\n");
+    let out = replay_script(&trace, predict_every);
     match opts.get("out") {
         Some(path) => {
             fs::write(path, &out).map_err(|e| {
@@ -116,9 +89,56 @@ pub fn events(opts: &Options) -> Result<()> {
                     format!("writing {path}: {e}"),
                 ))
             })?;
-            eprintln!("wrote {} event lines to {path}", out.lines().count());
+            log_info!("cli", "wrote {} event lines to {path}", out.lines().count());
         }
         None => print!("{out}"),
+    }
+    Ok(())
+}
+
+/// `trout metrics --connect HOST:PORT [--format json|prometheus]`
+///
+/// Queries a running `trout serve --listen` daemon for its metrics registry
+/// and prints the dump: the JSON registry sections, or the raw Prometheus
+/// text exposition (decoded from the response envelope) ready to paste into
+/// a scrape file.
+pub fn metrics(opts: &Options) -> Result<()> {
+    let addr = opts.require("connect")?;
+    let format = opts.get("format").unwrap_or("json");
+    let request = match format {
+        "json" => "{\"event\":\"metrics\"}\n",
+        "prometheus" => "{\"event\":\"metrics\",\"format\":\"prometheus\"}\n",
+        other => {
+            return Err(TroutError::Config(format!(
+                "unknown --format `{other}` (expected json or prometheus)"
+            )))
+        }
+    };
+    let mut conn = std::net::TcpStream::connect(addr)
+        .map_err(|e| TroutError::Config(format!("cannot connect to {addr}: {e}")))?;
+    conn.write_all(request.as_bytes())?;
+    conn.flush()?;
+    let mut line = String::new();
+    BufReader::new(&conn).read_line(&mut line)?;
+    let response = Json::parse(line.trim())
+        .map_err(|e| TroutError::Protocol(format!("bad metrics response: {e}")))?;
+    if response.get("ok") != Some(&Json::Bool(true)) {
+        return Err(TroutError::Protocol(format!(
+            "daemon rejected the metrics request: {}",
+            line.trim()
+        )));
+    }
+    match response.get("body") {
+        // Prometheus: the exposition text rides in the body string.
+        Some(Json::Str(body)) => print!("{body}"),
+        _ => match response.get("metrics") {
+            Some(m) => println!("{m}"),
+            None => {
+                return Err(TroutError::Protocol(
+                    "metrics response has neither `metrics` nor `body`".into(),
+                ))
+            }
+        },
     }
     Ok(())
 }

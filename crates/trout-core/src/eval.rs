@@ -85,6 +85,22 @@ pub fn evaluate_folds(cfg: &TroutConfig, ds: &Dataset, n_splits: usize) -> Vec<F
     reports
 }
 
+/// Rolling mean absolute error in minutes — the offline counterpart of the
+/// serve drift monitor's `serve.drift.mae_min` gauge. Both accumulate
+/// `|pred - actual|` as `f64` in pair order and divide by the count once, so
+/// a served replay and this function agree **bit-for-bit** on the same
+/// prediction/outcome pairs (the e2e drift test relies on that).
+pub fn rolling_mae(preds: &[f32], actuals: &[f32]) -> f64 {
+    metrics::mae(preds, actuals)
+}
+
+/// Fraction of predictions within 2x of the outcome (strictly under 100 %
+/// relative error, denominator clamped to one minute) — the offline
+/// counterpart of the drift monitor's `serve.drift.within_2x` gauge.
+pub fn within_2x_fraction(preds: &[f32], actuals: &[f32]) -> f64 {
+    metrics::fraction_within_pct(preds, actuals, 100.0)
+}
+
 /// The four regression models of Figs. 6–9.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum BaselineModel {

@@ -86,6 +86,7 @@ pub fn update_model_in(
     if rows.is_empty() {
         return;
     }
+    let _span = trout_obs::span!("core.online_update");
     let take = rows.len().min(online.window);
     let window = &rows[rows.len() - take..];
     let (x, y) = ds.select(window);

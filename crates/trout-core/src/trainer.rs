@@ -175,6 +175,7 @@ impl TroutTrainer {
             .collect();
         let has_both_classes = labels.iter().any(|&l| l >= 0.5) && labels.iter().any(|&l| l < 0.5);
         let (cx, cy) = if cfg.use_smote && has_both_classes {
+            let _span = trout_obs::span!("core.train_smote");
             smote_balance(
                 &x,
                 &labels,
@@ -196,7 +197,10 @@ impl TroutTrainer {
         ccfg.epochs = cfg.classifier_epochs;
         ccfg.batch_size = cfg.batch_size;
         ccfg.seed = cfg.seed ^ 0xC1A5;
-        let (classifier, _) = Mlp::train(&ccfg, &cx, &cy);
+        let (classifier, _) = {
+            let _span = trout_obs::span!("core.train_classifier");
+            Mlp::train(&ccfg, &cx, &cy)
+        };
 
         // --- Stage 2: regressor on the long-wait jobs only.
         let long_rows: Vec<usize> = (0..y.len()).filter(|&i| y[i] >= cfg.cutoff_min).collect();
@@ -219,12 +223,16 @@ impl TroutTrainer {
         rcfg.epochs = cfg.regressor_epochs;
         rcfg.batch_size = cfg.batch_size;
         rcfg.seed = cfg.seed ^ 0x4E47;
-        let (regressor, _) = Mlp::train(&rcfg, &rx, &ry);
+        let (regressor, _) = {
+            let _span = trout_obs::span!("core.train_regressor");
+            Mlp::train(&rcfg, &rx, &ry)
+        };
 
         // Calibrate classifier probabilities on the (untouched, unbalanced)
         // most recent tenth of the training window.
         let cal_start = rows.len() - (rows.len() / 10).max(1);
         let calibrator = if cal_start > 0 && cal_start < rows.len() {
+            let _span = trout_obs::span!("core.train_calibration");
             let cal_idx: Vec<usize> = (cal_start..rows.len()).collect();
             let cx2 = x.select_rows(&cal_idx);
             let cal_labels: Vec<f32> = cal_idx

@@ -173,6 +173,7 @@ pub fn tune_regressor(
             tuner.keep_fraction,
             tuner.seed,
             |params, full| {
+                let _span = trout_obs::span!("core.tune_trial");
                 let mut cfg = config_from_trial(base, params);
                 if !full {
                     // Cheap screen: half the epochs, single validation fold.
@@ -189,6 +190,7 @@ pub fn tune_regressor(
             tuner.seed,
             &TpeConfig::default(),
             |params| {
+                let _span = trout_obs::span!("core.tune_trial");
                 let cfg = config_from_trial(base, params);
                 regressor_score(&cfg, ds, &[2, 3])
             },

@@ -8,6 +8,12 @@
 //! The model lives behind an [`Arc`] so a warm-start refit can train a clone
 //! off to the side and publish it with one pointer swap — in-flight batch
 //! handles keep the model they started with.
+//!
+//! The engine also hosts the **online drift monitor**: every served
+//! prediction is remembered until the job's `start` event arrives, at which
+//! point the realized queue time joins against what was answered and the
+//! rolling MAE / within-2x / class-confusion counts update — the
+//! operator-facing signal for when warm-start refits stop keeping up.
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -15,8 +21,8 @@ use std::time::Instant;
 
 use trout_core::online::{update_model_in, OnlineConfig, RefitScratch};
 use trout_core::{
-    featurize, BatchPredictionRequest, HierarchicalModel, PredictorScratch, QueuePrediction,
-    RuntimePredictor, TroutConfig, TroutError, TroutTrainer,
+    featurize, BatchPredictionRequest, HierarchicalModel, PredictorScratch, QueueEstimate,
+    QueuePrediction, RuntimePredictor, TroutConfig, TroutError, TroutTrainer,
 };
 use trout_features::incremental::JobPhase;
 use trout_features::names::N_FEATURES;
@@ -26,7 +32,9 @@ use trout_linalg::Matrix;
 use trout_slurmsim::{JobRecord, SimulationBuilder, Trace};
 use trout_workload::ClusterSpec;
 
-use crate::metrics::ServeMetrics;
+use trout_std::json::Json;
+
+use crate::metrics::{ServeMetrics, CONFUSION_CELLS};
 
 /// State events between eviction sweeps of the incremental index.
 const EVICT_EVERY: u64 = 4_096;
@@ -61,6 +69,102 @@ impl Default for ServeConfig {
 /// A single prediction request: job id and the query instant.
 pub type PredictQuery = (u64, i64);
 
+/// Joins served predictions against realized queue times.
+///
+/// Every successful predict stores its [`QueuePrediction`] keyed by job id
+/// (a re-predicted job keeps only the latest answer — that is what the
+/// client acted on last). When the job's `start` event arrives, the
+/// realized queue time closes the pair and the rolling accuracy state
+/// updates, mirrored into the engine registry's `serve.drift.*` metrics.
+///
+/// The error sum accumulates in `f64` in join order, so the rolling MAE is
+/// **bit-identical** to `trout_core::eval::rolling_mae` over the same
+/// ordered pairs — the end-to-end serve test holds the daemon to that.
+#[derive(Debug, Default)]
+pub struct DriftMonitor {
+    served: HashMap<u64, QueuePrediction>,
+    joined: u64,
+    abs_err_sum: f64,
+    within: u64,
+    confusion: [u64; 4],
+}
+
+impl DriftMonitor {
+    /// Predictions joined against an outcome so far.
+    pub fn joined(&self) -> u64 {
+        self.joined
+    }
+
+    /// Rolling mean absolute error in minutes (0 before any join).
+    pub fn mae_min(&self) -> f64 {
+        if self.joined == 0 {
+            0.0
+        } else {
+            self.abs_err_sum / self.joined as f64
+        }
+    }
+
+    /// Rolling fraction of joined predictions within 2x (the paper's
+    /// within-100 %-error accuracy; 0 before any join).
+    pub fn within_2x(&self) -> f64 {
+        if self.joined == 0 {
+            0.0
+        } else {
+            self.within as f64 / self.joined as f64
+        }
+    }
+
+    /// Classifier confusion counts in predicted-then-actual order:
+    /// quick/quick, quick/long, long/quick, long/long.
+    pub fn confusion(&self) -> [u64; 4] {
+        self.confusion
+    }
+
+    /// Closes one prediction/outcome pair and mirrors the rolling state
+    /// into the registry handles.
+    fn join(&mut self, metrics: &ServeMetrics, p: &QueuePrediction, realized_min: f32) {
+        let pred_min = p.as_minutes();
+        // Accumulate exactly like the offline reference: per-pair f64
+        // absolute error, summed in join order.
+        self.abs_err_sum += (pred_min as f64 - realized_min as f64).abs();
+        self.joined += 1;
+        let denom = (realized_min as f64).max(1.0);
+        let within = ((pred_min as f64 - realized_min as f64).abs() / denom) * 100.0 < 100.0;
+        if within {
+            self.within += 1;
+            metrics.drift_within_2x_total.inc();
+        }
+        let pred_quick = matches!(p.estimate, QueueEstimate::QuickStart);
+        let actual_quick = realized_min < p.cutoff_min;
+        let cell = match (pred_quick, actual_quick) {
+            (true, true) => 0,
+            (true, false) => 1,
+            (false, true) => 2,
+            (false, false) => 3,
+        };
+        self.confusion[cell] += 1;
+        metrics.drift_confusion[cell].inc();
+        metrics.drift_joined_total.inc();
+        metrics.drift_mae_min.set(self.mae_min());
+        metrics.drift_within_2x.set(self.within_2x());
+    }
+
+    /// The drift section of the metrics dump.
+    pub fn to_json(&self) -> Json {
+        let confusion: Vec<(String, Json)> = CONFUSION_CELLS
+            .iter()
+            .zip(&self.confusion)
+            .map(|(name, &c)| (name.to_string(), Json::Int(c as i128)))
+            .collect();
+        Json::Obj(vec![
+            ("joined".into(), Json::Int(self.joined as i128)),
+            ("mae_min".into(), Json::Num(self.mae_min())),
+            ("within_2x".into(), Json::Num(self.within_2x())),
+            ("confusion".into(), Json::Obj(confusion)),
+        ])
+    }
+}
+
 /// The daemon's state machine. One engine per daemon; transports share it
 /// behind a mutex.
 pub struct ServeEngine {
@@ -90,6 +194,8 @@ pub struct ServeEngine {
     refit_scratch: RefitScratch,
     /// Counters and latency histograms (dumped by the `metrics` request).
     pub metrics: ServeMetrics,
+    /// Served-prediction vs realized-outcome accounting.
+    drift: DriftMonitor,
 }
 
 impl ServeEngine {
@@ -125,6 +231,7 @@ impl ServeEngine {
             scratch,
             refit_scratch,
             metrics: ServeMetrics::default(),
+            drift: DriftMonitor::default(),
         }
     }
 
@@ -161,9 +268,15 @@ impl ServeEngine {
         Ok(id)
     }
 
-    /// Applies a `start`.
+    /// Applies a `start`. If the job was predicted on, the realized queue
+    /// time closes the drift-monitor pair.
     pub fn apply_start(&mut self, id: u64, time: i64) -> Result<(), TroutError> {
         self.index.start(id, time)?;
+        if let Some(p) = self.drift.served.remove(&id) {
+            if let Some(realized) = self.index.job(id).map(|j| j.rec.queue_time_min() as f32) {
+                self.drift.join(&self.metrics, &p, realized);
+            }
+        }
         self.note_event(time);
         Ok(())
     }
@@ -182,6 +295,9 @@ impl ServeEngine {
         // the eviction window) and purge the row along with it.
         let label = self.index.job(id).map(|j| j.rec.queue_time_min() as f32);
         let raw = self.cached_rows.remove(&id);
+        // A cancelled-pending job never starts: its served prediction has no
+        // outcome to join against, so the drift entry just drops.
+        self.drift.served.remove(&id);
         self.note_event(time);
         if let (Some(raw), true, Some(y)) = (raw, was_running, label) {
             self.push_history(id, raw, y);
@@ -229,8 +345,8 @@ impl ServeEngine {
         } else {
             Vec::new()
         };
-        self.metrics.batches_total += 1;
-        self.metrics.predicts_total += n_ok as u64;
+        self.metrics.batches_total.inc();
+        self.metrics.predicts_total.add(n_ok as u64);
         self.metrics.batch_size.record(queries.len() as u64);
         // Every query in the batch waits for the whole flush, so the full
         // elapsed time *is* each one's end-to-end latency — recording it per
@@ -241,7 +357,24 @@ impl ServeEngine {
         for _ in queries {
             self.metrics.predict_us.record(elapsed);
         }
-        slots.into_iter().map(|s| s.map(|i| preds[i])).collect()
+        slots
+            .into_iter()
+            .zip(queries)
+            .map(|(s, &(id, _))| {
+                s.map(|i| {
+                    let p = preds[i];
+                    // Remember the answer for the drift join at `start`;
+                    // re-predicted jobs keep only the latest one. Same cap
+                    // policy as cached_rows against ids that never start.
+                    if self.drift.served.len() < CACHED_ROWS_MAX
+                        || self.drift.served.contains_key(&id)
+                    {
+                        self.drift.served.insert(id, p);
+                    }
+                    p
+                })
+            })
+            .collect()
     }
 
     /// Convenience wrapper for a batch of one.
@@ -251,9 +384,29 @@ impl ServeEngine {
             .expect("one query in, one result out")
     }
 
-    /// The metrics registry as JSON.
+    /// Drift-monitor state (for assertions and inspection).
+    pub fn drift(&self) -> &DriftMonitor {
+        &self.drift
+    }
+
+    /// The metrics registry as JSON: the serve sections, the drift-monitor
+    /// join state, and the process-wide span histograms.
     pub fn metrics_json(&self) -> trout_std::json::Json {
-        self.metrics.to_json()
+        let mut members = match self.metrics.to_json() {
+            Json::Obj(members) => members,
+            _ => unreachable!("ServeMetrics::to_json returns an object"),
+        };
+        members.push(("drift".into(), self.drift.to_json()));
+        members.push(("spans".into(), trout_obs::global().histograms_json()));
+        Json::Obj(members)
+    }
+
+    /// The same registry in Prometheus text exposition format: the engine's
+    /// own metrics followed by the process-wide span histograms.
+    pub fn metrics_prometheus(&self) -> String {
+        let mut text = self.metrics.to_prometheus();
+        text.push_str(&trout_obs::global().to_prometheus());
+        text
     }
 
     /// Assembles and scales the feature row a pending job observes at `time`.
@@ -288,10 +441,10 @@ impl ServeEngine {
 
     fn note_event(&mut self, time: i64) {
         self.latest_time = self.latest_time.max(time);
-        self.metrics.state_events_total += 1;
-        if self.metrics.state_events_total % EVICT_EVERY == 0 {
+        if self.metrics.state_events_total.inc() % EVICT_EVERY == 0 {
             for id in self.index.evict_finished_before(self.latest_time) {
                 self.cached_rows.remove(&id);
+                self.drift.served.remove(&id);
             }
         }
     }
@@ -333,6 +486,7 @@ impl ServeEngine {
         };
         let rows: Vec<usize> = (0..n).collect();
         let mut next = (*self.model).clone();
+        let _span = trout_obs::span!("serve.refit");
         update_model_in(
             &mut next,
             &self.base_cfg,
@@ -342,8 +496,14 @@ impl ServeEngine {
             &mut self.refit_scratch,
         );
         self.model = Arc::new(next);
-        self.metrics.refits_total += 1;
+        let refits = self.metrics.refits_total.inc();
         self.completed_since_refit = 0;
+        trout_obs::log_debug!(
+            "serve",
+            "refit #{refits} published on {n} completed jobs (drift mae {:.2} min over {} joins)",
+            self.drift.mae_min(),
+            self.drift.joined()
+        );
     }
 }
 
@@ -399,8 +559,74 @@ mod tests {
         assert_eq!(out.len(), 3);
         assert!(out[0].is_ok() && out[2].is_ok());
         assert!(out[1].is_err());
-        assert_eq!(engine.metrics.predicts_total, 2);
-        assert_eq!(engine.metrics.batches_total, 1);
+        assert_eq!(engine.metrics.predicts_total.get(), 2);
+        assert_eq!(engine.metrics.batches_total.get(), 1);
+    }
+
+    #[test]
+    fn drift_monitor_joins_a_prediction_with_its_outcome() {
+        let (mut engine, live) = small_engine(0);
+        let rec = live.records[0].clone();
+        let (id, t, elig) = (rec.id, rec.submit_time, rec.eligible_time);
+        engine.apply_submit(rec).unwrap();
+        let p = engine.predict_one(id, t).unwrap();
+        assert_eq!(engine.drift().joined(), 0, "no outcome yet");
+
+        // 20 minutes of realized queue time close the pair.
+        let start = elig + 1200;
+        engine.apply_start(id, start).unwrap();
+        assert_eq!(engine.drift().joined(), 1);
+        let realized = ((start - elig) as f64 / 60.0) as f32;
+        let expected = (p.as_minutes() as f64 - realized as f64).abs();
+        assert_eq!(engine.drift().mae_min(), expected, "single-pair MAE");
+        assert_eq!(engine.drift().confusion().iter().sum::<u64>(), 1);
+        assert_eq!(engine.metrics.drift_joined_total.get(), 1);
+        assert_eq!(engine.metrics.drift_mae_min.get(), expected);
+
+        // The metrics dump carries drift and span sections, and the
+        // Prometheus exposition carries the drift series.
+        let dump = engine.metrics_json();
+        assert_eq!(
+            dump.get("drift").and_then(|d| d.get("joined")),
+            Some(&trout_std::json::Json::Int(1))
+        );
+        assert!(dump.get("spans").is_some());
+        let prom = engine.metrics_prometheus();
+        assert!(prom.contains("trout_serve_drift_joined_total 1"));
+        assert!(prom.contains("trout_serve_drift_mae_min"));
+    }
+
+    #[test]
+    fn cancelled_pending_job_never_joins_the_drift_monitor() {
+        let (mut engine, live) = small_engine(0);
+        let rec = live.records[0].clone();
+        let (id, t) = (rec.id, rec.submit_time);
+        engine.apply_submit(rec).unwrap();
+        engine.predict_one(id, t).unwrap();
+        // `end` while still pending = cancellation: no realized queue time.
+        engine.apply_end(id, t + 500).unwrap();
+        assert_eq!(engine.drift().joined(), 0);
+        assert!(engine.drift.served.is_empty(), "served entry dropped");
+    }
+
+    #[test]
+    fn repredicted_job_joins_with_the_latest_answer_only() {
+        let (mut engine, live) = small_engine(0);
+        let rec = live.records[0].clone();
+        let (id, t, elig) = (rec.id, rec.submit_time, rec.eligible_time);
+        engine.apply_submit(rec).unwrap();
+        engine.predict_one(id, t).unwrap();
+        let p2 = engine.predict_one(id, t + 30).unwrap();
+        let start = elig + 3600;
+        engine.apply_start(id, start).unwrap();
+        assert_eq!(engine.drift().joined(), 1, "one join despite two predicts");
+        let realized = ((start - elig) as f64 / 60.0) as f32;
+        let expected = (p2.as_minutes() as f64 - realized as f64).abs();
+        assert_eq!(
+            engine.drift().mae_min(),
+            expected,
+            "joined against the latest served answer"
+        );
     }
 
     #[test]
@@ -464,9 +690,9 @@ mod tests {
         }
         assert!(predicted > 50);
         assert!(
-            engine.metrics.refits_total >= 1,
+            engine.metrics.refits_total.get() >= 1,
             "expected at least one refit, metrics: {:?}",
-            engine.metrics.refits_total
+            engine.metrics.refits_total.get()
         );
         assert!(
             !Arc::ptr_eq(&model_before, &engine.model()),

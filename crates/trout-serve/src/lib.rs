@@ -13,19 +13,27 @@
 //! * [`server`] — the transports and the micro-batching session loop that
 //!   coalesces back-to-back predicts into one forward pass.
 //! * [`protocol`] — the event grammar, parsing, and response builders.
-//! * [`metrics`] — O(1) counters and log-bucketed latency histograms,
-//!   dumped by the `metrics` request and by the serve bench into
-//!   `BENCH_serve.json`.
+//! * [`metrics`] — shared handles into a per-engine
+//!   [`trout_obs::Registry`]: counters, per-error-class breakdowns, and
+//!   log-bucketed latency histograms, dumped by the `metrics` request (JSON
+//!   or Prometheus text) and by the serve bench into `BENCH_serve.json`.
+//! * [`engine::DriftMonitor`] — joins served predictions against realized
+//!   queue times as `start` events arrive, maintaining rolling MAE,
+//!   within-2x accuracy, and quick/long class confusion.
+//! * [`replay`] — flattens a simulated trace into the ndjson script a live
+//!   client would have produced (backs `trout events` and the e2e tests).
 //!
 //! The protocol (with a worked transcript) is documented in the repository
-//! README; the design rationale lives in DESIGN.md.
+//! README; the design rationale lives in DESIGN.md §9.
 
 pub mod engine;
 pub mod metrics;
 pub mod protocol;
+pub mod replay;
 pub mod server;
 
-pub use engine::{ServeConfig, ServeEngine};
+pub use engine::{DriftMonitor, ServeConfig, ServeEngine};
 pub use metrics::{LogHistogram, ServeMetrics};
-pub use protocol::{parse_event, ClientEvent};
+pub use protocol::{parse_event, ClientEvent, MetricsFormat};
+pub use replay::replay_script;
 pub use server::{run_session, run_stdin, run_tcp};

@@ -1,165 +1,172 @@
-//! Serve-side observability: counters and log-bucketed histograms.
+//! Serve-side observability: the daemon's registry of counters, gauges and
+//! latency histograms.
 //!
-//! The daemon is long-lived, so metrics must be O(1) per observation and
-//! constant-memory. [`LogHistogram`] buckets values by power of two — enough
-//! resolution for latency percentiles (each estimate is at most 2x off,
-//! which is the granularity operators act on) while the whole registry
-//! serializes in one small JSON object for the `metrics` request and the
-//! `BENCH_serve.json` report.
+//! Since the `trout-obs` crate absorbed [`LogHistogram`], [`ServeMetrics`]
+//! is a bundle of shared handles into an engine-owned
+//! [`Registry`](trout_obs::Registry): each engine gets its own registry (so
+//! parallel test engines never cross-count), recording is one relaxed
+//! atomic per observation, and the whole set dumps as the legacy JSON
+//! sections for the `metrics` request plus Prometheus text exposition via
+//! [`ServeMetrics::to_prometheus`].
+//!
+//! Error accounting is broken down by [`TroutError`] class — protocol
+//! garbage from a misbehaving client must be distinguishable from model
+//! failures — while the aggregate `errors` counter stays for backward
+//! compatibility.
 
+use std::sync::Arc;
+
+use trout_core::TroutError;
+pub use trout_obs::LogHistogram;
+use trout_obs::{Counter, Gauge, Histogram, Registry};
 use trout_std::json::Json;
 
-/// Power-of-two bucketed histogram over `u64` values.
-///
-/// Bucket `i` counts observations in `[2^i, 2^(i+1))`; zero lands in bucket
-/// 0. Percentile estimates report the upper bound of the bucket where the
-/// cumulative count crosses the rank.
+/// All counters and histograms the daemon maintains, as shared handles
+/// into one engine-owned registry. Clones share the underlying atomics.
 #[derive(Debug, Clone)]
-pub struct LogHistogram {
-    buckets: [u64; 40],
-    count: u64,
-    sum: u64,
-    max: u64,
-}
-
-impl Default for LogHistogram {
-    fn default() -> Self {
-        LogHistogram {
-            buckets: [0; 40],
-            count: 0,
-            sum: 0,
-            max: 0,
-        }
-    }
-}
-
-impl LogHistogram {
-    /// Records one observation.
-    pub fn record(&mut self, v: u64) {
-        let b = (64 - v.leading_zeros()).saturating_sub(1).min(39) as usize;
-        self.buckets[b] += 1;
-        self.count += 1;
-        self.sum = self.sum.saturating_add(v);
-        self.max = self.max.max(v);
-    }
-
-    /// Number of observations.
-    pub fn count(&self) -> u64 {
-        self.count
-    }
-
-    /// Sum of all observations (saturating).
-    pub fn sum(&self) -> u64 {
-        self.sum
-    }
-
-    /// Mean observation (0 when empty).
-    pub fn mean(&self) -> f64 {
-        if self.count == 0 {
-            0.0
-        } else {
-            self.sum as f64 / self.count as f64
-        }
-    }
-
-    /// Upper bound of the bucket holding the `q`-quantile observation
-    /// (`q` in `[0, 1]`; 0 when empty).
-    pub fn quantile(&self, q: f64) -> u64 {
-        if self.count == 0 {
-            return 0;
-        }
-        let rank = ((self.count as f64 * q).ceil() as u64).clamp(1, self.count);
-        let mut seen = 0u64;
-        for (i, &c) in self.buckets.iter().enumerate() {
-            seen += c;
-            if seen >= rank {
-                return (2u64 << i).min(self.max.max(1));
-            }
-        }
-        self.max
-    }
-
-    /// Serializes count/mean/max, the p50/p90/p99 estimates, and the
-    /// non-empty buckets as `[lower_bound, count]` pairs.
-    pub fn to_json(&self) -> Json {
-        let buckets: Vec<Json> = self
-            .buckets
-            .iter()
-            .enumerate()
-            .filter(|(_, &c)| c > 0)
-            .map(|(i, &c)| {
-                Json::Arr(vec![
-                    Json::Int(if i == 0 { 0 } else { 1i128 << i }),
-                    Json::Int(c as i128),
-                ])
-            })
-            .collect();
-        Json::Obj(vec![
-            ("count".into(), Json::Int(self.count as i128)),
-            ("mean".into(), Json::Num(self.mean())),
-            ("max".into(), Json::Int(self.max as i128)),
-            ("p50".into(), Json::Int(self.quantile(0.50) as i128)),
-            ("p90".into(), Json::Int(self.quantile(0.90) as i128)),
-            ("p99".into(), Json::Int(self.quantile(0.99) as i128)),
-            ("buckets".into(), Json::Arr(buckets)),
-        ])
-    }
-}
-
-/// All counters and histograms the daemon maintains.
-#[derive(Debug, Clone, Default)]
 pub struct ServeMetrics {
+    /// The engine's registry (drives the Prometheus exposition).
+    pub registry: Arc<Registry>,
     /// Every request line handled (events, predicts, metrics).
-    pub requests_total: u64,
+    pub requests_total: Counter,
     /// Individual predictions served.
-    pub predicts_total: u64,
+    pub predicts_total: Counter,
     /// `predict_batch` flushes.
-    pub batches_total: u64,
+    pub batches_total: Counter,
     /// submit/start/end lifecycle events applied.
-    pub state_events_total: u64,
+    pub state_events_total: Counter,
     /// Warm-start refits applied (model hot-swaps).
-    pub refits_total: u64,
-    /// Requests rejected with an error response.
-    pub errors_total: u64,
+    pub refits_total: Counter,
+    /// Requests rejected with an error response (aggregate over classes).
+    pub errors_total: Counter,
+    /// Errors by [`TroutError`] class, in variant order:
+    /// io / parse / config / model / protocol.
+    pub errors_by_class: [Counter; 5],
     /// Feature-assembly latency per predicted job, microseconds.
-    pub featurize_us: LogHistogram,
+    pub featurize_us: Histogram,
     /// Model forward-pass latency per batch, microseconds.
-    pub inference_us: LogHistogram,
+    pub inference_us: Histogram,
     /// End-to-end latency per prediction, microseconds. Each prediction is
     /// charged its full flush (every query in a batch waits for the whole
     /// batch), so the tail here is real worst-case request latency.
-    pub predict_us: LogHistogram,
+    pub predict_us: Histogram,
     /// End-to-end latency per `predict_batch` flush, microseconds
     /// (`sum / predicts` gives the batch-amortized cost per prediction).
-    pub batch_us: LogHistogram,
+    pub batch_us: Histogram,
     /// Coalesced batch sizes.
-    pub batch_size: LogHistogram,
+    pub batch_size: Histogram,
+    /// Drift monitor: predictions joined against a realized queue time.
+    pub drift_joined_total: Counter,
+    /// Drift monitor: joined predictions within 2x of the outcome.
+    pub drift_within_2x_total: Counter,
+    /// Drift monitor: class confusion counts in predicted-then-actual
+    /// order: quick/quick, quick/long, long/quick, long/long.
+    pub drift_confusion: [Counter; 4],
+    /// Drift monitor: rolling mean absolute error, minutes.
+    pub drift_mae_min: Gauge,
+    /// Drift monitor: rolling within-2x fraction.
+    pub drift_within_2x: Gauge,
+}
+
+/// `errors_by_class` index order and JSON key per class.
+pub const ERROR_CLASSES: [&str; 5] = ["io", "parse", "config", "model", "protocol"];
+
+/// Drift confusion cell names, predicted-then-actual.
+pub const CONFUSION_CELLS: [&str; 4] = ["quick_quick", "quick_long", "long_quick", "long_long"];
+
+impl Default for ServeMetrics {
+    fn default() -> Self {
+        ServeMetrics::new()
+    }
 }
 
 impl ServeMetrics {
-    /// Serializes the full registry (the `metrics` request's payload).
+    /// A fresh registry with every serve metric registered.
+    pub fn new() -> ServeMetrics {
+        let r = Arc::new(Registry::new());
+        let errors_by_class = ERROR_CLASSES.map(|c| r.counter(&format!("serve.errors.{c}_total")));
+        let drift_confusion =
+            CONFUSION_CELLS.map(|c| r.counter(&format!("serve.drift.confusion_{c}_total")));
+        ServeMetrics {
+            requests_total: r.counter("serve.requests_total"),
+            predicts_total: r.counter("serve.predicts_total"),
+            batches_total: r.counter("serve.batches_total"),
+            state_events_total: r.counter("serve.state_events_total"),
+            refits_total: r.counter("serve.refits_total"),
+            errors_total: r.counter("serve.errors_total"),
+            errors_by_class,
+            featurize_us: r.histogram("serve.featurize_us"),
+            inference_us: r.histogram("serve.inference_us"),
+            predict_us: r.histogram("serve.predict_us"),
+            batch_us: r.histogram("serve.batch_us"),
+            batch_size: r.histogram("serve.batch_size"),
+            drift_joined_total: r.counter("serve.drift.joined_total"),
+            drift_within_2x_total: r.counter("serve.drift.within_2x_total"),
+            drift_confusion,
+            drift_mae_min: r.gauge("serve.drift.mae_min"),
+            drift_within_2x: r.gauge("serve.drift.within_2x"),
+            registry: r,
+        }
+    }
+
+    /// Counts one rejected request: the aggregate plus the class counter.
+    pub fn record_error(&self, e: &TroutError) {
+        self.errors_total.inc();
+        let idx = match e {
+            TroutError::Io(_) => 0,
+            TroutError::Parse(_) => 1,
+            TroutError::Config(_) => 2,
+            TroutError::Model(_) => 3,
+            TroutError::Protocol(_) => 4,
+        };
+        self.errors_by_class[idx].inc();
+    }
+
+    /// Serializes the registry in the legacy section layout (the `metrics`
+    /// request's payload; the drift section rides in
+    /// [`ServeEngine::metrics_json`](crate::ServeEngine::metrics_json)).
     pub fn to_json(&self) -> Json {
+        let by_class: Vec<(String, Json)> = ERROR_CLASSES
+            .iter()
+            .zip(&self.errors_by_class)
+            .map(|(name, c)| (name.to_string(), Json::Int(c.get() as i128)))
+            .collect();
         Json::Obj(vec![
             (
                 "counters".into(),
                 Json::Obj(vec![
-                    ("requests".into(), Json::Int(self.requests_total as i128)),
-                    ("predicts".into(), Json::Int(self.predicts_total as i128)),
-                    ("batches".into(), Json::Int(self.batches_total as i128)),
+                    (
+                        "requests".into(),
+                        Json::Int(self.requests_total.get() as i128),
+                    ),
+                    (
+                        "predicts".into(),
+                        Json::Int(self.predicts_total.get() as i128),
+                    ),
+                    (
+                        "batches".into(),
+                        Json::Int(self.batches_total.get() as i128),
+                    ),
                     (
                         "state_events".into(),
-                        Json::Int(self.state_events_total as i128),
+                        Json::Int(self.state_events_total.get() as i128),
                     ),
-                    ("refits".into(), Json::Int(self.refits_total as i128)),
-                    ("errors".into(), Json::Int(self.errors_total as i128)),
+                    ("refits".into(), Json::Int(self.refits_total.get() as i128)),
+                    ("errors".into(), Json::Int(self.errors_total.get() as i128)),
                 ]),
             ),
+            ("errors_by_class".into(), Json::Obj(by_class)),
             ("featurize_us".into(), self.featurize_us.to_json()),
             ("inference_us".into(), self.inference_us.to_json()),
             ("predict_us".into(), self.predict_us.to_json()),
             ("batch_us".into(), self.batch_us.to_json()),
             ("batch_size".into(), self.batch_size.to_json()),
         ])
+    }
+
+    /// Prometheus text exposition of the engine registry.
+    pub fn to_prometheus(&self) -> String {
+        self.registry.to_prometheus()
     }
 }
 
@@ -168,34 +175,9 @@ mod tests {
     use super::*;
 
     #[test]
-    fn quantiles_bound_the_data() {
-        let mut h = LogHistogram::default();
-        for v in 1..=1000u64 {
-            h.record(v);
-        }
-        assert_eq!(h.count(), 1000);
-        // Bucketed estimates are upper bounds within a factor of 2.
-        let p50 = h.quantile(0.5);
-        assert!((500..=1024).contains(&p50), "p50 {p50}");
-        let p99 = h.quantile(0.99);
-        assert!((990..=1024).contains(&p99), "p99 {p99}");
-        assert!(h.quantile(1.0) >= h.quantile(0.5));
-        assert!((h.mean() - 500.5).abs() < 1.0);
-    }
-
-    #[test]
-    fn empty_histogram_is_all_zero() {
-        let h = LogHistogram::default();
-        assert_eq!(h.quantile(0.99), 0);
-        assert_eq!(h.mean(), 0.0);
-        let j = h.to_json();
-        assert_eq!(j.get("count"), Some(&Json::Int(0)));
-    }
-
-    #[test]
     fn registry_serializes_every_section() {
-        let mut m = ServeMetrics::default();
-        m.predicts_total = 7;
+        let m = ServeMetrics::new();
+        m.predicts_total.add(7);
         m.predict_us.record(123);
         let j = m.to_json();
         assert_eq!(
@@ -204,5 +186,44 @@ mod tests {
         );
         assert!(j.get("predict_us").is_some());
         assert!(j.get("batch_size").is_some());
+        assert!(j.get("errors_by_class").is_some());
+    }
+
+    #[test]
+    fn errors_break_down_by_class_and_keep_the_aggregate() {
+        let m = ServeMetrics::new();
+        m.record_error(&TroutError::Parse("x".into()));
+        m.record_error(&TroutError::Parse("y".into()));
+        m.record_error(&TroutError::Protocol("z".into()));
+        m.record_error(&TroutError::Model("w".into()));
+        assert_eq!(m.errors_total.get(), 4, "aggregate stays");
+        let j = m.to_json();
+        let by = j.get("errors_by_class").unwrap();
+        assert_eq!(by.get("parse"), Some(&Json::Int(2)));
+        assert_eq!(by.get("protocol"), Some(&Json::Int(1)));
+        assert_eq!(by.get("model"), Some(&Json::Int(1)));
+        assert_eq!(by.get("io"), Some(&Json::Int(0)));
+        assert_eq!(by.get("config"), Some(&Json::Int(0)));
+    }
+
+    #[test]
+    fn prometheus_dump_carries_serve_and_drift_names() {
+        let m = ServeMetrics::new();
+        m.predicts_total.inc();
+        m.drift_joined_total.inc();
+        m.drift_mae_min.set(4.5);
+        let text = m.to_prometheus();
+        assert!(text.contains("trout_serve_predicts_total 1"));
+        assert!(text.contains("trout_serve_drift_joined_total 1"));
+        assert!(text.contains("trout_serve_drift_mae_min 4.5"));
+        assert!(text.contains("# TYPE trout_serve_predict_us histogram"));
+    }
+
+    #[test]
+    fn clones_share_the_same_registry() {
+        let m = ServeMetrics::new();
+        let n = m.clone();
+        m.requests_total.inc();
+        assert_eq!(n.requests_total.get(), 1);
     }
 }

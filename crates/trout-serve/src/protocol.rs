@@ -49,10 +49,22 @@ pub enum ClientEvent {
         /// Query instant (unix seconds).
         time: i64,
     },
-    /// Dump the metrics registry.
-    Metrics,
+    /// Dump the metrics registry in the requested exposition format.
+    Metrics(MetricsFormat),
     /// Close the session cleanly.
     Shutdown,
+}
+
+/// Exposition format of a `metrics` request (the optional `"format"` field;
+/// omitted means JSON).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MetricsFormat {
+    /// The sectioned JSON registry dump.
+    #[default]
+    Json,
+    /// Prometheus text exposition, embedded as the `"body"` string of the
+    /// response line.
+    Prometheus,
 }
 
 fn field_i64(j: &Json, key: &str) -> Result<i64, TroutError> {
@@ -152,7 +164,16 @@ pub fn parse_event(line: &str) -> Result<ClientEvent, TroutError> {
             id: field_u64(&j, "id")?,
             time: field_i64(&j, "time")?,
         }),
-        "metrics" => Ok(ClientEvent::Metrics),
+        "metrics" => Ok(ClientEvent::Metrics(match j.get("format") {
+            None => MetricsFormat::Json,
+            Some(Json::Str(s)) if s == "json" => MetricsFormat::Json,
+            Some(Json::Str(s)) if s == "prometheus" => MetricsFormat::Prometheus,
+            Some(other) => {
+                return Err(TroutError::Protocol(format!(
+                    "metrics: unknown format {other:?} (expected \"json\" or \"prometheus\")"
+                )))
+            }
+        })),
         "shutdown" => Ok(ClientEvent::Shutdown),
         other => Err(TroutError::Protocol(format!("unknown event `{other}`"))),
     }
@@ -218,6 +239,18 @@ pub fn metrics_response(metrics: Json) -> String {
         ("ok".into(), Json::Bool(true)),
         ("event".into(), Json::Str("metrics".into())),
         ("metrics".into(), metrics),
+    ])
+    .to_string()
+}
+
+/// The Prometheus-format metrics response: the exposition text rides as one
+/// escaped JSON string so the response stays a single line.
+pub fn metrics_prometheus_response(body: String) -> String {
+    Json::Obj(vec![
+        ("ok".into(), Json::Bool(true)),
+        ("event".into(), Json::Str("metrics".into())),
+        ("format".into(), Json::Str("prometheus".into())),
+        ("body".into(), Json::Str(body)),
     ])
     .to_string()
 }
@@ -298,8 +331,16 @@ mod tests {
         );
         assert_eq!(
             parse_event(r#"{"event":"metrics"}"#).unwrap(),
-            ClientEvent::Metrics
+            ClientEvent::Metrics(MetricsFormat::Json)
         );
+        assert_eq!(
+            parse_event(r#"{"event":"metrics","format":"prometheus"}"#).unwrap(),
+            ClientEvent::Metrics(MetricsFormat::Prometheus)
+        );
+        assert!(matches!(
+            parse_event(r#"{"event":"metrics","format":"xml"}"#),
+            Err(TroutError::Protocol(_))
+        ));
         assert_eq!(
             parse_event(r#"{"event":"shutdown"}"#).unwrap(),
             ClientEvent::Shutdown
@@ -340,6 +381,7 @@ mod tests {
             prediction_response(1, &p),
             error_response(&TroutError::Protocol("x".into())),
             metrics_response(Json::Obj(vec![])),
+            metrics_prometheus_response("trout_serve_predicts_total 1\n".into()),
         ] {
             assert!(!s.contains('\n'), "{s}");
             let parsed = Json::parse(&s).unwrap();

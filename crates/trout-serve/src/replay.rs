@@ -1,0 +1,86 @@
+//! Replay-script generation: flatten a simulated trace into the ndjson
+//! event stream a live client would have produced.
+//!
+//! `trout events` and the serve integration tests both need the same
+//! script — submit/start/end lines in simulation-time order, optionally
+//! interleaved with predict requests — so the generator lives here next to
+//! the protocol it targets. The script ends with `metrics` and `shutdown`
+//! so a piped session exits cleanly.
+
+use trout_features::incremental::{trace_events, ReplayEvent};
+use trout_slurmsim::Trace;
+use trout_std::json::Json;
+
+use crate::protocol::job_to_json;
+
+/// Flattens `trace` into a time-ordered submit/start/end ndjson script.
+///
+/// With `predict_every > 0`, every Nth submit is followed by a predict for
+/// that job at its submission instant — the shape the drift monitor joins
+/// against once the job's `start` arrives. Ends with a JSON `metrics`
+/// request and a `shutdown`.
+pub fn replay_script(trace: &Trace, predict_every: usize) -> String {
+    let mut out = String::new();
+    let mut submits = 0usize;
+    for (t, ev) in trace_events(trace) {
+        match ev {
+            ReplayEvent::Submit(i) => {
+                let r = &trace.records[i];
+                let line = Json::Obj(vec![
+                    ("event".into(), Json::Str("submit".into())),
+                    ("job".into(), job_to_json(r)),
+                ]);
+                out.push_str(&line.to_string());
+                out.push('\n');
+                submits += 1;
+                if predict_every > 0 && submits % predict_every == 0 {
+                    out.push_str(&format!(
+                        "{{\"event\":\"predict\",\"id\":{},\"time\":{}}}\n",
+                        r.id, r.submit_time
+                    ));
+                }
+            }
+            ReplayEvent::Start(i) => out.push_str(&format!(
+                "{{\"event\":\"start\",\"id\":{},\"time\":{t}}}\n",
+                trace.records[i].id
+            )),
+            ReplayEvent::End(i) => out.push_str(&format!(
+                "{{\"event\":\"end\",\"id\":{},\"time\":{t}}}\n",
+                trace.records[i].id
+            )),
+        }
+    }
+    out.push_str("{\"event\":\"metrics\"}\n{\"event\":\"shutdown\"}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::parse_event;
+    use trout_slurmsim::SimulationBuilder;
+
+    #[test]
+    fn every_script_line_parses_and_the_tail_is_metrics_then_shutdown() {
+        let trace = SimulationBuilder::anvil_like().jobs(30).seed(3).run();
+        let script = replay_script(&trace, 5);
+        let mut predicts = 0usize;
+        for line in script.lines() {
+            let ev = parse_event(line).unwrap_or_else(|e| panic!("{line}: {e}"));
+            if matches!(ev, crate::protocol::ClientEvent::Predict { .. }) {
+                predicts += 1;
+            }
+        }
+        assert_eq!(predicts, 30 / 5);
+        let lines: Vec<&str> = script.lines().collect();
+        assert_eq!(lines[lines.len() - 2], "{\"event\":\"metrics\"}");
+        assert_eq!(lines[lines.len() - 1], "{\"event\":\"shutdown\"}");
+    }
+
+    #[test]
+    fn predict_every_zero_emits_no_predicts() {
+        let trace = SimulationBuilder::anvil_like().jobs(10).seed(1).run();
+        let script = replay_script(&trace, 0);
+        assert!(!script.contains("\"predict\""));
+    }
+}

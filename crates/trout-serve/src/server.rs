@@ -14,7 +14,8 @@ use trout_core::TroutError;
 
 use crate::engine::{PredictQuery, ServeEngine};
 use crate::protocol::{
-    ack_response, error_response, metrics_response, parse_event, prediction_response, ClientEvent,
+    ack_response, error_response, metrics_prometheus_response, metrics_response, parse_event,
+    prediction_response, ClientEvent, MetricsFormat,
 };
 
 /// Hard ceiling on coalesced batch size when the caller passes 0.
@@ -34,7 +35,7 @@ fn flush_batch<W: Write>(
         match result {
             Ok(p) => writeln!(out, "{}", prediction_response(*id, p))?,
             Err(e) => {
-                guard.metrics.errors_total += 1;
+                guard.metrics.record_error(e);
                 writeln!(out, "{}", error_response(e))?;
             }
         }
@@ -77,7 +78,8 @@ pub fn run_session<R: Read, W: Write>(
             .lock()
             .expect("engine mutex poisoned")
             .metrics
-            .requests_total += 1;
+            .requests_total
+            .inc();
         match parse_event(trimmed) {
             Ok(ClientEvent::Predict { id, time }) => {
                 queue.push((id, time));
@@ -102,7 +104,12 @@ pub fn run_session<R: Read, W: Write>(
                     ClientEvent::End { id, time } => {
                         guard.apply_end(id, time).map(|()| ack_response("end", id))
                     }
-                    ClientEvent::Metrics => Ok(metrics_response(guard.metrics_json())),
+                    ClientEvent::Metrics(MetricsFormat::Json) => {
+                        Ok(metrics_response(guard.metrics_json()))
+                    }
+                    ClientEvent::Metrics(MetricsFormat::Prometheus) => {
+                        Ok(metrics_prometheus_response(guard.metrics_prometheus()))
+                    }
                     ClientEvent::Shutdown => {
                         writeln!(out, "{}", ack_response("shutdown", 0))?;
                         out.flush()?;
@@ -113,7 +120,7 @@ pub fn run_session<R: Read, W: Write>(
                 match response {
                     Ok(r) => writeln!(out, "{r}")?,
                     Err(e) => {
-                        guard.metrics.errors_total += 1;
+                        guard.metrics.record_error(&e);
                         writeln!(out, "{}", error_response(&e))?;
                     }
                 }
@@ -126,7 +133,7 @@ pub fn run_session<R: Read, W: Write>(
                     .lock()
                     .expect("engine mutex poisoned")
                     .metrics
-                    .errors_total += 1;
+                    .record_error(&e);
                 writeln!(out, "{}", error_response(&e))?;
                 out.flush()?;
             }
@@ -160,7 +167,7 @@ pub fn run_tcp(
         let stream = match stream {
             Ok(s) => s,
             Err(e) => {
-                eprintln!("serve: accept error (continuing): {e}");
+                trout_obs::log_warn!("serve", "accept error (continuing): {e}");
                 continue;
             }
         };
@@ -177,8 +184,8 @@ pub fn run_tcp(
     for h in handles {
         match h.join() {
             Ok(Ok(_)) => {}
-            Ok(Err(e)) => eprintln!("serve: connection ended with error: {e}"),
-            Err(_) => eprintln!("serve: connection thread panicked"),
+            Ok(Err(e)) => trout_obs::log_warn!("serve", "connection ended with error: {e}"),
+            Err(_) => trout_obs::log_error!("serve", "connection thread panicked"),
         }
     }
     Ok(())

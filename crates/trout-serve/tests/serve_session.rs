@@ -118,7 +118,110 @@ fn stdin_style_session_round_trips_a_replay_script() {
     // The whole script was buffered in one Cursor, so predicts coalesce
     // into true multi-row batches.
     let m = engine.lock().unwrap();
-    assert!(m.metrics.batch_size.count() < m.metrics.predicts_total);
+    assert!(m.metrics.batch_size.count() < m.metrics.predicts_total.get());
+}
+
+/// Replays a scripted trace and holds the drift monitor to the offline
+/// reference: the rolling MAE in the metrics dump must equal
+/// `trout_core::eval::rolling_mae` over the same prediction/outcome pairs
+/// **bit-for-bit** (the JSON f64 round trip is exact).
+#[test]
+fn drift_metrics_match_the_offline_evaluation_bit_for_bit() {
+    let live = SimulationBuilder::anvil_like().jobs(150).seed(21).run();
+    let script = trout_serve::replay_script(&live, 3);
+    // Ask for a Prometheus dump too, right before shutdown.
+    let script = script.replace(
+        "{\"event\":\"metrics\"}\n",
+        "{\"event\":\"metrics\"}\n{\"event\":\"metrics\",\"format\":\"prometheus\"}\n",
+    );
+    let engine = Mutex::new(engine());
+    let mut out: Vec<u8> = Vec::new();
+    run_session(&engine, Cursor::new(script.clone()), &mut out, 32).unwrap();
+    let responses = String::from_utf8(out).unwrap();
+    let resp: Vec<&str> = responses.lines().collect();
+    assert_eq!(resp.len(), script.lines().count());
+
+    // Reconstruct served predictions from the transcript: request line i got
+    // response line i, so pair predicts with their answers.
+    let mut served: std::collections::HashMap<u64, f32> = std::collections::HashMap::new();
+    for (req, rsp) in script.lines().zip(&resp) {
+        let req = Json::parse(req).unwrap();
+        if req.get("event") != Some(&Json::Str("predict".into())) {
+            continue;
+        }
+        let id = match req.get("id") {
+            Some(Json::Int(v)) => *v as u64,
+            other => panic!("bad predict id {other:?}"),
+        };
+        let j = Json::parse(rsp).unwrap();
+        assert_eq!(j.get("ok"), Some(&Json::Bool(true)), "{rsp}");
+        let cutoff = match j.get("cutoff_min") {
+            Some(Json::Num(c)) => *c,
+            other => panic!("cutoff_min missing: {other:?}"),
+        };
+        let pred_min = match (j.get("quick_start"), j.get("minutes")) {
+            (Some(Json::Bool(true)), _) => (cutoff / 2.0) as f32,
+            (_, Some(Json::Num(m))) => *m as f32,
+            other => panic!("unreadable prediction {other:?}"),
+        };
+        served.insert(id, pred_min);
+    }
+    assert!(served.len() >= 10, "only {} predictions", served.len());
+
+    // Joins happen in start-event order; replay the trace the same way.
+    let mut preds = Vec::new();
+    let mut actuals = Vec::new();
+    for (_, ev) in trace_events(&live) {
+        if let ReplayEvent::Start(i) = ev {
+            let r = &live.records[i];
+            if let Some(&p) = served.get(&r.id) {
+                preds.push(p);
+                actuals.push(r.queue_time_min() as f32);
+            }
+        }
+    }
+
+    // The JSON metrics dump is third-from-last (then prometheus, shutdown).
+    let metrics = Json::parse(resp[resp.len() - 3]).unwrap();
+    let drift = metrics
+        .get("metrics")
+        .and_then(|m| m.get("drift"))
+        .expect("drift section");
+    assert_eq!(drift.get("joined"), Some(&Json::Int(preds.len() as i128)));
+    assert_eq!(
+        drift.get("mae_min"),
+        Some(&Json::Num(trout_core::eval::rolling_mae(&preds, &actuals))),
+        "rolling MAE must match the offline reference bit-for-bit"
+    );
+    assert_eq!(
+        drift.get("within_2x"),
+        Some(&Json::Num(trout_core::eval::within_2x_fraction(
+            &preds, &actuals
+        )))
+    );
+    let confusion_sum: i128 = ["quick_quick", "quick_long", "long_quick", "long_long"]
+        .iter()
+        .map(|c| match drift.get("confusion").and_then(|m| m.get(c)) {
+            Some(Json::Int(v)) => *v,
+            other => panic!("confusion cell {c} missing: {other:?}"),
+        })
+        .sum();
+    assert_eq!(confusion_sum, preds.len() as i128);
+    assert!(metrics
+        .get("metrics")
+        .and_then(|m| m.get("spans"))
+        .is_some());
+
+    // The Prometheus dump is second-from-last and carries the same state.
+    let prom = Json::parse(resp[resp.len() - 2]).unwrap();
+    assert_eq!(prom.get("format"), Some(&Json::Str("prometheus".into())));
+    let body = match prom.get("body") {
+        Some(Json::Str(b)) => b.clone(),
+        other => panic!("prometheus body missing: {other:?}"),
+    };
+    assert!(body.contains(&format!("trout_serve_drift_joined_total {}", preds.len())));
+    assert!(body.contains("trout_serve_drift_mae_min "));
+    assert!(body.contains("trout_serve_predicts_total "));
 }
 
 #[test]

@@ -12,6 +12,11 @@
 //! * [`features`] — the Table-II feature pipeline.
 //! * [`ml`] — neural networks, tree ensembles, kNN, SMOTE, CV and metrics.
 //! * [`core`] — the hierarchical TROUT model itself.
+//! * [`obs`] — workspace-wide telemetry: the metric registry, `span!`
+//!   scoped timers, and the `TROUT_LOG`-filtered structured event log.
+//!   (It lives beside `trout-std` rather than inside it — the registry
+//!   serializes through `trout_std::json`, so a `trout-std` re-export
+//!   would be a dependency cycle.)
 //!
 //! ## Quickstart
 //!
@@ -43,6 +48,7 @@ pub use trout_features as features;
 pub use trout_itree as itree;
 pub use trout_linalg as linalg;
 pub use trout_ml as ml;
+pub use trout_obs as obs;
 pub use trout_slurmsim as slurmsim;
 pub use trout_workload as workload;
 
