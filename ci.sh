@@ -41,8 +41,53 @@ grep '"format":"prometheus"' "$serve_tmp/responses.ndjson" \
     | grep -q 'trout_serve_predicts_total'
 rm -rf "$serve_tmp"
 
+# Crash-recovery smoke: serve a replay script with a write-ahead state dir,
+# SIGKILL the daemon halfway through, restart with --recover, feed the rest,
+# and require the combined responses to be byte-identical to an uninterrupted
+# run (metrics dumps compared on their deterministic drift section only —
+# latency histograms legitimately differ across runs).
+rec_tmp=$(mktemp -d)
+./target/release/trout simulate --jobs 80 --seed 11 --out "$rec_tmp/trace.csv"
+./target/release/trout events --trace "$rec_tmp/trace.csv" --predict-every 4 \
+    --out "$rec_tmp/events.ndjson"
+total=$(wc -l < "$rec_tmp/events.ndjson")
+half=$((total / 2))
+./target/release/trout serve --bootstrap 300 --seed 7 --stdin \
+    < "$rec_tmp/events.ndjson" > "$rec_tmp/ref.ndjson"
+mkfifo "$rec_tmp/pipe"
+./target/release/trout serve --bootstrap 300 --seed 7 --stdin \
+    --state-dir "$rec_tmp/state" \
+    < "$rec_tmp/pipe" > "$rec_tmp/part1.ndjson" &
+serve_pid=$!
+exec 9> "$rec_tmp/pipe"
+head -n "$half" "$rec_tmp/events.ndjson" >&9
+for _ in $(seq 1 100); do
+    test "$(wc -l < "$rec_tmp/part1.ndjson")" -eq "$half" && break
+    sleep 0.1
+done
+test "$(wc -l < "$rec_tmp/part1.ndjson")" -eq "$half"
+kill -9 "$serve_pid"
+exec 9>&-
+wait "$serve_pid" || true
+test -s "$rec_tmp/state/journal.ndjson"
+tail -n +"$((half + 1))" "$rec_tmp/events.ndjson" \
+    | ./target/release/trout serve --bootstrap 300 --seed 7 --stdin \
+        --state-dir "$rec_tmp/state" --recover > "$rec_tmp/part2.ndjson"
+cat "$rec_tmp/part1.ndjson" "$rec_tmp/part2.ndjson" > "$rec_tmp/combined.ndjson"
+test "$(wc -l < "$rec_tmp/combined.ndjson")" -eq "$total"
+grep -v '"event":"metrics"' "$rec_tmp/ref.ndjson" > "$rec_tmp/ref.events"
+grep -v '"event":"metrics"' "$rec_tmp/combined.ndjson" > "$rec_tmp/got.events"
+cmp "$rec_tmp/ref.events" "$rec_tmp/got.events"
+dr_ref=$(grep -o '"drift":{"joined":[^}]*"confusion":{[^}]*}}' "$rec_tmp/ref.ndjson" | head -1)
+dr_got=$(grep -o '"drift":{"joined":[^}]*"confusion":{[^}]*}}' "$rec_tmp/combined.ndjson" | head -1)
+test -n "$dr_ref" && test "$dr_ref" = "$dr_got"
+rm -rf "$rec_tmp"
+
 # One-iteration pass over the serve bench (no calibration, no report).
 TROUT_BENCH_SMOKE=1 cargo bench --offline -p trout-bench --bench serve_bench
+
+# And the crash-recovery bench (journal appends, snapshot writes, replay).
+TROUT_BENCH_SMOKE=1 cargo bench --offline -p trout-bench --bench recover_bench
 
 # Same for the training-throughput and matmul benches guarding the
 # workspace hot path.

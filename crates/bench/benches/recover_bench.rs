@@ -1,0 +1,14 @@
+//! Bench harness: crash-safe serving.
+//!
+//! Times the write-ahead journal's per-append cost (with and without the
+//! durable-before-ack fsync), snapshot writes, and full recovery — both
+//! journal-only and snapshot + tail replay — into `BENCH_recover.json`.
+//!
+//! Bodies live in `trout_bench::recover_bench` so the `bench_smoke` test
+//! can run them for one iteration under `cargo test`.
+
+use trout_bench::recover_bench::bench_recover;
+use trout_std::{criterion_group, criterion_main};
+
+criterion_group!(benches, bench_recover);
+criterion_main!(benches);

@@ -18,6 +18,7 @@ pub mod context;
 pub mod experiments;
 pub mod microbench;
 pub mod obs_bench;
+pub mod recover_bench;
 pub mod serve_bench;
 pub mod train_bench;
 

@@ -1,0 +1,167 @@
+//! Crash-recovery benchmark: what durability costs while serving, and how
+//! fast a crashed daemon comes back.
+//!
+//! Three questions, one report (`BENCH_recover.json`):
+//!
+//! 1. **Journal overhead** — criterion-timed single appends with and
+//!    without an fsync per record (the `--fsync-every 1` durable-before-ack
+//!    policy vs. relying on the OS page cache).
+//! 2. **Recovery latency** — one-shot wall-clock measurements of
+//!    journal-only recovery (full replay) vs. snapshot + tail replay over
+//!    the same served history, with replayed-event counts and events/sec.
+//! 3. **Snapshot cost** — criterion-timed `write_snapshot` on the loaded
+//!    engine, plus the snapshot's on-disk size.
+
+use std::path::PathBuf;
+use std::sync::Mutex;
+use std::time::Instant;
+
+use trout_serve::{run_session, Journal, ServeConfig, ServeEngine, SNAPSHOT_FILE};
+use trout_slurmsim::SimulationBuilder;
+use trout_std::bench::{write_report, Criterion};
+use trout_std::json::Json;
+
+fn bench_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join("trout_recover_bench")
+        .join(format!("{name}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("bench state dir");
+    dir
+}
+
+fn fresh_engine(cfg: &ServeConfig, boot_jobs: usize) -> ServeEngine {
+    ServeEngine::bootstrap(boot_jobs, cfg)
+}
+
+/// Serves `script` on a fresh engine journaling into `dir`, then drops the
+/// engine with no clean shutdown — the crashed run every recovery below
+/// resumes from.
+fn crashed_run(cfg: &ServeConfig, boot_jobs: usize, dir: &PathBuf, every: u64, script: &str) {
+    let mut e = fresh_engine(cfg, boot_jobs);
+    // fsync once at snapshot/sync points only: the setup phase measures
+    // nothing, so skip the per-append fsync tax (appends are timed
+    // separately below, with and without it).
+    e.online_config_mut().journal_fsync_every = 0;
+    e.open_state_dir(dir, every, false).expect("arm state dir");
+    let m = Mutex::new(e);
+    let mut sink = Vec::new();
+    run_session(&m, script.as_bytes(), &mut sink, 64).expect("bench session");
+}
+
+/// One-shot recovery measurement: bootstrap + recover, reported separately
+/// (bootstrap cost is identical either way; replay is what recovery adds).
+fn timed_recovery(
+    cfg: &ServeConfig,
+    boot_jobs: usize,
+    dir: &PathBuf,
+    every: u64,
+) -> (ServeEngine, Json) {
+    let t0 = Instant::now();
+    let mut e = fresh_engine(cfg, boot_jobs);
+    let bootstrap_s = t0.elapsed().as_secs_f64();
+    let t1 = Instant::now();
+    let report = e.open_state_dir(dir, every, true).expect("recover");
+    let replay_s = t1.elapsed().as_secs_f64();
+    let j = Json::Obj(vec![
+        ("snapshot_loaded".into(), Json::Bool(report.snapshot_loaded)),
+        (
+            "journal_lines".into(),
+            Json::Int(report.journal_lines as i128),
+        ),
+        ("replayed".into(), Json::Int(report.replayed as i128)),
+        ("bootstrap_s".into(), Json::Num(bootstrap_s)),
+        ("replay_s".into(), Json::Num(replay_s)),
+        (
+            "replayed_per_sec".into(),
+            Json::Num(report.replayed as f64 / replay_s.max(1e-9)),
+        ),
+    ]);
+    (e, j)
+}
+
+/// Benchmarks the durability path end to end; writes `BENCH_recover.json`
+/// unless smoking.
+pub fn bench_recover(c: &mut Criterion) {
+    let smoke = std::env::var("TROUT_BENCH_SMOKE").is_ok_and(|v| v == "1");
+    let (boot_jobs, live_jobs, snapshot_every) = if smoke {
+        (300, 100, 64)
+    } else {
+        (2_000, 1_500, 512)
+    };
+    let cfg = ServeConfig {
+        refit_every: 1_024,
+        seed: 7,
+        ..Default::default()
+    };
+    let live = SimulationBuilder::anvil_like()
+        .jobs(live_jobs)
+        .seed(cfg.seed ^ 0x5eed)
+        .run();
+    let mut script = trout_serve::replay_script(&live, 4);
+    // Crash before the clean tail: drop the trailing metrics+shutdown.
+    script.truncate(
+        script
+            .lines()
+            .take(script.lines().count() - 2)
+            .map(|l| l.len() + 1)
+            .sum(),
+    );
+
+    let dir_snap = bench_dir("snap");
+    let dir_journal = bench_dir("journal");
+    crashed_run(&cfg, boot_jobs, &dir_snap, snapshot_every, &script);
+    crashed_run(&cfg, boot_jobs, &dir_journal, 0, &script);
+
+    let (_e1, journal_only) = timed_recovery(&cfg, boot_jobs, &dir_journal, 0);
+    let (mut engine, snapshot_tail) = timed_recovery(&cfg, boot_jobs, &dir_snap, snapshot_every);
+    let snapshot_bytes = std::fs::metadata(dir_snap.join(SNAPSHOT_FILE))
+        .map(|m| m.len())
+        .unwrap_or(0);
+    eprintln!(
+        "bench recover: journal-only {journal_only}, snapshot+tail {snapshot_tail}, \
+         snapshot {snapshot_bytes} bytes"
+    );
+
+    // Criterion section: per-append journal cost (with and without the
+    // durable-before-ack fsync) and the snapshot write on the live engine.
+    let line = "{\"event\":\"predict\",\"id\":123456,\"time\":987654}";
+    let mut group = c.benchmark_group("recover");
+    group.sample_size(if smoke { 1 } else { 20 });
+    let append_path = bench_dir("append");
+    let mut j0 = Journal::open(&append_path.join("nofsync.ndjson"), 0).unwrap();
+    group.bench_function("journal_append", |b| b.iter(|| j0.append(line).unwrap()));
+    let mut j1 = Journal::open(&append_path.join("fsync1.ndjson"), 1).unwrap();
+    group.bench_function("journal_append_fsync", |b| {
+        b.iter(|| j1.append(line).unwrap())
+    });
+    group.bench_function("snapshot_write", |b| {
+        b.iter(|| engine.write_snapshot().unwrap())
+    });
+    group.finish();
+
+    if !smoke {
+        let report = Json::Obj(vec![
+            ("group".into(), Json::Str("recover".into())),
+            (
+                "served".into(),
+                Json::Obj(vec![
+                    ("live_jobs".into(), Json::Int(live_jobs as i128)),
+                    (
+                        "script_lines".into(),
+                        Json::Int(script.lines().count() as i128),
+                    ),
+                    ("snapshot_every".into(), Json::Int(snapshot_every as i128)),
+                    ("snapshot_bytes".into(), Json::Int(snapshot_bytes as i128)),
+                ]),
+            ),
+            ("journal_only".into(), journal_only),
+            ("snapshot_tail".into(), snapshot_tail),
+        ]);
+        write_report("recover", &report);
+    }
+
+    for d in [dir_snap, dir_journal, append_path] {
+        let _ = std::fs::remove_dir_all(d);
+    }
+}

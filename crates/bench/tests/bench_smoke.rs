@@ -1,7 +1,7 @@
 //! Smoke test: every microbenchmark body runs for exactly one iteration
 //! under `cargo test`, so bench code cannot rot between full bench runs.
 
-use trout_bench::{microbench, obs_bench, serve_bench, train_bench};
+use trout_bench::{microbench, obs_bench, recover_bench, serve_bench, train_bench};
 use trout_std::bench::Criterion;
 
 #[test]
@@ -43,6 +43,14 @@ fn train_benches_run_in_smoke_mode() {
 fn obs_benches_run_in_smoke_mode() {
     let mut c = Criterion::smoke();
     obs_bench::bench_obs(&mut c);
+}
+
+#[test]
+fn recover_bench_runs_in_smoke_mode() {
+    // Same env-switch convention as the serve bench below.
+    std::env::set_var("TROUT_BENCH_SMOKE", "1");
+    let mut c = Criterion::smoke();
+    recover_bench::bench_recover(&mut c);
 }
 
 #[test]

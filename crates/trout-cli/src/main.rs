@@ -89,6 +89,8 @@ SUBCOMMANDS:
   serve       online prediction daemon (ndjson over stdin/stdout or TCP)
               (--model MODEL.json --trace FILE | --bootstrap JOBS)
               [--stdin | --listen ADDR] [--batch N] [--refit-every N]
+              [--state-dir DIR [--recover] [--snapshot-every N]
+               [--fsync-every N]]   crash-safe journaling + recovery
   events      flatten a trace into a submit/start/end ndjson replay script
               --trace FILE [--out FILE] [--predict-every N]
   metrics     dump a running daemon's metrics registry

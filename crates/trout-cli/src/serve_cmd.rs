@@ -16,11 +16,20 @@ use crate::args::Options;
 use crate::commands::{load_model, load_trace};
 
 /// `trout serve (--model MODEL.json --trace FILE | --bootstrap JOBS)
-///              [--stdin | --listen ADDR] [--batch N] [--refit-every N]`
+///              [--stdin | --listen ADDR] [--batch N] [--refit-every N]
+///              [--state-dir DIR [--recover] [--snapshot-every N]
+///               [--fsync-every N]]`
 ///
 /// Builds the engine (either from a trained model plus its training trace,
 /// or self-bootstrapped from a fresh simulation), then serves the ndjson
 /// protocol over stdin/stdout (the default) or a TCP listener.
+///
+/// With `--state-dir`, every accepted event is appended to a write-ahead
+/// journal (fsynced per `--fsync-every`, default 1 = durable before each
+/// acknowledgment) and a snapshot is written every `--snapshot-every`
+/// events (default 1024; 0 = journal only). After a crash, restarting with
+/// the **same engine arguments** plus `--recover` restores the exact state
+/// the crashed daemon had acknowledged.
 pub fn serve(opts: &Options) -> Result<()> {
     let batch: usize = opts.get_or("batch", 32)?;
     let cfg = ServeConfig {
@@ -29,7 +38,7 @@ pub fn serve(opts: &Options) -> Result<()> {
         ..Default::default()
     };
 
-    let engine = if opts.has("bootstrap") {
+    let mut engine = if opts.has("bootstrap") {
         let jobs: usize = opts.require_parsed("bootstrap")?;
         log_info!(
             "serve",
@@ -53,6 +62,41 @@ pub fn serve(opts: &Options) -> Result<()> {
             &cfg,
         )
     };
+
+    let recover = opts.has("recover");
+    match opts.get("state-dir") {
+        Some(dir) => {
+            let snapshot_every: u64 = opts.get_or("snapshot-every", 1024)?;
+            engine.online_config_mut().journal_fsync_every = opts.get_or("fsync-every", 1)?;
+            let report = engine
+                .open_state_dir(std::path::Path::new(dir), snapshot_every, recover)
+                .map_err(|e| TroutError::Config(format!("state dir {dir}: {e}")))?;
+            if recover {
+                log_info!(
+                    "serve",
+                    "recovered from {dir}: snapshot {}, {} of {} journal events replayed",
+                    if report.snapshot_loaded {
+                        "loaded"
+                    } else {
+                        "absent"
+                    },
+                    report.replayed,
+                    report.journal_lines
+                );
+            } else {
+                log_info!(
+                    "serve",
+                    "journaling to {dir} (snapshot every {snapshot_every})"
+                );
+            }
+        }
+        None if recover => {
+            return Err(TroutError::Config(
+                "--recover requires --state-dir DIR".into(),
+            ))
+        }
+        None => {}
+    }
 
     match opts.get("listen") {
         Some(addr) => {

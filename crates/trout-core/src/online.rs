@@ -45,6 +45,13 @@ pub struct OnlineConfig {
     pub lr_scale: f32,
     /// Sliding window: at most this many most-recent rows per update.
     pub window: usize,
+    /// Serve-daemon journal fsync policy: `sync_data` the write-ahead event
+    /// journal every N appends (1 = every accepted event is durable before
+    /// it is acknowledged; 0 = never fsync, leave durability to the OS page
+    /// cache). Lives here because it is part of the same online-operation
+    /// policy surface the daemon is configured with; the journal itself is
+    /// in `trout-serve`.
+    pub journal_fsync_every: u64,
 }
 
 impl Default for OnlineConfig {
@@ -53,6 +60,7 @@ impl Default for OnlineConfig {
             epochs: 4,
             lr_scale: 0.3,
             window: 8_000,
+            journal_fsync_every: 1,
         }
     }
 }
@@ -183,6 +191,7 @@ mod tests {
             epochs: 3,
             lr_scale: 0.3,
             window: 4_000,
+            ..Default::default()
         };
 
         let (mut frozen_acc, mut online_acc, mut chunks) = (0.0, 0.0, 0);

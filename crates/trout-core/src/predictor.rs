@@ -16,6 +16,7 @@
 //! relies on, and one the trainer's tests pin down.
 
 use trout_linalg::Matrix;
+use trout_std::json::{FromJson, Json, JsonError, ToJson};
 
 /// Algorithm 1's decision: either "less than the cutoff" or a concrete
 /// number of minutes from the regressor.
@@ -44,6 +45,35 @@ impl QueueEstimate {
         match self {
             QueueEstimate::QuickStart => cutoff_min / 2.0,
             QueueEstimate::Minutes(m) => *m,
+        }
+    }
+}
+
+// Serde's externally-tagged layout by hand (the macro only covers unit
+// variants): `"QuickStart"` or `{"Minutes":12.5}`. Needed so the serve
+// daemon can persist drift-monitor pending joins across a crash.
+impl ToJson for QueueEstimate {
+    fn to_json(&self) -> Json {
+        match self {
+            QueueEstimate::QuickStart => Json::Str("QuickStart".to_string()),
+            QueueEstimate::Minutes(m) => Json::Obj(vec![("Minutes".to_string(), m.to_json())]),
+        }
+    }
+}
+
+impl FromJson for QueueEstimate {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        match j {
+            Json::Str(s) if s == "QuickStart" => Ok(QueueEstimate::QuickStart),
+            Json::Obj(_) => {
+                let m = j
+                    .get("Minutes")
+                    .ok_or_else(|| JsonError::new("QueueEstimate: missing Minutes"))?;
+                Ok(QueueEstimate::Minutes(f32::from_json(m)?))
+            }
+            other => Err(JsonError::new(format!(
+                "invalid QueueEstimate variant: {other}"
+            ))),
         }
     }
 }
@@ -124,6 +154,14 @@ pub struct QueuePrediction {
     pub cutoff_min: f32,
 }
 
+trout_std::impl_json_struct!(QueuePrediction {
+    estimate,
+    quick_proba,
+    calibrated_proba,
+    minutes,
+    cutoff_min,
+});
+
 impl QueuePrediction {
     /// The user-facing message of Algorithm 1.
     pub fn message(&self) -> String {
@@ -190,5 +228,29 @@ mod tests {
         };
         assert_eq!(p.as_minutes(), 5.0);
         assert_eq!(p.message(), "Predicted to take less than 10 minutes");
+    }
+
+    #[test]
+    fn predictions_round_trip_through_json() {
+        for p in [
+            QueuePrediction {
+                estimate: QueueEstimate::QuickStart,
+                quick_proba: 0.9,
+                calibrated_proba: 0.8,
+                minutes: None,
+                cutoff_min: 10.0,
+            },
+            QueuePrediction {
+                estimate: QueueEstimate::Minutes(123.456),
+                quick_proba: 0.1,
+                calibrated_proba: 0.2,
+                minutes: Some(123.456),
+                cutoff_min: 10.0,
+            },
+        ] {
+            let back = QueuePrediction::from_json_str(&p.to_json_string()).unwrap();
+            assert_eq!(back, p);
+        }
+        assert!(QueueEstimate::from_json_str("\"Slow\"").is_err());
     }
 }

@@ -16,6 +16,7 @@
 //! operator-facing signal for when warm-start refits stop keeping up.
 
 use std::collections::HashMap;
+use std::path::Path;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -32,9 +33,13 @@ use trout_linalg::Matrix;
 use trout_slurmsim::{JobRecord, SimulationBuilder, Trace};
 use trout_workload::ClusterSpec;
 
-use trout_std::json::Json;
+use trout_std::fsio::atomic_write;
+use trout_std::json::{FromJson, Json, JsonError, ToJson};
 
+use crate::journal::{Durability, Journal, JOURNAL_FILE, SNAPSHOT_FILE};
 use crate::metrics::{ServeMetrics, CONFUSION_CELLS};
+use crate::protocol::{lifecycle_line, submit_line};
+use crate::recover::{replay_journal, RecoveryReport};
 
 /// State events between eviction sweeps of the incremental index.
 const EVICT_EVERY: u64 = 4_096;
@@ -196,6 +201,12 @@ pub struct ServeEngine {
     pub metrics: ServeMetrics,
     /// Served-prediction vs realized-outcome accounting.
     drift: DriftMonitor,
+    /// Write-ahead journal + snapshot policy; `None` without a state dir.
+    durability: Option<Durability>,
+    /// True while recovery replays the journal tail: suppresses journaling
+    /// (the events are already in the journal) and snapshotting (state is
+    /// mid-reconstruction).
+    replaying: bool,
 }
 
 impl ServeEngine {
@@ -232,6 +243,8 @@ impl ServeEngine {
             refit_scratch,
             metrics: ServeMetrics::default(),
             drift: DriftMonitor::default(),
+            durability: None,
+            replaying: false,
         }
     }
 
@@ -258,19 +271,24 @@ impl ServeEngine {
     }
 
     /// Applies a `submit`: predict the job's runtime with the forest, then
-    /// register it with the incremental index.
+    /// register it with the incremental index. With a state dir attached the
+    /// event is journaled (and made durable per the fsync policy) *first* —
+    /// if the append fails the event is rejected un-applied.
     pub fn apply_submit(&mut self, rec: JobRecord) -> Result<u64, TroutError> {
+        self.journal_event(|| submit_line(&rec))?;
         let id = rec.id;
         let time = rec.submit_time;
         let pred_runtime = self.runtime_model.predict(&rec);
         self.index.submit(rec, pred_runtime)?;
         self.note_event(time);
+        self.maybe_snapshot();
         Ok(id)
     }
 
     /// Applies a `start`. If the job was predicted on, the realized queue
     /// time closes the drift-monitor pair.
     pub fn apply_start(&mut self, id: u64, time: i64) -> Result<(), TroutError> {
+        self.journal_event(|| lifecycle_line("start", id, time))?;
         self.index.start(id, time)?;
         if let Some(p) = self.drift.served.remove(&id) {
             if let Some(realized) = self.index.job(id).map(|j| j.rec.queue_time_min() as f32) {
@@ -278,6 +296,7 @@ impl ServeEngine {
             }
         }
         self.note_event(time);
+        self.maybe_snapshot();
         Ok(())
     }
 
@@ -285,6 +304,7 @@ impl ServeEngine {
     /// once becomes a refit training example (cancelled-pending jobs have no
     /// queue-time label, so their cached row is just dropped).
     pub fn apply_end(&mut self, id: u64, time: i64) -> Result<(), TroutError> {
+        self.journal_event(|| lifecycle_line("end", id, time))?;
         let was_running = self
             .index
             .job(id)
@@ -304,6 +324,7 @@ impl ServeEngine {
             self.completed_since_refit += 1;
             self.maybe_refit();
         }
+        self.maybe_snapshot();
         Ok(())
     }
 
@@ -319,6 +340,13 @@ impl ServeEngine {
         let mut slots: Vec<Result<usize, TroutError>> = Vec::with_capacity(queries.len());
         let mut n_ok = 0usize;
         for &(id, time) in queries {
+            // Predicts are journaled too: they cache feature rows and feed
+            // the drift monitor, so replay must reproduce them. A failed
+            // append rejects just this query; the batch goes on.
+            if let Err(e) = self.journal_event(|| lifecycle_line("predict", id, time)) {
+                slots.push(Err(e));
+                continue;
+            }
             let t_feat = Instant::now();
             match self.featurize_pending(id, time) {
                 Ok(row) => {
@@ -357,7 +385,7 @@ impl ServeEngine {
         for _ in queries {
             self.metrics.predict_us.record(elapsed);
         }
-        slots
+        let results: Vec<Result<QueuePrediction, TroutError>> = slots
             .into_iter()
             .zip(queries)
             .map(|(s, &(id, _))| {
@@ -374,7 +402,9 @@ impl ServeEngine {
                     p
                 })
             })
-            .collect()
+            .collect();
+        self.maybe_snapshot();
+        results
     }
 
     /// Convenience wrapper for a batch of one.
@@ -407,6 +437,326 @@ impl ServeEngine {
         let mut text = self.metrics.to_prometheus();
         text.push_str(&trout_obs::global().to_prometheus());
         text
+    }
+
+    /// Arms durability against `dir`: every subsequent accepted event is
+    /// journaled before it is applied, and a snapshot is written every
+    /// `snapshot_every` journal appends (0 = journal only, full replay on
+    /// recovery). The fsync policy comes from
+    /// [`OnlineConfig::journal_fsync_every`].
+    ///
+    /// When `dir` already holds serve state, `recover` must be `true`: the
+    /// snapshot (if any) is restored and the journal tail beyond its
+    /// watermark is replayed, leaving this engine bit-identical to the one
+    /// that crashed. Without `recover`, pre-existing state is refused rather
+    /// than silently appended to — mixing two runs' histories in one
+    /// journal would corrupt both.
+    pub fn open_state_dir(
+        &mut self,
+        dir: &Path,
+        snapshot_every: u64,
+        recover: bool,
+    ) -> Result<RecoveryReport, TroutError> {
+        std::fs::create_dir_all(dir)?;
+        let journal_path = dir.join(JOURNAL_FILE);
+        let has_state = journal_path.exists() || dir.join(SNAPSHOT_FILE).exists();
+        if has_state && !recover {
+            return Err(TroutError::Config(format!(
+                "state dir {} already holds serve state; pass --recover to resume from it \
+                 (or point --state-dir at an empty directory)",
+                dir.display()
+            )));
+        }
+        let report = if recover && has_state {
+            replay_journal(self, dir)?
+        } else {
+            RecoveryReport::default()
+        };
+        let journal = Journal::open(&journal_path, self.online_cfg.journal_fsync_every)?;
+        // Resume the snapshot cadence where the loaded snapshot left off.
+        let since_snapshot = journal
+            .appends()
+            .saturating_sub(report.snapshot_journal_pos);
+        self.durability = Some(Durability {
+            journal,
+            dir: dir.to_path_buf(),
+            snapshot_every,
+            since_snapshot,
+        });
+        Ok(report)
+    }
+
+    /// Whether a state dir is attached (journaling is live).
+    pub fn is_durable(&self) -> bool {
+        self.durability.is_some()
+    }
+
+    /// Mutable access to the online policy (the CLI sets the journal fsync
+    /// knob here before arming durability; refit policy changes are legal
+    /// any time between refits).
+    pub fn online_config_mut(&mut self) -> &mut OnlineConfig {
+        &mut self.online_cfg
+    }
+
+    /// Forces any buffered journal appends to disk (clean-shutdown path for
+    /// relaxed fsync policies). No-op without a state dir.
+    pub fn sync_journal(&mut self) -> Result<(), TroutError> {
+        if let Some(d) = self.durability.as_mut() {
+            d.journal.sync()?;
+        }
+        Ok(())
+    }
+
+    /// Appends one event line to the journal (policy-fsynced) before the
+    /// caller applies it. No-op without a state dir or during replay; the
+    /// closure keeps serialization off the no-journal fast path.
+    fn journal_event(&mut self, line: impl FnOnce() -> String) -> Result<(), TroutError> {
+        if self.replaying {
+            return Ok(());
+        }
+        let Some(d) = self.durability.as_mut() else {
+            return Ok(());
+        };
+        d.journal.append(&line()).map_err(|e| {
+            TroutError::Io(std::io::Error::new(
+                e.kind(),
+                format!("journal append: {e}"),
+            ))
+        })?;
+        d.since_snapshot += 1;
+        self.metrics.journal_appends_total.inc();
+        Ok(())
+    }
+
+    /// Writes a snapshot if one is due. Only ever called from the end of an
+    /// event/batch application, so the serialized state is consistent and
+    /// every journaled event up to the watermark is fully applied. A failed
+    /// write is logged, not fatal — the journal remains authoritative.
+    fn maybe_snapshot(&mut self) {
+        let due = match &self.durability {
+            Some(d) => {
+                !self.replaying && d.snapshot_every > 0 && d.since_snapshot >= d.snapshot_every
+            }
+            None => false,
+        };
+        if !due {
+            return;
+        }
+        if let Err(e) = self.write_snapshot() {
+            trout_obs::log_warn!(
+                "serve",
+                "snapshot write failed (journal still authoritative): {e}"
+            );
+        }
+    }
+
+    /// Serializes the engine state and atomically replaces the snapshot
+    /// file, fsyncing the journal first so the recorded watermark never
+    /// points past the durable journal prefix.
+    pub fn write_snapshot(&mut self) -> Result<(), TroutError> {
+        if self.durability.is_none() {
+            return Err(TroutError::Config(
+                "write_snapshot: no state dir attached".into(),
+            ));
+        }
+        let t = Instant::now();
+        let state = self.state_to_json();
+        let d = self.durability.as_mut().expect("checked above");
+        d.journal.sync()?;
+        let snap = Json::Obj(vec![
+            ("journal_pos".to_string(), d.journal.appends().to_json()),
+            ("state".to_string(), state),
+        ]);
+        atomic_write(&d.dir.join(SNAPSHOT_FILE), snap.to_string().as_bytes())?;
+        d.since_snapshot = 0;
+        self.metrics
+            .snapshot_write_us
+            .record(t.elapsed().as_micros() as u64);
+        self.metrics.snapshots_total.inc();
+        Ok(())
+    }
+
+    /// Suppresses journaling and snapshotting while recovery replays the
+    /// journal tail (the events being applied are already in the journal).
+    pub(crate) fn begin_replay(&mut self) {
+        self.replaying = true;
+    }
+
+    pub(crate) fn end_replay(&mut self) {
+        self.replaying = false;
+    }
+
+    /// The engine's complete deterministic state as one JSON value — the
+    /// snapshot payload, and the object the recovery bit-identity tests
+    /// compare byte for byte. Covers everything events mutate: the scaler,
+    /// the runtime forest, the (possibly refitted) model weights, the
+    /// incremental index, cached feature rows, the refit history window, the
+    /// drift monitor (pending joins included), and the semantic counters
+    /// (`state_events` drives the eviction cadence, so it *is* state).
+    /// Observational metrics — latencies, batch sizes, request/error
+    /// counts — depend on timing and batching and are deliberately absent.
+    /// All maps serialize in sorted key order: identical states produce
+    /// identical bytes.
+    pub fn state_to_json(&self) -> Json {
+        let mut rows: Vec<(u64, &Vec<f32>)> =
+            self.cached_rows.iter().map(|(k, v)| (*k, v)).collect();
+        rows.sort_by_key(|(id, _)| *id);
+        let mut served: Vec<(u64, &QueuePrediction)> =
+            self.drift.served.iter().map(|(k, v)| (*k, v)).collect();
+        served.sort_by_key(|(id, _)| *id);
+        Json::Obj(vec![
+            ("version".to_string(), 1u64.to_json()),
+            ("scaler".to_string(), ToJson::to_json(&self.scaler)),
+            (
+                "runtime_model".to_string(),
+                ToJson::to_json(&self.runtime_model),
+            ),
+            ("model".to_string(), ToJson::to_json(self.model.as_ref())),
+            ("index".to_string(), self.index.state_to_json()),
+            (
+                "cached_rows".to_string(),
+                Json::Arr(
+                    rows.iter()
+                        .map(|(id, row)| Json::Arr(vec![id.to_json(), row.to_json()]))
+                        .collect(),
+                ),
+            ),
+            ("history_raw".to_string(), self.history_raw.to_json()),
+            ("history_y".to_string(), self.history_y.to_json()),
+            ("history_ids".to_string(), self.history_ids.to_json()),
+            (
+                "completed_since_refit".to_string(),
+                (self.completed_since_refit as u64).to_json(),
+            ),
+            ("latest_time".to_string(), self.latest_time.to_json()),
+            (
+                "drift".to_string(),
+                Json::Obj(vec![
+                    (
+                        "served".to_string(),
+                        Json::Arr(
+                            served
+                                .iter()
+                                .map(|(id, p)| Json::Arr(vec![id.to_json(), (*p).to_json()]))
+                                .collect(),
+                        ),
+                    ),
+                    ("joined".to_string(), self.drift.joined.to_json()),
+                    ("abs_err_sum".to_string(), self.drift.abs_err_sum.to_json()),
+                    ("within".to_string(), self.drift.within.to_json()),
+                    (
+                        "confusion".to_string(),
+                        self.drift.confusion.to_vec().to_json(),
+                    ),
+                ]),
+            ),
+            (
+                "counters".to_string(),
+                Json::Obj(vec![
+                    (
+                        "predicts".to_string(),
+                        self.metrics.predicts_total.get().to_json(),
+                    ),
+                    (
+                        "state_events".to_string(),
+                        self.metrics.state_events_total.get().to_json(),
+                    ),
+                    (
+                        "refits".to_string(),
+                        self.metrics.refits_total.get().to_json(),
+                    ),
+                ]),
+            ),
+        ])
+    }
+
+    /// Restores the state [`state_to_json`](Self::state_to_json) captured
+    /// onto this (freshly constructed) engine. Inference and refit
+    /// workspaces are rebuilt from the restored model; semantic counters
+    /// are advanced to their captured values; the drift gauges are re-mirrored.
+    pub fn restore_state(&mut self, j: &Json) -> Result<(), TroutError> {
+        let version = u64::from_json_field(j.get("version"), "state.version")?;
+        if version != 1 {
+            return Err(TroutError::Config(format!(
+                "unsupported snapshot version {version} (this build reads version 1)"
+            )));
+        }
+        self.scaler = FromJson::from_json_field(j.get("scaler"), "state.scaler")?;
+        self.runtime_model =
+            FromJson::from_json_field(j.get("runtime_model"), "state.runtime_model")?;
+        let model: HierarchicalModel = FromJson::from_json_field(j.get("model"), "state.model")?;
+        self.index = IncrementalSnapshot::from_state_json(
+            j.get("index")
+                .ok_or_else(|| JsonError::new("missing field state.index"))?,
+        )?;
+        self.cached_rows =
+            Vec::<(u64, Vec<f32>)>::from_json_field(j.get("cached_rows"), "state.cached_rows")?
+                .into_iter()
+                .collect();
+        self.history_raw = FromJson::from_json_field(j.get("history_raw"), "state.history_raw")?;
+        self.history_y = FromJson::from_json_field(j.get("history_y"), "state.history_y")?;
+        self.history_ids = FromJson::from_json_field(j.get("history_ids"), "state.history_ids")?;
+        self.completed_since_refit = u64::from_json_field(
+            j.get("completed_since_refit"),
+            "state.completed_since_refit",
+        )? as usize;
+        self.latest_time = i64::from_json_field(j.get("latest_time"), "state.latest_time")?;
+
+        let drift = j
+            .get("drift")
+            .ok_or_else(|| JsonError::new("missing field state.drift"))?;
+        self.drift.served = Vec::<(u64, QueuePrediction)>::from_json_field(
+            drift.get("served"),
+            "state.drift.served",
+        )?
+        .into_iter()
+        .collect();
+        self.drift.joined = u64::from_json_field(drift.get("joined"), "state.drift.joined")?;
+        self.drift.abs_err_sum =
+            f64::from_json_field(drift.get("abs_err_sum"), "state.drift.abs_err_sum")?;
+        self.drift.within = u64::from_json_field(drift.get("within"), "state.drift.within")?;
+        let confusion =
+            Vec::<u64>::from_json_field(drift.get("confusion"), "state.drift.confusion")?;
+        if confusion.len() != 4 {
+            return Err(TroutError::Config(format!(
+                "state.drift.confusion has {} cells, expected 4",
+                confusion.len()
+            )));
+        }
+        self.drift.confusion.copy_from_slice(&confusion);
+
+        self.scratch = model.scratch(64);
+        self.refit_scratch = RefitScratch::for_model(&model);
+        self.model = Arc::new(model);
+
+        let counters = j
+            .get("counters")
+            .ok_or_else(|| JsonError::new("missing field state.counters"))?;
+        restore_counter(
+            &self.metrics.predicts_total,
+            u64::from_json_field(counters.get("predicts"), "state.counters.predicts")?,
+        );
+        restore_counter(
+            &self.metrics.state_events_total,
+            u64::from_json_field(counters.get("state_events"), "state.counters.state_events")?,
+        );
+        restore_counter(
+            &self.metrics.refits_total,
+            u64::from_json_field(counters.get("refits"), "state.counters.refits")?,
+        );
+        restore_counter(&self.metrics.drift_joined_total, self.drift.joined);
+        restore_counter(&self.metrics.drift_within_2x_total, self.drift.within);
+        for (c, &v) in self
+            .metrics
+            .drift_confusion
+            .iter()
+            .zip(&self.drift.confusion)
+        {
+            restore_counter(c, v);
+        }
+        self.metrics.drift_mae_min.set(self.drift.mae_min());
+        self.metrics.drift_within_2x.set(self.drift.within_2x());
+        Ok(())
     }
 
     /// Assembles and scales the feature row a pending job observes at `time`.
@@ -505,6 +855,12 @@ impl ServeEngine {
             self.drift.joined()
         );
     }
+}
+
+/// Advances a monotonic counter to `target` (counters expose `inc`/`add`
+/// only; restore happens on a fresh engine, so the delta is the target).
+fn restore_counter(c: &trout_obs::Counter, target: u64) {
+    c.add(target.saturating_sub(c.get()));
 }
 
 #[cfg(test)]

@@ -1,0 +1,143 @@
+//! The write-ahead event journal behind `trout serve --state-dir`.
+//!
+//! Every state-changing request (`submit`/`start`/`end`/`predict`) is
+//! appended here — in the wire grammar, one ndjson line per event — *before*
+//! the engine applies it and the client is acknowledged. Combined with the
+//! periodic snapshots the engine writes alongside, recovery is
+//! snapshot-load + journal-tail replay ([`crate::recover`]).
+//!
+//! `predict` lines may look out of place in a write-ahead log, but a predict
+//! *is* a state change here: it caches the feature row the answer was
+//! computed from (a future refit training example) and registers the answer
+//! with the drift monitor. Skipping them would make a recovered engine
+//! diverge from the uninterrupted one at the first refit or drift join.
+//!
+//! Durability policy: [`OnlineConfig::journal_fsync_every`] appends between
+//! `sync_data` calls (`1` = every accepted event is durable before its ack;
+//! `0` = never fsync — a process crash still loses nothing because the OS
+//! page cache survives it, only power loss can). A crash mid-append leaves a
+//! torn final line; the record was never acknowledged, so both the reopen
+//! path and the recovery reader drop it ([`trout_std::fsio`]).
+//!
+//! [`OnlineConfig::journal_fsync_every`]: trout_core::online::OnlineConfig
+
+use std::fs::File;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use trout_std::fsio::{append_line, open_append_complete};
+
+/// Journal file name inside a state dir.
+pub const JOURNAL_FILE: &str = "journal.ndjson";
+
+/// Snapshot file name inside a state dir.
+pub const SNAPSHOT_FILE: &str = "snapshot.json";
+
+/// An open append-only event journal.
+#[derive(Debug)]
+pub struct Journal {
+    file: File,
+    fsync_every: u64,
+    /// Complete lines currently in the file — the replay watermark unit.
+    appends: u64,
+    since_sync: u64,
+}
+
+impl Journal {
+    /// Opens (creating if missing) the journal at `path`. A torn final line
+    /// from a previous crash is truncated away first, so the next append
+    /// starts on a record boundary.
+    pub fn open(path: &Path, fsync_every: u64) -> io::Result<Journal> {
+        let (file, lines) = open_append_complete(path)?;
+        Ok(Journal {
+            file,
+            fsync_every,
+            appends: lines,
+            since_sync: 0,
+        })
+    }
+
+    /// Complete event lines in the file (pre-existing + appended).
+    pub fn appends(&self) -> u64 {
+        self.appends
+    }
+
+    /// Appends one event line and applies the fsync policy. When this
+    /// returns `Ok`, the record is as durable as the policy promises — the
+    /// engine only acknowledges (or applies) the event afterwards.
+    pub fn append(&mut self, line: &str) -> io::Result<()> {
+        append_line(&mut self.file, line)?;
+        self.appends += 1;
+        self.since_sync += 1;
+        if self.fsync_every > 0 && self.since_sync >= self.fsync_every {
+            self.sync()?;
+        }
+        Ok(())
+    }
+
+    /// Forces any unsynced appends to disk (snapshots call this so their
+    /// watermark never points past the durable journal prefix).
+    pub fn sync(&mut self) -> io::Result<()> {
+        if self.since_sync > 0 {
+            self.file.sync_data()?;
+            self.since_sync = 0;
+        }
+        Ok(())
+    }
+}
+
+/// The engine's durability attachment: the open journal plus the snapshot
+/// policy, armed by [`ServeEngine::open_state_dir`].
+///
+/// [`ServeEngine::open_state_dir`]: crate::ServeEngine::open_state_dir
+#[derive(Debug)]
+pub struct Durability {
+    pub(crate) journal: Journal,
+    pub(crate) dir: PathBuf,
+    /// Journal appends between snapshots; 0 disables snapshotting (recovery
+    /// then replays the whole journal).
+    pub(crate) snapshot_every: u64,
+    /// Appends since the last snapshot (or since the one recovery loaded).
+    pub(crate) since_snapshot: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("trout_journal_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(format!("{name}_{}", std::process::id()))
+    }
+
+    #[test]
+    fn append_counts_lines_and_survives_reopen() {
+        let p = tmp("reopen");
+        let _ = std::fs::remove_file(&p);
+        let mut j = Journal::open(&p, 1).unwrap();
+        assert_eq!(j.appends(), 0);
+        j.append("{\"event\":\"start\",\"id\":1,\"time\":5}")
+            .unwrap();
+        j.append("{\"event\":\"end\",\"id\":1,\"time\":9}").unwrap();
+        drop(j);
+        let j = Journal::open(&p, 1).unwrap();
+        assert_eq!(j.appends(), 2, "reopen resumes the line count");
+        std::fs::remove_file(&p).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_on_open() {
+        let p = tmp("torn");
+        std::fs::write(&p, "{\"a\":1}\n{\"torn\":").unwrap();
+        let mut j = Journal::open(&p, 0).unwrap();
+        assert_eq!(j.appends(), 1, "torn record dropped");
+        j.append("{\"b\":2}").unwrap();
+        j.sync().unwrap();
+        assert_eq!(
+            std::fs::read_to_string(&p).unwrap(),
+            "{\"a\":1}\n{\"b\":2}\n"
+        );
+        std::fs::remove_file(&p).unwrap();
+    }
+}

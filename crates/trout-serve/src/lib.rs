@@ -22,18 +22,27 @@
 //!   within-2x accuracy, and quick/long class confusion.
 //! * [`replay`] — flattens a simulated trace into the ndjson script a live
 //!   client would have produced (backs `trout events` and the e2e tests).
+//! * [`journal`] / [`recover`] — crash safety behind `--state-dir`: every
+//!   accepted event is appended to a write-ahead ndjson journal before it is
+//!   applied, periodic snapshots bound replay work, and recovery
+//!   (`--recover`) restores the engine **bit-identical** to the run that
+//!   crashed.
 //!
 //! The protocol (with a worked transcript) is documented in the repository
-//! README; the design rationale lives in DESIGN.md §9.
+//! README; the design rationale lives in DESIGN.md §9 and (durability) §10.
 
 pub mod engine;
+pub mod journal;
 pub mod metrics;
 pub mod protocol;
+pub mod recover;
 pub mod replay;
 pub mod server;
 
 pub use engine::{DriftMonitor, ServeConfig, ServeEngine};
+pub use journal::{Journal, JOURNAL_FILE, SNAPSHOT_FILE};
 pub use metrics::{LogHistogram, ServeMetrics};
 pub use protocol::{parse_event, ClientEvent, MetricsFormat};
+pub use recover::RecoveryReport;
 pub use replay::replay_script;
 pub use server::{run_session, run_stdin, run_tcp};

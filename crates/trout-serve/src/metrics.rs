@@ -39,9 +39,11 @@ pub struct ServeMetrics {
     pub refits_total: Counter,
     /// Requests rejected with an error response (aggregate over classes).
     pub errors_total: Counter,
-    /// Errors by [`TroutError`] class, in variant order:
-    /// io / parse / config / model / protocol.
-    pub errors_by_class: [Counter; 5],
+    /// Errors by [`TroutError`] class, in variant order (io / parse /
+    /// config / model / protocol), plus the synthetic `poisoned` class for
+    /// engine-mutex poison recoveries — a panicked session is a failure
+    /// even though no request line is rejected for it.
+    pub errors_by_class: [Counter; 6],
     /// Feature-assembly latency per predicted job, microseconds.
     pub featurize_us: Histogram,
     /// Model forward-pass latency per batch, microseconds.
@@ -66,10 +68,29 @@ pub struct ServeMetrics {
     pub drift_mae_min: Gauge,
     /// Drift monitor: rolling within-2x fraction.
     pub drift_within_2x: Gauge,
+    /// Write-ahead journal: event lines appended (and made durable per the
+    /// configured fsync policy) before acknowledgment.
+    pub journal_appends_total: Counter,
+    /// Engine snapshots written to the state dir.
+    pub snapshots_total: Counter,
+    /// Snapshot serialization + atomic-write latency, microseconds.
+    pub snapshot_write_us: Histogram,
+    /// Journal events replayed during crash recovery.
+    pub recovery_replayed_events: Counter,
+    /// TCP sessions accepted over the daemon's lifetime.
+    pub sessions_total: Counter,
+    /// TCP session threads currently tracked (updated at each accept, after
+    /// reaping finished handles).
+    pub sessions_live: Gauge,
+    /// High-water mark of `sessions_live` — the regression guard against
+    /// the unbounded JoinHandle growth bug.
+    pub sessions_live_peak: Gauge,
 }
 
-/// `errors_by_class` index order and JSON key per class.
-pub const ERROR_CLASSES: [&str; 5] = ["io", "parse", "config", "model", "protocol"];
+/// `errors_by_class` index order and JSON key per class. The first five
+/// mirror the [`TroutError`] variants; `poisoned` counts engine-mutex
+/// poison recoveries after a session panic.
+pub const ERROR_CLASSES: [&str; 6] = ["io", "parse", "config", "model", "protocol", "poisoned"];
 
 /// Drift confusion cell names, predicted-then-actual.
 pub const CONFUSION_CELLS: [&str; 4] = ["quick_quick", "quick_long", "long_quick", "long_long"];
@@ -105,6 +126,13 @@ impl ServeMetrics {
             drift_confusion,
             drift_mae_min: r.gauge("serve.drift.mae_min"),
             drift_within_2x: r.gauge("serve.drift.within_2x"),
+            journal_appends_total: r.counter("serve.journal.appends_total"),
+            snapshots_total: r.counter("serve.journal.snapshots_total"),
+            snapshot_write_us: r.histogram("serve.journal.snapshot_write_us"),
+            recovery_replayed_events: r.counter("serve.recovery.replayed_events_total"),
+            sessions_total: r.counter("serve.sessions_total"),
+            sessions_live: r.gauge("serve.sessions_live"),
+            sessions_live_peak: r.gauge("serve.sessions_live_peak"),
             registry: r,
         }
     }
@@ -120,6 +148,13 @@ impl ServeMetrics {
             TroutError::Protocol(_) => 4,
         };
         self.errors_by_class[idx].inc();
+    }
+
+    /// Counts one engine-mutex poison recovery (a session panicked while
+    /// holding the engine; the guard was reclaimed and serving continued).
+    pub fn record_poisoned(&self) {
+        self.errors_total.inc();
+        self.errors_by_class[5].inc();
     }
 
     /// Serializes the registry in the legacy section layout (the `metrics`
@@ -153,6 +188,22 @@ impl ServeMetrics {
                     ),
                     ("refits".into(), Json::Int(self.refits_total.get() as i128)),
                     ("errors".into(), Json::Int(self.errors_total.get() as i128)),
+                    (
+                        "journal_appends".into(),
+                        Json::Int(self.journal_appends_total.get() as i128),
+                    ),
+                    (
+                        "snapshots".into(),
+                        Json::Int(self.snapshots_total.get() as i128),
+                    ),
+                    (
+                        "recovery_replayed_events".into(),
+                        Json::Int(self.recovery_replayed_events.get() as i128),
+                    ),
+                    (
+                        "sessions".into(),
+                        Json::Int(self.sessions_total.get() as i128),
+                    ),
                 ]),
             ),
             ("errors_by_class".into(), Json::Obj(by_class)),
@@ -161,6 +212,7 @@ impl ServeMetrics {
             ("predict_us".into(), self.predict_us.to_json()),
             ("batch_us".into(), self.batch_us.to_json()),
             ("batch_size".into(), self.batch_size.to_json()),
+            ("snapshot_write_us".into(), self.snapshot_write_us.to_json()),
         ])
     }
 
@@ -196,7 +248,8 @@ mod tests {
         m.record_error(&TroutError::Parse("y".into()));
         m.record_error(&TroutError::Protocol("z".into()));
         m.record_error(&TroutError::Model("w".into()));
-        assert_eq!(m.errors_total.get(), 4, "aggregate stays");
+        m.record_poisoned();
+        assert_eq!(m.errors_total.get(), 5, "aggregate stays");
         let j = m.to_json();
         let by = j.get("errors_by_class").unwrap();
         assert_eq!(by.get("parse"), Some(&Json::Int(2)));
@@ -204,6 +257,7 @@ mod tests {
         assert_eq!(by.get("model"), Some(&Json::Int(1)));
         assert_eq!(by.get("io"), Some(&Json::Int(0)));
         assert_eq!(by.get("config"), Some(&Json::Int(0)));
+        assert_eq!(by.get("poisoned"), Some(&Json::Int(1)));
     }
 
     #[test]

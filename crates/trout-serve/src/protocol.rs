@@ -199,6 +199,35 @@ pub fn job_to_json(r: &JobRecord) -> Json {
     ])
 }
 
+/// Canonical one-line serialization of a state-changing event — the
+/// journal's record format. Deliberately the *request* grammar (the journal
+/// is a replayable client script), so recovery feeds lines straight back
+/// through [`parse_event`]. Read-only events (`metrics`, `shutdown`) carry
+/// no state and return `None`.
+pub fn event_to_line(ev: &ClientEvent) -> Option<String> {
+    match ev {
+        ClientEvent::Submit(rec) => Some(submit_line(rec)),
+        ClientEvent::Start { id, time } => Some(lifecycle_line("start", *id, *time)),
+        ClientEvent::End { id, time } => Some(lifecycle_line("end", *id, *time)),
+        ClientEvent::Predict { id, time } => Some(lifecycle_line("predict", *id, *time)),
+        ClientEvent::Metrics(_) | ClientEvent::Shutdown => None,
+    }
+}
+
+/// The journal/wire line for a `submit`.
+pub fn submit_line(rec: &JobRecord) -> String {
+    Json::Obj(vec![
+        ("event".into(), Json::Str("submit".into())),
+        ("job".into(), job_to_json(rec)),
+    ])
+    .to_string()
+}
+
+/// The journal/wire line for a `start`/`end`/`predict`.
+pub fn lifecycle_line(event: &str, id: u64, time: i64) -> String {
+    format!("{{\"event\":\"{event}\",\"id\":{id},\"time\":{time}}}")
+}
+
 /// `{"ok":true,"event":...}` acknowledgement for a lifecycle event.
 pub fn ack_response(event: &str, id: u64) -> String {
     Json::Obj(vec![
@@ -365,6 +394,43 @@ mod tests {
             parse_event(r#"{"event":"start","id":3}"#),
             Err(TroutError::Parse(_))
         ));
+    }
+
+    #[test]
+    fn journal_lines_round_trip_through_the_parser() {
+        let rec = JobRecord {
+            id: 9,
+            user: 2,
+            partition: 0,
+            submit_time: 500,
+            eligible_time: 510,
+            start_time: 0,
+            end_time: 0,
+            req_cpus: 8,
+            req_mem_gb: 16,
+            req_nodes: 1,
+            req_gpus: 0,
+            timelimit_min: 45,
+            qos: Qos::Normal,
+            campaign: 0,
+            priority: 7.25,
+            state: JobState::Completed,
+        };
+        for ev in [
+            ClientEvent::Submit(Box::new(rec)),
+            ClientEvent::Start { id: 9, time: 600 },
+            ClientEvent::End { id: 9, time: 700 },
+            ClientEvent::Predict { id: 9, time: 550 },
+        ] {
+            let line = event_to_line(&ev).expect("state-changing events serialize");
+            assert!(!line.contains('\n'));
+            assert_eq!(parse_event(&line).unwrap(), ev, "{line}");
+        }
+        assert_eq!(event_to_line(&ClientEvent::Shutdown), None);
+        assert_eq!(
+            event_to_line(&ClientEvent::Metrics(MetricsFormat::Json)),
+            None
+        );
     }
 
     #[test]

@@ -1,0 +1,135 @@
+//! Crash recovery for `trout serve --state-dir DIR --recover`.
+//!
+//! Recovery is snapshot-load + journal-tail replay:
+//!
+//! 1. If `snapshot.json` exists, restore its `state` payload onto the
+//!    freshly bootstrapped engine and take its `journal_pos` watermark
+//!    (events the snapshot already reflects).
+//! 2. Read the complete lines of `journal.ndjson` (a torn final line was
+//!    never acknowledged and is dropped), skip the watermark prefix, and
+//!    re-apply the tail through the same entry points the live transports
+//!    use. Journal lines *are* wire-grammar request lines, so the replay
+//!    loop is just [`parse_event`] + apply.
+//!
+//! Replay runs with the engine's `replaying` flag set: the events being
+//! applied are already in the journal, so re-journaling (or snapshotting
+//! mid-replay) is suppressed. Per-event application errors are tolerated —
+//! an event that failed in the original run (say a `start` for an unknown
+//! job) was journaled before it failed, and deterministically fails again
+//! here, which is exactly bit-identical behavior.
+//!
+//! `predict` events replay one query at a time. The original run may have
+//! coalesced them into batches, but MLP inference is row-independent:
+//! each row's output (and therefore the cached feature row and drift
+//! registration it leaves behind) is identical whether it shared a batch
+//! or not.
+
+use std::path::Path;
+
+use trout_core::TroutError;
+use trout_std::fsio::read_complete_lines;
+use trout_std::json::{FromJson, Json};
+
+use crate::engine::ServeEngine;
+use crate::journal::{JOURNAL_FILE, SNAPSHOT_FILE};
+use crate::protocol::{parse_event, ClientEvent};
+
+/// What recovery found and did — surfaced by the CLI at startup.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Whether a snapshot was loaded.
+    pub snapshot_loaded: bool,
+    /// Journal lines the snapshot already covered (0 without a snapshot).
+    pub snapshot_journal_pos: u64,
+    /// Complete lines found in the journal.
+    pub journal_lines: u64,
+    /// Journal-tail events re-applied.
+    pub replayed: u64,
+    /// Bytes of torn (unacknowledged) final record dropped, if any.
+    pub torn_bytes: u64,
+}
+
+/// Restores the snapshot (if present) and replays the journal tail onto
+/// `engine`. The engine must be freshly constructed with the same bootstrap
+/// arguments as the crashed run — construction is deterministic, so the
+/// immutable parts (cluster, config) already match and `restore_state`
+/// overwrites everything events ever mutate.
+pub(crate) fn replay_journal(
+    engine: &mut ServeEngine,
+    dir: &Path,
+) -> Result<RecoveryReport, TroutError> {
+    let mut report = RecoveryReport::default();
+
+    let snapshot_path = dir.join(SNAPSHOT_FILE);
+    if snapshot_path.exists() {
+        let text = std::fs::read_to_string(&snapshot_path)?;
+        let snap = Json::parse(&text)?;
+        report.snapshot_journal_pos =
+            u64::from_json_field(snap.get("journal_pos"), "snapshot.journal_pos")?;
+        let state = snap
+            .get("state")
+            .ok_or_else(|| TroutError::Config("snapshot.json has no `state` payload".into()))?;
+        engine.restore_state(state)?;
+        report.snapshot_loaded = true;
+    }
+
+    let journal_path = dir.join(JOURNAL_FILE);
+    if !journal_path.exists() {
+        return Ok(report);
+    }
+    let (lines, torn) = read_complete_lines(&journal_path)?;
+    report.journal_lines = lines.len() as u64;
+    report.torn_bytes = torn as u64;
+    if report.snapshot_journal_pos > report.journal_lines {
+        return Err(TroutError::Config(format!(
+            "snapshot watermark {} exceeds the {} journal lines on disk — \
+             the journal and snapshot are from different runs",
+            report.snapshot_journal_pos, report.journal_lines
+        )));
+    }
+
+    engine.begin_replay();
+    for line in lines.iter().skip(report.snapshot_journal_pos as usize) {
+        // A malformed line cannot occur in a journal we wrote (only parsed
+        // events are appended), so treat it as corruption, not tolerance.
+        let ev = parse_event(line).map_err(|e| {
+            engine.end_replay();
+            TroutError::Config(format!("corrupt journal line {line:?}: {e}"))
+        })?;
+        // Application errors replay the original run's rejection — ignore.
+        match ev {
+            ClientEvent::Submit(rec) => {
+                let _ = engine.apply_submit(*rec);
+            }
+            ClientEvent::Start { id, time } => {
+                let _ = engine.apply_start(id, time);
+            }
+            ClientEvent::End { id, time } => {
+                let _ = engine.apply_end(id, time);
+            }
+            ClientEvent::Predict { id, time } => {
+                let _ = engine.predict_one(id, time);
+            }
+            ClientEvent::Metrics(_) | ClientEvent::Shutdown => {
+                engine.end_replay();
+                return Err(TroutError::Config(format!(
+                    "corrupt journal: non-event line {line:?}"
+                )));
+            }
+        }
+        report.replayed += 1;
+        engine.metrics.recovery_replayed_events.inc();
+    }
+    engine.end_replay();
+
+    trout_obs::log_info!(
+        "serve",
+        "recovered: snapshot {} (watermark {}), {} journal lines, {} replayed, {} torn bytes dropped",
+        if report.snapshot_loaded { "loaded" } else { "absent" },
+        report.snapshot_journal_pos,
+        report.journal_lines,
+        report.replayed,
+        report.torn_bytes
+    );
+    Ok(report)
+}

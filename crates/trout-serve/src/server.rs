@@ -5,14 +5,26 @@
 //! reader's buffer drains (no more bytes ready — the client is waiting), then
 //! flush through one [`ServeEngine::predict_batch`] call. Responses always
 //! come back in request order, one line per request.
+//!
+//! Sessions are fault-isolated from each other. Every engine lock goes
+//! through [`lock_engine`], which recovers from a poisoned mutex instead of
+//! propagating the panic — one crashed session must not take down every
+//! other session sharing the engine. [`run_tcp`] reaps finished session
+//! threads on each accept (a long-lived daemon must not accumulate one
+//! `JoinHandle` per connection it ever served), and a session's terminal
+//! error is recorded against the engine metrics by the session thread
+//! itself, so client disconnects and half-open sockets show up in
+//! `errors_by_class` rather than vanishing with the thread.
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpListener;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::thread::JoinHandle;
 
-use trout_core::TroutError;
+use trout_core::{QueuePrediction, TroutError};
 
 use crate::engine::{PredictQuery, ServeEngine};
+use crate::metrics::ServeMetrics;
 use crate::protocol::{
     ack_response, error_response, metrics_prometheus_response, metrics_response, parse_event,
     prediction_response, ClientEvent, MetricsFormat,
@@ -20,6 +32,57 @@ use crate::protocol::{
 
 /// Hard ceiling on coalesced batch size when the caller passes 0.
 const DEFAULT_BATCH_MAX: usize = 64;
+
+/// Locks the shared engine, recovering from poison. A session that panics
+/// while holding the guard poisons the mutex; the engine applies events
+/// one at a time under the lock, so its state is consistent at every lock
+/// boundary and the panic of one session is no reason to refuse every
+/// other session forever. Each recovery is counted under the `poisoned`
+/// error class.
+fn lock_engine(engine: &Mutex<ServeEngine>) -> MutexGuard<'_, ServeEngine> {
+    match engine.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => {
+            engine.clear_poison();
+            let guard = poisoned.into_inner();
+            guard.metrics.record_poisoned();
+            trout_obs::log_warn!(
+                "serve",
+                "engine mutex poisoned by a panicked session; recovered and serving on"
+            );
+            guard
+        }
+    }
+}
+
+/// Writes one response line per queued query, pairing positionally with the
+/// batch results. `predict_batch` guarantees one result per query; if that
+/// invariant ever breaks, the unpaired trailing queries get an explicit
+/// error response instead of silently never being answered (a client
+/// waiting on a response that will never come is a hang, not an error).
+fn write_batch_responses<W: Write>(
+    metrics: &ServeMetrics,
+    queue: &[PredictQuery],
+    results: &[Result<QueuePrediction, TroutError>],
+    out: &mut W,
+) -> Result<(), TroutError> {
+    for (i, (id, _)) in queue.iter().enumerate() {
+        match results.get(i) {
+            Some(Ok(p)) => writeln!(out, "{}", prediction_response(*id, p))?,
+            Some(Err(e)) => {
+                metrics.record_error(e);
+                writeln!(out, "{}", error_response(e))?;
+            }
+            None => {
+                let e =
+                    TroutError::Model(format!("internal: batch produced no answer for job {id}"));
+                metrics.record_error(&e);
+                writeln!(out, "{}", error_response(&e))?;
+            }
+        }
+    }
+    Ok(())
+}
 
 fn flush_batch<W: Write>(
     engine: &Mutex<ServeEngine>,
@@ -29,17 +92,14 @@ fn flush_batch<W: Write>(
     if queue.is_empty() {
         return Ok(());
     }
-    let mut guard = engine.lock().expect("engine mutex poisoned");
+    let mut guard = lock_engine(engine);
     let results = guard.predict_batch(queue);
-    for ((id, _), result) in queue.iter().zip(&results) {
-        match result {
-            Ok(p) => writeln!(out, "{}", prediction_response(*id, p))?,
-            Err(e) => {
-                guard.metrics.record_error(e);
-                writeln!(out, "{}", error_response(e))?;
-            }
-        }
-    }
+    debug_assert_eq!(
+        results.len(),
+        queue.len(),
+        "predict_batch must answer every query"
+    );
+    write_batch_responses(&guard.metrics, queue, &results, out)?;
     drop(guard);
     queue.clear();
     out.flush()?;
@@ -74,12 +134,7 @@ pub fn run_session<R: Read, W: Write>(
             continue;
         }
         handled += 1;
-        engine
-            .lock()
-            .expect("engine mutex poisoned")
-            .metrics
-            .requests_total
-            .inc();
+        lock_engine(engine).metrics.requests_total.inc();
         match parse_event(trimmed) {
             Ok(ClientEvent::Predict { id, time }) => {
                 queue.push((id, time));
@@ -93,7 +148,7 @@ pub fn run_session<R: Read, W: Write>(
                 // Responses stay in request order: drain queued predicts
                 // before answering this line.
                 flush_batch(engine, &mut queue, &mut out)?;
-                let mut guard = engine.lock().expect("engine mutex poisoned");
+                let mut guard = lock_engine(engine);
                 let response = match event {
                     ClientEvent::Submit(rec) => guard
                         .apply_submit(*rec)
@@ -129,11 +184,7 @@ pub fn run_session<R: Read, W: Write>(
             }
             Err(e) => {
                 flush_batch(engine, &mut queue, &mut out)?;
-                engine
-                    .lock()
-                    .expect("engine mutex poisoned")
-                    .metrics
-                    .record_error(&e);
+                lock_engine(engine).metrics.record_error(&e);
                 writeln!(out, "{}", error_response(&e))?;
                 out.flush()?;
             }
@@ -142,24 +193,54 @@ pub fn run_session<R: Read, W: Write>(
     Ok(handled)
 }
 
-/// Serves the engine over stdin/stdout until EOF or `shutdown`.
+/// Serves the engine over stdin/stdout until EOF or `shutdown`, then syncs
+/// any buffered journal appends (clean-shutdown durability for relaxed
+/// fsync policies).
 pub fn run_stdin(engine: ServeEngine, batch_max: usize) -> Result<u64, TroutError> {
     let engine = Mutex::new(engine);
     let stdin = std::io::stdin();
     let stdout = std::io::stdout();
-    run_session(&engine, stdin.lock(), stdout.lock(), batch_max)
+    let handled = run_session(&engine, stdin.lock(), stdout.lock(), batch_max)?;
+    lock_engine(&engine).sync_journal()?;
+    Ok(handled)
+}
+
+/// Joins a finished (or draining) session thread. Session errors were
+/// already recorded and logged by the thread itself; only a panic still
+/// needs reporting here.
+fn join_session(handle: JoinHandle<Result<u64, TroutError>>) {
+    if handle.join().is_err() {
+        trout_obs::log_error!("serve", "session thread panicked");
+    }
+}
+
+/// Joins every finished session thread, keeping only live ones. Called on
+/// each accept so the handle list tracks concurrency, not connection
+/// history — a daemon that served a million sequential clients holds one
+/// pending handle, not a million.
+fn reap_finished(handles: &mut Vec<JoinHandle<Result<u64, TroutError>>>) {
+    let mut i = 0;
+    while i < handles.len() {
+        if handles[i].is_finished() {
+            join_session(handles.swap_remove(i));
+        } else {
+            i += 1;
+        }
+    }
 }
 
 /// Serves the engine over TCP, one thread per connection, all connections
 /// sharing the engine. `max_conns` bounds how many connections are accepted
-/// before returning (`None` = serve forever).
+/// before returning (`None` = serve forever). On return, in-flight sessions
+/// are drained (joined) and buffered journal appends are synced.
 pub fn run_tcp(
     engine: Arc<Mutex<ServeEngine>>,
     listener: TcpListener,
     batch_max: usize,
     max_conns: Option<usize>,
 ) -> Result<(), TroutError> {
-    let mut handles = Vec::new();
+    let metrics = lock_engine(&engine).metrics.clone();
+    let mut handles: Vec<JoinHandle<Result<u64, TroutError>>> = Vec::new();
     let mut accepted = 0usize;
     for stream in listener.incoming() {
         // Transient accept failures (EMFILE, ECONNABORTED, …) must not take
@@ -171,22 +252,95 @@ pub fn run_tcp(
                 continue;
             }
         };
-        let engine = Arc::clone(&engine);
+        reap_finished(&mut handles);
+        let session_engine = Arc::clone(&engine);
         handles.push(std::thread::spawn(move || {
-            let reader = stream.try_clone()?;
-            run_session(&engine, reader, stream, batch_max)
+            let result = stream
+                .try_clone()
+                .map_err(TroutError::from)
+                .and_then(|reader| run_session(&session_engine, reader, stream, batch_max));
+            if let Err(e) = &result {
+                // The session is this error's only observer — record it
+                // before the thread (and the error) disappears.
+                lock_engine(&session_engine).metrics.record_error(e);
+                trout_obs::log_warn!("serve", "session ended with error: {e}");
+            }
+            result
         }));
+        metrics.sessions_total.inc();
+        let live = handles.len() as f64;
+        metrics.sessions_live.set(live);
+        if live > metrics.sessions_live_peak.get() {
+            metrics.sessions_live_peak.set(live);
+        }
         accepted += 1;
         if max_conns.is_some_and(|m| accepted >= m) {
             break;
         }
     }
     for h in handles {
-        match h.join() {
-            Ok(Ok(_)) => {}
-            Ok(Err(e)) => trout_obs::log_warn!("serve", "connection ended with error: {e}"),
-            Err(_) => trout_obs::log_error!("serve", "connection thread panicked"),
-        }
+        join_session(h);
     }
+    metrics.sessions_live.set(0.0);
+    lock_engine(&engine).sync_journal()?;
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::ServeConfig;
+
+    #[test]
+    fn unpaired_batch_queries_get_error_responses_not_silence() {
+        let m = ServeMetrics::new();
+        let queue: Vec<PredictQuery> = vec![(1, 10), (2, 20), (3, 30)];
+        // Simulate a broken batch that only answered the first query.
+        let results: Vec<Result<QueuePrediction, TroutError>> =
+            vec![Err(TroutError::Model("x".into()))];
+        let mut out = Vec::new();
+        write_batch_responses(&m, &queue, &results, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3, "every query gets a response line");
+        assert!(lines.iter().all(|l| l.contains("\"error\"")));
+        assert!(lines[1].contains("no answer for job 2"));
+        assert!(lines[2].contains("no answer for job 3"));
+        assert_eq!(m.errors_total.get(), 3);
+    }
+
+    #[test]
+    fn poisoned_engine_mutex_recovers_and_counts() {
+        let engine = Arc::new(Mutex::new(ServeEngine::bootstrap(
+            120,
+            &ServeConfig {
+                refit_every: 0,
+                seed: 3,
+                ..Default::default()
+            },
+        )));
+        // Poison the mutex the way a crashing session would: panic while
+        // holding the guard.
+        let poisoner = Arc::clone(&engine);
+        let _ = std::thread::spawn(move || {
+            let _guard = poisoner.lock().unwrap();
+            panic!("injected session panic");
+        })
+        .join();
+        assert!(engine.is_poisoned());
+
+        // A subsequent session still gets served.
+        let input = b"{\"event\":\"predict\",\"id\":5,\"time\":900}\n" as &[u8];
+        let mut out = Vec::new();
+        let handled = run_session(&engine, input, &mut out, 8).unwrap();
+        assert_eq!(handled, 1);
+        let text = String::from_utf8(out).unwrap();
+        assert_eq!(text.lines().count(), 1, "the query was answered");
+        assert!(!engine.is_poisoned(), "poison cleared on first recovery");
+        let guard = lock_engine(&engine);
+        assert!(
+            guard.metrics.errors_by_class[5].get() >= 1,
+            "poison counted"
+        );
+    }
 }

@@ -1,0 +1,177 @@
+//! TCP fault-injection tests: misbehaving clients — disconnects mid-batch,
+//! half-open sockets, malformed floods, abrupt session ends — must not take
+//! the daemon down, must not starve other sessions, and must show up in the
+//! per-class error metrics. Also the regression guard for the session
+//! JoinHandle leak: a daemon serving many sequential clients must reap
+//! finished session threads instead of accumulating one handle per
+//! connection forever.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::{Arc, Mutex};
+
+use trout_serve::{run_tcp, ServeConfig, ServeEngine};
+use trout_std::json::Json;
+
+fn engine() -> ServeEngine {
+    ServeEngine::bootstrap(
+        120,
+        &ServeConfig {
+            refit_every: 0,
+            seed: 3,
+            ..Default::default()
+        },
+    )
+}
+
+fn spawn_server(
+    max_conns: usize,
+) -> (
+    std::net::SocketAddr,
+    std::thread::JoinHandle<()>,
+    Arc<Mutex<ServeEngine>>,
+) {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let shared = Arc::new(Mutex::new(engine()));
+    let server = {
+        let shared = Arc::clone(&shared);
+        std::thread::spawn(move || {
+            run_tcp(shared, listener, 16, Some(max_conns)).unwrap();
+        })
+    };
+    (addr, server, shared)
+}
+
+/// Regression test for the JoinHandle leak: `run_tcp` used to push one
+/// handle per accepted connection and never reap it until exit, so a
+/// long-lived daemon's handle list grew without bound. With reaping on each
+/// accept, N sequential (non-overlapping) sessions keep the live-handle
+/// count — tracked by the `sessions_live` gauge updated after each reap —
+/// bounded by a small constant instead of reaching N.
+#[test]
+fn sequential_sessions_keep_the_live_handle_count_bounded() {
+    const SESSIONS: usize = 12;
+    let (addr, server, shared) = spawn_server(SESSIONS);
+    for _ in 0..SESSIONS {
+        let mut conn = TcpStream::connect(addr).unwrap();
+        conn.write_all(b"{\"event\":\"shutdown\"}\n").unwrap();
+        let mut line = String::new();
+        BufReader::new(conn.try_clone().unwrap())
+            .read_line(&mut line)
+            .unwrap();
+        assert!(line.contains("\"ok\":true"), "{line}");
+        drop(conn);
+        // Give the session thread a beat to finish so the next accept's
+        // reap actually observes it done.
+        std::thread::sleep(std::time::Duration::from_millis(15));
+    }
+    server.join().unwrap();
+    let m = &shared.lock().unwrap().metrics;
+    assert_eq!(m.sessions_total.get(), SESSIONS as u64);
+    assert_eq!(m.sessions_live.get(), 0.0, "all sessions drained at exit");
+    assert!(
+        m.sessions_live_peak.get() <= 3.0,
+        "live-handle peak {} for {SESSIONS} sequential sessions — handles are not being reaped",
+        m.sessions_live_peak.get()
+    );
+}
+
+#[test]
+fn faulty_clients_are_isolated_and_counted() {
+    let (addr, server, shared) = spawn_server(4);
+
+    // Fault 1: a half-open socket — connects, sends nothing, just sits
+    // there holding its session thread. Held open until the end to prove
+    // it never blocks anyone else.
+    let half_open = TcpStream::connect(addr).unwrap();
+
+    // Fault 2: a malformed-line flood. Every line gets an error response;
+    // the session survives to a clean shutdown.
+    {
+        let mut conn = TcpStream::connect(addr).unwrap();
+        let mut flood = String::new();
+        for i in 0..40 {
+            flood.push_str(&format!("not json at all #{i}\n"));
+        }
+        flood.push_str("{\"event\":\"shutdown\"}\n");
+        conn.write_all(flood.as_bytes()).unwrap();
+        let mut reader = BufReader::new(conn.try_clone().unwrap());
+        let mut line = String::new();
+        for i in 0..41 {
+            line.clear();
+            assert!(reader.read_line(&mut line).unwrap() > 0, "line {i}");
+            let j = Json::parse(&line).unwrap();
+            let expect_ok = i == 40; // only the shutdown ack succeeds
+            assert_eq!(j.get("ok"), Some(&Json::Bool(expect_ok)), "{line}");
+        }
+    }
+
+    // Fault 3: disconnect mid-batch — floods predicts for unknown jobs and
+    // slams the connection shut without reading a single response. The
+    // session thread hits a write error once the peer resets and must
+    // record it instead of vanishing silently.
+    {
+        let mut conn = TcpStream::connect(addr).unwrap();
+        let mut burst = String::new();
+        for id in 0..2_000u64 {
+            burst.push_str(&format!(
+                "{{\"event\":\"predict\",\"id\":{id},\"time\":0}}\n"
+            ));
+        }
+        let _ = conn.write_all(burst.as_bytes());
+        drop(conn); // abrupt end, responses unread
+    }
+
+    // A well-behaved client connects *after* all that and still gets
+    // served: submit one job, predict it, shut down.
+    {
+        let mut conn = TcpStream::connect(addr).unwrap();
+        let job = "{\"event\":\"submit\",\"job\":{\"id\":9001,\"user\":7,\"partition\":0,\
+                   \"submit_time\":1000,\"req_cpus\":8,\"req_mem_gb\":16,\"req_nodes\":1,\
+                   \"timelimit_min\":30}}\n";
+        conn.write_all(job.as_bytes()).unwrap();
+        conn.write_all(b"{\"event\":\"predict\",\"id\":9001,\"time\":1200}\n")
+            .unwrap();
+        conn.write_all(b"{\"event\":\"shutdown\"}\n").unwrap();
+        let mut reader = BufReader::new(conn.try_clone().unwrap());
+        let mut lines = Vec::new();
+        let mut line = String::new();
+        for _ in 0..3 {
+            line.clear();
+            assert!(reader.read_line(&mut line).unwrap() > 0);
+            lines.push(line.clone());
+        }
+        let pred = Json::parse(&lines[1]).unwrap();
+        assert_eq!(
+            pred.get("ok"),
+            Some(&Json::Bool(true)),
+            "the healthy session still gets predictions: {}",
+            lines[1]
+        );
+        assert!(pred.get("quick_proba").is_some());
+    }
+
+    // Release the half-open socket so its session sees EOF and the server
+    // can drain.
+    drop(half_open);
+    server.join().unwrap();
+
+    let m = &shared.lock().unwrap().metrics;
+    let by: Vec<u64> = m.errors_by_class.iter().map(|c| c.get()).collect();
+    // ERROR_CLASSES order: io, parse, config, model, protocol, poisoned.
+    assert!(
+        by[1] >= 40,
+        "the malformed flood is counted as parse errors"
+    );
+    assert!(
+        by[4] >= 1,
+        "unknown-job predicts are counted as protocol errors"
+    );
+    assert!(
+        by[0] >= 1,
+        "the mid-batch disconnect surfaces as a recorded io error (got {by:?})"
+    );
+    assert_eq!(m.sessions_total.get(), 4);
+    assert_eq!(m.sessions_live.get(), 0.0);
+}

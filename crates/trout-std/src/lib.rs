@@ -17,12 +17,15 @@
 //! * [`bench`] — a wall-clock micro-benchmark harness with a
 //!   criterion-shaped API, emitting `BENCH_*.json` reports (replaces
 //!   `criterion`).
+//! * [`fsio`] — durable file I/O (atomic replace, torn-tail-safe appends)
+//!   backing the serve daemon's write-ahead journal and snapshots.
 //!
 //! Hermetic-build policy: no new external crates may be added to the
 //! workspace without an issue justifying them; extend this crate instead.
 
 pub mod alloc_count;
 pub mod bench;
+pub mod fsio;
 pub mod json;
 pub mod par;
 pub mod proptest_lite;
