@@ -69,7 +69,7 @@ test "$(wc -l < "$rec_tmp/part1.ndjson")" -eq "$half"
 kill -9 "$serve_pid"
 exec 9>&-
 wait "$serve_pid" || true
-test -s "$rec_tmp/state/journal.ndjson"
+test -s "$rec_tmp/state/shard-000/journal.ndjson"
 tail -n +"$((half + 1))" "$rec_tmp/events.ndjson" \
     | ./target/release/trout serve --bootstrap 300 --seed 7 --stdin \
         --state-dir "$rec_tmp/state" --recover > "$rec_tmp/part2.ndjson"
@@ -82,6 +82,59 @@ dr_ref=$(grep -o '"drift":{"joined":[^}]*"confusion":{[^}]*}}' "$rec_tmp/ref.ndj
 dr_got=$(grep -o '"drift":{"joined":[^}]*"confusion":{[^}]*}}' "$rec_tmp/combined.ndjson" | head -1)
 test -n "$dr_ref" && test "$dr_ref" = "$dr_got"
 rm -rf "$rec_tmp"
+
+# Sharded crash-recovery smoke: the same SIGKILL-halfway drill with
+# --shards 2 — lifecycle events journal into every shard-NNN/ subdirectory,
+# recovery must restore each shard, and the combined responses must be
+# byte-identical to an uninterrupted 2-shard run.
+sh_tmp=$(mktemp -d)
+./target/release/trout simulate --jobs 80 --seed 11 --out "$sh_tmp/trace.csv"
+./target/release/trout events --trace "$sh_tmp/trace.csv" --predict-every 4 \
+    --out "$sh_tmp/events.ndjson"
+total=$(wc -l < "$sh_tmp/events.ndjson")
+half=$((total / 2))
+./target/release/trout serve --bootstrap 300 --seed 7 --shards 2 --stdin \
+    < "$sh_tmp/events.ndjson" > "$sh_tmp/ref.ndjson"
+mkfifo "$sh_tmp/pipe"
+./target/release/trout serve --bootstrap 300 --seed 7 --shards 2 --stdin \
+    --state-dir "$sh_tmp/state" \
+    < "$sh_tmp/pipe" > "$sh_tmp/part1.ndjson" &
+serve_pid=$!
+exec 9> "$sh_tmp/pipe"
+head -n "$half" "$sh_tmp/events.ndjson" >&9
+for _ in $(seq 1 100); do
+    test "$(wc -l < "$sh_tmp/part1.ndjson")" -eq "$half" && break
+    sleep 0.1
+done
+test "$(wc -l < "$sh_tmp/part1.ndjson")" -eq "$half"
+kill -9 "$serve_pid"
+exec 9>&-
+wait "$serve_pid" || true
+test -s "$sh_tmp/state/shard-000/journal.ndjson"
+test -s "$sh_tmp/state/shard-001/journal.ndjson"
+tail -n +"$((half + 1))" "$sh_tmp/events.ndjson" \
+    | ./target/release/trout serve --bootstrap 300 --seed 7 --shards 2 --stdin \
+        --state-dir "$sh_tmp/state" --recover > "$sh_tmp/part2.ndjson"
+cat "$sh_tmp/part1.ndjson" "$sh_tmp/part2.ndjson" > "$sh_tmp/combined.ndjson"
+test "$(wc -l < "$sh_tmp/combined.ndjson")" -eq "$total"
+grep -v '"event":"metrics"' "$sh_tmp/ref.ndjson" > "$sh_tmp/ref.events"
+grep -v '"event":"metrics"' "$sh_tmp/combined.ndjson" > "$sh_tmp/got.events"
+cmp "$sh_tmp/ref.events" "$sh_tmp/got.events"
+rm -rf "$sh_tmp"
+
+# Deterministic concurrency battery, cross-process: the canonical merged
+# 4-shard state written by the battery must be bit-identical whether the
+# engines run single- or multi-threaded.
+bat_tmp=$(mktemp -d)
+TROUT_THREADS=1 TROUT_BATTERY_STATE_OUT="$bat_tmp/state-t1.json" \
+    cargo test -q --offline -p trout-serve --test concurrency_battery \
+    merged_four_shard_state_equals_single_shard_reference
+TROUT_THREADS=4 TROUT_BATTERY_STATE_OUT="$bat_tmp/state-t4.json" \
+    cargo test -q --offline -p trout-serve --test concurrency_battery \
+    merged_four_shard_state_equals_single_shard_reference
+test -s "$bat_tmp/state-t1.json"
+cmp "$bat_tmp/state-t1.json" "$bat_tmp/state-t4.json"
+rm -rf "$bat_tmp"
 
 # One-iteration pass over the serve bench (no calibration, no report).
 TROUT_BENCH_SMOKE=1 cargo bench --offline -p trout-bench --bench serve_bench

@@ -13,10 +13,9 @@
 //!    engine, plus the snapshot's on-disk size.
 
 use std::path::PathBuf;
-use std::sync::Mutex;
 use std::time::Instant;
 
-use trout_serve::{run_session, Journal, ServeConfig, ServeEngine, SNAPSHOT_FILE};
+use trout_serve::{run_session, Journal, ServeConfig, ServeEngine, ShardSet, SNAPSHOT_FILE};
 use trout_slurmsim::SimulationBuilder;
 use trout_std::bench::{write_report, Criterion};
 use trout_std::json::Json;
@@ -44,7 +43,7 @@ fn crashed_run(cfg: &ServeConfig, boot_jobs: usize, dir: &PathBuf, every: u64, s
     // separately below, with and without it).
     e.online_config_mut().journal_fsync_every = 0;
     e.open_state_dir(dir, every, false).expect("arm state dir");
-    let m = Mutex::new(e);
+    let m = ShardSet::single(e);
     let mut sink = Vec::new();
     run_session(&m, script.as_bytes(), &mut sink, 64).expect("bench session");
 }

@@ -10,11 +10,11 @@
 //! histograms (featurize/inference/predict, p50/p90/p99) and the coalesced
 //! batch-size distribution land next to the headline number.
 
-use std::sync::Mutex;
+use std::sync::Arc;
 use std::time::Instant;
 
 use trout_serve::protocol::job_to_json;
-use trout_serve::{run_session, ServeConfig, ServeEngine};
+use trout_serve::{run_session, ServeConfig, ServeEngine, ShardSet};
 use trout_slurmsim::{SimulationBuilder, Trace};
 use trout_std::bench::{write_report, Criterion};
 use trout_std::json::Json;
@@ -92,13 +92,13 @@ pub fn bench_serve(c: &mut Criterion) {
         .run();
     let script = event_script(&live, stride, burst);
 
-    let mutex = Mutex::new(engine);
+    let set = ShardSet::single(engine);
     let mut responses: Vec<u8> = Vec::with_capacity(script.len());
     let t0 = Instant::now();
-    let handled = run_session(&mutex, script.as_bytes(), &mut responses, 64)
+    let handled = run_session(&set, script.as_bytes(), &mut responses, 64)
         .expect("bench session must run clean");
     let elapsed = t0.elapsed().as_secs_f64();
-    let mut engine = mutex.into_inner().expect("session loop done");
+    let mut engine = set.lock(0);
 
     let m = &engine.metrics;
     assert_eq!(
@@ -125,6 +125,11 @@ pub fn bench_serve(c: &mut Criterion) {
         m.batches_total.get(),
         m.refits_total.get()
     );
+    // The shard sweep: the same predict-heavy offered load against 1/2/4
+    // shard engines, concurrency fixed, measuring how sustained throughput
+    // scales with shards.
+    let sweep = shard_sweep(smoke);
+
     if !smoke {
         let report = Json::Obj(vec![
             ("group".into(), Json::Str("serve".into())),
@@ -144,6 +149,7 @@ pub fn bench_serve(c: &mut Criterion) {
                     ("predictions_per_sec".into(), Json::Num(preds_per_sec)),
                 ]),
             ),
+            ("shard_sweep".into(), sweep),
             ("metrics".into(), engine.metrics.to_json()),
         ]);
         write_report("serve", &report);
@@ -172,4 +178,138 @@ pub fn bench_serve(c: &mut Criterion) {
         });
     }
     group.finish();
+}
+
+/// Sweeps `--shards 1/2/4` under a fixed concurrent predict load: four
+/// client sessions with disjoint id slices hammer the same `ShardSet`, and
+/// the sweep reports sustained predictions/sec plus per-shard rates and p99
+/// predict latency. `TROUT_THREADS` is pinned to 1 for the duration so the
+/// shard count is the only parallelism lever being measured — the headline
+/// question is whether N engines behind the router actually scale, not
+/// whether one engine's kernels do.
+///
+/// Rates use the same basis as the replay headline above: time spent
+/// *inside* `predict_batch` (`batch_us`), amortized over the predictions it
+/// served. Per shard that is the shard's own busy time; the aggregate is
+/// the sum of per-shard sustained rates — the set's service capacity. Wall
+/// clock is reported alongside, but on a core-restricted box (CI pins this
+/// workspace to one CPU) wall clock conflates the in-process load
+/// generator with the server and cannot show scaling; busy-time rates can,
+/// and they also surface the real cost of sharding (splitting a window
+/// across lanes shrinks per-shard batches, so per-shard efficiency drops —
+/// the sweep shows how much).
+fn shard_sweep(smoke: bool) -> Json {
+    const CLIENTS: usize = 4;
+    let (boot_jobs, pool, rounds) = if smoke {
+        (300, 64usize, 8usize)
+    } else {
+        (2_000, 256, 320)
+    };
+    let cfg = ServeConfig {
+        refit_every: 0,
+        seed: 7,
+        ..Default::default()
+    };
+    let t_submit: i64 = 50_000_000;
+    let t_query: i64 = t_submit + 600;
+
+    // The pending pool, submitted (broadcast) before the clock starts.
+    let mut submit_script = String::new();
+    for k in 0..pool as u64 {
+        submit_script.push_str(&format!(
+            "{{\"event\":\"submit\",\"job\":{{\"id\":{},\"user\":{},\"partition\":0,\
+             \"submit_time\":{t_submit},\"req_cpus\":{},\"req_mem_gb\":16,\"req_nodes\":1,\
+             \"timelimit_min\":{}}}}}\n",
+            20_000_000 + k,
+            k % 37,
+            1u64 << (k % 5),
+            15 + (k % 8) * 30,
+        ));
+    }
+    // Per-client scripts: disjoint slices of the pool, `rounds` passes each,
+    // built up front so the timed section serves, not formats.
+    let per_client = pool / CLIENTS;
+    let scripts: Vec<String> = (0..CLIENTS)
+        .map(|c| {
+            let mut s = String::with_capacity(per_client * rounds * 48);
+            for _ in 0..rounds {
+                for k in 0..per_client as u64 {
+                    let id = 20_000_000 + c as u64 * per_client as u64 + k;
+                    s.push_str(&format!(
+                        "{{\"event\":\"predict\",\"id\":{id},\"time\":{t_query}}}\n"
+                    ));
+                }
+            }
+            s
+        })
+        .collect();
+
+    std::env::set_var("TROUT_THREADS", "1");
+    let mut entries = Vec::new();
+    let mut baseline = 0.0f64;
+    for &n in &[1usize, 2, 4] {
+        let set = Arc::new(ShardSet::bootstrap(n, boot_jobs, &cfg));
+        run_session(&set, submit_script.as_bytes(), &mut Vec::new(), 64)
+            .expect("sweep submit phase");
+        let t0 = Instant::now();
+        std::thread::scope(|s| {
+            for script in &scripts {
+                let set = Arc::clone(&set);
+                s.spawn(move || {
+                    run_session(&set, script.as_bytes(), &mut Vec::new(), 64)
+                        .expect("sweep client session");
+                });
+            }
+        });
+        let elapsed = t0.elapsed().as_secs_f64();
+        let mut total = 0u64;
+        let mut rate = 0.0f64;
+        let per_shard: Vec<Json> = (0..n)
+            .map(|i| {
+                let g = set.lock(i);
+                let predicts = g.metrics.predicts_total.get();
+                let busy_us = g.metrics.batch_us.sum();
+                let shard_rate = if busy_us > 0 {
+                    predicts as f64 * 1e6 / busy_us as f64
+                } else {
+                    0.0
+                };
+                total += predicts;
+                rate += shard_rate;
+                Json::Obj(vec![
+                    ("shard".into(), Json::Int(i as i128)),
+                    ("predictions".into(), Json::Int(predicts as i128)),
+                    ("busy_us".into(), Json::Int(busy_us as i128)),
+                    ("preds_per_sec".into(), Json::Num(shard_rate)),
+                    (
+                        "predict_p99_us".into(),
+                        Json::Int(g.metrics.predict_us.quantile(0.99) as i128),
+                    ),
+                ])
+            })
+            .collect();
+        if n == 1 {
+            baseline = rate;
+        }
+        let speedup = rate / baseline.max(1e-9);
+        eprintln!(
+            "bench serve/shard_sweep: shards={n} — {total} predictions in \
+             {elapsed:.2}s wall, {rate:.0}/sec sustained ({speedup:.2}x vs 1 shard)"
+        );
+        entries.push(Json::Obj(vec![
+            ("shards".into(), Json::Int(n as i128)),
+            ("clients".into(), Json::Int(CLIENTS as i128)),
+            ("predictions".into(), Json::Int(total as i128)),
+            ("elapsed_s".into(), Json::Num(elapsed)),
+            (
+                "preds_per_sec_wall".into(),
+                Json::Num(total as f64 / elapsed.max(1e-9)),
+            ),
+            ("preds_per_sec".into(), Json::Num(rate)),
+            ("speedup_vs_1_shard".into(), Json::Num(speedup)),
+            ("per_shard".into(), Json::Arr(per_shard)),
+        ]));
+    }
+    std::env::remove_var("TROUT_THREADS");
+    Json::Arr(entries)
 }

@@ -88,9 +88,12 @@ SUBCOMMANDS:
               --trace FILE [--trials N]
   serve       online prediction daemon (ndjson over stdin/stdout or TCP)
               (--model MODEL.json --trace FILE | --bootstrap JOBS)
-              [--stdin | --listen ADDR] [--batch N] [--refit-every N]
+              [--stdin | --listen ADDR [--reactor [--reactor-threads N]]]
+              [--shards N] [--batch N] [--refit-every N]
               [--state-dir DIR [--recover] [--snapshot-every N]
                [--fsync-every N]]   crash-safe journaling + recovery
+              --shards N routes predicts across N engines; --reactor swaps
+              thread-per-connection for a poll(2) event loop
   events      flatten a trace into a submit/start/end ndjson replay script
               --trace FILE [--out FILE] [--predict-every N]
   metrics     dump a running daemon's metrics registry

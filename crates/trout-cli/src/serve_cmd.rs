@@ -3,58 +3,74 @@
 
 use std::fs;
 use std::io::{BufRead, BufReader, Write};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 use trout_core::error::{Result, TroutError};
 use trout_core::online::OnlineConfig;
 use trout_core::TroutConfig;
 use trout_obs::log_info;
-use trout_serve::{replay_script, run_stdin, run_tcp, ServeConfig, ServeEngine};
+use trout_serve::{
+    replay_script, run_reactor, run_stdin, run_tcp, ReactorConfig, ServeConfig, ShardSet,
+};
 use trout_std::json::Json;
 
 use crate::args::Options;
 use crate::commands::{load_model, load_trace};
 
 /// `trout serve (--model MODEL.json --trace FILE | --bootstrap JOBS)
-///              [--stdin | --listen ADDR] [--batch N] [--refit-every N]
+///              [--stdin | --listen ADDR [--reactor [--reactor-threads N]]]
+///              [--shards N] [--batch N] [--refit-every N]
 ///              [--state-dir DIR [--recover] [--snapshot-every N]
 ///               [--fsync-every N]]`
 ///
-/// Builds the engine (either from a trained model plus its training trace,
-/// or self-bootstrapped from a fresh simulation), then serves the ndjson
-/// protocol over stdin/stdout (the default) or a TCP listener.
+/// Builds the shard set (either from a trained model plus its training
+/// trace, or self-bootstrapped from a fresh simulation), then serves the
+/// ndjson protocol over stdin/stdout (the default) or a TCP listener.
+///
+/// `--shards N` runs N independent engines: lifecycle events broadcast to
+/// every shard, predicts route by `hash(job_id) % N`, and the wire protocol
+/// is unchanged. `--reactor` swaps the listener's thread-per-connection
+/// transport for the `poll(2)` event loop (`--reactor-threads`, default
+/// auto), multiplexing many connections per thread.
 ///
 /// With `--state-dir`, every accepted event is appended to a write-ahead
 /// journal (fsynced per `--fsync-every`, default 1 = durable before each
 /// acknowledgment) and a snapshot is written every `--snapshot-every`
-/// events (default 1024; 0 = journal only). After a crash, restarting with
-/// the **same engine arguments** plus `--recover` restores the exact state
-/// the crashed daemon had acknowledged.
+/// events (default 1024; 0 = journal only). Each shard journals into its
+/// own `shard-NNN/` subdirectory. After a crash, restarting with the
+/// **same engine arguments** (including `--shards`) plus `--recover`
+/// restores the exact state the crashed daemon had acknowledged.
 pub fn serve(opts: &Options) -> Result<()> {
     let batch: usize = opts.get_or("batch", 32)?;
+    let n_shards: usize = opts.get_or("shards", 1)?;
+    if n_shards == 0 {
+        return Err(TroutError::Config("--shards must be at least 1".into()));
+    }
     let cfg = ServeConfig {
         refit_every: opts.get_or("refit-every", 256)?,
         seed: opts.get_or("seed", 0)?,
         ..Default::default()
     };
 
-    let mut engine = if opts.has("bootstrap") {
+    let shards = if opts.has("bootstrap") {
         let jobs: usize = opts.require_parsed("bootstrap")?;
         log_info!(
             "serve",
-            "bootstrapping on a fresh {jobs}-job simulation (seed {})",
+            "bootstrapping {n_shards} shard(s) on a fresh {jobs}-job simulation (seed {})",
             cfg.seed
         );
-        ServeEngine::bootstrap(jobs, &cfg)
+        ShardSet::bootstrap(n_shards, jobs, &cfg)
     } else {
         let model = load_model(opts)?;
         let trace = load_trace(opts)?;
         log_info!(
             "serve",
-            "loaded model, refitting scaler + runtime forest on {} trace records",
+            "loaded model, refitting scaler + runtime forest on {} trace records \
+             ({n_shards} shard(s))",
             trace.records.len()
         );
-        ServeEngine::from_trace(
+        ShardSet::from_trace(
+            n_shards,
             &trace,
             Some(model),
             TroutConfig::default(),
@@ -63,30 +79,37 @@ pub fn serve(opts: &Options) -> Result<()> {
         )
     };
 
+    let fsync_every: u64 = opts.get_or("fsync-every", 1)?;
+    for i in 0..shards.len() {
+        shards.lock(i).online_config_mut().journal_fsync_every = fsync_every;
+    }
+
     let recover = opts.has("recover");
     match opts.get("state-dir") {
         Some(dir) => {
             let snapshot_every: u64 = opts.get_or("snapshot-every", 1024)?;
-            engine.online_config_mut().journal_fsync_every = opts.get_or("fsync-every", 1)?;
-            let report = engine
+            let reports = shards
                 .open_state_dir(std::path::Path::new(dir), snapshot_every, recover)
                 .map_err(|e| TroutError::Config(format!("state dir {dir}: {e}")))?;
             if recover {
-                log_info!(
-                    "serve",
-                    "recovered from {dir}: snapshot {}, {} of {} journal events replayed",
-                    if report.snapshot_loaded {
-                        "loaded"
-                    } else {
-                        "absent"
-                    },
-                    report.replayed,
-                    report.journal_lines
-                );
+                for (i, report) in reports.iter().enumerate() {
+                    log_info!(
+                        "serve",
+                        "shard {i} recovered from {dir}: snapshot {}, {} of {} journal \
+                         events replayed",
+                        if report.snapshot_loaded {
+                            "loaded"
+                        } else {
+                            "absent"
+                        },
+                        report.replayed,
+                        report.journal_lines
+                    );
+                }
             } else {
                 log_info!(
                     "serve",
-                    "journaling to {dir} (snapshot every {snapshot_every})"
+                    "journaling {n_shards} shard(s) to {dir} (snapshot every {snapshot_every})"
                 );
             }
         }
@@ -102,12 +125,34 @@ pub fn serve(opts: &Options) -> Result<()> {
         Some(addr) => {
             let listener = std::net::TcpListener::bind(addr)
                 .map_err(|e| TroutError::Config(format!("cannot listen on {addr}: {e}")))?;
-            log_info!("serve", "listening on {addr}");
-            run_tcp(Arc::new(Mutex::new(engine)), listener, batch, None)
+            if opts.has("reactor") {
+                let threads: usize = opts.get_or("reactor-threads", 0)?;
+                log_info!(
+                    "serve",
+                    "listening on {addr} (reactor transport, {} thread(s))",
+                    if threads == 0 {
+                        "auto".to_string()
+                    } else {
+                        threads.to_string()
+                    }
+                );
+                run_reactor(
+                    Arc::new(shards),
+                    listener,
+                    ReactorConfig {
+                        threads,
+                        batch_max: batch,
+                        max_conns: None,
+                    },
+                )
+            } else {
+                log_info!("serve", "listening on {addr}");
+                run_tcp(Arc::new(shards), listener, batch, None)
+            }
         }
         None => {
             log_info!("serve", "reading events from stdin (batch {batch})");
-            let handled = run_stdin(engine, batch)?;
+            let handled = run_stdin(shards, batch)?;
             log_info!("serve", "session closed after {handled} requests");
             Ok(())
         }

@@ -125,6 +125,18 @@ impl DriftMonitor {
         self.confusion
     }
 
+    /// Running sum of absolute errors in minutes (join order). Exposed so a
+    /// shard set can merge per-shard monitors into one fleet-wide MAE:
+    /// `Σ abs_err_sum / Σ joined` weights every joined pair equally.
+    pub fn abs_err_sum(&self) -> f64 {
+        self.abs_err_sum
+    }
+
+    /// Joined predictions within 2x of the realized queue time.
+    pub fn within_count(&self) -> u64 {
+        self.within
+    }
+
     /// Closes one prediction/outcome pair and mirrors the rolling state
     /// into the registry handles.
     fn join(&mut self, metrics: &ServeMetrics, p: &QueuePrediction, realized_min: f32) {

@@ -10,8 +10,19 @@
 //!   `O(log n)` per event), the runtime forest, the fitted scaler, and the
 //!   hierarchical model behind an `Arc` so warm-start refits
 //!   ([`trout_core::online::update_model`]) publish atomically.
-//! * [`server`] — the transports and the micro-batching session loop that
-//!   coalesces back-to-back predicts into one forward pass.
+//! * [`shard::ShardSet`] — `--shards N` independent engines: lifecycle
+//!   events broadcast (each shard keeps a full, cheap index replica), the
+//!   expensive predicts route by `hash(job_id) % N`, and per-shard journals
+//!   recover independently.
+//! * [`server`] — the blocking transports (stdin, thread-per-connection
+//!   TCP) and the micro-batching session loop that coalesces back-to-back
+//!   predicts into one forward pass per shard.
+//! * [`router::RouterSession`] — per-client request routing: splits a mixed
+//!   ndjson batch by shard, fans out, and re-pairs responses positionally
+//!   so the wire protocol cannot tell how many shards answer it.
+//! * [`reactor`] — the event-driven TCP transport: `poll(2)` readiness over
+//!   nonblocking sockets (via [`trout_std::evloop`]), multiplexing many
+//!   connections per thread with per-connection write backpressure.
 //! * [`protocol`] — the event grammar, parsing, and response builders.
 //! * [`metrics`] — shared handles into a per-engine
 //!   [`trout_obs::Registry`]: counters, per-error-class breakdowns, and
@@ -35,14 +46,20 @@ pub mod engine;
 pub mod journal;
 pub mod metrics;
 pub mod protocol;
+pub mod reactor;
 pub mod recover;
 pub mod replay;
+pub mod router;
 pub mod server;
+pub mod shard;
 
 pub use engine::{DriftMonitor, ServeConfig, ServeEngine};
 pub use journal::{Journal, JOURNAL_FILE, SNAPSHOT_FILE};
 pub use metrics::{LogHistogram, ServeMetrics};
 pub use protocol::{parse_event, ClientEvent, MetricsFormat};
+pub use reactor::{run_reactor, ReactorConfig};
 pub use recover::RecoveryReport;
 pub use replay::replay_script;
-pub use server::{run_session, run_stdin, run_tcp};
+pub use router::RouterSession;
+pub use server::{run_session, run_stdin, run_tcp, AcceptBackoff, AcceptDisposition};
+pub use shard::{shard_dir, shard_of, ShardSet};

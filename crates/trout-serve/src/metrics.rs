@@ -85,6 +85,17 @@ pub struct ServeMetrics {
     /// High-water mark of `sessions_live` — the regression guard against
     /// the unbounded JoinHandle growth bug.
     pub sessions_live_peak: Gauge,
+    /// Transient accept failures survived (ECONNABORTED and friends — the
+    /// connection was lost before the listener could hand it over).
+    pub accept_transient_total: Counter,
+    /// Accept backoffs taken on fd exhaustion (`EMFILE`/`ENFILE`): the
+    /// listener pauses instead of spinning on an error it cannot clear.
+    pub accept_backoffs_total: Counter,
+    /// Current accept backoff delay in milliseconds (0 while healthy).
+    pub accept_backoff_ms: Gauge,
+    /// Reactor connections whose response backlog crossed the high-water
+    /// mark, pausing reads on that connection (slow-loris backpressure).
+    pub reactor_backpressure_total: Counter,
 }
 
 /// `errors_by_class` index order and JSON key per class. The first five
@@ -133,6 +144,10 @@ impl ServeMetrics {
             sessions_total: r.counter("serve.sessions_total"),
             sessions_live: r.gauge("serve.sessions_live"),
             sessions_live_peak: r.gauge("serve.sessions_live_peak"),
+            accept_transient_total: r.counter("serve.accept.transient_total"),
+            accept_backoffs_total: r.counter("serve.accept.backoffs_total"),
+            accept_backoff_ms: r.gauge("serve.accept.backoff_ms"),
+            reactor_backpressure_total: r.counter("serve.reactor.backpressure_total"),
             registry: r,
         }
     }

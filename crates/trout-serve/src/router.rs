@@ -1,0 +1,435 @@
+//! The router session: one client's request stream against a [`ShardSet`].
+//!
+//! Every transport (stdin, thread-per-connection TCP, the reactor) drives a
+//! [`RouterSession`] per client. The session queues predicts into per-shard
+//! lanes, remembering each query's **position** in the coalesced window; a
+//! flush fans out one `predict_batch` per non-empty lane and re-pairs the
+//! results positionally, so the client sees exactly one response line per
+//! request line, in request order — the wire protocol cannot tell how many
+//! shards sit behind it.
+//!
+//! Lifecycle events broadcast to every shard in shard order (see the
+//! [`shard`](crate::shard) module docs for why). The response comes from
+//! shard 0; the other shards' results are replicas of the same deterministic
+//! application and are debug-asserted to agree.
+//!
+//! Pairing keeps PR 5's no-silence guarantee, generalized across shards: if
+//! a shard's batch ever answers fewer queries than it was asked (a broken
+//! `predict_batch` invariant), the unpaired positions get an explicit error
+//! response instead of leaving the client hanging on a line that will never
+//! come.
+
+use std::io::Write;
+
+use trout_core::{QueuePrediction, TroutError};
+
+use crate::protocol::{
+    ack_response, error_response, metrics_prometheus_response, metrics_response, parse_event,
+    prediction_response, ClientEvent, MetricsFormat,
+};
+use crate::shard::ShardSet;
+
+/// What the transport should do after a handled line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Flow {
+    /// Keep reading.
+    Continue,
+    /// The client asked for `shutdown`; the ack is already written.
+    Shutdown,
+}
+
+/// One queued predict: its position in the current coalescing window plus
+/// the query itself.
+#[derive(Debug, Clone, Copy)]
+struct QueuedPredict {
+    pos: usize,
+    id: u64,
+    time: i64,
+}
+
+/// Per-client routing state: per-shard predict lanes and the coalescing
+/// window position counter.
+pub struct RouterSession {
+    lanes: Vec<Vec<QueuedPredict>>,
+    queued: usize,
+    batch_max: usize,
+}
+
+impl RouterSession {
+    /// A session against an `n_shards`-wide set, flushing at `batch_max`
+    /// queued predicts.
+    pub fn new(n_shards: usize, batch_max: usize) -> RouterSession {
+        RouterSession {
+            lanes: (0..n_shards.max(1)).map(|_| Vec::new()).collect(),
+            queued: 0,
+            batch_max: batch_max.max(1),
+        }
+    }
+
+    /// Predicts currently queued (across all lanes).
+    pub fn queued(&self) -> usize {
+        self.queued
+    }
+
+    /// Handles one non-empty request line: queues a predict (flushing at the
+    /// batch cap), or flushes then applies/answers anything else. Responses
+    /// are written to `out` but not flushed to the OS — transports flush
+    /// when their write boundary arrives (end of readable burst, end of
+    /// line loop).
+    pub fn handle_line<W: Write>(
+        &mut self,
+        shards: &ShardSet,
+        line: &str,
+        out: &mut W,
+    ) -> Result<Flow, TroutError> {
+        shards.metrics0().requests_total.inc();
+        match parse_event(line) {
+            Ok(ClientEvent::Predict { id, time }) => {
+                let lane = shards.shard_of(id);
+                self.lanes[lane].push(QueuedPredict {
+                    pos: self.queued,
+                    id,
+                    time,
+                });
+                self.queued += 1;
+                if self.queued >= self.batch_max {
+                    self.flush(shards, out)?;
+                }
+            }
+            Ok(ClientEvent::Shutdown) => {
+                self.flush(shards, out)?;
+                writeln!(out, "{}", ack_response("shutdown", 0))?;
+                return Ok(Flow::Shutdown);
+            }
+            Ok(ClientEvent::Metrics(format)) => {
+                self.flush(shards, out)?;
+                let response = match format {
+                    MetricsFormat::Json => metrics_response(shards.metrics_json()),
+                    MetricsFormat::Prometheus => {
+                        metrics_prometheus_response(shards.metrics_prometheus())
+                    }
+                };
+                writeln!(out, "{response}")?;
+            }
+            Ok(event) => {
+                // Lifecycle events keep response order: drain queued
+                // predicts first, then broadcast to every shard.
+                self.flush(shards, out)?;
+                let response = broadcast_event(shards, &event);
+                match response {
+                    Ok(r) => writeln!(out, "{r}")?,
+                    Err(e) => {
+                        shards.metrics0().record_error(&e);
+                        writeln!(out, "{}", error_response(&e))?;
+                    }
+                }
+            }
+            Err(e) => {
+                self.flush(shards, out)?;
+                shards.metrics0().record_error(&e);
+                writeln!(out, "{}", error_response(&e))?;
+            }
+        }
+        Ok(Flow::Continue)
+    }
+
+    /// Fans queued predicts out to their shards and writes the responses in
+    /// window-position order — one line per queued predict, errors included,
+    /// unpaired tails answered explicitly.
+    pub fn flush<W: Write>(&mut self, shards: &ShardSet, out: &mut W) -> Result<(), TroutError> {
+        if self.queued == 0 {
+            return Ok(());
+        }
+        let mut slots: Vec<Option<(u64, Result<QueuePrediction, TroutError>)>> =
+            (0..self.queued).map(|_| None).collect();
+        for (lane_idx, lane) in self.lanes.iter_mut().enumerate() {
+            if lane.is_empty() {
+                continue;
+            }
+            let queries: Vec<(u64, i64)> = lane.iter().map(|q| (q.id, q.time)).collect();
+            let mut guard = shards.lock(lane_idx);
+            let results = guard.predict_batch(&queries);
+            pair_lane_results(&mut slots, lane, results);
+            // Errors are accounted where they happened: the shard that
+            // owned (and failed) the query.
+            for q in lane.iter() {
+                if let Some((_, Err(e))) = &slots[q.pos] {
+                    guard.metrics.record_error(e);
+                }
+            }
+            drop(guard);
+            lane.clear();
+        }
+        for (pos, slot) in slots.into_iter().enumerate() {
+            match slot {
+                Some((id, Ok(p))) => writeln!(out, "{}", prediction_response(id, &p))?,
+                Some((_, Err(e))) => writeln!(out, "{}", error_response(&e))?,
+                None => {
+                    // Unreachable by construction (every queued predict is in
+                    // exactly one lane), but a position must never go
+                    // unanswered — a silent hole hangs the client.
+                    let e = TroutError::Model(format!(
+                        "internal: no lane answered window position {pos}"
+                    ));
+                    shards.metrics0().record_error(&e);
+                    writeln!(out, "{}", error_response(&e))?;
+                }
+            }
+        }
+        self.queued = 0;
+        Ok(())
+    }
+}
+
+/// Writes one lane's batch results into the window slots, pairing
+/// positionally. `predict_batch` guarantees one result per query; if that
+/// invariant ever breaks, the unpaired trailing queries get an explicit
+/// error result instead of silently never being answered (a client waiting
+/// on a response that will never come is a hang, not an error). Extra
+/// results beyond the lane are dropped.
+fn pair_lane_results(
+    slots: &mut [Option<(u64, Result<QueuePrediction, TroutError>)>],
+    lane: &[QueuedPredict],
+    results: Vec<Result<QueuePrediction, TroutError>>,
+) {
+    let mut results = results.into_iter();
+    for q in lane {
+        let result = results.next().unwrap_or_else(|| {
+            Err(TroutError::Model(format!(
+                "internal: batch produced no answer for job {}",
+                q.id
+            )))
+        });
+        slots[q.pos] = Some((q.id, result));
+    }
+}
+
+/// Applies one lifecycle event on every shard (shard order — all sessions
+/// broadcast in the same order, so two sessions' concurrent events cannot
+/// deadlock and every shard applies the same event set). Returns shard 0's
+/// response; replicas must agree on success/failure.
+fn broadcast_event(shards: &ShardSet, event: &ClientEvent) -> Result<String, TroutError> {
+    let mut first: Option<Result<String, TroutError>> = None;
+    for i in 0..shards.len() {
+        let mut guard = shards.lock(i);
+        let result = match event {
+            ClientEvent::Submit(rec) => guard
+                .apply_submit((**rec).clone())
+                .map(|id| ack_response("submit", id)),
+            ClientEvent::Start { id, time } => guard
+                .apply_start(*id, *time)
+                .map(|()| ack_response("start", *id)),
+            ClientEvent::End { id, time } => guard
+                .apply_end(*id, *time)
+                .map(|()| ack_response("end", *id)),
+            _ => unreachable!("broadcast_event only receives lifecycle events"),
+        };
+        drop(guard);
+        match &first {
+            None => first = Some(result),
+            Some(f) => debug_assert_eq!(
+                f.is_ok(),
+                result.is_ok(),
+                "shard {i} disagreed with shard 0 on a broadcast event"
+            ),
+        }
+    }
+    first.expect("a shard set is never empty")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::ServeConfig;
+    use crate::shard::ShardSet;
+    use trout_slurmsim::SimulationBuilder;
+
+    fn small_set(n_shards: usize) -> (ShardSet, Vec<trout_slurmsim::JobRecord>) {
+        let cfg = ServeConfig {
+            refit_every: 0,
+            seed: 5,
+            ..Default::default()
+        };
+        let set = ShardSet::bootstrap(n_shards, 150, &cfg);
+        let live = SimulationBuilder::anvil_like().jobs(40).seed(6).run();
+        (set, live.records)
+    }
+
+    #[test]
+    fn mixed_batch_re_pairs_in_request_order_across_shards() {
+        let (set, recs) = small_set(3);
+        let mut session = RouterSession::new(set.len(), 64);
+        let mut out = Vec::new();
+        // Submit a handful of jobs, then predict them interleaved with an
+        // unknown id; responses must come back in exactly request order.
+        for rec in recs.iter().take(6) {
+            let line = crate::protocol::submit_line(rec);
+            assert_eq!(
+                session.handle_line(&set, &line, &mut out).unwrap(),
+                Flow::Continue
+            );
+        }
+        out.clear();
+        let mut expect_ids: Vec<Option<u64>> = Vec::new();
+        for (k, rec) in recs.iter().take(6).enumerate() {
+            let (id, ok) = if k == 3 {
+                (888_888, false) // unknown id -> in-place error response
+            } else {
+                (rec.id, true)
+            };
+            let line = format!(
+                "{{\"event\":\"predict\",\"id\":{id},\"time\":{}}}",
+                rec.submit_time
+            );
+            session.handle_line(&set, &line, &mut out).unwrap();
+            expect_ids.push(ok.then_some(id));
+        }
+        session.flush(&set, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 6, "one response per request:\n{text}");
+        for (line, expect) in lines.iter().zip(&expect_ids) {
+            match expect {
+                Some(id) => assert!(
+                    line.contains(&format!("\"id\":{id}")),
+                    "response out of order: {line} (wanted id {id})"
+                ),
+                None => assert!(line.contains("\"ok\":false"), "expected error: {line}"),
+            }
+        }
+    }
+
+    #[test]
+    fn broadcast_keeps_every_shard_replica_identical() {
+        let (set, recs) = small_set(2);
+        let mut session = RouterSession::new(set.len(), 8);
+        let mut out = Vec::new();
+        for rec in recs.iter().take(10) {
+            let line = crate::protocol::submit_line(rec);
+            session.handle_line(&set, &line, &mut out).unwrap();
+        }
+        let idx0 = set.lock(0).index().state_to_json().to_string();
+        let idx1 = set.lock(1).index().state_to_json().to_string();
+        assert_eq!(idx0, idx1, "every shard holds the same index replica");
+    }
+
+    #[test]
+    fn batch_cap_triggers_a_flush_mid_stream() {
+        let (set, recs) = small_set(2);
+        let mut session = RouterSession::new(set.len(), 3);
+        let mut out = Vec::new();
+        for rec in recs.iter().take(4) {
+            let line = crate::protocol::submit_line(rec);
+            session.handle_line(&set, &line, &mut out).unwrap();
+        }
+        out.clear();
+        for rec in recs.iter().take(4) {
+            let line = format!(
+                "{{\"event\":\"predict\",\"id\":{},\"time\":{}}}",
+                rec.id, rec.submit_time
+            );
+            session.handle_line(&set, &line, &mut out).unwrap();
+        }
+        let flushed = String::from_utf8(out.clone()).unwrap();
+        assert_eq!(
+            flushed.lines().count(),
+            3,
+            "cap of 3 flushed the first three predicts; the fourth is queued"
+        );
+        assert_eq!(session.queued(), 1);
+        session.flush(&set, &mut out).unwrap();
+        assert_eq!(String::from_utf8(out).unwrap().lines().count(), 4);
+    }
+
+    use trout_core::QueueEstimate;
+    use trout_std::proptest_lite::vec_of;
+    use trout_std::{prop_assert, prop_assert_eq, proptest_lite};
+
+    fn dummy_prediction(seed: u64) -> QueuePrediction {
+        QueuePrediction {
+            estimate: QueueEstimate::Minutes(seed as f32),
+            quick_proba: 0.5,
+            calibrated_proba: 0.5,
+            minutes: Some(seed as f32),
+            cutoff_min: 10.0,
+        }
+    }
+
+    proptest_lite! {
+        // The PR 5 flush_batch unit test, generalized: however predicts
+        // interleave across lanes, pairing answers every window position
+        // with the right job — and a lane whose batch came back short
+        // (broken predict_batch invariant) yields explicit error responses
+        // for its unpaired tail, never silence.
+        #[cases(200)]
+        fn arbitrary_interleavings_re_pair_positionally(
+            lane_picks in vec_of(0u64..5, 0..60),
+            lanes_n in 1u64..5,
+            truncate in 0u64..4
+        ) {
+            let lanes_n = lanes_n as usize;
+            let mut lanes: Vec<Vec<QueuedPredict>> = vec![Vec::new(); lanes_n];
+            for (pos, pick) in lane_picks.iter().enumerate() {
+                let lane = (*pick as usize) % lanes_n;
+                lanes[lane].push(QueuedPredict { pos, id: 1000 + pos as u64, time: 0 });
+            }
+            // Victim lane: the fullest one loses its last `truncate` results.
+            let victim = (0..lanes_n).max_by_key(|&l| lanes[l].len()).unwrap();
+            let mut slots: Vec<Option<(u64, Result<QueuePrediction, TroutError>)>> =
+                (0..lane_picks.len()).map(|_| None).collect();
+            let mut unpaired: Vec<u64> = Vec::new();
+            for (l, lane) in lanes.iter().enumerate() {
+                let mut results: Vec<Result<QueuePrediction, TroutError>> =
+                    lane.iter().map(|q| Ok(dummy_prediction(q.id))).collect();
+                if l == victim {
+                    let keep = results.len().saturating_sub(truncate as usize);
+                    unpaired = lane[keep..].iter().map(|q| q.id).collect();
+                    results.truncate(keep);
+                }
+                pair_lane_results(&mut slots, lane, results);
+            }
+            for (pos, slot) in slots.iter().enumerate() {
+                let (id, result) = slot.as_ref().expect("every window position answered");
+                prop_assert_eq!(*id, 1000 + pos as u64, "position {} answered for the wrong job", pos);
+                match result {
+                    Ok(p) => {
+                        // The lane's k-th result went to the lane's k-th query.
+                        prop_assert_eq!(p.minutes, Some(*id as f32));
+                        prop_assert!(!unpaired.contains(id));
+                    }
+                    Err(e) => {
+                        prop_assert!(unpaired.contains(id), "unexpected error at {}: {}", pos, e);
+                        prop_assert!(e.to_string().contains(&id.to_string()));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shutdown_drains_the_queue_before_acking() {
+        let (set, recs) = small_set(2);
+        let mut session = RouterSession::new(set.len(), 64);
+        let mut out = Vec::new();
+        let rec = &recs[0];
+        session
+            .handle_line(&set, &crate::protocol::submit_line(rec), &mut out)
+            .unwrap();
+        out.clear();
+        let line = format!(
+            "{{\"event\":\"predict\",\"id\":{},\"time\":{}}}",
+            rec.id, rec.submit_time
+        );
+        session.handle_line(&set, &line, &mut out).unwrap();
+        assert_eq!(session.queued(), 1);
+        let flow = session
+            .handle_line(&set, "{\"event\":\"shutdown\"}", &mut out)
+            .unwrap();
+        assert_eq!(flow, Flow::Shutdown);
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2, "predict response, then the shutdown ack");
+        assert!(lines[0].contains("\"event\":\"predict\""));
+        assert!(lines[1].contains("\"event\":\"shutdown\""));
+    }
+}

@@ -1,115 +1,139 @@
-//! Transports: line-delimited JSON over stdin/stdout or `std::net` TCP.
+//! Blocking transports: line-delimited JSON over stdin/stdout or
+//! thread-per-connection `std::net` TCP. (The nonblocking multi-connection
+//! transport lives in [`reactor`](crate::reactor).)
 //!
-//! Both feed the same session loop. Predict requests are **micro-batched**:
-//! they queue until a non-predict line arrives, the batch cap is hit, or the
-//! reader's buffer drains (no more bytes ready — the client is waiting), then
-//! flush through one [`ServeEngine::predict_batch`] call. Responses always
-//! come back in request order, one line per request.
+//! Both feed the same [`RouterSession`] loop against a [`ShardSet`]. Predict
+//! requests are **micro-batched**: they queue until a non-predict line
+//! arrives, the batch cap is hit, or the reader's buffer drains (no more
+//! bytes ready — the client is waiting), then flush through one
+//! `predict_batch` call per shard with queries routed by `hash(job_id) % N`.
+//! Responses always come back in request order, one line per request.
 //!
 //! Sessions are fault-isolated from each other. Every engine lock goes
-//! through [`lock_engine`], which recovers from a poisoned mutex instead of
-//! propagating the panic — one crashed session must not take down every
-//! other session sharing the engine. [`run_tcp`] reaps finished session
-//! threads on each accept (a long-lived daemon must not accumulate one
-//! `JoinHandle` per connection it ever served), and a session's terminal
-//! error is recorded against the engine metrics by the session thread
-//! itself, so client disconnects and half-open sockets show up in
-//! `errors_by_class` rather than vanishing with the thread.
+//! through the shard set's poison-recovering lock — one crashed session must
+//! not take down every other session sharing the engines. [`run_tcp`] reaps
+//! finished session threads on each accept (a long-lived daemon must not
+//! accumulate one `JoinHandle` per connection it ever served), and a
+//! session's terminal error is recorded against shard 0's metrics by the
+//! session thread itself, so client disconnects and half-open sockets show
+//! up in `errors_by_class` rather than vanishing with the thread.
+//!
+//! Accept errors are **classified**, not blanket-tolerated: fd exhaustion
+//! (`EMFILE`/`ENFILE`) backs off exponentially with a counter + gauge —
+//! spinning on an error the kernel will keep returning only burns the CPU
+//! the stuck daemon needs to drain sessions — per-connection failures
+//! (`ECONNABORTED`, …) skip just that connection, and anything else is a
+//! broken listener and fatal.
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpListener;
-use std::sync::{Arc, Mutex, MutexGuard};
+use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
 
-use trout_core::{QueuePrediction, TroutError};
+use trout_core::TroutError;
 
-use crate::engine::{PredictQuery, ServeEngine};
 use crate::metrics::ServeMetrics;
-use crate::protocol::{
-    ack_response, error_response, metrics_prometheus_response, metrics_response, parse_event,
-    prediction_response, ClientEvent, MetricsFormat,
-};
+use crate::router::{Flow, RouterSession};
+use crate::shard::ShardSet;
 
 /// Hard ceiling on coalesced batch size when the caller passes 0.
-const DEFAULT_BATCH_MAX: usize = 64;
+pub(crate) const DEFAULT_BATCH_MAX: usize = 64;
 
-/// Locks the shared engine, recovering from poison. A session that panics
-/// while holding the guard poisons the mutex; the engine applies events
-/// one at a time under the lock, so its state is consistent at every lock
-/// boundary and the panic of one session is no reason to refuse every
-/// other session forever. Each recovery is counted under the `poisoned`
-/// error class.
-fn lock_engine(engine: &Mutex<ServeEngine>) -> MutexGuard<'_, ServeEngine> {
-    match engine.lock() {
-        Ok(guard) => guard,
-        Err(poisoned) => {
-            engine.clear_poison();
-            let guard = poisoned.into_inner();
-            guard.metrics.record_poisoned();
-            trout_obs::log_warn!(
-                "serve",
-                "engine mutex poisoned by a panicked session; recovered and serving on"
-            );
-            guard
-        }
+/// What one failed `accept(2)` means for the listener.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AcceptDisposition {
+    /// The would-be connection is gone (reset/aborted mid-handshake); skip
+    /// it and accept the next one immediately.
+    Transient,
+    /// Resource exhaustion (`EMFILE`/`ENFILE`/`ENOBUFS`/`ENOMEM`): retrying
+    /// immediately returns the same error; back off and let sessions drain.
+    Backoff,
+    /// The listener itself is broken (bad fd, …); serving cannot continue.
+    Fatal,
+}
+
+const EMFILE: i32 = 24;
+const ENFILE: i32 = 23;
+const ENOBUFS: i32 = 105;
+const ENOMEM: i32 = 12;
+const EPROTO: i32 = 71;
+
+/// Classifies one accept error (see [`AcceptDisposition`]).
+pub fn classify_accept_error(e: &std::io::Error) -> AcceptDisposition {
+    match e.raw_os_error() {
+        Some(EMFILE) | Some(ENFILE) | Some(ENOBUFS) | Some(ENOMEM) => AcceptDisposition::Backoff,
+        Some(EPROTO) => AcceptDisposition::Transient,
+        _ => match e.kind() {
+            std::io::ErrorKind::ConnectionAborted
+            | std::io::ErrorKind::ConnectionReset
+            | std::io::ErrorKind::Interrupted
+            | std::io::ErrorKind::WouldBlock
+            | std::io::ErrorKind::TimedOut => AcceptDisposition::Transient,
+            _ => AcceptDisposition::Fatal,
+        },
     }
 }
 
-/// Writes one response line per queued query, pairing positionally with the
-/// batch results. `predict_batch` guarantees one result per query; if that
-/// invariant ever breaks, the unpaired trailing queries get an explicit
-/// error response instead of silently never being answered (a client
-/// waiting on a response that will never come is a hang, not an error).
-fn write_batch_responses<W: Write>(
-    metrics: &ServeMetrics,
-    queue: &[PredictQuery],
-    results: &[Result<QueuePrediction, TroutError>],
-    out: &mut W,
-) -> Result<(), TroutError> {
-    for (i, (id, _)) in queue.iter().enumerate() {
-        match results.get(i) {
-            Some(Ok(p)) => writeln!(out, "{}", prediction_response(*id, p))?,
-            Some(Err(e)) => {
-                metrics.record_error(e);
-                writeln!(out, "{}", error_response(e))?;
+/// Exponential accept backoff state shared by [`run_tcp`] and the reactor's
+/// acceptor. Successful accepts reset it; `EMFILE`-class errors double the
+/// delay (10 ms … 1 s), count it, and expose the current delay as a gauge so
+/// an operator watching `trout_serve_accept_backoff_ms` sees fd exhaustion
+/// as it happens rather than post-mortem from logs.
+#[derive(Debug, Default)]
+pub struct AcceptBackoff {
+    delay_ms: u64,
+}
+
+impl AcceptBackoff {
+    const MIN_MS: u64 = 10;
+    const MAX_MS: u64 = 1_000;
+
+    /// Handles one accept error: sleeps (Backoff), skips (Transient), or
+    /// returns the error (Fatal). Metrics go to `metrics` (shard 0's).
+    pub fn on_error(
+        &mut self,
+        metrics: &ServeMetrics,
+        e: std::io::Error,
+    ) -> Result<(), TroutError> {
+        match classify_accept_error(&e) {
+            AcceptDisposition::Transient => {
+                metrics.accept_transient_total.inc();
+                trout_obs::log_warn!("serve", "transient accept error (continuing): {e}");
+                Ok(())
             }
-            None => {
-                let e =
-                    TroutError::Model(format!("internal: batch produced no answer for job {id}"));
-                metrics.record_error(&e);
-                writeln!(out, "{}", error_response(&e))?;
+            AcceptDisposition::Backoff => {
+                self.delay_ms = (self.delay_ms * 2).clamp(Self::MIN_MS, Self::MAX_MS);
+                metrics.accept_backoffs_total.inc();
+                metrics.accept_backoff_ms.set(self.delay_ms as f64);
+                trout_obs::log_warn!(
+                    "serve",
+                    "accept hit resource exhaustion ({e}); backing off {} ms",
+                    self.delay_ms
+                );
+                std::thread::sleep(Duration::from_millis(self.delay_ms));
+                Ok(())
+            }
+            AcceptDisposition::Fatal => {
+                trout_obs::log_error!("serve", "fatal listener error: {e}");
+                Err(TroutError::Io(e))
             }
         }
     }
-    Ok(())
-}
 
-fn flush_batch<W: Write>(
-    engine: &Mutex<ServeEngine>,
-    queue: &mut Vec<PredictQuery>,
-    out: &mut W,
-) -> Result<(), TroutError> {
-    if queue.is_empty() {
-        return Ok(());
+    /// Notes a successful accept: clears the backoff and its gauge.
+    pub fn on_success(&mut self, metrics: &ServeMetrics) {
+        if self.delay_ms != 0 {
+            self.delay_ms = 0;
+            metrics.accept_backoff_ms.set(0.0);
+        }
     }
-    let mut guard = lock_engine(engine);
-    let results = guard.predict_batch(queue);
-    debug_assert_eq!(
-        results.len(),
-        queue.len(),
-        "predict_batch must answer every query"
-    );
-    write_batch_responses(&guard.metrics, queue, &results, out)?;
-    drop(guard);
-    queue.clear();
-    out.flush()?;
-    Ok(())
 }
 
 /// Runs one client session to completion (EOF or `shutdown`). Returns the
 /// number of request lines handled.
 pub fn run_session<R: Read, W: Write>(
-    engine: &Mutex<ServeEngine>,
+    shards: &ShardSet,
     input: R,
     mut out: W,
     batch_max: usize,
@@ -121,12 +145,13 @@ pub fn run_session<R: Read, W: Write>(
     };
     let mut reader = BufReader::new(input);
     let mut line = String::new();
-    let mut queue: Vec<PredictQuery> = Vec::with_capacity(batch_max);
+    let mut session = RouterSession::new(shards.len(), batch_max);
     let mut handled = 0u64;
     loop {
         line.clear();
         if reader.read_line(&mut line)? == 0 {
-            flush_batch(engine, &mut queue, &mut out)?;
+            session.flush(shards, &mut out)?;
+            out.flush()?;
             break;
         }
         let trimmed = line.trim();
@@ -134,74 +159,33 @@ pub fn run_session<R: Read, W: Write>(
             continue;
         }
         handled += 1;
-        lock_engine(engine).metrics.requests_total.inc();
-        match parse_event(trimmed) {
-            Ok(ClientEvent::Predict { id, time }) => {
-                queue.push((id, time));
-                // Flush when full — or when the client has nothing further
-                // buffered and is presumably waiting on the answer.
-                if queue.len() >= batch_max || reader.buffer().is_empty() {
-                    flush_batch(engine, &mut queue, &mut out)?;
-                }
-            }
-            Ok(event) => {
-                // Responses stay in request order: drain queued predicts
-                // before answering this line.
-                flush_batch(engine, &mut queue, &mut out)?;
-                let mut guard = lock_engine(engine);
-                let response = match event {
-                    ClientEvent::Submit(rec) => guard
-                        .apply_submit(*rec)
-                        .map(|id| ack_response("submit", id)),
-                    ClientEvent::Start { id, time } => guard
-                        .apply_start(id, time)
-                        .map(|()| ack_response("start", id)),
-                    ClientEvent::End { id, time } => {
-                        guard.apply_end(id, time).map(|()| ack_response("end", id))
-                    }
-                    ClientEvent::Metrics(MetricsFormat::Json) => {
-                        Ok(metrics_response(guard.metrics_json()))
-                    }
-                    ClientEvent::Metrics(MetricsFormat::Prometheus) => {
-                        Ok(metrics_prometheus_response(guard.metrics_prometheus()))
-                    }
-                    ClientEvent::Shutdown => {
-                        writeln!(out, "{}", ack_response("shutdown", 0))?;
-                        out.flush()?;
-                        return Ok(handled);
-                    }
-                    ClientEvent::Predict { .. } => unreachable!("handled above"),
-                };
-                match response {
-                    Ok(r) => writeln!(out, "{r}")?,
-                    Err(e) => {
-                        guard.metrics.record_error(&e);
-                        writeln!(out, "{}", error_response(&e))?;
-                    }
-                }
-                drop(guard);
+        match session.handle_line(shards, trimmed, &mut out)? {
+            Flow::Shutdown => {
                 out.flush()?;
+                return Ok(handled);
             }
-            Err(e) => {
-                flush_batch(engine, &mut queue, &mut out)?;
-                lock_engine(engine).metrics.record_error(&e);
-                writeln!(out, "{}", error_response(&e))?;
-                out.flush()?;
-            }
+            Flow::Continue => {}
+        }
+        // Flush queued predicts when the client has nothing further
+        // buffered and is presumably waiting on the answers.
+        if session.queued() > 0 && reader.buffer().is_empty() {
+            session.flush(shards, &mut out)?;
+        }
+        if session.queued() == 0 {
+            out.flush()?;
         }
     }
     Ok(handled)
 }
 
-/// Serves the engine over stdin/stdout until EOF or `shutdown`, then syncs
-/// any buffered journal appends (clean-shutdown durability for relaxed
-/// fsync policies).
-pub fn run_stdin(engine: ServeEngine, batch_max: usize) -> Result<u64, TroutError> {
-    let engine = Mutex::new(engine);
+/// Serves the shard set over stdin/stdout until EOF or `shutdown`, then
+/// syncs any buffered journal appends (clean-shutdown durability for
+/// relaxed fsync policies).
+pub fn run_stdin(shards: ShardSet, batch_max: usize) -> Result<u64, TroutError> {
     let stdin = std::io::stdin();
     let stdout = std::io::stdout();
-    let handled = run_session(&engine, stdin.lock(), stdout.lock(), batch_max)?;
-    lock_engine(&engine).sync_journal()?;
+    let handled = run_session(&shards, stdin.lock(), stdout.lock(), batch_max)?;
+    shards.sync_journals()?;
     Ok(handled)
 }
 
@@ -229,40 +213,41 @@ fn reap_finished(handles: &mut Vec<JoinHandle<Result<u64, TroutError>>>) {
     }
 }
 
-/// Serves the engine over TCP, one thread per connection, all connections
-/// sharing the engine. `max_conns` bounds how many connections are accepted
-/// before returning (`None` = serve forever). On return, in-flight sessions
-/// are drained (joined) and buffered journal appends are synced.
+/// Serves the shard set over TCP, one thread per connection, all
+/// connections sharing the shards. `max_conns` bounds how many connections
+/// are accepted before returning (`None` = serve forever). On return,
+/// in-flight sessions are drained (joined) and buffered journal appends are
+/// synced.
 pub fn run_tcp(
-    engine: Arc<Mutex<ServeEngine>>,
+    shards: Arc<ShardSet>,
     listener: TcpListener,
     batch_max: usize,
     max_conns: Option<usize>,
 ) -> Result<(), TroutError> {
-    let metrics = lock_engine(&engine).metrics.clone();
+    let metrics = shards.metrics0();
     let mut handles: Vec<JoinHandle<Result<u64, TroutError>>> = Vec::new();
+    let mut backoff = AcceptBackoff::default();
     let mut accepted = 0usize;
     for stream in listener.incoming() {
-        // Transient accept failures (EMFILE, ECONNABORTED, …) must not take
-        // the listener down while session threads keep running.
         let stream = match stream {
             Ok(s) => s,
             Err(e) => {
-                trout_obs::log_warn!("serve", "accept error (continuing): {e}");
+                backoff.on_error(&metrics, e)?;
                 continue;
             }
         };
+        backoff.on_success(&metrics);
         reap_finished(&mut handles);
-        let session_engine = Arc::clone(&engine);
+        let session_shards = Arc::clone(&shards);
         handles.push(std::thread::spawn(move || {
             let result = stream
                 .try_clone()
                 .map_err(TroutError::from)
-                .and_then(|reader| run_session(&session_engine, reader, stream, batch_max));
+                .and_then(|reader| run_session(&session_shards, reader, stream, batch_max));
             if let Err(e) = &result {
                 // The session is this error's only observer — record it
                 // before the thread (and the error) disappears.
-                lock_engine(&session_engine).metrics.record_error(e);
+                session_shards.metrics0().record_error(e);
                 trout_obs::log_warn!("serve", "session ended with error: {e}");
             }
             result
@@ -282,7 +267,7 @@ pub fn run_tcp(
         join_session(h);
     }
     metrics.sessions_live.set(0.0);
-    lock_engine(&engine).sync_journal()?;
+    shards.sync_journals()?;
     Ok(())
 }
 
@@ -292,52 +277,102 @@ mod tests {
     use crate::engine::ServeConfig;
 
     #[test]
-    fn unpaired_batch_queries_get_error_responses_not_silence() {
+    fn accept_errors_classify_by_errno_and_kind() {
+        use std::io::Error;
+        for errno in [EMFILE, ENFILE, ENOBUFS, ENOMEM] {
+            assert_eq!(
+                classify_accept_error(&Error::from_raw_os_error(errno)),
+                AcceptDisposition::Backoff,
+                "errno {errno}"
+            );
+        }
+        for errno in [
+            104, /* ECONNRESET */
+            103, /* ECONNABORTED */
+            EPROTO, 4, /* EINTR */
+        ] {
+            assert_eq!(
+                classify_accept_error(&Error::from_raw_os_error(errno)),
+                AcceptDisposition::Transient,
+                "errno {errno}"
+            );
+        }
+        for errno in [
+            9,  /* EBADF */
+            22, /* EINVAL */
+            88, /* ENOTSOCK */
+        ] {
+            assert_eq!(
+                classify_accept_error(&Error::from_raw_os_error(errno)),
+                AcceptDisposition::Fatal,
+                "errno {errno}"
+            );
+        }
+    }
+
+    #[test]
+    fn backoff_doubles_counts_and_resets() {
         let m = ServeMetrics::new();
-        let queue: Vec<PredictQuery> = vec![(1, 10), (2, 20), (3, 30)];
-        // Simulate a broken batch that only answered the first query.
-        let results: Vec<Result<QueuePrediction, TroutError>> =
-            vec![Err(TroutError::Model("x".into()))];
-        let mut out = Vec::new();
-        write_batch_responses(&m, &queue, &results, &mut out).unwrap();
-        let text = String::from_utf8(out).unwrap();
-        let lines: Vec<&str> = text.lines().collect();
-        assert_eq!(lines.len(), 3, "every query gets a response line");
-        assert!(lines.iter().all(|l| l.contains("\"error\"")));
-        assert!(lines[1].contains("no answer for job 2"));
-        assert!(lines[2].contains("no answer for job 3"));
-        assert_eq!(m.errors_total.get(), 3);
+        let mut b = AcceptBackoff::default();
+        b.on_error(&m, std::io::Error::from_raw_os_error(EMFILE))
+            .unwrap();
+        assert_eq!(m.accept_backoffs_total.get(), 1);
+        assert_eq!(m.accept_backoff_ms.get(), 10.0, "starts at the floor");
+        b.on_error(&m, std::io::Error::from_raw_os_error(ENFILE))
+            .unwrap();
+        assert_eq!(m.accept_backoff_ms.get(), 20.0, "doubles");
+        assert_eq!(m.accept_backoffs_total.get(), 2);
+
+        // Transient errors count separately and do not touch the backoff.
+        b.on_error(&m, std::io::Error::from_raw_os_error(103))
+            .unwrap();
+        assert_eq!(m.accept_transient_total.get(), 1);
+        assert_eq!(m.accept_backoff_ms.get(), 20.0);
+
+        // A successful accept clears the gauge.
+        b.on_success(&m);
+        assert_eq!(m.accept_backoff_ms.get(), 0.0);
+
+        // Fatal errors propagate.
+        let err = b
+            .on_error(&m, std::io::Error::from_raw_os_error(9))
+            .unwrap_err();
+        assert!(matches!(err, TroutError::Io(_)));
     }
 
     #[test]
     fn poisoned_engine_mutex_recovers_and_counts() {
-        let engine = Arc::new(Mutex::new(ServeEngine::bootstrap(
+        let shards = Arc::new(ShardSet::bootstrap(
+            1,
             120,
             &ServeConfig {
                 refit_every: 0,
                 seed: 3,
                 ..Default::default()
             },
-        )));
+        ));
         // Poison the mutex the way a crashing session would: panic while
         // holding the guard.
-        let poisoner = Arc::clone(&engine);
+        let poisoner = Arc::clone(&shards);
         let _ = std::thread::spawn(move || {
-            let _guard = poisoner.lock().unwrap();
+            let _guard = poisoner.shard(0).lock().unwrap();
             panic!("injected session panic");
         })
         .join();
-        assert!(engine.is_poisoned());
+        assert!(shards.shard(0).is_poisoned());
 
         // A subsequent session still gets served.
         let input = b"{\"event\":\"predict\",\"id\":5,\"time\":900}\n" as &[u8];
         let mut out = Vec::new();
-        let handled = run_session(&engine, input, &mut out, 8).unwrap();
+        let handled = run_session(&shards, input, &mut out, 8).unwrap();
         assert_eq!(handled, 1);
         let text = String::from_utf8(out).unwrap();
         assert_eq!(text.lines().count(), 1, "the query was answered");
-        assert!(!engine.is_poisoned(), "poison cleared on first recovery");
-        let guard = lock_engine(&engine);
+        assert!(
+            !shards.shard(0).is_poisoned(),
+            "poison cleared on first recovery"
+        );
+        let guard = shards.lock(0);
         assert!(
             guard.metrics.errors_by_class[5].get() >= 1,
             "poison counted"

@@ -6,9 +6,8 @@
 //! same serialized state down to the byte.
 
 use std::path::PathBuf;
-use std::sync::Mutex;
 
-use trout_serve::{run_session, ServeConfig, ServeEngine};
+use trout_serve::{run_session, ServeConfig, ServeEngine, ShardSet};
 use trout_slurmsim::SimulationBuilder;
 use trout_std::json::Json;
 
@@ -48,10 +47,10 @@ fn split_script(script: &str, frac: f64) -> (String, String) {
 }
 
 /// Feeds `script` through a session and returns the response transcript.
-fn serve(engine: &Mutex<ServeEngine>, script: &str) -> String {
+fn serve(shards: &ShardSet, script: &str) -> String {
     let mut out = Vec::new();
     run_session(
-        engine,
+        shards,
         std::io::Cursor::new(script.to_string()),
         &mut out,
         32,
@@ -92,9 +91,9 @@ fn recovery_is_bit_identical_to_an_uninterrupted_run() {
     let (first, rest) = split_script(&script, 0.5);
 
     // Reference: one engine, no state dir, the whole script in one life.
-    let reference = Mutex::new(engine());
+    let reference = ShardSet::single(engine());
     let ref_responses = serve(&reference, &script);
-    let ref_state = reference.into_inner().unwrap().state_to_json().to_string();
+    let ref_state = reference.lock(0).state_to_json().to_string();
 
     // Crashing run: journal every event (fsync policy 1, snapshot every 32
     // events), serve the first half, then "SIGKILL" — drop the engine with
@@ -103,7 +102,7 @@ fn recovery_is_bit_identical_to_an_uninterrupted_run() {
     {
         let mut e = engine();
         e.open_state_dir(&dir, 32, false).unwrap();
-        let crashed = Mutex::new(e);
+        let crashed = ShardSet::single(e);
         serve(&crashed, &first);
         drop(crashed); // no shutdown, no sync — the crash
     }
@@ -131,7 +130,7 @@ fn recovery_is_bit_identical_to_an_uninterrupted_run() {
     );
 
     // The remainder of the script must produce byte-identical responses...
-    let recovered = Mutex::new(e);
+    let recovered = ShardSet::single(e);
     let rec_responses = serve(&recovered, &rest);
     let ref_rest: String = ref_responses
         .lines()
@@ -141,7 +140,7 @@ fn recovery_is_bit_identical_to_an_uninterrupted_run() {
     assert_transcripts_match(&ref_rest, &rec_responses);
 
     // ...and the final engine state must serialize byte-identically.
-    let rec_state = recovered.into_inner().unwrap().state_to_json().to_string();
+    let rec_state = recovered.lock(0).state_to_json().to_string();
     assert_eq!(
         rec_state, ref_state,
         "recovered state is bit-identical to the uninterrupted run"
@@ -163,7 +162,7 @@ fn snapshot_and_journal_only_recovery_agree() {
     for (dir, every) in [(&dir_snap, 16u64), (&dir_journal, 0u64)] {
         let mut e = engine();
         e.open_state_dir(dir, every, false).unwrap();
-        let m = Mutex::new(e);
+        let m = ShardSet::single(e);
         serve(&m, &first);
     }
 
@@ -195,7 +194,7 @@ fn torn_journal_tail_is_dropped_and_recovery_proceeds() {
     {
         let mut e = engine();
         e.open_state_dir(&dir, 0, false).unwrap();
-        let m = Mutex::new(e);
+        let m = ShardSet::single(e);
         serve(&m, &first);
     }
     // Crash mid-append: a torn, newline-less half record at the tail.

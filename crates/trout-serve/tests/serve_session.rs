@@ -2,11 +2,11 @@
 //! parse → engine → respond loop, over an in-memory pipe and over TCP.
 
 use std::io::Cursor;
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 use trout_features::incremental::{trace_events, ReplayEvent};
 use trout_serve::protocol::job_to_json;
-use trout_serve::{run_session, run_tcp, ServeConfig, ServeEngine};
+use trout_serve::{run_session, run_tcp, ServeConfig, ServeEngine, ShardSet};
 use trout_slurmsim::{SimulationBuilder, Trace};
 use trout_std::json::Json;
 
@@ -109,15 +109,15 @@ fn assert_session_transcript(script: &str, responses: &str) {
 fn stdin_style_session_round_trips_a_replay_script() {
     let live = SimulationBuilder::anvil_like().jobs(150).seed(9).run();
     let script = event_script(&live, 3);
-    let engine = Mutex::new(engine());
+    let shards = ShardSet::single(engine());
     let mut responses: Vec<u8> = Vec::new();
-    let handled = run_session(&engine, Cursor::new(script.clone()), &mut responses, 32).unwrap();
+    let handled = run_session(&shards, Cursor::new(script.clone()), &mut responses, 32).unwrap();
     assert_eq!(handled as usize, script.lines().count());
     assert_session_transcript(&script, &String::from_utf8(responses).unwrap());
 
     // The whole script was buffered in one Cursor, so predicts coalesce
     // into true multi-row batches.
-    let m = engine.lock().unwrap();
+    let m = shards.lock(0);
     assert!(m.metrics.batch_size.count() < m.metrics.predicts_total.get());
 }
 
@@ -134,9 +134,9 @@ fn drift_metrics_match_the_offline_evaluation_bit_for_bit() {
         "{\"event\":\"metrics\"}\n",
         "{\"event\":\"metrics\"}\n{\"event\":\"metrics\",\"format\":\"prometheus\"}\n",
     );
-    let engine = Mutex::new(engine());
+    let shards = ShardSet::single(engine());
     let mut out: Vec<u8> = Vec::new();
-    run_session(&engine, Cursor::new(script.clone()), &mut out, 32).unwrap();
+    run_session(&shards, Cursor::new(script.clone()), &mut out, 32).unwrap();
     let responses = String::from_utf8(out).unwrap();
     let resp: Vec<&str> = responses.lines().collect();
     assert_eq!(resp.len(), script.lines().count());
@@ -224,14 +224,45 @@ fn drift_metrics_match_the_offline_evaluation_bit_for_bit() {
     assert!(body.contains("trout_serve_predicts_total "));
 }
 
+/// The wire protocol must not be able to tell how many shards answer it:
+/// the same script through 1 and 4 shards yields byte-identical response
+/// lines (metrics dumps excluded — merged latency histograms legitimately
+/// differ from a single engine's).
+#[test]
+fn sharded_session_responses_are_byte_identical_to_single_shard() {
+    let live = SimulationBuilder::anvil_like().jobs(150).seed(9).run();
+    let script = event_script(&live, 3);
+    let cfg = ServeConfig {
+        refit_every: 0,
+        seed: 3,
+        ..Default::default()
+    };
+    let mut transcripts = Vec::new();
+    for n in [1usize, 4] {
+        let shards = ShardSet::bootstrap(n, 400, &cfg);
+        let mut out: Vec<u8> = Vec::new();
+        run_session(&shards, Cursor::new(script.clone()), &mut out, 32).unwrap();
+        transcripts.push(String::from_utf8(out).unwrap());
+    }
+    let (single, sharded) = (&transcripts[0], &transcripts[1]);
+    assert_eq!(single.lines().count(), sharded.lines().count());
+    for (a, b) in single.lines().zip(sharded.lines()) {
+        let ja = Json::parse(a).unwrap();
+        if ja.get("event") == Some(&Json::Str("metrics".into())) {
+            continue;
+        }
+        assert_eq!(a, b, "response lines match across shard counts");
+    }
+}
+
 #[test]
 fn bad_lines_get_error_responses_and_do_not_kill_the_session() {
-    let engine = Mutex::new(engine());
+    let shards = ShardSet::single(engine());
     let script = "garbage\n\
                   {\"event\":\"predict\",\"id\":5,\"time\":0}\n\
                   {\"event\":\"metrics\"}\n";
     let mut out: Vec<u8> = Vec::new();
-    run_session(&engine, Cursor::new(script), &mut out, 8).unwrap();
+    run_session(&shards, Cursor::new(script), &mut out, 8).unwrap();
     let responses = String::from_utf8(out).unwrap();
     let lines: Vec<&str> = responses.lines().collect();
     assert_eq!(lines.len(), 3);
@@ -257,7 +288,7 @@ fn tcp_session_serves_a_connection() {
 
     let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
     let addr = listener.local_addr().unwrap();
-    let shared = Arc::new(Mutex::new(engine()));
+    let shared = Arc::new(ShardSet::single(engine()));
     let server = {
         let shared = Arc::clone(&shared);
         std::thread::spawn(move || run_tcp(shared, listener, 16, Some(1)))

@@ -19,12 +19,15 @@
 //!   `criterion`).
 //! * [`fsio`] — durable file I/O (atomic replace, torn-tail-safe appends)
 //!   backing the serve daemon's write-ahead journal and snapshots.
+//! * [`evloop`] — `poll(2)` readiness, `O_NONBLOCK`, and a self-pipe waker
+//!   through thin libc FFI (replaces tokio/mio for the serve reactor).
 //!
 //! Hermetic-build policy: no new external crates may be added to the
 //! workspace without an issue justifying them; extend this crate instead.
 
 pub mod alloc_count;
 pub mod bench;
+pub mod evloop;
 pub mod fsio;
 pub mod json;
 pub mod par;
