@@ -39,7 +39,46 @@ grep '"format":"prometheus"' "$serve_tmp/responses.ndjson" \
     | grep -q 'trout_serve_drift_mae_min'
 grep '"format":"prometheus"' "$serve_tmp/responses.ndjson" \
     | grep -q 'trout_serve_predicts_total'
+# v1 back-compat: the PR 7 v2 envelope (lanes, deadlines) must be invisible
+# to v1 clients — not one response line may carry a lane echo.
+if grep -q '"lane"' "$serve_tmp/responses.ndjson"; then
+    echo "serve smoke: v1 responses grew a lane member" >&2
+    exit 1
+fi
 rm -rf "$serve_tmp"
+
+# Overload smoke: a deliberately starved scheduler (one prediction estimated
+# at 200 ms against a 400 ms normal budget admits at most two in flight)
+# must shed a v2 predict flood with typed overloaded+retry_after_ms errors,
+# while urgent requests on a generous budget sail past the normal backlog
+# with zero SLO violations.
+ovl_tmp=$(mktemp -d)
+{
+    for k in $(seq 1 20); do
+        printf '{"event":"submit","job":{"id":%d,"user":1,"partition":0,"submit_time":1000,"req_cpus":4,"req_mem_gb":8,"req_nodes":1,"timelimit_min":30}}\n' "$k"
+    done
+    for k in $(seq 1 20); do
+        printf '{"v":2,"event":"predict","id":%d,"time":1060,"lane":"normal"}\n' "$k"
+    done
+    for k in $(seq 1 5); do
+        printf '{"v":2,"event":"predict","id":%d,"time":1060,"lane":"urgent"}\n' "$k"
+    done
+    printf '{"event":"metrics"}\n{"event":"shutdown"}\n'
+} > "$ovl_tmp/events.ndjson"
+./target/release/trout serve --bootstrap 300 --stdin \
+    --est-predict-us 200000 --deadline-ms 400 --urgent-deadline-ms 10000 \
+    < "$ovl_tmp/events.ndjson" > "$ovl_tmp/responses.ndjson"
+test "$(wc -l < "$ovl_tmp/events.ndjson")" -eq "$(wc -l < "$ovl_tmp/responses.ndjson")"
+# The flood shed: typed errors with a retry hint, and the admission section
+# of the metrics dump counts them under the normal lane.
+grep -q '"error":"overloaded' "$ovl_tmp/responses.ndjson"
+grep '"error":"overloaded' "$ovl_tmp/responses.ndjson" | grep -q '"retry_after_ms":[1-9]'
+grep '"event":"metrics"' "$ovl_tmp/responses.ndjson" | grep -q '"shed_total":[1-9]'
+# Every admitted urgent predict answered with its lane echo, inside budget.
+test "$(grep -c '"lane":"urgent"' "$ovl_tmp/responses.ndjson")" -eq 5
+grep '"event":"metrics"' "$ovl_tmp/responses.ndjson" \
+    | grep -q '"slo_violations":{"urgent":0'
+rm -rf "$ovl_tmp"
 
 # Crash-recovery smoke: serve a replay script with a write-ahead state dir,
 # SIGKILL the daemon halfway through, restart with --recover, feed the rest,

@@ -14,7 +14,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use trout_serve::protocol::job_to_json;
-use trout_serve::{run_session, ServeConfig, ServeEngine, ShardSet};
+use trout_serve::{run_session, RouterSession, ServeConfig, ServeEngine, ShardSet};
 use trout_slurmsim::{SimulationBuilder, Trace};
 use trout_std::bench::{write_report, Criterion};
 use trout_std::json::Json;
@@ -129,6 +129,10 @@ pub fn bench_serve(c: &mut Criterion) {
     // shard engines, concurrency fixed, measuring how sustained throughput
     // scales with shards.
     let sweep = shard_sweep(smoke);
+    // The offered-load sweep: paced open-loop arrivals through the scheduled
+    // v2 window, reporting latency-vs-load curves and the max goodput the
+    // daemon sustains while the urgent lane still meets its SLO.
+    let offered = offered_load_sweep(smoke);
 
     if !smoke {
         let report = Json::Obj(vec![
@@ -150,6 +154,7 @@ pub fn bench_serve(c: &mut Criterion) {
                 ]),
             ),
             ("shard_sweep".into(), sweep),
+            ("offered_load".into(), offered),
             ("metrics".into(), engine.metrics.to_json()),
         ]);
         write_report("serve", &report);
@@ -172,7 +177,11 @@ pub fn bench_serve(c: &mut Criterion) {
     let mut group = c.benchmark_group("serve_predict");
     group.sample_size(20);
     for &n in &[1usize, 8, 32] {
-        let queries: Vec<(u64, i64)> = ids.iter().take(n).map(|&id| (id, t_now + 1)).collect();
+        let queries: Vec<trout_serve::engine::PredictQuery> = ids
+            .iter()
+            .take(n)
+            .map(|&id| trout_serve::engine::PredictQuery::new(id, t_now + 1))
+            .collect();
         group.bench_function(&format!("predict_batch/{n}")[..], |b| {
             b.iter(|| engine.predict_batch(&queries))
         });
@@ -312,4 +321,189 @@ fn shard_sweep(smoke: bool) -> Json {
     }
     std::env::remove_var("TROUT_THREADS");
     Json::Arr(entries)
+}
+
+/// Sweeps paced offered load through the scheduled v2 predict path
+/// (DESIGN §12) at 1 and 2 shards: an open-loop driver emits v2 predicts —
+/// 10% urgent, 10% batch, the rest normal — at a fixed target rate, holding
+/// each window on the production deadline scheduler (`flush_if_due` after
+/// every arrival, exactly what the reactor's deadline pass does between
+/// polls).
+///
+/// Latency is charged from each request's **scheduled** arrival instant,
+/// not the moment the driver managed to send it — the standard
+/// coordinated-omission correction — so when offered load exceeds service
+/// capacity the backlog shows up as unbounded p99, not as a silently
+/// slowed-down driver. Goodput counts only admitted predictions answered
+/// within their lane budget; the per-shard-count headline is the highest
+/// offered rate whose urgent p99 still met the urgent lane's SLO, and the
+/// goodput it delivered there.
+fn offered_load_sweep(smoke: bool) -> Json {
+    let (boot_jobs, pool, n_requests, rates): (usize, usize, usize, &[u64]) = if smoke {
+        (300, 64, 300, &[2_000, 8_000])
+    } else {
+        (
+            2_000,
+            256,
+            4_000,
+            &[1_000, 2_000, 5_000, 10_000, 20_000, 40_000],
+        )
+    };
+    let cfg = ServeConfig {
+        refit_every: 0,
+        seed: 7,
+        ..Default::default()
+    };
+    let t_submit: i64 = 50_000_000;
+    let t_query: i64 = t_submit + 600;
+    let mut submit_script = String::new();
+    for k in 0..pool as u64 {
+        submit_script.push_str(&format!(
+            "{{\"event\":\"submit\",\"job\":{{\"id\":{},\"user\":{},\"partition\":0,\
+             \"submit_time\":{t_submit},\"req_cpus\":{},\"req_mem_gb\":16,\"req_nodes\":1,\
+             \"timelimit_min\":{}}}}}\n",
+            30_000_000 + k,
+            k % 37,
+            1u64 << (k % 5),
+            15 + (k % 8) * 30,
+        ));
+    }
+
+    std::env::set_var("TROUT_THREADS", "1");
+    let mut per_shard_count = Vec::new();
+    for &n_shards in &[1usize, 2] {
+        let mut entries = Vec::new();
+        let mut best_rate = 0u64;
+        let mut best_goodput = 0.0f64;
+        for &rate in rates {
+            let set = ShardSet::bootstrap(n_shards, boot_jobs, &cfg);
+            run_session(&set, submit_script.as_bytes(), &mut Vec::new(), 64)
+                .expect("offered-load submit phase");
+            let budgets_us: Vec<u64> = set
+                .scheduler()
+                .default_deadline_ms
+                .iter()
+                .map(|&ms| ms * 1_000)
+                .collect();
+            let mut session = RouterSession::new(set.len(), 32);
+            let mut out = Vec::new();
+            // (scheduled arrival µs, lane rank) per admitted in-flight
+            // predict; a flush completes everything in flight at once.
+            let mut inflight: Vec<(u64, usize)> = Vec::new();
+            let mut lat: [Vec<u64>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+            let t0 = Instant::now();
+            for k in 0..n_requests {
+                let sched_us = k as u64 * 1_000_000 / rate;
+                while (t0.elapsed().as_micros() as u64) < sched_us {
+                    std::hint::spin_loop();
+                }
+                let rank = match k % 10 {
+                    0 => 0, // urgent
+                    9 => 2, // batch
+                    _ => 1, // normal
+                };
+                let lane = ["urgent", "normal", "batch"][rank];
+                let id = 30_000_000 + (k % pool) as u64;
+                let line = format!(
+                    "{{\"v\":2,\"event\":\"predict\",\"id\":{id},\"time\":{t_query},\
+                     \"lane\":\"{lane}\"}}"
+                );
+                let q0 = session.queued();
+                session.handle_line(&set, &line, &mut out).expect("predict");
+                // Admitted if it joined the queue, or if it was admitted and
+                // immediately drained by the batch-cap flush inside
+                // `handle_line` (a shed never empties the window).
+                if session.queued() != q0 || session.pending() == 0 {
+                    inflight.push((sched_us, rank));
+                }
+                session.flush_if_due(&set, &mut out).expect("flush_if_due");
+                if session.pending() == 0 {
+                    // A flush drains the whole window: everything in flight
+                    // completed now.
+                    let now_us = t0.elapsed().as_micros() as u64;
+                    for (s, r) in inflight.drain(..) {
+                        lat[r].push(now_us.saturating_sub(s));
+                    }
+                }
+            }
+            session.flush(&set, &mut out).expect("final flush");
+            let now_us = t0.elapsed().as_micros() as u64;
+            for (s, r) in inflight.drain(..) {
+                lat[r].push(now_us.saturating_sub(s));
+            }
+            let elapsed_s = t0.elapsed().as_secs_f64();
+
+            let quant = |v: &mut Vec<u64>, q: f64| -> u64 {
+                if v.is_empty() {
+                    return 0;
+                }
+                v.sort_unstable();
+                v[((v.len() - 1) as f64 * q) as usize]
+            };
+            let mut lanes_json = Vec::new();
+            let mut good = 0u64;
+            let mut urgent_p99 = 0u64;
+            for (r, name) in ["urgent", "normal", "batch"].iter().enumerate() {
+                let within = lat[r].iter().filter(|&&l| l <= budgets_us[r]).count() as u64;
+                good += within;
+                let p50 = quant(&mut lat[r], 0.50);
+                let p99 = quant(&mut lat[r], 0.99);
+                if r == 0 {
+                    urgent_p99 = p99;
+                }
+                lanes_json.push((
+                    (*name).to_string(),
+                    Json::Obj(vec![
+                        ("answered".into(), Json::Int(lat[r].len() as i128)),
+                        ("within_slo".into(), Json::Int(within as i128)),
+                        ("p50_us".into(), Json::Int(p50 as i128)),
+                        ("p99_us".into(), Json::Int(p99 as i128)),
+                    ]),
+                ));
+            }
+            let shed_total = set
+                .metrics_json()
+                .get("admission")
+                .and_then(|a| a.get("shed_total"))
+                .and_then(|s| match s {
+                    Json::Int(v) => Some(*v as u64),
+                    _ => None,
+                })
+                .unwrap_or(0);
+            let goodput = good as f64 / elapsed_s.max(1e-9);
+            let slo_met = urgent_p99 <= budgets_us[0];
+            if slo_met && goodput > best_goodput {
+                best_goodput = goodput;
+                best_rate = rate;
+            }
+            eprintln!(
+                "bench serve/offered_load: shards={n_shards} rate={rate}/s — urgent p99 \
+                 {urgent_p99} us ({}), goodput {goodput:.0}/s, {shed_total} shed",
+                if slo_met { "SLO met" } else { "SLO MISSED" },
+            );
+            entries.push(Json::Obj(vec![
+                ("offered_per_sec".into(), Json::Int(rate as i128)),
+                ("requests".into(), Json::Int(n_requests as i128)),
+                ("elapsed_s".into(), Json::Num(elapsed_s)),
+                ("lanes".into(), Json::Obj(lanes_json)),
+                ("shed_total".into(), Json::Int(shed_total as i128)),
+                ("goodput_per_sec".into(), Json::Num(goodput)),
+                ("urgent_slo_met".into(), Json::Bool(slo_met)),
+            ]));
+        }
+        per_shard_count.push(Json::Obj(vec![
+            ("shards".into(), Json::Int(n_shards as i128)),
+            (
+                "max_offered_under_slo_per_sec".into(),
+                Json::Int(best_rate as i128),
+            ),
+            (
+                "max_goodput_under_slo_per_sec".into(),
+                Json::Num(best_goodput),
+            ),
+            ("points".into(), Json::Arr(entries)),
+        ]));
+    }
+    std::env::remove_var("TROUT_THREADS");
+    Json::Arr(per_shard_count)
 }

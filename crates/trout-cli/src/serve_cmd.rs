@@ -20,6 +20,8 @@ use crate::commands::{load_model, load_trace};
 /// `trout serve (--model MODEL.json --trace FILE | --bootstrap JOBS)
 ///              [--stdin | --listen ADDR [--reactor [--reactor-threads N]]]
 ///              [--shards N] [--batch N] [--refit-every N]
+///              [--deadline-ms N] [--urgent-deadline-ms N]
+///              [--batch-deadline-ms N] [--est-predict-us N]
 ///              [--state-dir DIR [--recover] [--snapshot-every N]
 ///               [--fsync-every N]]`
 ///
@@ -32,6 +34,14 @@ use crate::commands::{load_model, load_trace};
 /// is unchanged. `--reactor` swaps the listener's thread-per-connection
 /// transport for the `poll(2)` event loop (`--reactor-threads`, default
 /// auto), multiplexing many connections per thread.
+///
+/// The scheduler flags tune the v2 predict SLO layer (DESIGN §12):
+/// `--deadline-ms` / `--urgent-deadline-ms` / `--batch-deadline-ms` set the
+/// default latency budget of the normal / urgent / batch lane (defaults
+/// 500 / 50 / 5000) for predicts that name no explicit `deadline_ms`, and
+/// `--est-predict-us` (default 150) is the per-prediction cost estimate
+/// behind both the deadline-hold window and the admission-control shed
+/// threshold.
 ///
 /// With `--state-dir`, every accepted event is appended to a write-ahead
 /// journal (fsynced per `--fsync-every`, default 1 = durable before each
@@ -78,6 +88,25 @@ pub fn serve(opts: &Options) -> Result<()> {
             &cfg,
         )
     };
+
+    let mut sched = trout_serve::SchedulerConfig::default();
+    sched.default_deadline_ms = [
+        opts.get_or("urgent-deadline-ms", sched.default_deadline_ms[0])?,
+        opts.get_or("deadline-ms", sched.default_deadline_ms[1])?,
+        opts.get_or("batch-deadline-ms", sched.default_deadline_ms[2])?,
+    ];
+    sched.est_predict_us = opts.get_or("est-predict-us", sched.est_predict_us)?;
+    if sched.est_predict_us == 0 {
+        return Err(TroutError::Config(
+            "--est-predict-us must be at least 1".into(),
+        ));
+    }
+    if sched.default_deadline_ms.contains(&0) {
+        return Err(TroutError::Config(
+            "lane deadlines must be at least 1 ms".into(),
+        ));
+    }
+    let shards = shards.with_scheduler(sched);
 
     let fsync_every: u64 = opts.get_or("fsync-every", 1)?;
     for i in 0..shards.len() {

@@ -24,6 +24,14 @@ pub enum TroutError {
     /// Serve-protocol violation: unknown event kind, illegal lifecycle
     /// transition, reference to an unknown job.
     Protocol(String),
+    /// Admission control shed the request: its lane's queue already holds
+    /// more work than the latency budget can absorb, so queueing it would
+    /// be a guaranteed SLO violation. `retry_after_ms` is the controller's
+    /// estimate of when the lane will have drained enough to admit.
+    Overloaded {
+        /// Suggested client back-off before retrying, in milliseconds.
+        retry_after_ms: u64,
+    },
 }
 
 impl std::fmt::Display for TroutError {
@@ -34,6 +42,10 @@ impl std::fmt::Display for TroutError {
             TroutError::Config(m) => write!(f, "config error: {m}"),
             TroutError::Model(m) => write!(f, "model error: {m}"),
             TroutError::Protocol(m) => write!(f, "protocol error: {m}"),
+            TroutError::Overloaded { retry_after_ms } => write!(
+                f,
+                "overloaded: lane queue exceeds its latency budget, retry after {retry_after_ms} ms"
+            ),
         }
     }
 }
@@ -83,6 +95,7 @@ mod tests {
             (TroutError::Config("bad flag".into()), "config error"),
             (TroutError::Model("no model".into()), "model error"),
             (TroutError::Protocol("bad event".into()), "protocol error"),
+            (TroutError::Overloaded { retry_after_ms: 25 }, "overloaded"),
         ];
         for (e, prefix) in cases {
             assert!(e.to_string().starts_with(prefix), "{e}");

@@ -34,7 +34,8 @@ pub mod tuner;
 pub use error::TroutError;
 pub use model::{HierarchicalModel, PredictorScratch};
 pub use predictor::{
-    BatchPredictionRequest, PredictionRequest, Predictor, QueueEstimate, QueuePrediction,
+    BatchPredictionRequest, Deadline, Lane, PredictionRequest, Predictor, QueueEstimate,
+    QueuePrediction, LANES,
 };
 pub use runtime::RuntimePredictor;
 pub use trainer::{TargetTransform, TroutConfig, TroutTrainer};

@@ -115,6 +115,7 @@ impl HierarchicalModel {
                 calibrated_proba: calibrated[r],
                 minutes: minutes[r],
                 cutoff_min: self.cutoff_min,
+                lane: crate::Lane::Normal,
             })
             .collect()
     }
@@ -161,6 +162,7 @@ impl Predictor for HierarchicalModel {
             calibrated_proba,
             minutes,
             cutoff_min: self.cutoff_min,
+            lane: req.lane,
         }
     }
 

@@ -78,6 +78,100 @@ impl FromJson for QueueEstimate {
     }
 }
 
+/// The serving priority lane a prediction request travels in.
+///
+/// Lanes order **scheduling**, not numerics: a prediction's value is
+/// identical in every lane (row-independent inference); what changes is how
+/// long the batch former may hold the request and how aggressively admission
+/// control sheds it under load. `Urgent` outranks `Normal` outranks `Batch`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum Lane {
+    /// Latency-critical: preempts lane ordering at flush time, tightest
+    /// default budget, smallest admission headroom.
+    Urgent,
+    /// The default for requests that name no lane (every v1 client).
+    #[default]
+    Normal,
+    /// Throughput traffic: longest default budget, shed first under load.
+    Batch,
+}
+
+/// Every lane, in priority order (the index is [`Lane::rank`]).
+pub const LANES: [Lane; 3] = [Lane::Urgent, Lane::Normal, Lane::Batch];
+
+impl Lane {
+    /// Priority rank: 0 = urgent, 1 = normal, 2 = batch. Lower ranks are
+    /// executed first at flush time and count less queued work against
+    /// their budget (an urgent request only waits behind other urgents).
+    pub fn rank(self) -> usize {
+        match self {
+            Lane::Urgent => 0,
+            Lane::Normal => 1,
+            Lane::Batch => 2,
+        }
+    }
+
+    /// The wire/protocol name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Lane::Urgent => "urgent",
+            Lane::Normal => "normal",
+            Lane::Batch => "batch",
+        }
+    }
+
+    /// Parses the wire name.
+    pub fn parse(s: &str) -> Option<Lane> {
+        match s {
+            "urgent" => Some(Lane::Urgent),
+            "normal" => Some(Lane::Normal),
+            "batch" => Some(Lane::Batch),
+            _ => None,
+        }
+    }
+}
+
+impl ToJson for Lane {
+    fn to_json(&self) -> Json {
+        Json::Str(self.as_str().to_string())
+    }
+}
+
+impl FromJson for Lane {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        match j {
+            Json::Str(s) => {
+                Lane::parse(s).ok_or_else(|| JsonError::new(format!("unknown lane `{s}`")))
+            }
+            other => Err(JsonError::new(format!(
+                "Lane must be a string, got {other}"
+            ))),
+        }
+    }
+}
+
+/// A latency budget: how long the requester is willing to wait for the
+/// answer, end to end. The serve scheduler turns it into an absolute flush
+/// deadline at admission; a request with no explicit deadline gets its
+/// lane's configured default.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Deadline {
+    /// Budget in milliseconds (wire field `deadline_ms`).
+    pub budget_ms: u64,
+}
+
+impl Deadline {
+    /// A budget of `ms` milliseconds.
+    pub fn ms(ms: u64) -> Deadline {
+        Deadline { budget_ms: ms }
+    }
+
+    /// The budget in microseconds (scheduler arithmetic is in µs).
+    pub fn as_micros(self) -> u64 {
+        self.budget_ms.saturating_mul(1_000)
+    }
+}
+
 /// One job's features on their way into a [`Predictor`].
 #[derive(Debug, Clone, Copy)]
 pub struct PredictionRequest<'a> {
@@ -88,6 +182,13 @@ pub struct PredictionRequest<'a> {
     /// only regresses jobs classified as long; evaluation code that scores
     /// the regressor on *known*-long jobs needs the unconditional estimate.
     pub want_minutes: bool,
+    /// Scheduling lane the request arrived in. Inference ignores it (the
+    /// numerics are lane-independent); it rides along so the prediction can
+    /// echo it and the serving layer can account per lane.
+    pub lane: Lane,
+    /// Explicit latency budget, if the requester named one (`None` = the
+    /// lane's configured default applies).
+    pub deadline: Option<Deadline>,
 }
 
 impl<'a> PredictionRequest<'a> {
@@ -96,6 +197,8 @@ impl<'a> PredictionRequest<'a> {
         PredictionRequest {
             features,
             want_minutes: false,
+            lane: Lane::Normal,
+            deadline: None,
         }
     }
 
@@ -104,7 +207,21 @@ impl<'a> PredictionRequest<'a> {
         PredictionRequest {
             features,
             want_minutes: true,
+            lane: Lane::Normal,
+            deadline: None,
         }
+    }
+
+    /// Same request in `lane`.
+    pub fn in_lane(mut self, lane: Lane) -> PredictionRequest<'a> {
+        self.lane = lane;
+        self
+    }
+
+    /// Same request with an explicit latency budget.
+    pub fn with_deadline(mut self, deadline: Deadline) -> PredictionRequest<'a> {
+        self.deadline = Some(deadline);
+        self
     }
 }
 
@@ -152,6 +269,10 @@ pub struct QueuePrediction {
     pub minutes: Option<f32>,
     /// The cutoff (minutes) the decision was made against.
     pub cutoff_min: f32,
+    /// The lane the request was served in, echoed back so v2 clients can
+    /// correlate responses with their SLO class. Lane never changes the
+    /// numerics above.
+    pub lane: Lane,
 }
 
 trout_std::impl_json_struct!(QueuePrediction {
@@ -160,6 +281,7 @@ trout_std::impl_json_struct!(QueuePrediction {
     calibrated_proba,
     minutes,
     cutoff_min,
+    lane,
 });
 
 impl QueuePrediction {
@@ -193,6 +315,8 @@ pub trait Predictor {
                 self.predict(PredictionRequest {
                     features: req.features.row(r),
                     want_minutes: req.want_minutes,
+                    lane: Lane::Normal,
+                    deadline: None,
                 })
             })
             .collect()
@@ -225,6 +349,7 @@ mod tests {
             calibrated_proba: 0.8,
             minutes: None,
             cutoff_min: 10.0,
+            lane: Lane::Normal,
         };
         assert_eq!(p.as_minutes(), 5.0);
         assert_eq!(p.message(), "Predicted to take less than 10 minutes");
@@ -239,6 +364,7 @@ mod tests {
                 calibrated_proba: 0.8,
                 minutes: None,
                 cutoff_min: 10.0,
+                lane: Lane::Normal,
             },
             QueuePrediction {
                 estimate: QueueEstimate::Minutes(123.456),
@@ -246,11 +372,32 @@ mod tests {
                 calibrated_proba: 0.2,
                 minutes: Some(123.456),
                 cutoff_min: 10.0,
+                lane: Lane::Urgent,
             },
         ] {
             let back = QueuePrediction::from_json_str(&p.to_json_string()).unwrap();
             assert_eq!(back, p);
         }
         assert!(QueueEstimate::from_json_str("\"Slow\"").is_err());
+    }
+
+    #[test]
+    fn lanes_rank_and_round_trip() {
+        assert!(Lane::Urgent < Lane::Normal && Lane::Normal < Lane::Batch);
+        for (i, lane) in LANES.iter().enumerate() {
+            assert_eq!(lane.rank(), i);
+            assert_eq!(Lane::parse(lane.as_str()), Some(*lane));
+            let back = Lane::from_json(&lane.to_json()).unwrap();
+            assert_eq!(back, *lane);
+        }
+        assert_eq!(Lane::default(), Lane::Normal);
+        assert_eq!(Lane::parse("express"), None);
+        assert!(Lane::from_json(&Json::Int(2)).is_err());
+    }
+
+    #[test]
+    fn deadlines_convert_to_micros() {
+        assert_eq!(Deadline::ms(50).as_micros(), 50_000);
+        assert_eq!(Deadline::ms(u64::MAX).as_micros(), u64::MAX);
     }
 }

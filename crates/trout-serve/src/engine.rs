@@ -22,7 +22,7 @@ use std::time::Instant;
 
 use trout_core::online::{update_model_in, OnlineConfig, RefitScratch};
 use trout_core::{
-    featurize, BatchPredictionRequest, HierarchicalModel, PredictorScratch, QueueEstimate,
+    featurize, BatchPredictionRequest, HierarchicalModel, Lane, PredictorScratch, QueueEstimate,
     QueuePrediction, RuntimePredictor, TroutConfig, TroutError, TroutTrainer,
 };
 use trout_features::incremental::JobPhase;
@@ -38,7 +38,7 @@ use trout_std::json::{FromJson, Json, JsonError, ToJson};
 
 use crate::journal::{Durability, Journal, JOURNAL_FILE, SNAPSHOT_FILE};
 use crate::metrics::{ServeMetrics, CONFUSION_CELLS};
-use crate::protocol::{lifecycle_line, submit_line};
+use crate::protocol::{lifecycle_line, predict_line, submit_line};
 use crate::recover::{replay_journal, RecoveryReport};
 
 /// State events between eviction sweeps of the incremental index.
@@ -71,8 +71,37 @@ impl Default for ServeConfig {
     }
 }
 
-/// A single prediction request: job id and the query instant.
-pub type PredictQuery = (u64, i64);
+/// A single prediction request: job id, query instant, and the priority
+/// lane it is served in. The lane is scheduling metadata — it is journaled
+/// (when non-default) so replay reproduces the drift monitor's stored
+/// predictions exactly, and stamped onto the returned [`QueuePrediction`],
+/// but it never changes the numerics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PredictQuery {
+    /// Job id.
+    pub id: u64,
+    /// Query instant (unix seconds).
+    pub time: i64,
+    /// Priority lane.
+    pub lane: Lane,
+}
+
+impl PredictQuery {
+    /// A normal-lane query (what every v1 client sends).
+    pub fn new(id: u64, time: i64) -> PredictQuery {
+        PredictQuery {
+            id,
+            time,
+            lane: Lane::Normal,
+        }
+    }
+
+    /// Same query in `lane`.
+    pub fn in_lane(mut self, lane: Lane) -> PredictQuery {
+        self.lane = lane;
+        self
+    }
+}
 
 /// Joins served predictions against realized queue times.
 ///
@@ -351,16 +380,17 @@ impl ServeEngine {
         let mut flat: Vec<f32> = Vec::with_capacity(queries.len() * N_FEATURES);
         let mut slots: Vec<Result<usize, TroutError>> = Vec::with_capacity(queries.len());
         let mut n_ok = 0usize;
-        for &(id, time) in queries {
+        for q in queries {
             // Predicts are journaled too: they cache feature rows and feed
-            // the drift monitor, so replay must reproduce them. A failed
-            // append rejects just this query; the batch goes on.
-            if let Err(e) = self.journal_event(|| lifecycle_line("predict", id, time)) {
+            // the drift monitor, so replay must reproduce them (lane
+            // included — the stored prediction carries it). A failed append
+            // rejects just this query; the batch goes on.
+            if let Err(e) = self.journal_event(|| predict_line(q.id, q.time, q.lane)) {
                 slots.push(Err(e));
                 continue;
             }
             let t_feat = Instant::now();
-            match self.featurize_pending(id, time) {
+            match self.featurize_pending(q.id, q.time) {
                 Ok(row) => {
                     self.metrics
                         .featurize_us
@@ -400,16 +430,17 @@ impl ServeEngine {
         let results: Vec<Result<QueuePrediction, TroutError>> = slots
             .into_iter()
             .zip(queries)
-            .map(|(s, &(id, _))| {
+            .map(|(s, q)| {
                 s.map(|i| {
-                    let p = preds[i];
+                    let mut p = preds[i];
+                    p.lane = q.lane;
                     // Remember the answer for the drift join at `start`;
                     // re-predicted jobs keep only the latest one. Same cap
                     // policy as cached_rows against ids that never start.
                     if self.drift.served.len() < CACHED_ROWS_MAX
-                        || self.drift.served.contains_key(&id)
+                        || self.drift.served.contains_key(&q.id)
                     {
-                        self.drift.served.insert(id, p);
+                        self.drift.served.insert(q.id, p);
                     }
                     p
                 })
@@ -419,9 +450,9 @@ impl ServeEngine {
         results
     }
 
-    /// Convenience wrapper for a batch of one.
+    /// Convenience wrapper for a normal-lane batch of one.
     pub fn predict_one(&mut self, id: u64, time: i64) -> Result<QueuePrediction, TroutError> {
-        self.predict_batch(&[(id, time)])
+        self.predict_batch(&[PredictQuery::new(id, time)])
             .pop()
             .expect("one query in, one result out")
     }
@@ -923,7 +954,11 @@ mod tests {
         let t = b.submit_time;
         engine.apply_submit(a.clone()).unwrap();
         engine.apply_submit(b.clone()).unwrap();
-        let out = engine.predict_batch(&[(a.id, t), (424_242, t), (b.id, t)]);
+        let out = engine.predict_batch(&[
+            PredictQuery::new(a.id, t),
+            PredictQuery::new(424_242, t),
+            PredictQuery::new(b.id, t),
+        ]);
         assert_eq!(out.len(), 3);
         assert!(out[0].is_ok() && out[2].is_ok());
         assert!(out[1].is_err());

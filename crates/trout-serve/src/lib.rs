@@ -23,6 +23,11 @@
 //! * [`reactor`] — the event-driven TCP transport: `poll(2)` readiness over
 //!   nonblocking sockets (via [`trout_std::evloop`]), multiplexing many
 //!   connections per thread with per-connection write backpressure.
+//! * [`scheduler`] — the SLO layer behind the v2 predict envelope: latency
+//!   budgets per priority lane (`urgent` > `normal` > `batch`), the
+//!   deadline-driven flush rule, and lane-aware admission control that
+//!   sheds with a typed `overloaded` + `retry_after_ms` instead of
+//!   queueing into certain SLO violation.
 //! * [`protocol`] — the event grammar, parsing, and response builders.
 //! * [`metrics`] — shared handles into a per-engine
 //!   [`trout_obs::Registry`]: counters, per-error-class breakdowns, and
@@ -50,6 +55,7 @@ pub mod reactor;
 pub mod recover;
 pub mod replay;
 pub mod router;
+pub mod scheduler;
 pub mod server;
 pub mod shard;
 
@@ -61,5 +67,6 @@ pub use reactor::{run_reactor, ReactorConfig};
 pub use recover::RecoveryReport;
 pub use replay::replay_script;
 pub use router::RouterSession;
+pub use scheduler::{AdmissionControl, SchedulerConfig};
 pub use server::{run_session, run_stdin, run_tcp, AcceptBackoff, AcceptDisposition};
 pub use shard::{shard_dir, shard_of, ShardSet};

@@ -16,7 +16,7 @@
 
 use std::sync::Arc;
 
-use trout_core::TroutError;
+use trout_core::{TroutError, LANES};
 pub use trout_obs::LogHistogram;
 use trout_obs::{Counter, Gauge, Histogram, Registry};
 use trout_std::json::Json;
@@ -40,10 +40,10 @@ pub struct ServeMetrics {
     /// Requests rejected with an error response (aggregate over classes).
     pub errors_total: Counter,
     /// Errors by [`TroutError`] class, in variant order (io / parse /
-    /// config / model / protocol), plus the synthetic `poisoned` class for
-    /// engine-mutex poison recoveries — a panicked session is a failure
-    /// even though no request line is rejected for it.
-    pub errors_by_class: [Counter; 6],
+    /// config / model / protocol / overloaded), plus the synthetic
+    /// `poisoned` class for engine-mutex poison recoveries — a panicked
+    /// session is a failure even though no request line is rejected for it.
+    pub errors_by_class: [Counter; 7],
     /// Feature-assembly latency per predicted job, microseconds.
     pub featurize_us: Histogram,
     /// Model forward-pass latency per batch, microseconds.
@@ -96,12 +96,32 @@ pub struct ServeMetrics {
     /// Reactor connections whose response backlog crossed the high-water
     /// mark, pausing reads on that connection (slow-loris backpressure).
     pub reactor_backpressure_total: Counter,
+    /// Predictions served per lane, [`LANES`] order (urgent/normal/batch).
+    pub lane_predicts_total: [Counter; 3],
+    /// Admission-control sheds per lane, [`LANES`] order — every shed is an
+    /// explicit `overloaded` response, never a silent drop.
+    pub shed_total: [Counter; 3],
+    /// Admitted predictions whose queue wait exceeded their latency budget,
+    /// per lane ([`LANES`] order). Nonzero for urgent means the scheduler
+    /// broke its headline promise.
+    pub slo_violations_total: [Counter; 3],
+    /// Time a predict spent queued in the batch former before its flush
+    /// began, microseconds.
+    pub queue_wait_us: Histogram,
 }
 
-/// `errors_by_class` index order and JSON key per class. The first five
+/// `errors_by_class` index order and JSON key per class. The first six
 /// mirror the [`TroutError`] variants; `poisoned` counts engine-mutex
 /// poison recoveries after a session panic.
-pub const ERROR_CLASSES: [&str; 6] = ["io", "parse", "config", "model", "protocol", "poisoned"];
+pub const ERROR_CLASSES: [&str; 7] = [
+    "io",
+    "parse",
+    "config",
+    "model",
+    "protocol",
+    "overloaded",
+    "poisoned",
+];
 
 /// Drift confusion cell names, predicted-then-actual.
 pub const CONFUSION_CELLS: [&str; 4] = ["quick_quick", "quick_long", "long_quick", "long_long"];
@@ -148,6 +168,17 @@ impl ServeMetrics {
             accept_backoffs_total: r.counter("serve.accept.backoffs_total"),
             accept_backoff_ms: r.gauge("serve.accept.backoff_ms"),
             reactor_backpressure_total: r.counter("serve.reactor.backpressure_total"),
+            lane_predicts_total: LANES
+                .map(|l| r.counter(&format!("serve.lane.{}_predicts_total", l.as_str()))),
+            shed_total: LANES
+                .map(|l| r.counter(&format!("serve.admission.shed_{}_total", l.as_str()))),
+            slo_violations_total: LANES.map(|l| {
+                r.counter(&format!(
+                    "serve.admission.slo_violations_{}_total",
+                    l.as_str()
+                ))
+            }),
+            queue_wait_us: r.histogram("serve.queue_wait_us"),
             registry: r,
         }
     }
@@ -161,6 +192,7 @@ impl ServeMetrics {
             TroutError::Config(_) => 2,
             TroutError::Model(_) => 3,
             TroutError::Protocol(_) => 4,
+            TroutError::Overloaded { .. } => 5,
         };
         self.errors_by_class[idx].inc();
     }
@@ -169,7 +201,13 @@ impl ServeMetrics {
     /// holding the engine; the guard was reclaimed and serving continued).
     pub fn record_poisoned(&self) {
         self.errors_total.inc();
-        self.errors_by_class[5].inc();
+        self.errors_by_class[6].inc();
+    }
+
+    /// Counts one admission shed in `lane` (also an `overloaded` error).
+    pub fn record_shed(&self, lane: trout_core::Lane) {
+        self.shed_total[lane.rank()].inc();
+        self.record_error(&TroutError::Overloaded { retry_after_ms: 0 });
     }
 
     /// Serializes the registry in the legacy section layout (the `metrics`
@@ -222,12 +260,39 @@ impl ServeMetrics {
                 ]),
             ),
             ("errors_by_class".into(), Json::Obj(by_class)),
+            ("admission".into(), self.admission_to_json()),
             ("featurize_us".into(), self.featurize_us.to_json()),
+            ("queue_wait_us".into(), self.queue_wait_us.to_json()),
             ("inference_us".into(), self.inference_us.to_json()),
             ("predict_us".into(), self.predict_us.to_json()),
             ("batch_us".into(), self.batch_us.to_json()),
             ("batch_size".into(), self.batch_size.to_json()),
             ("snapshot_write_us".into(), self.snapshot_write_us.to_json()),
+        ])
+    }
+
+    /// The scheduler/admission section: per-lane predicts, sheds (plus the
+    /// aggregate `shed_total`), and SLO violations, always in lane-priority
+    /// order so scripted consumers can grep deterministic field order.
+    fn admission_to_json(&self) -> Json {
+        let per_lane = |counters: &[Counter; 3]| {
+            Json::Obj(
+                LANES
+                    .iter()
+                    .zip(counters)
+                    .map(|(l, c)| (l.as_str().to_string(), Json::Int(c.get() as i128)))
+                    .collect(),
+            )
+        };
+        let shed_sum: u64 = self.shed_total.iter().map(|c| c.get()).sum();
+        Json::Obj(vec![
+            ("lane_predicts".into(), per_lane(&self.lane_predicts_total)),
+            ("shed".into(), per_lane(&self.shed_total)),
+            ("shed_total".into(), Json::Int(shed_sum as i128)),
+            (
+                "slo_violations".into(),
+                per_lane(&self.slo_violations_total),
+            ),
         ])
     }
 
@@ -286,6 +351,41 @@ mod tests {
         assert!(text.contains("trout_serve_drift_joined_total 1"));
         assert!(text.contains("trout_serve_drift_mae_min 4.5"));
         assert!(text.contains("# TYPE trout_serve_predict_us histogram"));
+    }
+
+    #[test]
+    fn admission_section_counts_sheds_per_lane() {
+        let m = ServeMetrics::new();
+        m.record_shed(trout_core::Lane::Batch);
+        m.record_shed(trout_core::Lane::Batch);
+        m.record_shed(trout_core::Lane::Normal);
+        m.lane_predicts_total[0].inc();
+        m.slo_violations_total[2].inc();
+        let j = m.to_json();
+        let adm = j.get("admission").expect("admission section");
+        assert_eq!(
+            adm.get("shed").and_then(|s| s.get("batch")),
+            Some(&Json::Int(2))
+        );
+        assert_eq!(
+            adm.get("shed").and_then(|s| s.get("normal")),
+            Some(&Json::Int(1))
+        );
+        assert_eq!(adm.get("shed_total"), Some(&Json::Int(3)));
+        assert_eq!(
+            adm.get("slo_violations").and_then(|s| s.get("urgent")),
+            Some(&Json::Int(0))
+        );
+        assert_eq!(
+            adm.get("lane_predicts").and_then(|s| s.get("urgent")),
+            Some(&Json::Int(1))
+        );
+        // Sheds are overloaded errors, never silent.
+        assert_eq!(
+            j.get("errors_by_class").and_then(|e| e.get("overloaded")),
+            Some(&Json::Int(3))
+        );
+        assert_eq!(m.errors_total.get(), 3);
     }
 
     #[test]

@@ -9,16 +9,25 @@
 //! {"event":"start","id":1,"time":160}
 //! {"event":"end","id":1,"time":3600}
 //! {"event":"predict","id":1,"time":120}
+//! {"v":2,"event":"predict","id":1,"time":120,"deadline_ms":50,"lane":"urgent"}
 //! {"event":"metrics"}
 //! {"event":"shutdown"}
 //! ```
 //!
+//! The **v2 predict envelope** adds an optional `"v":2` version tag, a
+//! latency budget (`deadline_ms`, positive milliseconds) and a priority
+//! lane (`"urgent"|"normal"|"batch"`). v1 lines (no `"v"` field, or
+//! `"v":1`) stay valid and default to the normal lane with the server's
+//! configured budget; their responses are byte-identical to the v1
+//! protocol. Only `"v":2` requests get the lane echoed in the response.
+//!
 //! Every line gets exactly one response line, in request order. Success
 //! responses carry `"ok":true`; failures carry `"ok":false` and an `"error"`
-//! string whose prefix is the [`TroutError`] class. A malformed line is
+//! string whose prefix is the [`TroutError`] class (an `overloaded` shed
+//! additionally carries a numeric `"retry_after_ms"`). A malformed line is
 //! answered (not fatal): the daemon must survive a misbehaving client.
 
-use trout_core::{QueueEstimate, QueuePrediction, TroutError};
+use trout_core::{Lane, QueueEstimate, QueuePrediction, TroutError};
 use trout_slurmsim::{JobRecord, JobState};
 use trout_std::json::Json;
 use trout_workload::Qos;
@@ -48,6 +57,15 @@ pub enum ClientEvent {
         id: u64,
         /// Query instant (unix seconds).
         time: i64,
+        /// Priority lane (v2 field; v1 lines default to normal).
+        lane: Lane,
+        /// Explicit latency budget in milliseconds, if the client named one.
+        /// `None` means the lane's configured default applies. Never
+        /// journaled: the budget shapes scheduling, not state.
+        deadline_ms: Option<u64>,
+        /// Whether the line carried `"v":2` — controls the lane echo in the
+        /// response, keeping v1 responses byte-identical.
+        v2: bool,
     },
     /// Dump the metrics registry in the requested exposition format.
     Metrics(MetricsFormat),
@@ -160,10 +178,48 @@ pub fn parse_event(line: &str) -> Result<ClientEvent, TroutError> {
             id: field_u64(&j, "id")?,
             time: field_i64(&j, "time")?,
         }),
-        "predict" => Ok(ClientEvent::Predict {
-            id: field_u64(&j, "id")?,
-            time: field_i64(&j, "time")?,
-        }),
+        "predict" => {
+            let v2 = match j.get("v") {
+                None => false,
+                Some(Json::Int(1)) => false,
+                Some(Json::Int(2)) => true,
+                Some(other) => {
+                    return Err(TroutError::Protocol(format!(
+                        "unsupported protocol version {other} (expected 1 or 2)"
+                    )))
+                }
+            };
+            let lane = match j.get("lane") {
+                None => Lane::Normal,
+                Some(Json::Str(s)) => Lane::parse(s).ok_or_else(|| {
+                    TroutError::Protocol(format!(
+                        "unknown lane `{s}` (expected urgent, normal, or batch)"
+                    ))
+                })?,
+                Some(_) => {
+                    return Err(TroutError::Protocol("field `lane` must be a string".into()))
+                }
+            };
+            let deadline_ms =
+                match j.get("deadline_ms") {
+                    None => None,
+                    Some(Json::Int(v)) if *v > 0 => Some(u64::try_from(*v).map_err(|_| {
+                        TroutError::Parse("field `deadline_ms` out of range".into())
+                    })?),
+                    Some(_) => {
+                        return Err(TroutError::Parse(
+                            "field `deadline_ms` must be a positive integer".into(),
+                        ))
+                    }
+                };
+            Ok(ClientEvent::Predict {
+                id: field_u64(&j, "id")?,
+                time: field_i64(&j, "time")?,
+                lane,
+                deadline_ms,
+                v2,
+            })
+        }
         "metrics" => Ok(ClientEvent::Metrics(match j.get("format") {
             None => MetricsFormat::Json,
             Some(Json::Str(s)) if s == "json" => MetricsFormat::Json,
@@ -209,7 +265,7 @@ pub fn event_to_line(ev: &ClientEvent) -> Option<String> {
         ClientEvent::Submit(rec) => Some(submit_line(rec)),
         ClientEvent::Start { id, time } => Some(lifecycle_line("start", *id, *time)),
         ClientEvent::End { id, time } => Some(lifecycle_line("end", *id, *time)),
-        ClientEvent::Predict { id, time } => Some(lifecycle_line("predict", *id, *time)),
+        ClientEvent::Predict { id, time, lane, .. } => Some(predict_line(*id, *time, *lane)),
         ClientEvent::Metrics(_) | ClientEvent::Shutdown => None,
     }
 }
@@ -228,6 +284,21 @@ pub fn lifecycle_line(event: &str, id: u64, time: i64) -> String {
     format!("{{\"event\":\"{event}\",\"id\":{id},\"time\":{time}}}")
 }
 
+/// The journal/wire line for a `predict`. The lane is recorded only when it
+/// is not the default, so journals written by v1 traffic stay byte-identical
+/// to the v1 format (recovery bit-identity across the protocol bump). The
+/// deadline is deliberately absent: it shapes scheduling, never state.
+pub fn predict_line(id: u64, time: i64, lane: Lane) -> String {
+    if lane == Lane::Normal {
+        lifecycle_line("predict", id, time)
+    } else {
+        format!(
+            "{{\"event\":\"predict\",\"id\":{id},\"time\":{time},\"lane\":\"{}\"}}",
+            lane.as_str()
+        )
+    }
+}
+
 /// `{"ok":true,"event":...}` acknowledgement for a lifecycle event.
 pub fn ack_response(event: &str, id: u64) -> String {
     Json::Obj(vec![
@@ -239,11 +310,19 @@ pub fn ack_response(event: &str, id: u64) -> String {
 }
 
 /// The predict response: decision, probabilities, and minutes when present.
-pub fn prediction_response(id: u64, p: &QueuePrediction) -> String {
+/// `v2` requests additionally get their lane echoed (right after `id`);
+/// omitting it for v1 keeps those responses byte-identical to the v1
+/// protocol.
+pub fn prediction_response(id: u64, p: &QueuePrediction, v2: bool) -> String {
     let mut members = vec![
         ("ok".into(), Json::Bool(true)),
         ("event".into(), Json::Str("predict".into())),
         ("id".into(), Json::Int(id as i128)),
+    ];
+    if v2 {
+        members.push(("lane".into(), Json::Str(p.lane.as_str().into())));
+    }
+    members.extend([
         (
             "quick_start".into(),
             Json::Bool(matches!(p.estimate, QueueEstimate::QuickStart)),
@@ -254,7 +333,7 @@ pub fn prediction_response(id: u64, p: &QueuePrediction) -> String {
             Json::Num(p.calibrated_proba as f64),
         ),
         ("cutoff_min".into(), Json::Num(p.cutoff_min as f64)),
-    ];
+    ]);
     if let Some(m) = p.minutes {
         members.push(("minutes".into(), Json::Num(m as f64)));
     }
@@ -285,12 +364,17 @@ pub fn metrics_prometheus_response(body: String) -> String {
 }
 
 /// `{"ok":false,"error":...}` — the error class rides in the message prefix.
+/// An admission shed additionally carries a machine-readable
+/// `"retry_after_ms"` so clients can back off without parsing prose.
 pub fn error_response(e: &TroutError) -> String {
-    Json::Obj(vec![
+    let mut members = vec![
         ("ok".into(), Json::Bool(false)),
         ("error".into(), Json::Str(e.to_string())),
-    ])
-    .to_string()
+    ];
+    if let TroutError::Overloaded { retry_after_ms } = e {
+        members.push(("retry_after_ms".into(), Json::Int(*retry_after_ms as i128)));
+    }
+    Json::Obj(members).to_string()
 }
 
 #[cfg(test)]
@@ -356,7 +440,13 @@ mod tests {
         );
         assert_eq!(
             parse_event(r#"{"event":"predict","id":3,"time":120}"#).unwrap(),
-            ClientEvent::Predict { id: 3, time: 120 }
+            ClientEvent::Predict {
+                id: 3,
+                time: 120,
+                lane: Lane::Normal,
+                deadline_ms: None,
+                v2: false
+            }
         );
         assert_eq!(
             parse_event(r#"{"event":"metrics"}"#).unwrap(),
@@ -420,7 +510,22 @@ mod tests {
             ClientEvent::Submit(Box::new(rec)),
             ClientEvent::Start { id: 9, time: 600 },
             ClientEvent::End { id: 9, time: 700 },
-            ClientEvent::Predict { id: 9, time: 550 },
+            ClientEvent::Predict {
+                id: 9,
+                time: 550,
+                lane: Lane::Normal,
+                deadline_ms: None,
+                v2: false,
+            },
+            // A non-default lane survives the journal; the deadline does
+            // not (scheduling, not state), so round-trip holds with None.
+            ClientEvent::Predict {
+                id: 9,
+                time: 560,
+                lane: Lane::Urgent,
+                deadline_ms: None,
+                v2: false,
+            },
         ] {
             let line = event_to_line(&ev).expect("state-changing events serialize");
             assert!(!line.contains('\n'));
@@ -441,10 +546,11 @@ mod tests {
             calibrated_proba: 0.25,
             minutes: Some(42.5),
             cutoff_min: 10.0,
+            lane: Lane::Normal,
         };
         for s in [
             ack_response("submit", 1),
-            prediction_response(1, &p),
+            prediction_response(1, &p, false),
             error_response(&TroutError::Protocol("x".into())),
             metrics_response(Json::Obj(vec![])),
             metrics_prometheus_response("trout_serve_predicts_total 1\n".into()),
@@ -453,8 +559,92 @@ mod tests {
             let parsed = Json::parse(&s).unwrap();
             assert!(parsed.get("ok").is_some());
         }
-        let parsed = Json::parse(&prediction_response(1, &p)).unwrap();
+        let parsed = Json::parse(&prediction_response(1, &p, false)).unwrap();
         assert_eq!(parsed.get("quick_start"), Some(&Json::Bool(false)));
         assert!(parsed.get("minutes").is_some());
+    }
+
+    #[test]
+    fn v2_predict_envelope_parses_and_echoes_lane() {
+        assert_eq!(
+            parse_event(
+                r#"{"v":2,"event":"predict","id":4,"time":10,"deadline_ms":50,"lane":"urgent"}"#
+            )
+            .unwrap(),
+            ClientEvent::Predict {
+                id: 4,
+                time: 10,
+                lane: Lane::Urgent,
+                deadline_ms: Some(50),
+                v2: true
+            }
+        );
+        // v1 lines may still name a lane/deadline; only the echo is gated.
+        assert_eq!(
+            parse_event(r#"{"event":"predict","id":4,"time":10,"lane":"batch"}"#).unwrap(),
+            ClientEvent::Predict {
+                id: 4,
+                time: 10,
+                lane: Lane::Batch,
+                deadline_ms: None,
+                v2: false
+            }
+        );
+        assert!(matches!(
+            parse_event(r#"{"v":3,"event":"predict","id":4,"time":10}"#),
+            Err(TroutError::Protocol(_))
+        ));
+        assert!(matches!(
+            parse_event(r#"{"event":"predict","id":4,"time":10,"lane":"vip"}"#),
+            Err(TroutError::Protocol(_))
+        ));
+        assert!(matches!(
+            parse_event(r#"{"event":"predict","id":4,"time":10,"deadline_ms":0}"#),
+            Err(TroutError::Parse(_))
+        ));
+        assert!(matches!(
+            parse_event(r#"{"event":"predict","id":4,"time":10,"deadline_ms":"soon"}"#),
+            Err(TroutError::Parse(_))
+        ));
+
+        let p = QueuePrediction {
+            estimate: QueueEstimate::QuickStart,
+            quick_proba: 0.9,
+            calibrated_proba: 0.9,
+            minutes: None,
+            cutoff_min: 10.0,
+            lane: Lane::Urgent,
+        };
+        let v2 = prediction_response(7, &p, true);
+        assert_eq!(
+            Json::parse(&v2).unwrap().get("lane"),
+            Some(&Json::Str("urgent".into()))
+        );
+        let v1 = prediction_response(7, &p, false);
+        assert_eq!(Json::parse(&v1).unwrap().get("lane"), None);
+    }
+
+    #[test]
+    fn overloaded_response_carries_retry_after() {
+        let s = error_response(&TroutError::Overloaded { retry_after_ms: 40 });
+        let parsed = Json::parse(&s).unwrap();
+        assert_eq!(parsed.get("ok"), Some(&Json::Bool(false)));
+        assert_eq!(parsed.get("retry_after_ms"), Some(&Json::Int(40)));
+        match parsed.get("error") {
+            Some(Json::Str(msg)) => assert!(msg.starts_with("overloaded")),
+            other => panic!("bad error member {other:?}"),
+        }
+    }
+
+    #[test]
+    fn predict_journal_lines_omit_default_lane() {
+        assert_eq!(
+            predict_line(3, 120, Lane::Normal),
+            r#"{"event":"predict","id":3,"time":120}"#
+        );
+        assert_eq!(
+            predict_line(3, 120, Lane::Urgent),
+            r#"{"event":"predict","id":3,"time":120,"lane":"urgent"}"#
+        );
     }
 }

@@ -107,8 +107,13 @@ pub(crate) fn replay_journal(
             ClientEvent::End { id, time } => {
                 let _ = engine.apply_end(id, time);
             }
-            ClientEvent::Predict { id, time } => {
-                let _ = engine.predict_one(id, time);
+            ClientEvent::Predict { id, time, lane, .. } => {
+                // Replay with the journaled lane so the stored prediction
+                // (drift monitor) reproduces bit-identically; the deadline
+                // is never journaled because it shapes scheduling, not
+                // state.
+                let _ = engine
+                    .predict_batch(&[crate::engine::PredictQuery::new(id, time).in_lane(lane)]);
             }
             ClientEvent::Metrics(_) | ClientEvent::Shutdown => {
                 engine.end_replay();

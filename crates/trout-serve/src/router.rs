@@ -2,11 +2,23 @@
 //!
 //! Every transport (stdin, thread-per-connection TCP, the reactor) drives a
 //! [`RouterSession`] per client. The session queues predicts into per-shard
-//! lanes, remembering each query's **position** in the coalesced window; a
-//! flush fans out one `predict_batch` per non-empty lane and re-pairs the
-//! results positionally, so the client sees exactly one response line per
-//! request line, in request order — the wire protocol cannot tell how many
-//! shards sit behind it.
+//! queues, remembering each query's **position** in the coalesced window; a
+//! flush fans out one `predict_batch` per non-empty shard queue and re-pairs
+//! the results positionally, so the client sees exactly one response line
+//! per request line, in request order — the wire protocol cannot tell how
+//! many shards sit behind it.
+//!
+//! Since PR 7 the window is scheduled, not incidental (DESIGN §12): each
+//! predict is checked against the daemon-wide
+//! [`AdmissionControl`](crate::scheduler::AdmissionControl) on arrival — a
+//! shed becomes a pre-resolved window slot answered with a typed
+//! `overloaded` + `retry_after_ms` *at flush time*, preserving strict
+//! request-order responses. Admitted predicts carry their latency budget;
+//! [`RouterSession::due_at`] tells deadline-aware transports (the reactor)
+//! how long the window may keep coalescing before the tightest deadline,
+//! minus the estimated drain time, forces a flush. At flush, each shard's
+//! batch executes in (priority-lane rank, arrival) order — urgent first —
+//! which is byte-safe because inference is row-independent.
 //!
 //! Lifecycle events broadcast to every shard in shard order (see the
 //! [`shard`](crate::shard) module docs for why). The response comes from
@@ -21,8 +33,9 @@
 
 use std::io::Write;
 
-use trout_core::{QueuePrediction, TroutError};
+use trout_core::{Deadline, QueuePrediction, TroutError};
 
+use crate::engine::PredictQuery;
 use crate::protocol::{
     ack_response, error_response, metrics_prometheus_response, metrics_response, parse_event,
     prediction_response, ClientEvent, MetricsFormat,
@@ -38,21 +51,53 @@ pub enum Flow {
     Shutdown,
 }
 
-/// One queued predict: its position in the current coalescing window plus
-/// the query itself.
+/// One admitted predict: its position in the current coalescing window plus
+/// the query and its scheduling envelope.
 #[derive(Debug, Clone, Copy)]
 struct QueuedPredict {
     pos: usize,
     id: u64,
     time: i64,
+    lane: trout_core::Lane,
+    /// Admission instant ([`Clock::now_micros`](trout_std::clock::Clock)).
+    enq_us: u64,
+    /// Effective latency budget in microseconds (explicit or lane default).
+    budget_us: u64,
+    /// Whether the request used the v2 envelope (controls the lane echo).
+    v2: bool,
 }
 
-/// Per-client routing state: per-shard predict lanes and the coalescing
-/// window position counter.
+/// One window position's resolution at flush time.
+enum Slot {
+    /// Shed at admission; answered with `overloaded` when the window
+    /// flushes so responses stay in strict request order.
+    Shed { retry_after_ms: u64 },
+    /// Answered by a shard's batch.
+    Done {
+        id: u64,
+        v2: bool,
+        result: Result<QueuePrediction, TroutError>,
+    },
+}
+
+/// Per-client routing state: per-shard predict queues, the coalescing
+/// window position counter, pre-resolved shed slots, and the tightest
+/// deadline currently queued.
 pub struct RouterSession {
-    lanes: Vec<Vec<QueuedPredict>>,
+    per_shard: Vec<Vec<QueuedPredict>>,
+    /// Window positions issued (admitted + shed) — the response count a
+    /// flush owes.
+    window: usize,
+    /// Admitted predicts queued (drives the batch cap).
     queued: usize,
+    /// Pre-resolved shed positions: `(pos, retry_after_ms)`.
+    shed: Vec<(usize, u64)>,
     batch_max: usize,
+    /// Earliest absolute deadline (µs) among queued predicts.
+    min_deadline_us: u64,
+    /// Whether any queued predict came from a v1 client. v1 clients predate
+    /// deadline-holding, so their windows stay due-on-drain (PR 6 timing).
+    has_v1: bool,
 }
 
 impl RouterSession {
@@ -60,15 +105,57 @@ impl RouterSession {
     /// queued predicts.
     pub fn new(n_shards: usize, batch_max: usize) -> RouterSession {
         RouterSession {
-            lanes: (0..n_shards.max(1)).map(|_| Vec::new()).collect(),
+            per_shard: (0..n_shards.max(1)).map(|_| Vec::new()).collect(),
+            window: 0,
             queued: 0,
+            shed: Vec::new(),
             batch_max: batch_max.max(1),
+            min_deadline_us: u64::MAX,
+            has_v1: false,
         }
     }
 
-    /// Predicts currently queued (across all lanes).
+    /// Admitted predicts currently queued (across all shards).
     pub fn queued(&self) -> usize {
         self.queued
+    }
+
+    /// Window positions awaiting a response (admitted + shed).
+    pub fn pending(&self) -> usize {
+        self.window
+    }
+
+    /// The absolute instant (µs on the set's clock) the current window must
+    /// flush: the tightest queued deadline minus the estimated time to
+    /// drain the queue, so the last prediction still lands inside its
+    /// budget. `None` when nothing is pending. Windows holding a shed (owed
+    /// an answer now) or any v1 predict (pre-deadline clients keep PR 6
+    /// flush-on-drain timing) are due immediately.
+    pub fn due_at(&self, shards: &ShardSet) -> Option<u64> {
+        if self.window == 0 {
+            return None;
+        }
+        if !self.shed.is_empty() || self.has_v1 {
+            return Some(0);
+        }
+        let drain = (self.queued as u64).saturating_mul(shards.scheduler().est_predict_us);
+        Some(self.min_deadline_us.saturating_sub(drain))
+    }
+
+    /// Flushes when [`RouterSession::due_at`] has arrived on the set's
+    /// clock. Returns whether a flush happened.
+    pub fn flush_if_due<W: Write>(
+        &mut self,
+        shards: &ShardSet,
+        out: &mut W,
+    ) -> Result<bool, TroutError> {
+        match self.due_at(shards) {
+            Some(t) if shards.clock().now_micros() >= t => {
+                self.flush(shards, out)?;
+                Ok(true)
+            }
+            _ => Ok(false),
+        }
     }
 
     /// Handles one non-empty request line: queues a predict (flushing at the
@@ -84,16 +171,45 @@ impl RouterSession {
     ) -> Result<Flow, TroutError> {
         shards.metrics0().requests_total.inc();
         match parse_event(line) {
-            Ok(ClientEvent::Predict { id, time }) => {
-                let lane = shards.shard_of(id);
-                self.lanes[lane].push(QueuedPredict {
-                    pos: self.queued,
-                    id,
-                    time,
-                });
-                self.queued += 1;
-                if self.queued >= self.batch_max {
-                    self.flush(shards, out)?;
+            Ok(ClientEvent::Predict {
+                id,
+                time,
+                lane,
+                deadline_ms,
+                v2,
+            }) => {
+                let cfg = shards.scheduler();
+                let budget_us = cfg.budget_us(lane, deadline_ms.map(Deadline::ms));
+                match shards.admission().try_admit(cfg, lane, budget_us) {
+                    Err(retry_after_ms) => {
+                        // Shed: resolved now, answered at flush so the
+                        // one-response-per-line order holds. Sheds do not
+                        // count toward the batch cap (no work queued).
+                        shards.metrics0().record_shed(lane);
+                        self.shed.push((self.window, retry_after_ms));
+                        self.window += 1;
+                    }
+                    Ok(()) => {
+                        let now = shards.clock().now_micros();
+                        let shard = shards.shard_of(id);
+                        self.per_shard[shard].push(QueuedPredict {
+                            pos: self.window,
+                            id,
+                            time,
+                            lane,
+                            enq_us: now,
+                            budget_us,
+                            v2,
+                        });
+                        self.min_deadline_us =
+                            self.min_deadline_us.min(now.saturating_add(budget_us));
+                        self.has_v1 |= !v2;
+                        self.window += 1;
+                        self.queued += 1;
+                        if self.queued >= self.batch_max {
+                            self.flush(shards, out)?;
+                        }
+                    }
                 }
             }
             Ok(ClientEvent::Shutdown) => {
@@ -134,73 +250,116 @@ impl RouterSession {
     }
 
     /// Fans queued predicts out to their shards and writes the responses in
-    /// window-position order — one line per queued predict, errors included,
-    /// unpaired tails answered explicitly.
+    /// window-position order — one line per window position: predictions,
+    /// errors, and pre-resolved sheds, unpaired tails answered explicitly.
+    ///
+    /// Within one shard's batch the queries execute in (priority-lane rank,
+    /// arrival) order — urgent preempts normal preempts batch. Reordering
+    /// never changes response bytes (inference is row-independent) but it
+    /// does order journal predict lines and featurization, so the latency a
+    /// lane pays inside the flush follows its priority.
     pub fn flush<W: Write>(&mut self, shards: &ShardSet, out: &mut W) -> Result<(), TroutError> {
-        if self.queued == 0 {
+        if self.window == 0 {
             return Ok(());
         }
-        let mut slots: Vec<Option<(u64, Result<QueuePrediction, TroutError>)>> =
-            (0..self.queued).map(|_| None).collect();
-        for (lane_idx, lane) in self.lanes.iter_mut().enumerate() {
-            if lane.is_empty() {
+        let now = shards.clock().now_micros();
+        let mut slots: Vec<Option<Slot>> = (0..self.window).map(|_| None).collect();
+        for (pos, retry_after_ms) in self.shed.drain(..) {
+            slots[pos] = Some(Slot::Shed { retry_after_ms });
+        }
+        for (shard_idx, queue) in self.per_shard.iter_mut().enumerate() {
+            if queue.is_empty() {
                 continue;
             }
-            let queries: Vec<(u64, i64)> = lane.iter().map(|q| (q.id, q.time)).collect();
-            let mut guard = shards.lock(lane_idx);
+            queue.sort_by_key(|q| (q.lane.rank(), q.pos));
+            let queries: Vec<PredictQuery> = queue
+                .iter()
+                .map(|q| PredictQuery {
+                    id: q.id,
+                    time: q.time,
+                    lane: q.lane,
+                })
+                .collect();
+            let mut guard = shards.lock(shard_idx);
             let results = guard.predict_batch(&queries);
-            pair_lane_results(&mut slots, lane, results);
-            // Errors are accounted where they happened: the shard that
-            // owned (and failed) the query.
-            for q in lane.iter() {
-                if let Some((_, Err(e))) = &slots[q.pos] {
+            pair_shard_results(&mut slots, queue, results);
+            // Errors and scheduling outcomes are accounted where they
+            // happened: the shard that owned the query.
+            for q in queue.iter() {
+                let wait = now.saturating_sub(q.enq_us);
+                guard.metrics.queue_wait_us.record(wait);
+                guard.metrics.lane_predicts_total[q.lane.rank()].inc();
+                if wait > q.budget_us {
+                    guard.metrics.slo_violations_total[q.lane.rank()].inc();
+                }
+                if let Some(Slot::Done { result: Err(e), .. }) = &slots[q.pos] {
                     guard.metrics.record_error(e);
                 }
             }
             drop(guard);
-            lane.clear();
+            for q in queue.drain(..) {
+                shards.admission().release(q.lane);
+            }
         }
         for (pos, slot) in slots.into_iter().enumerate() {
             match slot {
-                Some((id, Ok(p))) => writeln!(out, "{}", prediction_response(id, &p))?,
-                Some((_, Err(e))) => writeln!(out, "{}", error_response(&e))?,
+                Some(Slot::Shed { retry_after_ms }) => writeln!(
+                    out,
+                    "{}",
+                    error_response(&TroutError::Overloaded { retry_after_ms })
+                )?,
+                Some(Slot::Done {
+                    id,
+                    v2,
+                    result: Ok(p),
+                }) => writeln!(out, "{}", prediction_response(id, &p, v2))?,
+                Some(Slot::Done { result: Err(e), .. }) => writeln!(out, "{}", error_response(&e))?,
                 None => {
-                    // Unreachable by construction (every queued predict is in
-                    // exactly one lane), but a position must never go
-                    // unanswered — a silent hole hangs the client.
+                    // Unreachable by construction (every window position is
+                    // an admitted predict in exactly one shard queue or a
+                    // shed), but a position must never go unanswered — a
+                    // silent hole hangs the client.
                     let e = TroutError::Model(format!(
-                        "internal: no lane answered window position {pos}"
+                        "internal: no shard answered window position {pos}"
                     ));
                     shards.metrics0().record_error(&e);
                     writeln!(out, "{}", error_response(&e))?;
                 }
             }
         }
+        self.window = 0;
         self.queued = 0;
+        self.min_deadline_us = u64::MAX;
+        self.has_v1 = false;
         Ok(())
     }
 }
 
-/// Writes one lane's batch results into the window slots, pairing
-/// positionally. `predict_batch` guarantees one result per query; if that
-/// invariant ever breaks, the unpaired trailing queries get an explicit
-/// error result instead of silently never being answered (a client waiting
-/// on a response that will never come is a hang, not an error). Extra
-/// results beyond the lane are dropped.
-fn pair_lane_results(
-    slots: &mut [Option<(u64, Result<QueuePrediction, TroutError>)>],
-    lane: &[QueuedPredict],
+/// Writes one shard queue's batch results into the window slots, pairing
+/// positionally (k-th result ↔ k-th query, in the queue's execution order).
+/// `predict_batch` guarantees one result per query; if that invariant ever
+/// breaks, the unpaired trailing queries get an explicit error result
+/// instead of silently never being answered (a client waiting on a response
+/// that will never come is a hang, not an error). Extra results beyond the
+/// queue are dropped.
+fn pair_shard_results(
+    slots: &mut [Option<Slot>],
+    queue: &[QueuedPredict],
     results: Vec<Result<QueuePrediction, TroutError>>,
 ) {
     let mut results = results.into_iter();
-    for q in lane {
+    for q in queue {
         let result = results.next().unwrap_or_else(|| {
             Err(TroutError::Model(format!(
                 "internal: batch produced no answer for job {}",
                 q.id
             )))
         });
-        slots[q.pos] = Some((q.id, result));
+        slots[q.pos] = Some(Slot::Done {
+            id: q.id,
+            v2: q.v2,
+            result,
+        });
     }
 }
 
@@ -352,6 +511,19 @@ mod tests {
             calibrated_proba: 0.5,
             minutes: Some(seed as f32),
             cutoff_min: 10.0,
+            lane: trout_core::Lane::Normal,
+        }
+    }
+
+    fn queued(pos: usize, id: u64) -> QueuedPredict {
+        QueuedPredict {
+            pos,
+            id,
+            time: 0,
+            lane: trout_core::Lane::Normal,
+            enq_us: 0,
+            budget_us: 500_000,
+            v2: false,
         }
     }
 
@@ -368,32 +540,35 @@ mod tests {
             truncate in 0u64..4
         ) {
             let lanes_n = lanes_n as usize;
-            let mut lanes: Vec<Vec<QueuedPredict>> = vec![Vec::new(); lanes_n];
+            let mut queues: Vec<Vec<QueuedPredict>> = vec![Vec::new(); lanes_n];
             for (pos, pick) in lane_picks.iter().enumerate() {
-                let lane = (*pick as usize) % lanes_n;
-                lanes[lane].push(QueuedPredict { pos, id: 1000 + pos as u64, time: 0 });
+                let shard = (*pick as usize) % lanes_n;
+                queues[shard].push(queued(pos, 1000 + pos as u64));
             }
-            // Victim lane: the fullest one loses its last `truncate` results.
-            let victim = (0..lanes_n).max_by_key(|&l| lanes[l].len()).unwrap();
-            let mut slots: Vec<Option<(u64, Result<QueuePrediction, TroutError>)>> =
+            // Victim queue: the fullest one loses its last `truncate` results.
+            let victim = (0..lanes_n).max_by_key(|&l| queues[l].len()).unwrap();
+            let mut slots: Vec<Option<Slot>> =
                 (0..lane_picks.len()).map(|_| None).collect();
             let mut unpaired: Vec<u64> = Vec::new();
-            for (l, lane) in lanes.iter().enumerate() {
+            for (l, queue) in queues.iter().enumerate() {
                 let mut results: Vec<Result<QueuePrediction, TroutError>> =
-                    lane.iter().map(|q| Ok(dummy_prediction(q.id))).collect();
+                    queue.iter().map(|q| Ok(dummy_prediction(q.id))).collect();
                 if l == victim {
                     let keep = results.len().saturating_sub(truncate as usize);
-                    unpaired = lane[keep..].iter().map(|q| q.id).collect();
+                    unpaired = queue[keep..].iter().map(|q| q.id).collect();
                     results.truncate(keep);
                 }
-                pair_lane_results(&mut slots, lane, results);
+                pair_shard_results(&mut slots, queue, results);
             }
             for (pos, slot) in slots.iter().enumerate() {
-                let (id, result) = slot.as_ref().expect("every window position answered");
+                let (id, result) = match slot.as_ref().expect("every window position answered") {
+                    Slot::Done { id, result, .. } => (id, result),
+                    Slot::Shed { .. } => panic!("no sheds in this window"),
+                };
                 prop_assert_eq!(*id, 1000 + pos as u64, "position {} answered for the wrong job", pos);
                 match result {
                     Ok(p) => {
-                        // The lane's k-th result went to the lane's k-th query.
+                        // The queue's k-th result went to its k-th query.
                         prop_assert_eq!(p.minutes, Some(*id as f32));
                         prop_assert!(!unpaired.contains(id));
                     }

@@ -166,12 +166,16 @@ pub fn run_session<R: Read, W: Write>(
             }
             Flow::Continue => {}
         }
-        // Flush queued predicts when the client has nothing further
-        // buffered and is presumably waiting on the answers.
-        if session.queued() > 0 && reader.buffer().is_empty() {
+        // Flush pending window positions (queued predicts and resolved
+        // sheds) when the client has nothing further buffered and is
+        // presumably waiting on the answers. The blocking transports stay
+        // due-on-drain for every request — deadline-holding is the
+        // reactor's refinement (DESIGN §12) — so v1 pipe clients see
+        // exactly the PR 6 flush timing.
+        if session.pending() > 0 && reader.buffer().is_empty() {
             session.flush(shards, &mut out)?;
         }
-        if session.queued() == 0 {
+        if session.pending() == 0 {
             out.flush()?;
         }
     }
@@ -374,7 +378,7 @@ mod tests {
         );
         let guard = shards.lock(0);
         assert!(
-            guard.metrics.errors_by_class[5].get() >= 1,
+            guard.metrics.errors_by_class[6].get() >= 1,
             "poison counted"
         );
     }

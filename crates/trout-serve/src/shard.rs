@@ -36,16 +36,18 @@
 //! pre-crash self — `state_to_json` per shard remains the oracle.
 
 use std::path::{Path, PathBuf};
-use std::sync::{Mutex, MutexGuard};
+use std::sync::{Arc, Mutex, MutexGuard};
 
 use trout_core::online::OnlineConfig;
-use trout_core::{TroutConfig, TroutError};
+use trout_core::{TroutConfig, TroutError, LANES};
 use trout_slurmsim::{SimulationBuilder, Trace};
+use trout_std::clock::{Clock, MonotonicClock};
 use trout_std::json::Json;
 
 use crate::engine::{ServeConfig, ServeEngine};
 use crate::metrics::{ServeMetrics, CONFUSION_CELLS, ERROR_CLASSES};
 use crate::recover::RecoveryReport;
+use crate::scheduler::{AdmissionControl, SchedulerConfig};
 
 /// Routes a job id to its owning shard: SplitMix64 finalizer mod N. Job ids
 /// are typically sequential, so the raw modulus would stripe adjacent jobs
@@ -91,9 +93,16 @@ pub(crate) fn lock_engine(engine: &Mutex<ServeEngine>) -> MutexGuard<'_, ServeEn
 }
 
 /// N independent engines, each behind its own mutex. All transports (stdin,
-/// thread-per-connection TCP, the reactor) share one `ShardSet`.
+/// thread-per-connection TCP, the reactor) share one `ShardSet`, and with it
+/// the scheduler: one clock, one [`SchedulerConfig`], and one
+/// [`AdmissionControl`] whose lane depths are global across sessions — the
+/// budget a request competes for is the daemon's capacity, not one
+/// connection's.
 pub struct ShardSet {
     shards: Vec<Mutex<ServeEngine>>,
+    clock: Arc<dyn Clock>,
+    scheduler: SchedulerConfig,
+    admission: AdmissionControl,
 }
 
 impl ShardSet {
@@ -104,7 +113,39 @@ impl ShardSet {
         assert!(!engines.is_empty(), "a shard set needs at least one engine");
         ShardSet {
             shards: engines.into_iter().map(Mutex::new).collect(),
+            clock: Arc::new(MonotonicClock::new()),
+            scheduler: SchedulerConfig::default(),
+            admission: AdmissionControl::new(),
         }
+    }
+
+    /// Replaces the scheduler tunables (builder style, pre-serving).
+    pub fn with_scheduler(mut self, scheduler: SchedulerConfig) -> ShardSet {
+        self.scheduler = scheduler;
+        self
+    }
+
+    /// Replaces the clock (builder style — tests inject a
+    /// [`trout_std::clock::ManualClock`] here to make scheduling
+    /// deterministic).
+    pub fn with_clock(mut self, clock: Arc<dyn Clock>) -> ShardSet {
+        self.clock = clock;
+        self
+    }
+
+    /// The scheduler tunables every session schedules against.
+    pub fn scheduler(&self) -> &SchedulerConfig {
+        &self.scheduler
+    }
+
+    /// The clock scheduling decisions read.
+    pub fn clock(&self) -> &Arc<dyn Clock> {
+        &self.clock
+    }
+
+    /// The daemon-wide admission controller.
+    pub fn admission(&self) -> &AdmissionControl {
+        &self.admission
     }
 
     /// The single-engine set (the `--shards 1` default — byte-compatible
@@ -321,6 +362,16 @@ impl ShardSet {
             for (acc, c) in m.errors_by_class.iter_mut().zip(&mm.errors_by_class) {
                 *acc += c.get();
             }
+            for (acc, c) in m.lane_predicts.iter_mut().zip(&mm.lane_predicts_total) {
+                *acc += c.get();
+            }
+            for (acc, c) in m.shed.iter_mut().zip(&mm.shed_total) {
+                *acc += c.get();
+            }
+            for (acc, c) in m.slo_violations.iter_mut().zip(&mm.slo_violations_total) {
+                *acc += c.get();
+            }
+            m.queue_wait_us.merge(&mm.queue_wait_us.snapshot());
             m.featurize_us.merge(&mm.featurize_us.snapshot());
             m.inference_us.merge(&mm.inference_us.snapshot());
             m.predict_us.merge(&mm.predict_us.snapshot());
@@ -352,7 +403,11 @@ struct MergedMetrics {
     snapshots: u64,
     recovery_replayed: u64,
     sessions: u64,
-    errors_by_class: [u64; 6],
+    errors_by_class: [u64; 7],
+    lane_predicts: [u64; 3],
+    shed: [u64; 3],
+    slo_violations: [u64; 3],
+    queue_wait_us: crate::metrics::LogHistogram,
     featurize_us: crate::metrics::LogHistogram,
     inference_us: crate::metrics::LogHistogram,
     predict_us: crate::metrics::LogHistogram,
@@ -413,7 +468,28 @@ impl MergedMetrics {
                 ]),
             ),
             ("errors_by_class".into(), Json::Obj(by_class)),
+            ("admission".into(), {
+                let per_lane = |vals: &[u64; 3]| {
+                    Json::Obj(
+                        LANES
+                            .iter()
+                            .zip(vals)
+                            .map(|(l, &v)| (l.as_str().to_string(), Json::Int(v as i128)))
+                            .collect(),
+                    )
+                };
+                Json::Obj(vec![
+                    ("lane_predicts".into(), per_lane(&self.lane_predicts)),
+                    ("shed".into(), per_lane(&self.shed)),
+                    (
+                        "shed_total".into(),
+                        Json::Int(self.shed.iter().sum::<u64>() as i128),
+                    ),
+                    ("slo_violations".into(), per_lane(&self.slo_violations)),
+                ])
+            }),
             ("featurize_us".into(), self.featurize_us.to_json()),
+            ("queue_wait_us".into(), self.queue_wait_us.to_json()),
             ("inference_us".into(), self.inference_us.to_json()),
             ("predict_us".into(), self.predict_us.to_json()),
             ("batch_us".into(), self.batch_us.to_json()),

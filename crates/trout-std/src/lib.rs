@@ -21,12 +21,16 @@
 //!   backing the serve daemon's write-ahead journal and snapshots.
 //! * [`evloop`] — `poll(2)` readiness, `O_NONBLOCK`, and a self-pipe waker
 //!   through thin libc FFI (replaces tokio/mio for the serve reactor).
+//! * [`clock`] — injectable monotonic time ([`clock::Clock`]) with a
+//!   deterministic [`clock::ManualClock`], so scheduling decisions that
+//!   depend on time stay reproducible under test.
 //!
 //! Hermetic-build policy: no new external crates may be added to the
 //! workspace without an issue justifying them; extend this crate instead.
 
 pub mod alloc_count;
 pub mod bench;
+pub mod clock;
 pub mod evloop;
 pub mod fsio;
 pub mod json;
