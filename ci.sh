@@ -9,6 +9,15 @@ cargo build --workspace --release --offline
 cargo test --workspace -q --offline
 cargo fmt --check
 
+# SIMD tier matrix: the linalg kernel suite and the nn_seed7 golden fixture
+# must hold bit-for-bit under every dispatch tier. TROUT_SIMD clamps down to
+# the host's best tier (DESIGN §13), so the loop is valid on any machine —
+# on an SSE2-only box the avx2 leg simply re-runs the sse2 kernels.
+for tier in scalar sse2 avx2; do
+    TROUT_SIMD="$tier" cargo test -q --offline -p trout-linalg
+    TROUT_SIMD="$tier" cargo test -q --offline -p trout-ml --test golden_nn
+done
+
 # Serve protocol smoke: flatten a small trace into a ~200-line ndjson replay
 # script, pipe it through the daemon, and require one well-formed ok-response
 # per request line plus a clean exit. A Prometheus-format metrics request is

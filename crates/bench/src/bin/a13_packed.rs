@@ -1,0 +1,5 @@
+//! Harness binary for experiment `a13_packed_inference` (see DESIGN.md §13).
+fn main() {
+    let ctx = trout_bench::Context::from_env();
+    trout_bench::experiments::a13_packed_inference(&ctx).print();
+}

@@ -1,0 +1,400 @@
+//! Canonical-by-set aggregate treaps backing the O(1) snapshot fast path.
+//!
+//! Each [`AggTreap`] is an arena-allocated Cartesian tree over `(major, id)`
+//! keys carrying an [`Aggregate`] payload per entry and a subtree-sum
+//! aggregate per node. Two properties make it the right structure for the
+//! incremental snapshot index:
+//!
+//! 1. **History independence.** Heap priorities are a pure function of the
+//!    job id (a splitmix64 finalizer), so the tree *shape* is a pure function
+//!    of the key set — independent of insertion/removal order. Subtree
+//!    aggregates are recomputed bottom-up with a fixed association
+//!    (`left ⊕ val ⊕ right`), so they too are pure functions of membership.
+//!    An index rebuilt from a durability snapshot therefore reproduces every
+//!    aggregate **bit-for-bit**, without serializing a single partial sum —
+//!    which is what keeps the PR 5 recovery byte-identity and the PR 6
+//!    merged-shard equality intact.
+//! 2. **O(1)/O(log n) allocation-free reads.** The whole-set sum is the root
+//!    aggregate (O(1)); the "strictly higher key" suffix sum used for the
+//!    priority-`ahead` split is one iterative root-to-leaf descent
+//!    (O(log n) expected), touching no allocator.
+//!
+//! Inserts and removals are expected O(log n) and reuse freed arena slots,
+//! so a steady-state index (bounded by eviction) never grows its backing
+//! storage.
+//!
+//! Exactness note: the five integer-valued [`Aggregate`] fields (`jobs`,
+//! `cpus`, `mem_gb`, `nodes`, `timelimit_min`) are sums of integers well
+//! below 2^53, so every partial sum is exact and tree-order summation equals
+//! the oracle's id-order summation exactly. `pred_runtime_min` is a genuine
+//! f64 sum whose association differs from the oracle's; callers compare it
+//! under a documented tolerance (see DESIGN.md §13).
+
+use crate::snapshot::Aggregate;
+
+/// Arena null. `u32::MAX` nodes is far beyond any tracked queue.
+const NIL: u32 = u32::MAX;
+
+/// Lexicographic `(major, id)` key. `major` carries the dimension the treap
+/// orders by (priority, or submit time as f64); `id` breaks ties and keeps
+/// keys unique per job.
+#[derive(Debug, Clone, Copy)]
+pub struct Key {
+    /// Primary sort dimension (finite; compared with `total_cmp`).
+    pub major: f64,
+    /// Job id tiebreaker (probes may use `u64::MAX` as "past every real id").
+    pub id: u64,
+}
+
+impl Key {
+    /// Builds a key.
+    #[inline]
+    pub fn new(major: f64, id: u64) -> Key {
+        Key { major, id }
+    }
+
+    #[inline]
+    fn cmp(&self, other: &Key) -> std::cmp::Ordering {
+        self.major
+            .total_cmp(&other.major)
+            .then(self.id.cmp(&other.id))
+    }
+}
+
+/// splitmix64 finalizer — the deterministic heap priority that pins the
+/// canonical shape to the key set.
+#[inline]
+fn heap_priority(id: u64) -> u64 {
+    let mut z = id.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Node {
+    key: Key,
+    heap: u64,
+    left: u32,
+    right: u32,
+    /// This entry's own aggregate (frozen at insertion).
+    val: Aggregate,
+    /// Subtree sum: `left.agg ⊕ val ⊕ right.agg`, fixed association.
+    agg: Aggregate,
+}
+
+/// An order-independent aggregate treap (see module docs).
+#[derive(Debug, Clone)]
+pub struct AggTreap {
+    nodes: Vec<Node>,
+    free: Vec<u32>,
+    root: u32,
+    len: usize,
+}
+
+impl Default for AggTreap {
+    fn default() -> AggTreap {
+        AggTreap::new()
+    }
+}
+
+impl AggTreap {
+    /// Empty treap.
+    pub fn new() -> AggTreap {
+        AggTreap {
+            nodes: Vec::new(),
+            free: Vec::new(),
+            root: NIL,
+            len: 0,
+        }
+    }
+
+    /// Number of live entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no entries are live.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The sum over every entry — O(1), no allocation.
+    #[inline]
+    pub fn root_agg(&self) -> Aggregate {
+        if self.root == NIL {
+            Aggregate::default()
+        } else {
+            self.nodes[self.root as usize].agg
+        }
+    }
+
+    /// Adds the sum over entries with key **strictly greater** than `k` into
+    /// `acc` — one iterative descent, no allocation.
+    pub fn sum_gt(&self, k: &Key, acc: &mut Aggregate) {
+        let mut t = self.root;
+        while t != NIL {
+            let n = &self.nodes[t as usize];
+            if n.key.cmp(k) == std::cmp::Ordering::Greater {
+                acc.merge(&n.val);
+                if n.right != NIL {
+                    acc.merge(&self.nodes[n.right as usize].agg);
+                }
+                t = n.left;
+            } else {
+                t = n.right;
+            }
+        }
+    }
+
+    /// Smallest key, if any — one leftmost descent, no allocation.
+    pub fn min_key(&self) -> Option<Key> {
+        if self.root == NIL {
+            return None;
+        }
+        let mut t = self.root;
+        while self.nodes[t as usize].left != NIL {
+            t = self.nodes[t as usize].left;
+        }
+        Some(self.nodes[t as usize].key)
+    }
+
+    /// Inserts an entry. Keys must be unique; inserting a present key is a
+    /// caller bug (both copies would be counted).
+    pub fn insert(&mut self, key: Key, val: Aggregate) {
+        let n = self.alloc(key, val);
+        let (l, r) = self.split(self.root, &key);
+        let lr = self.merge_nodes(l, n);
+        self.root = self.merge_nodes(lr, r);
+        self.len += 1;
+    }
+
+    /// Removes the entry with `key`, if present. Returns whether it was.
+    pub fn remove(&mut self, key: &Key) -> bool {
+        debug_assert!(key.id < u64::MAX, "probe-only keys are never stored");
+        let next = Key::new(key.major, key.id + 1);
+        let (l, ge) = self.split(self.root, key);
+        let (hit, r) = self.split(ge, &next);
+        let found = hit != NIL;
+        if found {
+            debug_assert_eq!(self.nodes[hit as usize].left, NIL);
+            debug_assert_eq!(self.nodes[hit as usize].right, NIL);
+            self.free.push(hit);
+            self.len -= 1;
+        }
+        self.root = self.merge_nodes(l, r);
+        found
+    }
+
+    /// Removes and returns the smallest entry's key, if any.
+    pub fn pop_min(&mut self) -> Option<Key> {
+        let k = self.min_key()?;
+        let removed = self.remove(&k);
+        debug_assert!(removed);
+        Some(k)
+    }
+
+    fn alloc(&mut self, key: Key, val: Aggregate) -> u32 {
+        let node = Node {
+            key,
+            heap: heap_priority(key.id),
+            left: NIL,
+            right: NIL,
+            val,
+            agg: val,
+        };
+        if let Some(i) = self.free.pop() {
+            self.nodes[i as usize] = node;
+            i
+        } else {
+            assert!(self.nodes.len() < NIL as usize, "aggtree arena overflow");
+            self.nodes.push(node);
+            (self.nodes.len() - 1) as u32
+        }
+    }
+
+    /// Recomputes `agg` at `t` as `left ⊕ val ⊕ right` — the one association
+    /// the canonical-by-set guarantee relies on.
+    #[inline]
+    fn pull(&mut self, t: u32) {
+        let (left, right) = {
+            let n = &self.nodes[t as usize];
+            (n.left, n.right)
+        };
+        let mut agg = Aggregate::default();
+        if left != NIL {
+            agg.merge(&self.nodes[left as usize].agg);
+        }
+        agg.merge(&self.nodes[t as usize].val);
+        if right != NIL {
+            agg.merge(&self.nodes[right as usize].agg);
+        }
+        self.nodes[t as usize].agg = agg;
+    }
+
+    /// Splits `t` into `(keys < k, keys >= k)`.
+    fn split(&mut self, t: u32, k: &Key) -> (u32, u32) {
+        if t == NIL {
+            return (NIL, NIL);
+        }
+        if self.nodes[t as usize].key.cmp(k) == std::cmp::Ordering::Less {
+            let (a, b) = self.split(self.nodes[t as usize].right, k);
+            self.nodes[t as usize].right = a;
+            self.pull(t);
+            (t, b)
+        } else {
+            let (a, b) = self.split(self.nodes[t as usize].left, k);
+            self.nodes[t as usize].left = b;
+            self.pull(t);
+            (a, t)
+        }
+    }
+
+    /// Merges two treaps where every key in `a` precedes every key in `b`.
+    fn merge_nodes(&mut self, a: u32, b: u32) -> u32 {
+        if a == NIL {
+            return b;
+        }
+        if b == NIL {
+            return a;
+        }
+        if self.nodes[a as usize].heap >= self.nodes[b as usize].heap {
+            let r = self.merge_nodes(self.nodes[a as usize].right, b);
+            self.nodes[a as usize].right = r;
+            self.pull(a);
+            a
+        } else {
+            let l = self.merge_nodes(a, self.nodes[b as usize].left);
+            self.nodes[b as usize].left = l;
+            self.pull(b);
+            b
+        }
+    }
+
+    /// Structural fingerprint (preorder keys + aggregate bits) for the
+    /// canonical-shape tests.
+    #[cfg(test)]
+    fn fingerprint(&self) -> Vec<(u64, u64, [u64; 2])> {
+        fn walk(t: &AggTreap, i: u32, out: &mut Vec<(u64, u64, [u64; 2])>) {
+            if i == NIL {
+                return;
+            }
+            let n = &t.nodes[i as usize];
+            out.push((
+                n.key.major.to_bits(),
+                n.key.id,
+                [n.agg.jobs.to_bits(), n.agg.pred_runtime_min.to_bits()],
+            ));
+            walk(t, n.left, out);
+            walk(t, n.right, out);
+        }
+        let mut out = Vec::new();
+        walk(self, self.root, &mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn agg(x: f64) -> Aggregate {
+        Aggregate {
+            jobs: 1.0,
+            cpus: 4.0,
+            mem_gb: 8.0,
+            nodes: 1.0,
+            timelimit_min: 60.0,
+            pred_runtime_min: x,
+        }
+    }
+
+    #[test]
+    fn shape_is_independent_of_operation_history() {
+        // Same final key set reached three different ways — identical trees,
+        // identical aggregate bits.
+        let keys: Vec<Key> = (0..200u64).map(|i| Key::new((i % 7) as f64, i)).collect();
+
+        let mut fwd = AggTreap::new();
+        for k in &keys {
+            fwd.insert(*k, agg(k.id as f64 * 1.37 + 0.1));
+        }
+
+        let mut rev = AggTreap::new();
+        for k in keys.iter().rev() {
+            rev.insert(*k, agg(k.id as f64 * 1.37 + 0.1));
+        }
+
+        // Insert extras, then remove them again.
+        let mut churn = AggTreap::new();
+        for k in &keys {
+            churn.insert(*k, agg(k.id as f64 * 1.37 + 0.1));
+            let extra = Key::new(3.5, k.id + 10_000);
+            churn.insert(extra, agg(9.9));
+            churn.remove(&extra);
+        }
+
+        assert_eq!(fwd.fingerprint(), rev.fingerprint());
+        assert_eq!(fwd.fingerprint(), churn.fingerprint());
+        assert_eq!(
+            fwd.root_agg().pred_runtime_min.to_bits(),
+            churn.root_agg().pred_runtime_min.to_bits()
+        );
+    }
+
+    #[test]
+    fn sum_gt_matches_scan() {
+        let mut t = AggTreap::new();
+        for i in 0..100u64 {
+            t.insert(Key::new((i % 5) as f64, i), agg(i as f64));
+        }
+        for probe_major in [-1.0, 0.0, 1.5, 2.0, 4.0, 5.0] {
+            let mut got = Aggregate::default();
+            t.sum_gt(&Key::new(probe_major, u64::MAX), &mut got);
+            let expect = (0..100u64).filter(|i| (i % 5) as f64 > probe_major).count();
+            assert_eq!(got.jobs, expect as f64, "major {probe_major}");
+        }
+    }
+
+    #[test]
+    fn pop_min_drains_in_key_order() {
+        let mut t = AggTreap::new();
+        for i in [5u64, 1, 9, 3, 7] {
+            t.insert(Key::new(i as f64, i), agg(i as f64));
+        }
+        let mut seen = Vec::new();
+        while let Some(k) = t.pop_min() {
+            seen.push(k.id);
+        }
+        assert_eq!(seen, vec![1, 3, 5, 7, 9]);
+        assert!(t.is_empty());
+        assert_eq!(t.root_agg().jobs, 0.0);
+    }
+
+    #[test]
+    fn remove_absent_key_is_a_noop() {
+        let mut t = AggTreap::new();
+        t.insert(Key::new(1.0, 1), agg(1.0));
+        assert!(!t.remove(&Key::new(1.0, 2)));
+        assert!(!t.remove(&Key::new(2.0, 1)));
+        assert_eq!(t.len(), 1);
+        assert!(t.remove(&Key::new(1.0, 1)));
+        assert_eq!(t.len(), 0);
+    }
+
+    #[test]
+    fn arena_slots_are_reused() {
+        let mut t = AggTreap::new();
+        for i in 0..64u64 {
+            t.insert(Key::new(0.0, i), agg(1.0));
+        }
+        let cap = t.nodes.len();
+        for i in 0..64u64 {
+            t.remove(&Key::new(0.0, i));
+            t.insert(Key::new(0.0, i + 100), agg(1.0));
+        }
+        assert_eq!(t.nodes.len(), cap, "churn at steady state must not grow");
+    }
+}

@@ -5,34 +5,55 @@
 //! every job's start and end already known. A live prediction daemon has
 //! neither: jobs arrive one `submit`/`start`/`end` event at a time and a
 //! pending job's start is exactly the unknown being predicted. This module
-//! maintains the same per-partition pending/running sets and per-user
-//! submission history *incrementally*: each event is one `O(log n)` update to
-//! a [`DynamicIntervalTree`] (pending jobs live on `[eligible, ∞)`, running
-//! jobs on `[start, ∞)`; the matching transition event deletes the entry), so
-//! the daemon never rebuilds an index over its whole history.
+//! maintains every [`QueueSnapshot`] aggregate as a **running sum**: each
+//! lifecycle event applies one O(log n) delta to a set of canonical-by-set
+//! aggregate treaps ([`crate::aggtree`]), and a snapshot probed at the live
+//! frontier is an O(1), allocation-free read:
+//!
+//! * `queue`  — root aggregate of the partition's eligible-pending treap;
+//! * `ahead`  — one iterative suffix descent over keys `(priority, id)`
+//!   strictly above the probe's priority (O(log n), allocation-free);
+//! * `running` — root aggregate of the partition's running treap;
+//! * `user_past_day` — root aggregate of the user's window treap, lazily
+//!   expired by popping entries older than the trailing 24 h;
+//! * the probe's `exclude_id` is corrected by subtracting that single job's
+//!   aggregate (exact for the integer-valued fields).
+//!
+//! Probes at times **behind** the event or probe frontier fall back to
+//! [`snapshot_scan`](IncrementalSnapshot::snapshot_scan), an O(n) scan with
+//! the pre-fast-path semantics. The frontier split matters for durability:
+//! `event_time` (the max event timestamp) is event-derived, identical across
+//! broadcast shards, and serialized; the probe frontier is transient and
+//! never serialized, because predicts route to a single shard and must not
+//! perturb merged-state equality (see DESIGN.md §13).
 //!
 //! Correctness contract: after applying every event with timestamp `≤ t`, a
 //! [`snapshot`](IncrementalSnapshot::snapshot) probed at `t` returns
-//! [`Aggregate`]s **bit-identical** to
+//! [`Aggregate`]s equal to
 //! [`SnapshotIndex::snapshot_naive`](crate::SnapshotIndex::snapshot_naive)
-//! over the equivalent trace — including f64 summation order, which is why
-//! hits are accumulated in ascending job-id order (the oracle's record
-//! order). The replay property test in `tests/incremental_replay.rs` enforces
-//! this at every stab point of a multi-thousand-job trace.
+//! over the equivalent trace — **exactly** for `jobs`/`cpus`/`mem_gb`/
+//! `nodes`/`timelimit_min` (integer-valued f64 sums below 2^53 are exact
+//! under any association), and within a documented relative tolerance for
+//! `pred_runtime_min`, whose tree-order summation legitimately reassociates
+//! the oracle's id-order sum. [`aggregate_drift`]
+//! (IncrementalSnapshot::aggregate_drift) measures that reassociation gap
+//! against an id-order rescan, mirroring the shard-merge `merged_drift`
+//! diagnostic. The replay test in `tests/incremental_replay.rs` enforces the
+//! contract at every stab point of a multi-thousand-job trace.
 
 use std::collections::HashMap;
 
-use trout_itree::{DynamicIntervalTree, Interval};
 use trout_slurmsim::JobRecord;
 use trout_std::json::{FromJson, Json, JsonError, ToJson};
 
-use crate::snapshot::QueueSnapshot;
+use crate::aggtree::{AggTreap, Key};
+use crate::snapshot::{Aggregate, QueueSnapshot};
 
 /// Sentinel for "this interval has not closed yet".
 const OPEN: i64 = i64::MAX;
 
 /// Trailing user-history window, seconds (the paper's 24 h).
-const USER_WINDOW_S: i64 = 86_400;
+pub const USER_WINDOW_S: i64 = 86_400;
 
 /// Where a tracked job currently is in its lifecycle.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -107,7 +128,8 @@ impl std::error::Error for EventError {}
 /// this job's point of view at `time`?".
 #[derive(Debug, Clone, Copy)]
 pub struct SnapshotProbe {
-    /// Query instant (must be ≥ every applied event's timestamp).
+    /// Query instant (must be ≥ every applied event's timestamp for the O(1)
+    /// fast path; older probes are answered by the scan fallback).
     pub time: i64,
     /// Observer's partition index.
     pub partition: u32,
@@ -122,31 +144,47 @@ pub struct SnapshotProbe {
 
 /// Live, event-driven replacement for [`crate::SnapshotIndex`].
 pub struct IncrementalSnapshot {
-    /// Per partition: pending jobs on `[eligible_time, ∞)`, payload job id.
-    pending: Vec<DynamicIntervalTree<i64, u64>>,
-    /// Per partition: running jobs on `[start_time, ∞)`, payload job id.
-    running: Vec<DynamicIntervalTree<i64, u64>>,
     /// Every known job by id.
     jobs: HashMap<u64, TrackedJob>,
     /// Per user: `(submit_time, id)` in submission order.
     user_history: HashMap<u32, Vec<(i64, u64)>>,
     /// Events applied so far.
     applied: u64,
+    /// Per partition: eligible pending jobs, keyed `(priority, id)`.
+    eligible: Vec<AggTreap>,
+    /// Per partition: running jobs, keyed `(0.0, id)`.
+    running: Vec<AggTreap>,
+    /// Per partition: pending jobs not yet eligible, ascending
+    /// `(eligible_time, id)`; drained into `eligible` as probes advance.
+    deferred: Vec<Vec<(i64, u64)>>,
+    /// Per user: trailing-window submissions, keyed `(submit_time, id)`,
+    /// lazily expired against the probe frontier.
+    user_window: HashMap<u32, AggTreap>,
+    /// Max event timestamp applied — the serialized frontier.
+    event_time: i64,
+    /// Max probe time served by the fast path — transient, never serialized.
+    probe_time: i64,
+    /// Deferred entries have been activated up to here — transient.
+    activated_to: i64,
+    /// Snapshots answered by the O(n) scan fallback (diagnostic).
+    scan_snapshots: u64,
 }
 
 impl IncrementalSnapshot {
     /// Creates an empty index over `n_partitions` partitions.
     pub fn new(n_partitions: usize) -> IncrementalSnapshot {
         IncrementalSnapshot {
-            pending: (0..n_partitions)
-                .map(|_| DynamicIntervalTree::new())
-                .collect(),
-            running: (0..n_partitions)
-                .map(|_| DynamicIntervalTree::new())
-                .collect(),
             jobs: HashMap::new(),
             user_history: HashMap::new(),
             applied: 0,
+            eligible: (0..n_partitions).map(|_| AggTreap::new()).collect(),
+            running: (0..n_partitions).map(|_| AggTreap::new()).collect(),
+            deferred: vec![Vec::new(); n_partitions],
+            user_window: HashMap::new(),
+            event_time: i64::MIN,
+            probe_time: i64::MIN,
+            activated_to: i64::MIN,
+            scan_snapshots: 0,
         }
     }
 
@@ -155,14 +193,20 @@ impl IncrementalSnapshot {
         self.applied
     }
 
-    /// Jobs currently pending in partition `p`.
+    /// Snapshots that could not use the O(1) fast path (probe behind the
+    /// event or probe frontier) and fell back to the O(n) scan.
+    pub fn scan_snapshots(&self) -> u64 {
+        self.scan_snapshots
+    }
+
+    /// Jobs currently pending in partition `p` (eligible or deferred).
     pub fn pending_len(&self, p: usize) -> usize {
-        self.pending.get(p).map_or(0, DynamicIntervalTree::len)
+        self.eligible.get(p).map_or(0, AggTreap::len) + self.deferred.get(p).map_or(0, Vec::len)
     }
 
     /// Jobs currently running in partition `p`.
     pub fn running_len(&self, p: usize) -> usize {
-        self.running.get(p).map_or(0, DynamicIntervalTree::len)
+        self.running.get(p).map_or(0, AggTreap::len)
     }
 
     /// Total jobs tracked (all phases, before eviction).
@@ -180,7 +224,7 @@ impl IncrementalSnapshot {
     /// `rec.start_time`/`rec.end_time` are ignored (they are unknown live).
     pub fn submit(&mut self, mut rec: JobRecord, pred_runtime_min: f64) -> Result<(), EventError> {
         let p = rec.partition as usize;
-        if p >= self.pending.len() {
+        if p >= self.eligible.len() {
             return Err(EventError::UnknownPartition(rec.partition));
         }
         if self.jobs.contains_key(&rec.id) {
@@ -188,11 +232,27 @@ impl IncrementalSnapshot {
         }
         rec.start_time = OPEN;
         rec.end_time = OPEN;
-        self.pending[p].insert(Interval::new(rec.eligible_time, OPEN), rec.id);
-        self.user_history
+        let one = Aggregate::of(&rec, pred_runtime_min);
+        if rec.eligible_time <= self.activated_to {
+            self.eligible[p].insert(Key::new(rec.priority, rec.id), one);
+        } else {
+            let entry = (rec.eligible_time, rec.id);
+            let at = self.deferred[p].partition_point(|&e| e < entry);
+            self.deferred[p].insert(at, entry);
+        }
+        self.user_window
             .entry(rec.user)
             .or_default()
-            .push((rec.submit_time, rec.id));
+            .insert(Key::new(rec.submit_time as f64, rec.id), one);
+        // Sorted insert by (submit_time, id): broadcast replicas may apply
+        // concurrent submits in different interleavings, and a push-ordered
+        // history would leak that arrival order into serialized state. The
+        // canonical order also matches the oracle's id-order accumulation.
+        let history = self.user_history.entry(rec.user).or_default();
+        let hentry = (rec.submit_time, rec.id);
+        let at = history.partition_point(|&e| e < hentry);
+        history.insert(at, hentry);
+        self.event_time = self.event_time.max(rec.submit_time);
         self.jobs.insert(
             rec.id,
             TrackedJob {
@@ -215,12 +275,16 @@ impl IncrementalSnapshot {
             });
         }
         let p = job.rec.partition as usize;
-        let eligible = job.rec.eligible_time;
         job.rec.start_time = time;
         job.phase = JobPhase::Running;
-        let removed = self.pending[p].remove(Interval::new(eligible, OPEN), &id);
-        debug_assert!(removed, "pending entry for job {id} missing");
-        self.running[p].insert(Interval::new(time, OPEN), id);
+        let one = Aggregate::of(&job.rec, job.pred_runtime_min);
+        let key = Key::new(job.rec.priority, id);
+        let eligible = job.rec.eligible_time;
+        if !self.eligible[p].remove(&key) {
+            Self::remove_deferred(&mut self.deferred[p], eligible, id);
+        }
+        self.running[p].insert(Key::new(0.0, id), one);
+        self.event_time = self.event_time.max(time);
         self.applied += 1;
         Ok(())
     }
@@ -232,22 +296,23 @@ impl IncrementalSnapshot {
         let p = job.rec.partition as usize;
         match job.phase {
             JobPhase::Running => {
-                let started = job.rec.start_time;
                 job.rec.end_time = time;
                 job.phase = JobPhase::Done;
-                let removed = self.running[p].remove(Interval::new(started, OPEN), &id);
+                let removed = self.running[p].remove(&Key::new(0.0, id));
                 debug_assert!(removed, "running entry for job {id} missing");
             }
             JobPhase::Pending => {
                 // Cancelled while waiting: it leaves the queue now and never
                 // ran, mirroring JobState::Cancelled records where start and
                 // end both hold the cancellation instant.
-                let eligible = job.rec.eligible_time;
                 job.rec.start_time = time;
                 job.rec.end_time = time;
                 job.phase = JobPhase::Done;
-                let removed = self.pending[p].remove(Interval::new(eligible, OPEN), &id);
-                debug_assert!(removed, "pending entry for job {id} missing");
+                let key = Key::new(job.rec.priority, id);
+                let eligible = job.rec.eligible_time;
+                if !self.eligible[p].remove(&key) {
+                    Self::remove_deferred(&mut self.deferred[p], eligible, id);
+                }
             }
             JobPhase::Done => {
                 return Err(EventError::BadPhase {
@@ -256,52 +321,139 @@ impl IncrementalSnapshot {
                 })
             }
         }
+        self.event_time = self.event_time.max(time);
         self.applied += 1;
         Ok(())
+    }
+
+    fn remove_deferred(deferred: &mut Vec<(i64, u64)>, eligible: i64, id: u64) {
+        let entry = (eligible, id);
+        let at = deferred.partition_point(|&e| e < entry);
+        debug_assert!(
+            deferred.get(at) == Some(&entry),
+            "deferred entry for job {id} missing"
+        );
+        if deferred.get(at) == Some(&entry) {
+            deferred.remove(at);
+        }
+    }
+
+    /// Activates deferred jobs whose eligibility instant has been reached.
+    fn advance_to(&mut self, t: i64) {
+        if t <= self.activated_to {
+            return;
+        }
+        for p in 0..self.deferred.len() {
+            while self.deferred[p].first().is_some_and(|&(e, _)| e <= t) {
+                let (_, id) = self.deferred[p].remove(0);
+                let job = &self.jobs[&id];
+                let one = Aggregate::of(&job.rec, job.pred_runtime_min);
+                self.eligible[p].insert(Key::new(job.rec.priority, id), one);
+            }
+        }
+        self.activated_to = t;
+    }
+
+    /// Expires window entries older than `t - 24 h` for one user.
+    fn expire_user(&mut self, user: u32, t: i64) {
+        if let Some(w) = self.user_window.get_mut(&user) {
+            let cutoff = (t - USER_WINDOW_S) as f64;
+            while w.min_key().is_some_and(|k| k.major < cutoff) {
+                w.pop_min();
+            }
+        }
     }
 
     /// The queue state the probe's job observes. Requires every event with
     /// timestamp ≤ `probe.time` to have been applied (and none beyond it
     /// that would change pending membership at `probe.time`).
-    pub fn snapshot(&self, probe: &SnapshotProbe) -> QueueSnapshot {
+    ///
+    /// At the live frontier (`probe.time` ≥ every applied event and every
+    /// earlier probe) this is an O(1), allocation-free read of the running
+    /// aggregates; probes behind either frontier are answered by
+    /// [`snapshot_scan`](Self::snapshot_scan).
+    pub fn snapshot(&mut self, probe: &SnapshotProbe) -> QueueSnapshot {
         let _span = trout_obs::span!("features.snapshot");
-        let mut snap = QueueSnapshot::default();
         let p = probe.partition as usize;
         let t = probe.time;
-        if p >= self.pending.len() {
-            return snap;
+        if p >= self.eligible.len() {
+            return QueueSnapshot::default();
         }
+        if t < self.event_time || t < self.probe_time {
+            self.scan_snapshots += 1;
+            return self.snapshot_scan(probe);
+        }
+        self.probe_time = t;
+        self.advance_to(t);
+        self.expire_user(probe.user, t);
 
-        // Pending ids stabbed at t, accumulated in ascending id order — the
-        // oracle's record order, so f64 sums agree bit for bit.
-        let mut ids: Vec<u64> = self.pending[p]
-            .stab_values(t)
-            .into_iter()
-            .copied()
+        let mut snap = QueueSnapshot {
+            queue: self.eligible[p].root_agg(),
+            ahead: Aggregate::default(),
+            running: self.running[p].root_agg(),
+            user_past_day: self
+                .user_window
+                .get(&probe.user)
+                .map_or_else(Aggregate::default, AggTreap::root_agg),
+        };
+        self.eligible[p].sum_gt(&Key::new(probe.priority, u64::MAX), &mut snap.ahead);
+
+        if let Some(id) = probe.exclude_id {
+            if let Some(job) = self.jobs.get(&id) {
+                let one = Aggregate::of(&job.rec, job.pred_runtime_min);
+                if job.phase == JobPhase::Pending
+                    && job.rec.partition == probe.partition
+                    && job.rec.eligible_time <= t
+                {
+                    snap.queue.unmerge(&one);
+                    if job.rec.priority > probe.priority {
+                        snap.ahead.unmerge(&one);
+                    }
+                }
+                if job.rec.user == probe.user
+                    && job.rec.submit_time >= t - USER_WINDOW_S
+                    && job.rec.submit_time <= t
+                {
+                    snap.user_past_day.unmerge(&one);
+                }
+            }
+        }
+        snap
+    }
+
+    /// The O(n) fallback: scans every tracked job in ascending id order (the
+    /// oracle's record order, so f64 sums agree bit for bit with
+    /// `snapshot_naive`). Serves probes behind the fast path's frontier.
+    pub fn snapshot_scan(&self, probe: &SnapshotProbe) -> QueueSnapshot {
+        let _span = trout_obs::span!("features.snapshot_scan");
+        let mut snap = QueueSnapshot::default();
+        let t = probe.time;
+        let mut ids: Vec<u64> = self
+            .jobs
+            .values()
+            .filter(|j| j.rec.partition == probe.partition && j.phase != JobPhase::Done)
+            .map(|j| j.rec.id)
             .collect();
         ids.sort_unstable();
         for id in ids {
-            if probe.exclude_id == Some(id) {
-                continue;
-            }
             let job = &self.jobs[&id];
-            snap.queue.add(&job.rec, job.pred_runtime_min);
-            if job.rec.priority > probe.priority {
-                snap.ahead.add(&job.rec, job.pred_runtime_min);
+            match job.phase {
+                JobPhase::Pending => {
+                    if job.rec.eligible_time <= t && probe.exclude_id != Some(id) {
+                        snap.queue.add(&job.rec, job.pred_runtime_min);
+                        if job.rec.priority > probe.priority {
+                            snap.ahead.add(&job.rec, job.pred_runtime_min);
+                        }
+                    }
+                }
+                JobPhase::Running => {
+                    if job.rec.start_time <= t {
+                        snap.running.add(&job.rec, job.pred_runtime_min);
+                    }
+                }
+                JobPhase::Done => unreachable!("filtered above"),
             }
         }
-
-        let mut ids: Vec<u64> = self.running[p]
-            .stab_values(t)
-            .into_iter()
-            .copied()
-            .collect();
-        ids.sort_unstable();
-        for id in ids {
-            let job = &self.jobs[&id];
-            snap.running.add(&job.rec, job.pred_runtime_min);
-        }
-
         if let Some(history) = self.user_history.get(&probe.user) {
             let lo = t - USER_WINDOW_S;
             let from = history.partition_point(|&(s, _)| s < lo);
@@ -319,6 +471,49 @@ impl IncrementalSnapshot {
         snap
     }
 
+    /// Measures the f64 reassociation gap between the maintained treap
+    /// aggregates and an id-order rescan: the max relative difference of
+    /// `pred_runtime_min` (the one genuinely reassociated field) across every
+    /// partition's eligible/running sums. The integer-valued fields are
+    /// asserted exactly equal — any mismatch there is a real bug, not drift.
+    pub fn aggregate_drift(&self) -> f64 {
+        let mut worst = 0.0f64;
+        for p in 0..self.eligible.len() {
+            let mut eligible = Aggregate::default();
+            let mut running = Aggregate::default();
+            let mut ids: Vec<u64> = self
+                .jobs
+                .values()
+                .filter(|j| j.rec.partition as usize == p && j.phase != JobPhase::Done)
+                .map(|j| j.rec.id)
+                .collect();
+            ids.sort_unstable();
+            for id in ids {
+                let job = &self.jobs[&id];
+                match job.phase {
+                    JobPhase::Pending => {
+                        if job.rec.eligible_time <= self.activated_to {
+                            eligible.add(&job.rec, job.pred_runtime_min);
+                        }
+                    }
+                    JobPhase::Running => running.add(&job.rec, job.pred_runtime_min),
+                    JobPhase::Done => {}
+                }
+            }
+            for (got, want) in [
+                (self.eligible[p].root_agg(), eligible),
+                (self.running[p].root_agg(), running),
+            ] {
+                assert_eq!(got.jobs, want.jobs, "partition {p} jobs count drifted");
+                assert_eq!(got.cpus, want.cpus, "partition {p} cpus drifted");
+                assert_eq!(got.nodes, want.nodes, "partition {p} nodes drifted");
+                let denom = want.pred_runtime_min.abs().max(1.0);
+                worst = worst.max((got.pred_runtime_min - want.pred_runtime_min).abs() / denom);
+            }
+        }
+        worst
+    }
+
     /// Drops finished jobs that can no longer influence any future snapshot
     /// (done, and submitted more than 24 h before `now`). Returns the ids
     /// evicted so callers can drop their own per-job state. Callers must not
@@ -327,8 +522,17 @@ impl IncrementalSnapshot {
         let _span = trout_obs::span!("features.evict");
         let cutoff = now - USER_WINDOW_S;
         let mut evicted = Vec::new();
-        for history in self.user_history.values_mut() {
+        for (&user, history) in self.user_history.iter_mut() {
             let keep_from = history.partition_point(|&(s, _)| s < cutoff);
+            if keep_from == 0 {
+                continue;
+            }
+            if let Some(w) = self.user_window.get_mut(&user) {
+                for &(submit, id) in &history[..keep_from] {
+                    // May already be gone via lazy expiry — idempotent.
+                    w.remove(&Key::new(submit as f64, id));
+                }
+            }
             for &(_, id) in &history[..keep_from] {
                 if self
                     .jobs
@@ -342,16 +546,22 @@ impl IncrementalSnapshot {
             history.drain(..keep_from);
         }
         self.user_history.retain(|_, h| !h.is_empty());
+        let live = &self.user_history;
+        self.user_window.retain(|u, _| live.contains_key(u));
         evicted
     }
 
     /// Serializes the index's full state for a durability snapshot. Jobs are
     /// emitted in ascending id order and user histories in ascending user
     /// order, so identical states produce identical bytes regardless of
-    /// `HashMap` iteration order. The interval trees are *not* serialized:
-    /// every tree entry is derivable from a tracked job's phase, which is
-    /// how [`from_state_json`](IncrementalSnapshot::from_state_json)
-    /// rebuilds them.
+    /// `HashMap` iteration order. The aggregate treaps are *not* serialized:
+    /// their shape and sums are pure functions of the tracked-job set (see
+    /// [`crate::aggtree`]), which is how
+    /// [`from_state_json`](IncrementalSnapshot::from_state_json) rebuilds
+    /// them bit-identically. `event_time` is serialized (it is event-derived
+    /// and identical across broadcast shards); the probe frontier is not —
+    /// predicts route to a single shard, and re-expiry/re-activation on the
+    /// first probe after recovery makes the difference unobservable.
     pub fn state_to_json(&self) -> Json {
         let mut jobs: Vec<&TrackedJob> = self.jobs.values().collect();
         jobs.sort_by_key(|j| j.rec.id);
@@ -360,9 +570,10 @@ impl IncrementalSnapshot {
         Json::Obj(vec![
             (
                 "n_partitions".to_string(),
-                (self.pending.len() as u64).to_json(),
+                (self.eligible.len() as u64).to_json(),
             ),
             ("applied".to_string(), self.applied.to_json()),
+            ("event_time".to_string(), self.event_time.to_json()),
             (
                 "jobs".to_string(),
                 Json::Arr(jobs.iter().map(|j| j.to_json()).collect()),
@@ -380,16 +591,19 @@ impl IncrementalSnapshot {
     }
 
     /// Reconstructs an index from [`state_to_json`](Self::state_to_json)
-    /// output. Pending/running tree entries are rebuilt from each job's
-    /// phase — the intervals are exactly the ones `submit`/`start` inserted
-    /// (`[eligible, ∞)` and `[start, ∞)`), so snapshots probed afterward are
-    /// bit-identical to the index that was serialized.
+    /// output. The aggregate treaps are rebuilt from each job's phase;
+    /// because treap shape and sums are order-independent functions of the
+    /// member set, snapshots probed afterward are bit-identical to the index
+    /// that was serialized.
     pub fn from_state_json(j: &Json) -> Result<IncrementalSnapshot, JsonError> {
         let n = usize::from_json_field(j.get("n_partitions"), "state.n_partitions")?;
         let applied = u64::from_json_field(j.get("applied"), "state.applied")?;
+        let event_time = i64::from_json_field(j.get("event_time"), "state.event_time")?;
         let jobs = Vec::<TrackedJob>::from_json_field(j.get("jobs"), "state.jobs")?;
         let mut idx = IncrementalSnapshot::new(n);
         idx.applied = applied;
+        idx.event_time = event_time;
+        idx.activated_to = event_time;
         for job in jobs {
             let p = job.rec.partition as usize;
             if p >= n {
@@ -398,12 +612,19 @@ impl IncrementalSnapshot {
                     job.rec.id
                 )));
             }
+            let one = Aggregate::of(&job.rec, job.pred_runtime_min);
             match job.phase {
                 JobPhase::Pending => {
-                    idx.pending[p].insert(Interval::new(job.rec.eligible_time, OPEN), job.rec.id);
+                    if job.rec.eligible_time <= event_time {
+                        idx.eligible[p].insert(Key::new(job.rec.priority, job.rec.id), one);
+                    } else {
+                        let entry = (job.rec.eligible_time, job.rec.id);
+                        let at = idx.deferred[p].partition_point(|&e| e < entry);
+                        idx.deferred[p].insert(at, entry);
+                    }
                 }
                 JobPhase::Running => {
-                    idx.running[p].insert(Interval::new(job.rec.start_time, OPEN), job.rec.id);
+                    idx.running[p].insert(Key::new(0.0, job.rec.id), one);
                 }
                 JobPhase::Done => {}
             }
@@ -420,6 +641,16 @@ impl IncrementalSnapshot {
             }
             let user = u32::from_json(&pair[0])?;
             let history = Vec::<(i64, u64)>::from_json(&pair[1])?;
+            let window = idx.user_window.entry(user).or_default();
+            for &(submit, id) in &history {
+                let job = idx.jobs.get(&id).ok_or_else(|| {
+                    JsonError::new(format!("user_history references unknown job {id}"))
+                })?;
+                window.insert(
+                    Key::new(submit as f64, id),
+                    Aggregate::of(&job.rec, job.pred_runtime_min),
+                );
+            }
             idx.user_history.insert(user, history);
         }
         Ok(idx)
@@ -559,6 +790,16 @@ mod tests {
     }
 
     #[test]
+    fn deferred_job_cancelled_before_eligibility_never_surfaces() {
+        let mut idx = IncrementalSnapshot::new(1);
+        idx.submit(rec(1, 0, 0, 100, 900, 1.0), 5.0).unwrap();
+        assert_eq!(idx.pending_len(0), 1);
+        idx.end(1, 200).unwrap(); // cancelled while still deferred
+        assert_eq!(idx.pending_len(0), 0);
+        assert_eq!(idx.snapshot(&probe(1_000, 0)).queue.jobs, 0.0);
+    }
+
+    #[test]
     fn events_are_validated() {
         let mut idx = IncrementalSnapshot::new(1);
         assert_eq!(idx.start(9, 10), Err(EventError::UnknownJob(9)));
@@ -609,6 +850,54 @@ mod tests {
     }
 
     #[test]
+    fn probes_behind_the_frontier_fall_back_to_the_scan() {
+        let mut idx = IncrementalSnapshot::new(1);
+        idx.submit(rec(1, 0, 0, 100, 100, 1.0), 5.0).unwrap();
+        idx.start(1, 150).unwrap();
+        idx.submit(rec(2, 0, 0, 160, 160, 1.0), 5.0).unwrap();
+        assert_eq!(idx.scan_snapshots(), 0);
+        // A probe behind the newest event: answered, via the scan.
+        let s = idx.snapshot(&probe(120, 0));
+        assert_eq!(idx.scan_snapshots(), 1);
+        // Phase-based membership: job 1 already started, so it is in the
+        // running set even though 120 < its start.
+        assert_eq!(s.queue.jobs, 0.0);
+        assert_eq!(s.running.jobs, 0.0, "started after 120");
+        // At the frontier the fast path serves it.
+        let s = idx.snapshot(&probe(200, 0));
+        assert_eq!(idx.scan_snapshots(), 1);
+        assert_eq!(s.queue.jobs, 1.0);
+        assert_eq!(s.running.jobs, 1.0);
+        // Probing backwards relative to an earlier probe also scans.
+        idx.snapshot(&probe(190, 0));
+        assert_eq!(idx.scan_snapshots(), 2);
+    }
+
+    #[test]
+    fn aggregate_drift_is_tiny_and_integer_fields_exact() {
+        let mut idx = IncrementalSnapshot::new(2);
+        for i in 0..200u64 {
+            idx.submit(
+                rec(
+                    i,
+                    (i % 5) as u32,
+                    (i % 2) as u32,
+                    i as i64,
+                    i as i64,
+                    0.1 * (i % 9) as f64,
+                ),
+                i as f64 * 1.37 + 0.1,
+            )
+            .unwrap();
+        }
+        for i in 0..100u64 {
+            idx.start(i, 300 + i as i64).unwrap();
+        }
+        idx.snapshot(&probe(500, 0));
+        assert!(idx.aggregate_drift() < 1e-12);
+    }
+
+    #[test]
     fn state_round_trips_and_snapshots_identically() {
         let mut idx = IncrementalSnapshot::new(2);
         idx.submit(rec(1, 3, 0, 100, 100, 5.0), 60.0).unwrap();
@@ -619,24 +908,21 @@ mod tests {
         idx.start(3, 140).unwrap();
 
         let state = idx.state_to_json();
-        let back = IncrementalSnapshot::from_state_json(&state).unwrap();
+        let mut back = IncrementalSnapshot::from_state_json(&state).unwrap();
         // Deterministic bytes: identical state serializes identically.
         assert_eq!(state.to_string(), back.state_to_json().to_string());
         assert_eq!(back.events_applied(), idx.events_applied());
 
-        // Snapshots agree at several probe times, and future events apply
-        // the same way (tree entries were rebuilt correctly).
+        // Snapshots agree bit-for-bit at several probe times (the rebuilt
+        // treaps are canonical-by-set), and future events apply the same way.
         for (t, part) in [(160, 0), (160, 1), (200, 0)] {
             let p = SnapshotProbe {
                 user: 3,
                 ..probe(t, part)
             };
             let (a, b) = (idx.snapshot(&p), back.snapshot(&p));
-            assert_eq!(a.queue.jobs, b.queue.jobs);
-            assert_eq!(a.running.jobs, b.running.jobs);
-            assert_eq!(a.user_past_day.jobs, b.user_past_day.jobs);
+            assert_eq!(a, b);
         }
-        let mut back = back;
         idx.end(3, 300).unwrap();
         back.end(3, 300).unwrap();
         assert_eq!(

@@ -15,6 +15,7 @@
 //! and Box–Cox scalers are implemented for the A4 scaling ablation the paper
 //! describes ("tested but found not to provide noticeable benefits").
 
+pub mod aggtree;
 pub mod incremental;
 pub mod names;
 mod pipeline;
@@ -22,6 +23,6 @@ pub mod scaling;
 pub mod snapshot;
 
 pub use incremental::{IncrementalSnapshot, SnapshotProbe};
-pub use pipeline::{assemble_row, Dataset, FeaturePipeline};
+pub use pipeline::{assemble_row, assemble_row_into, Dataset, FeaturePipeline};
 pub use scaling::Scaling;
 pub use snapshot::SnapshotIndex;

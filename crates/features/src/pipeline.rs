@@ -192,6 +192,20 @@ pub fn assemble_row(
     pred_runtime_min: f64,
 ) -> Vec<f32> {
     let mut f = vec![0.0f32; N_FEATURES];
+    assemble_row_into(r, part, snap, pred_runtime_min, &mut f);
+    f
+}
+
+/// [`assemble_row`] against a caller-owned buffer (`N_FEATURES` long), for
+/// the serving fast path that assembles rows without allocating.
+pub fn assemble_row_into(
+    r: &trout_slurmsim::JobRecord,
+    part: &trout_workload::PartitionSpec,
+    snap: &crate::snapshot::QueueSnapshot,
+    pred_runtime_min: f64,
+    f: &mut [f32],
+) {
+    assert_eq!(f.len(), N_FEATURES, "feature buffer width mismatch");
     f[idx::PRIORITY] = r.priority as f32;
     f[idx::TIMELIMIT_RAW] = r.timelimit_min as f32;
     f[idx::REQ_CPUS] = r.req_cpus as f32;
@@ -225,7 +239,6 @@ pub fn assemble_row(
     f[idx::PRED_RUNTIME] = pred_runtime_min as f32;
     f[idx::PAR_QUEUE_PRED_TIMELIMIT] = snap.queue.pred_runtime_min as f32;
     f[idx::PAR_RUNNING_PRED_TIMELIMIT] = snap.running.pred_runtime_min as f32;
-    f
 }
 
 #[cfg(test)]

@@ -40,6 +40,37 @@ impl Aggregate {
         self.timelimit_min += r.timelimit_min as f64;
         self.pred_runtime_min += pred_runtime;
     }
+
+    /// The aggregate of a single job — the unit of the incremental index's
+    /// delta algebra (DESIGN.md §13).
+    pub fn of(r: &JobRecord, pred_runtime: f64) -> Aggregate {
+        let mut a = Aggregate::default();
+        a.add(r, pred_runtime);
+        a
+    }
+
+    /// Adds another aggregate field-wise. For the five integer-valued fields
+    /// this is exact (integer sums below 2^53); `pred_runtime_min` picks up
+    /// the usual f64 rounding of whatever association the caller uses.
+    pub fn merge(&mut self, o: &Aggregate) {
+        self.jobs += o.jobs;
+        self.cpus += o.cpus;
+        self.mem_gb += o.mem_gb;
+        self.nodes += o.nodes;
+        self.timelimit_min += o.timelimit_min;
+        self.pred_runtime_min += o.pred_runtime_min;
+    }
+
+    /// Subtracts another aggregate field-wise — the observer-exclusion
+    /// correction. Exact on the integer-valued fields.
+    pub fn unmerge(&mut self, o: &Aggregate) {
+        self.jobs -= o.jobs;
+        self.cpus -= o.cpus;
+        self.mem_gb -= o.mem_gb;
+        self.nodes -= o.nodes;
+        self.timelimit_min -= o.timelimit_min;
+        self.pred_runtime_min -= o.pred_runtime_min;
+    }
 }
 
 /// The full queue state observed by one job at its eligibility instant.

@@ -1,16 +1,31 @@
 //! Oracle tests for the incremental snapshot index.
 //!
 //! Replays a complete trace one submit/start/end event at a time through
-//! [`IncrementalSnapshot`] and asserts that the snapshot observed at every
-//! record's eligibility instant is **bit-identical** (exact `f64` equality,
-//! summation order included) to [`SnapshotIndex::snapshot_naive`] — the same
-//! full-scan oracle the offline tree is tested against.
+//! [`IncrementalSnapshot`] and checks the snapshot observed at every
+//! record's eligibility instant against [`SnapshotIndex::snapshot_naive`] —
+//! the same full-scan oracle the offline tree is tested against.
+//!
+//! Two levels of strictness, matching the fast path's exactness contract
+//! (DESIGN.md §13):
+//!
+//! * the five integer-valued aggregate fields (`jobs`, `cpus`, `mem_gb`,
+//!   `nodes`, `timelimit_min`) must match the oracle **exactly** — integer
+//!   sums below 2^53 are exact f64 arithmetic under any association;
+//! * `pred_runtime_min` is compared under a tight relative tolerance on the
+//!   O(1) fast path (its tree-order sum legitimately reassociates the
+//!   oracle's id-order sum) and **bit-identically** on the
+//!   [`snapshot_scan`] fallback, which accumulates in the oracle's order.
 
 use trout_features::incremental::{trace_events, ReplayEvent};
+use trout_features::snapshot::QueueSnapshot;
 use trout_features::{IncrementalSnapshot, SnapshotIndex, SnapshotProbe};
 use trout_slurmsim::{SimulationBuilder, Trace};
 use trout_std::{prop_assert_eq, proptest_lite};
 use trout_workload::WorkloadConfig;
+
+/// Max relative deviation allowed for the reassociated `pred_runtime_min`
+/// sum — ~n·eps headroom over the worst trace size used here.
+const PRED_RUNTIME_REL_TOL: f64 = 1e-9;
 
 /// Runtime predictions with awkward fractional parts, so any deviation in
 /// f64 accumulation order shows up as a bit difference.
@@ -27,6 +42,34 @@ fn trace_with_cancellations(jobs: usize, seed: u64, cancel_fraction: f64) -> Tra
     cfg.seed = seed;
     cfg.cancel_fraction = cancel_fraction;
     SimulationBuilder::anvil_like().workload(cfg).run()
+}
+
+/// Asserts the exactness split: integer-valued fields exactly equal, the
+/// reassociated `pred_runtime_min` within relative tolerance.
+fn assert_snapshot_matches(got: &QueueSnapshot, want: &QueueSnapshot, ctx: &str) {
+    let pairs = [
+        (&got.queue, &want.queue, "queue"),
+        (&got.ahead, &want.ahead, "ahead"),
+        (&got.running, &want.running, "running"),
+        (&got.user_past_day, &want.user_past_day, "user_past_day"),
+    ];
+    for (g, w, name) in pairs {
+        assert_eq!(g.jobs, w.jobs, "{ctx}: {name}.jobs");
+        assert_eq!(g.cpus, w.cpus, "{ctx}: {name}.cpus");
+        assert_eq!(g.mem_gb, w.mem_gb, "{ctx}: {name}.mem_gb");
+        assert_eq!(g.nodes, w.nodes, "{ctx}: {name}.nodes");
+        assert_eq!(
+            g.timelimit_min, w.timelimit_min,
+            "{ctx}: {name}.timelimit_min"
+        );
+        let tol = PRED_RUNTIME_REL_TOL * w.pred_runtime_min.abs().max(1.0);
+        assert!(
+            (g.pred_runtime_min - w.pred_runtime_min).abs() <= tol,
+            "{ctx}: {name}.pred_runtime_min {} vs {} exceeds tolerance",
+            g.pred_runtime_min,
+            w.pred_runtime_min
+        );
+    }
 }
 
 /// Replays `trace` event-by-event and checks every stab point against the
@@ -77,15 +120,24 @@ fn assert_replay_matches_oracle(trace: &Trace, evict_every: Option<usize>) {
                 inc.evict_finished_before(t);
             }
         }
-        let got = inc.snapshot(&SnapshotProbe {
+        let probe = SnapshotProbe {
             time: t,
             partition: me.partition,
             user: me.user,
             priority: me.priority,
             exclude_id: Some(me.id),
-        });
-        assert_eq!(got, oracle.snapshot_naive(i), "record {i} at t={t}");
+        };
+        let want = oracle.snapshot_naive(i);
+        // The scan fallback accumulates in the oracle's id order: bit-equal.
+        assert_eq!(inc.snapshot_scan(&probe), want, "scan: record {i} at t={t}");
+        // The O(1) fast path: exact integers, tolerated reassociation.
+        let got = inc.snapshot(&probe);
+        assert_snapshot_matches(&got, &want, &format!("fast: record {i} at t={t}"));
     }
+    // Probes were monotone and behind no event, so the fast path served all
+    // of them; the reassociation gap stays measurably tiny.
+    assert_eq!(inc.scan_snapshots(), 0, "fast path was bypassed");
+    assert!(inc.aggregate_drift() <= PRED_RUNTIME_REL_TOL);
 }
 
 #[test]
@@ -119,5 +171,148 @@ proptest_lite! {
         let trace = trace_with_cancellations(400, seed, cancel_pct as f64 / 100.0);
         assert_replay_matches_oracle(&trace, None);
         prop_assert_eq!(trace.records.len(), 400);
+    }
+}
+
+proptest_lite! {
+    // Adversarial fast-path property: an event soup engineered around the
+    // fast path's edge cases — priority ties (ahead-split boundaries),
+    // exclude_id on every probe, submissions landing exactly on the 24 h
+    // user-window boundary (submit == t - USER_WINDOW_S stays included),
+    // deferred eligibility, cancellations, and periodic eviction — must
+    // agree with the id-order scan at every probe point.
+    #[cases(8)]
+    fn fast_path_survives_boundaries_ties_and_evictions(
+        seed in 0u64..10_000,
+        n_jobs in 40usize..120
+    ) {
+        use trout_features::incremental::USER_WINDOW_S;
+        use trout_slurmsim::{JobRecord, JobState};
+        use trout_std::rng::SplitMix64;
+        use trout_workload::Qos;
+
+        let mut rng = SplitMix64::new(seed ^ 0x5eed_f00d);
+        let mut r = move || rng.next_u64();
+        let n_partitions = 2usize;
+
+        // Build jobs whose submit times cluster so that probes at
+        // submit + USER_WINDOW_S land exactly on window boundaries, with
+        // priorities drawn from a 3-value set to force ties.
+        let mut jobs: Vec<JobRecord> = Vec::new();
+        for id in 0..n_jobs as u64 {
+            let submit = (r() % 2_000) as i64 * 100;
+            let defer = if r() % 4 == 0 { (r() % 5_000) as i64 } else { 0 };
+            jobs.push(JobRecord {
+                id,
+                user: (r() % 3) as u32,
+                partition: (r() % n_partitions as u64) as u32,
+                submit_time: submit,
+                eligible_time: submit + defer,
+                start_time: 0,
+                end_time: 0,
+                req_cpus: 1 + (r() % 64) as u32,
+                req_mem_gb: 1 + (r() % 256) as u32,
+                req_nodes: 1 + (r() % 4) as u32,
+                req_gpus: 0,
+                timelimit_min: 10 + (r() % 1_000) as u32,
+                qos: Qos::Normal,
+                campaign: 0,
+                priority: [1.0, 2.0, 3.0][(r() % 3) as usize],
+                state: JobState::Completed,
+            });
+        }
+
+        // Event soup: submits, then for each job maybe a start and maybe an
+        // end (or a cancel-while-pending), in global time order.
+        #[derive(Clone, Copy)]
+        enum Ev { Submit(usize), Start(usize), End(usize) }
+        let mut events: Vec<(i64, u8, usize)> = Vec::new();
+        let mut evs: Vec<Ev> = Vec::new();
+        for (i, j) in jobs.iter().enumerate() {
+            events.push((j.submit_time, 0, evs.len()));
+            evs.push(Ev::Submit(i));
+            let fate = r() % 4;
+            if fate == 0 {
+                // Cancelled while pending.
+                events.push((j.eligible_time + (r() % 3_000) as i64, 2, evs.len()));
+                evs.push(Ev::End(i));
+            } else if fate < 3 {
+                let start = j.eligible_time + (r() % 3_000) as i64;
+                events.push((start, 1, evs.len()));
+                evs.push(Ev::Start(i));
+                if fate == 1 {
+                    events.push((start + 1 + (r() % 50_000) as i64, 2, evs.len()));
+                    evs.push(Ev::End(i));
+                }
+            } // fate == 3: stays pending forever
+        }
+        events.sort_by_key(|&(t, rank, k)| (t, rank, k));
+
+        let preds: Vec<f64> = jobs.iter().map(|j| j.timelimit_min as f64 * 1.37 + 0.1).collect();
+        let apply = |inc: &mut IncrementalSnapshot, ev: Ev, t: i64, jobs: &[JobRecord]| match ev {
+            Ev::Submit(i) => inc.submit(jobs[i].clone(), preds[i]).expect("submit"),
+            Ev::Start(i) => inc.start(jobs[i].id, t).expect("start"),
+            Ev::End(i) => inc.end(jobs[i].id, t).expect("end"),
+        };
+
+        // Replay A: probe at the event frontier on every step, from a random
+        // observer with exclude_id set. Probes are monotone, so every single
+        // one must be served by the O(1) fast path.
+        let mut inc = IncrementalSnapshot::new(n_partitions);
+        for (step, &(t, _, k)) in events.iter().enumerate() {
+            apply(&mut inc, evs[k], t, &jobs);
+            if step % 7 == 3 {
+                inc.evict_finished_before(t);
+            }
+            let me = &jobs[(r() % jobs.len() as u64) as usize];
+            let probe = SnapshotProbe {
+                time: t,
+                partition: me.partition,
+                user: me.user,
+                priority: me.priority,
+                exclude_id: Some(me.id),
+            };
+            let want = inc.snapshot_scan(&probe);
+            let got = inc.snapshot(&probe);
+            assert_snapshot_matches(&got, &want, &format!("A: step {step} t={t}"));
+        }
+        prop_assert_eq!(inc.scan_snapshots(), 0);
+        assert!(inc.aggregate_drift() <= PRED_RUNTIME_REL_TOL);
+
+        // Replay B: probe exactly at user-window boundaries — a random job's
+        // submit + USER_WINDOW_S, so that entry sits precisely on the
+        // inclusive edge (submit == t - USER_WINDOW_S must stay counted).
+        // Only probes at or beyond both frontiers are taken, keeping the
+        // sequence monotone and fast-path-served.
+        let mut inc = IncrementalSnapshot::new(n_partitions);
+        let mut frontier = i64::MIN;
+        let mut boundary_probes = 0u64;
+        for (step, &(t, _, k)) in events.iter().enumerate() {
+            apply(&mut inc, evs[k], t, &jobs);
+            if step % 11 == 5 {
+                inc.evict_finished_before(t);
+            }
+            let me = &jobs[(r() % jobs.len() as u64) as usize];
+            let boundary = me.submit_time + USER_WINDOW_S;
+            if boundary < t || boundary < frontier {
+                continue;
+            }
+            frontier = boundary;
+            let probe = SnapshotProbe {
+                time: boundary,
+                partition: me.partition,
+                user: me.user,
+                priority: me.priority,
+                exclude_id: Some(me.id),
+            };
+            let want = inc.snapshot_scan(&probe);
+            let got = inc.snapshot(&probe);
+            assert_snapshot_matches(&got, &want, &format!("B: step {step} t={boundary}"));
+            boundary_probes += 1;
+        }
+        prop_assert_eq!(inc.scan_snapshots(), 0);
+        // Acceptance keeps only probes at or past the running frontier, so
+        // the count behaves like the number of running maxima (~ln n).
+        assert!(boundary_probes >= 3, "boundary probes: {boundary_probes}");
     }
 }

@@ -7,6 +7,8 @@
 //! * [`Matrix`] — a row-major `f32` matrix with scoped-thread-parallel matrix
 //!   multiplication and the transpose-fused products backpropagation needs.
 //! * [`ops`] — slice-level vector kernels (dot, axpy, hadamard, …).
+//! * [`simd`] — runtime-dispatched kernel tiers (scalar / SSE2 / AVX2),
+//!   bit-identical across tiers and overridable via `TROUT_SIMD`.
 //! * [`Workspace`] — caller-owned scratch for the network hot path; paired
 //!   with the `_into` kernel variants it makes steady-state training and
 //!   inference allocation-free.
@@ -21,8 +23,10 @@
 pub mod init;
 mod matrix;
 pub mod ops;
+pub mod simd;
 mod workspace;
 
 pub use matrix::Matrix;
+pub use simd::SimdTier;
 pub use trout_std::rng::SplitMix64;
 pub use workspace::{LayerSpec, LayerWorkspace, Workspace};

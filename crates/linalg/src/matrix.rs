@@ -221,7 +221,7 @@ impl Matrix {
                 let b1 = &other.data[(c + 1) * k..(c + 2) * k];
                 let b2 = &other.data[(c + 2) * k..(c + 3) * k];
                 let b3 = &other.data[(c + 3) * k..(c + 4) * k];
-                let (s0, s1, s2, s3) = dot4(a_row, b0, b1, b2, b3);
+                let (s0, s1, s2, s3) = crate::simd::dot4(a_row, b0, b1, b2, b3);
                 out_row[c] = s0;
                 out_row[c + 1] = s1;
                 out_row[c + 2] = s2;
@@ -426,13 +426,14 @@ impl Matrix {
 }
 
 /// One four-step shared-dim block: the all-nonzero fast path takes the fused
-/// [`axpy4`] pass; a block containing a zero falls back to the per-step loop
-/// so the `a == 0.0` skip is preserved exactly. Either way each output
-/// element sees its `+=` terms in ascending step order — bit-identical to
-/// four sequential row updates.
+/// [`crate::simd::axpy4`] pass (dispatched to the active SIMD tier); a block
+/// containing a zero falls back to the per-step loop so the `a == 0.0` skip
+/// is preserved exactly. Either way each output element sees its `+=` terms
+/// in ascending step order — bit-identical to four sequential row updates on
+/// every tier.
 fn axpy_block4(out: &mut [f32], a: [f32; 4], b: [&[f32]; 4]) {
     if a.iter().all(|&v| v != 0.0) {
-        axpy4(out, a, b[0], b[1], b[2], b[3]);
+        crate::simd::axpy4(out, a, b[0], b[1], b[2], b[3]);
     } else {
         for (l, b_row) in b.into_iter().enumerate() {
             let av = a[l];
@@ -446,195 +447,17 @@ fn axpy_block4(out: &mut [f32], a: [f32; 4], b: [&[f32]; 4]) {
     }
 }
 
-/// One eight-step shared-dim block: [`axpy8`] when all eight coefficients are
-/// nonzero, else two [`axpy_block4`] halves (common when `a` carries dropout
-/// zeros). All paths apply the same per-element chain in ascending step
-/// order, so the choice never changes a bit.
+/// One eight-step shared-dim block: [`crate::simd::axpy8`] when all eight
+/// coefficients are nonzero, else two [`axpy_block4`] halves (common when `a`
+/// carries dropout zeros). All paths apply the same per-element chain in
+/// ascending step order, so the choice never changes a bit.
 fn axpy_block8(out: &mut [f32], a: [f32; 8], b: [&[f32]; 8]) {
     if a.iter().all(|&v| v != 0.0) {
-        axpy8(out, a, b);
+        crate::simd::axpy8(out, a, b);
     } else {
         axpy_block4(out, [a[0], a[1], a[2], a[3]], [b[0], b[1], b[2], b[3]]);
         axpy_block4(out, [a[4], a[5], a[6], a[7]], [b[4], b[5], b[6], b[7]]);
     }
-}
-
-/// Fused eight-term update — one `out` load/store pass per eight shared-dim
-/// steps. Bit-identical to two sequential [`axpy4`] passes over the same
-/// block (and hence to eight sequential `o += a_l * b_l` passes): each output
-/// element sees one left-to-right chain in ascending `l` order, and SSE2
-/// packed ops are IEEE-exact per lane. The tail keeps the identical scalar
-/// expression.
-fn axpy8(out: &mut [f32], a: [f32; 8], b: [&[f32]; 8]) {
-    let n = out.len();
-    debug_assert!(b.iter().all(|s| s.len() == n));
-    let chunks = n / 4;
-    #[cfg(target_arch = "x86_64")]
-    {
-        use core::arch::x86_64::*;
-        // SAFETY: SSE2 is part of the x86-64 baseline, and every load/store
-        // stays within the first `chunks * 4` elements of the nine slices,
-        // whose lengths are all `n` (debug-asserted above, guaranteed by the
-        // caller's row slicing).
-        unsafe {
-            let va: [_; 8] = [
-                _mm_set1_ps(a[0]),
-                _mm_set1_ps(a[1]),
-                _mm_set1_ps(a[2]),
-                _mm_set1_ps(a[3]),
-                _mm_set1_ps(a[4]),
-                _mm_set1_ps(a[5]),
-                _mm_set1_ps(a[6]),
-                _mm_set1_ps(a[7]),
-            ];
-            for i in 0..chunks {
-                let j = i * 4;
-                let mut vo = _mm_loadu_ps(out.as_ptr().add(j));
-                for l in 0..8 {
-                    vo = _mm_add_ps(vo, _mm_mul_ps(va[l], _mm_loadu_ps(b[l].as_ptr().add(j))));
-                }
-                _mm_storeu_ps(out.as_mut_ptr().add(j), vo);
-            }
-        }
-    }
-    #[cfg(not(target_arch = "x86_64"))]
-    for j in 0..chunks * 4 {
-        let mut o = out[j];
-        for l in 0..8 {
-            o += a[l] * b[l][j];
-        }
-        out[j] = o;
-    }
-    for j in chunks * 4..n {
-        let mut o = out[j];
-        for l in 0..8 {
-            o += a[l] * b[l][j];
-        }
-        out[j] = o;
-    }
-}
-
-/// Fused four-term update `o = (((o + a0*b0) + a1*b1) + a2*b2) + a3*b3`
-/// applied element-wise across `out` — bit-identical to four sequential
-/// `o += a_l * b_l` passes because each output element sees the exact same
-/// left-to-right chain. Elements are independent, so widening to 4-wide SSE2
-/// packed ops (IEEE-exact per lane) preserves every bit while quartering the
-/// `out` load/store traffic; the tail keeps the identical scalar expression.
-///
-/// Hand-spelled for the same reason as [`dot4`]: the autovectorizer inserts
-/// lane shuffles between the multiply/add pairs.
-fn axpy4(out: &mut [f32], a: [f32; 4], b0: &[f32], b1: &[f32], b2: &[f32], b3: &[f32]) {
-    let n = out.len();
-    debug_assert!(b0.len() == n && b1.len() == n && b2.len() == n && b3.len() == n);
-    let chunks = n / 4;
-    #[cfg(target_arch = "x86_64")]
-    {
-        use core::arch::x86_64::*;
-        // SAFETY: SSE2 is part of the x86-64 baseline, and every load/store
-        // stays within the first `chunks * 4` elements of the five slices,
-        // whose lengths are all `n` (debug-asserted above, guaranteed by the
-        // caller's row slicing).
-        unsafe {
-            let va0 = _mm_set1_ps(a[0]);
-            let va1 = _mm_set1_ps(a[1]);
-            let va2 = _mm_set1_ps(a[2]);
-            let va3 = _mm_set1_ps(a[3]);
-            for i in 0..chunks {
-                let j = i * 4;
-                let mut vo = _mm_loadu_ps(out.as_ptr().add(j));
-                vo = _mm_add_ps(vo, _mm_mul_ps(va0, _mm_loadu_ps(b0.as_ptr().add(j))));
-                vo = _mm_add_ps(vo, _mm_mul_ps(va1, _mm_loadu_ps(b1.as_ptr().add(j))));
-                vo = _mm_add_ps(vo, _mm_mul_ps(va2, _mm_loadu_ps(b2.as_ptr().add(j))));
-                vo = _mm_add_ps(vo, _mm_mul_ps(va3, _mm_loadu_ps(b3.as_ptr().add(j))));
-                _mm_storeu_ps(out.as_mut_ptr().add(j), vo);
-            }
-        }
-    }
-    #[cfg(not(target_arch = "x86_64"))]
-    for j in 0..chunks * 4 {
-        out[j] = (((out[j] + a[0] * b0[j]) + a[1] * b1[j]) + a[2] * b2[j]) + a[3] * b3[j];
-    }
-    for j in chunks * 4..n {
-        out[j] = (((out[j] + a[0] * b0[j]) + a[1] * b1[j]) + a[2] * b2[j]) + a[3] * b3[j];
-    }
-}
-
-/// Four dot products sharing one pass over `a` — bit-identical to four
-/// [`crate::ops::dot`] calls: each result uses `dot`'s four-lane accumulator
-/// pattern and its left-to-right horizontal reduction, followed by the same
-/// scalar tail. Sharing the pass amortizes the `a` loads 4× and gives the
-/// CPU four independent reduction chains.
-///
-/// The x86-64 path spells the loop in SSE2 intrinsics (baseline for the
-/// architecture, IEEE-exact per lane, so bitwise equal to the scalar form):
-/// the autovectorizer otherwise pairs lanes *across* the four accumulators
-/// and drowns the kernel in shuffles.
-fn dot4(a: &[f32], b0: &[f32], b1: &[f32], b2: &[f32], b3: &[f32]) -> (f32, f32, f32, f32) {
-    let k = a.len();
-    debug_assert!(b0.len() == k && b1.len() == k && b2.len() == k && b3.len() == k);
-    let chunks = k / 4;
-    #[cfg(target_arch = "x86_64")]
-    let (mut s0, mut s1, mut s2, mut s3) = {
-        use core::arch::x86_64::*;
-        // SAFETY: SSE2 is part of the x86-64 baseline, and every load stays
-        // within the first `chunks * 4` elements of the five slices, whose
-        // lengths are all `k` (debug-asserted above, guaranteed by the
-        // caller's row slicing).
-        unsafe {
-            let mut acc0 = _mm_setzero_ps();
-            let mut acc1 = _mm_setzero_ps();
-            let mut acc2 = _mm_setzero_ps();
-            let mut acc3 = _mm_setzero_ps();
-            for i in 0..chunks {
-                let j = i * 4;
-                let va = _mm_loadu_ps(a.as_ptr().add(j));
-                acc0 = _mm_add_ps(acc0, _mm_mul_ps(va, _mm_loadu_ps(b0.as_ptr().add(j))));
-                acc1 = _mm_add_ps(acc1, _mm_mul_ps(va, _mm_loadu_ps(b1.as_ptr().add(j))));
-                acc2 = _mm_add_ps(acc2, _mm_mul_ps(va, _mm_loadu_ps(b2.as_ptr().add(j))));
-                acc3 = _mm_add_ps(acc3, _mm_mul_ps(va, _mm_loadu_ps(b3.as_ptr().add(j))));
-            }
-            let mut lanes = [[0.0f32; 4]; 4];
-            _mm_storeu_ps(lanes[0].as_mut_ptr(), acc0);
-            _mm_storeu_ps(lanes[1].as_mut_ptr(), acc1);
-            _mm_storeu_ps(lanes[2].as_mut_ptr(), acc2);
-            _mm_storeu_ps(lanes[3].as_mut_ptr(), acc3);
-            (
-                ((lanes[0][0] + lanes[0][1]) + lanes[0][2]) + lanes[0][3],
-                ((lanes[1][0] + lanes[1][1]) + lanes[1][2]) + lanes[1][3],
-                ((lanes[2][0] + lanes[2][1]) + lanes[2][2]) + lanes[2][3],
-                ((lanes[3][0] + lanes[3][1]) + lanes[3][2]) + lanes[3][3],
-            )
-        }
-    };
-    #[cfg(not(target_arch = "x86_64"))]
-    let (mut s0, mut s1, mut s2, mut s3) = {
-        let mut acc0 = [0.0f32; 4];
-        let mut acc1 = [0.0f32; 4];
-        let mut acc2 = [0.0f32; 4];
-        let mut acc3 = [0.0f32; 4];
-        for i in 0..chunks {
-            let j = i * 4;
-            for l in 0..4 {
-                acc0[l] += a[j + l] * b0[j + l];
-                acc1[l] += a[j + l] * b1[j + l];
-                acc2[l] += a[j + l] * b2[j + l];
-                acc3[l] += a[j + l] * b3[j + l];
-            }
-        }
-        (
-            ((acc0[0] + acc0[1]) + acc0[2]) + acc0[3],
-            ((acc1[0] + acc1[1]) + acc1[2]) + acc1[3],
-            ((acc2[0] + acc2[1]) + acc2[2]) + acc2[3],
-            ((acc3[0] + acc3[1]) + acc3[2]) + acc3[3],
-        )
-    };
-    for j in chunks * 4..k {
-        s0 += a[j] * b0[j];
-        s1 += a[j] * b1[j];
-        s2 += a[j] * b2[j];
-        s3 += a[j] * b3[j];
-    }
-    (s0, s1, s2, s3)
 }
 
 #[cfg(test)]
@@ -815,6 +638,30 @@ mod tests {
         assert_eq!(s.as_slice(), &[3.0, 1.0, 6.0, 4.0]);
         let empty = a.select_cols(&[]);
         assert_eq!((empty.rows(), empty.cols()), (2, 0));
+    }
+
+    #[test]
+    fn products_bit_identical_under_every_simd_tier() {
+        // Odd shapes hit the 8-block, 4-block and scalar tails of every
+        // kernel; the three products must produce the same bits no matter
+        // which tier the dispatch lands on.
+        let a = Matrix::from_fn(9, 21, |r, c| ((r * 31 + c * 7) % 23) as f32 * 0.41 - 4.3);
+        let b = Matrix::from_fn(21, 13, |r, c| ((r * 17 + c * 5) % 19) as f32 * 0.29 - 2.7);
+        let bt = Matrix::from_fn(13, 21, |r, c| ((r * 13 + c * 3) % 29) as f32 * 0.17 - 2.2);
+        let at = Matrix::from_fn(9, 13, |r, c| ((r * 7 + c * 11) % 31) as f32 * 0.23 - 3.4);
+        let want =
+            crate::SimdTier::Scalar.force(|| (a.matmul(&b), a.matmul_bt(&bt), a.matmul_at(&at)));
+        for tier in crate::SimdTier::available() {
+            let got = tier.force(|| (a.matmul(&b), a.matmul_bt(&bt), a.matmul_at(&at)));
+            for (g, w) in [(&got.0, &want.0), (&got.1, &want.1), (&got.2, &want.2)] {
+                let same = g
+                    .as_slice()
+                    .iter()
+                    .zip(w.as_slice())
+                    .all(|(x, y)| x.to_bits() == y.to_bits());
+                assert!(same, "{tier:?} diverged from scalar");
+            }
+        }
     }
 
     #[test]

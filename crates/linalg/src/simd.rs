@@ -1,0 +1,631 @@
+//! Runtime-dispatched SIMD kernel tiers.
+//!
+//! Three implementations of each hot kernel — portable scalar, SSE2 (the
+//! x86-64 baseline), and AVX2 — behind one dispatch point. Every tier
+//! computes the *same bits*: each output element (or accumulator lane) sees
+//! the identical left-to-right chain of IEEE multiply/adds, so widening the
+//! vectors never changes a result. That invariant is what lets the rest of
+//! the stack (golden fixtures, crash-recovery byte-diffs, sharded replica
+//! equality) stay tier-agnostic; it is pinned by this module's unit tests
+//! and by running the `nn_seed7` golden fixture under every tier in CI.
+//!
+//! The active tier is chosen once per process: the best the CPU supports,
+//! optionally lowered by the `TROUT_SIMD` environment variable
+//! (`scalar`, `sse2` or `avx2`; requests above the hardware's capability
+//! clamp down, so `TROUT_SIMD=avx2` on an SSE2-only machine runs SSE2).
+//! Tests and benches can pin a tier for the current thread with
+//! [`SimdTier::force`], which overrides the process-wide choice.
+//!
+//! No FMA anywhere: a fused multiply-add rounds once where mul+add rounds
+//! twice, which would break bit-identity between tiers.
+
+use std::sync::OnceLock;
+
+/// A SIMD capability tier, ordered from narrowest to widest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SimdTier {
+    /// Portable scalar loops (any architecture).
+    Scalar,
+    /// 128-bit SSE2 packed ops — the x86-64 baseline.
+    Sse2,
+    /// 256-bit AVX2 packed ops (runtime-detected).
+    Avx2,
+}
+
+std::thread_local! {
+    static FORCED: core::cell::Cell<Option<SimdTier>> = const { core::cell::Cell::new(None) };
+}
+
+impl SimdTier {
+    /// The widest tier this CPU supports.
+    pub fn best_supported() -> SimdTier {
+        #[cfg(target_arch = "x86_64")]
+        {
+            if std::arch::is_x86_feature_detected!("avx2") {
+                SimdTier::Avx2
+            } else {
+                SimdTier::Sse2
+            }
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            SimdTier::Scalar
+        }
+    }
+
+    /// Parses a `TROUT_SIMD` value. Unknown strings yield `None` (the caller
+    /// falls back to auto-detection).
+    pub fn parse(s: &str) -> Option<SimdTier> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "scalar" => Some(SimdTier::Scalar),
+            "sse2" => Some(SimdTier::Sse2),
+            "avx2" => Some(SimdTier::Avx2),
+            _ => None,
+        }
+    }
+
+    /// The process-wide active tier: `TROUT_SIMD` if set and parseable,
+    /// clamped to [`SimdTier::best_supported`]; otherwise the best supported.
+    /// Computed once and cached.
+    pub fn active() -> SimdTier {
+        static ACTIVE: OnceLock<SimdTier> = OnceLock::new();
+        *ACTIVE.get_or_init(|| {
+            let best = SimdTier::best_supported();
+            match std::env::var("TROUT_SIMD")
+                .ok()
+                .as_deref()
+                .map(SimdTier::parse)
+            {
+                Some(Some(requested)) => requested.min(best),
+                _ => best,
+            }
+        })
+    }
+
+    /// The tier the *current thread* dispatches to: a [`SimdTier::force`]
+    /// override if one is in effect, else [`SimdTier::active`].
+    #[inline]
+    pub fn current() -> SimdTier {
+        match FORCED.with(|f| f.get()) {
+            Some(t) => t,
+            None => SimdTier::active(),
+        }
+    }
+
+    /// Runs `f` with this thread's dispatch pinned to `tier` (clamped to the
+    /// hardware's capability), restoring the previous setting afterwards.
+    /// For tests and benches that sweep tiers in-process.
+    pub fn force<R>(self, f: impl FnOnce() -> R) -> R {
+        let tier = self.min(SimdTier::best_supported());
+        let prev = FORCED.with(|c| c.replace(Some(tier)));
+        struct Restore(Option<SimdTier>);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                FORCED.with(|c| c.set(self.0));
+            }
+        }
+        let _restore = Restore(prev);
+        f()
+    }
+
+    /// Every tier this CPU can actually run, narrowest first.
+    pub fn available() -> Vec<SimdTier> {
+        let best = SimdTier::best_supported();
+        [SimdTier::Scalar, SimdTier::Sse2, SimdTier::Avx2]
+            .into_iter()
+            .filter(|&t| t <= best)
+            .collect()
+    }
+
+    /// Stable lowercase name (matches what `TROUT_SIMD` accepts).
+    pub fn name(self) -> &'static str {
+        match self {
+            SimdTier::Scalar => "scalar",
+            SimdTier::Sse2 => "sse2",
+            SimdTier::Avx2 => "avx2",
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// axpy4: out[j] = (((out[j] + a0*b0[j]) + a1*b1[j]) + a2*b2[j]) + a3*b3[j]
+// ---------------------------------------------------------------------------
+
+/// Fused four-term update, dispatched to the current tier. Bit-identical to
+/// four sequential `o += a_l * b_l` passes on every tier: each output element
+/// sees the exact same left-to-right chain, and packed ops are IEEE-exact per
+/// lane.
+#[inline]
+pub fn axpy4(out: &mut [f32], a: [f32; 4], b0: &[f32], b1: &[f32], b2: &[f32], b3: &[f32]) {
+    axpy4_with(SimdTier::current(), out, a, b0, b1, b2, b3);
+}
+
+/// [`axpy4`] with an explicit tier (clamped to the hardware's capability) —
+/// the hook tier bit-identity tests are built on.
+pub fn axpy4_with(
+    tier: SimdTier,
+    out: &mut [f32],
+    a: [f32; 4],
+    b0: &[f32],
+    b1: &[f32],
+    b2: &[f32],
+    b3: &[f32],
+) {
+    let n = out.len();
+    debug_assert!(b0.len() == n && b1.len() == n && b2.len() == n && b3.len() == n);
+    match tier.min(SimdTier::best_supported()) {
+        SimdTier::Scalar => axpy4_scalar(out, a, b0, b1, b2, b3),
+        #[cfg(target_arch = "x86_64")]
+        SimdTier::Sse2 => axpy4_sse2(out, a, b0, b1, b2, b3),
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: clamped above, so AVX2 was runtime-detected.
+        SimdTier::Avx2 => unsafe { axpy4_avx2(out, a, b0, b1, b2, b3) },
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => axpy4_scalar(out, a, b0, b1, b2, b3),
+    }
+}
+
+fn axpy4_scalar(out: &mut [f32], a: [f32; 4], b0: &[f32], b1: &[f32], b2: &[f32], b3: &[f32]) {
+    for (j, o) in out.iter_mut().enumerate() {
+        *o = (((*o + a[0] * b0[j]) + a[1] * b1[j]) + a[2] * b2[j]) + a[3] * b3[j];
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+fn axpy4_sse2(out: &mut [f32], a: [f32; 4], b0: &[f32], b1: &[f32], b2: &[f32], b3: &[f32]) {
+    use core::arch::x86_64::*;
+    let n = out.len();
+    let chunks = n / 4;
+    // SAFETY: SSE2 is part of the x86-64 baseline, and every load/store stays
+    // within the first `chunks * 4` elements of the five slices, whose
+    // lengths are all `n` (debug-asserted by the dispatcher).
+    unsafe {
+        let va0 = _mm_set1_ps(a[0]);
+        let va1 = _mm_set1_ps(a[1]);
+        let va2 = _mm_set1_ps(a[2]);
+        let va3 = _mm_set1_ps(a[3]);
+        for i in 0..chunks {
+            let j = i * 4;
+            let mut vo = _mm_loadu_ps(out.as_ptr().add(j));
+            vo = _mm_add_ps(vo, _mm_mul_ps(va0, _mm_loadu_ps(b0.as_ptr().add(j))));
+            vo = _mm_add_ps(vo, _mm_mul_ps(va1, _mm_loadu_ps(b1.as_ptr().add(j))));
+            vo = _mm_add_ps(vo, _mm_mul_ps(va2, _mm_loadu_ps(b2.as_ptr().add(j))));
+            vo = _mm_add_ps(vo, _mm_mul_ps(va3, _mm_loadu_ps(b3.as_ptr().add(j))));
+            _mm_storeu_ps(out.as_mut_ptr().add(j), vo);
+        }
+    }
+    for j in chunks * 4..n {
+        out[j] = (((out[j] + a[0] * b0[j]) + a[1] * b1[j]) + a[2] * b2[j]) + a[3] * b3[j];
+    }
+}
+
+/// AVX2 variant: identical per-element chains at 8 lanes per op. No FMA —
+/// separate mul then add, same as the scalar expression.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn axpy4_avx2(out: &mut [f32], a: [f32; 4], b0: &[f32], b1: &[f32], b2: &[f32], b3: &[f32]) {
+    use core::arch::x86_64::*;
+    let n = out.len();
+    let chunks = n / 8;
+    // SAFETY: caller detected AVX2; every load/store stays within the first
+    // `chunks * 8` elements of the five slices, whose lengths are all `n`.
+    unsafe {
+        let va0 = _mm256_set1_ps(a[0]);
+        let va1 = _mm256_set1_ps(a[1]);
+        let va2 = _mm256_set1_ps(a[2]);
+        let va3 = _mm256_set1_ps(a[3]);
+        for i in 0..chunks {
+            let j = i * 8;
+            let mut vo = _mm256_loadu_ps(out.as_ptr().add(j));
+            vo = _mm256_add_ps(vo, _mm256_mul_ps(va0, _mm256_loadu_ps(b0.as_ptr().add(j))));
+            vo = _mm256_add_ps(vo, _mm256_mul_ps(va1, _mm256_loadu_ps(b1.as_ptr().add(j))));
+            vo = _mm256_add_ps(vo, _mm256_mul_ps(va2, _mm256_loadu_ps(b2.as_ptr().add(j))));
+            vo = _mm256_add_ps(vo, _mm256_mul_ps(va3, _mm256_loadu_ps(b3.as_ptr().add(j))));
+            _mm256_storeu_ps(out.as_mut_ptr().add(j), vo);
+        }
+    }
+    for j in chunks * 8..n {
+        out[j] = (((out[j] + a[0] * b0[j]) + a[1] * b1[j]) + a[2] * b2[j]) + a[3] * b3[j];
+    }
+}
+
+// ---------------------------------------------------------------------------
+// axpy8: the eight-term fused update
+// ---------------------------------------------------------------------------
+
+/// Fused eight-term update, dispatched to the current tier. Bit-identical to
+/// eight sequential `o += a_l * b_l` passes (and hence to two [`axpy4`]
+/// passes over the same block) on every tier.
+#[inline]
+pub fn axpy8(out: &mut [f32], a: [f32; 8], b: [&[f32]; 8]) {
+    axpy8_with(SimdTier::current(), out, a, b);
+}
+
+/// [`axpy8`] with an explicit tier (clamped to the hardware's capability).
+pub fn axpy8_with(tier: SimdTier, out: &mut [f32], a: [f32; 8], b: [&[f32]; 8]) {
+    let n = out.len();
+    debug_assert!(b.iter().all(|s| s.len() == n));
+    match tier.min(SimdTier::best_supported()) {
+        SimdTier::Scalar => axpy8_scalar(out, a, b),
+        #[cfg(target_arch = "x86_64")]
+        SimdTier::Sse2 => axpy8_sse2(out, a, b),
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: clamped above, so AVX2 was runtime-detected.
+        SimdTier::Avx2 => unsafe { axpy8_avx2(out, a, b) },
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => axpy8_scalar(out, a, b),
+    }
+}
+
+fn axpy8_scalar(out: &mut [f32], a: [f32; 8], b: [&[f32]; 8]) {
+    for (j, o) in out.iter_mut().enumerate() {
+        let mut v = *o;
+        for l in 0..8 {
+            v += a[l] * b[l][j];
+        }
+        *o = v;
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+fn axpy8_sse2(out: &mut [f32], a: [f32; 8], b: [&[f32]; 8]) {
+    use core::arch::x86_64::*;
+    let n = out.len();
+    let chunks = n / 4;
+    // SAFETY: SSE2 is part of the x86-64 baseline, and every load/store stays
+    // within the first `chunks * 4` elements of the nine slices, whose
+    // lengths are all `n` (debug-asserted by the dispatcher).
+    unsafe {
+        let va: [_; 8] = [
+            _mm_set1_ps(a[0]),
+            _mm_set1_ps(a[1]),
+            _mm_set1_ps(a[2]),
+            _mm_set1_ps(a[3]),
+            _mm_set1_ps(a[4]),
+            _mm_set1_ps(a[5]),
+            _mm_set1_ps(a[6]),
+            _mm_set1_ps(a[7]),
+        ];
+        for i in 0..chunks {
+            let j = i * 4;
+            let mut vo = _mm_loadu_ps(out.as_ptr().add(j));
+            for l in 0..8 {
+                vo = _mm_add_ps(vo, _mm_mul_ps(va[l], _mm_loadu_ps(b[l].as_ptr().add(j))));
+            }
+            _mm_storeu_ps(out.as_mut_ptr().add(j), vo);
+        }
+    }
+    for j in chunks * 4..n {
+        let mut o = out[j];
+        for l in 0..8 {
+            o += a[l] * b[l][j];
+        }
+        out[j] = o;
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn axpy8_avx2(out: &mut [f32], a: [f32; 8], b: [&[f32]; 8]) {
+    use core::arch::x86_64::*;
+    let n = out.len();
+    let chunks = n / 8;
+    // SAFETY: caller detected AVX2; every load/store stays within the first
+    // `chunks * 8` elements of the nine slices, whose lengths are all `n`.
+    unsafe {
+        let va: [_; 8] = [
+            _mm256_set1_ps(a[0]),
+            _mm256_set1_ps(a[1]),
+            _mm256_set1_ps(a[2]),
+            _mm256_set1_ps(a[3]),
+            _mm256_set1_ps(a[4]),
+            _mm256_set1_ps(a[5]),
+            _mm256_set1_ps(a[6]),
+            _mm256_set1_ps(a[7]),
+        ];
+        for i in 0..chunks {
+            let j = i * 8;
+            let mut vo = _mm256_loadu_ps(out.as_ptr().add(j));
+            for l in 0..8 {
+                vo = _mm256_add_ps(
+                    vo,
+                    _mm256_mul_ps(va[l], _mm256_loadu_ps(b[l].as_ptr().add(j))),
+                );
+            }
+            _mm256_storeu_ps(out.as_mut_ptr().add(j), vo);
+        }
+    }
+    for j in chunks * 8..n {
+        let mut o = out[j];
+        for l in 0..8 {
+            o += a[l] * b[l][j];
+        }
+        out[j] = o;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// dot4: four dot products sharing one pass over `a`
+// ---------------------------------------------------------------------------
+
+/// Four dot products sharing one pass over `a`, dispatched to the current
+/// tier. Bit-identical on every tier to four `crate::ops::dot` calls: each
+/// result accumulates into four lanes over 4-element chunks in ascending
+/// order, reduces left-to-right, then adds the scalar tail.
+#[inline]
+pub fn dot4(a: &[f32], b0: &[f32], b1: &[f32], b2: &[f32], b3: &[f32]) -> (f32, f32, f32, f32) {
+    dot4_with(SimdTier::current(), a, b0, b1, b2, b3)
+}
+
+/// [`dot4`] with an explicit tier (clamped to the hardware's capability).
+pub fn dot4_with(
+    tier: SimdTier,
+    a: &[f32],
+    b0: &[f32],
+    b1: &[f32],
+    b2: &[f32],
+    b3: &[f32],
+) -> (f32, f32, f32, f32) {
+    let k = a.len();
+    debug_assert!(b0.len() == k && b1.len() == k && b2.len() == k && b3.len() == k);
+    match tier.min(SimdTier::best_supported()) {
+        SimdTier::Scalar => dot4_scalar(a, b0, b1, b2, b3),
+        #[cfg(target_arch = "x86_64")]
+        SimdTier::Sse2 => dot4_sse2(a, b0, b1, b2, b3),
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: clamped above, so AVX2 was runtime-detected.
+        SimdTier::Avx2 => unsafe { dot4_avx2(a, b0, b1, b2, b3) },
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => dot4_scalar(a, b0, b1, b2, b3),
+    }
+}
+
+fn dot4_scalar(a: &[f32], b0: &[f32], b1: &[f32], b2: &[f32], b3: &[f32]) -> (f32, f32, f32, f32) {
+    let k = a.len();
+    let chunks = k / 4;
+    let mut acc0 = [0.0f32; 4];
+    let mut acc1 = [0.0f32; 4];
+    let mut acc2 = [0.0f32; 4];
+    let mut acc3 = [0.0f32; 4];
+    for i in 0..chunks {
+        let j = i * 4;
+        for l in 0..4 {
+            acc0[l] += a[j + l] * b0[j + l];
+            acc1[l] += a[j + l] * b1[j + l];
+            acc2[l] += a[j + l] * b2[j + l];
+            acc3[l] += a[j + l] * b3[j + l];
+        }
+    }
+    let mut s0 = ((acc0[0] + acc0[1]) + acc0[2]) + acc0[3];
+    let mut s1 = ((acc1[0] + acc1[1]) + acc1[2]) + acc1[3];
+    let mut s2 = ((acc2[0] + acc2[1]) + acc2[2]) + acc2[3];
+    let mut s3 = ((acc3[0] + acc3[1]) + acc3[2]) + acc3[3];
+    for j in chunks * 4..k {
+        s0 += a[j] * b0[j];
+        s1 += a[j] * b1[j];
+        s2 += a[j] * b2[j];
+        s3 += a[j] * b3[j];
+    }
+    (s0, s1, s2, s3)
+}
+
+#[cfg(target_arch = "x86_64")]
+fn dot4_sse2(a: &[f32], b0: &[f32], b1: &[f32], b2: &[f32], b3: &[f32]) -> (f32, f32, f32, f32) {
+    use core::arch::x86_64::*;
+    let k = a.len();
+    let chunks = k / 4;
+    // SAFETY: SSE2 is part of the x86-64 baseline, and every load stays
+    // within the first `chunks * 4` elements of the five slices, whose
+    // lengths are all `k` (debug-asserted by the dispatcher).
+    let (mut s0, mut s1, mut s2, mut s3) = unsafe {
+        let mut acc0 = _mm_setzero_ps();
+        let mut acc1 = _mm_setzero_ps();
+        let mut acc2 = _mm_setzero_ps();
+        let mut acc3 = _mm_setzero_ps();
+        for i in 0..chunks {
+            let j = i * 4;
+            let va = _mm_loadu_ps(a.as_ptr().add(j));
+            acc0 = _mm_add_ps(acc0, _mm_mul_ps(va, _mm_loadu_ps(b0.as_ptr().add(j))));
+            acc1 = _mm_add_ps(acc1, _mm_mul_ps(va, _mm_loadu_ps(b1.as_ptr().add(j))));
+            acc2 = _mm_add_ps(acc2, _mm_mul_ps(va, _mm_loadu_ps(b2.as_ptr().add(j))));
+            acc3 = _mm_add_ps(acc3, _mm_mul_ps(va, _mm_loadu_ps(b3.as_ptr().add(j))));
+        }
+        let mut lanes = [[0.0f32; 4]; 4];
+        _mm_storeu_ps(lanes[0].as_mut_ptr(), acc0);
+        _mm_storeu_ps(lanes[1].as_mut_ptr(), acc1);
+        _mm_storeu_ps(lanes[2].as_mut_ptr(), acc2);
+        _mm_storeu_ps(lanes[3].as_mut_ptr(), acc3);
+        (
+            ((lanes[0][0] + lanes[0][1]) + lanes[0][2]) + lanes[0][3],
+            ((lanes[1][0] + lanes[1][1]) + lanes[1][2]) + lanes[1][3],
+            ((lanes[2][0] + lanes[2][1]) + lanes[2][2]) + lanes[2][3],
+            ((lanes[3][0] + lanes[3][1]) + lanes[3][2]) + lanes[3][3],
+        )
+    };
+    for j in chunks * 4..k {
+        s0 += a[j] * b0[j];
+        s1 += a[j] * b1[j];
+        s2 += a[j] * b2[j];
+        s3 += a[j] * b3[j];
+    }
+    (s0, s1, s2, s3)
+}
+
+/// AVX2 variant. Bit-identity with the SSE2/scalar form hinges on keeping the
+/// exact 4-lane accumulator pattern: widening to a 256-bit accumulator per
+/// column would fold the chunk sequence differently. Instead, each 256-bit
+/// register pairs *two columns'* 4-lane accumulators (low half = column A,
+/// high half = column B) and broadcasts the `a` chunk to both halves — every
+/// 128-bit lane group performs exactly the SSE2 per-chunk `add(acc, mul)`,
+/// so the lanes, the reduction and the tail are all unchanged, while the FP
+/// op count halves.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn dot4_avx2(
+    a: &[f32],
+    b0: &[f32],
+    b1: &[f32],
+    b2: &[f32],
+    b3: &[f32],
+) -> (f32, f32, f32, f32) {
+    use core::arch::x86_64::*;
+    let k = a.len();
+    let chunks = k / 4;
+    // SAFETY: caller detected AVX2; every load stays within the first
+    // `chunks * 4` elements of the five slices, whose lengths are all `k`.
+    let (mut s0, mut s1, mut s2, mut s3) = unsafe {
+        let mut acc01 = _mm256_setzero_ps();
+        let mut acc23 = _mm256_setzero_ps();
+        for i in 0..chunks {
+            let j = i * 4;
+            let va = _mm_loadu_ps(a.as_ptr().add(j));
+            let vaa = _mm256_set_m128(va, va);
+            let vb01 = _mm256_set_m128(
+                _mm_loadu_ps(b1.as_ptr().add(j)),
+                _mm_loadu_ps(b0.as_ptr().add(j)),
+            );
+            let vb23 = _mm256_set_m128(
+                _mm_loadu_ps(b3.as_ptr().add(j)),
+                _mm_loadu_ps(b2.as_ptr().add(j)),
+            );
+            acc01 = _mm256_add_ps(acc01, _mm256_mul_ps(vaa, vb01));
+            acc23 = _mm256_add_ps(acc23, _mm256_mul_ps(vaa, vb23));
+        }
+        let mut lanes01 = [0.0f32; 8];
+        let mut lanes23 = [0.0f32; 8];
+        _mm256_storeu_ps(lanes01.as_mut_ptr(), acc01);
+        _mm256_storeu_ps(lanes23.as_mut_ptr(), acc23);
+        (
+            ((lanes01[0] + lanes01[1]) + lanes01[2]) + lanes01[3],
+            ((lanes01[4] + lanes01[5]) + lanes01[6]) + lanes01[7],
+            ((lanes23[0] + lanes23[1]) + lanes23[2]) + lanes23[3],
+            ((lanes23[4] + lanes23[5]) + lanes23[6]) + lanes23[7],
+        )
+    };
+    for j in chunks * 4..k {
+        s0 += a[j] * b0[j];
+        s1 += a[j] * b1[j];
+        s2 += a[j] * b2[j];
+        s3 += a[j] * b3[j];
+    }
+    (s0, s1, s2, s3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vecs(k: usize, salt: u32) -> (Vec<f32>, Vec<f32>, Vec<f32>, Vec<f32>, Vec<f32>) {
+        let gen = |m: u32, off: f32| -> Vec<f32> {
+            (0..k)
+                .map(|i| ((i as u32).wrapping_mul(m).wrapping_add(salt) % 97) as f32 * 0.173 - off)
+                .collect()
+        };
+        (
+            gen(31, 7.9),
+            gen(17, 3.1),
+            gen(23, 5.7),
+            gen(29, 2.3),
+            gen(13, 8.1),
+        )
+    }
+
+    #[test]
+    fn tier_order_and_names() {
+        assert!(SimdTier::Scalar < SimdTier::Sse2 && SimdTier::Sse2 < SimdTier::Avx2);
+        assert_eq!(SimdTier::parse("AVX2"), Some(SimdTier::Avx2));
+        assert_eq!(SimdTier::parse(" sse2 "), Some(SimdTier::Sse2));
+        assert_eq!(SimdTier::parse("neon"), None);
+        for t in SimdTier::available() {
+            assert_eq!(SimdTier::parse(t.name()), Some(t));
+        }
+        assert_eq!(SimdTier::available().first(), Some(&SimdTier::Scalar));
+    }
+
+    #[test]
+    fn force_is_scoped_and_clamped() {
+        let outside = SimdTier::current();
+        SimdTier::Scalar.force(|| {
+            assert_eq!(SimdTier::current(), SimdTier::Scalar);
+            // Nested overrides stack.
+            SimdTier::Avx2.force(|| {
+                assert_eq!(
+                    SimdTier::current(),
+                    SimdTier::Avx2.min(SimdTier::best_supported())
+                );
+            });
+            assert_eq!(SimdTier::current(), SimdTier::Scalar);
+        });
+        assert_eq!(SimdTier::current(), outside);
+    }
+
+    #[test]
+    fn dot4_bit_identical_across_tiers() {
+        // Cover a 4-wide tail (k % 4 != 0) and the empty input.
+        for k in [0usize, 1, 3, 4, 7, 16, 33, 257] {
+            let (a, b0, b1, b2, b3) = vecs(k, 11);
+            let want = dot4_scalar(&a, &b0, &b1, &b2, &b3);
+            for tier in SimdTier::available() {
+                let got = dot4_with(tier, &a, &b0, &b1, &b2, &b3);
+                assert_eq!(got.0.to_bits(), want.0.to_bits(), "k={k} {tier:?}");
+                assert_eq!(got.1.to_bits(), want.1.to_bits(), "k={k} {tier:?}");
+                assert_eq!(got.2.to_bits(), want.2.to_bits(), "k={k} {tier:?}");
+                assert_eq!(got.3.to_bits(), want.3.to_bits(), "k={k} {tier:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn axpy4_bit_identical_across_tiers() {
+        for n in [0usize, 1, 3, 5, 8, 9, 31, 128] {
+            let (init, b0, b1, b2, b3) = vecs(n, 29);
+            let a = [0.37f32, -1.91, 2.53, -0.11];
+            let mut want = init.clone();
+            axpy4_scalar(&mut want, a, &b0, &b1, &b2, &b3);
+            for tier in SimdTier::available() {
+                let mut got = init.clone();
+                axpy4_with(tier, &mut got, a, &b0, &b1, &b2, &b3);
+                for (j, (g, w)) in got.iter().zip(&want).enumerate() {
+                    assert_eq!(g.to_bits(), w.to_bits(), "n={n} j={j} {tier:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn axpy8_bit_identical_across_tiers() {
+        for n in [0usize, 2, 7, 8, 15, 64, 113] {
+            let (init, b0, b1, b2, b3) = vecs(n, 43);
+            let (b4, b5, b6, b7, _) = vecs(n, 71);
+            let b: [&[f32]; 8] = [&b0, &b1, &b2, &b3, &b4, &b5, &b6, &b7];
+            let a = [0.7f32, -0.3, 1.9, -2.2, 0.05, 3.1, -1.4, 0.6];
+            let mut want = init.clone();
+            axpy8_scalar(&mut want, a, b);
+            for tier in SimdTier::available() {
+                let mut got = init.clone();
+                axpy8_with(tier, &mut got, a, b);
+                for (j, (g, w)) in got.iter().zip(&want).enumerate() {
+                    assert_eq!(g.to_bits(), w.to_bits(), "n={n} j={j} {tier:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dot4_matches_ops_dot_on_every_tier() {
+        let (a, b0, b1, b2, b3) = vecs(53, 5);
+        let want = (
+            crate::ops::dot(&a, &b0),
+            crate::ops::dot(&a, &b1),
+            crate::ops::dot(&a, &b2),
+            crate::ops::dot(&a, &b3),
+        );
+        for tier in SimdTier::available() {
+            let got = dot4_with(tier, &a, &b0, &b1, &b2, &b3);
+            assert_eq!(got.0.to_bits(), want.0.to_bits(), "{tier:?}");
+            assert_eq!(got.1.to_bits(), want.1.to_bits(), "{tier:?}");
+            assert_eq!(got.2.to_bits(), want.2.to_bits(), "{tier:?}");
+            assert_eq!(got.3.to_bits(), want.3.to_bits(), "{tier:?}");
+        }
+    }
+}

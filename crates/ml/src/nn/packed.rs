@@ -1,0 +1,405 @@
+//! Packed inference-only networks, generic over the element type.
+//!
+//! Serving wants the cheapest possible forward pass: weights are read-only
+//! between hot swaps, batch-norm statistics are frozen, and the caller
+//! controls every buffer. [`PackedMlp`] is built *once* from a trained
+//! [`Mlp`](super::Mlp) at model-publish time and bakes in everything
+//! inference no longer needs to compute:
+//!
+//! * **Transposed weights** — stored `[out][in]` so each output neuron is a
+//!   contiguous dot product against the input row (the SIMD-friendly shape),
+//!   instead of the `[in][out]` layout training's backward pass prefers.
+//! * **Folded batch norm** — eval-mode BN is an affine map per feature, so
+//!   it folds into the dense layer: with `s = gamma / sqrt(var + eps)`,
+//!   `w' = s * w` and `b' = s * b + (beta - s * mean)`. One multiply-add per
+//!   neuron disappears from the hot loop entirely.
+//! * **The element type** — [`Element`] abstracts the arithmetic so the same
+//!   packed layout runs in `f32` (routed through the runtime-dispatched SIMD
+//!   kernels) or `f64` (the high-precision reference the accuracy delta is
+//!   measured against).
+//!
+//! Folding reassociates the BN arithmetic (`(x - m) / sqrt(v + eps) * g + b`
+//! becomes `s*x + shift`), so packed outputs are *near*, not bit-identical
+//! to, the exact [`Mlp`] path. Packed inference is therefore strictly
+//! opt-in at the serving layer and is **derived state**: never serialized,
+//! journaled or snapshotted — always rebuilt from the authoritative `Mlp`.
+
+use trout_linalg::Matrix;
+
+use super::activation::Activation;
+use super::network::Mlp;
+
+/// Scalar arithmetic a [`PackedMlp`] runs in.
+///
+/// `f32` routes its fused dot products through
+/// [`trout_linalg::simd`] (scalar / SSE2 / AVX2, runtime-dispatched);
+/// `f64` mirrors the same accumulation pattern in double precision and
+/// serves as the reference when measuring the f32 path's accuracy delta.
+pub trait Element: Copy + Send + Sync + std::fmt::Debug + 'static {
+    /// Human-readable element name (`"f32"` / `"f64"`).
+    const NAME: &'static str;
+
+    /// Converts from the training-side `f32` representation.
+    fn from_f32(v: f32) -> Self;
+    /// Converts back to `f32` for the caller-facing prediction structs.
+    fn to_f32(self) -> f32;
+    /// `self + o`.
+    fn add(self, o: Self) -> Self;
+    /// Four simultaneous dot products of `a` against `b0..b3`
+    /// (all slices the same length).
+    fn dot4(
+        a: &[Self],
+        b0: &[Self],
+        b1: &[Self],
+        b2: &[Self],
+        b3: &[Self],
+    ) -> (Self, Self, Self, Self);
+    /// Single dot product (tail lanes when the width is not a multiple
+    /// of four).
+    fn dot(a: &[Self], b: &[Self]) -> Self;
+    /// Applies an activation to a pre-activation value, mirroring
+    /// [`Activation::forward`] in this element's precision.
+    fn activate(act: Activation, z: Self) -> Self;
+    /// Numerically stable logistic sigmoid in this element's precision.
+    fn sigmoid(z: Self) -> Self;
+}
+
+impl Element for f32 {
+    const NAME: &'static str = "f32";
+
+    #[inline]
+    fn from_f32(v: f32) -> Self {
+        v
+    }
+    #[inline]
+    fn to_f32(self) -> f32 {
+        self
+    }
+    #[inline]
+    fn add(self, o: Self) -> Self {
+        self + o
+    }
+    #[inline]
+    fn dot4(
+        a: &[Self],
+        b0: &[Self],
+        b1: &[Self],
+        b2: &[Self],
+        b3: &[Self],
+    ) -> (Self, Self, Self, Self) {
+        trout_linalg::simd::dot4(a, b0, b1, b2, b3)
+    }
+    #[inline]
+    fn dot(a: &[Self], b: &[Self]) -> Self {
+        trout_linalg::ops::dot(a, b)
+    }
+    #[inline]
+    fn activate(act: Activation, z: Self) -> Self {
+        act.forward(z)
+    }
+    #[inline]
+    fn sigmoid(z: Self) -> Self {
+        trout_linalg::ops::sigmoid(z)
+    }
+}
+
+impl Element for f64 {
+    const NAME: &'static str = "f64";
+
+    #[inline]
+    fn from_f32(v: f32) -> Self {
+        v as f64
+    }
+    #[inline]
+    fn to_f32(self) -> f32 {
+        self as f32
+    }
+    #[inline]
+    fn add(self, o: Self) -> Self {
+        self + o
+    }
+    fn dot4(
+        a: &[Self],
+        b0: &[Self],
+        b1: &[Self],
+        b2: &[Self],
+        b3: &[Self],
+    ) -> (Self, Self, Self, Self) {
+        let (mut s0, mut s1, mut s2, mut s3) = (0.0f64, 0.0, 0.0, 0.0);
+        for (i, &av) in a.iter().enumerate() {
+            s0 += av * b0[i];
+            s1 += av * b1[i];
+            s2 += av * b2[i];
+            s3 += av * b3[i];
+        }
+        (s0, s1, s2, s3)
+    }
+    fn dot(a: &[Self], b: &[Self]) -> Self {
+        a.iter().zip(b).map(|(&x, &y)| x * y).sum()
+    }
+    fn activate(act: Activation, z: Self) -> Self {
+        match act {
+            Activation::Identity => z,
+            Activation::Relu => z.max(0.0),
+            Activation::Elu { alpha } => {
+                if z > 0.0 {
+                    z
+                } else {
+                    alpha as f64 * (z.exp() - 1.0)
+                }
+            }
+            Activation::Tanh => z.tanh(),
+            Activation::Sigmoid => Self::sigmoid(z),
+        }
+    }
+    fn sigmoid(z: Self) -> Self {
+        if z >= 0.0 {
+            let e = (-z).exp();
+            1.0 / (1.0 + e)
+        } else {
+            let e = z.exp();
+            e / (1.0 + e)
+        }
+    }
+}
+
+/// One packed dense layer: BN-folded, transposed weights plus activation.
+#[derive(Debug, Clone)]
+struct PackedLayer<E> {
+    /// `fan_out * fan_in` weights, `[out][in]` row-major: output neuron `o`
+    /// owns the contiguous slice `w_t[o*fan_in .. (o+1)*fan_in]`.
+    w_t: Vec<E>,
+    /// BN-folded bias, `fan_out` long.
+    b: Vec<E>,
+    act: Activation,
+    fan_in: usize,
+    fan_out: usize,
+}
+
+impl<E: Element> PackedLayer<E> {
+    /// Forward for one row: `out[o] = act(dot(input, w_t[o]) + b[o])`.
+    /// Outputs are computed four at a time through [`Element::dot4`].
+    fn forward_row(&self, input: &[E], out: &mut [E]) {
+        debug_assert_eq!(input.len(), self.fan_in);
+        debug_assert_eq!(out.len(), self.fan_out);
+        let k = self.fan_in;
+        let mut o = 0;
+        while o + 4 <= self.fan_out {
+            let base = o * k;
+            let (d0, d1, d2, d3) = E::dot4(
+                input,
+                &self.w_t[base..base + k],
+                &self.w_t[base + k..base + 2 * k],
+                &self.w_t[base + 2 * k..base + 3 * k],
+                &self.w_t[base + 3 * k..base + 4 * k],
+            );
+            out[o] = E::activate(self.act, d0.add(self.b[o]));
+            out[o + 1] = E::activate(self.act, d1.add(self.b[o + 1]));
+            out[o + 2] = E::activate(self.act, d2.add(self.b[o + 2]));
+            out[o + 3] = E::activate(self.act, d3.add(self.b[o + 3]));
+            o += 4;
+        }
+        while o < self.fan_out {
+            let d = E::dot(input, &self.w_t[o * k..(o + 1) * k]);
+            out[o] = E::activate(self.act, d.add(self.b[o]));
+            o += 1;
+        }
+    }
+}
+
+/// Ping-pong activation buffers for [`PackedMlp`] inference; reused across
+/// rows and hot swaps, so steady-state packed inference is allocation-free.
+#[derive(Debug, Default)]
+pub struct PackedScratch<E> {
+    cur: Vec<E>,
+    nxt: Vec<E>,
+}
+
+impl<E: Element> PackedScratch<E> {
+    /// An empty scratch; buffers grow to the widest layer on first use.
+    pub fn new() -> Self {
+        PackedScratch {
+            cur: Vec::new(),
+            nxt: Vec::new(),
+        }
+    }
+}
+
+/// An inference-only network packed from a trained [`Mlp`]:
+/// `[out][in]` weights, batch norm folded away, element type `E`.
+#[derive(Debug, Clone)]
+pub struct PackedMlp<E> {
+    layers: Vec<PackedLayer<E>>,
+}
+
+impl<E: Element> PackedMlp<E> {
+    /// Packs a trained network. The source `Mlp` stays authoritative — a
+    /// packed model is derived state, rebuilt after every refit/hot-swap.
+    pub fn from_mlp(mlp: &Mlp) -> Self {
+        let layers = mlp
+            .layer_views()
+            .into_iter()
+            .map(|view| {
+                let (fan_in, fan_out) = (view.w.rows(), view.w.cols());
+                // Eval-mode BN is affine per output feature; fold it into
+                // the dense layer's weights and bias.
+                let (scale, shift) = match view.bn {
+                    Some(bn) => bn.eval_affine(),
+                    None => (vec![1.0; fan_out], vec![0.0; fan_out]),
+                };
+                let mut w_t = Vec::with_capacity(fan_in * fan_out);
+                for o in 0..fan_out {
+                    for i in 0..fan_in {
+                        w_t.push(E::from_f32(view.w.get(i, o) * scale[o]));
+                    }
+                }
+                let b: Vec<E> = (0..fan_out)
+                    .map(|o| E::from_f32(view.b[o] * scale[o] + shift[o]))
+                    .collect();
+                PackedLayer {
+                    w_t,
+                    b,
+                    act: view.act,
+                    fan_in,
+                    fan_out,
+                }
+            })
+            .collect();
+        PackedMlp { layers }
+    }
+
+    /// Input feature width.
+    pub fn input_dim(&self) -> usize {
+        self.layers[0].fan_in
+    }
+
+    /// Raw scalar output for one feature row (a logit for BCE-trained
+    /// networks). Allocation-free once `s` has warmed to the widest layer.
+    pub fn forward_row(&self, row: &[f32], s: &mut PackedScratch<E>) -> f32 {
+        assert_eq!(row.len(), self.input_dim(), "feature width mismatch");
+        s.cur.clear();
+        s.cur.extend(row.iter().map(|&v| E::from_f32(v)));
+        for layer in &self.layers {
+            s.nxt.clear();
+            s.nxt.resize(layer.fan_out, E::from_f32(0.0));
+            layer.forward_row(&s.cur, &mut s.nxt);
+            std::mem::swap(&mut s.cur, &mut s.nxt);
+        }
+        s.cur[0].to_f32()
+    }
+
+    /// Batch inference into a caller-owned vector (cleared first); row `r`
+    /// of `x` produces `out[r]`.
+    pub fn predict_into(&self, x: &Matrix, s: &mut PackedScratch<E>, out: &mut Vec<f32>) {
+        out.clear();
+        for r in 0..x.rows() {
+            out.push(self.forward_row(x.row(r), s));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{Loss, MlpConfig};
+    use super::*;
+    use trout_linalg::SplitMix64;
+
+    fn trained(batchnorm: bool, seed: u64) -> (Mlp, Matrix, Vec<f32>) {
+        let mut rng = SplitMix64::new(seed);
+        let (rows, cols) = (160, 9);
+        let mut data = Vec::with_capacity(rows * cols);
+        let mut y = Vec::with_capacity(rows);
+        for _ in 0..rows {
+            let start = data.len();
+            for _ in 0..cols {
+                data.push(rng.uniform(-1.0, 1.0));
+            }
+            let row = &data[start..];
+            y.push(row[0] * 1.5 - row[3] + (2.0 * row[5]).sin());
+        }
+        let x = Matrix::from_vec(rows, cols, data);
+        let mut cfg = MlpConfig::new(cols, vec![13, 6]);
+        cfg.loss = Loss::Mse;
+        cfg.batchnorm = batchnorm;
+        cfg.epochs = 8;
+        cfg.seed = seed;
+        (Mlp::train(&cfg, &x, &y).0, x, y)
+    }
+
+    #[test]
+    fn packed_f64_tracks_exact_path_closely() {
+        for batchnorm in [false, true] {
+            let (mlp, x, _) = trained(batchnorm, 21);
+            let exact = mlp.predict(&x);
+            let packed = PackedMlp::<f64>::from_mlp(&mlp);
+            let mut s = PackedScratch::new();
+            let mut got = Vec::new();
+            packed.predict_into(&x, &mut s, &mut got);
+            assert_eq!(exact.len(), got.len());
+            for (r, (&e, &g)) in exact.iter().zip(&got).enumerate() {
+                // f64 accumulation vs f32 differs only in rounding; the BN
+                // fold reassociates but does not change magnitudes.
+                assert!(
+                    (e - g).abs() <= 1e-4 * (1.0 + e.abs()),
+                    "bn={batchnorm} row {r}: exact {e} packed-f64 {g}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn packed_f32_tracks_packed_f64_closely() {
+        let (mlp, x, _) = trained(true, 5);
+        let p64 = PackedMlp::<f64>::from_mlp(&mlp);
+        let p32 = PackedMlp::<f32>::from_mlp(&mlp);
+        let (mut s64, mut s32) = (PackedScratch::new(), PackedScratch::new());
+        let (mut v64, mut v32) = (Vec::new(), Vec::new());
+        p64.predict_into(&x, &mut s64, &mut v64);
+        p32.predict_into(&x, &mut s32, &mut v32);
+        for (r, (&hi, &lo)) in v64.iter().zip(&v32).enumerate() {
+            assert!(
+                (hi - lo).abs() <= 1e-3 * (1.0 + hi.abs()),
+                "row {r}: f64 {hi} f32 {lo}"
+            );
+        }
+    }
+
+    #[test]
+    fn forward_row_matches_predict_into_and_is_tier_stable() {
+        let (mlp, x, _) = trained(false, 9);
+        let packed = PackedMlp::<f32>::from_mlp(&mlp);
+        let mut s = PackedScratch::new();
+        let mut batch = Vec::new();
+        packed.predict_into(&x, &mut s, &mut batch);
+        // Row-by-row equals the batch loop bit-for-bit, under every tier.
+        for tier in trout_linalg::SimdTier::available() {
+            let got: Vec<f32> = tier.force(|| {
+                (0..x.rows())
+                    .map(|r| packed.forward_row(x.row(r), &mut s))
+                    .collect()
+            });
+            for (r, (&w, &g)) in batch.iter().zip(&got).enumerate() {
+                assert_eq!(w.to_bits(), g.to_bits(), "row {r} under {tier:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn odd_widths_hit_both_dot4_and_tail_lanes() {
+        // 13 and 6 wide hidden layers already exercise the tail; this pins
+        // a width-5 layer (one dot4 group + one tail lane) explicitly.
+        let mut cfg = MlpConfig::new(7, vec![5]);
+        cfg.epochs = 2;
+        cfg.seed = 3;
+        let x = Matrix::from_vec(8, 7, (0..56).map(|i| (i as f32 * 0.37).sin()).collect());
+        let y: Vec<f32> = (0..8).map(|i| i as f32 * 0.1).collect();
+        let (mlp, _) = Mlp::train(&cfg, &x, &y);
+        let packed = PackedMlp::<f64>::from_mlp(&mlp);
+        let mut s = PackedScratch::new();
+        let mut got = Vec::new();
+        packed.predict_into(&x, &mut s, &mut got);
+        for (&e, &g) in mlp.predict(&x).iter().zip(&got) {
+            assert!((e - g).abs() <= 1e-4 * (1.0 + e.abs()), "{e} vs {g}");
+        }
+    }
+}

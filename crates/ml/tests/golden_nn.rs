@@ -153,6 +153,25 @@ fn mlp_training_and_inference_match_golden_bits() {
 }
 
 #[test]
+fn golden_bits_reproduce_under_every_simd_tier() {
+    // The SIMD dispatch promises bit-identity across scalar, SSE2 and AVX2
+    // kernels, so the full training + inference fixture computation must
+    // produce the same bits whichever tier is forced. `TROUT_THREADS=1`
+    // keeps the parallel kernels inline on this thread, where the
+    // thread-local tier override applies.
+    std::env::set_var("TROUT_THREADS", "1");
+    let want = trout_linalg::SimdTier::Scalar.force(compute);
+    for tier in trout_linalg::SimdTier::available() {
+        let got = tier.force(compute);
+        for ((k_w, v_w), (k_g, v_g)) in want.iter().zip(&got) {
+            assert_eq!(k_w, k_g);
+            assert_eq!(v_w, v_g, "section {k_w} diverges under {tier:?}");
+        }
+    }
+    std::env::remove_var("TROUT_THREADS");
+}
+
+#[test]
 fn training_is_bit_identical_across_thread_counts() {
     // Layer sizes above push matmul/matmul_at past PAR_THRESHOLD, so this
     // exercises the parallel kernels for real. trout_std::par partitions

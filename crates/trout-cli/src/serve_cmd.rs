@@ -19,7 +19,7 @@ use crate::commands::{load_model, load_trace};
 
 /// `trout serve (--model MODEL.json --trace FILE | --bootstrap JOBS)
 ///              [--stdin | --listen ADDR [--reactor [--reactor-threads N]]]
-///              [--shards N] [--batch N] [--refit-every N]
+///              [--shards N] [--batch N] [--refit-every N] [--infer-f32]
 ///              [--deadline-ms N] [--urgent-deadline-ms N]
 ///              [--batch-deadline-ms N] [--est-predict-us N]
 ///              [--state-dir DIR [--recover] [--snapshot-every N]
@@ -43,6 +43,14 @@ use crate::commands::{load_model, load_trace};
 /// behind both the deadline-hold window and the admission-control shed
 /// threshold.
 ///
+/// `--infer-f32` serves predictions through the packed f32 fast path:
+/// weights are transposed and batch norm folded once per model publish, and
+/// the forward pass runs on the runtime-dispatched SIMD kernels
+/// (overridable via `TROUT_SIMD=scalar|sse2|avx2`). Opt-in because packed
+/// outputs are near- but not bit-identical to the exact path; journals,
+/// snapshots and refits always use the exact model, so recovery only needs
+/// the flag repeated to reproduce served answers.
+///
 /// With `--state-dir`, every accepted event is appended to a write-ahead
 /// journal (fsynced per `--fsync-every`, default 1 = durable before each
 /// acknowledgment) and a snapshot is written every `--snapshot-every`
@@ -59,8 +67,18 @@ pub fn serve(opts: &Options) -> Result<()> {
     let cfg = ServeConfig {
         refit_every: opts.get_or("refit-every", 256)?,
         seed: opts.get_or("seed", 0)?,
+        infer_f32: opts.has("infer-f32"),
         ..Default::default()
     };
+    // One startup line pins down which kernel tier this process dispatched
+    // to (and therefore what TROUT_SIMD resolved to), for every mode.
+    log_info!(
+        "serve",
+        "simd kernel tier: {} (best supported {}; override with TROUT_SIMD), inference {}",
+        trout_linalg::SimdTier::active().name(),
+        trout_linalg::SimdTier::best_supported().name(),
+        if cfg.infer_f32 { "packed-f32" } else { "exact" }
+    );
 
     let shards = if opts.has("bootstrap") {
         let jobs: usize = opts.require_parsed("bootstrap")?;

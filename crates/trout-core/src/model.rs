@@ -26,6 +26,9 @@ pub struct PredictorScratch {
     reg_raw: Vec<f32>,
     regress_rows: Vec<usize>,
     reg_x: Matrix,
+    probs: Vec<f32>,
+    calibrated: Vec<f32>,
+    minutes: Vec<Option<f32>>,
 }
 
 /// The trained two-stage system: quick-start classifier + queue regressor.
@@ -70,6 +73,9 @@ impl HierarchicalModel {
             reg_raw: Vec::with_capacity(rows),
             regress_rows: Vec::with_capacity(rows),
             reg_x: Matrix::zeros(rows, self.classifier.input_dim()),
+            probs: Vec::with_capacity(rows),
+            calibrated: Vec::with_capacity(rows),
+            minutes: Vec::with_capacity(rows),
         }
     }
 
@@ -81,43 +87,65 @@ impl HierarchicalModel {
         req: BatchPredictionRequest<'_>,
         s: &mut PredictorScratch,
     ) -> Vec<QueuePrediction> {
+        let mut out = Vec::with_capacity(req.features.rows());
+        self.predict_batch_into(req, s, &mut out);
+        out
+    }
+
+    /// [`HierarchicalModel::predict_batch_in`] writing into a caller-owned
+    /// output vector (cleared first). Once scratch and output have warmed to
+    /// the batch size, a call performs **zero** heap allocations — the
+    /// serve engine's steady-state predict path rides on this.
+    pub fn predict_batch_into(
+        &self,
+        req: BatchPredictionRequest<'_>,
+        s: &mut PredictorScratch,
+        out: &mut Vec<QueuePrediction>,
+    ) {
         let x = req.features;
         self.classifier.predict_in(x, &mut s.cls_ws, &mut s.logits);
-        let probs: Vec<f32> = s.logits.iter().map(|&l| sigmoid(l)).collect();
-        let calibrated: Vec<f32> = match &self.calibrator {
-            Some(c) => c.calibrate_batch(&s.logits),
-            None => probs.clone(),
-        };
+        s.probs.clear();
+        s.probs.extend(s.logits.iter().map(|&l| sigmoid(l)));
+        s.calibrated.clear();
+        match &self.calibrator {
+            Some(c) => s
+                .calibrated
+                .extend(s.logits.iter().map(|&l| c.calibrate(l))),
+            None => s.calibrated.extend_from_slice(&s.probs),
+        }
 
         // Rows the regressor must see: classified-long always, all rows when
         // the request wants unconditional minutes.
         s.regress_rows.clear();
-        s.regress_rows
-            .extend((0..x.rows()).filter(|&r| probs[r] < 0.5 || req.want_minutes));
-        let mut minutes: Vec<Option<f32>> = vec![None; x.rows()];
+        for r in 0..x.rows() {
+            if s.probs[r] < 0.5 || req.want_minutes {
+                s.regress_rows.push(r);
+            }
+        }
+        s.minutes.clear();
+        s.minutes.resize(x.rows(), None);
         if !s.regress_rows.is_empty() {
             x.select_rows_into(&s.regress_rows, &mut s.reg_x);
             self.regressor
                 .predict_in(&s.reg_x, &mut s.reg_ws, &mut s.reg_raw);
             for (&r, &raw) in s.regress_rows.iter().zip(&s.reg_raw) {
-                minutes[r] = Some(self.target_transform.inverse(raw).max(0.0));
+                s.minutes[r] = Some(self.target_transform.inverse(raw).max(0.0));
             }
         }
 
-        (0..x.rows())
-            .map(|r| QueuePrediction {
-                estimate: if probs[r] >= 0.5 {
-                    QueueEstimate::QuickStart
-                } else {
-                    QueueEstimate::Minutes(minutes[r].expect("regressed above"))
-                },
-                quick_proba: probs[r],
-                calibrated_proba: calibrated[r],
-                minutes: minutes[r],
-                cutoff_min: self.cutoff_min,
-                lane: crate::Lane::Normal,
-            })
-            .collect()
+        out.clear();
+        out.extend((0..x.rows()).map(|r| QueuePrediction {
+            estimate: if s.probs[r] >= 0.5 {
+                QueueEstimate::QuickStart
+            } else {
+                QueueEstimate::Minutes(s.minutes[r].expect("regressed above"))
+            },
+            quick_proba: s.probs[r],
+            calibrated_proba: s.calibrated[r],
+            minutes: s.minutes[r],
+            cutoff_min: self.cutoff_min,
+            lane: crate::Lane::Normal,
+        }));
     }
 
     /// Serializes to JSON (the CLI checkpoint format).

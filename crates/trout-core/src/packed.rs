@@ -1,0 +1,125 @@
+//! Packed (inference-only) form of the hierarchical model.
+//!
+//! [`PackedHierarchical`] is the serving fast path: both networks packed
+//! via [`trout_ml::nn::PackedMlp`] (transposed weights, batch norm folded,
+//! element type `E`), the Platt scaler reduced to its two coefficients, and
+//! Algorithm 1 run row-by-row against caller-owned buffers.
+//!
+//! A packed model is **derived state**. It is rebuilt from the
+//! authoritative [`HierarchicalModel`] at every publish point (initial
+//! load, online refit, crash recovery) and is never serialized, journaled
+//! or snapshotted — replaying a journal on a node with a different packing
+//! mode must converge to the same authoritative state.
+//!
+//! With `E = f32` the dot kernels route through the runtime-dispatched SIMD
+//! tiers; with `E = f64` the same layout runs in double precision and acts
+//! as the reference for the f32 accuracy delta. Neither is bit-identical to
+//! the exact [`HierarchicalModel`] path (the BN fold reassociates), which
+//! is why serving only uses this behind the explicit `--infer-f32` opt-in.
+
+use trout_linalg::Matrix;
+use trout_ml::nn::{Element, PackedMlp, PackedScratch};
+
+use crate::model::HierarchicalModel;
+use crate::predictor::{QueueEstimate, QueuePrediction};
+use crate::trainer::TargetTransform;
+
+/// Reusable buffers for [`PackedHierarchical`] inference. Architecture- and
+/// weight-independent, so one instance survives hot swaps unchanged.
+#[derive(Debug, Default)]
+pub struct PackedPredictScratch<E> {
+    cls: PackedScratch<E>,
+    reg: PackedScratch<E>,
+}
+
+impl<E: Element> PackedPredictScratch<E> {
+    /// An empty scratch; buffers warm up on first use.
+    pub fn new() -> Self {
+        PackedPredictScratch {
+            cls: PackedScratch::new(),
+            reg: PackedScratch::new(),
+        }
+    }
+}
+
+/// The two-stage model packed for element type `E`.
+#[derive(Debug, Clone)]
+pub struct PackedHierarchical<E> {
+    cutoff_min: f32,
+    classifier: PackedMlp<E>,
+    regressor: PackedMlp<E>,
+    /// Platt `(a, b)`, when the source model carried a calibrator.
+    platt: Option<(f32, f32)>,
+    target_transform: TargetTransform,
+}
+
+impl<E: Element> PackedHierarchical<E> {
+    /// Packs a trained model. Cheap relative to a refit (one pass over the
+    /// weights), so it runs inline at every publish point.
+    pub fn from_model(m: &HierarchicalModel) -> Self {
+        PackedHierarchical {
+            cutoff_min: m.cutoff_min,
+            classifier: PackedMlp::from_mlp(&m.classifier),
+            regressor: PackedMlp::from_mlp(&m.regressor),
+            platt: m.calibrator.as_ref().map(|c| c.coefficients()),
+            target_transform: m.target_transform,
+        }
+    }
+
+    /// The element type this packing runs in (`"f32"` / `"f64"`).
+    pub fn element_name(&self) -> &'static str {
+        E::NAME
+    }
+
+    /// Algorithm 1 for one feature row against caller-owned scratch.
+    pub fn predict_row(&self, row: &[f32], s: &mut PackedPredictScratch<E>) -> QueuePrediction {
+        let logit = self.classifier.forward_row(row, &mut s.cls);
+        let quick_proba = E::sigmoid(E::from_f32(logit)).to_f32();
+        let calibrated_proba = match self.platt {
+            Some((a, b)) => E::sigmoid(E::from_f32(a * logit + b)).to_f32(),
+            None => quick_proba,
+        };
+        let quick = quick_proba >= 0.5;
+        let minutes = if !quick {
+            let raw = self.regressor.forward_row(row, &mut s.reg);
+            Some(self.target_transform.inverse(raw).max(0.0))
+        } else {
+            None
+        };
+        QueuePrediction {
+            estimate: if quick {
+                QueueEstimate::QuickStart
+            } else {
+                QueueEstimate::Minutes(minutes.expect("regressed above"))
+            },
+            quick_proba,
+            calibrated_proba,
+            minutes,
+            cutoff_min: self.cutoff_min,
+            lane: crate::Lane::Normal,
+        }
+    }
+
+    /// Batched Algorithm 1 into a caller-owned vector (cleared first).
+    /// Zero heap allocations once `s` and `out` have warmed up. When
+    /// `want_minutes` is set the regressor runs for every row, matching
+    /// [`HierarchicalModel::predict_batch_in`] semantics.
+    pub fn predict_batch_into(
+        &self,
+        x: &Matrix,
+        want_minutes: bool,
+        s: &mut PackedPredictScratch<E>,
+        out: &mut Vec<QueuePrediction>,
+    ) {
+        out.clear();
+        for r in 0..x.rows() {
+            let row = x.row(r);
+            let mut p = self.predict_row(row, s);
+            if want_minutes && p.minutes.is_none() {
+                let raw = self.regressor.forward_row(row, &mut s.reg);
+                p.minutes = Some(self.target_transform.inverse(raw).max(0.0));
+            }
+            out.push(p);
+        }
+    }
+}

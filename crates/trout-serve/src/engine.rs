@@ -22,13 +22,14 @@ use std::time::Instant;
 
 use trout_core::online::{update_model_in, OnlineConfig, RefitScratch};
 use trout_core::{
-    featurize, BatchPredictionRequest, HierarchicalModel, Lane, PredictorScratch, QueueEstimate,
-    QueuePrediction, RuntimePredictor, TroutConfig, TroutError, TroutTrainer,
+    featurize, BatchPredictionRequest, HierarchicalModel, Lane, PackedHierarchical,
+    PackedPredictScratch, PredictorScratch, QueueEstimate, QueuePrediction, RuntimePredictor,
+    TroutConfig, TroutError, TroutTrainer,
 };
 use trout_features::incremental::JobPhase;
 use trout_features::names::N_FEATURES;
 use trout_features::scaling::FittedScaler;
-use trout_features::{assemble_row, Dataset, IncrementalSnapshot, SnapshotProbe};
+use trout_features::{assemble_row_into, Dataset, IncrementalSnapshot, SnapshotProbe};
 use trout_linalg::Matrix;
 use trout_slurmsim::{JobRecord, SimulationBuilder, Trace};
 use trout_workload::ClusterSpec;
@@ -59,6 +60,17 @@ pub struct ServeConfig {
     pub train_frac: f64,
     /// Seed for bootstrap training.
     pub seed: u64,
+    /// Serve predictions through the packed f32 inference path (weights
+    /// re-packed at every model publish). Opt-in: packed outputs are near-
+    /// but not bit-identical to the exact path (folded batch norm), and the
+    /// authoritative model/journal/snapshot state is unaffected either way.
+    pub infer_f32: bool,
+    /// Bench/ablation knob: answer every predict's snapshot read with the
+    /// O(n) [`IncrementalSnapshot::snapshot_scan`] walk instead of the O(1)
+    /// aggregate read — the pre-fast-path behavior. Never set in
+    /// production; `serve_bench`'s backlog sweep uses it to measure the
+    /// fast path's speedup against the scan at matched queue depths.
+    pub scan_featurize: bool,
 }
 
 impl Default for ServeConfig {
@@ -67,6 +79,8 @@ impl Default for ServeConfig {
             refit_every: 256,
             train_frac: 0.6,
             seed: 0,
+            infer_f32: false,
+            scan_featurize: false,
         }
     }
 }
@@ -211,6 +225,32 @@ impl DriftMonitor {
     }
 }
 
+/// Reusable buffers for [`ServeEngine::predict_batch`]: the flat feature
+/// staging area, the per-query slot map, the batch matrix, and the model
+/// output vector. Sized by the high-water batch, so once warmed a predict
+/// flush touches the allocator exactly zero times (guarded by the
+/// serve-path test in `tests/zero_alloc_serve.rs`).
+#[derive(Debug)]
+struct EnginePredictScratch {
+    flat: Vec<f32>,
+    row: Vec<f32>,
+    slots: Vec<Result<usize, TroutError>>,
+    preds: Vec<QueuePrediction>,
+    x: Matrix,
+}
+
+impl Default for EnginePredictScratch {
+    fn default() -> Self {
+        EnginePredictScratch {
+            flat: Vec::new(),
+            row: Vec::new(),
+            slots: Vec::new(),
+            preds: Vec::new(),
+            x: Matrix::zeros(0, 0),
+        }
+    }
+}
+
 /// The daemon's state machine. One engine per daemon; transports share it
 /// behind a mutex.
 pub struct ServeEngine {
@@ -236,6 +276,19 @@ pub struct ServeEngine {
     /// instead of allocating workspaces per flush. Architecture-tied, so it
     /// survives hot swaps (refits never change the layer shapes).
     scratch: PredictorScratch,
+    /// Whether predictions go through the packed f32 fast path.
+    infer_f32: bool,
+    /// Bench/ablation knob: force the O(n) scan on every snapshot read.
+    scan_featurize: bool,
+    /// The packed model, when `infer_f32` is on. **Derived state**: rebuilt
+    /// from the authoritative model at every publish point (bootstrap,
+    /// refit, restore), never serialized or journaled.
+    packed: Option<PackedHierarchical<f32>>,
+    /// Scratch for the packed path (weight-independent, survives swaps).
+    packed_scratch: PackedPredictScratch<f32>,
+    /// Batch-assembly buffers for the predict path; reused across flushes
+    /// so a steady-state predict performs zero heap allocations.
+    pscratch: EnginePredictScratch,
     /// Persistent training workspaces for warm-start refits.
     refit_scratch: RefitScratch,
     /// Counters and latency histograms (dumped by the `metrics` request).
@@ -265,6 +318,9 @@ impl ServeEngine {
         let model = pretrained.unwrap_or_else(|| TroutTrainer::new(base_cfg.clone()).fit(&ds));
         let scratch = model.scratch(64);
         let refit_scratch = RefitScratch::for_model(&model);
+        let packed = cfg
+            .infer_f32
+            .then(|| PackedHierarchical::from_model(&model));
         ServeEngine {
             cluster: trace.cluster.clone(),
             scaler: ds.scaler.clone(),
@@ -281,6 +337,11 @@ impl ServeEngine {
             completed_since_refit: 0,
             latest_time: i64::MIN,
             scratch,
+            infer_f32: cfg.infer_f32,
+            scan_featurize: cfg.scan_featurize,
+            packed,
+            packed_scratch: PackedPredictScratch::new(),
+            pscratch: EnginePredictScratch::default(),
             refit_scratch,
             metrics: ServeMetrics::default(),
             drift: DriftMonitor::default(),
@@ -304,6 +365,19 @@ impl ServeEngine {
     /// The currently published model (refits swap this pointer).
     pub fn model(&self) -> Arc<HierarchicalModel> {
         Arc::clone(&self.model)
+    }
+
+    /// Whether predictions go through the packed f32 fast path.
+    pub fn infer_f32(&self) -> bool {
+        self.infer_f32
+    }
+
+    /// Re-derives the packed model from the authoritative one. Called at
+    /// every publish point (refit, restore); a no-op unless `infer_f32`.
+    fn rebuild_packed(&mut self) {
+        if self.infer_f32 {
+            self.packed = Some(PackedHierarchical::from_model(&self.model));
+        }
     }
 
     /// The live snapshot index (for assertions and inspection).
@@ -376,9 +450,30 @@ impl ServeEngine {
         &mut self,
         queries: &[PredictQuery],
     ) -> Vec<Result<QueuePrediction, TroutError>> {
+        let mut results = Vec::with_capacity(queries.len());
+        self.predict_batch_into(queries, &mut results);
+        results
+    }
+
+    /// [`ServeEngine::predict_batch`] writing into a caller-owned results
+    /// vector (cleared first). All staging buffers live in the engine, so
+    /// once they have warmed to the high-water batch size a steady-state
+    /// flush (journal detached, cached rows warm) performs **zero** heap
+    /// allocations end to end: O(1) snapshot read, in-place row assembly
+    /// and scaling, workspace-backed (or packed) inference, and prediction
+    /// slots overwritten in place.
+    pub fn predict_batch_into(
+        &mut self,
+        queries: &[PredictQuery],
+        results: &mut Vec<Result<QueuePrediction, TroutError>>,
+    ) {
         let t_all = Instant::now();
-        let mut flat: Vec<f32> = Vec::with_capacity(queries.len() * N_FEATURES);
-        let mut slots: Vec<Result<usize, TroutError>> = Vec::with_capacity(queries.len());
+        // The scratch moves out for the duration of the call so featurize
+        // can borrow `self` mutably; moving a struct of Vecs allocates
+        // nothing.
+        let mut ps = std::mem::take(&mut self.pscratch);
+        ps.flat.clear();
+        ps.slots.clear();
         let mut n_ok = 0usize;
         for q in queries {
             // Predicts are journaled too: they cache feature rows and feed
@@ -386,35 +481,41 @@ impl ServeEngine {
             // included — the stored prediction carries it). A failed append
             // rejects just this query; the batch goes on.
             if let Err(e) = self.journal_event(|| predict_line(q.id, q.time, q.lane)) {
-                slots.push(Err(e));
+                ps.slots.push(Err(e));
                 continue;
             }
             let t_feat = Instant::now();
-            match self.featurize_pending(q.id, q.time) {
-                Ok(row) => {
+            match self.featurize_pending_into(q.id, q.time, &mut ps.row) {
+                Ok(()) => {
                     self.metrics
                         .featurize_us
                         .record(t_feat.elapsed().as_micros() as u64);
-                    flat.extend_from_slice(&row);
-                    slots.push(Ok(n_ok));
+                    ps.flat.extend_from_slice(&ps.row);
+                    ps.slots.push(Ok(n_ok));
                     n_ok += 1;
                 }
-                Err(e) => slots.push(Err(e)),
+                Err(e) => ps.slots.push(Err(e)),
             }
         }
-        let preds = if n_ok > 0 {
-            let x = Matrix::from_vec(n_ok, N_FEATURES, flat);
+        ps.preds.clear();
+        if n_ok > 0 {
+            ps.x.reshape_scratch(n_ok, N_FEATURES);
+            ps.x.as_mut_slice().copy_from_slice(&ps.flat);
             let t_inf = Instant::now();
-            let preds = self
-                .model
-                .predict_batch_in(BatchPredictionRequest::new(&x), &mut self.scratch);
+            match &self.packed {
+                Some(packed) => {
+                    packed.predict_batch_into(&ps.x, false, &mut self.packed_scratch, &mut ps.preds)
+                }
+                None => self.model.predict_batch_into(
+                    BatchPredictionRequest::new(&ps.x),
+                    &mut self.scratch,
+                    &mut ps.preds,
+                ),
+            }
             self.metrics
                 .inference_us
                 .record(t_inf.elapsed().as_micros() as u64);
-            preds
-        } else {
-            Vec::new()
-        };
+        }
         self.metrics.batches_total.inc();
         self.metrics.predicts_total.add(n_ok as u64);
         self.metrics.batch_size.record(queries.len() as u64);
@@ -427,27 +528,24 @@ impl ServeEngine {
         for _ in queries {
             self.metrics.predict_us.record(elapsed);
         }
-        let results: Vec<Result<QueuePrediction, TroutError>> = slots
-            .into_iter()
-            .zip(queries)
-            .map(|(s, q)| {
-                s.map(|i| {
-                    let mut p = preds[i];
-                    p.lane = q.lane;
-                    // Remember the answer for the drift join at `start`;
-                    // re-predicted jobs keep only the latest one. Same cap
-                    // policy as cached_rows against ids that never start.
-                    if self.drift.served.len() < CACHED_ROWS_MAX
-                        || self.drift.served.contains_key(&q.id)
-                    {
-                        self.drift.served.insert(q.id, p);
-                    }
-                    p
-                })
+        results.clear();
+        results.extend(ps.slots.drain(..).zip(queries).map(|(s, q)| {
+            s.map(|i| {
+                let mut p = ps.preds[i];
+                p.lane = q.lane;
+                // Remember the answer for the drift join at `start`;
+                // re-predicted jobs keep only the latest one. Same cap
+                // policy as cached_rows against ids that never start.
+                if self.drift.served.len() < CACHED_ROWS_MAX
+                    || self.drift.served.contains_key(&q.id)
+                {
+                    self.drift.served.insert(q.id, p);
+                }
+                p
             })
-            .collect();
+        }));
+        self.pscratch = ps;
         self.maybe_snapshot();
-        results
     }
 
     /// Convenience wrapper for a normal-lane batch of one.
@@ -771,6 +869,7 @@ impl ServeEngine {
         self.scratch = model.scratch(64);
         self.refit_scratch = RefitScratch::for_model(&model);
         self.model = Arc::new(model);
+        self.rebuild_packed();
 
         let counters = j
             .get("counters")
@@ -802,8 +901,18 @@ impl ServeEngine {
         Ok(())
     }
 
-    /// Assembles and scales the feature row a pending job observes at `time`.
-    fn featurize_pending(&mut self, id: u64, time: i64) -> Result<Vec<f32>, TroutError> {
+    /// Assembles and scales the feature row a pending job observes at
+    /// `time`, writing it into `row` (resized to `N_FEATURES`). On the
+    /// steady-state path — the job's raw row already cached — the call is
+    /// allocation-free: O(1) snapshot read, in-place assembly, in-place
+    /// scaling. The first predict of a job still clones the raw row into
+    /// the refit cache.
+    fn featurize_pending_into(
+        &mut self,
+        id: u64,
+        time: i64,
+        row: &mut Vec<f32>,
+    ) -> Result<(), TroutError> {
         let job = self
             .index
             .job(id)
@@ -815,21 +924,27 @@ impl ServeEngine {
         }
         let rec = job.rec.clone();
         let pred_runtime = job.pred_runtime_min;
-        let snap = self.index.snapshot(&SnapshotProbe {
+        let probe = SnapshotProbe {
             time,
             partition: rec.partition,
             user: rec.user,
             priority: rec.priority,
             exclude_id: Some(id),
-        });
+        };
+        let snap = if self.scan_featurize {
+            self.index.snapshot_scan(&probe)
+        } else {
+            self.index.snapshot(&probe)
+        };
         let part = &self.cluster.partitions[rec.partition as usize];
-        let raw = assemble_row(&rec, part, &snap, pred_runtime);
-        if self.cached_rows.len() < CACHED_ROWS_MAX || self.cached_rows.contains_key(&id) {
-            self.cached_rows.entry(id).or_insert_with(|| raw.clone());
+        row.clear();
+        row.resize(N_FEATURES, 0.0);
+        assemble_row_into(&rec, part, &snap, pred_runtime, row);
+        if !self.cached_rows.contains_key(&id) && self.cached_rows.len() < CACHED_ROWS_MAX {
+            self.cached_rows.insert(id, row.clone());
         }
-        let mut scaled = raw;
-        self.scaler.transform_row(&mut scaled);
-        Ok(scaled)
+        self.scaler.transform_row(row);
+        Ok(())
     }
 
     fn note_event(&mut self, time: i64) {
@@ -889,6 +1004,7 @@ impl ServeEngine {
             &mut self.refit_scratch,
         );
         self.model = Arc::new(next);
+        self.rebuild_packed();
         let refits = self.metrics.refits_total.inc();
         self.completed_since_refit = 0;
         trout_obs::log_debug!(
@@ -1063,6 +1179,71 @@ mod tests {
             "label must be captured before the eviction sweep"
         );
         assert!((engine.history_y[0] - 10.0).abs() < 1e-6, "600 s queued");
+    }
+
+    #[test]
+    fn packed_f32_predictions_track_the_exact_path() {
+        let cfg_exact = ServeConfig {
+            refit_every: 0,
+            seed: 7,
+            ..Default::default()
+        };
+        let cfg_packed = ServeConfig {
+            infer_f32: true,
+            ..cfg_exact.clone()
+        };
+        let mut exact = ServeEngine::bootstrap(400, &cfg_exact);
+        let mut packed = ServeEngine::bootstrap(400, &cfg_packed);
+        assert!(packed.infer_f32() && !exact.infer_f32());
+        let live = SimulationBuilder::anvil_like().jobs(60).seed(8).run();
+        let mut compared = 0usize;
+        for rec in live.records.iter().take(40) {
+            let (id, t) = (rec.id, rec.submit_time);
+            exact.apply_submit(rec.clone()).unwrap();
+            packed.apply_submit(rec.clone()).unwrap();
+            let pe = exact.predict_one(id, t).unwrap();
+            let pp = packed.predict_one(id, t).unwrap();
+            // The packed path reassociates (folded batch norm, f32 dot
+            // order), so probabilities agree to a tolerance rather than
+            // bit-for-bit; decisions may only flip inside that band of 0.5.
+            assert!(
+                (pe.quick_proba - pp.quick_proba).abs() < 1e-3,
+                "job {id}: proba {} vs packed {}",
+                pe.quick_proba,
+                pp.quick_proba
+            );
+            if matches!(pe.estimate, QueueEstimate::QuickStart)
+                != matches!(pp.estimate, QueueEstimate::QuickStart)
+            {
+                assert!(
+                    (pe.quick_proba - 0.5).abs() < 1e-3,
+                    "job {id}: decision flipped away from the 0.5 boundary"
+                );
+            }
+            if let (Some(me), Some(mp)) = (pe.minutes, pp.minutes) {
+                assert!(
+                    (me - mp).abs() <= 1e-2 * (1.0 + me.abs()),
+                    "job {id}: minutes {me} vs packed {mp}"
+                );
+            }
+            compared += 1;
+        }
+        assert_eq!(compared, 40);
+        // Packed is derived state only: both engines serialize identical
+        // authoritative state modulo the drift monitor's served answers
+        // (which legitimately differ in the low bits).
+        let je = exact.state_to_json();
+        let jp = packed.state_to_json();
+        assert_eq!(
+            je.get("model").map(|m| m.to_string()),
+            jp.get("model").map(|m| m.to_string()),
+            "packed mode must not alter the authoritative model"
+        );
+        assert_eq!(
+            je.get("index").map(|m| m.to_string()),
+            jp.get("index").map(|m| m.to_string()),
+            "packed mode must not alter the incremental index"
+        );
     }
 
     #[test]
