@@ -89,6 +89,38 @@ grep '"event":"metrics"' "$ovl_tmp/responses.ndjson" \
     | grep -q '"slo_violations":{"urgent":0'
 rm -rf "$ovl_tmp"
 
+# Tracing smoke: traced v2 predicts must echo 16-hex trace ids, the flight
+# recorder must return a per-stage breakdown, and both metrics dumps must
+# carry the SLO burn-rate telemetry (JSON section + Prometheus gauges).
+tr_tmp=$(mktemp -d)
+{
+    for k in $(seq 1 10); do
+        printf '{"event":"submit","job":{"id":%d,"user":1,"partition":0,"submit_time":1000,"req_cpus":4,"req_mem_gb":8,"req_nodes":1,"timelimit_min":30}}\n' "$k"
+    done
+    for k in $(seq 1 10); do
+        printf '{"v":2,"event":"predict","id":%d,"time":1060,"trace":true}\n' "$k"
+    done
+    printf '{"event":"trace","last":8}\n'
+    printf '{"event":"metrics"}\n'
+    printf '{"event":"metrics","format":"prometheus"}\n'
+    printf '{"event":"shutdown"}\n'
+} > "$tr_tmp/events.ndjson"
+./target/release/trout serve --bootstrap 300 --stdin \
+    < "$tr_tmp/events.ndjson" > "$tr_tmp/responses.ndjson"
+test "$(wc -l < "$tr_tmp/events.ndjson")" -eq "$(wc -l < "$tr_tmp/responses.ndjson")"
+test "$(grep -c '"trace_id":"[0-9a-f]\{16\}"' "$tr_tmp/responses.ndjson")" -ge 10
+trace_dump=$(grep '"event":"trace"' "$tr_tmp/responses.ndjson")
+echo "$trace_dump" | grep -q '"count":8'
+echo "$trace_dump" | grep -q '"parse_us":'
+echo "$trace_dump" | grep -q '"inference_us":'
+grep '"event":"metrics","metrics"' "$tr_tmp/responses.ndjson" \
+    | grep -q '"burn":{"anchor_sec":'
+grep '"format":"prometheus"' "$tr_tmp/responses.ndjson" \
+    | grep -q 'trout_serve_burn_rate_fast_urgent'
+grep '"format":"prometheus"' "$tr_tmp/responses.ndjson" \
+    | grep -q 'trout_serve_trace_total_us'
+rm -rf "$tr_tmp"
+
 # Crash-recovery smoke: serve a replay script with a write-ahead state dir,
 # SIGKILL the daemon halfway through, restart with --recover, feed the rest,
 # and require the combined responses to be byte-identical to an uninterrupted

@@ -6,6 +6,7 @@
 //! `span!` scope (two clock reads plus one record) against warmed handles —
 //! the same shapes the trainer, scheduler, and serve engine pay.
 
+use trout_obs::trace::{BurnWindow, TraceRecord, TraceSink, N_STAGES};
 use trout_std::bench::Criterion;
 
 /// Counter / histogram / gauge / span recording against warmed handles
@@ -45,6 +46,41 @@ pub fn bench_obs(c: &mut Criterion) {
         b.iter(|| {
             let _span = trout_obs::span!("bench.obs_scope");
             std::hint::black_box(())
+        })
+    });
+    // One completed trace: ring slot (seqlock write) + 8 histogram records.
+    // Budget: this is the whole per-request tracing bill, so it must stay
+    // within a small multiple of the bare histogram_record above.
+    group.bench_function("trace_record", |b| {
+        let sink = TraceSink::unregistered();
+        let mut r = TraceRecord {
+            trace_id: 0,
+            lane: 1,
+            end_us: 0,
+            total_us: 420,
+            stages: [60; N_STAGES],
+        };
+        sink.record(&r);
+        b.iter(|| {
+            r.trace_id = r.trace_id.wrapping_add(1);
+            r.end_us += 7;
+            sink.record(std::hint::black_box(&r));
+        })
+    });
+    // One SLO burn tick: bucket rotation check + lane counter increment.
+    group.bench_function("burn_bucket_record", |b| {
+        let burn = BurnWindow::new();
+        burn.record(0, false, 1_000);
+        let mut k = 0u64;
+        b.iter(|| {
+            k = k.wrapping_add(1);
+            // Advance the wall second every ~64 ticks so rotation cost is
+            // amortized into the measurement, like live traffic.
+            burn.record(
+                (k % 3) as usize,
+                k % 7 == 0,
+                std::hint::black_box(1_000 + k / 64),
+            );
         })
     });
     group.finish();

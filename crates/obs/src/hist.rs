@@ -170,6 +170,8 @@ impl LogHistogram {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use trout_std::proptest_lite::vec_of;
+    use trout_std::{prop_assert_eq, proptest_lite};
 
     #[test]
     fn quantiles_bound_the_data() {
@@ -289,5 +291,66 @@ mod tests {
         assert!(!cum.is_empty());
         assert!(cum.windows(2).all(|w| w[0].0 < w[1].0 && w[0].1 <= w[1].1));
         assert_eq!(cum.last().unwrap().1, h.count());
+    }
+
+    /// Records each shard's samples separately, merges, and checks against
+    /// one histogram over the concatenation.
+    fn merged_vs_concatenated(shards: &[Vec<u64>]) {
+        let mut merged = LogHistogram::default();
+        let mut concat = LogHistogram::default();
+        for samples in shards {
+            let mut h = LogHistogram::default();
+            for &v in samples {
+                h.record(v);
+                concat.record(v);
+            }
+            merged.merge(&h);
+        }
+        assert_eq!(merged.count(), concat.count());
+        assert_eq!(merged.sum(), concat.sum());
+        assert_eq!(merged.max(), concat.max());
+        // Identical bucket contents and max => identical quantiles, not
+        // merely within a bucket: merge is lossless at bucket granularity.
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(merged.quantile(q), concat.quantile(q), "q={q}");
+        }
+        assert_eq!(merged.to_json(), concat.to_json());
+    }
+
+    #[test]
+    fn merged_multi_shard_quantiles_match_concatenated_samples() {
+        // Three "shards" with skewed, overlapping latency mixes.
+        let a: Vec<u64> = (1..=400).collect();
+        let b: Vec<u64> = (1..=100).map(|v| v * 97).collect();
+        let c = vec![0, 0, 7, 1 << 20, u64::MAX, 3];
+        merged_vs_concatenated(&[a, b, c]);
+        // Degenerate splits: empty shards must be identity elements.
+        merged_vs_concatenated(&[vec![], vec![5, 5, 5], vec![]]);
+    }
+
+    proptest_lite! {
+        #[cases(128)]
+        fn merge_quantiles_equal_concatenation_for_random_fills(
+            a in vec_of(0u64..1_000_000, 0..80),
+            b in vec_of(0u64..1_000_000, 0..80),
+            c in vec_of(0u64..64, 0..40)
+        ) {
+            let shards = [a.clone(), b.clone(), c.clone()];
+            let mut merged = LogHistogram::default();
+            let mut concat = LogHistogram::default();
+            for samples in &shards {
+                let mut h = LogHistogram::default();
+                for &v in samples {
+                    h.record(v);
+                    concat.record(v);
+                }
+                merged.merge(&h);
+            }
+            prop_assert_eq!(merged.count(), concat.count());
+            prop_assert_eq!(merged.max(), concat.max());
+            for q in [0.0, 0.5, 0.99, 1.0] {
+                prop_assert_eq!(merged.quantile(q), concat.quantile(q), "q={}", q);
+            }
+        }
     }
 }

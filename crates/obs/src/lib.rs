@@ -16,6 +16,9 @@
 //!   macros).
 //! * [`LogHistogram`] — the plain power-of-two histogram (moved here from
 //!   `trout-serve`), mergeable across workers.
+//! * [`trace`] — request-scoped tracing: per-stage [`TraceRecord`]s into a
+//!   lock-free flight-recorder ring ([`TraceSink`]) and windowed SLO
+//!   burn-rate accounting ([`BurnWindow`]); see DESIGN §14.
 //! * Exposition — [`Registry::to_json`] for the serve protocol's `metrics`
 //!   request and [`Registry::to_prometheus`] for scrapers; both are also
 //!   reachable through the `trout metrics` CLI subcommand.
@@ -29,8 +32,10 @@ pub mod log;
 pub mod metrics;
 pub mod registry;
 pub mod span;
+pub mod trace;
 
 pub use hist::LogHistogram;
 pub use metrics::{Counter, Gauge, Histogram};
-pub use registry::{global, prom_name, Registry};
+pub use registry::{escape_help, escape_label_value, global, prom_name, Registry};
 pub use span::Span;
+pub use trace::{BurnSnapshot, BurnWindow, LaneWindow, Stage, TraceRecord, TraceRing, TraceSink};

@@ -28,6 +28,7 @@ struct Maps {
     counters: BTreeMap<String, Counter>,
     gauges: BTreeMap<String, Gauge>,
     histograms: BTreeMap<String, Histogram>,
+    helps: BTreeMap<String, String>,
 }
 
 /// A set of named counters, gauges and histograms.
@@ -69,6 +70,13 @@ impl Registry {
     pub fn histogram(&self, name: &str) -> Histogram {
         let mut m = self.maps.lock().expect("registry poisoned");
         m.histograms.entry(name.to_string()).or_default().clone()
+    }
+
+    /// Attaches a `# HELP` line to `name` in the Prometheus exposition.
+    /// The text is escaped per the exposition format at dump time.
+    pub fn set_help(&self, name: &str, help: &str) {
+        let mut m = self.maps.lock().expect("registry poisoned");
+        m.helps.insert(name.to_string(), help.to_string());
     }
 
     /// Every histogram as a `name -> summary` JSON object (sorted by name).
@@ -118,23 +126,40 @@ impl Registry {
     }
 
     /// Prometheus text exposition of every metric in the registry.
+    ///
+    /// Counters always expose with a `_total` suffix (appended when the
+    /// registered name lacks one), `# HELP` text registered via
+    /// [`Registry::set_help`] is emitted escaped per the exposition format,
+    /// and label values pass through [`escape_label_value`].
     pub fn to_prometheus(&self) -> String {
         use std::fmt::Write;
         let m = self.maps.lock().expect("registry poisoned");
         let mut out = String::new();
+        let help_line = |out: &mut String, name: &str, n: &str| {
+            if let Some(h) = m.helps.get(name) {
+                let _ = writeln!(out, "# HELP {n} {}", escape_help(h));
+            }
+        };
         for (name, c) in &m.counters {
-            let n = prom_name(name);
+            let mut n = prom_name(name);
+            if !n.ends_with("_total") {
+                n.push_str("_total");
+            }
+            help_line(&mut out, name, &n);
             let _ = writeln!(out, "# TYPE {n} counter\n{n} {}", c.get());
         }
         for (name, g) in &m.gauges {
             let n = prom_name(name);
+            help_line(&mut out, name, &n);
             let _ = writeln!(out, "# TYPE {n} gauge\n{n} {}", g.get());
         }
         for (name, h) in &m.histograms {
             let n = prom_name(name);
             let s = h.snapshot();
+            help_line(&mut out, name, &n);
             let _ = writeln!(out, "# TYPE {n} histogram");
             for (le, cum) in s.cumulative_buckets() {
+                let le = escape_label_value(&le.to_string());
                 let _ = writeln!(out, "{n}_bucket{{le=\"{le}\"}} {cum}");
             }
             let _ = writeln!(out, "{n}_bucket{{le=\"+Inf\"}} {}", s.count());
@@ -142,6 +167,35 @@ impl Registry {
         }
         out
     }
+}
+
+/// Escapes `# HELP` text per the Prometheus exposition format: backslash
+/// and newline (help text cannot contain a raw line break).
+pub fn escape_help(text: &str) -> String {
+    let mut s = String::with_capacity(text.len());
+    for ch in text.chars() {
+        match ch {
+            '\\' => s.push_str("\\\\"),
+            '\n' => s.push_str("\\n"),
+            _ => s.push(ch),
+        }
+    }
+    s
+}
+
+/// Escapes a label value per the Prometheus exposition format: backslash,
+/// newline, and double quote.
+pub fn escape_label_value(value: &str) -> String {
+    let mut s = String::with_capacity(value.len());
+    for ch in value.chars() {
+        match ch {
+            '\\' => s.push_str("\\\\"),
+            '\n' => s.push_str("\\n"),
+            '"' => s.push_str("\\\""),
+            _ => s.push(ch),
+        }
+    }
+    s
 }
 
 /// Sanitizes a dotted metric name into a Prometheus identifier:
@@ -231,6 +285,52 @@ mod tests {
             .map(|l| l.rsplit(' ').next().unwrap().parse().unwrap())
             .collect();
         assert!(counts.windows(2).all(|w| w[0] <= w[1]), "{counts:?}");
+    }
+
+    #[test]
+    fn hostile_names_and_help_text_expose_escaped() {
+        let r = Registry::new();
+        // A hostile dotted name: quotes, newline, unicode — the identifier
+        // must sanitize to [a-zA-Z0-9_] and still expose as a counter with
+        // the _total convention enforced.
+        let hostile = "serve.we\"ird\nname.π";
+        r.counter(hostile).add(3);
+        r.set_help(hostile, "line one\nline two \\ with \"quotes\"");
+        let text = r.to_prometheus();
+        let expect = "trout_serve_we_ird_name___total";
+        assert!(text.contains(&format!("# TYPE {expect} counter")), "{text}");
+        assert!(text.contains(&format!("{expect} 3")));
+        // HELP text: newline and backslash escaped, raw quote allowed.
+        assert!(
+            text.contains(&format!(
+                "# HELP {expect} line one\\nline two \\\\ with \"quotes\""
+            )),
+            "{text}"
+        );
+        // No raw newline may survive inside any exposition line.
+        assert!(!text.contains("line one\nline two"), "unescaped newline");
+    }
+
+    #[test]
+    fn counters_always_expose_with_total_suffix() {
+        let r = Registry::new();
+        r.counter("serve.predicts_total").inc();
+        r.counter("serve.hits").inc(); // registered without the suffix
+        let text = r.to_prometheus();
+        assert!(text.contains("trout_serve_predicts_total 1"));
+        assert!(!text.contains("trout_serve_predicts_total_total"));
+        assert!(text.contains("# TYPE trout_serve_hits_total counter"));
+        assert!(text.contains("trout_serve_hits_total 1"));
+    }
+
+    #[test]
+    fn escape_helpers_cover_the_exposition_specials() {
+        assert_eq!(escape_help(r"a\b"), r"a\\b");
+        assert_eq!(escape_help("a\nb"), "a\\nb");
+        assert_eq!(escape_help(r#"say "hi""#), r#"say "hi""#);
+        assert_eq!(escape_label_value(r"a\b"), r"a\\b");
+        assert_eq!(escape_label_value("a\nb"), "a\\nb");
+        assert_eq!(escape_label_value(r#"say "hi""#), r#"say \"hi\""#);
     }
 
     #[test]

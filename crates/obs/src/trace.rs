@@ -1,0 +1,660 @@
+//! Request-scoped tracing: stage taxonomy, flight-recorder ring, and the
+//! SLO burn-rate window (DESIGN §14).
+//!
+//! Three pieces, all lock-free and allocation-free on the record path so
+//! they are legal inside the serve engine's zero-allocation predict flush
+//! (proved by `crates/trout-serve/tests/zero_alloc_serve.rs`):
+//!
+//! * [`TraceRecord`] — one completed request's per-[`Stage`] durations plus
+//!   its 64-bit trace id. Plain `Copy` data; built on the caller's stack.
+//! * [`TraceSink`] — where completed records go: a [`TraceRing`] holding the
+//!   last [`RING_CAP`] records (the *flight recorder*, dumped on demand or
+//!   on poisoned/protocol/shed errors) plus one registry [`Histogram`] per
+//!   stage for aggregate latency attribution.
+//! * [`BurnWindow`] — a ring of 1-second buckets counting good/violating
+//!   requests per lane, from which fast (60 s) and slow (300 s) SLO
+//!   burn rates are computed at dump time.
+//!
+//! Determinism: nothing here feeds back into scheduling — trace ids come
+//! from the session's hermetic rng and every duration is observational, so
+//! enabling tracing cannot perturb a replay (DESIGN §14 determinism
+//! argument).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use trout_std::json::Json;
+
+use crate::metrics::Histogram;
+use crate::registry::Registry;
+
+/// Pipeline stages of one traced request, in wall-clock order.
+///
+/// The stages *tile* the request's lifetime: their sum equals the recorded
+/// end-to-end latency by construction (the serve router derives the
+/// inference stage as the shard-service remainder after featurize), so a
+/// flight-recorder dump always attributes the whole budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    /// Accept → enqueue: line read, JSON parse, admission check.
+    Parse,
+    /// Batch-form hold: waiting in the coalescing window for the flush.
+    Hold,
+    /// Admission wait: flush start → this request's shard lock acquired
+    /// (includes earlier shards' service within the same flush).
+    Admission,
+    /// Feature-row assembly inside the shard engine.
+    Featurize,
+    /// Model inference (shard-service remainder after featurize: kernel
+    /// time plus journal/bookkeeping overhead, which is sub-µs).
+    Inference,
+    /// Write backlog: shard done → this response's turn to serialize.
+    Backlog,
+    /// Response serialization and write to the session buffer.
+    Serialize,
+}
+
+/// Number of [`Stage`] variants.
+pub const N_STAGES: usize = 7;
+
+/// Every stage in pipeline order (the order of `TraceRecord::stages`).
+pub const STAGES: [Stage; N_STAGES] = [
+    Stage::Parse,
+    Stage::Hold,
+    Stage::Admission,
+    Stage::Featurize,
+    Stage::Inference,
+    Stage::Backlog,
+    Stage::Serialize,
+];
+
+impl Stage {
+    /// Position in `TraceRecord::stages`.
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// JSON key / histogram suffix for this stage.
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Parse => "parse_us",
+            Stage::Hold => "hold_us",
+            Stage::Admission => "admission_us",
+            Stage::Featurize => "featurize_us",
+            Stage::Inference => "inference_us",
+            Stage::Backlog => "backlog_us",
+            Stage::Serialize => "serialize_us",
+        }
+    }
+}
+
+/// One completed request's trace: id, lane, completion instant, end-to-end
+/// latency, and per-stage durations (µs, indexed by [`Stage::index`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// 64-bit id minted by the session rng, echoed in the response.
+    pub trace_id: u64,
+    /// Lane rank (0 = urgent, 1 = normal, 2 = batch).
+    pub lane: u8,
+    /// Completion instant on the session clock (µs) — orders records from
+    /// different shards of the same daemon.
+    pub end_us: u64,
+    /// End-to-end accept → serialized latency (µs).
+    pub total_us: u64,
+    /// Per-stage durations (µs), tiling `total_us`.
+    pub stages: [u64; N_STAGES],
+}
+
+impl TraceRecord {
+    /// The per-stage durations as a `{"parse_us":..,..}` JSON object.
+    pub fn stages_json(&self) -> Json {
+        Json::Obj(
+            STAGES
+                .iter()
+                .map(|s| {
+                    (
+                        s.name().to_string(),
+                        Json::Int(self.stages[s.index()] as i128),
+                    )
+                })
+                .collect(),
+        )
+    }
+}
+
+/// Capacity of the flight-recorder ring: the last 1024 completed traces
+/// per shard (ISSUE 9; ~88 KiB of atomics per shard).
+pub const RING_CAP: usize = 1024;
+
+/// One ring slot: a per-slot sequence lock over plain atomic words.
+///
+/// The writer makes the sequence odd, stores the fields, then makes it even
+/// again; a reader that observes an odd or changed sequence discards the
+/// slot. With relaxed field stores a torn read is *detected*, not
+/// prevented — acceptable for a diagnostic ring (and writers are already
+/// serialized per shard in practice).
+#[derive(Debug, Default)]
+struct Slot {
+    seq: AtomicU64,
+    trace_id: AtomicU64,
+    lane: AtomicU64,
+    end_us: AtomicU64,
+    total_us: AtomicU64,
+    stages: [AtomicU64; N_STAGES],
+}
+
+/// Fixed-size lock-free ring of the most recent [`TraceRecord`]s.
+#[derive(Debug)]
+pub struct TraceRing {
+    widx: AtomicU64,
+    slots: Vec<Slot>,
+}
+
+impl Default for TraceRing {
+    fn default() -> Self {
+        TraceRing::new()
+    }
+}
+
+impl TraceRing {
+    /// An empty ring of [`RING_CAP`] slots (the only allocation this module
+    /// ever performs — at construction, never on record).
+    pub fn new() -> TraceRing {
+        TraceRing {
+            widx: AtomicU64::new(0),
+            slots: (0..RING_CAP).map(|_| Slot::default()).collect(),
+        }
+    }
+
+    /// Number of records ever pushed (not clamped to capacity).
+    pub fn pushed(&self) -> u64 {
+        self.widx.load(Ordering::Acquire)
+    }
+
+    /// Records one trace: a slot claim and `N_STAGES + 6` relaxed atomic
+    /// stores. Lock-free, allocation-free.
+    #[inline]
+    pub fn record(&self, r: &TraceRecord) {
+        let w = self.widx.fetch_add(1, Ordering::AcqRel) as usize;
+        let slot = &self.slots[w % RING_CAP];
+        let seq = slot.seq.load(Ordering::Relaxed);
+        slot.seq.store(seq.wrapping_add(1), Ordering::Release);
+        slot.trace_id.store(r.trace_id, Ordering::Relaxed);
+        slot.lane.store(r.lane as u64, Ordering::Relaxed);
+        slot.end_us.store(r.end_us, Ordering::Relaxed);
+        slot.total_us.store(r.total_us, Ordering::Relaxed);
+        for (a, v) in slot.stages.iter().zip(&r.stages) {
+            a.store(*v, Ordering::Relaxed);
+        }
+        slot.seq.store(seq.wrapping_add(2), Ordering::Release);
+    }
+
+    /// Appends up to `n` most recent records to `out`, newest first,
+    /// skipping slots caught mid-write. Dump path only; may allocate into
+    /// `out`.
+    pub fn recent(&self, n: usize, out: &mut Vec<TraceRecord>) {
+        let w = self.widx.load(Ordering::Acquire) as usize;
+        let avail = w.min(RING_CAP).min(n);
+        for k in 0..avail {
+            let slot = &self.slots[(w - 1 - k) % RING_CAP];
+            let s1 = slot.seq.load(Ordering::Acquire);
+            if s1 & 1 == 1 {
+                continue;
+            }
+            let mut rec = TraceRecord {
+                trace_id: slot.trace_id.load(Ordering::Relaxed),
+                lane: slot.lane.load(Ordering::Relaxed) as u8,
+                end_us: slot.end_us.load(Ordering::Relaxed),
+                total_us: slot.total_us.load(Ordering::Relaxed),
+                stages: [0; N_STAGES],
+            };
+            for (v, a) in rec.stages.iter_mut().zip(&slot.stages) {
+                *v = a.load(Ordering::Relaxed);
+            }
+            if slot.seq.load(Ordering::Acquire) == s1 {
+                out.push(rec);
+            }
+        }
+    }
+}
+
+#[derive(Debug)]
+struct SinkInner {
+    ring: TraceRing,
+    stages: [Histogram; N_STAGES],
+    total: Histogram,
+}
+
+/// Where completed traces go: the flight-recorder ring plus one registry
+/// histogram per stage (`<prefix>.<stage>_us`) and an end-to-end histogram
+/// (`<prefix>.total_us`). Clones share state.
+#[derive(Debug, Clone)]
+pub struct TraceSink(Arc<SinkInner>);
+
+impl TraceSink {
+    /// A sink whose stage histograms register into `registry` under
+    /// `<prefix>.<stage name>` (e.g. `serve.trace.parse_us`).
+    pub fn new(registry: &Registry, prefix: &str) -> TraceSink {
+        let stages = STAGES.map(|s| registry.histogram(&format!("{prefix}.{}", s.name())));
+        let total = registry.histogram(&format!("{prefix}.total_us"));
+        TraceSink(Arc::new(SinkInner {
+            ring: TraceRing::new(),
+            stages,
+            total,
+        }))
+    }
+
+    /// An unregistered sink (tests, benches).
+    pub fn unregistered() -> TraceSink {
+        TraceSink(Arc::new(SinkInner {
+            ring: TraceRing::new(),
+            stages: std::array::from_fn(|_| Histogram::new()),
+            total: Histogram::new(),
+        }))
+    }
+
+    /// Records one completed trace: a ring push plus `N_STAGES + 1`
+    /// histogram records. Lock-free, allocation-free.
+    #[inline]
+    pub fn record(&self, r: &TraceRecord) {
+        let inner = &*self.0;
+        inner.ring.record(r);
+        for (h, v) in inner.stages.iter().zip(&r.stages) {
+            h.record(*v);
+        }
+        inner.total.record(r.total_us);
+    }
+
+    /// Appends up to `n` most recent traces to `out`, newest first.
+    pub fn recent(&self, n: usize, out: &mut Vec<TraceRecord>) {
+        self.0.ring.recent(n, out);
+    }
+
+    /// Number of traces ever recorded.
+    pub fn recorded(&self) -> u64 {
+        self.0.ring.pushed()
+    }
+
+    /// The aggregate histogram for one stage.
+    pub fn stage_histogram(&self, s: Stage) -> &Histogram {
+        &self.0.stages[s.index()]
+    }
+
+    /// The aggregate end-to-end latency histogram.
+    pub fn total_histogram(&self) -> &Histogram {
+        &self.0.total
+    }
+}
+
+/// Number of lanes the burn window tracks (urgent/normal/batch ranks).
+pub const N_LANES: usize = 3;
+
+/// Ring size in seconds: covers the slow window with wrap slack.
+pub const BURN_BUCKETS: usize = 512;
+
+/// Fast burn window (page-worthy spikes): 60 seconds.
+pub const FAST_WINDOW_SECS: u64 = 60;
+
+/// Slow burn window (sustained burn): 300 seconds.
+pub const SLOW_WINDOW_SECS: u64 = 300;
+
+/// SLO error budget: 1% of requests may violate their deadline budget.
+/// A burn rate of 1.0 means the budget is being consumed exactly as fast
+/// as it accrues; > 1 means the SLO will eventually be broken.
+pub const ERROR_BUDGET: f64 = 0.01;
+
+/// One 1-second bucket: the second it covers plus per-lane good/violating
+/// counts (lane-major: `[good, violating]` pairs).
+#[derive(Debug, Default)]
+struct BurnBucket {
+    sec: AtomicU64,
+    counts: [AtomicU64; N_LANES * 2],
+}
+
+#[derive(Debug)]
+struct BurnInner {
+    buckets: Vec<BurnBucket>,
+    last_sec: AtomicU64,
+}
+
+/// Windowed per-lane SLO accounting: a ring of [`BURN_BUCKETS`] 1-second
+/// buckets keyed by the second they cover. Clones share state.
+///
+/// Recording is lock-free: a bucket whose second is stale is claimed by
+/// CAS and zeroed by the winner; counts recorded by a loser in the claim
+/// race (bounded to one per writer thread per second boundary) can be
+/// lost, which a diagnostic rate tolerates.
+#[derive(Debug, Clone)]
+pub struct BurnWindow(Arc<BurnInner>);
+
+impl Default for BurnWindow {
+    fn default() -> Self {
+        BurnWindow::new()
+    }
+}
+
+impl BurnWindow {
+    /// An empty window (allocates its buckets once; recording never
+    /// allocates).
+    pub fn new() -> BurnWindow {
+        BurnWindow(Arc::new(BurnInner {
+            buckets: (0..BURN_BUCKETS).map(|_| BurnBucket::default()).collect(),
+            last_sec: AtomicU64::new(0),
+        }))
+    }
+
+    /// Counts one request outcome for `lane` (rank, `< N_LANES`) in the
+    /// bucket covering `now_sec`. Lock-free, allocation-free.
+    #[inline]
+    pub fn record(&self, lane: usize, violating: bool, now_sec: u64) {
+        let inner = &*self.0;
+        inner.last_sec.fetch_max(now_sec, Ordering::Relaxed);
+        let b = &inner.buckets[(now_sec as usize) % BURN_BUCKETS];
+        let cur = b.sec.load(Ordering::Acquire);
+        if cur != now_sec {
+            match b
+                .sec
+                .compare_exchange(cur, now_sec, Ordering::AcqRel, Ordering::Acquire)
+            {
+                Ok(_) => {
+                    for c in &b.counts {
+                        c.store(0, Ordering::Relaxed);
+                    }
+                }
+                // Another writer re-labeled the bucket; only count into it
+                // if they labeled it with our second (else drop: the clock
+                // wrapped a full ring, which cannot happen within a run).
+                Err(actual) => {
+                    if actual != now_sec {
+                        return;
+                    }
+                }
+            }
+        }
+        b.counts[lane * 2 + usize::from(violating)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The most recent second ever recorded (the snapshot anchor).
+    pub fn last_sec(&self) -> u64 {
+        self.0.last_sec.load(Ordering::Relaxed)
+    }
+
+    /// Window counts anchored at the last recorded second.
+    pub fn snapshot(&self) -> BurnSnapshot {
+        self.snapshot_at(self.last_sec())
+    }
+
+    /// Window counts for the fast/slow windows ending at `now_sec`
+    /// (inclusive). Allocation-free.
+    pub fn snapshot_at(&self, now_sec: u64) -> BurnSnapshot {
+        let lo_slow = now_sec.saturating_sub(SLOW_WINDOW_SECS - 1);
+        let lo_fast = now_sec.saturating_sub(FAST_WINDOW_SECS - 1);
+        let mut snap = BurnSnapshot {
+            anchor_sec: now_sec,
+            ..BurnSnapshot::default()
+        };
+        for b in &self.0.buckets {
+            let sec = b.sec.load(Ordering::Acquire);
+            if sec > now_sec || sec < lo_slow {
+                continue;
+            }
+            for lane in 0..N_LANES {
+                let good = b.counts[lane * 2].load(Ordering::Relaxed);
+                let bad = b.counts[lane * 2 + 1].load(Ordering::Relaxed);
+                snap.slow[lane].good += good;
+                snap.slow[lane].violating += bad;
+                if sec >= lo_fast {
+                    snap.fast[lane].good += good;
+                    snap.fast[lane].violating += bad;
+                }
+            }
+        }
+        snap
+    }
+}
+
+/// Good/violating request counts for one lane over one window.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LaneWindow {
+    /// Requests answered within their lane budget.
+    pub good: u64,
+    /// Requests that violated their lane budget.
+    pub violating: u64,
+}
+
+impl LaneWindow {
+    /// Total requests in the window.
+    pub fn total(&self) -> u64 {
+        self.good + self.violating
+    }
+
+    /// Burn rate: violating fraction over the [`ERROR_BUDGET`]; 0 with no
+    /// traffic. 1.0 = consuming budget exactly as fast as it accrues.
+    pub fn burn_rate(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        (self.violating as f64 / total as f64) / ERROR_BUDGET
+    }
+
+    /// Accumulates another shard's window.
+    pub fn merge(&mut self, other: &LaneWindow) {
+        self.good += other.good;
+        self.violating += other.violating;
+    }
+}
+
+/// Per-lane fast/slow window counts at one instant, mergeable across
+/// shards.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BurnSnapshot {
+    /// The second the windows end at (max across merged shards).
+    pub anchor_sec: u64,
+    /// Last [`FAST_WINDOW_SECS`] seconds, by lane rank.
+    pub fast: [LaneWindow; N_LANES],
+    /// Last [`SLOW_WINDOW_SECS`] seconds, by lane rank.
+    pub slow: [LaneWindow; N_LANES],
+}
+
+impl BurnSnapshot {
+    /// Accumulates another shard's snapshot.
+    pub fn merge(&mut self, other: &BurnSnapshot) {
+        self.anchor_sec = self.anchor_sec.max(other.anchor_sec);
+        for lane in 0..N_LANES {
+            self.fast[lane].merge(&other.fast[lane]);
+            self.slow[lane].merge(&other.slow[lane]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(id: u64, total: u64) -> TraceRecord {
+        let mut stages = [0u64; N_STAGES];
+        stages[Stage::Parse.index()] = total / 2;
+        stages[Stage::Inference.index()] = total - total / 2;
+        TraceRecord {
+            trace_id: id,
+            lane: 1,
+            end_us: id * 10,
+            total_us: total,
+            stages,
+        }
+    }
+
+    #[test]
+    fn stage_order_and_names_are_stable() {
+        assert_eq!(STAGES.len(), N_STAGES);
+        for (i, s) in STAGES.iter().enumerate() {
+            assert_eq!(s.index(), i, "{s:?}");
+        }
+        assert_eq!(Stage::Parse.name(), "parse_us");
+        assert_eq!(Stage::Serialize.name(), "serialize_us");
+    }
+
+    #[test]
+    fn ring_returns_newest_first() {
+        let ring = TraceRing::new();
+        for id in 1..=5u64 {
+            ring.record(&rec(id, 100));
+        }
+        let mut out = Vec::new();
+        ring.recent(3, &mut out);
+        let ids: Vec<u64> = out.iter().map(|r| r.trace_id).collect();
+        assert_eq!(ids, vec![5, 4, 3]);
+        assert_eq!(ring.pushed(), 5);
+    }
+
+    #[test]
+    fn ring_wraps_at_capacity() {
+        let ring = TraceRing::new();
+        let n = RING_CAP as u64 + 17;
+        for id in 1..=n {
+            ring.record(&rec(id, 10));
+        }
+        let mut out = Vec::new();
+        ring.recent(RING_CAP + 100, &mut out);
+        assert_eq!(out.len(), RING_CAP, "never more than capacity");
+        assert_eq!(out[0].trace_id, n, "newest survives");
+        assert_eq!(out[RING_CAP - 1].trace_id, n - RING_CAP as u64 + 1);
+    }
+
+    #[test]
+    fn sink_records_ring_and_stage_histograms() {
+        let r = Registry::new();
+        let sink = TraceSink::new(&r, "serve.trace");
+        let record = rec(42, 100);
+        sink.record(&record);
+        assert_eq!(sink.recorded(), 1);
+        assert_eq!(sink.stage_histogram(Stage::Parse).count(), 1);
+        assert_eq!(sink.stage_histogram(Stage::Parse).sum(), 50);
+        assert_eq!(sink.total_histogram().sum(), 100);
+        assert_eq!(r.histogram("serve.trace.parse_us").count(), 1);
+        assert_eq!(r.histogram("serve.trace.total_us").count(), 1);
+        let mut out = Vec::new();
+        sink.recent(8, &mut out);
+        assert_eq!(out, vec![record]);
+        let j = record.stages_json();
+        assert_eq!(j.get("parse_us"), Some(&Json::Int(50)));
+        assert_eq!(j.get("hold_us"), Some(&Json::Int(0)));
+    }
+
+    #[test]
+    fn ring_is_readable_under_concurrent_writers() {
+        let ring = std::sync::Arc::new(TraceRing::new());
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let ring = ring.clone();
+            handles.push(std::thread::spawn(move || {
+                for k in 0..2_000u64 {
+                    ring.record(&rec(t * 1_000_000 + k, 64));
+                }
+            }));
+        }
+        for _ in 0..50 {
+            let mut out = Vec::new();
+            ring.recent(64, &mut out);
+            for r in &out {
+                // A clean read is internally consistent.
+                assert_eq!(r.stages.iter().sum::<u64>(), r.total_us);
+            }
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(ring.pushed(), 8_000);
+    }
+
+    #[test]
+    fn burn_window_counts_fast_and_slow_windows() {
+        let w = BurnWindow::new();
+        // 10 good + 2 violating urgent in the current second; older normal
+        // traffic only inside the slow window.
+        let now = 1_000u64;
+        for _ in 0..10 {
+            w.record(0, false, now);
+        }
+        w.record(0, true, now);
+        w.record(0, true, now);
+        w.record(1, false, now - FAST_WINDOW_SECS); // outside fast, inside slow
+        let s = w.snapshot();
+        assert_eq!(s.anchor_sec, now);
+        assert_eq!(
+            s.fast[0],
+            LaneWindow {
+                good: 10,
+                violating: 2
+            }
+        );
+        assert_eq!(s.fast[1], LaneWindow::default());
+        assert_eq!(
+            s.slow[1],
+            LaneWindow {
+                good: 1,
+                violating: 0
+            }
+        );
+        // Burn: 2/12 violating over a 1% budget.
+        let burn = s.fast[0].burn_rate();
+        assert!((burn - (2.0 / 12.0) / ERROR_BUDGET).abs() < 1e-12, "{burn}");
+        assert_eq!(s.slow[2].burn_rate(), 0.0, "no traffic, no burn");
+    }
+
+    #[test]
+    fn burn_buckets_expire_outside_the_slow_window() {
+        let w = BurnWindow::new();
+        w.record(1, true, 100);
+        let s = w.snapshot_at(100 + SLOW_WINDOW_SECS); // one past the window
+        assert_eq!(s.slow[1], LaneWindow::default());
+        let s = w.snapshot_at(100 + SLOW_WINDOW_SECS - 1); // last covered sec
+        assert_eq!(
+            s.slow[1],
+            LaneWindow {
+                good: 0,
+                violating: 1
+            }
+        );
+    }
+
+    #[test]
+    fn burn_bucket_reuse_resets_stale_counts() {
+        let w = BurnWindow::new();
+        w.record(0, false, 7);
+        // Same ring slot, BURN_BUCKETS seconds later: the old count must
+        // not leak into the new second.
+        let later = 7 + BURN_BUCKETS as u64;
+        w.record(0, true, later);
+        let s = w.snapshot_at(later);
+        assert_eq!(
+            s.fast[0],
+            LaneWindow {
+                good: 0,
+                violating: 1
+            }
+        );
+    }
+
+    #[test]
+    fn burn_snapshots_merge_across_shards() {
+        let a = BurnWindow::new();
+        let b = BurnWindow::new();
+        a.record(0, false, 50);
+        a.record(0, true, 50);
+        b.record(0, false, 51);
+        let anchor = a.last_sec().max(b.last_sec());
+        let mut merged = a.snapshot_at(anchor);
+        merged.merge(&b.snapshot_at(anchor));
+        assert_eq!(merged.anchor_sec, 51);
+        assert_eq!(
+            merged.fast[0],
+            LaneWindow {
+                good: 2,
+                violating: 1
+            }
+        );
+    }
+}

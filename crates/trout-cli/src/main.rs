@@ -52,6 +52,7 @@ fn run(argv: &[String]) -> Result<(), TroutError> {
         "serve" => serve_cmd::serve(&opts),
         "events" => serve_cmd::events(&opts),
         "metrics" => serve_cmd::metrics(&opts),
+        "trace" => serve_cmd::trace(&opts),
         "help" | "--help" | "-h" => {
             print_usage();
             Ok(())
@@ -98,6 +99,10 @@ SUBCOMMANDS:
               --trace FILE [--out FILE] [--predict-every N]
   metrics     dump a running daemon's metrics registry
               --connect HOST:PORT [--format json|prometheus]
+              [--watch SECS [--polls N]]   live per-lane delta table
+  trace       pull a running daemon's flight recorder (traced requests
+              with per-stage latency breakdown)
+              --connect HOST:PORT [--last N] [--json]
 
 Set TROUT_LOG=debug|info|warn|error|off to filter the structured JSONL
 event log on stderr (default info)."

@@ -240,6 +240,9 @@ pub fn events(opts: &Options) -> Result<()> {
 /// a scrape file.
 pub fn metrics(opts: &Options) -> Result<()> {
     let addr = opts.require("connect")?;
+    if opts.has("watch") {
+        return watch_metrics(opts, addr);
+    }
     let format = opts.get("format").unwrap_or("json");
     let request = match format {
         "json" => "{\"event\":\"metrics\"}\n",
@@ -250,20 +253,7 @@ pub fn metrics(opts: &Options) -> Result<()> {
             )))
         }
     };
-    let mut conn = std::net::TcpStream::connect(addr)
-        .map_err(|e| TroutError::Config(format!("cannot connect to {addr}: {e}")))?;
-    conn.write_all(request.as_bytes())?;
-    conn.flush()?;
-    let mut line = String::new();
-    BufReader::new(&conn).read_line(&mut line)?;
-    let response = Json::parse(line.trim())
-        .map_err(|e| TroutError::Protocol(format!("bad metrics response: {e}")))?;
-    if response.get("ok") != Some(&Json::Bool(true)) {
-        return Err(TroutError::Protocol(format!(
-            "daemon rejected the metrics request: {}",
-            line.trim()
-        )));
-    }
+    let response = request_one(addr, request)?;
     match response.get("body") {
         // Prometheus: the exposition text rides in the body string.
         Some(Json::Str(body)) => print!("{body}"),
@@ -279,10 +269,272 @@ pub fn metrics(opts: &Options) -> Result<()> {
     Ok(())
 }
 
+/// Sends one request line to a daemon at `addr` over a fresh connection and
+/// returns the parsed (and `ok`-checked) one-line response.
+fn request_one(addr: &str, request: &str) -> Result<Json> {
+    let mut conn = std::net::TcpStream::connect(addr)
+        .map_err(|e| TroutError::Config(format!("cannot connect to {addr}: {e}")))?;
+    conn.write_all(request.as_bytes())?;
+    conn.flush()?;
+    let mut line = String::new();
+    BufReader::new(&conn).read_line(&mut line)?;
+    let response =
+        Json::parse(line.trim()).map_err(|e| TroutError::Protocol(format!("bad response: {e}")))?;
+    if response.get("ok") != Some(&Json::Bool(true)) {
+        return Err(TroutError::Protocol(format!(
+            "daemon rejected the request: {}",
+            line.trim()
+        )));
+    }
+    Ok(response)
+}
+
+/// One poll's worth of per-lane scheduler counters, pulled out of the
+/// metrics JSON (`admission` + `burn` sections).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LanePoll {
+    pub predicts: [u64; 3],
+    pub shed: [u64; 3],
+    pub violations: [u64; 3],
+    pub burn_fast: [f64; 3],
+}
+
+const LANE_NAMES: [&str; 3] = ["urgent", "normal", "batch"];
+
+/// Extracts the per-lane counters one watch poll displays.
+fn lane_poll(m: &Json) -> LanePoll {
+    let int_of = |j: Option<&Json>| match j {
+        Some(Json::Int(v)) => *v as u64,
+        _ => 0,
+    };
+    let num_of = |j: Option<&Json>| match j {
+        Some(Json::Num(v)) => *v,
+        Some(Json::Int(v)) => *v as f64,
+        _ => 0.0,
+    };
+    let mut p = LanePoll::default();
+    let adm = m.get("admission");
+    let burn = m.get("burn");
+    for (i, lane) in LANE_NAMES.iter().enumerate() {
+        let section = |name: &str| adm.and_then(|a| a.get(name)).and_then(|s| s.get(lane));
+        p.predicts[i] = int_of(section("lane_predicts"));
+        p.shed[i] = int_of(section("shed"));
+        p.violations[i] = int_of(section("slo_violations"));
+        p.burn_fast[i] = num_of(
+            burn.and_then(|b| b.get("fast"))
+                .and_then(|f| f.get(lane))
+                .and_then(|l| l.get("burn_rate")),
+        );
+    }
+    p
+}
+
+/// Renders one watch frame: a per-lane table of cumulative counts plus the
+/// deltas since the previous poll (`-` on the first frame).
+fn render_watch(cur: &LanePoll, prev: Option<&LanePoll>) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<8} {:>10} {:>8} {:>10} {:>8} {:>11} {:>9} {:>10}\n",
+        "lane", "predicts", "Δpred", "shed", "Δshed", "violations", "Δviol", "burn(1m)"
+    ));
+    let delta = |cur: u64, prev: Option<u64>| match prev {
+        Some(p) => format!("{:+}", cur as i128 - p as i128),
+        None => "-".to_string(),
+    };
+    for (i, lane) in LANE_NAMES.iter().enumerate() {
+        out.push_str(&format!(
+            "{:<8} {:>10} {:>8} {:>10} {:>8} {:>11} {:>9} {:>10.2}\n",
+            lane,
+            cur.predicts[i],
+            delta(cur.predicts[i], prev.map(|p| p.predicts[i])),
+            cur.shed[i],
+            delta(cur.shed[i], prev.map(|p| p.shed[i])),
+            cur.violations[i],
+            delta(cur.violations[i], prev.map(|p| p.violations[i])),
+            cur.burn_fast[i],
+        ));
+    }
+    out
+}
+
+/// `trout metrics --connect HOST:PORT --watch SECS [--polls N]`
+///
+/// Re-polls the daemon every `SECS` seconds, clearing the screen and
+/// printing a per-lane table of predicts / sheds / SLO violations with the
+/// deltas between polls plus the fast-window burn rate. `--polls N` stops
+/// after N frames (0 = until interrupted).
+fn watch_metrics(opts: &Options, addr: &str) -> Result<()> {
+    let secs: u64 = opts.get_or("watch", 2)?;
+    let polls: u64 = opts.get_or("polls", 0)?;
+    let mut prev: Option<LanePoll> = None;
+    let mut n = 0u64;
+    loop {
+        let response = request_one(addr, "{\"event\":\"metrics\"}\n")?;
+        let m = response.get("metrics").ok_or_else(|| {
+            TroutError::Protocol("metrics response is missing the `metrics` body".into())
+        })?;
+        let cur = lane_poll(m);
+        // ANSI clear-screen + home, then the frame.
+        print!("\x1b[2J\x1b[H");
+        print!(
+            "trout metrics --watch {secs}s @ {addr} (poll {})\n\n{}",
+            n + 1,
+            render_watch(&cur, prev.as_ref())
+        );
+        std::io::stdout().flush()?;
+        prev = Some(cur);
+        n += 1;
+        if polls != 0 && n >= polls {
+            return Ok(());
+        }
+        std::thread::sleep(std::time::Duration::from_secs(secs.max(1)));
+    }
+}
+
+/// `trout trace --connect HOST:PORT [--last N] [--json]`
+///
+/// Pulls the daemon's flight recorder: the last N completed traced requests
+/// (newest first, merged across shards) with their per-stage latency
+/// breakdown. `--json` prints the raw response line instead of the table.
+pub fn trace(opts: &Options) -> Result<()> {
+    let addr = opts.require("connect")?;
+    let last: u64 = opts.get_or("last", 16)?;
+    let request = format!("{{\"event\":\"trace\",\"last\":{last}}}\n");
+    let response = request_one(addr, &request)?;
+    if opts.has("json") {
+        println!("{}", response.to_string());
+        return Ok(());
+    }
+    print!("{}", render_traces(&response));
+    Ok(())
+}
+
+/// Renders a `trace` response as a table: one row per trace, newest first,
+/// with the total and every pipeline stage in microseconds.
+fn render_traces(response: &Json) -> String {
+    let empty = Vec::new();
+    let traces = match response.get("traces") {
+        Some(Json::Arr(v)) => v,
+        _ => &empty,
+    };
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<18} {:<8} {:>9} {:>8} {:>8} {:>9} {:>9} {:>9} {:>8} {:>9}\n",
+        "trace_id",
+        "lane",
+        "total_us",
+        "parse",
+        "hold",
+        "admission",
+        "featurize",
+        "inference",
+        "backlog",
+        "serialize"
+    ));
+    let int_of = |j: Option<&Json>| match j {
+        Some(Json::Int(v)) => *v,
+        _ => 0,
+    };
+    for t in traces {
+        let stage = |name: &str| int_of(t.get("stages").and_then(|s| s.get(name)));
+        let lane = match t.get("lane") {
+            Some(Json::Str(s)) => s.clone(),
+            _ => "?".into(),
+        };
+        let id = match t.get("trace_id") {
+            Some(Json::Str(s)) => s.clone(),
+            _ => "?".into(),
+        };
+        out.push_str(&format!(
+            "{:<18} {:<8} {:>9} {:>8} {:>8} {:>9} {:>9} {:>9} {:>8} {:>9}\n",
+            id,
+            lane,
+            int_of(t.get("total_us")),
+            stage("parse_us"),
+            stage("hold_us"),
+            stage("admission_us"),
+            stage("featurize_us"),
+            stage("inference_us"),
+            stage("backlog_us"),
+            stage("serialize_us"),
+        ));
+    }
+    if traces.is_empty() {
+        out.push_str("(no completed traced requests yet — send predicts with \"trace\":true)\n");
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use trout_slurmsim::SimulationBuilder;
+
+    #[test]
+    fn watch_frame_shows_deltas_between_polls() {
+        let prev = LanePoll {
+            predicts: [10, 100, 5],
+            shed: [0, 2, 1],
+            violations: [0, 1, 0],
+            burn_fast: [0.0, 0.5, 0.0],
+        };
+        let cur = LanePoll {
+            predicts: [15, 130, 5],
+            shed: [0, 6, 1],
+            violations: [0, 3, 0],
+            burn_fast: [0.0, 1.25, 0.0],
+        };
+        let first = render_watch(&cur, None);
+        assert!(first.contains("urgent"), "{first}");
+        assert!(
+            first.lines().nth(1).unwrap().contains(" - "),
+            "first frame has no deltas:\n{first}"
+        );
+        let frame = render_watch(&cur, Some(&prev));
+        let normal = frame.lines().nth(2).unwrap();
+        assert!(normal.contains("+30"), "predict delta:\n{frame}");
+        assert!(normal.contains("+4"), "shed delta:\n{frame}");
+        assert!(normal.contains("+2"), "violation delta:\n{frame}");
+        assert!(normal.contains("1.25"), "burn rate:\n{frame}");
+    }
+
+    #[test]
+    fn lane_poll_reads_admission_and_burn_sections() {
+        let m = Json::parse(
+            r#"{"admission":{"lane_predicts":{"urgent":3,"normal":7,"batch":0},
+                "shed":{"urgent":0,"normal":1,"batch":2},
+                "slo_violations":{"urgent":0,"normal":0,"batch":1}},
+                "burn":{"fast":{"urgent":{"good":3,"violating":0,"burn_rate":0.0},
+                "normal":{"good":6,"violating":1,"burn_rate":14.3},
+                "batch":{"good":0,"violating":0,"burn_rate":0}}}}"#,
+        )
+        .unwrap();
+        let p = lane_poll(&m);
+        assert_eq!(p.predicts, [3, 7, 0]);
+        assert_eq!(p.shed, [0, 1, 2]);
+        assert_eq!(p.violations, [0, 0, 1]);
+        assert!((p.burn_fast[1] - 14.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn trace_table_renders_stage_columns() {
+        let resp = Json::parse(
+            r#"{"ok":true,"event":"trace","count":1,"traces":[
+                {"trace_id":"00000000000000ff","lane":"urgent","end_us":900,
+                 "total_us":450,"stages":{"parse_us":10,"hold_us":100,
+                 "admission_us":20,"featurize_us":200,"inference_us":90,
+                 "backlog_us":5,"serialize_us":25}}]}"#,
+        )
+        .unwrap();
+        let table = render_traces(&resp);
+        assert!(table.contains("trace_id"), "{table}");
+        assert!(table.contains("00000000000000ff"), "{table}");
+        assert!(table.contains("urgent"), "{table}");
+        assert!(table.contains("450"), "{table}");
+        assert!(table.contains("200"), "{table}");
+        let empty = render_traces(&Json::parse(r#"{"ok":true,"traces":[]}"#).unwrap());
+        assert!(empty.contains("no completed traced requests"), "{empty}");
+    }
 
     #[test]
     fn events_script_round_trips_through_the_protocol() {

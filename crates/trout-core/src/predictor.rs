@@ -111,6 +111,13 @@ impl Lane {
         }
     }
 
+    /// The lane with priority rank `r` (inverse of [`Lane::rank`]);
+    /// `None` past the last rank. Telemetry stores lanes as compact ranks
+    /// and recovers the lane here when formatting.
+    pub fn from_rank(r: usize) -> Option<Lane> {
+        LANES.get(r).copied()
+    }
+
     /// The wire/protocol name.
     pub fn as_str(self) -> &'static str {
         match self {

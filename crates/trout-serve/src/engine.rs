@@ -220,8 +220,17 @@ impl DriftMonitor {
             ("joined".into(), Json::Int(self.joined as i128)),
             ("mae_min".into(), Json::Num(self.mae_min())),
             ("within_2x".into(), Json::Num(self.within_2x())),
+            // Before `confusion`: scripted consumers anchor their drift grep
+            // on the confusion object closing the section, and `pending` is
+            // recovery-deterministic state so it joins the compared span.
+            ("pending".into(), Json::Int(self.served.len() as i128)),
             ("confusion".into(), Json::Obj(confusion)),
         ])
+    }
+
+    /// Predictions still awaiting their realized outcome.
+    pub fn pending(&self) -> usize {
+        self.served.len()
     }
 }
 
@@ -295,6 +304,10 @@ pub struct ServeEngine {
     pub metrics: ServeMetrics,
     /// Served-prediction vs realized-outcome accounting.
     drift: DriftMonitor,
+    /// Featurize total (µs) of the most recent `predict_batch_into` call,
+    /// read by the router to split traced shard service into featurize vs
+    /// inference stages. Transient — never snapshotted.
+    last_featurize_us: u64,
     /// Write-ahead journal + snapshot policy; `None` without a state dir.
     durability: Option<Durability>,
     /// True while recovery replays the journal tail: suppresses journaling
@@ -345,6 +358,7 @@ impl ServeEngine {
             refit_scratch,
             metrics: ServeMetrics::default(),
             drift: DriftMonitor::default(),
+            last_featurize_us: 0,
             durability: None,
             replaying: false,
         }
@@ -406,6 +420,9 @@ impl ServeEngine {
         self.journal_event(|| lifecycle_line("start", id, time))?;
         self.index.start(id, time)?;
         if let Some(p) = self.drift.served.remove(&id) {
+            self.metrics
+                .drift_pending_joins
+                .set(self.drift.served.len() as f64);
             if let Some(realized) = self.index.job(id).map(|j| j.rec.queue_time_min() as f32) {
                 self.drift.join(&self.metrics, &p, realized);
             }
@@ -432,7 +449,12 @@ impl ServeEngine {
         let raw = self.cached_rows.remove(&id);
         // A cancelled-pending job never starts: its served prediction has no
         // outcome to join against, so the drift entry just drops.
-        self.drift.served.remove(&id);
+        if self.drift.served.remove(&id).is_some() {
+            self.metrics.drift_purged_total.inc();
+            self.metrics
+                .drift_pending_joins
+                .set(self.drift.served.len() as f64);
+        }
         self.note_event(time);
         if let (Some(raw), true, Some(y)) = (raw, was_running, label) {
             self.push_history(id, raw, y);
@@ -475,6 +497,7 @@ impl ServeEngine {
         ps.flat.clear();
         ps.slots.clear();
         let mut n_ok = 0usize;
+        let mut feat_total_us = 0u64;
         for q in queries {
             // Predicts are journaled too: they cache feature rows and feed
             // the drift monitor, so replay must reproduce them (lane
@@ -487,9 +510,9 @@ impl ServeEngine {
             let t_feat = Instant::now();
             match self.featurize_pending_into(q.id, q.time, &mut ps.row) {
                 Ok(()) => {
-                    self.metrics
-                        .featurize_us
-                        .record(t_feat.elapsed().as_micros() as u64);
+                    let feat_us = t_feat.elapsed().as_micros() as u64;
+                    feat_total_us += feat_us;
+                    self.metrics.featurize_us.record(feat_us);
                     ps.flat.extend_from_slice(&ps.row);
                     ps.slots.push(Ok(n_ok));
                     n_ok += 1;
@@ -544,8 +567,18 @@ impl ServeEngine {
                 p
             })
         }));
+        self.last_featurize_us = feat_total_us;
+        self.metrics
+            .drift_pending_joins
+            .set(self.drift.served.len() as f64);
         self.pscratch = ps;
         self.maybe_snapshot();
+    }
+
+    /// Featurize total (µs) of the most recent batch — the traced
+    /// Featurize stage (the rest of the shard service is Inference).
+    pub fn last_batch_featurize_us(&self) -> u64 {
+        self.last_featurize_us
     }
 
     /// Convenience wrapper for a normal-lane batch of one.
@@ -898,6 +931,9 @@ impl ServeEngine {
         }
         self.metrics.drift_mae_min.set(self.drift.mae_min());
         self.metrics.drift_within_2x.set(self.drift.within_2x());
+        self.metrics
+            .drift_pending_joins
+            .set(self.drift.served.len() as f64);
         Ok(())
     }
 
@@ -950,9 +986,18 @@ impl ServeEngine {
     fn note_event(&mut self, time: i64) {
         self.latest_time = self.latest_time.max(time);
         if self.metrics.state_events_total.inc() % EVICT_EVERY == 0 {
+            let mut purged = 0u64;
             for id in self.index.evict_finished_before(self.latest_time) {
                 self.cached_rows.remove(&id);
-                self.drift.served.remove(&id);
+                if self.drift.served.remove(&id).is_some() {
+                    purged += 1;
+                }
+            }
+            if purged > 0 {
+                self.metrics.drift_purged_total.add(purged);
+                self.metrics
+                    .drift_pending_joins
+                    .set(self.drift.served.len() as f64);
             }
         }
     }
@@ -1179,6 +1224,62 @@ mod tests {
             "label must be captured before the eviction sweep"
         );
         assert!((engine.history_y[0] - 10.0).abs() < 1e-6, "600 s queued");
+    }
+
+    #[test]
+    fn evicted_pending_join_decrements_the_gauge_and_counts_a_purge() {
+        let (mut engine, live) = small_engine(0);
+        // Cancellation purge: a predicted job that ends while still pending
+        // has no outcome to join — its pending join must drop from the
+        // gauge and count as purged.
+        let rec = live.records[0].clone();
+        let (id, t) = (rec.id, rec.submit_time);
+        engine.apply_submit(rec).unwrap();
+        engine.predict_one(id, t).unwrap();
+        assert_eq!(engine.metrics.drift_pending_joins.get(), 1.0);
+        engine.apply_end(id, t + 10).unwrap();
+        assert_eq!(engine.metrics.drift_pending_joins.get(), 0.0);
+        assert_eq!(engine.metrics.drift_purged_total.get(), 1);
+
+        // Eviction-sweep purge (the safety net): a stale served entry for a
+        // job that already finished is dropped — and accounted — when the
+        // sweep evicts the job.
+        let mut done = live.records[1].clone();
+        done.id = 500_001;
+        done.submit_time = 0;
+        done.eligible_time = 0;
+        let did = done.id;
+        engine.apply_submit(done).unwrap();
+        engine.apply_start(did, 600).unwrap();
+        engine.apply_end(did, 700).unwrap();
+        engine.drift.served.insert(
+            did,
+            QueuePrediction {
+                estimate: QueueEstimate::Minutes(5.0),
+                quick_proba: 0.1,
+                calibrated_proba: 0.1,
+                minutes: Some(5.0),
+                cutoff_min: 10.0,
+                lane: trout_core::Lane::Normal,
+            },
+        );
+        engine.metrics.drift_pending_joins.set(1.0);
+        // Filler submits two days later push the event count onto the next
+        // EVICT_EVERY boundary, where the sweep evicts the finished job.
+        let t_late = 2 * 86_400;
+        let need = EVICT_EVERY - (engine.metrics.state_events_total.get() % EVICT_EVERY);
+        for k in 0..need {
+            let mut r = live.records[2].clone();
+            r.id = 600_000 + k;
+            r.submit_time = t_late;
+            r.eligible_time = t_late;
+            engine.apply_submit(r).unwrap();
+        }
+        assert!(engine.index().job(did).is_none(), "finished job evicted");
+        assert_eq!(engine.metrics.drift_pending_joins.get(), 0.0);
+        assert_eq!(engine.metrics.drift_purged_total.get(), 2);
+        // The purge is observational only: never part of the state oracle.
+        assert!(engine.state_to_json().get("drift_purged").is_none());
     }
 
     #[test]

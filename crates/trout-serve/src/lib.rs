@@ -62,7 +62,10 @@ pub mod shard;
 pub use engine::{DriftMonitor, ServeConfig, ServeEngine};
 pub use journal::{Journal, JOURNAL_FILE, SNAPSHOT_FILE};
 pub use metrics::{LogHistogram, ServeMetrics};
-pub use protocol::{parse_event, ClientEvent, MetricsFormat};
+pub use protocol::{
+    parse_event, trace_id_str, trace_record_json, trace_response, ClientEvent, MetricsFormat,
+    DEFAULT_TRACE_LAST,
+};
 pub use reactor::{run_reactor, ReactorConfig};
 pub use recover::RecoveryReport;
 pub use replay::replay_script;

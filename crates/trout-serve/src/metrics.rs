@@ -17,6 +17,7 @@
 use std::sync::Arc;
 
 use trout_core::{TroutError, LANES};
+use trout_obs::trace::{BurnSnapshot, BurnWindow, TraceSink};
 pub use trout_obs::LogHistogram;
 use trout_obs::{Counter, Gauge, Histogram, Registry};
 use trout_std::json::Json;
@@ -108,6 +109,22 @@ pub struct ServeMetrics {
     /// Time a predict spent queued in the batch former before its flush
     /// began, microseconds.
     pub queue_wait_us: Histogram,
+    /// Request-scoped tracing: per-stage histograms plus the flight
+    /// recorder ring of recently completed traces (DESIGN §14). Purely
+    /// observational — never journaled, never in the state oracle.
+    pub trace: TraceSink,
+    /// SLO burn accounting: 1-second good/violating buckets per lane,
+    /// feeding the fast/slow burn-rate gauges.
+    pub burn: BurnWindow,
+    /// Fast-window (1 min) burn rate per lane, refreshed at each dump.
+    pub burn_fast: [Gauge; 3],
+    /// Slow-window (5 min) burn rate per lane, refreshed at each dump.
+    pub burn_slow: [Gauge; 3],
+    /// Drift monitor: predictions still awaiting their realized outcome.
+    pub drift_pending_joins: Gauge,
+    /// Drift monitor: pending joins purged by the eviction sweep (the job
+    /// ended its observation window without ever starting).
+    pub drift_purged_total: Counter,
 }
 
 /// `errors_by_class` index order and JSON key per class. The first six
@@ -136,6 +153,7 @@ impl ServeMetrics {
     /// A fresh registry with every serve metric registered.
     pub fn new() -> ServeMetrics {
         let r = Arc::new(Registry::new());
+        ServeMetrics::register_help(&r);
         let errors_by_class = ERROR_CLASSES.map(|c| r.counter(&format!("serve.errors.{c}_total")));
         let drift_confusion =
             CONFUSION_CELLS.map(|c| r.counter(&format!("serve.drift.confusion_{c}_total")));
@@ -179,8 +197,37 @@ impl ServeMetrics {
                 ))
             }),
             queue_wait_us: r.histogram("serve.queue_wait_us"),
+            trace: TraceSink::new(&r, "serve.trace"),
+            burn: BurnWindow::new(),
+            burn_fast: LANES.map(|l| r.gauge(&format!("serve.burn_rate.fast_{}", l.as_str()))),
+            burn_slow: LANES.map(|l| r.gauge(&format!("serve.burn_rate.slow_{}", l.as_str()))),
+            drift_pending_joins: r.gauge("serve.drift.pending_joins"),
+            drift_purged_total: r.counter("serve.drift.purged_total"),
             registry: r,
         }
+    }
+
+    /// Registers `# HELP` text for the metrics scripted consumers grep
+    /// most; names survive [`prom_name`](trout_obs::prom_name) mangling
+    /// and the help text is escaped at exposition time.
+    fn register_help(r: &Registry) {
+        r.set_help("serve.predicts_total", "Individual predictions served");
+        r.set_help(
+            "serve.burn_rate.fast_urgent",
+            "Urgent-lane SLO burn rate over the fast (1 min) window; >1 burns error budget",
+        );
+        r.set_help(
+            "serve.burn_rate.slow_urgent",
+            "Urgent-lane SLO burn rate over the slow (5 min) window; >1 burns error budget",
+        );
+        r.set_help(
+            "serve.trace.total_us",
+            "End-to-end traced request latency (sum of all pipeline stages)",
+        );
+        r.set_help(
+            "serve.drift.pending_joins",
+            "Predictions still awaiting their realized queue time",
+        );
     }
 
     /// Counts one rejected request: the aggregate plus the class counter.
@@ -214,6 +261,7 @@ impl ServeMetrics {
     /// request's payload; the drift section rides in
     /// [`ServeEngine::metrics_json`](crate::ServeEngine::metrics_json)).
     pub fn to_json(&self) -> Json {
+        let burn = self.refresh_burn_gauges();
         let by_class: Vec<(String, Json)> = ERROR_CLASSES
             .iter()
             .zip(&self.errors_by_class)
@@ -268,7 +316,21 @@ impl ServeMetrics {
             ("batch_us".into(), self.batch_us.to_json()),
             ("batch_size".into(), self.batch_size.to_json()),
             ("snapshot_write_us".into(), self.snapshot_write_us.to_json()),
+            ("burn".into(), burn_snapshot_to_json(&burn)),
         ])
+    }
+
+    /// Recomputes the per-lane burn-rate gauges from the window buckets
+    /// and returns the snapshot they were computed from. Called at every
+    /// JSON/Prometheus dump so the gauges are current without any
+    /// background thread.
+    pub fn refresh_burn_gauges(&self) -> BurnSnapshot {
+        let snap = self.burn.snapshot();
+        for rank in 0..LANES.len() {
+            self.burn_fast[rank].set(snap.fast[rank].burn_rate());
+            self.burn_slow[rank].set(snap.slow[rank].burn_rate());
+        }
+        snap
     }
 
     /// The scheduler/admission section: per-lane predicts, sheds (plus the
@@ -296,10 +358,41 @@ impl ServeMetrics {
         ])
     }
 
-    /// Prometheus text exposition of the engine registry.
+    /// Prometheus text exposition of the engine registry (burn-rate gauges
+    /// refreshed first so scrapes always see current windows).
     pub fn to_prometheus(&self) -> String {
+        self.refresh_burn_gauges();
         self.registry.to_prometheus()
     }
+}
+
+/// The `burn` JSON section: the anchor second plus per-lane good /
+/// violating counts and the derived burn rate for both windows, in lane
+/// priority order.
+pub fn burn_snapshot_to_json(snap: &BurnSnapshot) -> Json {
+    let window = |lanes: &[trout_obs::LaneWindow; 3]| {
+        Json::Obj(
+            LANES
+                .iter()
+                .zip(lanes)
+                .map(|(l, w)| {
+                    (
+                        l.as_str().to_string(),
+                        Json::Obj(vec![
+                            ("good".into(), Json::Int(w.good as i128)),
+                            ("violating".into(), Json::Int(w.violating as i128)),
+                            ("burn_rate".into(), Json::Num(w.burn_rate())),
+                        ]),
+                    )
+                })
+                .collect(),
+        )
+    };
+    Json::Obj(vec![
+        ("anchor_sec".into(), Json::Int(snap.anchor_sec as i128)),
+        ("fast".into(), window(&snap.fast)),
+        ("slow".into(), window(&snap.slow)),
+    ])
 }
 
 #[cfg(test)]

@@ -15,11 +15,18 @@
 //! ```
 //!
 //! The **v2 predict envelope** adds an optional `"v":2` version tag, a
-//! latency budget (`deadline_ms`, positive milliseconds) and a priority
-//! lane (`"urgent"|"normal"|"batch"`). v1 lines (no `"v"` field, or
-//! `"v":1`) stay valid and default to the normal lane with the server's
-//! configured budget; their responses are byte-identical to the v1
-//! protocol. Only `"v":2` requests get the lane echoed in the response.
+//! latency budget (`deadline_ms`, positive milliseconds), a priority
+//! lane (`"urgent"|"normal"|"batch"`), and an opt-in `"trace":true` flag
+//! that mints a request-scoped trace id (echoed as `"trace_id"` in the
+//! response) and records the request's per-stage latency into the flight
+//! recorder (DESIGN §14). v1 lines (no `"v"` field, or `"v":1`) stay valid
+//! and default to the normal lane with the server's configured budget;
+//! their responses are byte-identical to the v1 protocol. Only `"v":2`
+//! requests get the lane (and trace id) echoed in the response.
+//!
+//! `{"event":"trace","last":N}` dumps the most recent completed traces
+//! across all shards as one response line; like `metrics` it is read-only
+//! and never journaled.
 //!
 //! Every line gets exactly one response line, in request order. Success
 //! responses carry `"ok":true`; failures carry `"ok":false` and an `"error"`
@@ -66,9 +73,18 @@ pub enum ClientEvent {
         /// Whether the line carried `"v":2` — controls the lane echo in the
         /// response, keeping v1 responses byte-identical.
         v2: bool,
+        /// Whether the line carried `"trace":true` (v2 only): mint a trace
+        /// id, echo it, and record per-stage latencies into the flight
+        /// recorder. Never journaled: tracing is observation, not state.
+        trace: bool,
     },
     /// Dump the metrics registry in the requested exposition format.
     Metrics(MetricsFormat),
+    /// Dump the last `last` completed traces from the flight recorder.
+    Trace {
+        /// How many recent traces to return (capped at the ring size).
+        last: usize,
+    },
     /// Close the session cleanly.
     Shutdown,
 }
@@ -84,6 +100,9 @@ pub enum MetricsFormat {
     /// response line.
     Prometheus,
 }
+
+/// Default `last` for a `{"event":"trace"}` request without the field.
+pub const DEFAULT_TRACE_LAST: usize = 32;
 
 fn field_i64(j: &Json, key: &str) -> Result<i64, TroutError> {
     match j.get(key) {
@@ -212,12 +231,29 @@ pub fn parse_event(line: &str) -> Result<ClientEvent, TroutError> {
                         ))
                     }
                 };
+            let trace = match j.get("trace") {
+                None => false,
+                Some(Json::Bool(b)) => {
+                    if *b && !v2 {
+                        return Err(TroutError::Protocol(
+                            "`trace` requires the v2 envelope (`\"v\":2`)".into(),
+                        ));
+                    }
+                    *b
+                }
+                Some(_) => {
+                    return Err(TroutError::Protocol(
+                        "field `trace` must be a boolean".into(),
+                    ))
+                }
+            };
             Ok(ClientEvent::Predict {
                 id: field_u64(&j, "id")?,
                 time: field_i64(&j, "time")?,
                 lane,
                 deadline_ms,
                 v2,
+                trace,
             })
         }
         "metrics" => Ok(ClientEvent::Metrics(match j.get("format") {
@@ -230,6 +266,19 @@ pub fn parse_event(line: &str) -> Result<ClientEvent, TroutError> {
                 )))
             }
         })),
+        "trace" => {
+            let last = match j.get("last") {
+                None => DEFAULT_TRACE_LAST,
+                Some(Json::Int(v)) if *v > 0 => usize::try_from(*v)
+                    .map_err(|_| TroutError::Parse("field `last` out of range".into()))?,
+                Some(_) => {
+                    return Err(TroutError::Parse(
+                        "field `last` must be a positive integer".into(),
+                    ))
+                }
+            };
+            Ok(ClientEvent::Trace { last })
+        }
         "shutdown" => Ok(ClientEvent::Shutdown),
         other => Err(TroutError::Protocol(format!("unknown event `{other}`"))),
     }
@@ -266,7 +315,7 @@ pub fn event_to_line(ev: &ClientEvent) -> Option<String> {
         ClientEvent::Start { id, time } => Some(lifecycle_line("start", *id, *time)),
         ClientEvent::End { id, time } => Some(lifecycle_line("end", *id, *time)),
         ClientEvent::Predict { id, time, lane, .. } => Some(predict_line(*id, *time, *lane)),
-        ClientEvent::Metrics(_) | ClientEvent::Shutdown => None,
+        ClientEvent::Metrics(_) | ClientEvent::Trace { .. } | ClientEvent::Shutdown => None,
     }
 }
 
@@ -310,10 +359,15 @@ pub fn ack_response(event: &str, id: u64) -> String {
 }
 
 /// The predict response: decision, probabilities, and minutes when present.
-/// `v2` requests additionally get their lane echoed (right after `id`);
-/// omitting it for v1 keeps those responses byte-identical to the v1
-/// protocol.
-pub fn prediction_response(id: u64, p: &QueuePrediction, v2: bool) -> String {
+/// `v2` requests additionally get their lane echoed (right after `id`), and
+/// a traced request gets its minted trace id (hex, after the lane); omitting
+/// both for v1 keeps those responses byte-identical to the v1 protocol.
+pub fn prediction_response(
+    id: u64,
+    p: &QueuePrediction,
+    v2: bool,
+    trace_id: Option<u64>,
+) -> String {
     let mut members = vec![
         ("ok".into(), Json::Bool(true)),
         ("event".into(), Json::Str("predict".into())),
@@ -321,6 +375,9 @@ pub fn prediction_response(id: u64, p: &QueuePrediction, v2: bool) -> String {
     ];
     if v2 {
         members.push(("lane".into(), Json::Str(p.lane.as_str().into())));
+        if let Some(tid) = trace_id {
+            members.push(("trace_id".into(), Json::Str(trace_id_str(tid))));
+        }
     }
     members.extend([
         (
@@ -339,6 +396,40 @@ pub fn prediction_response(id: u64, p: &QueuePrediction, v2: bool) -> String {
     }
     members.push(("message".into(), Json::Str(p.message())));
     Json::Obj(members).to_string()
+}
+
+/// The canonical wire form of a trace id: 16 hex digits (strings survive
+/// clients whose JSON numbers are f64).
+pub fn trace_id_str(id: u64) -> String {
+    format!("{id:016x}")
+}
+
+/// One completed trace as a JSON object — the element format of the
+/// `trace` response and of flight-recorder ndjson dumps.
+pub fn trace_record_json(r: &trout_obs::TraceRecord) -> Json {
+    let lane = Lane::from_rank(r.lane as usize).unwrap_or(Lane::Normal);
+    Json::Obj(vec![
+        ("trace_id".into(), Json::Str(trace_id_str(r.trace_id))),
+        ("lane".into(), Json::Str(lane.as_str().into())),
+        ("end_us".into(), Json::Int(r.end_us as i128)),
+        ("total_us".into(), Json::Int(r.total_us as i128)),
+        ("stages".into(), r.stages_json()),
+    ])
+}
+
+/// The flight-recorder dump response: the most recent completed traces
+/// (newest first), each with its per-stage breakdown, as one line.
+pub fn trace_response(traces: &[trout_obs::TraceRecord]) -> String {
+    Json::Obj(vec![
+        ("ok".into(), Json::Bool(true)),
+        ("event".into(), Json::Str("trace".into())),
+        ("count".into(), Json::Int(traces.len() as i128)),
+        (
+            "traces".into(),
+            Json::Arr(traces.iter().map(trace_record_json).collect()),
+        ),
+    ])
+    .to_string()
 }
 
 /// The metrics response, wrapping the registry dump.
@@ -445,7 +536,8 @@ mod tests {
                 time: 120,
                 lane: Lane::Normal,
                 deadline_ms: None,
-                v2: false
+                v2: false,
+                trace: false,
             }
         );
         assert_eq!(
@@ -516,6 +608,7 @@ mod tests {
                 lane: Lane::Normal,
                 deadline_ms: None,
                 v2: false,
+                trace: false,
             },
             // A non-default lane survives the journal; the deadline does
             // not (scheduling, not state), so round-trip holds with None.
@@ -525,6 +618,7 @@ mod tests {
                 lane: Lane::Urgent,
                 deadline_ms: None,
                 v2: false,
+                trace: false,
             },
         ] {
             let line = event_to_line(&ev).expect("state-changing events serialize");
@@ -550,7 +644,7 @@ mod tests {
         };
         for s in [
             ack_response("submit", 1),
-            prediction_response(1, &p, false),
+            prediction_response(1, &p, false, None),
             error_response(&TroutError::Protocol("x".into())),
             metrics_response(Json::Obj(vec![])),
             metrics_prometheus_response("trout_serve_predicts_total 1\n".into()),
@@ -559,7 +653,7 @@ mod tests {
             let parsed = Json::parse(&s).unwrap();
             assert!(parsed.get("ok").is_some());
         }
-        let parsed = Json::parse(&prediction_response(1, &p, false)).unwrap();
+        let parsed = Json::parse(&prediction_response(1, &p, false, None)).unwrap();
         assert_eq!(parsed.get("quick_start"), Some(&Json::Bool(false)));
         assert!(parsed.get("minutes").is_some());
     }
@@ -576,7 +670,8 @@ mod tests {
                 time: 10,
                 lane: Lane::Urgent,
                 deadline_ms: Some(50),
-                v2: true
+                v2: true,
+                trace: false,
             }
         );
         // v1 lines may still name a lane/deadline; only the echo is gated.
@@ -587,7 +682,8 @@ mod tests {
                 time: 10,
                 lane: Lane::Batch,
                 deadline_ms: None,
-                v2: false
+                v2: false,
+                trace: false,
             }
         );
         assert!(matches!(
@@ -615,12 +711,12 @@ mod tests {
             cutoff_min: 10.0,
             lane: Lane::Urgent,
         };
-        let v2 = prediction_response(7, &p, true);
+        let v2 = prediction_response(7, &p, true, None);
         assert_eq!(
             Json::parse(&v2).unwrap().get("lane"),
             Some(&Json::Str("urgent".into()))
         );
-        let v1 = prediction_response(7, &p, false);
+        let v1 = prediction_response(7, &p, false, None);
         assert_eq!(Json::parse(&v1).unwrap().get("lane"), None);
     }
 
@@ -646,5 +742,117 @@ mod tests {
             predict_line(3, 120, Lane::Urgent),
             r#"{"event":"predict","id":3,"time":120,"lane":"urgent"}"#
         );
+    }
+
+    #[test]
+    fn trace_flag_requires_the_v2_envelope() {
+        assert_eq!(
+            parse_event(r#"{"v":2,"event":"predict","id":4,"time":10,"trace":true}"#).unwrap(),
+            ClientEvent::Predict {
+                id: 4,
+                time: 10,
+                lane: Lane::Normal,
+                deadline_ms: None,
+                v2: true,
+                trace: true,
+            }
+        );
+        // `"trace":false` is accepted anywhere (it requests nothing).
+        assert!(matches!(
+            parse_event(r#"{"event":"predict","id":4,"time":10,"trace":false}"#).unwrap(),
+            ClientEvent::Predict { trace: false, .. }
+        ));
+        assert!(matches!(
+            parse_event(r#"{"event":"predict","id":4,"time":10,"trace":true}"#),
+            Err(TroutError::Protocol(_))
+        ));
+        assert!(matches!(
+            parse_event(r#"{"v":2,"event":"predict","id":4,"time":10,"trace":"yes"}"#),
+            Err(TroutError::Protocol(_))
+        ));
+    }
+
+    #[test]
+    fn trace_event_parses_with_default_and_explicit_last() {
+        assert_eq!(
+            parse_event(r#"{"event":"trace"}"#).unwrap(),
+            ClientEvent::Trace {
+                last: DEFAULT_TRACE_LAST
+            }
+        );
+        assert_eq!(
+            parse_event(r#"{"event":"trace","last":5}"#).unwrap(),
+            ClientEvent::Trace { last: 5 }
+        );
+        assert!(matches!(
+            parse_event(r#"{"event":"trace","last":0}"#),
+            Err(TroutError::Parse(_))
+        ));
+        assert!(matches!(
+            parse_event(r#"{"event":"trace","last":"many"}"#),
+            Err(TroutError::Parse(_))
+        ));
+    }
+
+    #[test]
+    fn traced_v2_response_echoes_the_trace_id_as_hex() {
+        let p = QueuePrediction {
+            estimate: QueueEstimate::Minutes(42.0),
+            quick_proba: 0.2,
+            calibrated_proba: 0.2,
+            minutes: Some(42.0),
+            cutoff_min: 10.0,
+            lane: Lane::Normal,
+        };
+        let traced = prediction_response(9, &p, true, Some(0xfeed));
+        assert_eq!(
+            Json::parse(&traced).unwrap().get("trace_id"),
+            Some(&Json::Str("000000000000feed".into())),
+            "16 hex digits survive f64-JSON clients"
+        );
+        // Untraced v2 and v1 responses carry no trace_id at all.
+        let v2 = prediction_response(9, &p, true, None);
+        assert_eq!(Json::parse(&v2).unwrap().get("trace_id"), None);
+        let v1 = prediction_response(9, &p, false, None);
+        assert!(!v1.contains("trace_id"));
+        assert_eq!(trace_id_str(u64::MAX), "ffffffffffffffff");
+    }
+
+    #[test]
+    fn trace_response_lists_records_newest_layout() {
+        let mut r = trout_obs::TraceRecord {
+            trace_id: 0xab,
+            lane: 0,
+            end_us: 500,
+            total_us: 120,
+            stages: [10, 20, 5, 50, 25, 4, 6],
+        };
+        let line = trace_response(std::slice::from_ref(&r));
+        let j = Json::parse(&line).unwrap();
+        assert_eq!(j.get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(j.get("event"), Some(&Json::Str("trace".into())));
+        assert_eq!(j.get("count"), Some(&Json::Int(1)));
+        let t = match j.get("traces") {
+            Some(Json::Arr(v)) => &v[0],
+            other => panic!("bad traces member {other:?}"),
+        };
+        assert_eq!(
+            t.get("trace_id"),
+            Some(&Json::Str("00000000000000ab".into()))
+        );
+        assert_eq!(t.get("lane"), Some(&Json::Str("urgent".into())));
+        assert_eq!(t.get("total_us"), Some(&Json::Int(120)));
+        let stages = t.get("stages").expect("stages object");
+        assert_eq!(stages.get("parse_us"), Some(&Json::Int(10)));
+        assert_eq!(stages.get("serialize_us"), Some(&Json::Int(6)));
+        // The stage tiling is exact: stages sum to the total by construction.
+        r.stages = [30, 30, 30, 10, 10, 5, 5];
+        r.total_us = r.stages.iter().sum();
+        let j = Json::parse(&trace_response(&[r])).unwrap();
+        let t = match j.get("traces") {
+            Some(Json::Arr(v)) => &v[0],
+            other => panic!("bad traces member {other:?}"),
+        };
+        assert_eq!(t.get("total_us"), Some(&Json::Int(120)));
     }
 }

@@ -383,6 +383,10 @@ fn handle_readable(conn: &mut Conn, shards: &ShardSet, metrics: &ServeMetrics) {
                         "request line exceeded {LINE_MAX} bytes without a newline"
                     ));
                     metrics.record_error(&e);
+                    // A client flooding unframed bytes is a protocol fault
+                    // worth a flight dump: the recent traces show what the
+                    // daemon was serving when the connection went bad.
+                    shards.flight_dump("line_overflow", 8);
                     conn.dead = true;
                     return;
                 }

@@ -115,7 +115,7 @@ pub(crate) fn replay_journal(
                 let _ = engine
                     .predict_batch(&[crate::engine::PredictQuery::new(id, time).in_lane(lane)]);
             }
-            ClientEvent::Metrics(_) | ClientEvent::Shutdown => {
+            ClientEvent::Metrics(_) | ClientEvent::Trace { .. } | ClientEvent::Shutdown => {
                 engine.end_replay();
                 return Err(TroutError::Config(format!(
                     "corrupt journal: non-event line {line:?}"

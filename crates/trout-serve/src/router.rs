@@ -34,13 +34,24 @@
 use std::io::Write;
 
 use trout_core::{Deadline, QueuePrediction, TroutError};
+use trout_obs::trace::{Stage, TraceRecord, N_STAGES, RING_CAP};
+use trout_std::rng::SplitMix64;
 
 use crate::engine::PredictQuery;
 use crate::protocol::{
     ack_response, error_response, metrics_prometheus_response, metrics_response, parse_event,
-    prediction_response, ClientEvent, MetricsFormat,
+    prediction_response, trace_response, ClientEvent, MetricsFormat,
 };
 use crate::shard::ShardSet;
+
+/// Seed of the per-session trace-id stream. Hermetic and deterministic: a
+/// replayed session mints the same ids in the same order, and ids never
+/// feed back into scheduling (DESIGN §14).
+const TRACE_ID_SEED: u64 = 0x7472_6f75_745f_7472; // "trout_tr"
+
+/// How many recent traces an error-triggered flight-recorder dump emits
+/// per shard (bounded so a shed storm cannot flood stderr).
+const FLIGHT_DUMP_LAST: usize = 8;
 
 /// What the transport should do after a handled line.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -65,6 +76,45 @@ struct QueuedPredict {
     budget_us: u64,
     /// Whether the request used the v2 envelope (controls the lane echo).
     v2: bool,
+    /// Whether the request opted into tracing (`"trace":true`, v2 only).
+    traced: bool,
+    /// The minted trace id (meaningless unless `traced`).
+    trace_id: u64,
+    /// Accept → enqueue duration (µs): line read, parse, admission check.
+    parse_us: u64,
+}
+
+/// Per-shard stage stamps taken while the shard guard was held, shared by
+/// every traced query of that shard's batch.
+#[derive(Debug, Clone, Copy)]
+struct ShardStamp {
+    shard: usize,
+    /// Instant the shard lock was acquired (flush start + admission wait).
+    lock_us: u64,
+    /// Instant `predict_batch` returned.
+    done_us: u64,
+    /// Engine-reported feature-assembly total for the batch.
+    featurize_us: u64,
+}
+
+/// Everything a traced window slot needs to finish its [`TraceRecord`]
+/// when the response is written.
+#[derive(Debug, Clone, Copy)]
+struct TraceStamp {
+    trace_id: u64,
+    lane_rank: u8,
+    parse_us: u64,
+    enq_us: u64,
+    /// Batch-form hold: enqueue → flush start.
+    hold_us: u64,
+    /// Admission wait: flush start → shard lock acquired.
+    admission_us: u64,
+    featurize_us: u64,
+    /// Shard-service remainder after featurize (kernel + bookkeeping).
+    inference_us: u64,
+    /// Instant the shard finished (backlog stage starts here).
+    done_us: u64,
+    shard: usize,
 }
 
 /// One window position's resolution at flush time.
@@ -77,6 +127,8 @@ enum Slot {
         id: u64,
         v2: bool,
         result: Result<QueuePrediction, TroutError>,
+        /// Present when the request opted into tracing.
+        trace: Option<TraceStamp>,
     },
 }
 
@@ -98,6 +150,12 @@ pub struct RouterSession {
     /// Whether any queued predict came from a v1 client. v1 clients predate
     /// deadline-holding, so their windows stay due-on-drain (PR 6 timing).
     has_v1: bool,
+    /// Hermetic per-session trace-id stream (DESIGN §14).
+    rng: SplitMix64,
+    /// One flight-recorder dump per session per trigger class, so a
+    /// misbehaving client cannot flood stderr.
+    shed_dumped: bool,
+    protocol_dumped: bool,
 }
 
 impl RouterSession {
@@ -112,6 +170,9 @@ impl RouterSession {
             batch_max: batch_max.max(1),
             min_deadline_us: u64::MAX,
             has_v1: false,
+            rng: SplitMix64::new(TRACE_ID_SEED),
+            shed_dumped: false,
+            protocol_dumped: false,
         }
     }
 
@@ -170,6 +231,8 @@ impl RouterSession {
         out: &mut W,
     ) -> Result<Flow, TroutError> {
         shards.metrics0().requests_total.inc();
+        // Accept instant: anchors the parse stage of a traced request.
+        let accept_us = shards.clock().now_micros();
         match parse_event(line) {
             Ok(ClientEvent::Predict {
                 id,
@@ -177,6 +240,7 @@ impl RouterSession {
                 lane,
                 deadline_ms,
                 v2,
+                trace,
             }) => {
                 let cfg = shards.scheduler();
                 let budget_us = cfg.budget_us(lane, deadline_ms.map(Deadline::ms));
@@ -186,6 +250,10 @@ impl RouterSession {
                         // one-response-per-line order holds. Sheds do not
                         // count toward the batch cap (no work queued).
                         shards.metrics0().record_shed(lane);
+                        if !self.shed_dumped {
+                            self.shed_dumped = true;
+                            shards.flight_dump("shed", FLIGHT_DUMP_LAST);
+                        }
                         self.shed.push((self.window, retry_after_ms));
                         self.window += 1;
                     }
@@ -200,6 +268,9 @@ impl RouterSession {
                             enq_us: now,
                             budget_us,
                             v2,
+                            traced: trace,
+                            trace_id: if trace { self.rng.next_u64() } else { 0 },
+                            parse_us: now.saturating_sub(accept_us),
                         });
                         self.min_deadline_us =
                             self.min_deadline_us.min(now.saturating_add(budget_us));
@@ -227,6 +298,20 @@ impl RouterSession {
                 };
                 writeln!(out, "{response}")?;
             }
+            Ok(ClientEvent::Trace { last }) => {
+                // Drain first so just-queued traced predicts are visible.
+                self.flush(shards, out)?;
+                let n = last.min(RING_CAP);
+                let mut traces = Vec::new();
+                for shard in 0..shards.len() {
+                    shards.trace_sink(shard).recent(n, &mut traces);
+                }
+                // One daemon-wide timeline: all shards share the session
+                // clock, so completion instants order across shards.
+                traces.sort_by(|a, b| b.end_us.cmp(&a.end_us));
+                traces.truncate(n);
+                writeln!(out, "{}", trace_response(&traces))?;
+            }
             Ok(event) => {
                 // Lifecycle events keep response order: drain queued
                 // predicts first, then broadcast to every shard.
@@ -243,6 +328,10 @@ impl RouterSession {
             Err(e) => {
                 self.flush(shards, out)?;
                 shards.metrics0().record_error(&e);
+                if matches!(e, TroutError::Protocol(_)) && !self.protocol_dumped {
+                    self.protocol_dumped = true;
+                    shards.flight_dump("protocol_error", FLIGHT_DUMP_LAST);
+                }
                 writeln!(out, "{}", error_response(&e))?;
             }
         }
@@ -272,6 +361,7 @@ impl RouterSession {
                 continue;
             }
             queue.sort_by_key(|q| (q.lane.rank(), q.pos));
+            let traced_any = queue.iter().any(|q| q.traced);
             let queries: Vec<PredictQuery> = queue
                 .iter()
                 .map(|q| PredictQuery {
@@ -281,17 +371,35 @@ impl RouterSession {
                 })
                 .collect();
             let mut guard = shards.lock(shard_idx);
+            let lock_us = if traced_any {
+                shards.clock().now_micros()
+            } else {
+                0
+            };
             let results = guard.predict_batch(&queries);
-            pair_shard_results(&mut slots, queue, results);
+            let stamp = traced_any.then(|| ShardStamp {
+                shard: shard_idx,
+                lock_us,
+                done_us: shards.clock().now_micros(),
+                featurize_us: guard.last_batch_featurize_us(),
+            });
+            pair_shard_results(&mut slots, queue, results, now, stamp);
             // Errors and scheduling outcomes are accounted where they
             // happened: the shard that owned the query.
             for q in queue.iter() {
                 let wait = now.saturating_sub(q.enq_us);
                 guard.metrics.queue_wait_us.record(wait);
                 guard.metrics.lane_predicts_total[q.lane.rank()].inc();
-                if wait > q.budget_us {
+                let violating = wait > q.budget_us;
+                if violating {
                     guard.metrics.slo_violations_total[q.lane.rank()].inc();
                 }
+                // SLO burn accounting: one good/violating tick per predict
+                // in the 1-second bucket of the flush instant.
+                guard
+                    .metrics
+                    .burn
+                    .record(q.lane.rank(), violating, now / 1_000_000);
                 if let Some(Slot::Done { result: Err(e), .. }) = &slots[q.pos] {
                     guard.metrics.record_error(e);
                 }
@@ -312,7 +420,34 @@ impl RouterSession {
                     id,
                     v2,
                     result: Ok(p),
-                }) => writeln!(out, "{}", prediction_response(id, &p, v2))?,
+                    trace,
+                }) => match trace {
+                    None => writeln!(out, "{}", prediction_response(id, &p, v2, None))?,
+                    Some(t) => {
+                        // Backlog ends and serialization begins now; the
+                        // completed record lands in the owning shard's
+                        // flight recorder.
+                        let ser_start_us = shards.clock().now_micros();
+                        writeln!(out, "{}", prediction_response(id, &p, v2, Some(t.trace_id)))?;
+                        let end_us = shards.clock().now_micros();
+                        let mut stages = [0u64; N_STAGES];
+                        stages[Stage::Parse.index()] = t.parse_us;
+                        stages[Stage::Hold.index()] = t.hold_us;
+                        stages[Stage::Admission.index()] = t.admission_us;
+                        stages[Stage::Featurize.index()] = t.featurize_us;
+                        stages[Stage::Inference.index()] = t.inference_us;
+                        stages[Stage::Backlog.index()] = ser_start_us.saturating_sub(t.done_us);
+                        stages[Stage::Serialize.index()] = end_us.saturating_sub(ser_start_us);
+                        let record = TraceRecord {
+                            trace_id: t.trace_id,
+                            lane: t.lane_rank,
+                            end_us,
+                            total_us: t.parse_us + end_us.saturating_sub(t.enq_us),
+                            stages,
+                        };
+                        shards.trace_sink(t.shard).record(&record);
+                    }
+                },
                 Some(Slot::Done { result: Err(e), .. }) => writeln!(out, "{}", error_response(&e))?,
                 None => {
                     // Unreachable by construction (every window position is
@@ -346,6 +481,8 @@ fn pair_shard_results(
     slots: &mut [Option<Slot>],
     queue: &[QueuedPredict],
     results: Vec<Result<QueuePrediction, TroutError>>,
+    flush_us: u64,
+    stamp: Option<ShardStamp>,
 ) {
     let mut results = results.into_iter();
     for q in queue {
@@ -355,10 +492,29 @@ fn pair_shard_results(
                 q.id
             )))
         });
+        let trace = match (q.traced, stamp) {
+            (true, Some(s)) => Some(TraceStamp {
+                trace_id: q.trace_id,
+                lane_rank: q.lane.rank() as u8,
+                parse_us: q.parse_us,
+                enq_us: q.enq_us,
+                hold_us: flush_us.saturating_sub(q.enq_us),
+                admission_us: s.lock_us.saturating_sub(flush_us),
+                featurize_us: s.featurize_us,
+                inference_us: s
+                    .done_us
+                    .saturating_sub(s.lock_us)
+                    .saturating_sub(s.featurize_us),
+                done_us: s.done_us,
+                shard: s.shard,
+            }),
+            _ => None,
+        };
         slots[q.pos] = Some(Slot::Done {
             id: q.id,
             v2: q.v2,
             result,
+            trace,
         });
     }
 }
@@ -524,6 +680,9 @@ mod tests {
             enq_us: 0,
             budget_us: 500_000,
             v2: false,
+            traced: false,
+            trace_id: 0,
+            parse_us: 0,
         }
     }
 
@@ -558,7 +717,7 @@ mod tests {
                     unpaired = queue[keep..].iter().map(|q| q.id).collect();
                     results.truncate(keep);
                 }
-                pair_shard_results(&mut slots, queue, results);
+                pair_shard_results(&mut slots, queue, results, 0, None);
             }
             for (pos, slot) in slots.iter().enumerate() {
                 let (id, result) = match slot.as_ref().expect("every window position answered") {

@@ -40,12 +40,13 @@ use std::sync::{Arc, Mutex, MutexGuard};
 
 use trout_core::online::OnlineConfig;
 use trout_core::{TroutConfig, TroutError, LANES};
+use trout_obs::trace::{BurnSnapshot, TraceSink};
 use trout_slurmsim::{SimulationBuilder, Trace};
 use trout_std::clock::{Clock, MonotonicClock};
 use trout_std::json::Json;
 
 use crate::engine::{ServeConfig, ServeEngine};
-use crate::metrics::{ServeMetrics, CONFUSION_CELLS, ERROR_CLASSES};
+use crate::metrics::{burn_snapshot_to_json, ServeMetrics, CONFUSION_CELLS, ERROR_CLASSES};
 use crate::recover::RecoveryReport;
 use crate::scheduler::{AdmissionControl, SchedulerConfig};
 
@@ -87,8 +88,34 @@ pub(crate) fn lock_engine(engine: &Mutex<ServeEngine>) -> MutexGuard<'_, ServeEn
                 "serve",
                 "engine mutex poisoned by a panicked session; recovered and serving on"
             );
+            // A poisoned engine is exactly when the recent-request context
+            // matters: dump this shard's flight recorder before serving on.
+            dump_flight_sink("poisoned", None, &guard.metrics.trace, FLIGHT_DUMP_RECORDS);
             guard
         }
+    }
+}
+
+/// Records per shard a flight dump emits (recent-first).
+const FLIGHT_DUMP_RECORDS: usize = 8;
+
+/// Writes one shard's recent completed traces to stderr as ndjson, each
+/// line tagged with the dump reason (and the shard index when known). The
+/// flight recorder keeps flowing while this reads — torn slots are skipped,
+/// not awaited — so a dump never stalls the serve path.
+fn dump_flight_sink(reason: &str, shard: Option<usize>, sink: &TraceSink, last: usize) {
+    let mut buf = Vec::new();
+    sink.recent(last, &mut buf);
+    for r in &buf {
+        let mut members = match crate::protocol::trace_record_json(r) {
+            Json::Obj(m) => m,
+            _ => unreachable!("trace_record_json returns an object"),
+        };
+        if let Some(i) = shard {
+            members.insert(0, ("shard".into(), Json::Int(i as i128)));
+        }
+        members.insert(0, ("flight".into(), Json::Str(reason.into())));
+        eprintln!("{}", Json::Obj(members).to_string());
     }
 }
 
@@ -100,6 +127,9 @@ pub(crate) fn lock_engine(engine: &Mutex<ServeEngine>) -> MutexGuard<'_, ServeEn
 /// connection's.
 pub struct ShardSet {
     shards: Vec<Mutex<ServeEngine>>,
+    /// Each shard's trace sink, cloned out of its engine at construction so
+    /// sessions record and dump traces without touching the engine mutexes.
+    sinks: Vec<TraceSink>,
     clock: Arc<dyn Clock>,
     scheduler: SchedulerConfig,
     admission: AdmissionControl,
@@ -111,8 +141,10 @@ impl ShardSet {
     /// that; hand-rolled sets are on the caller).
     pub fn new(engines: Vec<ServeEngine>) -> ShardSet {
         assert!(!engines.is_empty(), "a shard set needs at least one engine");
+        let sinks = engines.iter().map(|e| e.metrics.trace.clone()).collect();
         ShardSet {
             shards: engines.into_iter().map(Mutex::new).collect(),
+            sinks,
             clock: Arc::new(MonotonicClock::new()),
             scheduler: SchedulerConfig::default(),
             admission: AdmissionControl::new(),
@@ -221,6 +253,19 @@ impl ShardSet {
     /// Locks shard `i`, recovering from poison.
     pub fn lock(&self, i: usize) -> MutexGuard<'_, ServeEngine> {
         lock_engine(&self.shards[i])
+    }
+
+    /// Shard `i`'s trace sink — lock-free access for the session hot path.
+    pub fn trace_sink(&self, i: usize) -> &TraceSink {
+        &self.sinks[i]
+    }
+
+    /// Dumps every shard's flight recorder (last `last` completed traces)
+    /// to stderr as ndjson, tagged with `reason`. No engine lock is taken.
+    pub fn flight_dump(&self, reason: &str, last: usize) {
+        for (i, sink) in self.sinks.iter().enumerate() {
+            dump_flight_sink(reason, Some(i), sink, last);
+        }
     }
 
     /// Shard 0's metrics handles (cloned — they share the registry). The
@@ -378,10 +423,12 @@ impl ShardSet {
             m.batch_us.merge(&mm.batch_us.snapshot());
             m.batch_size.merge(&mm.batch_size.snapshot());
             m.snapshot_write_us.merge(&mm.snapshot_write_us.snapshot());
+            m.burn.merge(&mm.refresh_burn_gauges());
             let d = g.drift();
             m.joined += d.joined();
             m.abs_err_sum += d.abs_err_sum();
             m.within += d.within_count();
+            m.pending += d.pending() as u64;
             for (acc, v) in m.confusion.iter_mut().zip(d.confusion()) {
                 *acc += v;
             }
@@ -414,9 +461,11 @@ struct MergedMetrics {
     batch_us: crate::metrics::LogHistogram,
     batch_size: crate::metrics::LogHistogram,
     snapshot_write_us: crate::metrics::LogHistogram,
+    burn: BurnSnapshot,
     joined: u64,
     abs_err_sum: f64,
     within: u64,
+    pending: u64,
     confusion: [u64; 4],
 }
 
@@ -495,12 +544,14 @@ impl MergedMetrics {
             ("batch_us".into(), self.batch_us.to_json()),
             ("batch_size".into(), self.batch_size.to_json()),
             ("snapshot_write_us".into(), self.snapshot_write_us.to_json()),
+            ("burn".into(), burn_snapshot_to_json(&self.burn)),
             (
                 "drift".into(),
                 Json::Obj(vec![
                     ("joined".into(), Json::Int(self.joined as i128)),
                     ("mae_min".into(), Json::Num(mae)),
                     ("within_2x".into(), Json::Num(within_2x)),
+                    ("pending".into(), Json::Int(self.pending as i128)),
                     ("confusion".into(), Json::Obj(confusion)),
                 ]),
             ),

@@ -1,0 +1,205 @@
+//! End-to-end tracing pipeline proof (DESIGN §14).
+//!
+//! Drives the same [`RouterSession`] the transports use and asserts the PR's
+//! acceptance contract: a traced v2 predict's response echoes its trace id,
+//! the `{"event":"trace"}` flight-recorder dump returns those traces with a
+//! per-stage breakdown, and the stage tiling is tight — the stage sum lands
+//! within 10% of the recorded end-to-end latency (it is equal by
+//! construction up to clock-granularity saturation, so the bound is generous
+//! on purpose).
+//!
+//! These tests run on the real monotonic clock: the Featurize stage is
+//! measured with `Instant` inside the engine, so only a clock advancing in
+//! real time makes the stage budget tile into the stamped span.
+
+use trout_serve::protocol::submit_line;
+use trout_serve::{RouterSession, ServeConfig, ShardSet};
+use trout_slurmsim::{JobRecord, SimulationBuilder};
+use trout_std::json::Json;
+
+fn live_set(n_shards: usize) -> (ShardSet, Vec<JobRecord>) {
+    let cfg = ServeConfig {
+        refit_every: 0,
+        seed: 5,
+        ..Default::default()
+    };
+    let set = ShardSet::bootstrap(n_shards, 150, &cfg);
+    let live = SimulationBuilder::anvil_like().jobs(30).seed(6).run();
+    let mut session = RouterSession::new(set.len(), 64);
+    let mut sink = Vec::new();
+    for rec in &live.records {
+        session
+            .handle_line(&set, &submit_line(rec), &mut sink)
+            .unwrap();
+    }
+    (set, live.records)
+}
+
+fn traced_predict(id: u64, time: i64) -> String {
+    format!("{{\"v\":2,\"event\":\"predict\",\"id\":{id},\"time\":{time},\"trace\":true}}")
+}
+
+fn response_lines(out: &[u8]) -> Vec<Json> {
+    String::from_utf8(out.to_vec())
+        .unwrap()
+        .lines()
+        .map(|l| Json::parse(l).unwrap_or_else(|e| panic!("bad response {l:?}: {e}")))
+        .collect()
+}
+
+fn str_of(j: &Json, key: &str) -> String {
+    match j.get(key) {
+        Some(Json::Str(s)) => s.clone(),
+        other => panic!("expected string `{key}`, got {other:?}"),
+    }
+}
+
+fn int_of(j: &Json, key: &str) -> i128 {
+    match j.get(key) {
+        Some(Json::Int(v)) => *v,
+        other => panic!("expected int `{key}`, got {other:?}"),
+    }
+}
+
+#[test]
+fn traced_responses_echo_ids_and_stage_sums_tile_the_latency() {
+    const N_TRACED: usize = 4;
+    let (set, recs) = live_set(2);
+    // batch_max = N_TRACED: the last traced predict triggers the flush.
+    let mut session = RouterSession::new(set.len(), N_TRACED);
+    let mut out = Vec::new();
+    for rec in recs.iter().take(N_TRACED) {
+        session
+            .handle_line(&set, &traced_predict(rec.id, rec.submit_time), &mut out)
+            .unwrap();
+    }
+    let responses = response_lines(&out);
+    assert_eq!(responses.len(), N_TRACED, "flush answered the full window");
+
+    // Every traced response carries a distinct 16-hex-digit trace id.
+    let mut echoed: Vec<String> = Vec::new();
+    for r in &responses {
+        assert_eq!(r.get("ok"), Some(&Json::Bool(true)));
+        let tid = str_of(r, "trace_id");
+        assert_eq!(tid.len(), 16, "fixed-width hex id: {tid}");
+        assert!(tid.bytes().all(|b| b.is_ascii_hexdigit()), "{tid}");
+        assert!(!echoed.contains(&tid), "duplicate trace id {tid}");
+        echoed.push(tid);
+    }
+
+    // The flight recorder returns those traces, newest first, with a
+    // per-stage breakdown whose sum is within 10% of the total.
+    out.clear();
+    session
+        .handle_line(&set, "{\"event\":\"trace\",\"last\":16}", &mut out)
+        .unwrap();
+    let dump = &response_lines(&out)[0];
+    assert_eq!(dump.get("ok"), Some(&Json::Bool(true)));
+    assert_eq!(dump.get("event"), Some(&Json::Str("trace".into())));
+    assert_eq!(int_of(dump, "count"), N_TRACED as i128);
+    let traces = match dump.get("traces") {
+        Some(Json::Arr(v)) => v,
+        other => panic!("bad traces member {other:?}"),
+    };
+    assert_eq!(traces.len(), N_TRACED);
+    for t in traces {
+        let tid = str_of(t, "trace_id");
+        assert!(echoed.contains(&tid), "dumped {tid} was never echoed");
+        let total = int_of(t, "total_us");
+        let stages = t.get("stages").expect("stages object");
+        let sum: i128 = [
+            "parse_us",
+            "hold_us",
+            "admission_us",
+            "featurize_us",
+            "inference_us",
+            "backlog_us",
+            "serialize_us",
+        ]
+        .iter()
+        .map(|s| int_of(stages, s))
+        .sum();
+        // Exact by construction modulo µs-granularity saturation between
+        // the Instant-based featurize split and the session clock stamps.
+        let slack = (total / 10).max(2);
+        assert!(
+            (sum - total).abs() <= slack,
+            "stage sum {sum} vs total {total} for {tid}: {t}"
+        );
+    }
+}
+
+#[test]
+fn untraced_predicts_stay_invisible_to_the_flight_recorder() {
+    let (set, recs) = live_set(1);
+    let mut session = RouterSession::new(set.len(), 1);
+    let mut out = Vec::new();
+    // v1 and untraced v2 predicts: no trace ids, nothing recorded.
+    let rec = &recs[0];
+    session
+        .handle_line(
+            &set,
+            &format!(
+                "{{\"event\":\"predict\",\"id\":{},\"time\":{}}}",
+                rec.id, rec.submit_time
+            ),
+            &mut out,
+        )
+        .unwrap();
+    let rec2 = &recs[1];
+    session
+        .handle_line(
+            &set,
+            &format!(
+                "{{\"v\":2,\"event\":\"predict\",\"id\":{},\"time\":{}}}",
+                rec2.id, rec2.submit_time
+            ),
+            &mut out,
+        )
+        .unwrap();
+    for r in &response_lines(&out) {
+        assert_eq!(r.get("ok"), Some(&Json::Bool(true)));
+        assert!(r.get("trace_id").is_none(), "untraced predicts echo no id");
+    }
+    out.clear();
+    session
+        .handle_line(&set, "{\"event\":\"trace\"}", &mut out)
+        .unwrap();
+    let dump = &response_lines(&out)[0];
+    assert_eq!(int_of(dump, "count"), 0, "flight recorder stays empty");
+
+    // Tracing without the v2 envelope is a protocol error, so the ci v1
+    // byte-compat smoke can never see trace members.
+    out.clear();
+    session
+        .handle_line(
+            &set,
+            &format!(
+                "{{\"event\":\"predict\",\"id\":{},\"time\":{},\"trace\":true}}",
+                rec.id, rec.submit_time
+            ),
+            &mut out,
+        )
+        .unwrap();
+    let err = &response_lines(&out)[0];
+    assert_eq!(err.get("ok"), Some(&Json::Bool(false)));
+    assert!(str_of(err, "error").contains("v2"));
+}
+
+#[test]
+fn trace_ids_are_deterministic_per_session() {
+    // Two identical sessions against identical sets mint identical ids —
+    // the stream comes from the session's hermetic rng, never from time.
+    let mut ids = Vec::new();
+    for _ in 0..2 {
+        let (set, recs) = live_set(1);
+        let mut session = RouterSession::new(set.len(), 1);
+        let mut out = Vec::new();
+        let rec = &recs[0];
+        session
+            .handle_line(&set, &traced_predict(rec.id, rec.submit_time), &mut out)
+            .unwrap();
+        ids.push(str_of(&response_lines(&out)[0], "trace_id"));
+    }
+    assert_eq!(ids[0], ids[1], "hermetic id stream");
+}

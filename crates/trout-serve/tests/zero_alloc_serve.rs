@@ -14,6 +14,7 @@
 //! lines; needs a state dir), error slots (format their message), and
 //! refits.
 
+use trout_obs::trace::{Stage, TraceRecord, N_STAGES};
 use trout_serve::engine::PredictQuery;
 use trout_serve::{ServeConfig, ServeEngine};
 use trout_slurmsim::SimulationBuilder;
@@ -50,10 +51,35 @@ fn steady_state_allocations(infer_f32: bool) -> u64 {
     engine.predict_batch_into(&queries, &mut results);
     assert!(results.iter().all(|r| r.is_ok()), "warm-up must succeed");
 
-    let (_, during) =
-        CountingAllocator::count(|| engine.predict_batch_into(&queries, &mut results));
+    // The tracing pipeline rides the same hot path: a flush with tracing on
+    // additionally builds one TraceRecord per traced predict, records it
+    // into the sink's ring + stage histograms, and ticks the burn window.
+    // All of that must be allocation-free too, so it joins the counted
+    // region.
+    let sink = engine.metrics.trace.clone();
+    let burn = engine.metrics.burn.clone();
+    let record = TraceRecord {
+        trace_id: 0xfeed_beef,
+        lane: 1,
+        end_us: 1_000,
+        total_us: 420,
+        stages: [60; N_STAGES],
+    };
+    sink.record(&record); // warm nothing — record never allocates, proven below
+
+    let (_, during) = CountingAllocator::count(|| {
+        engine.predict_batch_into(&queries, &mut results);
+        for (k, _) in queries.iter().enumerate() {
+            let mut r = record;
+            r.trace_id = k as u64;
+            sink.record(&r);
+            burn.record(1, k % 2 == 0, 1_000 + k as u64);
+        }
+    });
     assert_eq!(results.len(), BATCH);
     assert!(results.iter().all(|r| r.is_ok()));
+    assert!(sink.recorded() >= BATCH as u64);
+    assert!(sink.stage_histogram(Stage::Parse).count() >= BATCH as u64);
     during
 }
 
