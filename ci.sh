@@ -202,6 +202,127 @@ grep -v '"event":"metrics"' "$sh_tmp/combined.ndjson" > "$sh_tmp/got.events"
 cmp "$sh_tmp/ref.events" "$sh_tmp/got.events"
 rm -rf "$sh_tmp"
 
+# Replication smoke: a leader daemon streams its journals to a follower
+# started from the same bootstrap, the follower serves read-only while
+# streaming, the leader is SIGKILLed, and the promoted follower must answer
+# {"event":"state"} byte-identical to the dead leader's dump at the same
+# watermark — the cross-process version of the replication e2e tests.
+# (bash provides the /dev/tcp client; the daemons themselves are dash-run.)
+repl_tmp=$(mktemp -d)
+./target/release/trout simulate --jobs 80 --seed 11 --out "$repl_tmp/trace.csv"
+./target/release/trout events --trace "$repl_tmp/trace.csv" --predict-every 4 \
+    --out "$repl_tmp/events.ndjson"
+head -n -2 "$repl_tmp/events.ndjson" > "$repl_tmp/feed.ndjson" # no shutdown
+nfeed=$(wc -l < "$repl_tmp/feed.ndjson")
+./target/release/trout serve --bootstrap 300 --seed 7 --shards 2 \
+    --listen 127.0.0.1:29471 --state-dir "$repl_tmp/lstate" \
+    --replicate-listen 127.0.0.1:29472 &
+leader_pid=$!
+./target/release/trout serve --bootstrap 300 --seed 7 --shards 2 \
+    --listen 127.0.0.1:29473 --state-dir "$repl_tmp/fstate" \
+    --follow 127.0.0.1:29472 &
+follower_pid=$!
+for _ in $(seq 1 100); do
+    ./target/release/trout replicate --connect 127.0.0.1:29471 --json \
+        > "$repl_tmp/repl.json" 2> /dev/null && break
+    sleep 0.1
+done
+# Feed the script over TCP and capture the leader's canonical state dump.
+bash -c "exec 3<>/dev/tcp/127.0.0.1/29471
+cat '$repl_tmp/feed.ndjson' >&3
+head -n $nfeed <&3 > '$repl_tmp/leader_responses.ndjson'
+printf '{\"event\":\"state\"}\n' >&3
+head -n 1 <&3 > '$repl_tmp/leader_state.json'"
+test "$(wc -l < "$repl_tmp/leader_responses.ndjson")" -eq "$nfeed"
+# Wait until the follower has acked the leader's watermark on every shard.
+for _ in $(seq 1 100); do
+    ./target/release/trout replicate --connect 127.0.0.1:29471 --json \
+        > "$repl_tmp/repl.json"
+    grep -q '"followers":1' "$repl_tmp/repl.json" \
+        && ! grep -q '"lag":[1-9]' "$repl_tmp/repl.json" && break
+    sleep 0.1
+done
+grep -q '"role":"leader"' "$repl_tmp/repl.json"
+! grep -q '"lag":[1-9]' "$repl_tmp/repl.json"
+./target/release/trout replicate --connect 127.0.0.1:29473 --json \
+    > "$repl_tmp/frepl.json"
+grep -q '"role":"follower"' "$repl_tmp/frepl.json"
+# Mid-stream the follower is read-only: lifecycle writes are refused typed.
+bash -c "exec 3<>/dev/tcp/127.0.0.1/29473
+printf '{\"event\":\"start\",\"id\":999999,\"time\":1}\n' >&3
+head -n 1 <&3 > '$repl_tmp/refused.json'"
+grep -q '"ok":false' "$repl_tmp/refused.json"
+grep -q 'read_only' "$repl_tmp/refused.json"
+# Kill the leader abruptly and promote the standby over the wire.
+kill -9 "$leader_pid"
+wait "$leader_pid" || true
+bash -c "exec 3<>/dev/tcp/127.0.0.1/29473
+printf '{\"event\":\"promote\"}\n{\"event\":\"state\"}\n' >&3
+head -n 2 <&3 > '$repl_tmp/promote_state.ndjson'"
+grep -q '"was_follower":true' "$repl_tmp/promote_state.ndjson"
+grep '"event":"state"' "$repl_tmp/promote_state.ndjson" \
+    > "$repl_tmp/follower_state.json"
+cmp "$repl_tmp/leader_state.json" "$repl_tmp/follower_state.json"
+# The promoted daemon accepts lifecycle writes again (gate lifts within
+# one follower poll tick).
+for _ in $(seq 1 50); do
+    bash -c "exec 3<>/dev/tcp/127.0.0.1/29473
+printf '{\"event\":\"start\",\"id\":999999,\"time\":1}\n' >&3
+head -n 1 <&3 > '$repl_tmp/after.json'"
+    grep -q '"ok":' "$repl_tmp/after.json" \
+        && ! grep -q 'read_only' "$repl_tmp/after.json" && break
+    sleep 0.1
+done
+! grep -q 'read_only' "$repl_tmp/after.json"
+kill -9 "$follower_pid"
+wait "$follower_pid" || true
+rm -rf "$repl_tmp"
+
+# Compaction smoke: --compact keeps the on-disk journal bounded (one
+# journal_base control line plus at most snapshot-every entries) while the
+# SIGKILL-halfway recovery drill stays byte-identical to an uninterrupted
+# run.
+cpt_tmp=$(mktemp -d)
+./target/release/trout simulate --jobs 80 --seed 11 --out "$cpt_tmp/trace.csv"
+./target/release/trout events --trace "$cpt_tmp/trace.csv" --predict-every 4 \
+    --out "$cpt_tmp/events.ndjson"
+total=$(wc -l < "$cpt_tmp/events.ndjson")
+half=$((total / 2))
+./target/release/trout serve --bootstrap 300 --seed 7 --stdin \
+    < "$cpt_tmp/events.ndjson" > "$cpt_tmp/ref.ndjson"
+mkfifo "$cpt_tmp/pipe"
+./target/release/trout serve --bootstrap 300 --seed 7 --stdin \
+    --state-dir "$cpt_tmp/state" --snapshot-every 16 --compact \
+    < "$cpt_tmp/pipe" > "$cpt_tmp/part1.ndjson" &
+serve_pid=$!
+exec 9> "$cpt_tmp/pipe"
+head -n "$half" "$cpt_tmp/events.ndjson" >&9
+for _ in $(seq 1 100); do
+    test "$(wc -l < "$cpt_tmp/part1.ndjson")" -eq "$half" && break
+    sleep 0.1
+done
+test "$(wc -l < "$cpt_tmp/part1.ndjson")" -eq "$half"
+kill -9 "$serve_pid"
+exec 9>&-
+wait "$serve_pid" || true
+# The journal was truncated behind the last snapshot: it opens with a
+# journal_base line at a positive absolute position and holds at most
+# snapshot-every entries behind the watermark.
+jr="$cpt_tmp/state/shard-000/journal.ndjson"
+head -n 1 "$jr" | grep -q '"event":"journal_base"'
+head -n 1 "$jr" | grep -q '"pos":[1-9]'
+test "$(wc -l < "$jr")" -le 17
+tail -n +"$((half + 1))" "$cpt_tmp/events.ndjson" \
+    | ./target/release/trout serve --bootstrap 300 --seed 7 --stdin \
+        --state-dir "$cpt_tmp/state" --snapshot-every 16 --compact --recover \
+        > "$cpt_tmp/part2.ndjson"
+cat "$cpt_tmp/part1.ndjson" "$cpt_tmp/part2.ndjson" > "$cpt_tmp/combined.ndjson"
+test "$(wc -l < "$cpt_tmp/combined.ndjson")" -eq "$total"
+grep -v '"event":"metrics"' "$cpt_tmp/ref.ndjson" > "$cpt_tmp/ref.events"
+grep -v '"event":"metrics"' "$cpt_tmp/combined.ndjson" > "$cpt_tmp/got.events"
+cmp "$cpt_tmp/ref.events" "$cpt_tmp/got.events"
+rm -rf "$cpt_tmp"
+
 # Deterministic concurrency battery, cross-process: the canonical merged
 # 4-shard state written by the battery must be bit-identical whether the
 # engines run single- or multi-threaded.
@@ -219,7 +340,8 @@ rm -rf "$bat_tmp"
 # One-iteration pass over the serve bench (no calibration, no report).
 TROUT_BENCH_SMOKE=1 cargo bench --offline -p trout-bench --bench serve_bench
 
-# And the crash-recovery bench (journal appends, snapshot writes, replay).
+# And the crash-recovery bench (journal appends, snapshot writes, replay,
+# replication catch-up).
 TROUT_BENCH_SMOKE=1 cargo bench --offline -p trout-bench --bench recover_bench
 
 # Same for the training-throughput and matmul benches guarding the

@@ -1,7 +1,7 @@
 //! Crash-recovery benchmark: what durability costs while serving, and how
 //! fast a crashed daemon comes back.
 //!
-//! Three questions, one report (`BENCH_recover.json`):
+//! Four questions, one report (`BENCH_recover.json`):
 //!
 //! 1. **Journal overhead** — criterion-timed single appends with and
 //!    without an fsync per record (the `--fsync-every 1` durable-before-ack
@@ -11,11 +11,19 @@
 //!    the same served history, with replayed-event counts and events/sec.
 //! 3. **Snapshot cost** — criterion-timed `write_snapshot` on the loaded
 //!    engine, plus the snapshot's on-disk size.
+//! 4. **Replication catch-up** — one-shot wall-clock for a fresh follower
+//!    to stream the leader's full journal over localhost TCP and reach its
+//!    watermark: the time a replacement hot standby takes to re-arm.
 
+use std::net::TcpListener;
 use std::path::PathBuf;
-use std::time::Instant;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
-use trout_serve::{run_session, Journal, ServeConfig, ServeEngine, ShardSet, SNAPSHOT_FILE};
+use trout_serve::{
+    run_follower, run_session, spawn_replication_listener, Journal, ServeConfig, ServeEngine,
+    ShardSet, SNAPSHOT_FILE,
+};
 use trout_slurmsim::SimulationBuilder;
 use trout_std::bench::{write_report, Criterion};
 use trout_std::json::Json;
@@ -79,6 +87,70 @@ fn timed_recovery(
     (e, j)
 }
 
+/// One-shot replication catch-up measurement: a leader serves `script`
+/// into a journaled shard dir, then a fresh follower (watermark 0)
+/// streams the whole journal over localhost TCP. Wall-clock until the
+/// follower's watermark equals the leader's is the re-arm time of a
+/// replacement hot standby — and the follower runs with default
+/// durability, so every replayed entry pays the same fsync the leader's
+/// clients did.
+fn timed_replication(cfg: &ServeConfig, boot_jobs: usize, script: &str) -> Json {
+    let ldir = bench_dir("repl_leader");
+    let mut le = fresh_engine(cfg, boot_jobs);
+    le.online_config_mut().journal_fsync_every = 0; // setup, not measured
+    let leader = Arc::new(ShardSet::single(le));
+    leader.open_state_dir(&ldir, 0, false).expect("leader dir");
+    let mut sink = Vec::new();
+    run_session(&leader, script.as_bytes(), &mut sink, 64).expect("leader session");
+    let watermarks = leader.journal_watermarks();
+    let entries: u64 = watermarks.iter().sum();
+
+    let hub = spawn_replication_listener(
+        Arc::clone(&leader),
+        ldir.clone(),
+        TcpListener::bind("127.0.0.1:0").expect("bind"),
+    )
+    .expect("replication listener");
+    let addr = hub.addr().to_string();
+
+    let fdir = bench_dir("repl_follower");
+    let follower = Arc::new(ShardSet::single(fresh_engine(cfg, boot_jobs)));
+    follower
+        .open_state_dir(&fdir, 0, false)
+        .expect("follower dir");
+    let t0 = Instant::now();
+    let fthread = {
+        let shards = Arc::clone(&follower);
+        let dir = fdir.clone();
+        std::thread::spawn(move || run_follower(&shards, &dir, &addr))
+    };
+    let deadline = Instant::now() + Duration::from_secs(300);
+    while follower.journal_watermarks() != watermarks {
+        assert!(Instant::now() < deadline, "follower catch-up timed out");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let catchup_s = t0.elapsed().as_secs_f64();
+    hub.stop();
+    follower.request_promote();
+    fthread.join().expect("follower thread").expect("follower");
+    assert_eq!(
+        follower.merged_state_to_json().to_string(),
+        leader.merged_state_to_json().to_string(),
+        "catch-up converges byte-identically"
+    );
+    for d in [ldir, fdir] {
+        let _ = std::fs::remove_dir_all(d);
+    }
+    Json::Obj(vec![
+        ("entries".into(), Json::Int(entries as i128)),
+        ("catchup_s".into(), Json::Num(catchup_s)),
+        (
+            "entries_per_sec".into(),
+            Json::Num(entries as f64 / catchup_s.max(1e-9)),
+        ),
+    ])
+}
+
 /// Benchmarks the durability path end to end; writes `BENCH_recover.json`
 /// unless smoking.
 pub fn bench_recover(c: &mut Criterion) {
@@ -121,6 +193,8 @@ pub fn bench_recover(c: &mut Criterion) {
         "bench recover: journal-only {journal_only}, snapshot+tail {snapshot_tail}, \
          snapshot {snapshot_bytes} bytes"
     );
+    let replication = timed_replication(&cfg, boot_jobs, &script);
+    eprintln!("bench recover: replication catch-up {replication}");
 
     // Criterion section: per-append journal cost (with and without the
     // durable-before-ack fsync) and the snapshot write on the live engine.
@@ -156,6 +230,7 @@ pub fn bench_recover(c: &mut Criterion) {
             ),
             ("journal_only".into(), journal_only),
             ("snapshot_tail".into(), snapshot_tail),
+            ("replication".into(), replication),
         ]);
         write_report("recover", &report);
     }

@@ -64,6 +64,28 @@ impl Gauge {
     pub fn get(&self) -> f64 {
         f64::from_bits(self.0.load(Ordering::Relaxed))
     }
+
+    /// Raises the gauge to `v` if `v` exceeds the stored value — a lock-free
+    /// high-water mark (replication lag peaks, session peaks). Concurrent
+    /// writers race benignly: the final value is the maximum observed.
+    /// `NaN` is ignored.
+    pub fn set_max(&self, v: f64) {
+        if v.is_nan() {
+            return;
+        }
+        let mut cur = self.0.load(Ordering::Relaxed);
+        while v > f64::from_bits(cur) || f64::from_bits(cur).is_nan() {
+            match self.0.compare_exchange_weak(
+                cur,
+                v.to_bits(),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
 }
 
 #[derive(Debug)]
@@ -179,6 +201,19 @@ mod tests {
         let g = Gauge::new();
         g.set(0.1 + 0.2);
         assert_eq!(g.get(), 0.1 + 0.2, "gauge stores exact f64 bits");
+    }
+
+    #[test]
+    fn gauge_set_max_is_a_high_water_mark() {
+        let g = Gauge::new();
+        g.set_max(3.0);
+        assert_eq!(g.get(), 3.0);
+        g.set_max(1.0);
+        assert_eq!(g.get(), 3.0, "lower value ignored");
+        g.set_max(7.5);
+        assert_eq!(g.get(), 7.5);
+        g.set_max(f64::NAN);
+        assert_eq!(g.get(), 7.5, "NaN ignored");
     }
 
     #[test]

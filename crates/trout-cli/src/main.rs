@@ -53,6 +53,7 @@ fn run(argv: &[String]) -> Result<(), TroutError> {
         "events" => serve_cmd::events(&opts),
         "metrics" => serve_cmd::metrics(&opts),
         "trace" => serve_cmd::trace(&opts),
+        "replicate" => serve_cmd::replicate(&opts),
         "help" | "--help" | "-h" => {
             print_usage();
             Ok(())
@@ -92,7 +93,11 @@ SUBCOMMANDS:
               [--stdin | --listen ADDR [--reactor [--reactor-threads N]]]
               [--shards N] [--batch N] [--refit-every N]
               [--state-dir DIR [--recover] [--snapshot-every N]
-               [--fsync-every N]]   crash-safe journaling + recovery
+               [--fsync-every N] [--compact]]   crash-safe journaling +
+              recovery; --compact truncates the journal behind each snapshot
+              [--replicate-listen ADDR]   leader: stream journals to followers
+              [--follow ADDR]   hot standby: replay the leader's stream,
+              serve read-only, promote via {{\"event\":\"promote\"}}
               --shards N routes predicts across N engines; --reactor swaps
               thread-per-connection for a poll(2) event loop
   events      flatten a trace into a submit/start/end ndjson replay script
@@ -103,6 +108,9 @@ SUBCOMMANDS:
   trace       pull a running daemon's flight recorder (traced requests
               with per-stage latency breakdown)
               --connect HOST:PORT [--last N] [--json]
+  replicate   query a daemon's replication status (role, per-shard
+              watermark / compaction base / followers / lag)
+              --connect HOST:PORT [--json]
 
 Set TROUT_LOG=debug|info|warn|error|off to filter the structured JSONL
 event log on stderr (default info)."

@@ -10,7 +10,8 @@ use trout_core::online::OnlineConfig;
 use trout_core::TroutConfig;
 use trout_obs::log_info;
 use trout_serve::{
-    replay_script, run_reactor, run_stdin, run_tcp, ReactorConfig, ServeConfig, ShardSet,
+    replay_script, run_follower, run_reactor, run_stdin, run_tcp, spawn_replication_listener,
+    ReactorConfig, ServeConfig, ShardSet,
 };
 use trout_std::json::Json;
 
@@ -23,7 +24,8 @@ use crate::commands::{load_model, load_trace};
 ///              [--deadline-ms N] [--urgent-deadline-ms N]
 ///              [--batch-deadline-ms N] [--est-predict-us N]
 ///              [--state-dir DIR [--recover] [--snapshot-every N]
-///               [--fsync-every N]]`
+///               [--fsync-every N] [--compact]]
+///              [--replicate-listen ADDR | --follow ADDR]`
 ///
 /// Builds the shard set (either from a trained model plus its training
 /// trace, or self-bootstrapped from a fresh simulation), then serves the
@@ -58,6 +60,19 @@ use crate::commands::{load_model, load_trace};
 /// own `shard-NNN/` subdirectory. After a crash, restarting with the
 /// **same engine arguments** (including `--shards`) plus `--recover`
 /// restores the exact state the crashed daemon had acknowledged.
+/// `--compact` truncates each journal after the snapshot that covers it,
+/// bounding the state dir to one snapshot plus one snapshot interval of
+/// tail (recovery and replication positions stay absolute).
+///
+/// Replication (DESIGN §15): `--replicate-listen ADDR` makes this daemon a
+/// leader that streams every acknowledged journal entry to connected
+/// followers; `--follow ADDR` makes it a hot standby that replays the
+/// leader's stream into a warm engine, journals it locally, serves
+/// read-only predicts (lifecycle events get a typed `read_only` error),
+/// and becomes the leader when sent `{"event":"promote"}`. Both require
+/// `--state-dir`; a follower also requires `--listen` (the promote line
+/// arrives on the client port), and bootstrap arguments must match the
+/// leader's.
 pub fn serve(opts: &Options) -> Result<()> {
     let batch: usize = opts.get_or("batch", 32)?;
     let n_shards: usize = opts.get_or("shards", 1)?;
@@ -130,6 +145,29 @@ pub fn serve(opts: &Options) -> Result<()> {
     for i in 0..shards.len() {
         shards.lock(i).online_config_mut().journal_fsync_every = fsync_every;
     }
+    if opts.has("compact") {
+        shards.set_compaction(true);
+    }
+
+    let replicate_listen = opts.get("replicate-listen").map(str::to_string);
+    let follow = opts.get("follow").map(str::to_string);
+    if replicate_listen.is_some() && follow.is_some() {
+        return Err(TroutError::Config(
+            "--replicate-listen (leader) and --follow (follower) are mutually exclusive".into(),
+        ));
+    }
+    let repl_state_dir = if replicate_listen.is_some() || follow.is_some() {
+        match opts.get("state-dir") {
+            Some(dir) => Some(std::path::PathBuf::from(dir)),
+            None => {
+                return Err(TroutError::Config(
+                    "replication needs --state-dir DIR: the journal is the stream".into(),
+                ))
+            }
+        }
+    } else {
+        None
+    };
 
     let recover = opts.has("recover");
     match opts.get("state-dir") {
@@ -172,6 +210,34 @@ pub fn serve(opts: &Options) -> Result<()> {
         Some(addr) => {
             let listener = std::net::TcpListener::bind(addr)
                 .map_err(|e| TroutError::Config(format!("cannot listen on {addr}: {e}")))?;
+            let shards = Arc::new(shards);
+            let _leader_hub = match &replicate_listen {
+                Some(raddr) => {
+                    let rlistener = std::net::TcpListener::bind(raddr).map_err(|e| {
+                        TroutError::Config(format!("cannot listen for followers on {raddr}: {e}"))
+                    })?;
+                    let dir = repl_state_dir.clone().expect("checked above");
+                    let hub = spawn_replication_listener(Arc::clone(&shards), dir, rlistener)?;
+                    log_info!(
+                        "serve",
+                        "replication leader streaming journals on {}",
+                        hub.addr()
+                    );
+                    Some(hub)
+                }
+                None => None,
+            };
+            let _follower = follow.as_ref().map(|faddr| {
+                let s = Arc::clone(&shards);
+                let dir = repl_state_dir.clone().expect("checked above");
+                let faddr = faddr.clone();
+                log_info!(
+                    "serve",
+                    "hot standby following {faddr}: lifecycle events are refused \
+                     (read_only) until {{\"event\":\"promote\"}}"
+                );
+                std::thread::spawn(move || run_follower(&s, &dir, &faddr))
+            });
             if opts.has("reactor") {
                 let threads: usize = opts.get_or("reactor-threads", 0)?;
                 log_info!(
@@ -184,7 +250,7 @@ pub fn serve(opts: &Options) -> Result<()> {
                     }
                 );
                 run_reactor(
-                    Arc::new(shards),
+                    shards,
                     listener,
                     ReactorConfig {
                         threads,
@@ -194,9 +260,14 @@ pub fn serve(opts: &Options) -> Result<()> {
                 )
             } else {
                 log_info!("serve", "listening on {addr}");
-                run_tcp(Arc::new(shards), listener, batch, None)
+                run_tcp(shards, listener, batch, None)
             }
         }
+        None if replicate_listen.is_some() || follow.is_some() => Err(TroutError::Config(
+            "replication needs --listen ADDR: followers ack over TCP and \
+             {\"event\":\"promote\"} arrives on the client port"
+                .into(),
+        )),
         None => {
             log_info!("serve", "reading events from stdin (batch {batch})");
             let handled = run_stdin(shards, batch)?;
@@ -265,6 +336,47 @@ pub fn metrics(opts: &Options) -> Result<()> {
                 ))
             }
         },
+    }
+    Ok(())
+}
+
+/// `trout replicate --connect HOST:PORT [--json]`
+///
+/// Queries a running daemon for its replication status: role (leader or
+/// follower) plus, per shard, the absolute journal watermark, compaction
+/// base, connected follower count, and replication lag in events. `--json`
+/// prints the raw response line.
+pub fn replicate(opts: &Options) -> Result<()> {
+    let addr = opts.require("connect")?;
+    let response = request_one(addr, "{\"event\":\"replication\"}\n")?;
+    if opts.has("json") {
+        println!("{response}");
+        return Ok(());
+    }
+    let role = match response.get("role") {
+        Some(Json::Str(s)) => s.clone(),
+        _ => "?".into(),
+    };
+    let int_of = |j: Option<&Json>| match j {
+        Some(Json::Int(v)) => *v,
+        _ => 0,
+    };
+    println!("role: {role}");
+    println!(
+        "{:<6} {:>12} {:>12} {:>10} {:>8}",
+        "shard", "watermark", "base", "followers", "lag"
+    );
+    if let Some(Json::Arr(shards)) = response.get("shards") {
+        for (i, s) in shards.iter().enumerate() {
+            println!(
+                "{:<6} {:>12} {:>12} {:>10} {:>8}",
+                i,
+                int_of(s.get("watermark")),
+                int_of(s.get("base")),
+                int_of(s.get("followers")),
+                int_of(s.get("lag")),
+            );
+        }
     }
     Ok(())
 }

@@ -32,6 +32,10 @@ pub enum TroutError {
         /// Suggested client back-off before retrying, in milliseconds.
         retry_after_ms: u64,
     },
+    /// The daemon is a replication follower: it serves predicts but refuses
+    /// state-changing lifecycle events — those must go to the leader, whose
+    /// journal stream is this instance's only source of state truth.
+    ReadOnly(String),
 }
 
 impl std::fmt::Display for TroutError {
@@ -46,6 +50,7 @@ impl std::fmt::Display for TroutError {
                 f,
                 "overloaded: lane queue exceeds its latency budget, retry after {retry_after_ms} ms"
             ),
+            TroutError::ReadOnly(m) => write!(f, "read_only: {m}"),
         }
     }
 }
@@ -96,6 +101,10 @@ mod tests {
             (TroutError::Model("no model".into()), "model error"),
             (TroutError::Protocol("bad event".into()), "protocol error"),
             (TroutError::Overloaded { retry_after_ms: 25 }, "overloaded"),
+            (
+                TroutError::ReadOnly("follower refuses lifecycle".into()),
+                "read_only",
+            ),
         ];
         for (e, prefix) in cases {
             assert!(e.to_string().starts_with(prefix), "{e}");

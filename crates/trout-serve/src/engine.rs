@@ -314,6 +314,9 @@ pub struct ServeEngine {
     /// (the events are already in the journal) and snapshotting (state is
     /// mid-reconstruction).
     replaying: bool,
+    /// Pending compaction policy, applied to the [`Durability`] attachment
+    /// when (or after) `open_state_dir` arms it.
+    compact_on_snapshot: bool,
 }
 
 impl ServeEngine {
@@ -361,6 +364,7 @@ impl ServeEngine {
             last_featurize_us: 0,
             durability: None,
             replaying: false,
+            compact_on_snapshot: false,
         }
     }
 
@@ -646,7 +650,15 @@ impl ServeEngine {
         } else {
             RecoveryReport::default()
         };
-        let journal = Journal::open(&journal_path, self.online_cfg.journal_fsync_every)?;
+        let mut journal = Journal::open(&journal_path, self.online_cfg.journal_fsync_every)?;
+        if journal.appends() < report.snapshot_journal_pos {
+            // The journal is empty behind the snapshot (power loss under
+            // `--fsync-every 0`, or a torn-to-empty first append): the
+            // snapshot was recovered as the durable truth, so repair the
+            // journal base to its watermark — new appends must land at the
+            // right absolute position.
+            journal.reset_base(report.snapshot_journal_pos)?;
+        }
         // Resume the snapshot cadence where the loaded snapshot left off.
         let since_snapshot = journal
             .appends()
@@ -656,8 +668,61 @@ impl ServeEngine {
             dir: dir.to_path_buf(),
             snapshot_every,
             since_snapshot,
+            compact: self.compact_on_snapshot,
         });
         Ok(report)
+    }
+
+    /// Enables journal compaction: every snapshot write is followed by an
+    /// atomic truncation of the entries the snapshot covers, bounding the
+    /// state dir to one snapshot + one snapshot interval of journal tail.
+    /// Takes effect at the next snapshot; legal to call before or after
+    /// [`open_state_dir`](Self::open_state_dir) arms durability (the flag
+    /// is ignored until it does).
+    pub fn set_compaction(&mut self, on: bool) {
+        if let Some(d) = self.durability.as_mut() {
+            d.compact = on;
+        }
+        self.compact_on_snapshot = on;
+    }
+
+    /// Absolute journal watermark: events journaled since the journal was
+    /// born (compacted-away entries included). 0 without a state dir.
+    pub fn journal_position(&self) -> u64 {
+        self.durability
+            .as_ref()
+            .map(|d| d.journal.appends())
+            .unwrap_or(0)
+    }
+
+    /// Compaction base of the attached journal (0 without a state dir or
+    /// before the first compaction).
+    pub fn journal_base(&self) -> u64 {
+        self.durability
+            .as_ref()
+            .map(|d| d.journal.base())
+            .unwrap_or(0)
+    }
+
+    /// Installs a leader snapshot onto this follower engine at absolute
+    /// journal position `pos`: restores the state payload, resets the local
+    /// journal to base `pos` (entries the snapshot covers are the leader's
+    /// compacted history — this follower never saw them), and writes a
+    /// local snapshot so a follower crash recovers without re-fetching.
+    pub fn install_snapshot(&mut self, state: &Json, pos: u64) -> Result<(), TroutError> {
+        self.restore_state(state)?;
+        {
+            let Some(d) = self.durability.as_mut() else {
+                return Err(TroutError::Config(
+                    "install_snapshot: no state dir attached".into(),
+                ));
+            };
+            d.journal.reset_base(pos)?;
+            d.since_snapshot = 0;
+        }
+        self.write_snapshot()?;
+        self.metrics.replication_snapshots_installed.inc();
+        Ok(())
     }
 
     /// Whether a state dir is attached (journaling is live).
@@ -743,6 +808,16 @@ impl ServeEngine {
         ]);
         atomic_write(&d.dir.join(SNAPSHOT_FILE), snap.to_string().as_bytes())?;
         d.since_snapshot = 0;
+        if d.compact {
+            // The snapshot just made durable covers every journal entry, so
+            // truncate them all: the file collapses to one base control line
+            // at the watermark. A crash between the snapshot rename and this
+            // rename merely leaves the uncompacted journal — recovery skips
+            // the covered prefix either way.
+            let dropped = d.journal.compact()?;
+            self.metrics.compactions_total.inc();
+            self.metrics.compacted_lines_total.add(dropped);
+        }
         self.metrics
             .snapshot_write_us
             .record(t.elapsed().as_micros() as u64);

@@ -13,19 +13,34 @@
 //! diverge from the uninterrupted one at the first refit or drift join.
 //!
 //! Durability policy: [`OnlineConfig::journal_fsync_every`] appends between
-//! `sync_data` calls (`1` = every accepted event is durable before its ack;
-//! `0` = never fsync — a process crash still loses nothing because the OS
-//! page cache survives it, only power loss can). A crash mid-append leaves a
-//! torn final line; the record was never acknowledged, so both the reopen
-//! path and the recovery reader drop it ([`trout_std::fsio`]).
+//! `sync_data` calls. `1` means every accepted event is durable before its
+//! ack even across power loss. `0` means appends are never explicitly
+//! fsynced: a *process* crash loses nothing (the written bytes live in the
+//! OS page cache, which survives the process), but power loss or a kernel
+//! panic can drop any append the kernel had not yet written back. File
+//! *creation* is stricter than appends either way: [`Journal::open`] fsyncs
+//! the parent directory after creating the file, otherwise power loss could
+//! unlink the whole journal regardless of the fsync policy. A crash
+//! mid-append leaves a torn final line; the record was never acknowledged,
+//! so both the reopen path and the recovery reader drop it
+//! ([`trout_std::fsio`]).
+//!
+//! **Compaction** keeps the file bounded: after a snapshot at watermark `P`,
+//! [`Journal::compact`] atomically rewrites the file as a single *base
+//! control line* `{"event":"journal_base","pos":P}` — the snapshot already
+//! covers every truncated entry, so recovery (and a replication follower
+//! catching up) starts from the snapshot plus whatever entries follow the
+//! base line. Positions stay **absolute** across compactions: `appends()`
+//! always counts events since the journal was born, never file lines.
 //!
 //! [`OnlineConfig::journal_fsync_every`]: trout_core::online::OnlineConfig
 
 use std::fs::File;
-use std::io;
+use std::io::{self, BufRead};
 use std::path::{Path, PathBuf};
 
-use trout_std::fsio::{append_line, open_append_complete};
+use trout_std::fsio::{append_line, atomic_write, open_append_complete, sync_dir};
+use trout_std::json::Json;
 
 /// Journal file name inside a state dir.
 pub const JOURNAL_FILE: &str = "journal.ndjson";
@@ -33,12 +48,52 @@ pub const JOURNAL_FILE: &str = "journal.ndjson";
 /// Snapshot file name inside a state dir.
 pub const SNAPSHOT_FILE: &str = "snapshot.json";
 
+/// Event name of the compaction base control line.
+pub const JOURNAL_BASE_EVENT: &str = "journal_base";
+
+/// Renders the base control line a compacted journal starts with.
+pub fn base_line(pos: u64) -> String {
+    format!("{{\"event\":\"{JOURNAL_BASE_EVENT}\",\"pos\":{pos}}}")
+}
+
+/// Parses a base control line, returning its absolute position. `None` for
+/// any other line (including malformed JSON — ordinary journal entries are
+/// the caller's business).
+pub fn parse_base_line(line: &str) -> Option<u64> {
+    if !line.contains(JOURNAL_BASE_EVENT) {
+        return None;
+    }
+    let j = Json::parse(line).ok()?;
+    match j.get("event") {
+        Some(Json::Str(s)) if s == JOURNAL_BASE_EVENT => {}
+        _ => return None,
+    }
+    match j.get("pos") {
+        Some(Json::Int(v)) if *v >= 0 && *v <= u64::MAX as i128 => Some(*v as u64),
+        _ => None,
+    }
+}
+
+/// Reads the base watermark of the journal at `path`: the `pos` of its
+/// first-line base control line, or 0 when the file starts with an ordinary
+/// entry (never compacted).
+pub fn read_base(path: &Path) -> io::Result<u64> {
+    let mut first = String::new();
+    std::io::BufReader::new(File::open(path)?).read_line(&mut first)?;
+    Ok(parse_base_line(first.trim_end()).unwrap_or(0))
+}
+
 /// An open append-only event journal.
 #[derive(Debug)]
 pub struct Journal {
     file: File,
+    path: PathBuf,
     fsync_every: u64,
-    /// Complete lines currently in the file — the replay watermark unit.
+    /// Events covered by compaction — the absolute position of the first
+    /// entry *not* in the file. 0 until the first [`Journal::compact`].
+    base: u64,
+    /// Absolute event count: `base` + complete entry lines in the file.
+    /// The replay / replication watermark unit.
     appends: u64,
     since_sync: u64,
 }
@@ -46,20 +101,66 @@ pub struct Journal {
 impl Journal {
     /// Opens (creating if missing) the journal at `path`. A torn final line
     /// from a previous crash is truncated away first, so the next append
-    /// starts on a record boundary.
+    /// starts on a record boundary. On creation the parent directory is
+    /// fsynced so the new file survives power loss, not just process death.
     pub fn open(path: &Path, fsync_every: u64) -> io::Result<Journal> {
+        let fresh = !path.exists();
         let (file, lines) = open_append_complete(path)?;
+        if fresh {
+            if let Some(dir) = path.parent() {
+                sync_dir(dir)?;
+            }
+        }
+        let base = if lines > 0 { read_base(path)? } else { 0 };
+        // The base control line is metadata, not an entry.
+        let entries = if base > 0 { lines - 1 } else { lines };
         Ok(Journal {
             file,
+            path: path.to_path_buf(),
             fsync_every,
-            appends: lines,
+            base,
+            appends: base + entries,
             since_sync: 0,
         })
     }
 
-    /// Complete event lines in the file (pre-existing + appended).
+    /// Absolute event count (compacted-away + still in the file).
     pub fn appends(&self) -> u64 {
         self.appends
+    }
+
+    /// Events already truncated by compaction — entries in the file cover
+    /// absolute positions `base()..appends()`.
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+
+    /// Atomically rewrites the journal as a single base control line
+    /// claiming `pos` events, dropping every entry line. `pos` must cover
+    /// the entries being dropped (a snapshot at watermark `pos` exists, or
+    /// the follower installing a snapshot at `pos` owns nothing older).
+    /// A crash at any instant leaves either the old file or the compacted
+    /// one — `atomic_write` rename semantics. Returns the entry lines
+    /// dropped. The open handle is refreshed (rename orphans the old inode).
+    pub fn reset_base(&mut self, pos: u64) -> io::Result<u64> {
+        self.sync()?;
+        let dropped = self.appends - self.base;
+        let mut text = base_line(pos);
+        text.push('\n');
+        atomic_write(&self.path, text.as_bytes())?;
+        let (file, _) = open_append_complete(&self.path)?;
+        self.file = file;
+        self.base = pos;
+        self.appends = pos;
+        self.since_sync = 0;
+        Ok(dropped)
+    }
+
+    /// Compacts up to the current watermark: every entry in the file is
+    /// dropped in favor of a base line at `appends()`. Callers must have
+    /// written a snapshot at this watermark first.
+    pub fn compact(&mut self) -> io::Result<u64> {
+        self.reset_base(self.appends)
     }
 
     /// Appends one event line and applies the fsync policy. When this
@@ -99,6 +200,10 @@ pub struct Durability {
     pub(crate) snapshot_every: u64,
     /// Appends since the last snapshot (or since the one recovery loaded).
     pub(crate) since_snapshot: u64,
+    /// When set, every snapshot write is followed by [`Journal::compact`],
+    /// keeping the state dir bounded by one snapshot + one snapshot
+    /// interval of journal tail.
+    pub(crate) compact: bool,
 }
 
 #[cfg(test)]
@@ -124,6 +229,45 @@ mod tests {
         let j = Journal::open(&p, 1).unwrap();
         assert_eq!(j.appends(), 2, "reopen resumes the line count");
         std::fs::remove_file(&p).unwrap();
+    }
+
+    #[test]
+    fn compact_truncates_entries_but_keeps_absolute_positions() {
+        let p = tmp("compact");
+        let _ = std::fs::remove_file(&p);
+        let mut j = Journal::open(&p, 1).unwrap();
+        for k in 0..5 {
+            j.append(&format!("{{\"event\":\"start\",\"id\":{k},\"time\":1}}"))
+                .unwrap();
+        }
+        let before = std::fs::metadata(&p).unwrap().len();
+        assert_eq!(j.compact().unwrap(), 5, "five entries dropped");
+        assert_eq!((j.base(), j.appends()), (5, 5));
+        assert!(
+            std::fs::metadata(&p).unwrap().len() < before,
+            "file shrank to the base line"
+        );
+        // Appends after compaction land after the base line and the
+        // absolute count keeps climbing.
+        j.append("{\"event\":\"end\",\"id\":0,\"time\":2}").unwrap();
+        assert_eq!(j.appends(), 6);
+        drop(j);
+        let j = Journal::open(&p, 1).unwrap();
+        assert_eq!(
+            (j.base(), j.appends()),
+            (5, 6),
+            "reopen parses the base control line"
+        );
+        assert_eq!(read_base(&p).unwrap(), 5);
+        std::fs::remove_file(&p).unwrap();
+    }
+
+    #[test]
+    fn base_line_roundtrip_and_rejects_other_lines() {
+        assert_eq!(parse_base_line(&base_line(42)), Some(42));
+        assert_eq!(parse_base_line("{\"event\":\"start\",\"id\":1}"), None);
+        assert_eq!(parse_base_line("{\"event\":\"journal_base\"}"), None);
+        assert_eq!(parse_base_line("not json journal_base"), None);
     }
 
     #[test]

@@ -40,12 +40,19 @@
 //!   client would have produced (backs `trout events` and the e2e tests).
 //! * [`journal`] / [`recover`] — crash safety behind `--state-dir`: every
 //!   accepted event is appended to a write-ahead ndjson journal before it is
-//!   applied, periodic snapshots bound replay work, and recovery
+//!   applied, periodic snapshots bound replay work (with `--compact`, each
+//!   snapshot also truncates the covered journal prefix), and recovery
 //!   (`--recover`) restores the engine **bit-identical** to the run that
 //!   crashed.
+//! * [`replicate`] — journal streaming replication: a leader
+//!   (`--replicate-listen`) tails its per-shard journals to followers
+//!   (`--follow`) that replay entries through the recovery entry points into
+//!   a warm read-only engine; `{"event":"promote"}` flips a follower to
+//!   leader at its watermark.
 //!
 //! The protocol (with a worked transcript) is documented in the repository
-//! README; the design rationale lives in DESIGN.md §9 and (durability) §10.
+//! README; the design rationale lives in DESIGN.md §9, (durability) §10,
+//! and (replication + compaction) §15.
 
 pub mod engine;
 pub mod journal;
@@ -54,6 +61,7 @@ pub mod protocol;
 pub mod reactor;
 pub mod recover;
 pub mod replay;
+pub mod replicate;
 pub mod router;
 pub mod scheduler;
 pub mod server;
@@ -69,6 +77,7 @@ pub use protocol::{
 pub use reactor::{run_reactor, ReactorConfig};
 pub use recover::RecoveryReport;
 pub use replay::replay_script;
+pub use replicate::{run_follower, spawn_replication_listener, ReplicationListener};
 pub use router::RouterSession;
 pub use scheduler::{AdmissionControl, SchedulerConfig};
 pub use server::{run_session, run_stdin, run_tcp, AcceptBackoff, AcceptDisposition};

@@ -43,8 +43,10 @@ pub struct ServeMetrics {
     /// Errors by [`TroutError`] class, in variant order (io / parse /
     /// config / model / protocol / overloaded), plus the synthetic
     /// `poisoned` class for engine-mutex poison recoveries — a panicked
-    /// session is a failure even though no request line is rejected for it.
-    pub errors_by_class: [Counter; 7],
+    /// session is a failure even though no request line is rejected for it
+    /// — and `read_only` for lifecycle events refused by a replication
+    /// follower.
+    pub errors_by_class: [Counter; 8],
     /// Feature-assembly latency per predicted job, microseconds.
     pub featurize_us: Histogram,
     /// Model forward-pass latency per batch, microseconds.
@@ -76,6 +78,28 @@ pub struct ServeMetrics {
     pub snapshots_total: Counter,
     /// Snapshot serialization + atomic-write latency, microseconds.
     pub snapshot_write_us: Histogram,
+    /// Journal compactions performed (snapshot + truncate).
+    pub compactions_total: Counter,
+    /// Journal entry lines truncated away by compaction.
+    pub compacted_lines_total: Counter,
+    /// Replication: followers currently streaming from this shard (leader
+    /// side).
+    pub replication_followers: Gauge,
+    /// Replication: leader watermark minus the slowest connected follower's
+    /// acknowledged watermark for this shard (0 with no followers).
+    pub replication_lag_events: Gauge,
+    /// Replication: high-water mark of `replication_lag_events` over the
+    /// daemon's lifetime (the measured divergence-window bound).
+    pub replication_lag_peak_events: Gauge,
+    /// Replication: journal entries streamed to followers (leader side).
+    pub replication_streamed_total: Counter,
+    /// Replication: entries applied from the leader's stream (follower
+    /// side; also re-journaled locally, so `journal_appends_total` tracks
+    /// it).
+    pub replication_applied_total: Counter,
+    /// Replication: snapshots installed from the leader (follower side —
+    /// initial sync or catch-up past a compaction point).
+    pub replication_snapshots_installed: Counter,
     /// Journal events replayed during crash recovery.
     pub recovery_replayed_events: Counter,
     /// TCP sessions accepted over the daemon's lifetime.
@@ -129,8 +153,9 @@ pub struct ServeMetrics {
 
 /// `errors_by_class` index order and JSON key per class. The first six
 /// mirror the [`TroutError`] variants; `poisoned` counts engine-mutex
-/// poison recoveries after a session panic.
-pub const ERROR_CLASSES: [&str; 7] = [
+/// poison recoveries after a session panic; `read_only` counts lifecycle
+/// events a replication follower refused.
+pub const ERROR_CLASSES: [&str; 8] = [
     "io",
     "parse",
     "config",
@@ -138,6 +163,7 @@ pub const ERROR_CLASSES: [&str; 7] = [
     "protocol",
     "overloaded",
     "poisoned",
+    "read_only",
 ];
 
 /// Drift confusion cell names, predicted-then-actual.
@@ -178,6 +204,15 @@ impl ServeMetrics {
             journal_appends_total: r.counter("serve.journal.appends_total"),
             snapshots_total: r.counter("serve.journal.snapshots_total"),
             snapshot_write_us: r.histogram("serve.journal.snapshot_write_us"),
+            compactions_total: r.counter("serve.journal.compactions_total"),
+            compacted_lines_total: r.counter("serve.journal.compacted_lines_total"),
+            replication_followers: r.gauge("serve.replication.followers"),
+            replication_lag_events: r.gauge("serve.replication.lag_events"),
+            replication_lag_peak_events: r.gauge("serve.replication.lag_peak_events"),
+            replication_streamed_total: r.counter("serve.replication.streamed_total"),
+            replication_applied_total: r.counter("serve.replication.applied_total"),
+            replication_snapshots_installed: r
+                .counter("serve.replication.snapshots_installed_total"),
             recovery_replayed_events: r.counter("serve.recovery.replayed_events_total"),
             sessions_total: r.counter("serve.sessions_total"),
             sessions_live: r.gauge("serve.sessions_live"),
@@ -240,6 +275,7 @@ impl ServeMetrics {
             TroutError::Model(_) => 3,
             TroutError::Protocol(_) => 4,
             TroutError::Overloaded { .. } => 5,
+            TroutError::ReadOnly(_) => 7,
         };
         self.errors_by_class[idx].inc();
     }
@@ -298,6 +334,10 @@ impl ServeMetrics {
                         Json::Int(self.snapshots_total.get() as i128),
                     ),
                     (
+                        "compactions".into(),
+                        Json::Int(self.compactions_total.get() as i128),
+                    ),
+                    (
                         "recovery_replayed_events".into(),
                         Json::Int(self.recovery_replayed_events.get() as i128),
                     ),
@@ -308,6 +348,7 @@ impl ServeMetrics {
                 ]),
             ),
             ("errors_by_class".into(), Json::Obj(by_class)),
+            ("replication".into(), self.replication_to_json()),
             ("admission".into(), self.admission_to_json()),
             ("featurize_us".into(), self.featurize_us.to_json()),
             ("queue_wait_us".into(), self.queue_wait_us.to_json()),
@@ -331,6 +372,41 @@ impl ServeMetrics {
             self.burn_slow[rank].set(snap.slow[rank].burn_rate());
         }
         snap
+    }
+
+    /// The replication section: leader-side follower count and lag, both
+    /// sides' streamed/applied totals, and compaction accounting.
+    fn replication_to_json(&self) -> Json {
+        Json::Obj(vec![
+            (
+                "followers".into(),
+                Json::Int(self.replication_followers.get() as i128),
+            ),
+            (
+                "lag_events".into(),
+                Json::Int(self.replication_lag_events.get() as i128),
+            ),
+            (
+                "lag_peak_events".into(),
+                Json::Int(self.replication_lag_peak_events.get() as i128),
+            ),
+            (
+                "streamed".into(),
+                Json::Int(self.replication_streamed_total.get() as i128),
+            ),
+            (
+                "applied".into(),
+                Json::Int(self.replication_applied_total.get() as i128),
+            ),
+            (
+                "snapshots_installed".into(),
+                Json::Int(self.replication_snapshots_installed.get() as i128),
+            ),
+            (
+                "compacted_lines".into(),
+                Json::Int(self.compacted_lines_total.get() as i128),
+            ),
+        ])
     }
 
     /// The scheduler/admission section: per-lane predicts, sheds (plus the
@@ -422,7 +498,8 @@ mod tests {
         m.record_error(&TroutError::Protocol("z".into()));
         m.record_error(&TroutError::Model("w".into()));
         m.record_poisoned();
-        assert_eq!(m.errors_total.get(), 5, "aggregate stays");
+        m.record_error(&TroutError::ReadOnly("follower".into()));
+        assert_eq!(m.errors_total.get(), 6, "aggregate stays");
         let j = m.to_json();
         let by = j.get("errors_by_class").unwrap();
         assert_eq!(by.get("parse"), Some(&Json::Int(2)));
@@ -431,6 +508,7 @@ mod tests {
         assert_eq!(by.get("io"), Some(&Json::Int(0)));
         assert_eq!(by.get("config"), Some(&Json::Int(0)));
         assert_eq!(by.get("poisoned"), Some(&Json::Int(1)));
+        assert_eq!(by.get("read_only"), Some(&Json::Int(1)));
     }
 
     #[test]

@@ -85,6 +85,19 @@ pub enum ClientEvent {
         /// How many recent traces to return (capped at the ring size).
         last: usize,
     },
+    /// Admin line: flip this replication follower to leader. The follower
+    /// drains its stream connection, lifts the read-only gate, and starts
+    /// accepting lifecycle events. Never journaled — role is deployment
+    /// state, not model state.
+    Promote,
+    /// Replication status dump: role, per-shard watermarks, follower lag.
+    /// Read-only, never journaled.
+    ReplicationStatus,
+    /// Full canonical state dump (`state_to_json` merged across shards)
+    /// with per-shard journal watermarks — the probe the replication
+    /// bit-identity oracle compares between leader and follower. Read-only,
+    /// never journaled.
+    StateDump,
     /// Close the session cleanly.
     Shutdown,
 }
@@ -279,6 +292,9 @@ pub fn parse_event(line: &str) -> Result<ClientEvent, TroutError> {
             };
             Ok(ClientEvent::Trace { last })
         }
+        "promote" => Ok(ClientEvent::Promote),
+        "replication" => Ok(ClientEvent::ReplicationStatus),
+        "state" => Ok(ClientEvent::StateDump),
         "shutdown" => Ok(ClientEvent::Shutdown),
         other => Err(TroutError::Protocol(format!("unknown event `{other}`"))),
     }
@@ -315,7 +331,12 @@ pub fn event_to_line(ev: &ClientEvent) -> Option<String> {
         ClientEvent::Start { id, time } => Some(lifecycle_line("start", *id, *time)),
         ClientEvent::End { id, time } => Some(lifecycle_line("end", *id, *time)),
         ClientEvent::Predict { id, time, lane, .. } => Some(predict_line(*id, *time, *lane)),
-        ClientEvent::Metrics(_) | ClientEvent::Trace { .. } | ClientEvent::Shutdown => None,
+        ClientEvent::Metrics(_)
+        | ClientEvent::Trace { .. }
+        | ClientEvent::Promote
+        | ClientEvent::ReplicationStatus
+        | ClientEvent::StateDump
+        | ClientEvent::Shutdown => None,
     }
 }
 
@@ -454,6 +475,34 @@ pub fn metrics_prometheus_response(body: String) -> String {
     .to_string()
 }
 
+/// The state-dump response: per-shard journal watermarks (index order)
+/// followed by the canonical merged state. Two daemons at identical
+/// watermarks must produce byte-identical `state` members — the replication
+/// bit-identity oracle.
+pub fn state_dump_response(watermarks: &[u64], state: Json) -> String {
+    Json::Obj(vec![
+        ("ok".into(), Json::Bool(true)),
+        ("event".into(), Json::Str("state".into())),
+        (
+            "watermarks".into(),
+            Json::Arr(watermarks.iter().map(|w| Json::Int(*w as i128)).collect()),
+        ),
+        ("state".into(), state),
+    ])
+    .to_string()
+}
+
+/// The promote acknowledgement: the daemon's new role.
+pub fn promote_response(was_follower: bool) -> String {
+    Json::Obj(vec![
+        ("ok".into(), Json::Bool(true)),
+        ("event".into(), Json::Str("promote".into())),
+        ("role".into(), Json::Str("leader".into())),
+        ("was_follower".into(), Json::Bool(was_follower)),
+    ])
+    .to_string()
+}
+
 /// `{"ok":false,"error":...}` — the error class rides in the message prefix.
 /// An admission shed additionally carries a machine-readable
 /// `"retry_after_ms"` so clients can back off without parsing prose.
@@ -556,6 +605,26 @@ mod tests {
             parse_event(r#"{"event":"shutdown"}"#).unwrap(),
             ClientEvent::Shutdown
         );
+        assert_eq!(
+            parse_event(r#"{"event":"promote"}"#).unwrap(),
+            ClientEvent::Promote
+        );
+        assert_eq!(
+            parse_event(r#"{"event":"replication"}"#).unwrap(),
+            ClientEvent::ReplicationStatus
+        );
+        assert_eq!(
+            parse_event(r#"{"event":"state"}"#).unwrap(),
+            ClientEvent::StateDump
+        );
+        // None of the admin/status events ever reach the journal.
+        for ev in [
+            ClientEvent::Promote,
+            ClientEvent::ReplicationStatus,
+            ClientEvent::StateDump,
+        ] {
+            assert_eq!(event_to_line(&ev), None);
+        }
     }
 
     #[test]

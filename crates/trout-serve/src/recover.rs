@@ -31,7 +31,7 @@ use trout_std::fsio::read_complete_lines;
 use trout_std::json::{FromJson, Json};
 
 use crate::engine::ServeEngine;
-use crate::journal::{JOURNAL_FILE, SNAPSHOT_FILE};
+use crate::journal::{parse_base_line, JOURNAL_FILE, SNAPSHOT_FILE};
 use crate::protocol::{parse_event, ClientEvent};
 
 /// What recovery found and did — surfaced by the CLI at startup.
@@ -41,12 +41,57 @@ pub struct RecoveryReport {
     pub snapshot_loaded: bool,
     /// Journal lines the snapshot already covered (0 without a snapshot).
     pub snapshot_journal_pos: u64,
-    /// Complete lines found in the journal.
+    /// Absolute journal watermark on disk: compaction base + complete entry
+    /// lines. Positions survive compaction, so this still counts every
+    /// event since the journal was born.
     pub journal_lines: u64,
+    /// Events already truncated by compaction (the base control line's
+    /// `pos`; 0 for a never-compacted journal).
+    pub journal_base: u64,
     /// Journal-tail events re-applied.
     pub replayed: u64,
     /// Bytes of torn (unacknowledged) final record dropped, if any.
     pub torn_bytes: u64,
+}
+
+/// Applies one journal/replication entry line through the same entry points
+/// the live transports use. Shared by crash recovery (under `begin_replay`,
+/// re-journaling suppressed) and by a replication follower (durability
+/// armed, so the entry re-journals into the follower's own log at the same
+/// absolute position). Application errors are NOT returned: an event that
+/// failed in the original run was journaled before it failed and
+/// deterministically fails again here, which is exactly bit-identical
+/// behavior. Only a line that can never legally appear in a journal
+/// (malformed, or a non-state event) errors.
+pub(crate) fn apply_event_line(engine: &mut ServeEngine, line: &str) -> Result<(), TroutError> {
+    // A malformed line cannot occur in a journal we wrote (only parsed
+    // events are appended), so treat it as corruption, not tolerance.
+    let ev = parse_event(line)
+        .map_err(|e| TroutError::Config(format!("corrupt journal line {line:?}: {e}")))?;
+    match ev {
+        ClientEvent::Submit(rec) => {
+            let _ = engine.apply_submit(*rec);
+        }
+        ClientEvent::Start { id, time } => {
+            let _ = engine.apply_start(id, time);
+        }
+        ClientEvent::End { id, time } => {
+            let _ = engine.apply_end(id, time);
+        }
+        ClientEvent::Predict { id, time, lane, .. } => {
+            // Replay with the journaled lane so the stored prediction
+            // (drift monitor) reproduces bit-identically; the deadline
+            // is never journaled because it shapes scheduling, not state.
+            let _ =
+                engine.predict_batch(&[crate::engine::PredictQuery::new(id, time).in_lane(lane)]);
+        }
+        _ => {
+            return Err(TroutError::Config(format!(
+                "corrupt journal: non-event line {line:?}"
+            )));
+        }
+    }
+    Ok(())
 }
 
 /// Restores the snapshot (if present) and replays the journal tail onto
@@ -77,10 +122,40 @@ pub(crate) fn replay_journal(
     if !journal_path.exists() {
         return Ok(report);
     }
-    let (lines, torn) = read_complete_lines(&journal_path)?;
-    report.journal_lines = lines.len() as u64;
+    let (mut lines, torn) = read_complete_lines(&journal_path)?;
+    // A compacted journal opens with a base control line: entries before
+    // `pos` were truncated after a snapshot covered them. Positions stay
+    // absolute across compactions.
+    if let Some(base) = lines.first().and_then(|l| parse_base_line(l)) {
+        report.journal_base = base;
+        lines.remove(0);
+    }
+    report.journal_lines = report.journal_base + lines.len() as u64;
     report.torn_bytes = torn as u64;
+    if report.snapshot_journal_pos < report.journal_base {
+        return Err(TroutError::Config(format!(
+            "journal is compacted to watermark {} but the snapshot only covers {} — \
+             events in between are unrecoverable",
+            report.journal_base, report.snapshot_journal_pos
+        )));
+    }
     if report.snapshot_journal_pos > report.journal_lines {
+        if lines.is_empty() {
+            // An empty (or torn-to-empty) journal behind the snapshot is
+            // legal: with `--fsync-every 0` power loss can drop unsynced
+            // appends the fsynced snapshot already covers, and a crash
+            // during the very first post-create append truncates to empty.
+            // The snapshot is the durable truth — recover to its watermark.
+            // `open_state_dir` repairs the journal base afterwards so new
+            // appends land at the right absolute position.
+            trout_obs::log_info!(
+                "serve",
+                "journal empty at watermark {} behind snapshot watermark {} — recovering from the snapshot alone",
+                report.journal_lines,
+                report.snapshot_journal_pos
+            );
+            return Ok(report);
+        }
         return Err(TroutError::Config(format!(
             "snapshot watermark {} exceeds the {} journal lines on disk — \
              the journal and snapshot are from different runs",
@@ -89,38 +164,11 @@ pub(crate) fn replay_journal(
     }
 
     engine.begin_replay();
-    for line in lines.iter().skip(report.snapshot_journal_pos as usize) {
-        // A malformed line cannot occur in a journal we wrote (only parsed
-        // events are appended), so treat it as corruption, not tolerance.
-        let ev = parse_event(line).map_err(|e| {
+    let skip = (report.snapshot_journal_pos - report.journal_base) as usize;
+    for line in lines.iter().skip(skip) {
+        if let Err(e) = apply_event_line(engine, line) {
             engine.end_replay();
-            TroutError::Config(format!("corrupt journal line {line:?}: {e}"))
-        })?;
-        // Application errors replay the original run's rejection — ignore.
-        match ev {
-            ClientEvent::Submit(rec) => {
-                let _ = engine.apply_submit(*rec);
-            }
-            ClientEvent::Start { id, time } => {
-                let _ = engine.apply_start(id, time);
-            }
-            ClientEvent::End { id, time } => {
-                let _ = engine.apply_end(id, time);
-            }
-            ClientEvent::Predict { id, time, lane, .. } => {
-                // Replay with the journaled lane so the stored prediction
-                // (drift monitor) reproduces bit-identically; the deadline
-                // is never journaled because it shapes scheduling, not
-                // state.
-                let _ = engine
-                    .predict_batch(&[crate::engine::PredictQuery::new(id, time).in_lane(lane)]);
-            }
-            ClientEvent::Metrics(_) | ClientEvent::Trace { .. } | ClientEvent::Shutdown => {
-                engine.end_replay();
-                return Err(TroutError::Config(format!(
-                    "corrupt journal: non-event line {line:?}"
-                )));
-            }
+            return Err(e);
         }
         report.replayed += 1;
         engine.metrics.recovery_replayed_events.inc();
@@ -129,10 +177,11 @@ pub(crate) fn replay_journal(
 
     trout_obs::log_info!(
         "serve",
-        "recovered: snapshot {} (watermark {}), {} journal lines, {} replayed, {} torn bytes dropped",
+        "recovered: snapshot {} (watermark {}), journal at {} (base {}), {} replayed, {} torn bytes dropped",
         if report.snapshot_loaded { "loaded" } else { "absent" },
         report.snapshot_journal_pos,
         report.journal_lines,
+        report.journal_base,
         report.replayed,
         report.torn_bytes
     );

@@ -40,7 +40,8 @@ use trout_std::rng::SplitMix64;
 use crate::engine::PredictQuery;
 use crate::protocol::{
     ack_response, error_response, metrics_prometheus_response, metrics_response, parse_event,
-    prediction_response, trace_response, ClientEvent, MetricsFormat,
+    prediction_response, promote_response, state_dump_response, trace_response, ClientEvent,
+    MetricsFormat,
 };
 use crate::shard::ShardSet;
 
@@ -312,10 +313,41 @@ impl RouterSession {
                 traces.truncate(n);
                 writeln!(out, "{}", trace_response(&traces))?;
             }
+            Ok(ClientEvent::Promote) => {
+                self.flush(shards, out)?;
+                let was_follower = shards.request_promote();
+                trout_obs::log_info!(
+                    "serve",
+                    "promote requested (was {}); lifecycle events will be accepted once the \
+                     stream drains",
+                    if was_follower { "follower" } else { "leader" }
+                );
+                writeln!(out, "{}", promote_response(was_follower))?;
+            }
+            Ok(ClientEvent::ReplicationStatus) => {
+                self.flush(shards, out)?;
+                writeln!(out, "{}", shards.replication_status_json())?;
+            }
+            Ok(ClientEvent::StateDump) => {
+                self.flush(shards, out)?;
+                let watermarks = shards.journal_watermarks();
+                let state = shards.merged_state_to_json();
+                writeln!(out, "{}", state_dump_response(&watermarks, state))?;
+            }
             Ok(event) => {
                 // Lifecycle events keep response order: drain queued
                 // predicts first, then broadcast to every shard.
                 self.flush(shards, out)?;
+                if shards.is_read_only() {
+                    let e = TroutError::ReadOnly(
+                        "this daemon is a replication follower; send lifecycle events to the \
+                         leader (or promote this follower)"
+                            .into(),
+                    );
+                    shards.metrics0().record_error(&e);
+                    writeln!(out, "{}", error_response(&e))?;
+                    return Ok(Flow::Continue);
+                }
                 let response = broadcast_event(shards, &event);
                 match response {
                     Ok(r) => writeln!(out, "{r}")?,

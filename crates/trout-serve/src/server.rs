@@ -80,14 +80,42 @@ pub fn classify_accept_error(e: &std::io::Error) -> AcceptDisposition {
 /// delay (10 ms … 1 s), count it, and expose the current delay as a gauge so
 /// an operator watching `trout_serve_accept_backoff_ms` sees fd exhaustion
 /// as it happens rather than post-mortem from logs.
+///
+/// The per-retry delay is clamped at [`Self::MAX_MS`], and the *streak* —
+/// total time slept across consecutive exhaustion errors — is tracked
+/// against [`Self::STREAK_MAX_MS`]. Crossing that ceiling escalates the log
+/// once per streak: sustained exhaustion for that long means an fd leak or
+/// real overload, not a transient burst, and an operator should know the
+/// listener has been effectively parked.
 #[derive(Debug, Default)]
 pub struct AcceptBackoff {
     delay_ms: u64,
+    /// Total ms slept in the current uninterrupted streak of backoff errors.
+    streak_ms: u64,
+    /// Whether the streak-ceiling warning already fired for this streak.
+    ceiling_warned: bool,
 }
 
 impl AcceptBackoff {
     const MIN_MS: u64 = 10;
     const MAX_MS: u64 = 1_000;
+    /// Ceiling on cumulative consecutive backoff before the log escalates.
+    const STREAK_MAX_MS: u64 = 30_000;
+
+    /// Advances the state for one resource-exhaustion error: doubles and
+    /// clamps the delay, accumulates the streak. Returns the delay to sleep
+    /// and whether this step crossed the streak ceiling (true at most once
+    /// per streak). Split from [`Self::on_error`] so tests can drive a long
+    /// streak without actually sleeping through it.
+    fn note_backoff(&mut self) -> (u64, bool) {
+        self.delay_ms = (self.delay_ms * 2).clamp(Self::MIN_MS, Self::MAX_MS);
+        self.streak_ms = self.streak_ms.saturating_add(self.delay_ms);
+        let crossed = !self.ceiling_warned && self.streak_ms >= Self::STREAK_MAX_MS;
+        if crossed {
+            self.ceiling_warned = true;
+        }
+        (self.delay_ms, crossed)
+    }
 
     /// Handles one accept error: sleeps (Backoff), skips (Transient), or
     /// returns the error (Fatal). Metrics go to `metrics` (shard 0's).
@@ -103,15 +131,26 @@ impl AcceptBackoff {
                 Ok(())
             }
             AcceptDisposition::Backoff => {
-                self.delay_ms = (self.delay_ms * 2).clamp(Self::MIN_MS, Self::MAX_MS);
+                let (delay_ms, ceiling_crossed) = self.note_backoff();
                 metrics.accept_backoffs_total.inc();
-                metrics.accept_backoff_ms.set(self.delay_ms as f64);
-                trout_obs::log_warn!(
-                    "serve",
-                    "accept hit resource exhaustion ({e}); backing off {} ms",
-                    self.delay_ms
-                );
-                std::thread::sleep(Duration::from_millis(self.delay_ms));
+                metrics.accept_backoff_ms.set(delay_ms as f64);
+                if ceiling_crossed {
+                    trout_obs::log_warn!(
+                        "serve",
+                        "accept backoff has been continuous for {} ms \
+                         (ceiling {} ms); holding retry delay at {} ms until an \
+                         accept succeeds — likely fd leak or sustained overload ({e})",
+                        self.streak_ms,
+                        Self::STREAK_MAX_MS,
+                        Self::MAX_MS
+                    );
+                } else {
+                    trout_obs::log_warn!(
+                        "serve",
+                        "accept hit resource exhaustion ({e}); backing off {delay_ms} ms"
+                    );
+                }
+                std::thread::sleep(Duration::from_millis(delay_ms));
                 Ok(())
             }
             AcceptDisposition::Fatal => {
@@ -121,10 +160,13 @@ impl AcceptBackoff {
         }
     }
 
-    /// Notes a successful accept: clears the backoff and its gauge.
+    /// Notes a successful accept: clears the backoff, the streak, and the
+    /// gauge, re-arming the streak-ceiling warning for the next streak.
     pub fn on_success(&mut self, metrics: &ServeMetrics) {
         if self.delay_ms != 0 {
             self.delay_ms = 0;
+            self.streak_ms = 0;
+            self.ceiling_warned = false;
             metrics.accept_backoff_ms.set(0.0);
         }
     }
@@ -342,6 +384,33 @@ mod tests {
             .on_error(&m, std::io::Error::from_raw_os_error(9))
             .unwrap_err();
         assert!(matches!(err, TroutError::Io(_)));
+    }
+
+    #[test]
+    fn backoff_streak_ceiling_crosses_once_and_rearms_on_success() {
+        let m = ServeMetrics::new();
+        let mut b = AcceptBackoff::default();
+        // Drive a long uninterrupted EMFILE streak through the pure state
+        // transition (no real sleeping). 10+20+…+640 = 1270 ms, then 1 s per
+        // step: the 30 s ceiling is crossed well inside 100 steps.
+        let mut crossings = 0;
+        for _ in 0..100 {
+            let (delay, crossed) = b.note_backoff();
+            assert!(delay <= AcceptBackoff::MAX_MS, "per-retry delay clamps");
+            if crossed {
+                crossings += 1;
+            }
+        }
+        assert_eq!(crossings, 1, "ceiling fires exactly once per streak");
+        assert_eq!(b.delay_ms, AcceptBackoff::MAX_MS);
+        assert!(b.streak_ms >= AcceptBackoff::STREAK_MAX_MS);
+
+        // A successful accept ends the streak and re-arms the ceiling.
+        b.on_success(&m);
+        assert_eq!(b.streak_ms, 0);
+        assert!(!b.ceiling_warned);
+        let crossed_again = (0..100).any(|_| b.note_backoff().1);
+        assert!(crossed_again, "a fresh streak can cross the ceiling again");
     }
 
     #[test]

@@ -36,6 +36,7 @@
 //! pre-crash self — `state_to_json` per shard remains the oracle.
 
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 
 use trout_core::online::OnlineConfig;
@@ -133,6 +134,13 @@ pub struct ShardSet {
     clock: Arc<dyn Clock>,
     scheduler: SchedulerConfig,
     admission: AdmissionControl,
+    /// Replication role gate: a follower serves predicts but refuses
+    /// lifecycle events with a typed `read_only` error — its journal stream
+    /// from the leader is the only legal source of state changes.
+    read_only: AtomicBool,
+    /// Set by a `{"event":"promote"}` admin line; the follower loop observes
+    /// it, drains the stream connection, and lifts the read-only gate.
+    promote_requested: AtomicBool,
 }
 
 impl ShardSet {
@@ -148,6 +156,8 @@ impl ShardSet {
             clock: Arc::new(MonotonicClock::new()),
             scheduler: SchedulerConfig::default(),
             admission: AdmissionControl::new(),
+            read_only: AtomicBool::new(false),
+            promote_requested: AtomicBool::new(false),
         }
     }
 
@@ -316,6 +326,84 @@ impl ShardSet {
         Ok(())
     }
 
+    /// Enables (or disables) journal compaction on every shard.
+    pub fn set_compaction(&self, on: bool) {
+        for shard in &self.shards {
+            lock_engine(shard).set_compaction(on);
+        }
+    }
+
+    /// Flips the read-only gate: `true` makes every lifecycle event answer
+    /// with a typed `read_only` error while predicts keep flowing.
+    pub fn set_read_only(&self, on: bool) {
+        self.read_only.store(on, Ordering::SeqCst);
+    }
+
+    /// Whether lifecycle events are currently refused (follower role).
+    pub fn is_read_only(&self) -> bool {
+        self.read_only.load(Ordering::SeqCst)
+    }
+
+    /// Records a promotion request (the `{"event":"promote"}` admin line).
+    /// Returns whether the daemon was a follower at the time — a leader
+    /// acks idempotently.
+    pub fn request_promote(&self) -> bool {
+        self.promote_requested.store(true, Ordering::SeqCst);
+        self.is_read_only()
+    }
+
+    /// Whether promotion has been requested (polled by the follower loop).
+    pub fn promote_requested(&self) -> bool {
+        self.promote_requested.load(Ordering::SeqCst)
+    }
+
+    /// Per-shard absolute journal watermarks (index order). A shard without
+    /// a state dir reports 0.
+    pub fn journal_watermarks(&self) -> Vec<u64> {
+        (0..self.shards.len())
+            .map(|i| self.lock(i).journal_position())
+            .collect()
+    }
+
+    /// The replication status payload: role plus per-shard watermark,
+    /// compaction base, connected-follower count, and lag (the leader-side
+    /// gauges are 0 on a follower).
+    pub fn replication_status_json(&self) -> Json {
+        let shards: Vec<Json> = (0..self.shards.len())
+            .map(|i| {
+                let g = self.lock(i);
+                Json::Obj(vec![
+                    ("watermark".into(), Json::Int(g.journal_position() as i128)),
+                    ("base".into(), Json::Int(g.journal_base() as i128)),
+                    (
+                        "followers".into(),
+                        Json::Int(g.metrics.replication_followers.get() as i128),
+                    ),
+                    (
+                        "lag".into(),
+                        Json::Int(g.metrics.replication_lag_events.get() as i128),
+                    ),
+                ])
+            })
+            .collect();
+        Json::Obj(vec![
+            ("ok".into(), Json::Bool(true)),
+            ("event".into(), Json::Str("replication".into())),
+            (
+                "role".into(),
+                Json::Str(
+                    if self.is_read_only() {
+                        "follower"
+                    } else {
+                        "leader"
+                    }
+                    .into(),
+                ),
+            ),
+            ("shards".into(), Json::Arr(shards)),
+        ])
+    }
+
     /// The canonical merged deterministic state: the N-shard union in a form
     /// identical to the canonicalized 1-shard reference for the same event
     /// stream (see the module docs; `abs_err_sum` is deliberately absent —
@@ -450,7 +538,7 @@ struct MergedMetrics {
     snapshots: u64,
     recovery_replayed: u64,
     sessions: u64,
-    errors_by_class: [u64; 7],
+    errors_by_class: [u64; 8],
     lane_predicts: [u64; 3],
     shed: [u64; 3],
     slo_violations: [u64; 3],

@@ -217,6 +217,118 @@ fn torn_journal_tail_is_dropped_and_recovery_proceeds() {
 }
 
 #[test]
+fn torn_only_line_recovers_to_the_snapshot_watermark() {
+    // The regression this pins down: when the torn record is the journal's
+    // *only* line, truncation leaves an empty journal behind a snapshot with
+    // a higher watermark. That used to look like "snapshot and journal are
+    // from different runs"; it must instead recover to the snapshot
+    // watermark (the torn record was never acknowledged).
+    let live = SimulationBuilder::anvil_like().jobs(80).seed(7).run();
+    let script = trout_serve::replay_script(&live, 4);
+    let (first, _) = split_script(&script, 0.6);
+
+    let dir = state_dir("torn_only");
+    {
+        let mut e = engine();
+        e.open_state_dir(&dir, 16, false).unwrap();
+        serve(&ShardSet::single(e), &first);
+    }
+    let snap = Json::parse(&std::fs::read_to_string(dir.join(trout_serve::SNAPSHOT_FILE)).unwrap())
+        .unwrap();
+    let snap_pos = match snap.get("journal_pos") {
+        Some(Json::Int(v)) => *v as u64,
+        other => panic!("journal_pos: {other:?}"),
+    };
+    assert!(snap_pos > 0, "a snapshot was written");
+    // Replace the journal with a single torn (newline-less) record — a crash
+    // during the first append after compaction truncated everything else.
+    std::fs::write(
+        dir.join(trout_serve::JOURNAL_FILE),
+        "{\"event\":\"start\",\"id\":9",
+    )
+    .unwrap();
+
+    let mut e = engine();
+    let report = e.open_state_dir(&dir, 16, true).unwrap();
+    assert!(report.snapshot_loaded);
+    assert!(report.torn_bytes > 0, "the torn-only line was detected");
+    assert_eq!(report.replayed, 0, "nothing survived to replay");
+    assert_eq!(
+        e.journal_position(),
+        snap_pos,
+        "the journal base was repaired to the snapshot watermark"
+    );
+    assert_eq!(
+        e.state_to_json().to_string(),
+        snap.get("state").unwrap().to_string(),
+        "recovered exactly to the snapshot state"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn compaction_bounds_the_journal_and_recovery_stays_bit_identical() {
+    let live = SimulationBuilder::anvil_like().jobs(120).seed(13).run();
+    let script = trout_serve::replay_script(&live, 3);
+    let (first, rest) = split_script(&script, 0.5);
+
+    // Reference: uninterrupted, no durability.
+    let reference = ShardSet::single(engine());
+    let ref_responses = serve(&reference, &script);
+    let ref_state = reference.lock(0).state_to_json().to_string();
+
+    let dir = state_dir("compact");
+    let snapshot_every = 24u64;
+    {
+        let mut e = engine();
+        e.set_compaction(true);
+        e.open_state_dir(&dir, snapshot_every, false).unwrap();
+        serve(&ShardSet::single(e), &first);
+    }
+    // The journal is bounded: a base control line plus at most one snapshot
+    // interval of entries.
+    let text = std::fs::read_to_string(dir.join(trout_serve::JOURNAL_FILE)).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    assert!(
+        lines[0].contains("journal_base"),
+        "compaction left a base line: {}",
+        lines[0]
+    );
+    assert!(
+        (lines.len() as u64) <= snapshot_every + 1,
+        "journal holds at most one snapshot interval, got {} lines",
+        lines.len()
+    );
+
+    let mut e = engine();
+    e.set_compaction(true);
+    let report = e.open_state_dir(&dir, snapshot_every, true).unwrap();
+    assert!(report.journal_base > 0, "recovery saw the compaction base");
+    assert_eq!(
+        report.snapshot_journal_pos + report.replayed,
+        report.journal_lines,
+        "absolute positions: snapshotted + replayed covers every event"
+    );
+
+    let recovered = ShardSet::single(e);
+    let rec_responses = serve(&recovered, &rest);
+    let ref_rest: String = ref_responses
+        .lines()
+        .skip(first.lines().count())
+        .flat_map(|l| [l, "\n"])
+        .collect();
+    assert_transcripts_match(&ref_rest, &rec_responses);
+    assert_eq!(
+        recovered.lock(0).state_to_json().to_string(),
+        ref_state,
+        "compacted recovery is bit-identical to the uninterrupted run"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn nonempty_state_dir_is_refused_without_recover() {
     let dir = state_dir("refuse");
     std::fs::create_dir_all(&dir).unwrap();

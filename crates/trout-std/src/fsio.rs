@@ -76,13 +76,20 @@ pub fn open_append_complete(path: &Path) -> io::Result<(File, u64)> {
         None => 0,
     };
     if keep < text.len() {
-        // Append mode ignores seeks for writes, so truncate via set_len.
-        f.set_len(keep as u64)?;
-        f.sync_data()?;
+        truncate_sync(&mut f, keep as u64)?;
     }
     f.seek(SeekFrom::End(0))?;
     let lines = text[..keep].lines().count() as u64;
     Ok((f, lines))
+}
+
+/// Truncates `f` to `len` bytes and syncs the truncation to disk. Works on
+/// files opened in append mode (append mode only redirects *writes* to the
+/// end; `set_len` is unaffected). `len == 0` is valid and leaves an empty
+/// file — the caller's record count is then zero, not an error.
+pub fn truncate_sync(f: &mut File, len: u64) -> io::Result<()> {
+    f.set_len(len)?;
+    f.sync_data()
 }
 
 /// Appends one line (a trailing `\n` is added) to an already-open file.
@@ -130,6 +137,35 @@ mod tests {
         append_line(&mut f, "c").unwrap();
         drop(f);
         assert_eq!(std::fs::read_to_string(&p).unwrap(), "a\nb\nc\n");
+        std::fs::remove_file(&p).unwrap();
+    }
+
+    #[test]
+    fn open_append_torn_only_line_truncates_to_empty() {
+        // A crash during the very first append leaves a file holding nothing
+        // but the torn fragment. Reopen must truncate to an *empty* file and
+        // report zero complete lines — not error — so recovery can proceed
+        // from the snapshot watermark alone.
+        let p = tmp("torn_only");
+        std::fs::write(&p, "partial-no-newline").unwrap();
+        let (mut f, lines) = open_append_complete(&p).unwrap();
+        assert_eq!(lines, 0);
+        assert_eq!(f.metadata().unwrap().len(), 0, "truncated to empty");
+        append_line(&mut f, "first").unwrap();
+        drop(f);
+        assert_eq!(std::fs::read_to_string(&p).unwrap(), "first\n");
+        std::fs::remove_file(&p).unwrap();
+    }
+
+    #[test]
+    fn truncate_sync_shrinks_open_append_file() {
+        let p = tmp("trunc");
+        std::fs::write(&p, "aaaa\nbbbb\n").unwrap();
+        let (mut f, lines) = open_append_complete(&p).unwrap();
+        assert_eq!(lines, 2);
+        truncate_sync(&mut f, 5).unwrap();
+        drop(f);
+        assert_eq!(std::fs::read_to_string(&p).unwrap(), "aaaa\n");
         std::fs::remove_file(&p).unwrap();
     }
 
